@@ -1,0 +1,152 @@
+// Benchmarks: one per table and figure of the paper's evaluation. Each
+// benchmark executes the corresponding experiment's real protocol path on
+// the simulated platform; wall-clock ns/op measures the simulator itself,
+// while the reported custom metrics are the virtual-time results that
+// correspond to the paper's numbers (vsec = virtual seconds).
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+package snapify_test
+
+import (
+	"testing"
+
+	"snapify/internal/experiments"
+	"snapify/internal/simclock"
+)
+
+func vsec(d simclock.Duration) float64 { return d.Seconds() }
+
+// BenchmarkTable3_FileCopy regenerates Table 3: copying files between the
+// host and the Xeon Phi via Snapify-IO, NFS, and scp.
+func BenchmarkTable3_FileCopy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table3()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(vsec(last.SnapifyIOWrite), "snapio-wr-1G-vsec")
+		b.ReportMetric(vsec(last.NFSWrite), "nfs-wr-1G-vsec")
+		b.ReportMetric(vsec(last.SCPWrite), "scp-wr-1G-vsec")
+		b.ReportMetric(vsec(last.SnapifyIORead), "snapio-rd-1G-vsec")
+	}
+}
+
+// BenchmarkTable4_NativeBLCR regenerates Table 4: BLCR checkpoint/restart
+// of a native Xeon Phi process over five storage paths.
+func BenchmarkTable4_NativeBLCR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Table4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		oneGB := res.Rows[3]
+		b.ReportMetric(vsec(oneGB.CkptSnapIO), "ckpt-snapio-1G-vsec")
+		b.ReportMetric(vsec(oneGB.CkptNFS), "ckpt-nfs-1G-vsec")
+		b.ReportMetric(vsec(oneGB.RestartSnapIO), "rst-snapio-1G-vsec")
+		b.ReportMetric(vsec(oneGB.RestartNFS), "rst-nfs-1G-vsec")
+	}
+}
+
+// BenchmarkFig9_RuntimeOverhead regenerates Fig 9: the cost the Snapify
+// instrumentation adds to normal execution of the OpenMP suite.
+func BenchmarkFig9_RuntimeOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig9()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.AveragePct, "avg-overhead-%")
+		for _, row := range res.Rows {
+			if row.Code == "MD" {
+				b.ReportMetric(row.OverheadPct, "MD-overhead-%")
+			}
+		}
+	}
+}
+
+// BenchmarkFig10_SnapshotLifecycle regenerates Fig 10(a)–(f): checkpoint,
+// restart, migration, and swapping for the OpenMP suite.
+func BenchmarkFig10_SnapshotLifecycle(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig10()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ss, mc float64
+		for _, row := range res.Rows {
+			switch row.Code {
+			case "SS":
+				ss = vsec(row.MigTotal)
+			case "MC":
+				mc = vsec(row.MigTotal)
+			}
+		}
+		b.ReportMetric(ss, "SS-migrate-vsec")
+		b.ReportMetric(mc, "MC-migrate-vsec")
+	}
+}
+
+// BenchmarkFig11_MPICheckpointRestart regenerates Fig 11: coordinated CR
+// of LU/SP/BT-MZ across 1, 2, and 4 ranks.
+func BenchmarkFig11_MPICheckpointRestart(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig11()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Code == "BT-MZ" && row.Ranks == 4 {
+				b.ReportMetric(vsec(row.CheckpointTime), "BT-MZ-x4-ckpt-vsec")
+				b.ReportMetric(vsec(row.RestartTime), "BT-MZ-x4-rst-vsec")
+			}
+		}
+	}
+}
+
+// BenchmarkAblation_StagingBufferSize sweeps the Snapify-IO staging buffer
+// (the paper's 4 MiB choice, Section 6).
+func BenchmarkAblation_StagingBufferSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.BufSizeAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.BufSize == 4<<20 {
+				b.ReportMetric(vsec(r.Write1G), "4MiB-staging-1G-vsec")
+			}
+		}
+	}
+}
+
+// BenchmarkAblation_IncrementalCheckpoint compares the incremental
+// checkpoint extension against the paper's full snapshots.
+func BenchmarkAblation_IncrementalCheckpoint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.IncrementalAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.DirtyFraction == 0.05 {
+				b.ReportMetric(float64(r.Full)/float64(r.Delta), "speedup-at-5pct-dirty")
+			}
+		}
+	}
+}
+
+// BenchmarkAblation_NFSTransferSize sweeps the NFS rsize/wsize under a
+// BLCR-style synchronous write stream.
+func BenchmarkAblation_NFSTransferSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.WsizeAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(vsec(rows[0].Ckpt), "16KiB-wsize-vsec")
+		b.ReportMetric(vsec(rows[len(rows)-1].Ckpt), "1MiB-wsize-vsec")
+	}
+}

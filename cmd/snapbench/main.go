@@ -1,0 +1,111 @@
+// Command snapbench regenerates every table and figure of the paper's
+// evaluation (Section 7) on the simulated platform and prints them in the
+// paper's layout. Times are virtual (see internal/simclock and DESIGN.md);
+// the shapes — who wins, by what factor, where the crossovers fall — are
+// the reproduction targets.
+//
+// Usage:
+//
+//	snapbench -all            # everything (the default)
+//	snapbench -table 3        # one table (2, 3, or 4)
+//	snapbench -fig 10         # one figure (9, 10, or 11)
+//	snapbench -check          # also verify the paper's qualitative claims
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"snapify/internal/experiments"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate one table (2, 3, or 4)")
+	fig := flag.Int("fig", 0, "regenerate one figure (9, 10, or 11)")
+	ablations := flag.Bool("ablations", false, "run the design-choice ablations")
+	all := flag.Bool("all", false, "regenerate everything")
+	check := flag.Bool("check", false, "verify the paper's qualitative claims against the results")
+	flag.Parse()
+
+	if !*all && *table == 0 && *fig == 0 && !*ablations {
+		*all = true
+	}
+
+	type renderable interface {
+		Render() string
+		CheckShape() error
+	}
+	run := func(name string, f func() (renderable, error)) {
+		res, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snapbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Render())
+		if *check {
+			if err := res.CheckShape(); err != nil {
+				fmt.Fprintf(os.Stderr, "snapbench: %s shape check FAILED: %v\n", name, err)
+				os.Exit(1)
+			}
+			fmt.Printf("[%s shape check: OK]\n\n", name)
+		}
+	}
+
+	if *all || *table == 2 {
+		fmt.Println(experiments.Table2())
+	}
+	if *all || *table == 3 {
+		run("table 3", func() (renderable, error) { return experiments.Table3() })
+	}
+	if *all || *table == 4 {
+		run("table 4", func() (renderable, error) { return experiments.Table4() })
+	}
+	if *all || *fig == 9 {
+		run("fig 9", func() (renderable, error) { return experiments.Fig9() })
+	}
+	if *all || *fig == 10 {
+		run("fig 10", func() (renderable, error) { return experiments.Fig10() })
+	}
+	if *all || *fig == 11 {
+		run("fig 11", func() (renderable, error) { return experiments.Fig11() })
+	}
+	if *all || *ablations {
+		runAblations(*check)
+	}
+}
+
+// runAblations executes the design-choice sweeps of DESIGN.md §6.
+func runAblations(check bool) {
+	fail := func(name string, err error) {
+		fmt.Fprintf(os.Stderr, "snapbench: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	buf, err := experiments.BufSizeAblation()
+	if err != nil {
+		fail("buffer ablation", err)
+	}
+	fmt.Println(experiments.RenderBufSizeAblation(buf))
+	incr, err := experiments.IncrementalAblation()
+	if err != nil {
+		fail("incremental ablation", err)
+	}
+	fmt.Println(experiments.RenderIncrementalAblation(incr))
+	wsz, err := experiments.WsizeAblation()
+	if err != nil {
+		fail("wsize ablation", err)
+	}
+	fmt.Println(experiments.RenderWsizeAblation(wsz))
+	if check {
+		if err := experiments.CheckBufSizeAblation(buf); err != nil {
+			fail("buffer ablation shape", err)
+		}
+		if err := experiments.CheckIncrementalAblation(incr); err != nil {
+			fail("incremental ablation shape", err)
+		}
+		if err := experiments.CheckWsizeAblation(wsz); err != nil {
+			fail("wsize ablation shape", err)
+		}
+		fmt.Println("[ablation shape checks: OK]")
+	}
+}

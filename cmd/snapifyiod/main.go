@@ -1,0 +1,108 @@
+// Command snapifyiod demonstrates the standalone Snapify-IO daemon
+// (Section 6): one long-running daemon per SCIF node serving remote file
+// I/O over RDMA. The demo boots a server, and streams files in both
+// directions and device-to-device, printing the per-stage virtual costs —
+// the data path a BLCR context file takes when Snapify captures or
+// restores an offload process.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"snapify"
+	"snapify/internal/blob"
+	"snapify/internal/simclock"
+	"snapify/internal/snapifyio"
+	"snapify/internal/stream"
+)
+
+func main() {
+	srv := snapify.NewServer(snapify.ServerOptions{Devices: 2})
+	defer srv.Stop()
+	plat := srv.Platform
+	fmt.Println("Snapify-IO daemons running on host, mic0, mic1 (SCIF port 3500)")
+	fmt.Printf("staging buffer: %d MiB registered RDMA window per stream\n\n", snapifyio.DefaultBufSize/simclock.MiB)
+
+	const size = 256 * simclock.MiB
+	content := blob.Synthetic(42, size)
+	if _, err := plat.Device(1).FS.WriteFile("/tmp/payload", content); err != nil {
+		fatal(err)
+	}
+
+	// Device -> host: the checkpoint direction.
+	f, err := plat.IO.Open(1, 0, "/demo/ckpt", snapifyio.Write)
+	fatal(err)
+	acc := simclock.NewPipelineAccum()
+	src, err := plat.Device(1).FS.Open("/tmp/payload")
+	fatal(err)
+	for {
+		chunk, rd, err := src.Next(4 * simclock.MiB)
+		if err == io.EOF {
+			break
+		}
+		fatal(err)
+		cost, err := f.WriteBlob(chunk)
+		fatal(err)
+		stream.Observe(acc, cost, rd)
+	}
+	fatal(f.Close())
+	fmt.Printf("mic0 -> host   %4dMiB  %8.2fs  (socket -> 4MiB RDMA buffer -> scif_vreadfrom -> host fs)\n",
+		size/simclock.MiB, acc.Total().Seconds())
+
+	// Host -> device: the restore direction.
+	fr, err := plat.IO.Open(1, 0, "/demo/ckpt", snapifyio.Read)
+	fatal(err)
+	acc = simclock.NewPipelineAccum()
+	var got []blob.Blob
+	for {
+		chunk, cost, err := fr.Next(4 * simclock.MiB)
+		if err == io.EOF {
+			break
+		}
+		fatal(err)
+		stream.Observe(acc, cost)
+		got = append(got, chunk)
+	}
+	fatal(fr.Close())
+	if !blob.Equal(blob.Concat(got...), content) {
+		fatal(fmt.Errorf("content mismatch after round trip"))
+	}
+	fmt.Printf("host -> mic0   %4dMiB  %8.2fs  (request-response over the single staging buffer: slower, as in the paper)\n",
+		size/simclock.MiB, acc.Total().Seconds())
+
+	// Device -> device: the migration local-store path.
+	fw, err := plat.IO.Open(1, 2, "/tmp/migrated", snapifyio.Write)
+	fatal(err)
+	acc = simclock.NewPipelineAccum()
+	src2, err := plat.Device(1).FS.Open("/tmp/payload")
+	fatal(err)
+	for {
+		chunk, rd, err := src2.Next(4 * simclock.MiB)
+		if err == io.EOF {
+			break
+		}
+		fatal(err)
+		cost, err := fw.WriteBlob(chunk)
+		fatal(err)
+		stream.Observe(acc, cost, rd)
+	}
+	fatal(fw.Close())
+	fmt.Printf("mic0 -> mic1   %4dMiB  %8.2fs  (peer-to-peer through the root complex)\n",
+		size/simclock.MiB, acc.Total().Seconds())
+
+	fmt.Printf("\nPCIe traffic observed: mic0->host %s, host->mic0 %s, mic0->mic1 %s\n",
+		fmtBytes(plat.Server.Fabric.Traffic(1, 0)),
+		fmtBytes(plat.Server.Fabric.Traffic(0, 1)),
+		fmtBytes(plat.Server.Fabric.Traffic(1, 2)))
+}
+
+func fmtBytes(n int64) string { return fmt.Sprintf("%dMiB", n/simclock.MiB) }
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "snapifyiod:", err)
+		os.Exit(1)
+	}
+}

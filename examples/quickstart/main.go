@@ -1,0 +1,122 @@
+// Quickstart: the paper's programming model end to end — build an offload
+// application, run it, take a consistent snapshot with the five Snapify
+// primitives (Table 1), and restore it.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"time"
+
+	"snapify"
+	"snapify/internal/proc"
+)
+
+func main() {
+	// 1. Register the device binary: one offload region ("dotstep") that
+	//    accumulates a dot product, one resumable step at a time, with all
+	//    progress in device memory — the property that makes snapshots
+	//    taken mid-offload-region restorable.
+	bin := snapify.NewBinary("quickstart")
+	bin.AddRegion("state", proc.RegionHeap, 1<<20, 0)
+	bin.Register("dotstep", func(ctx *snapify.RunContext, args []byte) ([]byte, error) {
+		n := binary.BigEndian.Uint64(args)
+		bufID := int(binary.BigEndian.Uint32(args[8:]))
+		st := ctx.Region("state")
+		vec := ctx.Buffer(bufID)
+		prog := make([]byte, 16)
+		st.ReadAt(prog, 0)
+		elem := make([]byte, 8)
+		for {
+			i := binary.BigEndian.Uint64(prog[:8])
+			if i >= n {
+				break
+			}
+			if err := ctx.Step(func() {
+				vec.ReadAt(elem, int64(i)*8)
+				v := binary.BigEndian.Uint64(elem)
+				acc := binary.BigEndian.Uint64(prog[8:])
+				binary.BigEndian.PutUint64(prog[:8], i+1)
+				binary.BigEndian.PutUint64(prog[8:], acc+v*v)
+				st.WriteAt(prog, 0)
+				ctx.Compute(50 * time.Microsecond)
+			}); err != nil {
+				return nil, err
+			}
+		}
+		out := make([]byte, 8)
+		st.ReadAt(prog, 0)
+		copy(out, prog[8:])
+		return out, nil
+	})
+	snapify.RegisterBinary(bin)
+
+	// 2. Boot a Xeon Phi server and launch the application on card 1.
+	srv := snapify.NewServer(snapify.ServerOptions{Devices: 1})
+	defer srv.Stop()
+	app, err := srv.Launch("quickstart", 1)
+	check(err)
+	defer app.Close()
+
+	// 3. Move input data into a COI buffer (the offload pragma's "in"
+	//    clause) and run the offload region.
+	const n = 4096
+	buf, err := app.Proc.CreateBuffer(n * 8)
+	check(err)
+	input := make([]byte, n*8)
+	var want uint64
+	for i := 0; i < n; i++ {
+		binary.BigEndian.PutUint64(input[i*8:], uint64(i))
+		want += uint64(i) * uint64(i)
+	}
+	check(buf.Write(input, 0))
+
+	pl, err := app.Proc.CreatePipeline()
+	check(err)
+	args := make([]byte, 12)
+	binary.BigEndian.PutUint64(args, n/2) // first half only
+	binary.BigEndian.PutUint32(args[8:], uint32(buf.ID()))
+	_, err = pl.RunFunction("dotstep", args)
+	check(err)
+	fmt.Println("ran the offload region over the first half of the vector")
+
+	// 4. Snapshot: pause (drain every SCIF channel), capture (async, via
+	//    Snapify-IO to the host), wait, resume.
+	s := snapify.NewSnapshot("/snapshots/quickstart", app.Proc)
+	check(snapify.Pause(s))
+	check(snapify.Capture(s, false))
+	check(snapify.Wait(s))
+	check(snapify.Resume(s))
+	fmt.Printf("snapshot captured: %s of process image in %.2fs virtual (pause %.0fms, capture %.2fs)\n",
+		mib(s.Report.SnapshotBytes), (s.Report.PauseTotal() + s.Report.Capture).Seconds(),
+		s.Report.PauseTotal().Seconds()*1000, s.Report.Capture.Seconds())
+
+	// 5. Keep computing, then throw the offload process away (swap-out)
+	//    and restore it from the snapshot — the computation continues
+	//    where the *snapshot* left it.
+	binary.BigEndian.PutUint64(args, n)
+	out, err := pl.RunFunction("dotstep", args)
+	check(err)
+	got := binary.BigEndian.Uint64(out)
+	fmt.Printf("finished the run: dot = %d (want %d)\n", got, want)
+
+	swap, err := snapify.Swapout("/snapshots/quickstart_swap", app.Proc)
+	check(err)
+	fmt.Println("swapped out: card memory freed, process lives on host storage")
+	_, err = snapify.Swapin(swap, 1)
+	check(err)
+	out, err = pl.RunFunction("dotstep", args)
+	check(err)
+	fmt.Printf("after swap-in: dot = %d — identical, the snapshot was consistent\n",
+		binary.BigEndian.Uint64(out))
+}
+
+func mib(n int64) string { return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20)) }
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}

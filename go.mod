@@ -1,0 +1,3 @@
+module snapify
+
+go 1.22

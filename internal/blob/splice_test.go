@@ -1,0 +1,64 @@
+package blob
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpliceBasic(t *testing.T) {
+	base := FromBytes([]byte("0123456789"))
+	out := Splice(base, 3, FromBytes([]byte("ABC")))
+	if got := string(out.Bytes()); got != "012ABC6789" {
+		t.Fatalf("splice = %q", got)
+	}
+	// Whole replacement and edges.
+	if got := string(Splice(base, 0, FromBytes([]byte("XXXXXXXXXX"))).Bytes()); got != "XXXXXXXXXX" {
+		t.Fatalf("full splice = %q", got)
+	}
+	if got := string(Splice(base, 8, FromBytes([]byte("YZ"))).Bytes()); got != "01234567YZ" {
+		t.Fatalf("tail splice = %q", got)
+	}
+	if got := string(Splice(base, 4, Blob{}).Bytes()); got != "0123456789" {
+		t.Fatalf("empty splice = %q", got)
+	}
+}
+
+func TestSpliceOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Splice(Zeros(5), 3, Zeros(3))
+}
+
+func TestSplicePreservesSyntheticExtents(t *testing.T) {
+	base := Synthetic(9, 1<<20)
+	out := Splice(base, 1000, FromBytes(make([]byte, 64)))
+	if out.LiteralBytes() != 64 {
+		t.Errorf("literal bytes = %d, want 64 (background must stay synthetic)", out.LiteralBytes())
+	}
+}
+
+func TestSpliceQuickAgainstCopy(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ref := make([]byte, 1+r.Intn(4096))
+		r.Read(ref)
+		b := FromBytes(ref)
+		for i := 0; i < 10; i++ {
+			off := r.Int63n(int64(len(ref)) + 1)
+			n := r.Int63n(int64(len(ref)) - off + 1)
+			patch := make([]byte, n)
+			r.Read(patch)
+			b = Splice(b, off, FromBytes(patch))
+			copy(ref[off:off+n], patch)
+		}
+		return bytes.Equal(b.Bytes(), ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

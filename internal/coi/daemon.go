@@ -1,0 +1,274 @@
+package coi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"snapify/internal/phi"
+	"snapify/internal/platform"
+	"snapify/internal/proc"
+	"snapify/internal/scif"
+	"snapify/internal/simclock"
+	"snapify/internal/simnet"
+)
+
+// DaemonPort is the fixed SCIF port every COI daemon listens on.
+const DaemonPort = 2000
+
+// Daemon opcodes on the lifecycle channel.
+const (
+	opLaunch uint8 = iota + 1
+	opLaunchResp
+	opDestroy
+	opDestroyResp
+	// Snapify service requests (Section 4.1): the daemon is the
+	// coordinator of the pause/capture/resume/restore protocol.
+	opSnapifyPause
+	opSnapifyPauseResp
+	opSnapifyDrain
+	opSnapifyDrainResp
+	opSnapifyCapture
+	opSnapifyCaptureResp
+	opSnapifyResume
+	opSnapifyResumeResp
+	opSnapifyRestore
+	opSnapifyRestoreResp
+	opAwaitReady
+	opAwaitReadyResp
+)
+
+// Daemon is the per-card COI daemon (coi_daemon): it launches offload
+// processes on request, monitors host- and offload-process liveness, cleans
+// up after exits, and coordinates Snapify's snapshot protocol.
+type Daemon struct {
+	plat *platform.Platform
+	dev  *phi.Device
+	p    *proc.Process
+	lst  *scif.Listener
+
+	mu     sync.Mutex
+	procs  map[int]*OffloadProc
+	nextID int
+
+	// crashed records offload processes that exited without announcement;
+	// an expected exit (Snapify swap-out) must NOT land here (Section 3,
+	// "Dealing with distributed states").
+	crashed map[int]bool
+
+	// Snapify monitor thread state: the list of active pause requests and
+	// whether the dedicated monitor thread is running.
+	monMu      sync.Mutex
+	activeReqs map[int]*pauseState
+	monRunning bool
+}
+
+// daemonMemory is the daemon's own footprint on the card.
+const daemonMemory = 16 * simclock.MiB
+
+// StartDaemon launches the COI daemon on dev.
+func StartDaemon(plat *platform.Platform, dev *phi.Device) (*Daemon, error) {
+	p := plat.Procs.Spawn("coi_daemon", dev.Node, dev.Mem)
+	if _, err := p.AddRegion("daemon", proc.RegionData, daemonMemory, 0); err != nil {
+		p.Terminate()
+		return nil, fmt.Errorf("coi: daemon memory on %v: %w", dev.Node, err)
+	}
+	lst, err := plat.Net.Listen(dev.Node, DaemonPort)
+	if err != nil {
+		p.Terminate()
+		return nil, fmt.Errorf("coi: daemon port on %v: %w", dev.Node, err)
+	}
+	d := &Daemon{
+		plat:       plat,
+		dev:        dev,
+		p:          p,
+		lst:        lst,
+		procs:      make(map[int]*OffloadProc),
+		nextID:     1,
+		crashed:    make(map[int]bool),
+		activeReqs: make(map[int]*pauseState),
+	}
+	p.SpawnThread("daemon_server", d.serve)
+	return d, nil
+}
+
+// Node returns the daemon's card node.
+func (d *Daemon) Node() simnet.NodeID { return d.dev.Node }
+
+// Stop terminates the daemon and every offload process it manages.
+func (d *Daemon) Stop() {
+	d.lst.Close()
+	d.mu.Lock()
+	procs := make([]*OffloadProc, 0, len(d.procs))
+	for _, op := range d.procs {
+		procs = append(procs, op)
+	}
+	d.mu.Unlock()
+	for _, op := range procs {
+		op.p.AnnounceExit()
+		op.teardown()
+	}
+	d.p.AnnounceExit()
+	d.p.Terminate()
+}
+
+// Crashed reports whether the daemon marked offload process id as crashed.
+func (d *Daemon) Crashed(id int) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.crashed[id]
+}
+
+// Lookup returns the offload process with the given id.
+func (d *Daemon) Lookup(id int) (*OffloadProc, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	op, ok := d.procs[id]
+	if !ok {
+		return nil, fmt.Errorf("coi: daemon %v: no offload process %d", d.dev.Node, id)
+	}
+	return op, nil
+}
+
+// serve accepts lifecycle connections from host processes; one handler
+// goroutine per connection (the daemon serves many host processes).
+func (d *Daemon) serve() {
+	for {
+		ep, err := d.lst.Accept()
+		if err != nil {
+			return
+		}
+		go d.handleConn(ep)
+	}
+}
+
+func (d *Daemon) handleConn(ep *scif.Endpoint) {
+	for {
+		raw, _, err := ep.Recv()
+		if err != nil {
+			ep.Close()
+			return
+		}
+		op := raw[0]
+		payload := raw[1:]
+		switch op {
+		case opLaunch:
+			d.handleLaunch(ep, payload)
+		case opDestroy:
+			d.handleDestroy(ep, payload)
+		case opSnapifyPause:
+			d.handleSnapifyPause(ep, payload)
+		case opSnapifyDrain:
+			d.handleSnapifyDrain(ep, payload)
+		case opSnapifyCapture:
+			d.handleSnapifyCapture(ep, payload)
+		case opSnapifyResume:
+			d.handleSnapifyResume(ep, payload)
+		case opSnapifyRestore:
+			d.handleSnapifyRestore(ep, payload)
+		case opAwaitReady:
+			id := int(u32(payload))
+			if op, err := d.Lookup(id); err != nil {
+				reply(ep, opAwaitReadyResp, append([]byte{1}, []byte(err.Error())...))
+			} else {
+				op.AwaitChannels()
+				reply(ep, opAwaitReadyResp, []byte{0})
+			}
+		default:
+			ep.Close()
+			return
+		}
+	}
+}
+
+func reply(ep *scif.Endpoint, op uint8, payload []byte) {
+	ep.Send(append([]byte{op}, payload...)) //nolint:errcheck // peer teardown surfaces on its Recv
+}
+
+func u32(b []byte) uint32                 { return binary.BigEndian.Uint32(b) }
+func putU32(v uint32) []byte              { return binary.BigEndian.AppendUint32(nil, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+
+// handleLaunch creates an offload process running the named binary.
+// Payload: binaryNameLen u32 | binaryName | binarySize i64.
+func (d *Daemon) handleLaunch(ep *scif.Endpoint, payload []byte) {
+	nameLen := u32(payload)
+	name := string(payload[4 : 4+nameLen])
+	binSize := int64(binary.BigEndian.Uint64(payload[4+nameLen:]))
+
+	bin, err := LookupBinary(name)
+	if err != nil {
+		reply(ep, opLaunchResp, append([]byte{1}, []byte(err.Error())...))
+		return
+	}
+	op, err := d.launch(bin, binSize)
+	if err != nil {
+		reply(ep, opLaunchResp, append([]byte{1}, []byte(err.Error())...))
+		return
+	}
+	// Reply: 0 | procID u32 | #channels u32 | (nameLen u32 | name | port u32)*
+	resp := []byte{0}
+	resp = appendU32(resp, uint32(op.id))
+	ports := op.ChannelPorts()
+	resp = appendU32(resp, uint32(len(ports)))
+	for _, cp := range ports {
+		resp = appendU32(resp, uint32(len(cp.name)))
+		resp = append(resp, cp.name...)
+		resp = appendU32(resp, uint32(cp.port))
+	}
+	reply(ep, opLaunchResp, resp)
+}
+
+// launch builds the offload process and its runtime.
+func (d *Daemon) launch(bin *Binary, binSize int64) (*OffloadProc, error) {
+	d.mu.Lock()
+	id := d.nextID
+	d.nextID++
+	d.mu.Unlock()
+
+	op, err := newOffloadProc(d, bin, id, binSize)
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	d.procs[id] = op
+	d.mu.Unlock()
+
+	// Crash monitoring: an exit that was not announced is a crash.
+	op.p.OnExit(func(_ *proc.Process, expected bool) {
+		d.mu.Lock()
+		delete(d.procs, id)
+		if !expected {
+			d.crashed[id] = true
+		}
+		d.mu.Unlock()
+		// Clean up the process's temporary files on the card.
+		d.dev.FS.RemoveAll(fmt.Sprintf("/tmp/coi_procs/%d/", id))
+	})
+	return op, nil
+}
+
+// handleDestroy tears down an offload process at the host's request.
+// Payload: procID u32.
+func (d *Daemon) handleDestroy(ep *scif.Endpoint, payload []byte) {
+	id := int(u32(payload))
+	op, err := d.Lookup(id)
+	if err != nil {
+		reply(ep, opDestroyResp, append([]byte{1}, []byte(err.Error())...))
+		return
+	}
+	op.p.AnnounceExit() // requested teardown is not a crash
+	op.teardown()
+	reply(ep, opDestroyResp, []byte{0})
+}
+
+// WatchHostProcess terminates the offload process if its host process
+// exits (the daemon's normal cleanup duty, Section 2).
+func (d *Daemon) WatchHostProcess(host *proc.Process, offloadID int) {
+	host.OnExit(func(_ *proc.Process, _ bool) {
+		if op, err := d.Lookup(offloadID); err == nil {
+			op.p.AnnounceExit()
+			op.teardown()
+		}
+	})
+}

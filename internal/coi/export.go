@@ -1,0 +1,60 @@
+package coi
+
+import (
+	"fmt"
+
+	"snapify/internal/platform"
+	"snapify/internal/scif"
+	"snapify/internal/simnet"
+)
+
+// Exported surface for internal/core: the Snapify daemon opcodes, wire
+// helpers, and the restore request (which goes to the target card's daemon
+// on a fresh connection, since the source card may no longer host the
+// process).
+
+// Daemon opcodes core sends on the lifecycle channel.
+const (
+	OpSnapifyPause       = opSnapifyPause
+	OpSnapifyPauseResp   = opSnapifyPauseResp
+	OpSnapifyDrain       = opSnapifyDrain
+	OpSnapifyDrainResp   = opSnapifyDrainResp
+	OpSnapifyCapture     = opSnapifyCapture
+	OpSnapifyCaptureResp = opSnapifyCaptureResp
+	OpSnapifyResume      = opSnapifyResume
+	OpSnapifyResumeResp  = opSnapifyResumeResp
+)
+
+// PutU32 encodes v big-endian.
+func PutU32(v uint32) []byte { return putU32(v) }
+
+// AppendU32 appends v big-endian to b.
+func AppendU32(b []byte, v uint32) []byte { return appendU32(b, v) }
+
+// ParsePortList decodes the (name, port) list of a launch or restore reply.
+func ParsePortList(b []byte) []ChannelPort { return parsePorts(b) }
+
+// DaemonRestoreRequest sends a snapify-restore request to the daemon on
+// device and returns the reply payload after the status byte.
+func DaemonRestoreRequest(plat *platform.Platform, device simnet.NodeID, payload []byte) ([]byte, error) {
+	ep, err := plat.Net.Connect(simnet.HostNode, scif.Addr{Node: device, Port: DaemonPort})
+	if err != nil {
+		return nil, err
+	}
+	defer ep.Close()
+	if _, err := ep.Send(append([]byte{opSnapifyRestore}, payload...)); err != nil {
+		return nil, err
+	}
+	raw, _, err := ep.Recv()
+	if err != nil {
+		return nil, err
+	}
+	u, err := expectOp(raw, opSnapifyRestoreResp)
+	if err != nil {
+		return nil, err
+	}
+	if u[0] != 0 {
+		return nil, fmt.Errorf("coi: daemon restore error: %s", u[1:])
+	}
+	return u[1:], nil
+}

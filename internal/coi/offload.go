@@ -1,0 +1,494 @@
+package coi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"snapify/internal/blob"
+	"snapify/internal/proc"
+	"snapify/internal/scif"
+	"snapify/internal/simclock"
+	"snapify/internal/simnet"
+	"snapify/internal/snapifyio"
+	"snapify/internal/stream"
+)
+
+// Control-region layout. The server thread records the active offload
+// function here *before* executing it and clears it (under the result-send
+// lock) after the return value has been sent, so every snapshot knows
+// whether an offload region was in flight and can re-enter it after a
+// restore.
+const (
+	ctrlRegionName = "coi_ctrl"
+	ctrlRegionSize = 4096
+)
+
+// BufferRegionName returns the region name backing COI buffer id.
+func BufferRegionName(id int) string { return fmt.Sprintf("coibuf_%d", id) }
+
+// runtimeHeapSize is the offload process's own runtime footprint (loader,
+// COI device library, thread stacks).
+const runtimeHeapSize = 32 * simclock.MiB
+
+// OffloadProc is the device-side runtime of one offload process: the
+// process itself plus the COI machinery inside it (server threads, control
+// region, registered buffers).
+type OffloadProc struct {
+	d   *Daemon
+	p   *proc.Process
+	bin *Binary
+	id  int
+
+	ready     sync.WaitGroup // channel accepts outstanding
+	mu        sync.Mutex
+	pipeCond  *sync.Cond // signals pipeline registration (see awaitPipeline)
+	closed    bool
+	cmdEPs    map[string]*scif.Endpoint
+	dmaEP     *scif.Endpoint
+	pipelines map[uint32]*devicePipeline
+	buffers   map[int]*deviceBuffer
+	ports     []ChannelPort
+	listeners []*scif.Listener
+
+	// resultMu is the device side of the case-4 critical region: the
+	// result send and the control-region clear happen atomically under it,
+	// so a pause observes either "function active" or "result delivered",
+	// never a half state.
+	resultMu sync.Mutex
+
+	// pipe connects to the daemon during Snapify operations (created by
+	// the pause protocol, Section 4.1).
+	pipe *proc.PipeEnd
+}
+
+type ChannelPort struct {
+	name string
+	port int
+}
+
+type devicePipeline struct {
+	id uint32
+	ep *scif.Endpoint
+}
+
+type deviceBuffer struct {
+	id     int
+	size   int64
+	window *scif.Window
+}
+
+// newOffloadProc launches the offload process for bin on the daemon's card
+// and starts its runtime threads. binSize is the device binary's size (the
+// host copies it to the card before launch).
+func newOffloadProc(d *Daemon, bin *Binary, id int, binSize int64) (*OffloadProc, error) {
+	p := d.plat.Procs.Spawn(fmt.Sprintf("offload_proc[%s:%d]", bin.Name, id), d.dev.Node, d.dev.Mem)
+
+	op := &OffloadProc{
+		d:         d,
+		p:         p,
+		bin:       bin,
+		id:        id,
+		cmdEPs:    make(map[string]*scif.Endpoint),
+		pipelines: make(map[uint32]*devicePipeline),
+		buffers:   make(map[int]*deviceBuffer),
+	}
+	op.pipeCond = sync.NewCond(&op.mu)
+	fail := func(err error) (*OffloadProc, error) {
+		p.Terminate()
+		return nil, err
+	}
+
+	// The dynamically loaded device binary occupies card memory; so do the
+	// runtime heap and the control region.
+	if _, err := p.AddRegion("binary", proc.RegionData, binSize, seedFor(bin.Name, id, "binary")); err != nil {
+		return fail(fmt.Errorf("coi: loading binary: %w", err))
+	}
+	if _, err := p.AddRegion("runtime_heap", proc.RegionHeap, runtimeHeapSize, seedFor(bin.Name, id, "heap")); err != nil {
+		return fail(fmt.Errorf("coi: runtime heap: %w", err))
+	}
+	if _, err := p.AddRegion(ctrlRegionName, proc.RegionData, ctrlRegionSize, 0); err != nil {
+		return fail(fmt.Errorf("coi: control region: %w", err))
+	}
+	for _, rs := range bin.Regions {
+		if _, err := p.AddRegion(rs.Name, rs.Kind, rs.Size, rs.Seed); err != nil {
+			return fail(fmt.Errorf("coi: binary region %q: %w", rs.Name, err))
+		}
+	}
+
+	if err := op.listenChannels(); err != nil {
+		return fail(err)
+	}
+	op.installSnapifyHandler()
+	return op, nil
+}
+
+// seedFor derives a deterministic background seed from a region identity,
+// so a restored process recreates regions with matching backgrounds and
+// untouched memory never materializes.
+func seedFor(parts ...any) uint64 {
+	h := uint64(1469598103934665603) // FNV-1a offset basis
+	for _, p := range parts {
+		for _, b := range []byte(fmt.Sprint(p)) {
+			h ^= uint64(b)
+			h *= 1099511628211
+		}
+		h ^= 0xFF
+		h *= 1099511628211
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// listenChannels opens the command channels and the DMA channel and starts
+// their server threads.
+func (op *OffloadProc) listenChannels() error {
+	for _, name := range CommandChannelNames {
+		name := name
+		if err := op.listenOne(name, func(ep *scif.Endpoint) {
+			op.mu.Lock()
+			op.cmdEPs[name] = ep
+			op.mu.Unlock()
+			op.p.SpawnThread("server_"+name, func() { //nolint:errcheck
+				serveCommandChannel(ep, func(req []byte) []byte { return op.handleCommand(name, req) })
+			})
+		}); err != nil {
+			return err
+		}
+	}
+	// The DMA channel is passive on the device side: the host drives RDMA
+	// against windows registered here.
+	if err := op.listenOne("dma", func(ep *scif.Endpoint) {
+		op.mu.Lock()
+		op.dmaEP = ep
+		op.mu.Unlock()
+	}); err != nil {
+		return err
+	}
+	return nil
+}
+
+// listenOne binds an ephemeral port for one channel and installs the
+// endpoint via set when the host connects.
+func (op *OffloadProc) listenOne(name string, set func(*scif.Endpoint)) error {
+	lst, err := op.d.plat.Net.Listen(op.d.dev.Node, 0)
+	if err != nil {
+		return fmt.Errorf("coi: listening for %s channel: %w", name, err)
+	}
+	op.mu.Lock()
+	op.ports = append(op.ports, ChannelPort{name, lst.Addr().Port})
+	op.listeners = append(op.listeners, lst)
+	op.mu.Unlock()
+	op.ready.Add(1)
+	go func() {
+		defer op.ready.Done()
+		ep, err := lst.Accept()
+		lst.Close()
+		if err != nil {
+			return
+		}
+		set(ep)
+	}()
+	return nil
+}
+
+// AwaitChannels blocks until every channel the host dialed has been
+// accepted and installed, making launch/rebind deterministic.
+func (op *OffloadProc) AwaitChannels() { op.ready.Wait() }
+
+// ChannelPorts returns the (name, port) pairs the host must connect to.
+func (op *OffloadProc) ChannelPorts() []ChannelPort {
+	op.mu.Lock()
+	defer op.mu.Unlock()
+	out := make([]ChannelPort, len(op.ports))
+	copy(out, op.ports)
+	return out
+}
+
+// handleCommand serves one request on a command channel. The command
+// channel carries buffer management; event and log channels answer pings
+// (their traffic exists so the drain protocol has real channels to prove
+// empty).
+func (op *OffloadProc) handleCommand(channel string, req []byte) []byte {
+	if len(req) == 0 {
+		return []byte{1}
+	}
+	switch req[0] {
+	case cmdPing:
+		return []byte{0}
+	case cmdBufferCreate:
+		// id u32 | size u64
+		id := int(u32(req[1:]))
+		size := int64(binary.BigEndian.Uint64(req[5:]))
+		off, err := op.createBuffer(id, size)
+		if err != nil {
+			return append([]byte{1}, []byte(err.Error())...)
+		}
+		return append([]byte{0}, binary.BigEndian.AppendUint64(nil, uint64(off))...)
+	case cmdBufferDestroy:
+		id := int(u32(req[1:]))
+		if err := op.destroyBuffer(id); err != nil {
+			return append([]byte{1}, []byte(err.Error())...)
+		}
+		return []byte{0}
+	case cmdPipelineCreate:
+		id := u32(req[1:])
+		port, err := op.createPipeline(id)
+		if err != nil {
+			return append([]byte{1}, []byte(err.Error())...)
+		}
+		return append([]byte{0}, putU32(uint32(port))...)
+	case cmdBufferReregister:
+		id := int(u32(req[1:]))
+		off, err := op.reregisterBuffer(id)
+		if err != nil {
+			return append([]byte{1}, []byte(err.Error())...)
+		}
+		return append([]byte{0}, binary.BigEndian.AppendUint64(nil, uint64(off))...)
+	default:
+		return []byte{1}
+	}
+}
+
+// Command-channel request opcodes.
+const (
+	cmdPing uint8 = iota + 10
+	cmdBufferCreate
+	cmdBufferDestroy
+	cmdPipelineCreate
+)
+
+// createBuffer allocates the local-store region backing a COI buffer and
+// registers it for RDMA on the DMA channel.
+func (op *OffloadProc) createBuffer(id int, size int64) (int64, error) {
+	name := BufferRegionName(id)
+	r, err := op.p.AddRegion(name, proc.RegionLocalStore, size, seedFor(op.bin.Name, op.id, name))
+	if err != nil {
+		return 0, err
+	}
+	r.Pin() // COI buffers are pinned for RDMA (Section 1)
+	op.mu.Lock()
+	dma := op.dmaEP
+	op.mu.Unlock()
+	if dma == nil {
+		op.p.RemoveRegion(name) //nolint:errcheck
+		return 0, fmt.Errorf("coi: DMA channel not connected")
+	}
+	w, _, err := dma.Register(r, 0, size)
+	if err != nil {
+		op.p.RemoveRegion(name) //nolint:errcheck
+		return 0, err
+	}
+	op.mu.Lock()
+	op.buffers[id] = &deviceBuffer{id: id, size: size, window: w}
+	op.mu.Unlock()
+	return w.Offset, nil
+}
+
+func (op *OffloadProc) destroyBuffer(id int) error {
+	op.mu.Lock()
+	b, ok := op.buffers[id]
+	if ok {
+		delete(op.buffers, id)
+	}
+	dma := op.dmaEP
+	op.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("coi: no buffer %d", id)
+	}
+	if dma != nil {
+		dma.Unregister(b.window) //nolint:errcheck
+	}
+	return op.p.RemoveRegion(BufferRegionName(id))
+}
+
+// createPipeline opens the run-function channel for pipeline id and starts
+// its server thread (Pipe_Thread2 in Fig 4).
+func (op *OffloadProc) createPipeline(id uint32) (int, error) {
+	lst, err := op.d.plat.Net.Listen(op.d.dev.Node, 0)
+	if err != nil {
+		return 0, err
+	}
+	go func() {
+		ep, err := lst.Accept()
+		lst.Close()
+		if err != nil {
+			return
+		}
+		op.mu.Lock()
+		op.pipelines[id] = &devicePipeline{id: id, ep: ep}
+		op.pipeCond.Broadcast()
+		op.mu.Unlock()
+		op.p.SpawnThread(fmt.Sprintf("pipe_thread2_%d", id), func() { //nolint:errcheck
+			op.servePipeline(id, ep)
+		})
+	}()
+	return lst.Addr().Port, nil
+}
+
+// awaitPipeline blocks until pipeline id is registered (the host may still
+// be reconnecting it after a restore) or the process is torn down; it
+// returns nil in the latter case.
+func (op *OffloadProc) awaitPipeline(id uint32) *devicePipeline {
+	op.mu.Lock()
+	defer op.mu.Unlock()
+	for op.pipelines[id] == nil && !op.closed {
+		op.pipeCond.Wait()
+	}
+	return op.pipelines[id]
+}
+
+// teardown terminates the offload process and its connections.
+func (op *OffloadProc) teardown() {
+	op.mu.Lock()
+	op.closed = true
+	if op.pipeCond != nil {
+		op.pipeCond.Broadcast()
+	}
+	eps := make([]*scif.Endpoint, 0, 8)
+	for _, ep := range op.cmdEPs {
+		eps = append(eps, ep)
+	}
+	if op.dmaEP != nil {
+		eps = append(eps, op.dmaEP)
+	}
+	for _, pl := range op.pipelines {
+		eps = append(eps, pl.ep)
+	}
+	pipe := op.pipe
+	op.mu.Unlock()
+	for _, ep := range eps {
+		ep.Close()
+	}
+	if pipe != nil {
+		pipe.Close()
+	}
+	op.p.Terminate()
+}
+
+// Proc returns the underlying process.
+func (op *OffloadProc) Proc() *proc.Process { return op.p }
+
+// ID returns the daemon-assigned process id.
+func (op *OffloadProc) ID() int { return op.id }
+
+// LocalStoreBytes returns the total size of the process's local-store
+// regions (what pause must save).
+func (op *OffloadProc) LocalStoreBytes() int64 {
+	var n int64
+	for _, r := range op.p.Regions() {
+		if r.Kind() == proc.RegionLocalStore {
+			n += r.Size()
+		}
+	}
+	return n
+}
+
+// Endpoints returns every SCIF endpoint of the offload process, for drain
+// assertions.
+func (op *OffloadProc) Endpoints() []*scif.Endpoint {
+	op.mu.Lock()
+	defer op.mu.Unlock()
+	var out []*scif.Endpoint
+	for _, ep := range op.cmdEPs {
+		out = append(out, ep)
+	}
+	if op.dmaEP != nil {
+		out = append(out, op.dmaEP)
+	}
+	for _, pl := range op.pipelines {
+		out = append(out, pl.ep)
+	}
+	return out
+}
+
+// --- control region bookkeeping ---
+
+// ctrlState is the decoded control region.
+type ctrlState struct {
+	Active     bool
+	PipelineID uint32
+	Seq        uint64
+	Func       string
+	Args       []byte
+}
+
+func (op *OffloadProc) writeCtrl(st ctrlState) {
+	r := op.p.Region(ctrlRegionName)
+	buf := make([]byte, 0, 64+len(st.Func)+len(st.Args))
+	if st.Active {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, st.PipelineID)
+	buf = binary.BigEndian.AppendUint64(buf, st.Seq)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(st.Func)))
+	buf = append(buf, st.Func...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(st.Args)))
+	buf = append(buf, st.Args...)
+	if len(buf) > ctrlRegionSize {
+		panic(fmt.Sprintf("coi: control record %d bytes exceeds control region", len(buf)))
+	}
+	r.WriteAt(buf, 0)
+}
+
+func (op *OffloadProc) readCtrl() ctrlState {
+	r := op.p.Region(ctrlRegionName)
+	head := make([]byte, 17)
+	r.ReadAt(head, 0)
+	st := ctrlState{
+		Active:     head[0] == 1,
+		PipelineID: binary.BigEndian.Uint32(head[1:5]),
+		Seq:        binary.BigEndian.Uint64(head[5:13]),
+	}
+	nameLen := binary.BigEndian.Uint32(head[13:17])
+	name := make([]byte, nameLen)
+	r.ReadAt(name, 17)
+	st.Func = string(name)
+	lenBuf := make([]byte, 4)
+	r.ReadAt(lenBuf, 17+int64(nameLen))
+	argsLen := binary.BigEndian.Uint32(lenBuf)
+	args := make([]byte, argsLen)
+	r.ReadAt(args, 21+int64(nameLen))
+	st.Args = args
+	return st
+}
+
+// SaveLocalStore streams every local-store region to files under dir on
+// targetNode via Snapify-IO (the pause phase of Section 4.1; for process
+// migration the target is the destination card). It returns the virtual
+// time and the bytes moved.
+func (op *OffloadProc) SaveLocalStore(targetNode simnet.NodeID, dir string) (simclock.Duration, int64, error) {
+	acc := simclock.NewPipelineAccum()
+	var total int64
+	for _, r := range op.p.Regions() {
+		if r.Kind() != proc.RegionLocalStore {
+			continue
+		}
+		f, err := op.d.plat.IO.Open(op.d.dev.Node, targetNode, dir+"/localstore_"+r.Name(), snapifyio.Write)
+		if err != nil {
+			return 0, 0, err
+		}
+		snap := r.Snapshot()
+		err = snap.ForEachChunk(4*simclock.MiB, func(chunk blob.Blob) error {
+			cost, err := f.WriteBlob(chunk)
+			if err != nil {
+				return err
+			}
+			stream.Observe(acc, cost, op.d.plat.Model().PhiPageWalk(chunk.Len()))
+			return nil
+		})
+		if err != nil {
+			f.Abort()
+			return 0, 0, err
+		}
+		if err := f.Close(); err != nil {
+			return 0, 0, err
+		}
+		total += snap.Len()
+	}
+	return acc.Total(), total, nil
+}

@@ -1,0 +1,587 @@
+package coi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"time"
+
+	"snapify/internal/blcr"
+	"snapify/internal/proc"
+	"snapify/internal/scif"
+	"snapify/internal/simclock"
+	"snapify/internal/simnet"
+	"snapify/internal/snapifyio"
+	"snapify/internal/stream"
+)
+
+// This file holds the Snapify modifications to the COI daemon and the COI
+// device runtime (Section 4): the pause/capture/resume/restore protocol
+// between the host process, the daemon (the coordinator), and the offload
+// process. The host-facing API lives in internal/core.
+
+// ContextFileName is the offload process's BLCR context file inside a
+// snapshot directory.
+const ContextFileName = "context_offload"
+
+// DeltaFileName is the incremental (delta) context file inside a snapshot
+// directory — the incremental-checkpoint extension (see internal/blcr).
+const DeltaFileName = "delta_offload"
+
+// Capture modes carried in the capture request.
+const (
+	// CaptureFull is the paper's capture: a complete BLCR context.
+	CaptureFull uint8 = iota
+	// CaptureBase is a complete context that also marks every region
+	// clean, anchoring a chain of delta captures.
+	CaptureBase
+	// CaptureDelta serializes only the ranges written since the last base
+	// or delta capture.
+	CaptureDelta
+)
+
+// LocalStorePrefix prefixes saved local-store files in a snapshot
+// directory.
+const LocalStorePrefix = "localstore_"
+
+// Pipe opcodes between the daemon and the offload process's Snapify agent.
+const (
+	pipePauseReq uint8 = iota + 30
+	pipePauseAck
+	pipeDrainReq
+	pipeDrainDone
+	pipeCaptureReq
+	pipeCaptureDone
+	pipeResumeReq
+	pipeResumeDone
+)
+
+// pauseState is one active pause request the daemon tracks (it keeps a
+// list and removes entries as requests complete, Section 4.1).
+type pauseState struct {
+	id    int
+	op    *OffloadProc
+	pipe  *proc.PipeEnd // daemon end
+	inbox chan []byte   // filled by the monitor thread
+}
+
+// ensureMonitor starts the dedicated Snapify monitor thread if none runs.
+func (d *Daemon) ensureMonitor() {
+	d.monMu.Lock()
+	defer d.monMu.Unlock()
+	if d.monRunning {
+		return
+	}
+	d.monRunning = true
+	d.p.SpawnThread("snapify_monitor", d.monitor) //nolint:errcheck
+}
+
+// monitor polls the pipes of all active pause requests and routes messages
+// to the waiting handlers; it exits when the active list empties.
+func (d *Daemon) monitor() {
+	for {
+		d.monMu.Lock()
+		if len(d.activeReqs) == 0 {
+			d.monRunning = false
+			d.monMu.Unlock()
+			return
+		}
+		states := make([]*pauseState, 0, len(d.activeReqs))
+		for _, ps := range d.activeReqs {
+			states = append(states, ps)
+		}
+		d.monMu.Unlock()
+
+		idle := true
+		for _, ps := range states {
+			for {
+				msg, _, ok, err := ps.pipe.TryRecv()
+				if err != nil || !ok {
+					break
+				}
+				idle = false
+				ps.inbox <- msg
+			}
+		}
+		if idle {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+}
+
+func (d *Daemon) addPauseState(ps *pauseState) {
+	d.monMu.Lock()
+	d.activeReqs[ps.id] = ps
+	d.monMu.Unlock()
+	d.ensureMonitor()
+}
+
+func (d *Daemon) removePauseState(id int) {
+	d.monMu.Lock()
+	ps := d.activeReqs[id]
+	delete(d.activeReqs, id)
+	d.monMu.Unlock()
+	if ps != nil {
+		ps.pipe.Close()
+	}
+}
+
+func (d *Daemon) pauseStateFor(id int) *pauseState {
+	d.monMu.Lock()
+	defer d.monMu.Unlock()
+	return d.activeReqs[id]
+}
+
+// await blocks for the next agent message with the wanted opcode.
+func (ps *pauseState) await(want uint8) ([]byte, error) {
+	msg, ok := <-ps.inbox
+	if !ok {
+		return nil, fmt.Errorf("coi: snapify pipe closed awaiting opcode %d", want)
+	}
+	if msg[0] != want {
+		return nil, fmt.Errorf("coi: snapify protocol error: got pipe opcode %d, want %d", msg[0], want)
+	}
+	return msg[1:], nil
+}
+
+// handleSnapifyPause is steps 1-3 of Fig 3: open the pipe, signal the
+// offload process, collect its acknowledgement, and relay it to the host.
+// Payload: procID u32.
+func (d *Daemon) handleSnapifyPause(ep *scif.Endpoint, payload []byte) {
+	id := int(u32(payload))
+	op, err := d.Lookup(id)
+	if err != nil {
+		reply(ep, opSnapifyPauseResp, append([]byte{1}, []byte(err.Error())...))
+		return
+	}
+	daemonEnd, procEnd := proc.NewPipe(d.plat.Model())
+	op.mu.Lock()
+	op.pipe = procEnd
+	op.mu.Unlock()
+	ps := &pauseState{id: id, op: op, pipe: daemonEnd, inbox: make(chan []byte, 8)}
+	d.addPauseState(ps)
+
+	if _, err := daemonEnd.Send([]byte{pipePauseReq}); err != nil {
+		d.removePauseState(id)
+		reply(ep, opSnapifyPauseResp, append([]byte{1}, []byte(err.Error())...))
+		return
+	}
+	if err := op.p.Deliver(proc.SigSnapify); err != nil {
+		d.removePauseState(id)
+		reply(ep, opSnapifyPauseResp, append([]byte{1}, []byte(err.Error())...))
+		return
+	}
+	if _, err := ps.await(pipePauseAck); err != nil {
+		d.removePauseState(id)
+		reply(ep, opSnapifyPauseResp, append([]byte{1}, []byte(err.Error())...))
+		return
+	}
+	reply(ep, opSnapifyPauseResp, []byte{0})
+}
+
+// handleSnapifyDrain is step 4: forward the drain request (with the
+// snapshot directory and the local-store target node) and wait for the
+// agent to finish quiescing and saving its local store.
+// Payload: procID u32 | lsTarget u32 | dirLen u32 | dir.
+// Reply: 0 | saveDurNs u64 | localStoreBytes u64.
+func (d *Daemon) handleSnapifyDrain(ep *scif.Endpoint, payload []byte) {
+	id := int(u32(payload))
+	ps := d.pauseStateFor(id)
+	if ps == nil {
+		reply(ep, opSnapifyDrainResp, append([]byte{1}, []byte("no active pause")...))
+		return
+	}
+	if _, err := ps.pipe.Send(append([]byte{pipeDrainReq}, payload[4:]...)); err != nil {
+		reply(ep, opSnapifyDrainResp, append([]byte{1}, []byte(err.Error())...))
+		return
+	}
+	resp, err := ps.await(pipeDrainDone)
+	if err != nil {
+		reply(ep, opSnapifyDrainResp, append([]byte{1}, []byte(err.Error())...))
+		return
+	}
+	if resp[0] != 0 {
+		reply(ep, opSnapifyDrainResp, append([]byte{1}, resp[1:]...))
+		return
+	}
+	reply(ep, opSnapifyDrainResp, append([]byte{0}, resp[1:]...))
+}
+
+// handleSnapifyCapture forwards the capture request and waits for the
+// checkpoint to finish. Payload: procID u32 | terminate u8 | mode u8 |
+// dirLen u32 | dir. Reply: 0 | snapshotBytes u64 | captureDurNs u64.
+func (d *Daemon) handleSnapifyCapture(ep *scif.Endpoint, payload []byte) {
+	id := int(u32(payload))
+	terminate := payload[4] == 1
+	ps := d.pauseStateFor(id)
+	if ps == nil {
+		reply(ep, opSnapifyCaptureResp, append([]byte{1}, []byte("no active pause")...))
+		return
+	}
+	if _, err := ps.pipe.Send(append([]byte{pipeCaptureReq}, payload[4:]...)); err != nil {
+		reply(ep, opSnapifyCaptureResp, append([]byte{1}, []byte(err.Error())...))
+		return
+	}
+	resp, err := ps.await(pipeCaptureDone)
+	if err != nil {
+		reply(ep, opSnapifyCaptureResp, append([]byte{1}, []byte(err.Error())...))
+		return
+	}
+	if resp[0] != 0 {
+		reply(ep, opSnapifyCaptureResp, append([]byte{1}, resp[1:]...))
+		return
+	}
+	if terminate {
+		// The exit is announced: the daemon must not treat it as a crash
+		// (Section 3, "Dealing with distributed states").
+		ps.op.p.AnnounceExit()
+		ps.op.teardown()
+		d.removePauseState(id)
+	}
+	reply(ep, opSnapifyCaptureResp, append([]byte{0}, resp[1:]...))
+}
+
+// handleSnapifyResume forwards the resume and closes out the pause state.
+// Payload: procID u32.
+func (d *Daemon) handleSnapifyResume(ep *scif.Endpoint, payload []byte) {
+	id := int(u32(payload))
+	ps := d.pauseStateFor(id)
+	if ps == nil {
+		reply(ep, opSnapifyResumeResp, append([]byte{1}, []byte("no active pause")...))
+		return
+	}
+	if _, err := ps.pipe.Send([]byte{pipeResumeReq}); err != nil {
+		reply(ep, opSnapifyResumeResp, append([]byte{1}, []byte(err.Error())...))
+		return
+	}
+	if _, err := ps.await(pipeResumeDone); err != nil {
+		reply(ep, opSnapifyResumeResp, append([]byte{1}, []byte(err.Error())...))
+		return
+	}
+	d.removePauseState(id)
+	reply(ep, opSnapifyResumeResp, []byte{0})
+}
+
+// handleSnapifyRestore rebuilds an offload process from a snapshot
+// directory. Payload: binNameLen u32 | binName | ctxDirLen u32 | ctxDir |
+// lsNode u32 | lsDirLen u32 | lsDir | deltaCount u32 | (dirLen u32 |
+// dir)*. The context comes from ctxDir (the base checkpoint); the saved
+// local store from lsDir on lsNode (the latest pause — the host for
+// checkpoint and swap, the daemon's own card for migration); delta
+// contexts, if any, are replayed in order (the incremental extension).
+// Reply: 0 | newID u32 | restoreDurNs u64 | lsCopyDurNs u64 | lsBytes u64
+// | #channels u32 | ports...
+func (d *Daemon) handleSnapifyRestore(ep *scif.Endpoint, payload []byte) {
+	fail := func(err error) { reply(ep, opSnapifyRestoreResp, append([]byte{1}, []byte(err.Error())...)) }
+
+	binLen := u32(payload)
+	binName := string(payload[4 : 4+binLen])
+	payload = payload[4+binLen:]
+	dirLen := u32(payload)
+	dir := string(payload[4 : 4+dirLen])
+	payload = payload[4+dirLen:]
+	lsNode := simnet.NodeID(u32(payload))
+	payload = payload[4:]
+	lsDirLen := u32(payload)
+	lsDir := string(payload[4 : 4+lsDirLen])
+	payload = payload[4+lsDirLen:]
+	deltaCount := int(u32(payload))
+	payload = payload[4:]
+	deltaDirs := make([]string, 0, deltaCount)
+	for i := 0; i < deltaCount; i++ {
+		n := u32(payload)
+		deltaDirs = append(deltaDirs, string(payload[4:4+n]))
+		payload = payload[4+n:]
+	}
+
+	bin, err := LookupBinary(binName)
+	if err != nil {
+		fail(err)
+		return
+	}
+
+	// BLCR reads the context "on the fly" from host storage via a
+	// Snapify-IO read descriptor (Section 4.3).
+	src, err := d.plat.IO.Open(d.dev.Node, simnet.HostNode, dir+"/"+ContextFileName, snapifyio.Read)
+	if err != nil {
+		fail(err)
+		return
+	}
+	deltas := make([]stream.Source, 0, len(deltaDirs))
+	for _, dd := range deltaDirs {
+		ds, err := d.plat.IO.Open(d.dev.Node, simnet.HostNode, dd+"/"+DeltaFileName, snapifyio.Read)
+		if err != nil {
+			src.Close()
+			fail(err)
+			return
+		}
+		deltas = append(deltas, ds)
+	}
+	d.mu.Lock()
+	newID := d.nextID
+	d.nextID++
+	d.mu.Unlock()
+
+	restored, rst, err := d.plat.CR.RestartChain(src, deltas, func(img *blcr.Image) (*proc.Process, error) {
+		return d.plat.Procs.Spawn(img.Name, d.dev.Node, d.dev.Mem), nil
+	})
+	src.Close()
+	for _, ds := range deltas {
+		ds.Close()
+	}
+	if err != nil {
+		fail(fmt.Errorf("restoring offload process: %w", err))
+		return
+	}
+
+	// Copy the local store back on the fly into the mapped regions.
+	lsDur, lsBytes, err := d.reloadLocalStore(restored, lsDir, lsNode)
+	if err != nil {
+		restored.Terminate()
+		fail(err)
+		return
+	}
+
+	op, err := rebuildOffloadProc(d, bin, newID, restored)
+	if err != nil {
+		restored.Terminate()
+		fail(err)
+		return
+	}
+
+	// Set up the Snapify pipe so the host's upcoming resume reaches the
+	// restored process; it stays quiesced until then (Section 4.3).
+	daemonEnd, procEnd := proc.NewPipe(d.plat.Model())
+	op.mu.Lock()
+	op.pipe = procEnd
+	op.mu.Unlock()
+	ps := &pauseState{id: newID, op: op, pipe: daemonEnd, inbox: make(chan []byte, 8)}
+	d.addPauseState(ps)
+	op.p.Deliver(proc.SigSnapify) //nolint:errcheck // handler installed by rebuildOffloadProc
+
+	resp := []byte{0}
+	resp = appendU32(resp, uint32(newID))
+	resp = binary.BigEndian.AppendUint64(resp, uint64(rst.Duration))
+	resp = binary.BigEndian.AppendUint64(resp, uint64(lsDur))
+	resp = binary.BigEndian.AppendUint64(resp, uint64(lsBytes))
+	ports := op.ChannelPorts()
+	resp = appendU32(resp, uint32(len(ports)))
+	for _, cp := range ports {
+		resp = appendU32(resp, uint32(len(cp.name)))
+		resp = append(resp, cp.name...)
+		resp = appendU32(resp, uint32(cp.port))
+	}
+	reply(ep, opSnapifyRestoreResp, resp)
+}
+
+// reloadLocalStore streams saved local-store files from the snapshot
+// directory (on lsNode) into the restored process's regions. For process
+// migration the files are already on this card — written there directly by
+// the source card's pause — and are deleted once loaded.
+func (d *Daemon) reloadLocalStore(p *proc.Process, dir string, lsNode simnet.NodeID) (simclock.Duration, int64, error) {
+	acc := simclock.NewPipelineAccum()
+	var total int64
+	for _, r := range p.Regions() {
+		if r.Kind() != proc.RegionLocalStore {
+			continue
+		}
+		f, err := d.plat.IO.Open(d.dev.Node, lsNode, dir+"/"+LocalStorePrefix+r.Name(), snapifyio.Read)
+		if err != nil {
+			return 0, 0, fmt.Errorf("coi: local store for %q: %w", r.Name(), err)
+		}
+		if f.Size() != r.Size() {
+			f.Close()
+			return 0, 0, fmt.Errorf("coi: local store for %q is %d bytes, region is %d", r.Name(), f.Size(), r.Size())
+		}
+		var off int64
+		for off < r.Size() {
+			chunk, cost, err := f.Next(4 * simclock.MiB)
+			if err != nil {
+				f.Close()
+				return 0, 0, err
+			}
+			stream.Observe(acc, cost, d.plat.Model().PhiMemcpy(chunk.Len()))
+			r.WriteBlob(off, chunk)
+			off += chunk.Len()
+		}
+		f.Close()
+		if lsNode == d.dev.Node {
+			d.dev.FS.Remove(dir + "/" + LocalStorePrefix + r.Name()) //nolint:errcheck
+		}
+		total += off
+	}
+	return acc.Total(), total, nil
+}
+
+// rebuildOffloadProc wraps a restored process in a fresh runtime: channels
+// listen on new ports, the signal handler is reinstalled, and the daemon's
+// bookkeeping (crash watch, cleanup) is re-established.
+func rebuildOffloadProc(d *Daemon, bin *Binary, id int, p *proc.Process) (*OffloadProc, error) {
+	op := &OffloadProc{
+		d:         d,
+		p:         p,
+		bin:       bin,
+		id:        id,
+		cmdEPs:    make(map[string]*scif.Endpoint),
+		pipelines: make(map[uint32]*devicePipeline),
+		buffers:   make(map[int]*deviceBuffer),
+	}
+	op.pipeCond = sync.NewCond(&op.mu)
+	if err := op.listenChannels(); err != nil {
+		p.Terminate()
+		return nil, err
+	}
+	op.installSnapifyHandler()
+	d.mu.Lock()
+	d.procs[id] = op
+	d.mu.Unlock()
+	p.OnExit(func(_ *proc.Process, expected bool) {
+		d.mu.Lock()
+		delete(d.procs, id)
+		if !expected {
+			d.crashed[id] = true
+		}
+		d.mu.Unlock()
+		d.dev.FS.RemoveAll(fmt.Sprintf("/tmp/coi_procs/%d/", id))
+	})
+	return op, nil
+}
+
+// installSnapifyHandler installs the SigSnapify handler that runs the
+// device-side agent loop.
+func (op *OffloadProc) installSnapifyHandler() {
+	op.p.HandleSignal(proc.SigSnapify, func() { op.snapifyAgent() })
+}
+
+// snapifyAgent is the offload process's side of the protocol: it reads
+// requests from the pipe the daemon opened and services them until resume
+// or termination. It runs in signal-handler context (its own goroutine).
+func (op *OffloadProc) snapifyAgent() {
+	op.mu.Lock()
+	pipe := op.pipe
+	op.mu.Unlock()
+	if pipe == nil {
+		return
+	}
+	drained := false // whether this agent holds the quiesce locks
+	for {
+		raw, _, err := pipe.Recv()
+		if err != nil {
+			// Pipe closed: the operation is over (resume handled, or the
+			// process is going away). Locks are released on the paths
+			// that close the pipe.
+			return
+		}
+		switch raw[0] {
+		case pipePauseReq:
+			pipe.Send([]byte{pipePauseAck}) //nolint:errcheck
+
+		case pipeDrainReq:
+			lsTarget := simnet.NodeID(u32(raw[1:]))
+			dirLen := u32(raw[5:])
+			dir := string(raw[9 : 9+dirLen])
+			// Quiesce: running steps drain at the gate; the result-send
+			// critical region is held so case-4 channels stay empty.
+			op.p.PauseSteps()
+			op.resultMu.Lock()
+			drained = true
+			quiesce := simclock.Duration(op.p.ThreadCount()) * op.d.plat.Model().ThreadQuiesce
+			d, bytes, err := op.SaveLocalStore(lsTarget, dir)
+			d += quiesce
+			if err != nil {
+				pipe.Send(append([]byte{pipeDrainDone, 1}, []byte(err.Error())...)) //nolint:errcheck
+				continue
+			}
+			resp := []byte{pipeDrainDone, 0}
+			resp = binary.BigEndian.AppendUint64(resp, uint64(d))
+			resp = binary.BigEndian.AppendUint64(resp, uint64(bytes))
+			pipe.Send(resp) //nolint:errcheck
+
+		case pipeCaptureReq:
+			terminate := raw[1] == 1
+			mode := raw[2]
+			dirLen := u32(raw[3:])
+			dir := string(raw[7 : 7+dirLen])
+			name := ContextFileName
+			if mode == CaptureDelta {
+				name = DeltaFileName
+			}
+			sink, err := op.d.plat.IO.Open(op.d.dev.Node, simnet.HostNode, dir+"/"+name, snapifyio.Write)
+			if err != nil {
+				pipe.Send(append([]byte{pipeCaptureDone, 1}, []byte(err.Error())...)) //nolint:errcheck
+				continue
+			}
+			var st *blcr.Stats
+			if mode == CaptureDelta {
+				st, err = op.d.plat.CR.CheckpointDeltaFrozen(op.p, sink)
+			} else {
+				st, err = op.d.plat.CR.CheckpointFrozen(op.p, sink)
+			}
+			if err == nil && (mode == CaptureBase || mode == CaptureDelta) {
+				for _, r := range op.p.Regions() {
+					r.MarkClean()
+				}
+			}
+			if err != nil {
+				pipe.Send(append([]byte{pipeCaptureDone, 1}, []byte(err.Error())...)) //nolint:errcheck
+				continue
+			}
+			resp := []byte{pipeCaptureDone, 0}
+			resp = binary.BigEndian.AppendUint64(resp, uint64(st.Bytes))
+			resp = binary.BigEndian.AppendUint64(resp, uint64(st.Duration))
+			pipe.Send(resp) //nolint:errcheck
+			if terminate {
+				// The daemon tears the process down; this agent thread
+				// ends with it.
+				return
+			}
+
+		case pipeResumeReq:
+			if drained {
+				op.resultMu.Unlock()
+			}
+			op.p.ResumeSteps()
+			drained = false
+			// Re-enter an offload function that was in flight when the
+			// snapshot was taken (Section 4.3): its progress is in the
+			// control region and the data regions.
+			st := op.readCtrl()
+			if st.Active {
+				op.p.SpawnThread("reentry", func() { //nolint:errcheck
+					op.executeFunction(st.PipelineID, st.Seq, st.Func, st.Args)
+				})
+			}
+			pipe.Send([]byte{pipeResumeDone}) //nolint:errcheck
+			return
+		}
+	}
+}
+
+// --- buffer re-registration (restore path) ---
+
+// cmdBufferReregister re-registers an existing local-store region for RDMA
+// on the (new) DMA channel and returns the new offset. It extends the
+// command channel (see handleCommand).
+const cmdBufferReregister uint8 = 20
+
+func (op *OffloadProc) reregisterBuffer(id int) (int64, error) {
+	name := BufferRegionName(id)
+	r := op.p.Region(name)
+	if r == nil {
+		return 0, fmt.Errorf("coi: no region %q to re-register", name)
+	}
+	op.mu.Lock()
+	dma := op.dmaEP
+	op.mu.Unlock()
+	if dma == nil {
+		return 0, fmt.Errorf("coi: DMA channel not connected")
+	}
+	w, _, err := dma.Register(r, 0, r.Size())
+	if err != nil {
+		return 0, err
+	}
+	op.mu.Lock()
+	op.buffers[id] = &deviceBuffer{id: id, size: r.Size(), window: w}
+	op.mu.Unlock()
+	return w.Offset, nil
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"snapify/internal/coi"
+	"snapify/internal/simnet"
+)
+
+// TestConcurrentPausesOnOneCard exercises the daemon's active-request list
+// and monitor thread (Section 4.1): several host processes pause, capture,
+// and resume their offload processes on the same card at the same time.
+// One monitor thread serves all the pipes; each request completes and each
+// application's computation is unaffected.
+func TestConcurrentPausesOnOneCard(t *testing.T) {
+	coi.RegisterBinary(testBinary("core_conc"))
+	r := newRig(t, "core_conc_unused", 1) // builds platform + daemons
+	plat := r.plat
+
+	const apps = 4
+	type appState struct {
+		rig *rig
+	}
+	states := make([]*appState, apps)
+	for i := range states {
+		host := plat.Procs.Spawn(fmt.Sprintf("host_conc_%d", i), simnet.HostNode, plat.Host().Mem)
+		tl := r.tl
+		cp, err := coi.CreateProcess(plat, host, tl, 1, "core_conc")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := cp.CreatePipeline()
+		if err != nil {
+			t.Fatal(err)
+		}
+		states[i] = &appState{rig: &rig{plat: plat, host: host, tl: tl, cp: cp, pl: pl}}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, apps)
+	for i, st := range states {
+		wg.Add(1)
+		go func(i int, rg *rig) {
+			defer wg.Done()
+			fail := func(err error) { errs[i] = fmt.Errorf("app %d: %w", i, err) }
+			// Work, snapshot, work: the snapshots interleave on the card.
+			args := makeCountArgs(20)
+			if _, err := rg.pl.RunFunction("count", args); err != nil {
+				fail(err)
+				return
+			}
+			s := NewSnapshot(fmt.Sprintf("/snap/conc/%d", i), rg.cp)
+			if err := Pause(s); err != nil {
+				fail(err)
+				return
+			}
+			if err := Capture(s, false); err != nil {
+				fail(err)
+				return
+			}
+			if err := Wait(s); err != nil {
+				fail(err)
+				return
+			}
+			if err := Resume(s); err != nil {
+				fail(err)
+				return
+			}
+			out, err := rg.pl.RunFunction("count", makeCountArgs(40))
+			if err != nil {
+				fail(err)
+				return
+			}
+			if got := decodeU64(out); got != refSum(40) {
+				fail(fmt.Errorf("result %d, want %d", got, refSum(40)))
+			}
+		}(i, st.rig)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+	// All pause state drained from the daemon; snapshots all on disk.
+	for i := range states {
+		if !plat.Host().FS.Exists(fmt.Sprintf("/snap/conc/%d/%s", i, coi.ContextFileName)) {
+			t.Errorf("app %d snapshot missing", i)
+		}
+	}
+}
+
+// TestConcurrentSwapsAcrossCards runs simultaneous migrations in opposite
+// directions between two cards.
+func TestConcurrentSwapsAcrossCards(t *testing.T) {
+	coi.RegisterBinary(testBinary("core_cross"))
+	r := newRig(t, "core_cross_unused", 2)
+	plat := r.plat
+
+	mk := func(i int, dev simnet.NodeID) *rig {
+		host := plat.Procs.Spawn(fmt.Sprintf("host_cross_%d", i), simnet.HostNode, plat.Host().Mem)
+		cp, err := coi.CreateProcess(plat, host, r.tl, dev, "core_cross")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl, err := cp.CreatePipeline()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &rig{plat: plat, host: host, tl: r.tl, cp: cp, pl: pl}
+	}
+	a := mk(0, 1)                                // card 1 -> 2
+	b := mk(1, 2)                                // card 2 -> 1
+	a.pl.RunFunction("count", makeCountArgs(10)) //nolint:errcheck
+	b.pl.RunFunction("count", makeCountArgs(10)) //nolint:errcheck
+
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	migrate := func(i int, rg *rig, to simnet.NodeID) {
+		defer wg.Done()
+		if _, _, err := Migrate(rg.cp, to, fmt.Sprintf("/snap/cross/%d", i)); err != nil {
+			errs[i] = err
+		}
+	}
+	wg.Add(2)
+	go migrate(0, a, 2)
+	go migrate(1, b, 1)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("migration %d: %v", i, err)
+		}
+	}
+	if a.cp.DeviceNode() != 2 || b.cp.DeviceNode() != 1 {
+		t.Fatalf("devices after cross-migration: %v %v", a.cp.DeviceNode(), b.cp.DeviceNode())
+	}
+	for _, rg := range []*rig{a, b} {
+		out, err := rg.pl.RunFunction("count", makeCountArgs(30))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := decodeU64(out); got != refSum(30) {
+			t.Errorf("post-cross-migration result %d, want %d", got, refSum(30))
+		}
+	}
+}
+
+func makeCountArgs(n uint64) []byte {
+	args := make([]byte, 8)
+	args[0] = byte(n >> 56)
+	args[1] = byte(n >> 48)
+	args[2] = byte(n >> 40)
+	args[3] = byte(n >> 32)
+	args[4] = byte(n >> 24)
+	args[5] = byte(n >> 16)
+	args[6] = byte(n >> 8)
+	args[7] = byte(n)
+	return args
+}
+
+func decodeU64(b []byte) uint64 {
+	var v uint64
+	for _, x := range b[:8] {
+		v = v<<8 | uint64(x)
+	}
+	return v
+}

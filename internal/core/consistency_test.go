@@ -1,0 +1,174 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"snapify/internal/coi"
+	"snapify/internal/phi"
+	"snapify/internal/platform"
+	"snapify/internal/proc"
+	"snapify/internal/simclock"
+	"snapify/internal/simnet"
+)
+
+// TestSnapshotInjectionPreservesResults is the central consistency
+// property (Section 3): injecting pause/capture/resume, swap-out/swap-in,
+// or migration at arbitrary points of an application's execution must not
+// change its final output. The workload interleaves offload calls with
+// buffer writes, so every drained channel class is exercised.
+func TestSnapshotInjectionPreservesResults(t *testing.T) {
+	reference := runScenario(t, 12345, nil)
+
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var ops []injection
+		for i := 0; i < 3; i++ {
+			ops = append(ops, injection{
+				afterPhase: r.Intn(6),
+				kind:       r.Intn(3),
+			})
+		}
+		got := runScenario(t, 12345, ops)
+		if got != reference {
+			t.Logf("seed %d: injected run = %d, reference = %d (ops %+v)", seed, got, reference, ops)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+type injection struct {
+	afterPhase int // which phase boundary to inject at
+	kind       int // 0: checkpoint (pause/capture/resume), 1: swap, 2: migrate
+}
+
+var scenarioCounter int
+
+// runScenario executes a deterministic multi-phase offload workload and
+// returns its final checksum, applying the given injections between
+// phases.
+func runScenario(t *testing.T, dataSeed int64, ops []injection) uint64 {
+	t.Helper()
+	scenarioCounter++
+	binName := fmt.Sprintf("consistency_%d", scenarioCounter)
+	coi.RegisterBinary(consistencyBinary(binName))
+
+	plat := platform.New(platform.Config{Server: phi.ServerConfig{Devices: 2}})
+	if err := coi.StartDaemons(plat); err != nil {
+		t.Fatal(err)
+	}
+	defer coi.StopDaemons(plat)
+
+	host := plat.Procs.Spawn("host_proc", simnet.HostNode, plat.Host().Mem)
+	defer host.Terminate()
+	tl := simclock.NewTimeline()
+	cp, err := coi.CreateProcess(plat, host, tl, 1, binName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := cp.CreatePipeline()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := cp.CreateBuffer(64 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(dataSeed))
+	inject := func(phase int) {
+		for _, op := range ops {
+			if op.afterPhase != phase {
+				continue
+			}
+			dir := fmt.Sprintf("/snap/consistency/%d/%d", scenarioCounter, phase)
+			switch op.kind {
+			case 0: // checkpoint without termination
+				s := NewSnapshot(dir, cp)
+				mustOK(t, Pause(s))
+				mustOK(t, Capture(s, false))
+				mustOK(t, Wait(s))
+				mustOK(t, Resume(s))
+			case 1: // swap out and back in on the same card
+				s, err := Swapout(dir, cp)
+				mustOK(t, err)
+				_, err = Swapin(s, cp.DeviceNode())
+				mustOK(t, err)
+			case 2: // migrate to the other card
+				target := simnet.NodeID(1)
+				if cp.DeviceNode() == 1 {
+					target = 2
+				}
+				_, _, err := Migrate(cp, target, dir)
+				mustOK(t, err)
+			}
+		}
+	}
+
+	var final uint64
+	for phase := 0; phase < 6; phase++ {
+		// Host writes fresh data into the COI buffer (exercises case 2).
+		data := make([]byte, 64*1024)
+		rng.Read(data)
+		mustOK(t, buf.Write(data, 0))
+
+		// Offload call folds the buffer into the running checksum.
+		args := make([]byte, 4)
+		binary.BigEndian.PutUint32(args, uint32(buf.ID()))
+		out, err := pl.RunFunction("fold", args)
+		mustOK(t, err)
+		final = binary.BigEndian.Uint64(out)
+
+		inject(phase)
+	}
+	return final
+}
+
+func mustOK(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// consistencyBinary folds buffer bytes into a checksum kept in the state
+// region, one 4 KiB page per step.
+func consistencyBinary(name string) *coi.Binary {
+	bin := coi.NewBinary(name)
+	bin.AddRegion("state", proc.RegionHeap, 4096, 0)
+	bin.Register("fold", func(ctx *coi.RunContext, args []byte) ([]byte, error) {
+		id := int(binary.BigEndian.Uint32(args))
+		b := ctx.Buffer(id)
+		st := ctx.Region("state")
+		acc := make([]byte, 8)
+		st.ReadAt(acc, 0)
+		sum := binary.BigEndian.Uint64(acc)
+		page := make([]byte, 4096)
+		for off := int64(0); off < b.Size(); off += 4096 {
+			off := off
+			if err := ctx.Step(func() {
+				b.ReadAt(page, off)
+				for _, v := range page {
+					sum = sum*1099511628211 + uint64(v)
+				}
+				binary.BigEndian.PutUint64(acc, sum)
+				st.WriteAt(acc, 0)
+				ctx.Compute(50 * time.Microsecond)
+			}); err != nil {
+				return nil, err
+			}
+		}
+		out := make([]byte, 8)
+		binary.BigEndian.PutUint64(out, sum)
+		return out, nil
+	})
+	return bin
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"snapify/internal/coi"
+	"snapify/internal/platform"
+	"snapify/internal/proc"
+	"snapify/internal/simnet"
+)
+
+// The snapify command-line utility (Section 5) provides swapping and
+// migration transparently: its arguments are the PID of the host process
+// and a command; it signals the host process and submits the command
+// through a pipe, and the Snapify signal handler in the host process calls
+// the corresponding API function.
+
+// CommandServer is the Snapify-installed signal handler of one host
+// process.
+type CommandServer struct {
+	plat *platform.Platform
+
+	mu      sync.Mutex
+	cp      *coi.Process
+	swapped *Snapshot // set while the offload process is swapped out
+
+	cmdPipe *proc.PipeEnd // server end
+	ctlPipe *proc.PipeEnd // utility end
+}
+
+// InstallCommandServer installs the Snapify signal handler in the host
+// process that owns cp. The snapify utility submits commands with
+// SubmitCommand against the host PID.
+func InstallCommandServer(plat *platform.Platform, cp *coi.Process) *CommandServer {
+	srv := &CommandServer{plat: plat, cp: cp}
+	srv.cmdPipe, srv.ctlPipe = proc.NewPipe(plat.Model())
+	cp.HostProc().HandleSignal(proc.SigCommand, srv.handleOne)
+	return srv
+}
+
+// Proc returns the current offload handle.
+func (s *CommandServer) Proc() *coi.Process {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cp
+}
+
+// Swapped reports whether the offload process is currently swapped out.
+func (s *CommandServer) Swapped() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.swapped != nil
+}
+
+// handleOne services one submitted command (runs in signal-handler
+// context).
+func (s *CommandServer) handleOne() {
+	raw, _, err := s.cmdPipe.Recv()
+	if err != nil {
+		return
+	}
+	reply := s.execute(string(raw))
+	s.cmdPipe.Send([]byte(reply)) //nolint:errcheck
+}
+
+// execute parses and runs one command, returning "ok" or "error: ...".
+func (s *CommandServer) execute(cmd string) string {
+	fields := strings.Fields(cmd)
+	if len(fields) == 0 {
+		return "error: empty command"
+	}
+	fail := func(err error) string { return "error: " + err.Error() }
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch fields[0] {
+	case "swapout":
+		if len(fields) != 2 {
+			return "error: usage: swapout <snapshot-dir>"
+		}
+		if s.swapped != nil {
+			return "error: already swapped out"
+		}
+		snap, err := Swapout(fields[1], s.cp)
+		if err != nil {
+			return fail(err)
+		}
+		s.swapped = snap
+		return "ok"
+	case "swapin":
+		if len(fields) != 2 {
+			return "error: usage: swapin <device>"
+		}
+		if s.swapped == nil {
+			return "error: not swapped out"
+		}
+		dev, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return fail(err)
+		}
+		cp, err := Swapin(s.swapped, simnet.NodeID(dev))
+		if err != nil {
+			return fail(err)
+		}
+		s.cp = cp
+		s.swapped = nil
+		return "ok"
+	case "migrate":
+		if len(fields) != 3 {
+			return "error: usage: migrate <device> <snapshot-dir>"
+		}
+		if s.swapped != nil {
+			return "error: swapped out; swap in first"
+		}
+		dev, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return fail(err)
+		}
+		cp, _, err := Migrate(s.cp, simnet.NodeID(dev), fields[2])
+		if err != nil {
+			return fail(err)
+		}
+		s.cp = cp
+		return "ok"
+	default:
+		return fmt.Sprintf("error: unknown command %q", fields[0])
+	}
+}
+
+// SubmitCommand is the utility side: resolve the host PID, submit the
+// command through the server's pipe, signal the process, and collect the
+// reply.
+func (s *CommandServer) SubmitCommand(cmd string) error {
+	host := s.cp.HostProc()
+	if _, err := s.plat.Procs.Lookup(host.PID()); err != nil {
+		return fmt.Errorf("core: snapify utility: %w", err)
+	}
+	if _, err := s.ctlPipe.Send([]byte(cmd)); err != nil {
+		return err
+	}
+	if err := host.Deliver(proc.SigCommand); err != nil {
+		return err
+	}
+	raw, _, err := s.ctlPipe.Recv()
+	if err != nil {
+		return err
+	}
+	reply := string(raw)
+	if reply != "ok" {
+		return errors.New("core: snapify utility: " + strings.TrimPrefix(reply, "error: "))
+	}
+	return nil
+}

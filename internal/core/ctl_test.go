@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestCommandServerSwapAndMigrate(t *testing.T) {
+	r := newRig(t, "core_ctl", 2)
+	r.count(t, 5)
+	srv := InstallCommandServer(r.plat, r.cp)
+
+	// Swap out, then in on the other card.
+	if err := srv.SubmitCommand("swapout /snap/ctl"); err != nil {
+		t.Fatal(err)
+	}
+	if !srv.Swapped() {
+		t.Fatal("server does not report swapped state")
+	}
+	if err := srv.SubmitCommand("swapout /snap/ctl2"); err == nil {
+		t.Fatal("double swapout must fail")
+	}
+	if err := srv.SubmitCommand("swapin 2"); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Proc().DeviceNode() != 2 {
+		t.Errorf("process on %v after swapin 2", srv.Proc().DeviceNode())
+	}
+
+	// Migrate back to card 1.
+	if err := srv.SubmitCommand("migrate 1 /snap/ctl_mig"); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Proc().DeviceNode() != 1 {
+		t.Errorf("process on %v after migrate 1", srv.Proc().DeviceNode())
+	}
+
+	// The computation is intact through all of it.
+	if got := r.count(t, 25); got != refSum(25) {
+		t.Errorf("count after ctl operations = %d, want %d", got, refSum(25))
+	}
+
+	// Error paths.
+	if err := srv.SubmitCommand("swapin 1"); err == nil {
+		t.Error("swapin while not swapped must fail")
+	}
+	if err := srv.SubmitCommand("frobnicate"); err == nil {
+		t.Error("unknown command must fail")
+	}
+	if err := srv.SubmitCommand(""); err == nil {
+		t.Error("empty command must fail")
+	}
+	if err := srv.SubmitCommand("migrate nope /x"); err == nil {
+		t.Error("bad device must fail")
+	}
+}

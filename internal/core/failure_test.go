@@ -1,0 +1,158 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"snapify/internal/coi"
+	"snapify/internal/phi"
+	"snapify/internal/platform"
+	"snapify/internal/simclock"
+	"snapify/internal/simnet"
+)
+
+// TestRestoreOntoFullCardFailsCleanly injects the paper's memory gate on
+// the restore path: a swapped-out process cannot come back to a card whose
+// memory is taken, the error is clean, and the snapshot remains usable on
+// a card with room.
+func TestRestoreOntoFullCardFailsCleanly(t *testing.T) {
+	coi.RegisterBinary(testBinary("core_fullcard"))
+	plat := platform.New(platform.Config{Server: phi.ServerConfig{
+		Devices: 2,
+		Device:  phi.DeviceConfig{MemBytes: 1 * simclock.GiB},
+	}})
+	if err := coi.StartDaemons(plat); err != nil {
+		t.Fatal(err)
+	}
+	defer coi.StopDaemons(plat)
+
+	host := plat.Procs.Spawn("host_full", simnet.HostNode, plat.Host().Mem)
+	tl := simclock.NewTimeline()
+	cp, err := coi.CreateProcess(plat, host, tl, 1, "core_fullcard")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, _ := cp.CreatePipeline()
+	args := makeCountArgs(12)
+	if _, err := pl.RunFunction("count", args); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := Swapout("/snap/full", cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Fill card 1 so the restore cannot fit.
+	hog := plat.Procs.Spawn("hog", 1, plat.Device(1).Mem)
+	if _, err := hog.AddRegion("hog", 1, plat.Device(1).Mem.Free()-8*simclock.MiB, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Restore(snap, 1); err == nil {
+		t.Fatal("restore onto a full card must fail")
+	} else if !strings.Contains(err.Error(), "restoring") && !strings.Contains(err.Error(), "memory") {
+		t.Logf("error (accepted): %v", err)
+	}
+	if cp.State() != coi.StateSwapped {
+		t.Fatalf("failed restore left handle in state %v", cp.State())
+	}
+	// The hog did not leak partial restore allocations.
+	hogFree := plat.Device(1).Mem.Free()
+	if hogFree > 16*simclock.MiB {
+		t.Errorf("failed restore leaked card memory: %d free", hogFree)
+	}
+
+	// The snapshot restores fine on the other card.
+	if _, err := Swapin(snap, 2); err != nil {
+		t.Fatal(err)
+	}
+	out, err := pl.RunFunction("count", makeCountArgs(24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decodeU64(out); got != refSum(24) {
+		t.Errorf("post-recovery result %d, want %d", got, refSum(24))
+	}
+}
+
+// TestRestoreFromMissingSnapshotFails covers the storage error path.
+func TestRestoreFromMissingSnapshotFails(t *testing.T) {
+	r := newRig(t, "core_missing", 1)
+	snap, err := Swapout("/snap/present", r.cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bogus := NewSnapshot("/snap/never_written", r.cp)
+	if _, err := Restore(bogus, 1); err == nil {
+		t.Fatal("restore from missing snapshot must succeed? no — must fail")
+	}
+	// The real snapshot still works.
+	if _, err := Swapin(snap, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRestoreRequiresSwappedHandle covers state-machine misuse.
+func TestRestoreRequiresSwappedHandle(t *testing.T) {
+	r := newRig(t, "core_misuse", 1)
+	s := NewSnapshot("/snap/misuse", r.cp)
+	if _, err := Restore(s, 1); err == nil {
+		t.Fatal("restore of a live process must fail")
+	}
+	// Pause-resume still fine after the misuse.
+	if err := Pause(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := Resume(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDoubleWaitBlocksOnlyOnce ensures the capture semaphore semantics:
+// one Wait per Capture.
+func TestCaptureWaitPairing(t *testing.T) {
+	r := newRig(t, "core_sem", 1)
+	s := NewSnapshot("/snap/sem", r.cp)
+	if err := Pause(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := Capture(s, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := Wait(s); err != nil {
+		t.Fatal(err)
+	}
+	// A second capture+wait on the same paused snapshot also works (the
+	// paper's API allows repeated captures before resume).
+	if err := Capture(s, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := Wait(s); err != nil {
+		t.Fatal(err)
+	}
+	if err := Resume(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoublePauseRejected(t *testing.T) {
+	r := newRig(t, "core_doublepause", 1)
+	s := NewSnapshot("/snap/dp", r.cp)
+	if err := Pause(s); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewSnapshot("/snap/dp2", r.cp)
+	if err := Pause(s2); err == nil {
+		t.Fatal("pausing an already-paused handle must fail, not deadlock")
+	}
+	if err := Resume(s); err != nil {
+		t.Fatal(err)
+	}
+	// After resume, a fresh pause works again.
+	s3 := NewSnapshot("/snap/dp3", r.cp)
+	if err := Pause(s3); err != nil {
+		t.Fatal(err)
+	}
+	mustOK(t, Resume(s3))
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestIncrementalSwapChain drives the incremental-checkpoint extension
+// through the full Snapify protocol: a base capture, two delta captures
+// (the last one terminating the process, like a swap-out), then a chain
+// restore and continued execution with the exact state.
+func TestIncrementalSwapChain(t *testing.T) {
+	r := newRig(t, "core_incr", 1)
+
+	// Phase 1: work, then base capture.
+	if got := r.count(t, 10); got != refSum(10) {
+		t.Fatal("phase 1 wrong")
+	}
+	base := NewSnapshot("/snap/incr/base", r.cp)
+	mustOK(t, Pause(base))
+	mustOK(t, CaptureBase(base, false))
+	mustOK(t, Wait(base))
+	mustOK(t, Resume(base))
+	fullBytes := base.Report.SnapshotBytes
+
+	// Phase 2: more work, then a delta capture.
+	r.count(t, 20)
+	d1 := NewSnapshot("/snap/incr/d1", r.cp)
+	mustOK(t, Pause(d1))
+	mustOK(t, CaptureDelta(d1, false))
+	mustOK(t, Wait(d1))
+	mustOK(t, Resume(d1))
+	if d1.Report.SnapshotBytes >= fullBytes/4 {
+		t.Errorf("delta capture %d bytes vs full %d — not incremental", d1.Report.SnapshotBytes, fullBytes)
+	}
+	if d1.Report.Capture >= base.Report.Capture {
+		t.Errorf("delta capture time %v not below full %v", d1.Report.Capture, base.Report.Capture)
+	}
+
+	// Phase 3: more work, then a terminating delta (incremental swap-out).
+	r.count(t, 30)
+	d2 := NewSnapshot("/snap/incr/d2", r.cp)
+	mustOK(t, Pause(d2))
+	mustOK(t, CaptureDelta(d2, true))
+	mustOK(t, Wait(d2))
+
+	// Chain restore: base context + two deltas; local store from the
+	// latest pause (d2's directory).
+	if _, err := RestoreChain(d2, "/snap/incr/base", []string{"/snap/incr/d1", "/snap/incr/d2"}, 1); err != nil {
+		t.Fatal(err)
+	}
+	mustOK(t, Resume(d2))
+
+	// The counter is at 30; continuing to 50 must be exact.
+	if got := r.count(t, 50); got != refSum(50) {
+		t.Errorf("post-chain-restore count = %d, want %d", got, refSum(50))
+	}
+}
+
+// TestChainRestoreMissingDeltaFails covers the storage error path of the
+// chain.
+func TestChainRestoreMissingDeltaFails(t *testing.T) {
+	r := newRig(t, "core_incr_missing", 1)
+	r.count(t, 5)
+	base := NewSnapshot("/snap/incrm/base", r.cp)
+	mustOK(t, Pause(base))
+	mustOK(t, CaptureBase(base, true))
+	mustOK(t, Wait(base))
+
+	_, err := RestoreChain(base, "/snap/incrm/base", []string{"/snap/incrm/never"}, 1)
+	if err == nil {
+		t.Fatal("chain restore with missing delta must fail")
+	}
+	// Without the bogus delta, the base alone restores fine.
+	if _, err := RestoreChain(base, "/snap/incrm/base", nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	mustOK(t, Resume(base))
+	if got := r.count(t, 15); got != refSum(15) {
+		t.Errorf("recovery run = %d, want %d", got, refSum(15))
+	}
+}
+
+// TestDeltaSequenceConsistency randomizes work between delta captures and
+// validates the chain always reconstructs the exact counter state.
+func TestDeltaSequenceConsistency(t *testing.T) {
+	r := newRig(t, "core_incr_seq", 1)
+	r.count(t, 4)
+	base := NewSnapshot("/snap/seq/base", r.cp)
+	mustOK(t, Pause(base))
+	mustOK(t, CaptureBase(base, false))
+	mustOK(t, Wait(base))
+	mustOK(t, Resume(base))
+
+	var deltas []string
+	target := uint64(4)
+	for gen := 0; gen < 4; gen++ {
+		target += uint64(3 + gen)
+		r.count(t, target)
+		dir := fmt.Sprintf("/snap/seq/d%d", gen)
+		s := NewSnapshot(dir, r.cp)
+		mustOK(t, Pause(s))
+		mustOK(t, CaptureDelta(s, gen == 3)) // last one terminates
+		mustOK(t, Wait(s))
+		if gen < 3 {
+			mustOK(t, Resume(s))
+		} else {
+			if _, err := RestoreChain(s, "/snap/seq/base", deltas2(deltas, dir), 1); err != nil {
+				t.Fatal(err)
+			}
+			mustOK(t, Resume(s))
+		}
+		deltas = append(deltas, dir)
+	}
+	if got := r.count(t, target+10); got != refSum(target+10) {
+		t.Errorf("final count = %d, want %d", got, refSum(target+10))
+	}
+}
+
+func deltas2(prev []string, last string) []string {
+	out := append([]string{}, prev...)
+	return append(out, last)
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+
+	"snapify/internal/coi"
+	"snapify/internal/simnet"
+)
+
+// The three API use scenarios of Section 5, composed from the five
+// primitives exactly as the paper's sample code does (Fig 6 and Fig 7).
+
+// Swapout captures and terminates the offload process, freeing the card
+// for another tenant (snapify_swapout, Fig 6a). The returned Snapshot
+// represents the swapped-out process and is the input to Swapin.
+func Swapout(path string, cp *coi.Process) (*Snapshot, error) {
+	s := NewSnapshot(path, cp)
+	if err := Pause(s); err != nil {
+		return nil, err
+	}
+	if err := Capture(s, true); err != nil {
+		return nil, err
+	}
+	if err := Wait(s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Swapin restores a swapped-out offload process on the given device and
+// resumes it (snapify_swapin, Fig 6a). It returns the revived handle.
+func Swapin(s *Snapshot, deviceTo simnet.NodeID) (*coi.Process, error) {
+	cp, err := Restore(s, deviceTo)
+	if err != nil {
+		return nil, err
+	}
+	if err := Resume(s); err != nil {
+		return nil, err
+	}
+	return cp, nil
+}
+
+// Migrate moves the offload process to another coprocessor on the same
+// machine (snapify_migration, Fig 7): a swap-out whose local store streams
+// directly to the destination card, followed by a swap-in there.
+func Migrate(cp *coi.Process, deviceTo simnet.NodeID, path string) (*coi.Process, *Snapshot, error) {
+	if deviceTo == cp.DeviceNode() {
+		return nil, nil, fmt.Errorf("core: migration target %v is the current device", deviceTo)
+	}
+	s := NewSnapshot(path, cp)
+	// The local store moves device-to-device over PCIe, not through the
+	// host (Section 7, "Process migration").
+	s.LocalStoreTarget = deviceTo
+	if err := Pause(s); err != nil {
+		return nil, nil, err
+	}
+	if err := Capture(s, true); err != nil {
+		return nil, nil, err
+	}
+	if err := Wait(s); err != nil {
+		return nil, nil, err
+	}
+	ncp, err := Swapin(s, deviceTo)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ncp, s, nil
+}

@@ -1,0 +1,356 @@
+// Package core implements Snapify's host-facing API (Table 1 of the
+// paper): snapify_pause, snapify_capture, snapify_wait, snapify_resume,
+// and snapify_restore, plus the three capabilities built on them in
+// Section 5 — checkpoint-and-restart, process swapping, and process
+// migration.
+//
+// The package orchestrates the pieces the lower layers provide: the COI
+// daemon coordinates the protocol on each card, the instrumented COI
+// library drains the four SCIF channel classes, the BLCR-equivalent
+// checkpointer serializes processes, and Snapify-IO streams everything
+// between card and host file system. Every operation returns a Report with
+// the per-phase virtual durations the benchmark harness turns into the
+// paper's figures.
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"snapify/internal/coi"
+	"snapify/internal/platform"
+	"snapify/internal/proc"
+	"snapify/internal/simclock"
+	"snapify/internal/simnet"
+)
+
+// HandleStateRegion is the host-process region where pause serializes the
+// COI handle metadata, making it part of the host snapshot.
+const HandleStateRegion = "snapify_handle_state"
+
+// handleStateSize bounds the serialized handle metadata.
+const handleStateSize = 64 * 1024
+
+// Snapshot mirrors snapify_t: the snapshot directory, the process handle,
+// and the semaphore Capture posts (m_sem).
+type Snapshot struct {
+	// Path is the snapshot directory on the host file system
+	// (m_snapshot_path).
+	Path string
+	// Proc is the offload process handle (m_process).
+	Proc *coi.Process
+
+	// LocalStoreTarget is the node the pause phase streams the local store
+	// to. Zero (the host) for checkpoint and swap; process migration sets
+	// the destination card so the local store moves device-to-device
+	// (Section 7, "Process migration").
+	LocalStoreTarget simnet.NodeID
+
+	sem chan struct{} // m_sem
+
+	mu         sync.Mutex
+	paused     bool
+	captureErr error
+
+	// Report accumulates the phase timings.
+	Report Report
+}
+
+// Report carries the virtual-time breakdown of one snapshot lifecycle —
+// the quantities behind Fig 10's stacked bars.
+type Report struct {
+	// Pause phases.
+	PauseHandshake  simclock.Duration // steps 1-3 of Fig 3
+	HostDrain       simclock.Duration // shutdown markers, lock acquisition
+	DeviceDrain     simclock.Duration // quiesce + local-store save
+	LocalStoreBytes int64
+
+	// Capture.
+	Capture       simclock.Duration // device snapshot + write via Snapify-IO
+	SnapshotBytes int64
+
+	// Restore phases.
+	RestoreDevice    simclock.Duration // BLCR restart reading via Snapify-IO
+	RestoreLocal     simclock.Duration // local-store copy back
+	RestoreReconnect simclock.Duration // SCIF reconnect + re-registration
+	RemapEntries     int
+
+	// Resume.
+	Resume simclock.Duration
+}
+
+// PauseTotal returns the end-to-end pause duration (the "pause" bar of
+// Fig 10a).
+func (r *Report) PauseTotal() simclock.Duration {
+	return r.PauseHandshake + r.HostDrain + r.DeviceDrain
+}
+
+// RestoreTotal returns the end-to-end restore duration.
+func (r *Report) RestoreTotal() simclock.Duration {
+	return r.RestoreDevice + r.RestoreLocal + r.RestoreReconnect
+}
+
+// NewSnapshot returns a snapshot descriptor for the given directory and
+// process handle.
+func NewSnapshot(path string, cp *coi.Process) *Snapshot {
+	return &Snapshot{Path: path, Proc: cp, LocalStoreTarget: simnet.HostNode, sem: make(chan struct{}, 1)}
+}
+
+// Pause stops and drains all communication between the host process and
+// the offload process (snapify_pause, Section 4.1). On return every SCIF
+// channel between the three parties is empty and the offload process's
+// local store has been saved.
+func Pause(s *Snapshot) error {
+	cp := s.Proc
+	plat := cp.Platform()
+	model := plat.Model()
+
+	// Guard the state machine: pausing a handle that is already paused
+	// (or gone) would deadlock on the drain locks.
+	if st := cp.State(); st != coi.StateActive {
+		return fmt.Errorf("core: pause requires an active handle, have %s", st)
+	}
+
+	// Step one: save the runtime libraries the offload process needs from
+	// the host file system into the snapshot directory (footnote 2: MPSS
+	// keeps host-side copies, so this is a host-local copy).
+	libs, _, err := plat.Host().FS.ReadFile(platform.RuntimeLibsPath)
+	if err == nil {
+		if _, err := plat.Host().FS.WriteFile(s.Path+"/runtime_libs", libs); err != nil {
+			return fmt.Errorf("core: saving runtime libraries: %w", err)
+		}
+		s.Report.PauseHandshake += model.HostMemcpy(libs.Len())
+	}
+
+	// Steps 1-3 of Fig 3: snapify-service request to the daemon, pipe +
+	// signal to the offload process, acknowledgements back.
+	if _, err := cp.DaemonRequest(coi.OpSnapifyPause, coi.PutU32(uint32(cp.ID())), coi.OpSnapifyPauseResp); err != nil {
+		return fmt.Errorf("core: pause handshake: %w", err)
+	}
+	s.Report.PauseHandshake += 2*model.SCIFMsg(16) + model.SignalLatency + 4*model.PipeLatency
+
+	// Host-side drain: the four channel classes of Section 4.1.
+	hostDrain, err := cp.PauseChannels()
+	if err != nil {
+		return fmt.Errorf("core: host drain: %w", err)
+	}
+	s.Report.HostDrain = hostDrain
+
+	// Step 4: the device-side drain — quiesce and local-store save.
+	payload := coi.PutU32(uint32(cp.ID()))
+	payload = coi.AppendU32(payload, uint32(s.LocalStoreTarget))
+	payload = coi.AppendU32(payload, uint32(len(s.Path)))
+	payload = append(payload, s.Path...)
+	resp, err := cp.DaemonRequest(coi.OpSnapifyDrain, payload, coi.OpSnapifyDrainResp)
+	if err != nil {
+		return fmt.Errorf("core: device drain: %w", err)
+	}
+	s.Report.DeviceDrain = simclock.Duration(binary.BigEndian.Uint64(resp))
+	s.Report.LocalStoreBytes = int64(binary.BigEndian.Uint64(resp[8:]))
+
+	// Make the handle metadata part of the host process image, so a
+	// restarted host process can reattach (Section 4.3).
+	if err := saveHandleState(cp); err != nil {
+		return err
+	}
+
+	s.mu.Lock()
+	s.paused = true
+	s.mu.Unlock()
+	cp.Timeline().Advance(s.Report.PauseTotal())
+	return nil
+}
+
+// saveHandleState serializes the COI handle metadata into a host-process
+// region.
+func saveHandleState(cp *coi.Process) error {
+	host := cp.HostProc()
+	r := host.Region(HandleStateRegion)
+	if r == nil {
+		var err error
+		r, err = host.AddRegion(HandleStateRegion, proc.RegionData, handleStateSize, 0)
+		if err != nil {
+			return fmt.Errorf("core: handle-state region: %w", err)
+		}
+	}
+	enc := cp.ExportMeta().Encode()
+	if len(enc)+4 > handleStateSize {
+		return fmt.Errorf("core: handle metadata %d bytes exceeds region", len(enc))
+	}
+	buf := binary.BigEndian.AppendUint32(nil, uint32(len(enc)))
+	buf = append(buf, enc...)
+	r.WriteAt(buf, 0)
+	return nil
+}
+
+// LoadHandleState reads the COI handle metadata back out of a (restored)
+// host process.
+func LoadHandleState(host *proc.Process) (coi.HandleMeta, error) {
+	r := host.Region(HandleStateRegion)
+	if r == nil {
+		return coi.HandleMeta{}, errors.New("core: host process has no Snapify handle state")
+	}
+	head := make([]byte, 4)
+	r.ReadAt(head, 0)
+	n := binary.BigEndian.Uint32(head)
+	buf := make([]byte, n)
+	r.ReadAt(buf, 4)
+	return coi.DecodeHandleMeta(buf)
+}
+
+// Capture takes the snapshot of the (paused) offload process and saves it
+// on the host file system via Snapify-IO (snapify_capture). It is
+// non-blocking: it returns immediately and posts the snapshot's semaphore
+// when the capture completes; use Wait. With terminate set the offload
+// process exits after the capture (the swap-out path), and its exit is
+// announced so the COI daemon does not treat it as a crash.
+func Capture(s *Snapshot, terminate bool) error {
+	return captureMode(s, terminate, coi.CaptureFull)
+}
+
+// CaptureBase is Capture plus a clean mark on every region of the offload
+// process: the snapshot anchors a chain of CaptureDelta captures (the
+// incremental-checkpoint extension; not in the paper).
+func CaptureBase(s *Snapshot, terminate bool) error {
+	return captureMode(s, terminate, coi.CaptureBase)
+}
+
+// CaptureDelta captures only what the offload process wrote since the last
+// CaptureBase or CaptureDelta; restore with RestoreChain.
+func CaptureDelta(s *Snapshot, terminate bool) error {
+	return captureMode(s, terminate, coi.CaptureDelta)
+}
+
+func captureMode(s *Snapshot, terminate bool, mode uint8) error {
+	s.mu.Lock()
+	paused := s.paused
+	s.mu.Unlock()
+	if !paused {
+		return errors.New("core: capture requires a paused snapshot (call Pause first)")
+	}
+	cp := s.Proc
+	go func() {
+		payload := coi.PutU32(uint32(cp.ID()))
+		tb := byte(0)
+		if terminate {
+			tb = 1
+		}
+		payload = append(payload, tb, mode)
+		payload = coi.AppendU32(payload, uint32(len(s.Path)))
+		payload = append(payload, s.Path...)
+		resp, err := cp.DaemonRequest(coi.OpSnapifyCapture, payload, coi.OpSnapifyCaptureResp)
+		s.mu.Lock()
+		if err != nil {
+			s.captureErr = fmt.Errorf("core: capture: %w", err)
+		} else {
+			s.Report.SnapshotBytes = int64(binary.BigEndian.Uint64(resp))
+			s.Report.Capture = simclock.Duration(binary.BigEndian.Uint64(resp[8:]))
+			if terminate {
+				cp.MarkSwapped()
+			}
+		}
+		s.mu.Unlock()
+		s.sem <- struct{}{}
+	}()
+	return nil
+}
+
+// Wait blocks until a pending Capture completes (snapify_wait) and returns
+// its error, if any.
+func Wait(s *Snapshot) error {
+	<-s.sem
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.captureErr
+	s.captureErr = nil
+	s.Proc.Timeline().Advance(s.Report.Capture)
+	return err
+}
+
+// Resume releases all locks acquired by Pause in both the host process and
+// the offload process and reopens normal operation (snapify_resume).
+func Resume(s *Snapshot) error {
+	cp := s.Proc
+	model := cp.Platform().Model()
+	if _, err := cp.DaemonRequest(coi.OpSnapifyResume, coi.PutU32(uint32(cp.ID())), coi.OpSnapifyResumeResp); err != nil {
+		return fmt.Errorf("core: resume: %w", err)
+	}
+	s.mu.Lock()
+	locksHeld := s.paused
+	s.paused = false
+	s.mu.Unlock()
+	if locksHeld {
+		cp.ResumeChannels()
+	} else {
+		cp.ActivateRestored()
+	}
+	s.Report.Resume = 2*model.SCIFMsg(8) + 2*model.PipeLatency
+	cp.Timeline().Advance(s.Report.Resume)
+	return nil
+}
+
+// Restore recreates the offload process from the snapshot on the given
+// device (snapify_restore, Section 4.3). The handle in s.Proc is rebound
+// around the restored process — channels reconnect, pipelines are
+// recreated, buffers re-register, and the (old, new) RDMA address remap is
+// applied. The restored process stays quiesced until Resume is called.
+func Restore(s *Snapshot, device simnet.NodeID) (*coi.Process, error) {
+	return RestoreChain(s, s.Path, nil, device)
+}
+
+// RestoreChain restores from a base snapshot plus an ordered chain of
+// delta snapshots (taken with CaptureBase / CaptureDelta). s is the
+// snapshot of the *latest* capture — its Path provides the freshest saved
+// local store; baseDir provides the full context.
+func RestoreChain(s *Snapshot, baseDir string, deltaDirs []string, device simnet.NodeID) (*coi.Process, error) {
+	cp := s.Proc
+	plat := cp.Platform()
+	model := plat.Model()
+
+	if st := cp.State(); st != coi.StateSwapped {
+		return nil, fmt.Errorf("core: restore requires a swapped-out handle, have %s", st)
+	}
+
+	payload := coi.AppendU32(nil, uint32(len(cp.BinaryName())))
+	payload = append(payload, cp.BinaryName()...)
+	payload = coi.AppendU32(payload, uint32(len(baseDir)))
+	payload = append(payload, baseDir...)
+	payload = coi.AppendU32(payload, uint32(s.LocalStoreTarget))
+	payload = coi.AppendU32(payload, uint32(len(s.Path)))
+	payload = append(payload, s.Path...)
+	payload = coi.AppendU32(payload, uint32(len(deltaDirs)))
+	for _, dd := range deltaDirs {
+		payload = coi.AppendU32(payload, uint32(len(dd)))
+		payload = append(payload, dd...)
+	}
+
+	resp, err := coi.DaemonRestoreRequest(plat, device, payload)
+	if err != nil {
+		return nil, fmt.Errorf("core: restore: %w", err)
+	}
+	newID := int(binary.BigEndian.Uint32(resp))
+	s.Report.RestoreDevice = simclock.Duration(binary.BigEndian.Uint64(resp[4:]))
+	s.Report.RestoreLocal = simclock.Duration(binary.BigEndian.Uint64(resp[12:]))
+	ports := coi.ParsePortList(resp[28:])
+
+	// The daemon also copies the runtime libraries back on the fly.
+	if libs, _, err := plat.Host().FS.ReadFile(s.Path + "/runtime_libs"); err == nil {
+		s.Report.RestoreLocal += model.RDMA(libs.Len())
+	}
+
+	remap, err := cp.Rebind(device, newID, ports)
+	if err != nil {
+		return nil, fmt.Errorf("core: rebind: %w", err)
+	}
+	s.Report.RemapEntries = len(remap)
+	var reconnect simclock.Duration
+	reconnect += simclock.Duration(4+len(cp.Pipelines())) * model.SCIFReconnect
+	for _, b := range cp.Buffers() {
+		reconnect += model.RegisterCost(b.Size())
+	}
+	s.Report.RestoreReconnect = reconnect
+	cp.Timeline().Advance(s.Report.RestoreTotal())
+	return cp, nil
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import "testing"
+
+func TestBufSizeAblationShape(t *testing.T) {
+	rows, err := BufSizeAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if err := CheckBufSizeAblation(rows); err != nil {
+		t.Errorf("%v\n%s", err, RenderBufSizeAblation(rows))
+	}
+}
+
+func TestIncrementalAblationShape(t *testing.T) {
+	rows, err := IncrementalAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckIncrementalAblation(rows); err != nil {
+		t.Errorf("%v\n%s", err, RenderIncrementalAblation(rows))
+	}
+}
+
+func TestWsizeAblationShape(t *testing.T) {
+	rows, err := WsizeAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckWsizeAblation(rows); err != nil {
+		t.Errorf("%v\n%s", err, RenderWsizeAblation(rows))
+	}
+}

@@ -1,0 +1,96 @@
+// Package experiments implements the paper's evaluation (Section 7): one
+// driver per table and figure, each running the real protocol stack on the
+// simulated platform and reporting virtual-time results in the paper's
+// format. cmd/snapbench prints them; bench_test.go wraps them as Go
+// benchmarks; the integration tests assert the qualitative shapes the
+// paper reports.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"snapify/internal/blob"
+	"snapify/internal/phi"
+	"snapify/internal/platform"
+	"snapify/internal/simclock"
+	"snapify/internal/stream"
+	"snapify/internal/trace"
+)
+
+// newPlatform builds the standard single-server testbed (Table 2: one or
+// two 8 GiB cards).
+func newPlatform(devices int) *platform.Platform {
+	return platform.New(platform.Config{Server: phi.ServerConfig{
+		Devices: devices,
+		Device:  phi.DeviceConfig{MemBytes: 8 * simclock.GiB},
+	}})
+}
+
+// Table2 renders the testbed configuration.
+func Table2() string {
+	t := trace.New("Table 2: Characteristics of the (simulated) Xeon Phi server",
+		"", "Host Processor", "Coprocessor")
+	t.Row("CPU", "Intel E5-2630 @ 2.30GHz", "Intel Xeon Phi 5110P")
+	t.Row("Cores", "6 physical cores (12 threads)", "60 physical cores (240 threads)")
+	t.Row("Memory", "32GB", "8GB per coprocessor")
+	t.Row("OS", "Linux RHEL 6.2 (simulated)", "Linux 2.6.38.8 MPSS 2.1 (simulated)")
+	t.Row("Number", "2 CPU sockets", "2 coprocessors")
+	return t.String()
+}
+
+// drainSink streams content into a sink through a pipeline accumulator and
+// returns the virtual time. writeSize is the producer's write granularity.
+func drainSink(sink stream.Sink, content blob.Blob, writeSize int64, producer func(int64) simclock.Duration) (simclock.Duration, error) {
+	acc := simclock.NewPipelineAccum()
+	err := content.ForEachChunk(writeSize, func(c blob.Blob) error {
+		cost, err := sink.WriteBlob(c)
+		if err != nil {
+			return err
+		}
+		if producer != nil {
+			stream.Observe(acc, cost, producer(c.Len()))
+		} else {
+			stream.Observe(acc, cost)
+		}
+		return nil
+	})
+	if err != nil {
+		sink.Abort()
+		return 0, err
+	}
+	if err := sink.Close(); err != nil {
+		return 0, err
+	}
+	return acc.Total(), nil
+}
+
+// drainSource reads a source to exhaustion and returns content + time.
+func drainSource(src stream.Source, readSize int64, producer func(int64) simclock.Duration) (blob.Blob, simclock.Duration, error) {
+	acc := simclock.NewPipelineAccum()
+	var parts []blob.Blob
+	for {
+		c, cost, err := src.Next(readSize)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return blob.Blob{}, 0, err
+		}
+		if producer != nil {
+			stream.Observe(acc, cost, producer(c.Len()))
+		} else {
+			stream.Observe(acc, cost)
+		}
+		parts = append(parts, c)
+	}
+	return blob.Concat(parts...), acc.Total(), nil
+}
+
+// sizeLabel formats an experiment size like the paper's tables (1MB..4GB).
+func sizeLabel(n int64) string {
+	if n >= simclock.GiB {
+		return fmt.Sprintf("%dGB", n/simclock.GiB)
+	}
+	return fmt.Sprintf("%dMB", n/simclock.MiB)
+}

@@ -1,0 +1,236 @@
+// Package hostfs models the host's file system: effectively unlimited
+// capacity backed by secondary storage, fronted by the page cache.
+//
+// Two timing behaviours matter to the paper. Writes land in the page cache
+// and are flushed to disk asynchronously — so a snapshot streaming from the
+// coprocessor overlaps its disk writeback with the PCIe transfer, which is
+// why Snapify-IO writes (device to host) outrun reads (Section 7). Reads of
+// recently written files come from the cache; cold files pay the disk rate.
+package hostfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"snapify/internal/blob"
+	"snapify/internal/simclock"
+)
+
+// ErrNotExist is returned for operations on missing files.
+var ErrNotExist = errors.New("hostfs: file does not exist")
+
+type file struct {
+	content blob.Blob
+	cold    bool // evicted from the page cache
+}
+
+// FS is the host file system.
+type FS struct {
+	model *simclock.Model
+
+	mu    sync.Mutex
+	files map[string]*file
+}
+
+// New returns an empty host file system.
+func New(model *simclock.Model) *FS {
+	return &FS{model: model, files: make(map[string]*file)}
+}
+
+// WriteFile atomically stores content at path and returns the virtual time
+// until the write is durable in the page cache (not the async flush).
+func (fs *FS) WriteFile(path string, content blob.Blob) (simclock.Duration, error) {
+	w, err := fs.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	d, err := w.WriteBlob(content)
+	if err != nil {
+		return d, err
+	}
+	return d + fs.model.HostFSOpLatency, w.Close()
+}
+
+// ReadFile returns the content at path and the virtual read time.
+func (fs *FS) ReadFile(path string) (blob.Blob, simclock.Duration, error) {
+	fs.mu.Lock()
+	f, ok := fs.files[path]
+	fs.mu.Unlock()
+	if !ok {
+		return blob.Blob{}, 0, fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	bw := fs.model.HostFSReadCachedBandwidth
+	if f.cold {
+		bw = fs.model.HostFSReadColdBandwidth
+	}
+	return f.content, fs.model.HostFSOpLatency + simclock.Rate(bw)(f.content.Len()), nil
+}
+
+// Remove deletes the file at path.
+func (fs *FS) Remove(path string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[path]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	delete(fs.files, path)
+	return nil
+}
+
+// RemoveAll deletes every file whose path has the given prefix and returns
+// the number removed.
+func (fs *FS) RemoveAll(prefix string) int {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var victims []string
+	for p := range fs.files {
+		if strings.HasPrefix(p, prefix) {
+			victims = append(victims, p)
+		}
+	}
+	for _, p := range victims {
+		delete(fs.files, p)
+	}
+	return len(victims)
+}
+
+// Exists reports whether path holds a file.
+func (fs *FS) Exists(path string) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	_, ok := fs.files[path]
+	return ok
+}
+
+// Size returns the size of the file at path.
+func (fs *FS) Size(path string) (int64, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[path]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	return f.content.Len(), nil
+}
+
+// List returns the paths with the given prefix, sorted.
+func (fs *FS) List(prefix string) []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var out []string
+	for p := range fs.files {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EvictAll marks every file cold, as if the page cache were dropped.
+// Experiments use it to measure cold-restart behaviour.
+func (fs *FS) EvictAll() {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for _, f := range fs.files {
+		f.cold = true
+	}
+}
+
+// FlushCost returns the virtual time of flushing the file at path to
+// secondary storage. The flush runs asynchronously to foreground writes;
+// callers that need durable-on-disk semantics add this cost explicitly.
+func (fs *FS) FlushCost(path string) (simclock.Duration, error) {
+	fs.mu.Lock()
+	f, ok := fs.files[path]
+	fs.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	return simclock.Rate(fs.model.HostFSFlushBandwidth)(f.content.Len()), nil
+}
+
+// Writer streams a file into the FS.
+type Writer struct {
+	fs    *FS
+	path  string
+	parts []blob.Blob
+	done  bool
+}
+
+// Create opens a streaming writer for path; the file becomes visible at
+// Close.
+func (fs *FS) Create(path string) (*Writer, error) {
+	if path == "" {
+		return nil, errors.New("hostfs: empty path")
+	}
+	return &Writer{fs: fs, path: path}, nil
+}
+
+// WriteBlob appends content, returning the virtual page-cache write time.
+func (w *Writer) WriteBlob(content blob.Blob) (simclock.Duration, error) {
+	if w.done {
+		return 0, errors.New("hostfs: write on closed writer")
+	}
+	w.parts = append(w.parts, content)
+	return simclock.Rate(w.fs.model.HostFSWriteBandwidth)(content.Len()), nil
+}
+
+// Close makes the file visible.
+func (w *Writer) Close() error {
+	if w.done {
+		return nil
+	}
+	w.done = true
+	w.fs.mu.Lock()
+	w.fs.files[w.path] = &file{content: blob.Concat(w.parts...)}
+	w.fs.mu.Unlock()
+	return nil
+}
+
+// Abort discards the partial file.
+func (w *Writer) Abort() { w.done = true }
+
+// Reader streams a file out of the FS in chunks.
+type Reader struct {
+	content blob.Blob
+	bw      int64
+	off     int64
+}
+
+// Open returns a streaming reader for path.
+func (fs *FS) Open(path string) (*Reader, error) {
+	fs.mu.Lock()
+	f, ok := fs.files[path]
+	fs.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	bw := fs.model.HostFSReadCachedBandwidth
+	if f.cold {
+		bw = fs.model.HostFSReadColdBandwidth
+	}
+	return &Reader{content: f.content, bw: bw}, nil
+}
+
+// Size returns the total file size.
+func (r *Reader) Size() int64 { return r.content.Len() }
+
+// Next returns the next chunk of at most max bytes and its virtual read
+// time, or io.EOF after the last chunk.
+func (r *Reader) Next(max int64) (blob.Blob, simclock.Duration, error) {
+	if r.off >= r.content.Len() {
+		return blob.Blob{}, 0, io.EOF
+	}
+	n := max
+	if rem := r.content.Len() - r.off; rem < n {
+		n = rem
+	}
+	chunk := r.content.Slice(r.off, n)
+	r.off += n
+	return chunk, simclock.Rate(r.bw)(n), nil
+}

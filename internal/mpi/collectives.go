@@ -1,0 +1,104 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"snapify/internal/simclock"
+)
+
+// Additional collectives the multi-zone drivers and user applications need
+// beyond Barrier and AllreduceSum. All are implemented over the
+// point-to-point layer (rank 0 as the root of a star, the shape the small
+// 4-node cluster of the paper's experiments would use), so their traffic is
+// visible to the channel-drain invariant like any other message.
+
+// collTagBase keeps collective traffic off user tags.
+const collTagBase = 1 << 20
+
+// Bcast distributes root's data to every rank; each rank returns the
+// payload. All ranks must call it.
+func (r *Rank) Bcast(root int, data []byte) ([]byte, error) {
+	if root < 0 || root >= len(r.world.ranks) {
+		return nil, fmt.Errorf("mpi: bcast root %d out of range", root)
+	}
+	if r.ID == root {
+		for i := range r.world.ranks {
+			if i == root {
+				continue
+			}
+			if err := r.Send(i, collTagBase, data); err != nil {
+				return nil, err
+			}
+		}
+		out := make([]byte, len(data))
+		copy(out, data)
+		return out, nil
+	}
+	return r.Recv(root, collTagBase)
+}
+
+// Gather collects every rank's payload at root, ordered by rank; non-root
+// ranks return nil. All ranks must call it.
+func (r *Rank) Gather(root int, data []byte) ([][]byte, error) {
+	if root < 0 || root >= len(r.world.ranks) {
+		return nil, fmt.Errorf("mpi: gather root %d out of range", root)
+	}
+	if r.ID != root {
+		return nil, r.Send(root, collTagBase+1, data)
+	}
+	out := make([][]byte, len(r.world.ranks))
+	out[root] = append([]byte(nil), data...)
+	for i := range r.world.ranks {
+		if i == root {
+			continue
+		}
+		msg, err := r.Recv(i, collTagBase+1)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = msg
+	}
+	return out, nil
+}
+
+// AllreduceMax returns the maximum of each rank's contribution on every
+// rank, via gather-at-0 plus broadcast.
+func (r *Rank) AllreduceMax(v uint64) (uint64, error) {
+	buf := make([]byte, 8)
+	binary.BigEndian.PutUint64(buf, v)
+	all, err := r.Gather(0, buf)
+	if err != nil {
+		return 0, err
+	}
+	if r.ID == 0 {
+		var mx uint64
+		for _, b := range all {
+			if got := binary.BigEndian.Uint64(b); got > mx {
+				mx = got
+			}
+		}
+		binary.BigEndian.PutUint64(buf, mx)
+	}
+	out, err := r.Bcast(0, buf)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(out), nil
+}
+
+// TimelineSkew returns the spread between the fastest and slowest rank's
+// virtual clocks — a load-imbalance gauge for the MZ drivers.
+func (w *World) TimelineSkew() simclock.Duration {
+	var min, max simclock.Duration
+	for i, r := range w.ranks {
+		t := r.TL.Now()
+		if i == 0 || t < min {
+			min = t
+		}
+		if t > max {
+			max = t
+		}
+	}
+	return max - min
+}

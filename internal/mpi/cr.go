@@ -1,0 +1,137 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"snapify/internal/coi"
+	"snapify/internal/core"
+	"snapify/internal/simclock"
+)
+
+// Coordinated checkpoint/restart for MPI offload applications (Section 5,
+// "Command-line tools": an MPI runtime that supports BLCR checkpoints every
+// rank through its registered callback, and Snapify's callback captures
+// each rank's offload process — so distributed CR comes for free).
+
+// AttachApp registers rank r's offload process for coordinated CR.
+func (r *Rank) AttachApp(cp *coi.Process) *core.App {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.app != nil {
+		panic("mpi: rank already has an attached app")
+	}
+	r.app = core.NewApp(r.Plat, cp)
+	return r.app
+}
+
+// App returns the rank's attached CR app.
+func (r *Rank) App() *core.App {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.app
+}
+
+// CRReport is the timing of one coordinated checkpoint or restart.
+type CRReport struct {
+	// PerRank holds each rank's local time.
+	PerRank []simclock.Duration
+	// PerRankBytes holds each rank's snapshot size (host + device + local
+	// store) — Fig 11c.
+	PerRankBytes []int64
+	// Total is the job-wide time: the slowest rank plus coordination.
+	Total simclock.Duration
+}
+
+// RankDir returns rank i's snapshot directory under base.
+func RankDir(base string, i int) string { return fmt.Sprintf("%s/rank%d", base, i) }
+
+// Checkpoint takes a coordinated snapshot of every rank into
+// base/rank<i>. All MPI channels must be drained (the caller quiesces the
+// application, typically at an iteration barrier) — a non-empty channel is
+// an error, because the snapshot would not be a consistent global state.
+func (w *World) Checkpoint(base string) (*CRReport, error) {
+	for _, r := range w.ranks {
+		if n := r.PendingBytes(); n != 0 {
+			return nil, fmt.Errorf("mpi: rank %d has %d undrained bytes; checkpoint would be inconsistent", r.ID, n)
+		}
+		if r.App() == nil {
+			return nil, fmt.Errorf("mpi: rank %d has no attached app", r.ID)
+		}
+	}
+	rep := &CRReport{
+		PerRank:      make([]simclock.Duration, len(w.ranks)),
+		PerRankBytes: make([]int64, len(w.ranks)),
+	}
+	errs := make([]error, len(w.ranks))
+	var wg sync.WaitGroup
+	for i, r := range w.ranks {
+		wg.Add(1)
+		go func(i int, r *Rank) {
+			defer wg.Done()
+			cr, err := r.App().Checkpoint(RankDir(base, i))
+			if err != nil {
+				errs[i] = fmt.Errorf("rank %d: %w", i, err)
+				return
+			}
+			rep.PerRank[i] = cr.Total()
+			rep.PerRankBytes[i] = cr.HostSnapshotBytes + cr.Offload.SnapshotBytes + cr.Offload.LocalStoreBytes
+		}(i, r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// The job resumes when the slowest rank finishes; the coordination
+	// itself is two barrier rounds.
+	rep.Total = simclock.MaxAll(rep.PerRank...) + 4*w.cluster.model.ClusterNetLatency
+	return rep, nil
+}
+
+// Restart rebuilds a world of the given size from base/rank<i> snapshots.
+// Each restored rank gets a fresh host process with its offload process
+// restored by the Snapify callback; the per-rank CR apps are reattached.
+func (c *Cluster) Restart(base string, size int) (*World, *CRReport, error) {
+	w := &World{cluster: c}
+	rep := &CRReport{
+		PerRank:      make([]simclock.Duration, size),
+		PerRankBytes: make([]int64, size),
+	}
+	w.ranks = make([]*Rank, size)
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for i := 0; i < size; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			plat := c.Nodes[i]
+			app, host, rr, err := core.RestartApp(plat, RankDir(base, i))
+			if err != nil {
+				errs[i] = fmt.Errorf("rank %d: %w", i, err)
+				return
+			}
+			r := &Rank{
+				ID:    i,
+				Plat:  plat,
+				Host:  host,
+				TL:    app.Proc().Timeline(),
+				world: w,
+				inbox: make(map[int][]message),
+				app:   app,
+			}
+			r.cond = sync.NewCond(&r.mu)
+			w.ranks[i] = r
+			rep.PerRank[i] = rr.Total()
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	rep.Total = simclock.MaxAll(rep.PerRank...) + 4*c.model.ClusterNetLatency
+	return w, rep, nil
+}

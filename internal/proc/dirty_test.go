@@ -1,0 +1,110 @@
+package proc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRangeSetCoalescing(t *testing.T) {
+	var s rangeSet
+	s.add(10, 5) // [10,15)
+	s.add(20, 5) // [10,15) [20,25)
+	s.add(15, 5) // adjacent: [10,25)
+	if got := s.ranges(); len(got) != 1 || got[0] != (ByteRange{10, 15}) {
+		t.Fatalf("ranges = %v", got)
+	}
+	s.add(5, 2) // [5,7) [10,25)
+	s.add(0, 1) // [0,1) [5,7) [10,25)
+	if got := s.ranges(); len(got) != 3 {
+		t.Fatalf("ranges = %v", got)
+	}
+	s.add(0, 30) // swallow everything
+	if got := s.ranges(); len(got) != 1 || got[0] != (ByteRange{0, 30}) {
+		t.Fatalf("ranges = %v", got)
+	}
+	if s.bytes() != 30 {
+		t.Fatalf("bytes = %d", s.bytes())
+	}
+	s.reset()
+	if len(s.ranges()) != 0 || s.bytes() != 0 {
+		t.Fatal("reset did not clear")
+	}
+	s.add(3, 0) // no-op
+	if len(s.ranges()) != 0 {
+		t.Fatal("zero-length add changed the set")
+	}
+}
+
+// TestRangeSetQuickAgainstBitmap compares the range set against a boolean
+// bitmap reference under random inserts.
+func TestRangeSetQuickAgainstBitmap(t *testing.T) {
+	const size = 2048
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var s rangeSet
+		ref := make([]bool, size)
+		for op := 0; op < 40; op++ {
+			off := r.Int63n(size)
+			n := r.Int63n(size - off)
+			s.add(off, n)
+			for i := off; i < off+n; i++ {
+				ref[i] = true
+			}
+		}
+		// Same total coverage.
+		var want int64
+		for _, b := range ref {
+			if b {
+				want++
+			}
+		}
+		if s.bytes() != want {
+			return false
+		}
+		// Ranges are sorted, disjoint, non-adjacent, and cover exactly ref.
+		got := make([]bool, size)
+		prevEnd := int64(-1)
+		for _, rg := range s.ranges() {
+			if rg.Off <= prevEnd {
+				return false // overlapping or adjacent (should have merged)
+			}
+			prevEnd = rg.End()
+			for i := rg.Off; i < rg.End(); i++ {
+				got[i] = true
+			}
+		}
+		for i := range ref {
+			if ref[i] != got[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegionDirtyTracking(t *testing.T) {
+	p := New("p", 1, 1, nil)
+	r, _ := p.AddRegion("heap", RegionHeap, 4096, 0)
+	if r.DirtySinceClean() != 0 {
+		t.Fatal("fresh region dirty")
+	}
+	r.WriteAt([]byte("abc"), 100)
+	r.Fill(1, 200, 50)
+	if got := r.DirtySinceClean(); got != 53 {
+		t.Fatalf("dirty = %d, want 53", got)
+	}
+	r.MarkClean()
+	if r.DirtySinceClean() != 0 {
+		t.Fatal("MarkClean did not clear")
+	}
+	// Overlapping rewrite counts once.
+	r.WriteAt(make([]byte, 100), 0)
+	r.WriteAt(make([]byte, 100), 50)
+	if got := r.DirtySinceClean(); got != 150 {
+		t.Fatalf("dirty = %d, want 150", got)
+	}
+}

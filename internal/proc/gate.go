@@ -1,0 +1,114 @@
+package proc
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrGateShutdown is returned by Step when the process terminates while a
+// worker is blocked at the gate.
+var ErrGateShutdown = errors.New("proc: process terminated at step gate")
+
+// stepGate serializes computation steps against pauses. Simulated kernels
+// call Step between computation steps; Pause blocks until every in-flight
+// step has finished and then holds new steps until Resume. This is the
+// safe-point mechanism that stands in for BLCR freezing threads mid-kernel
+// (the drained state the gate produces is one the real BLCR could observe).
+type stepGate struct {
+	mu           sync.Mutex
+	cond         *sync.Cond
+	pauseDepth   int
+	active       int
+	shutdownFlag bool
+}
+
+func (g *stepGate) init() {
+	g.cond = sync.NewCond(&g.mu)
+}
+
+// enter blocks while paused, then marks a step active.
+func (g *stepGate) enter() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for g.pauseDepth > 0 && !g.shutdownFlag {
+		g.cond.Wait()
+	}
+	if g.shutdownFlag {
+		return ErrGateShutdown
+	}
+	g.active++
+	return nil
+}
+
+// leave marks a step finished.
+func (g *stepGate) leave() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.active--
+	if g.active < 0 {
+		panic("proc: step gate leave without enter")
+	}
+	g.cond.Broadcast()
+}
+
+// pause blocks new steps and waits for in-flight steps to drain. Pauses
+// nest: the gate re-opens only when every pause has been matched by a
+// resume (the checkpointer quiesces inside an already-paused Snapify flow).
+func (g *stepGate) pause() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.pauseDepth++
+	for g.active > 0 && !g.shutdownFlag {
+		g.cond.Wait()
+	}
+}
+
+// resume undoes one pause.
+func (g *stepGate) resume() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.pauseDepth == 0 {
+		panic("proc: resume without matching pause")
+	}
+	g.pauseDepth--
+	if g.pauseDepth == 0 {
+		g.cond.Broadcast()
+	}
+}
+
+// shutdown releases all waiters with ErrGateShutdown.
+func (g *stepGate) shutdown() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.shutdownFlag = true
+	g.cond.Broadcast()
+}
+
+// BeginStep marks the start of one computation step, blocking while the
+// process is paused. Every BeginStep must be paired with EndStep.
+func (p *Process) BeginStep() error { return p.gate.enter() }
+
+// EndStep marks the end of a computation step.
+func (p *Process) EndStep() { p.gate.leave() }
+
+// PauseSteps blocks new computation steps and waits until all in-flight
+// steps have drained. After PauseSteps returns, no simulated kernel is
+// mid-step, so all computation state is in memory regions.
+func (p *Process) PauseSteps() { p.gate.pause() }
+
+// ResumeSteps re-opens the step gate.
+func (p *Process) ResumeSteps() { p.gate.resume() }
+
+// StepActive returns the number of steps currently executing (test hook).
+func (p *Process) StepActive() int {
+	p.gate.mu.Lock()
+	defer p.gate.mu.Unlock()
+	return p.gate.active
+}
+
+// StepsPaused reports whether the gate is holding new steps (test hook).
+func (p *Process) StepsPaused() bool {
+	p.gate.mu.Lock()
+	defer p.gate.mu.Unlock()
+	return p.gate.pauseDepth > 0
+}

@@ -1,0 +1,181 @@
+package proc
+
+import (
+	"fmt"
+	"sync"
+
+	"snapify/internal/blob"
+)
+
+// RegionKind classifies a memory region. BLCR serializes all kinds; the
+// kinds matter to COI (local store handling) and to reporting.
+type RegionKind int
+
+const (
+	// RegionData is statically allocated program data.
+	RegionData RegionKind = iota
+	// RegionHeap is malloc'd private memory.
+	RegionHeap
+	// RegionStack is a thread stack.
+	RegionStack
+	// RegionLocalStore backs a COI buffer: files memory-mapped into a
+	// contiguous range (Section 2). The pause phase streams these to the
+	// host snapshot directory separately from the BLCR context.
+	RegionLocalStore
+)
+
+func (k RegionKind) String() string {
+	switch k {
+	case RegionData:
+		return "data"
+	case RegionHeap:
+		return "heap"
+	case RegionStack:
+		return "stack"
+	case RegionLocalStore:
+		return "local-store"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Region is one contiguous memory region of a process. It implements
+// scif.Memory, with internal locking so RDMA from a peer and application
+// writes can interleave safely.
+type Region struct {
+	name string
+	kind RegionKind
+	seed uint64
+
+	mu     sync.Mutex
+	buf    *blob.Buffer
+	pinned bool
+	dirty  rangeSet // writes since the last MarkClean (incremental CR)
+}
+
+func newRegion(name string, kind RegionKind, size int64, seed uint64) *Region {
+	return &Region{name: name, kind: kind, seed: seed, buf: blob.NewBuffer(size, seed)}
+}
+
+// Name returns the region name.
+func (r *Region) Name() string { return r.name }
+
+// Kind returns the region kind.
+func (r *Region) Kind() RegionKind { return r.kind }
+
+// Seed returns the region's background seed. Restores recreate regions with
+// the same seed so untouched background collapses instead of materializing.
+func (r *Region) Seed() uint64 { return r.seed }
+
+// Size returns the region size in bytes.
+func (r *Region) Size() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.buf.Size()
+}
+
+// Pin marks the region's pages pinned for RDMA; pinned pages cannot be
+// swapped out by the Phi OS (one of the paper's arguments against relying
+// on OS swap, Section 1).
+func (r *Region) Pin() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pinned = true
+}
+
+// Unpin clears the pinned mark.
+func (r *Region) Unpin() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.pinned = false
+}
+
+// Pinned reports whether the region is pinned.
+func (r *Region) Pinned() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pinned
+}
+
+// WriteAt copies p into the region at off.
+func (r *Region) WriteAt(p []byte, off int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf.WriteAt(p, off)
+	r.dirty.add(off, int64(len(p)))
+}
+
+// ReadAt fills p from the region at off.
+func (r *Region) ReadAt(p []byte, off int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf.ReadAt(p, off)
+}
+
+// Fill writes n copies of v at off.
+func (r *Region) Fill(v byte, off, n int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf.Fill(v, off, n)
+	r.dirty.add(off, n)
+}
+
+// SnapshotRange returns the content of [off, off+n). Part of scif.Memory.
+func (r *Region) SnapshotRange(off, n int64) blob.Blob {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.buf.SnapshotRange(off, n)
+}
+
+// Snapshot returns the whole region content.
+func (r *Region) Snapshot() blob.Blob {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.buf.Snapshot()
+}
+
+// WriteBlob overwrites [off, off+src.Len()) with src. Part of scif.Memory.
+func (r *Region) WriteBlob(off int64, src blob.Blob) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf.WriteBlob(off, src)
+	r.dirty.add(off, src.Len())
+}
+
+// Restore overwrites the whole region from src.
+func (r *Region) Restore(src blob.Blob) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf.Restore(src)
+	r.dirty.add(0, r.buf.Size())
+}
+
+// DirtyRanges returns the coalesced byte ranges written since the last
+// MarkClean — the payload of an incremental checkpoint.
+func (r *Region) DirtyRanges() []ByteRange {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dirty.ranges()
+}
+
+// DirtySinceClean returns the byte count written since the last MarkClean.
+func (r *Region) DirtySinceClean() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dirty.bytes()
+}
+
+// MarkClean resets the dirty tracking; the checkpointer calls it after a
+// full or incremental capture, so the next delta is relative to this one.
+func (r *Region) MarkClean() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.dirty.reset()
+}
+
+// DirtyBytes returns the overlay (actually written) byte count.
+func (r *Region) DirtyBytes() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.buf.DirtyBytes()
+}

@@ -1,0 +1,255 @@
+// Package sched implements a COSMIC-style coprocessor job scheduler (the
+// paper's motivating use case for process swapping and migration,
+// Sections 1 and 5): multiple offload applications share a card whose
+// physical memory cannot hold them all at once, so the scheduler swaps
+// processes out to the host file system and back in under a round-robin
+// policy, and proactively migrates processes away from a card a fault
+// predictor has flagged.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"snapify/internal/core"
+	"snapify/internal/platform"
+	"snapify/internal/simnet"
+	"snapify/internal/workloads"
+)
+
+// JobState is a job's scheduling state.
+type JobState int
+
+const (
+	// Resident means the offload process is on a card.
+	Resident JobState = iota
+	// SwappedOut means the process lives as a snapshot on the host.
+	SwappedOut
+	// Done means the job finished.
+	Done
+)
+
+func (s JobState) String() string {
+	switch s {
+	case Resident:
+		return "resident"
+	case SwappedOut:
+		return "swapped-out"
+	case Done:
+		return "done"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Job is one scheduled offload application.
+type Job struct {
+	ID   int
+	Spec workloads.Spec
+
+	Inst     *workloads.Instance
+	State    JobState
+	Device   simnet.NodeID
+	snapshot *core.Snapshot
+
+	// Swaps counts swap-out events (tests and reports).
+	Swaps int
+}
+
+// Scheduler shares a server's cards among jobs.
+type Scheduler struct {
+	plat *platform.Platform
+
+	mu     sync.Mutex
+	jobs   []*Job
+	nextID int
+}
+
+// New returns a scheduler for the platform.
+func New(plat *platform.Platform) *Scheduler {
+	return &Scheduler{plat: plat, nextID: 1}
+}
+
+// Jobs returns all jobs in submission order.
+func (s *Scheduler) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, len(s.jobs))
+	copy(out, s.jobs)
+	return out
+}
+
+// footprint estimates the card memory a job needs.
+func footprint(spec workloads.Spec) int64 {
+	return spec.DeviceMem + spec.LocalStore + 64*(1<<20) // runtime overhead
+}
+
+// Submit launches a job on device, swapping out resident jobs if the card
+// lacks memory. It returns the job.
+func (s *Scheduler) Submit(spec workloads.Spec, device simnet.NodeID) (*Job, error) {
+	s.mu.Lock()
+	id := s.nextID
+	s.nextID++
+	s.mu.Unlock()
+
+	if err := s.makeRoom(device, footprint(spec)); err != nil {
+		return nil, err
+	}
+	inst, err := workloads.Launch(s.plat, spec, device)
+	if err != nil {
+		return nil, fmt.Errorf("sched: launching job %d: %w", id, err)
+	}
+	j := &Job{ID: id, Spec: spec, Inst: inst, State: Resident, Device: device}
+	s.mu.Lock()
+	s.jobs = append(s.jobs, j)
+	s.mu.Unlock()
+	return j, nil
+}
+
+// makeRoom swaps out resident jobs on device (oldest first) until need
+// bytes are free.
+func (s *Scheduler) makeRoom(device simnet.NodeID, need int64) error {
+	for s.plat.Device(device).Mem.Free() < need {
+		victim := s.pickVictim(device)
+		if victim == nil {
+			return fmt.Errorf("sched: cannot free %d bytes on %v: nothing left to swap", need, device)
+		}
+		if err := s.swapOut(victim); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pickVictim chooses the resident job on device with the most progress
+// (closest to done keeps its memory the shortest on swap-in later; the
+// policy is deliberately simple).
+func (s *Scheduler) pickVictim(device simnet.NodeID) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var victim *Job
+	for _, j := range s.jobs {
+		if j.State == Resident && j.Device == device {
+			if victim == nil || j.Inst.Progress() < victim.Inst.Progress() {
+				victim = j
+			}
+		}
+	}
+	return victim
+}
+
+func (s *Scheduler) swapOut(j *Job) error {
+	snap, err := core.Swapout(fmt.Sprintf("/sched/job%d", j.ID), j.Inst.CP)
+	if err != nil {
+		return fmt.Errorf("sched: swapping out job %d: %w", j.ID, err)
+	}
+	s.mu.Lock()
+	j.snapshot = snap
+	j.State = SwappedOut
+	j.Swaps++
+	s.mu.Unlock()
+	return nil
+}
+
+// swapIn brings a swapped-out job back onto device, making room first.
+func (s *Scheduler) swapIn(j *Job, device simnet.NodeID) error {
+	if err := s.makeRoomExcept(device, footprint(j.Spec), j); err != nil {
+		return err
+	}
+	if _, err := core.Swapin(j.snapshot, device); err != nil {
+		return fmt.Errorf("sched: swapping in job %d: %w", j.ID, err)
+	}
+	s.mu.Lock()
+	j.snapshot = nil
+	j.State = Resident
+	j.Device = device
+	s.mu.Unlock()
+	return nil
+}
+
+// makeRoomExcept is makeRoom but never victimizes the given job.
+func (s *Scheduler) makeRoomExcept(device simnet.NodeID, need int64, keep *Job) error {
+	for s.plat.Device(device).Mem.Free() < need {
+		victim := s.pickVictim(device)
+		if victim == nil || victim == keep {
+			return fmt.Errorf("sched: cannot free %d bytes on %v", need, device)
+		}
+		if err := s.swapOut(victim); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunRoundRobin runs every job to completion, giving each resident job a
+// quantum of offload calls per round and swapping jobs in as their turn
+// comes. It returns the total number of swap events.
+func (s *Scheduler) RunRoundRobin(quantum int) (int, error) {
+	if quantum < 1 {
+		return 0, errors.New("sched: quantum must be positive")
+	}
+	for {
+		active := 0
+		for _, j := range s.Jobs() {
+			if j.State == Done {
+				continue
+			}
+			active++
+			if j.State == SwappedOut {
+				if err := s.swapIn(j, j.Device); err != nil {
+					return s.totalSwaps(), err
+				}
+			}
+			if _, err := j.Inst.RunCalls(quantum); err != nil {
+				return s.totalSwaps(), fmt.Errorf("sched: job %d: %w", j.ID, err)
+			}
+			if j.Inst.Done() {
+				s.mu.Lock()
+				j.State = Done
+				s.mu.Unlock()
+				j.Inst.Close()
+			}
+		}
+		if active == 0 {
+			return s.totalSwaps(), nil
+		}
+	}
+}
+
+func (s *Scheduler) totalSwaps() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, j := range s.jobs {
+		n += j.Swaps
+	}
+	return n
+}
+
+// Evacuate migrates every resident job off device (a fault predictor
+// flagged it, Section 1) onto target. Swapped-out jobs simply retarget.
+func (s *Scheduler) Evacuate(device, target simnet.NodeID) error {
+	if device == target {
+		return errors.New("sched: evacuation target is the failing card")
+	}
+	for _, j := range s.Jobs() {
+		switch {
+		case j.State == Resident && j.Device == device:
+			if err := s.makeRoomExcept(target, footprint(j.Spec), j); err != nil {
+				return err
+			}
+			if _, _, err := core.Migrate(j.Inst.CP, target, fmt.Sprintf("/sched/evac%d", j.ID)); err != nil {
+				return fmt.Errorf("sched: migrating job %d: %w", j.ID, err)
+			}
+			s.mu.Lock()
+			j.Device = target
+			s.mu.Unlock()
+		case j.State == SwappedOut && j.Device == device:
+			s.mu.Lock()
+			j.Device = target
+			s.mu.Unlock()
+		}
+	}
+	return nil
+}

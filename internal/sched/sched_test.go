@@ -1,0 +1,132 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"snapify/internal/coi"
+	"snapify/internal/phi"
+	"snapify/internal/platform"
+	"snapify/internal/simclock"
+	"snapify/internal/workloads"
+)
+
+// smallSpec is a compact job used to force memory pressure on a small card.
+func smallSpec(code string, calls int) workloads.Spec {
+	return workloads.Spec{
+		Code: code, Name: code,
+		HostMem:   8 * simclock.MiB,
+		DeviceMem: 256 * simclock.MiB,
+		// Local store + device memory + runtime ~ 600 MiB per job.
+		LocalStore:     256 * simclock.MiB,
+		Calls:          calls,
+		StepsPerCall:   2,
+		ComputePerCall: time.Millisecond,
+		InPerCall:      16 * simclock.KiB,
+		OutPerCall:     16 * simclock.KiB,
+	}
+}
+
+func newSched(t *testing.T, devices int, cardMem int64) *Scheduler {
+	t.Helper()
+	plat := platform.New(platform.Config{Server: phi.ServerConfig{
+		Devices: devices,
+		Device:  phi.DeviceConfig{MemBytes: cardMem},
+	}})
+	if err := coi.StartDaemons(plat); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { coi.StopDaemons(plat) })
+	return New(plat)
+}
+
+func TestMultiTenancyViaSwapping(t *testing.T) {
+	// A 1.5 GiB card cannot hold two ~600 MiB jobs plus the OS reserve at
+	// once: the scheduler must swap to run both.
+	s := newSched(t, 1, 1536*simclock.MiB)
+	j1, err := s.Submit(smallSpec("J1", 6), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := s.Submit(smallSpec("J2", 6), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j1.State != SwappedOut {
+		t.Fatalf("submitting job 2 should have swapped job 1 out (state %v)", j1.State)
+	}
+	if j2.State != Resident {
+		t.Fatalf("job 2 state %v", j2.State)
+	}
+
+	swaps, err := s.RunRoundRobin(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swaps < 2 {
+		t.Errorf("round robin finished with only %d swaps; no real sharing happened", swaps)
+	}
+	for _, j := range s.Jobs() {
+		if j.State != Done {
+			t.Errorf("job %d not done: %v", j.ID, j.State)
+		}
+	}
+}
+
+func TestNoSwappingWhenCardFitsBoth(t *testing.T) {
+	s := newSched(t, 1, 8*simclock.GiB)
+	s.Submit(smallSpec("A", 4), 1) //nolint:errcheck
+	s.Submit(smallSpec("B", 4), 1) //nolint:errcheck
+	swaps, err := s.RunRoundRobin(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swaps != 0 {
+		t.Errorf("%d swaps on a card that fits both jobs", swaps)
+	}
+}
+
+func TestSubmitFailsWhenNothingToEvict(t *testing.T) {
+	s := newSched(t, 1, 1024*simclock.MiB)
+	spec := smallSpec("HUGE", 2)
+	spec.LocalStore = 4 * simclock.GiB
+	if _, err := s.Submit(spec, 1); err == nil {
+		t.Fatal("oversized job must be rejected")
+	}
+}
+
+func TestEvacuateMigratesJobs(t *testing.T) {
+	s := newSched(t, 2, 8*simclock.GiB)
+	j1, err := s.Submit(smallSpec("E1", 6), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := s.Submit(smallSpec("E2", 6), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1.Inst.RunCalls(2) //nolint:errcheck
+	j2.Inst.RunCalls(2) //nolint:errcheck
+
+	// Fault prediction flags card 1: evacuate everything to card 2.
+	if err := s.Evacuate(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range s.Jobs() {
+		if j.Device != 2 {
+			t.Errorf("job %d still on %v", j.ID, j.Device)
+		}
+	}
+	// Both jobs finish correctly on the new card.
+	if _, err := s.RunRoundRobin(3); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range s.Jobs() {
+		if j.State != Done {
+			t.Errorf("job %d not done after evacuation", j.ID)
+		}
+	}
+	if err := s.Evacuate(1, 1); err == nil {
+		t.Error("evacuating onto the failing card must fail")
+	}
+}

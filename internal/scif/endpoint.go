@@ -1,0 +1,164 @@
+package scif
+
+import (
+	"sync"
+
+	"snapify/internal/simclock"
+	"snapify/internal/simnet"
+)
+
+// Endpoint is one end of a SCIF connection.
+type Endpoint struct {
+	net    *Network
+	local  Addr
+	remote Addr
+	peer   *Endpoint
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  [][]byte // received-but-not-consumed messages, in order
+	qbytes int64
+	closed bool
+
+	windows map[int64]*Window // registered windows keyed by RDMA offset
+}
+
+func newEndpoint(n *Network, local, remote Addr) *Endpoint {
+	ep := &Endpoint{
+		net:     n,
+		local:   local,
+		remote:  remote,
+		windows: make(map[int64]*Window),
+	}
+	ep.cond = sync.NewCond(&ep.mu)
+	return ep
+}
+
+// LocalAddr returns the endpoint's own address.
+func (e *Endpoint) LocalAddr() Addr { return e.local }
+
+// RemoteAddr returns the peer's address.
+func (e *Endpoint) RemoteAddr() Addr { return e.remote }
+
+// Send transmits data to the peer (scif_send). It returns the virtual cost
+// of the transfer. Messages are delivered in order; Send does not block on
+// the receiver (the kernel-side queue is unbounded in this model, which is
+// safe because Snapify's drain protocol — not backpressure — is what
+// guarantees empty channels at capture time).
+func (e *Endpoint) Send(data []byte) (simclock.Duration, error) {
+	p := e.peer
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return 0, ErrClosed
+	}
+	e.mu.Unlock()
+
+	cp := make([]byte, len(data))
+	copy(cp, data)
+
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return 0, ErrConnReset
+	}
+	p.queue = append(p.queue, cp)
+	p.qbytes += int64(len(cp))
+	p.cond.Signal()
+	p.mu.Unlock()
+	return e.net.fabric.MsgCost(e.local.Node, e.remote.Node, int64(len(data))), nil
+}
+
+// Recv blocks until a message arrives and returns it with the receive-side
+// virtual cost (the copy out of the kernel queue).
+func (e *Endpoint) Recv() ([]byte, simclock.Duration, error) {
+	e.mu.Lock()
+	for len(e.queue) == 0 && !e.closed {
+		e.cond.Wait()
+	}
+	if len(e.queue) == 0 { // closed and drained
+		e.mu.Unlock()
+		return nil, 0, ErrConnReset
+	}
+	msg := e.queue[0]
+	e.queue = e.queue[1:]
+	e.qbytes -= int64(len(msg))
+	e.mu.Unlock()
+
+	m := e.net.fabric.Model()
+	var d simclock.Duration
+	if e.local.Node.IsHost() {
+		d = m.HostMemcpy(int64(len(msg)))
+	} else {
+		d = m.PhiMemcpy(int64(len(msg)))
+	}
+	return msg, d, nil
+}
+
+// TryRecv returns a pending message without blocking; ok is false when the
+// queue is empty.
+func (e *Endpoint) TryRecv() (msg []byte, d simclock.Duration, ok bool, err error) {
+	e.mu.Lock()
+	if len(e.queue) == 0 {
+		closed := e.closed
+		e.mu.Unlock()
+		if closed {
+			return nil, 0, false, ErrConnReset
+		}
+		return nil, 0, false, nil
+	}
+	m := e.queue[0]
+	e.queue = e.queue[1:]
+	e.qbytes -= int64(len(m))
+	e.mu.Unlock()
+	return m, e.net.fabric.Model().HostMemcpy(int64(len(m))), true, nil
+}
+
+// QueuedBytes returns the bytes sent to this endpoint but not yet received.
+// Snapify's consistency invariant requires this to be zero on every channel
+// at the instant a snapshot is captured.
+func (e *Endpoint) QueuedBytes() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.qbytes
+}
+
+// QueuedMessages returns the number of undelivered messages.
+func (e *Endpoint) QueuedMessages() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.queue)
+}
+
+// Closed reports whether the endpoint has been closed (or reset).
+func (e *Endpoint) Closed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.closed
+}
+
+// Close tears down both ends of the connection. Pending and future Recvs on
+// the peer fail with ErrConnReset once their queues drain; registered
+// windows are dropped. Closing an already-closed endpoint is a no-op.
+func (e *Endpoint) Close() error {
+	e.closeOneSide()
+	if e.peer != nil {
+		e.peer.closeOneSide()
+	}
+	return nil
+}
+
+func (e *Endpoint) closeOneSide() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return
+	}
+	e.closed = true
+	e.windows = make(map[int64]*Window)
+	e.cond.Broadcast()
+	e.mu.Unlock()
+}
+
+// Node returns the SCIF node this endpoint lives on.
+func (e *Endpoint) Node() simnet.NodeID { return e.local.Node }

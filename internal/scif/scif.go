@@ -1,0 +1,167 @@
+// Package scif reimplements the Symmetric Communications Interface, the
+// low-level transport of Intel's MPSS that connects processes on the host
+// (SCIF node 0) and on Xeon Phi coprocessors (nodes 1..N).
+//
+// The package preserves the two SCIF communication styles the paper relies
+// on (Section 2):
+//
+//   - message passing: connection-oriented, ordered scif_send/scif_recv on
+//     endpoints obtained via listen/connect/accept on (node, port) pairs;
+//   - RDMA: a process registers a memory window (scif_register) and the
+//     peer moves data with scif_readfrom/scif_writeto (registered local
+//     memory) or scif_vreadfrom/scif_vwriteto (arbitrary local memory).
+//
+// Snapify's drain protocol depends on two semantic properties that this
+// implementation keeps faithfully: messages on one connection are delivered
+// in order, and a connection's queue length is observable as exactly the
+// bytes sent but not yet received (so "all channels drained" is a checkable
+// predicate, which the tests and the core package assert at capture time).
+package scif
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"snapify/internal/simnet"
+)
+
+// Errors returned by endpoint and listener operations.
+var (
+	ErrClosed       = errors.New("scif: endpoint closed")
+	ErrConnReset    = errors.New("scif: connection reset by peer")
+	ErrPortInUse    = errors.New("scif: port already bound")
+	ErrConnRefused  = errors.New("scif: connection refused")
+	ErrBadWindow    = errors.New("scif: offset not in a registered window")
+	ErrListenerDone = errors.New("scif: listener closed")
+)
+
+// Addr is a SCIF endpoint address.
+type Addr struct {
+	Node simnet.NodeID
+	Port int
+}
+
+func (a Addr) String() string { return fmt.Sprintf("%v:%d", a.Node, a.Port) }
+
+// Network is the SCIF namespace of one Xeon Phi server: the set of bound
+// ports and live connections over the PCIe fabric.
+type Network struct {
+	fabric *simnet.Fabric
+
+	mu        sync.Mutex
+	listeners map[Addr]*Listener
+	nextPort  int
+	// nextWindowOffset allocates RDMA window offsets. It is global and
+	// monotone, so re-registering a window after a restore always yields a
+	// fresh offset — the reason Snapify needs its (old, new) address remap
+	// table (Section 4.3).
+	nextWindowOffset atomic.Int64
+}
+
+// NewNetwork returns an empty SCIF namespace over the fabric.
+func NewNetwork(fabric *simnet.Fabric) *Network {
+	n := &Network{
+		fabric:    fabric,
+		listeners: make(map[Addr]*Listener),
+		nextPort:  1 << 16, // ephemeral ports start above the well-known range
+	}
+	n.nextWindowOffset.Store(0x1000_0000) // a recognizable RDMA offset base
+	return n
+}
+
+// Fabric returns the underlying PCIe fabric.
+func (n *Network) Fabric() *simnet.Fabric { return n.fabric }
+
+// Listener accepts connections on a bound (node, port).
+type Listener struct {
+	net  *Network
+	addr Addr
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	backlog []*Endpoint
+	closed  bool
+}
+
+// Listen binds the given port on node. Port 0 picks an ephemeral port.
+func (n *Network) Listen(node simnet.NodeID, port int) (*Listener, error) {
+	if !n.fabric.ValidNode(node) {
+		return nil, fmt.Errorf("scif: invalid node %d", node)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if port == 0 {
+		port = n.nextPort
+		n.nextPort++
+	}
+	a := Addr{node, port}
+	if _, busy := n.listeners[a]; busy {
+		return nil, fmt.Errorf("%w: %v", ErrPortInUse, a)
+	}
+	l := &Listener{net: n, addr: a}
+	l.cond = sync.NewCond(&l.mu)
+	n.listeners[a] = l
+	return l, nil
+}
+
+// Addr returns the listener's bound address.
+func (l *Listener) Addr() Addr { return l.addr }
+
+// Accept blocks until a connection arrives and returns its endpoint.
+func (l *Listener) Accept() (*Endpoint, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.backlog) == 0 && !l.closed {
+		l.cond.Wait()
+	}
+	if l.closed && len(l.backlog) == 0 {
+		return nil, ErrListenerDone
+	}
+	ep := l.backlog[0]
+	l.backlog = l.backlog[1:]
+	return ep, nil
+}
+
+// Close unbinds the port and fails pending Accepts.
+func (l *Listener) Close() error {
+	l.net.mu.Lock()
+	delete(l.net.listeners, l.addr)
+	l.net.mu.Unlock()
+	l.mu.Lock()
+	l.closed = true
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	return nil
+}
+
+// Connect establishes a connection from a process on node `from` to the
+// listener at to. It returns the client endpoint.
+func (n *Network) Connect(from simnet.NodeID, to Addr) (*Endpoint, error) {
+	if !n.fabric.ValidNode(from) {
+		return nil, fmt.Errorf("scif: invalid node %d", from)
+	}
+	n.mu.Lock()
+	l, ok := n.listeners[to]
+	localPort := n.nextPort
+	n.nextPort++
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrConnRefused, to)
+	}
+
+	client := newEndpoint(n, Addr{from, localPort}, to)
+	server := newEndpoint(n, to, Addr{from, localPort})
+	client.peer, server.peer = server, client
+
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil, fmt.Errorf("%w: %v", ErrConnRefused, to)
+	}
+	l.backlog = append(l.backlog, server)
+	l.cond.Signal()
+	l.mu.Unlock()
+	return client, nil
+}

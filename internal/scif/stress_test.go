@@ -1,0 +1,127 @@
+package scif
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"snapify/internal/blob"
+	"snapify/internal/simnet"
+)
+
+// TestManyConnectionsInterleaved stresses the namespace: many concurrent
+// connections between random node pairs, each carrying ordered sequences,
+// all delivered exactly once and in order.
+func TestManyConnectionsInterleaved(t *testing.T) {
+	n := newTestNetwork(t, 3)
+	const conns = 24
+	const msgs = 60
+
+	var wg sync.WaitGroup
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(c)))
+			server := 1 + r.Intn(3)
+			l, err := n.Listen(simnet.NodeID(server), 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer l.Close()
+
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				ep, err := l.Accept()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				defer ep.Close()
+				for i := 0; i < msgs; i++ {
+					msg, _, err := ep.Recv()
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if got := binary.BigEndian.Uint32(msg); got != uint32(i) {
+						t.Errorf("conn %d: message %d arrived as %d", c, i, got)
+						return
+					}
+				}
+			}()
+
+			client, err := n.Connect(0, l.Addr())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer client.Close()
+			buf := make([]byte, 4)
+			for i := 0; i < msgs; i++ {
+				binary.BigEndian.PutUint32(buf, uint32(i))
+				if _, err := client.Send(buf); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			<-done
+		}(c)
+	}
+	wg.Wait()
+}
+
+// TestRDMAConcurrentWindows registers many windows and drives concurrent
+// transfers against them; contents never bleed between windows.
+func TestRDMAConcurrentWindows(t *testing.T) {
+	n := newTestNetwork(t, 1)
+	c, s := dial(t, n, 0, 1)
+
+	const windows = 8
+	mems := make([]*blob.Buffer, windows)
+	offs := make([]int64, windows)
+	for i := 0; i < windows; i++ {
+		mems[i] = blob.NewBuffer(1<<16, uint64(i+1))
+		w, _, err := s.Register(mems[i], 0, 1<<16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		offs[i] = w.Offset
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < windows; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			local := blob.NewBuffer(1<<16, 0)
+			pattern := make([]byte, 1024)
+			for j := range pattern {
+				pattern[j] = byte(i*31 + j)
+			}
+			local.WriteAt(pattern, 0)
+			for round := 0; round < 20; round++ {
+				if _, err := c.VWriteTo(local, 0, 1024, offs[i]+int64(round)*1024); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < windows; i++ {
+		got := make([]byte, 1024)
+		for round := 0; round < 20; round++ {
+			mems[i].ReadAt(got, int64(round)*1024)
+			for j := range got {
+				if got[j] != byte(i*31+j) {
+					t.Fatalf("window %d round %d byte %d: cross-window bleed", i, round, j)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package simclock
+
+// PipelineAccum accumulates the virtual time of a chunked transfer whose
+// stage costs are observed while the transfer actually executes (rather
+// than predicted from closed-form stage functions as in Pipeline).
+//
+// The transports stream each chunk through their real data path, collect
+// the per-stage costs of that chunk, and feed them to Observe. The first
+// chunk fills the pipeline (all stages in sequence); each later chunk adds
+// only its slowest stage. SerialObserve instead adds every stage of every
+// chunk, modeling an unpipelined path.
+type PipelineAccum struct {
+	total Duration
+	first bool
+}
+
+// NewPipelineAccum returns an empty accumulator.
+func NewPipelineAccum() *PipelineAccum { return &PipelineAccum{first: true} }
+
+// Observe adds one chunk's stage costs with pipeline overlap.
+func (p *PipelineAccum) Observe(stageCosts ...Duration) {
+	if p.first {
+		for _, d := range stageCosts {
+			p.total += d
+		}
+		p.first = false
+		return
+	}
+	p.total += MaxAll(stageCosts...)
+}
+
+// SerialObserve adds one chunk's stage costs with no overlap.
+func (p *PipelineAccum) SerialObserve(stageCosts ...Duration) {
+	for _, d := range stageCosts {
+		p.total += d
+	}
+	p.first = false
+}
+
+// Add charges a fixed duration (handshakes, per-file overheads).
+func (p *PipelineAccum) Add(d Duration) { p.total += d }
+
+// Total returns the accumulated virtual time.
+func (p *PipelineAccum) Total() Duration { return p.total }

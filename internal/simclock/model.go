@@ -1,0 +1,260 @@
+// Package simclock provides the virtual-time cost model for the Snapify
+// simulation.
+//
+// The reproduction runs on commodity hardware instead of a Xeon Phi server,
+// so wall-clock time is meaningless for the paper's figures. Instead, every
+// simulated transfer, memory operation, RPC, and protocol step charges a
+// virtual duration computed from a single calibrated Model. All tables and
+// figures in the evaluation derive from the same constants, so the paper's
+// orderings and crossovers are endogenous to the model rather than
+// hard-coded per experiment.
+//
+// The calibration targets the paper's testbed (Table 2): an Intel Xeon
+// E5-2630 host and Xeon Phi 5110P coprocessors connected by PCIe gen2 x16,
+// running MPSS 2.1. Constants are drawn from the public characteristics of
+// that platform: SCIF RDMA sustains roughly 6 GB/s on PCIe gen2 x16; the
+// MPSS virtio network interface (which carries NFS and scp traffic) runs at
+// GbE-class rates; and a single in-order Knights Corner core is slow — user
+// copies reach several hundred MB/s, and the checkpointer's page-walk and
+// serialization loop runs at a fraction of that, which is why checkpoint
+// times in Section 7 are seconds, not the PCIe-limited milliseconds.
+package simclock
+
+import (
+	"fmt"
+	"time"
+)
+
+// Duration is a virtual duration. It uses time.Duration's representation
+// (nanoseconds) but never measures wall-clock time.
+type Duration = time.Duration
+
+// Common unit helpers for byte counts.
+const (
+	KiB int64 = 1 << 10
+	MiB int64 = 1 << 20
+	GiB int64 = 1 << 30
+)
+
+// Model holds the calibration constants of the simulated platform. A Model
+// is immutable after construction; all methods are safe for concurrent use.
+type Model struct {
+	// PCIe / SCIF data path.
+
+	// RDMABandwidth is the sustained SCIF RDMA throughput over PCIe
+	// (scif_readfrom / scif_writeto on registered windows).
+	RDMABandwidth int64 // bytes per second
+	// RDMASetup is the fixed cost of initiating one RDMA transfer
+	// (descriptor post + doorbell + completion).
+	RDMASetup Duration
+	// SCIFMsgLatency is the one-way latency of a small scif_send message.
+	SCIFMsgLatency Duration
+	// SCIFMsgBandwidth is the throughput of the non-RDMA message path.
+	SCIFMsgBandwidth int64
+
+	// Memory systems.
+
+	// PhiMemcpyBandwidth is single-thread memcpy throughput on a Knights
+	// Corner core. The in-order core is slow: user-level copies (socket
+	// reads, staging into RDMA buffers) run at several hundred MB/s.
+	PhiMemcpyBandwidth int64
+	// PhiPageWalkBandwidth is the rate at which the checkpointer walks and
+	// serializes memory pages on the coprocessor (read + header bookkeeping).
+	PhiPageWalkBandwidth int64
+	// HostMemcpyBandwidth is host-side memcpy throughput.
+	HostMemcpyBandwidth int64
+	// HostPageWalkBandwidth is the host checkpointer's serialization rate.
+	HostPageWalkBandwidth int64
+
+	// Host file system.
+
+	// HostFSWriteBandwidth is the rate of writing into the host page cache.
+	HostFSWriteBandwidth int64
+	// HostFSReadCachedBandwidth is the rate of reading a cached host file.
+	HostFSReadCachedBandwidth int64
+	// HostFSReadColdBandwidth is the rate of reading from secondary storage.
+	HostFSReadColdBandwidth int64
+	// HostFSFlushBandwidth is the asynchronous flush rate to secondary
+	// storage. Flushes overlap with PCIe transfers, which is why writing a
+	// snapshot from the coprocessor to the host is faster than reading it
+	// back (the paper observes the same asymmetry in Section 7).
+	HostFSFlushBandwidth int64
+	// HostFSOpLatency is the per-call overhead of open/close/stat.
+	HostFSOpLatency Duration
+
+	// Phi RAM file system.
+
+	// RamFSBandwidth is read/write throughput of the RAM-backed rootfs.
+	RamFSBandwidth int64
+	// RamFSOpLatency is per-call overhead in the Phi VFS.
+	RamFSOpLatency Duration
+
+	// Network file system (NFS mounted over the MPSS virtio interface).
+
+	// NFSBandwidth is the streaming throughput of the TCP/IP-over-PCIe
+	// virtio link that carries NFS traffic. MPSS's mic0 interface is far
+	// slower than raw SCIF RDMA.
+	NFSBandwidth int64
+	// NFSRPCLatency is the round-trip cost of one NFS RPC. Every
+	// uncached write() becomes at least one RPC, which is what punishes
+	// BLCR's many small writes on the plain NFS configuration.
+	NFSRPCLatency Duration
+	// NFSMaxTransfer is the largest payload of a single NFS READ/WRITE RPC
+	// (rsize/wsize).
+	NFSMaxTransfer int64
+	// NFSReadAhead is the number of read RPCs the client keeps in flight;
+	// it hides RPC latency on sequential reads, which is why the paper's
+	// buffering optimizations "do not apply" to restart.
+	NFSReadAhead int
+
+	// scp baseline.
+
+	// SCPCipherBandwidth is the throughput of the ssh cipher+MAC on a
+	// single Knights Corner core; scp is CPU-bound on the coprocessor.
+	SCPCipherBandwidth int64
+	// SCPHandshake is the fixed session-establishment cost.
+	SCPHandshake Duration
+
+	// Process control.
+
+	// SignalLatency is delivery of a signal to a process.
+	SignalLatency Duration
+	// PipeLatency is a one-way message over a UNIX pipe.
+	PipeLatency Duration
+	// UnixSocketLatency is a one-way message over a UNIX domain socket.
+	UnixSocketLatency Duration
+	// ProcLaunch is the cost of launching a process on the coprocessor
+	// (fork/exec on the Phi OS plus dynamic loading).
+	ProcLaunch Duration
+	// ThreadQuiesce is the per-thread cost of stopping a running thread at
+	// a safe point during pause.
+	ThreadQuiesce Duration
+	// SCIFReconnect is the cost of re-establishing one SCIF connection
+	// after restore.
+	SCIFReconnect Duration
+	// RegisterWindow is the per-call cost of scif_register (page pinning
+	// plus aperture programming), excluding the per-byte pin cost.
+	RegisterWindow Duration
+	// RegisterPerByte is the per-byte cost of pinning pages for RDMA.
+	RegisterPerByte float64 // nanoseconds per byte
+
+	// Cluster interconnect (the 4-node cluster of the MPI experiments).
+
+	// ClusterNetBandwidth is the node-to-node interconnect throughput.
+	ClusterNetBandwidth int64
+	// ClusterNetLatency is the one-way small-message latency between nodes.
+	ClusterNetLatency Duration
+
+	// Snapify hook overheads (Fig 9). These are the costs added to the
+	// normal (snapshot-free) execution path by the pause-protocol
+	// instrumentation in the COI runtime.
+
+	// HookOffloadCall is the added cost per offload-region invocation:
+	// two critical-region entries around the now-blocking run-function
+	// sends (Section 4.1, case 4).
+	HookOffloadCall Duration
+	// HookRDMACall is the added mutex cost per COI buffer RDMA call site
+	// (case 2).
+	HookRDMACall Duration
+	// HookLifecycle is the added cost per process create/destroy (case 1).
+	HookLifecycle Duration
+	// HookCommandSend is the added lock cost per client-server command
+	// (case 3).
+	HookCommandSend Duration
+}
+
+// Default returns the Model calibrated for the paper's testbed (Table 2).
+func Default() *Model {
+	return &Model{
+		RDMABandwidth:    6 * GiB,
+		RDMASetup:        15 * time.Microsecond,
+		SCIFMsgLatency:   12 * time.Microsecond,
+		SCIFMsgBandwidth: 300 * MiB,
+
+		PhiMemcpyBandwidth:    800 * MiB,
+		PhiPageWalkBandwidth:  250 * MiB,
+		HostMemcpyBandwidth:   6 * GiB,
+		HostPageWalkBandwidth: 800 * MiB,
+
+		HostFSWriteBandwidth:      1 * GiB,
+		HostFSReadCachedBandwidth: 1 * GiB,
+		HostFSReadColdBandwidth:   400 * MiB,
+		HostFSFlushBandwidth:      300 * MiB,
+		HostFSOpLatency:           40 * time.Microsecond,
+
+		RamFSBandwidth: 1 * GiB,
+		RamFSOpLatency: 25 * time.Microsecond,
+
+		NFSBandwidth:   120 * MiB,
+		NFSRPCLatency:  800 * time.Microsecond,
+		NFSMaxTransfer: 256 * KiB,
+		NFSReadAhead:   2,
+
+		SCPCipherBandwidth: 30 * MiB,
+		SCPHandshake:       900 * time.Millisecond,
+
+		ClusterNetBandwidth: 3 * GiB,
+		ClusterNetLatency:   3 * time.Microsecond,
+
+		SignalLatency:     60 * time.Microsecond,
+		PipeLatency:       25 * time.Microsecond,
+		UnixSocketLatency: 18 * time.Microsecond,
+		ProcLaunch:        1400 * time.Millisecond,
+		ThreadQuiesce:     900 * time.Microsecond,
+		SCIFReconnect:     350 * time.Microsecond,
+		RegisterWindow:    120 * time.Microsecond,
+		RegisterPerByte:   0.055, // ns/B: ~55 us per MiB of pinned pages
+
+		HookOffloadCall: 65 * time.Microsecond,
+		HookRDMACall:    6 * time.Microsecond,
+		HookLifecycle:   30 * time.Microsecond,
+		HookCommandSend: 4 * time.Microsecond,
+	}
+}
+
+// xfer computes bytes / bandwidth as a Duration.
+func xfer(bytes, bandwidth int64) Duration {
+	if bytes <= 0 {
+		return 0
+	}
+	if bandwidth <= 0 {
+		panic(fmt.Sprintf("simclock: non-positive bandwidth %d", bandwidth))
+	}
+	return Duration(float64(bytes) / float64(bandwidth) * float64(time.Second))
+}
+
+// RDMA returns the cost of one RDMA transfer of the given size.
+func (m *Model) RDMA(bytes int64) Duration {
+	return m.RDMASetup + xfer(bytes, m.RDMABandwidth)
+}
+
+// SCIFMsg returns the one-way cost of a scif_send message of the given size.
+func (m *Model) SCIFMsg(bytes int64) Duration {
+	return m.SCIFMsgLatency + xfer(bytes, m.SCIFMsgBandwidth)
+}
+
+// PhiMemcpy returns the cost of copying bytes on a coprocessor core.
+func (m *Model) PhiMemcpy(bytes int64) Duration {
+	return xfer(bytes, m.PhiMemcpyBandwidth)
+}
+
+// HostMemcpy returns the cost of copying bytes on a host core.
+func (m *Model) HostMemcpy(bytes int64) Duration {
+	return xfer(bytes, m.HostMemcpyBandwidth)
+}
+
+// PhiPageWalk returns the checkpointer's serialization cost on the Phi.
+func (m *Model) PhiPageWalk(bytes int64) Duration {
+	return xfer(bytes, m.PhiPageWalkBandwidth)
+}
+
+// HostPageWalk returns the checkpointer's serialization cost on the host.
+func (m *Model) HostPageWalk(bytes int64) Duration {
+	return xfer(bytes, m.HostPageWalkBandwidth)
+}
+
+// RegisterCost returns the cost of registering a window of the given size
+// for RDMA (scif_register), including page pinning.
+func (m *Model) RegisterCost(bytes int64) Duration {
+	return m.RegisterWindow + Duration(m.RegisterPerByte*float64(bytes))
+}

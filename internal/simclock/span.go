@@ -1,0 +1,153 @@
+package simclock
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Span records the virtual duration of one named phase of an operation,
+// with optional sub-phases. Spans are how the benchmark harness recovers
+// the stacked-bar breakdowns of Fig 10 (pause / snapshot+write(host) /
+// snapshot+write(device), etc.) from a run.
+//
+// A Span is safe for concurrent use: protocol phases executed by different
+// goroutines (host process, COI daemon, offload process) add children and
+// charge time concurrently.
+type Span struct {
+	Name string
+
+	mu       sync.Mutex
+	d        Duration
+	children []*Span
+}
+
+// NewSpan returns an empty span with the given name.
+func NewSpan(name string) *Span { return &Span{Name: name} }
+
+// Add charges d virtual time to the span.
+func (s *Span) Add(d Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.d += d
+	s.mu.Unlock()
+}
+
+// Set replaces the span's own duration (used when a phase's time is the max
+// of concurrent sub-activities rather than their sum).
+func (s *Span) Set(d Duration) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.d = d
+	s.mu.Unlock()
+}
+
+// Child returns the child span with the given name, creating it if needed.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.children {
+		if c.Name == name {
+			return c
+		}
+	}
+	c := NewSpan(name)
+	s.children = append(s.children, c)
+	return c
+}
+
+// Own returns the span's own charged duration, excluding children.
+func (s *Span) Own() Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.d
+}
+
+// Total returns the span's own duration plus the totals of all children.
+func (s *Span) Total() Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := s.d
+	for _, c := range s.children {
+		t += c.Total()
+	}
+	return t
+}
+
+// Children returns the child spans in creation order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Span, len(s.children))
+	copy(out, s.children)
+	return out
+}
+
+// Find returns the descendant span with the given name, searching
+// depth-first, or nil.
+func (s *Span) Find(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.Name == name {
+		return s
+	}
+	for _, c := range s.Children() {
+		if f := c.Find(name); f != nil {
+			return f
+		}
+	}
+	return nil
+}
+
+// String renders the span tree for debugging and harness output.
+func (s *Span) String() string {
+	var b strings.Builder
+	s.render(&b, 0)
+	return b.String()
+}
+
+func (s *Span) render(b *strings.Builder, depth int) {
+	if s == nil {
+		return
+	}
+	fmt.Fprintf(b, "%s%-28s %12v\n", strings.Repeat("  ", depth), s.Name, s.Total())
+	for _, c := range s.Children() {
+		c.render(b, depth+1)
+	}
+}
+
+// Breakdown returns a stable name->total map of the direct children,
+// ordered by name, for table rendering.
+func (s *Span) Breakdown() []NamedDuration {
+	cs := s.Children()
+	out := make([]NamedDuration, 0, len(cs))
+	for _, c := range cs {
+		out = append(out, NamedDuration{c.Name, c.Total()})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// NamedDuration pairs a phase name with its virtual duration.
+type NamedDuration struct {
+	Name string
+	D    Duration
+}

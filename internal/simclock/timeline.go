@@ -1,0 +1,47 @@
+package simclock
+
+import "sync"
+
+// Timeline is the virtual clock of one application run. COI operations,
+// Snapify hooks, and workload compute kernels all advance it; the final
+// reading is the run's virtual wall-clock time (what Fig 9 reports).
+type Timeline struct {
+	mu sync.Mutex
+	t  Duration
+}
+
+// NewTimeline returns a timeline at zero.
+func NewTimeline() *Timeline { return &Timeline{} }
+
+// Advance moves the clock forward by d.
+func (tl *Timeline) Advance(d Duration) {
+	if tl == nil {
+		return
+	}
+	tl.mu.Lock()
+	tl.t += d
+	tl.mu.Unlock()
+}
+
+// AdvanceTo moves the clock to at least t (used to join concurrent
+// activity: the clock lands at the later of the two finish times).
+func (tl *Timeline) AdvanceTo(t Duration) {
+	if tl == nil {
+		return
+	}
+	tl.mu.Lock()
+	if t > tl.t {
+		tl.t = t
+	}
+	tl.mu.Unlock()
+}
+
+// Now returns the current virtual time.
+func (tl *Timeline) Now() Duration {
+	if tl == nil {
+		return 0
+	}
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	return tl.t
+}

@@ -1,0 +1,138 @@
+// Package simnet models the PCIe fabric of a Xeon Phi server: one host
+// (SCIF node 0) and one or more coprocessors (SCIF nodes 1..N) connected by
+// PCIe gen2 x16 links. It provides virtual-time costs for message and DMA
+// traffic between nodes and keeps per-link byte counters so tests and the
+// benchmark harness can verify where data actually moved.
+//
+// Contention is not modeled: each transfer is charged its isolated cost.
+// The paper's experiments take one snapshot at a time, so link contention
+// never determines any reported number.
+package simnet
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"snapify/internal/simclock"
+)
+
+// NodeID identifies a SCIF node. Node 0 is the host; nodes 1..N are the
+// Xeon Phi coprocessors, matching SCIF's numbering in MPSS.
+type NodeID int
+
+// HostNode is the SCIF node ID of the host processor.
+const HostNode NodeID = 0
+
+// IsHost reports whether n is the host node.
+func (n NodeID) IsHost() bool { return n == HostNode }
+
+func (n NodeID) String() string {
+	if n.IsHost() {
+		return "host"
+	}
+	return fmt.Sprintf("mic%d", int(n)-1)
+}
+
+// Fabric is the PCIe interconnect of one Xeon Phi server.
+type Fabric struct {
+	model   *simclock.Model
+	devices int
+
+	// traffic[i][j] counts bytes moved from node i to node j.
+	traffic [][]atomic.Int64
+}
+
+// NewFabric returns a fabric with the given number of coprocessor devices.
+func NewFabric(model *simclock.Model, devices int) *Fabric {
+	if devices < 1 {
+		panic("simnet: a Xeon Phi server needs at least one coprocessor")
+	}
+	n := devices + 1
+	tr := make([][]atomic.Int64, n)
+	for i := range tr {
+		tr[i] = make([]atomic.Int64, n)
+	}
+	return &Fabric{model: model, devices: devices, traffic: tr}
+}
+
+// Model returns the fabric's cost model.
+func (f *Fabric) Model() *simclock.Model { return f.model }
+
+// Devices returns the number of coprocessors.
+func (f *Fabric) Devices() int { return f.devices }
+
+// Nodes returns the total number of SCIF nodes (host + devices).
+func (f *Fabric) Nodes() int { return f.devices + 1 }
+
+// ValidNode reports whether n names a node of this fabric.
+func (f *Fabric) ValidNode(n NodeID) bool { return n >= 0 && int(n) < f.Nodes() }
+
+func (f *Fabric) checkPair(from, to NodeID) {
+	if !f.ValidNode(from) || !f.ValidNode(to) {
+		panic(fmt.Sprintf("simnet: invalid node pair %d -> %d (fabric has %d nodes)", from, to, f.Nodes()))
+	}
+}
+
+// account records bytes on the from->to link.
+func (f *Fabric) account(from, to NodeID, bytes int64) {
+	f.traffic[from][to].Add(bytes)
+}
+
+// Traffic returns the bytes moved from one node to another so far.
+func (f *Fabric) Traffic(from, to NodeID) int64 {
+	f.checkPair(from, to)
+	return f.traffic[from][to].Load()
+}
+
+// RDMACost returns the virtual cost of one RDMA transfer of the given size
+// between two nodes and accounts the traffic. Device-to-device transfers
+// cross the host root complex, halving effective bandwidth (KNC peer-to-peer
+// behaves this way); same-node transfers are local memcpys.
+func (f *Fabric) RDMACost(from, to NodeID, bytes int64) simclock.Duration {
+	f.checkPair(from, to)
+	f.account(from, to, bytes)
+	m := f.model
+	switch {
+	case from == to:
+		if from.IsHost() {
+			return m.HostMemcpy(bytes)
+		}
+		return m.PhiMemcpy(bytes)
+	case !from.IsHost() && !to.IsHost():
+		// Peer-to-peer: staged through the root complex.
+		return m.RDMASetup + 2*m.RDMA(bytes) - m.RDMASetup
+	default:
+		return m.RDMA(bytes)
+	}
+}
+
+// MsgCost returns the virtual cost of a message-path (scif_send) transfer
+// between two nodes and accounts the traffic.
+func (f *Fabric) MsgCost(from, to NodeID, bytes int64) simclock.Duration {
+	f.checkPair(from, to)
+	f.account(from, to, bytes)
+	if from == to {
+		// Local loopback: one memcpy plus scheduling.
+		m := f.model
+		if from.IsHost() {
+			return m.HostMemcpy(bytes) + m.UnixSocketLatency
+		}
+		return m.PhiMemcpy(bytes) + m.UnixSocketLatency
+	}
+	if !from.IsHost() && !to.IsHost() {
+		return 2 * f.model.SCIFMsg(bytes)
+	}
+	return f.model.SCIFMsg(bytes)
+}
+
+// VirtioCost returns the virtual cost of moving bytes over the TCP/IP
+// virtio interface (the path NFS and scp traffic takes) and accounts it.
+func (f *Fabric) VirtioCost(from, to NodeID, bytes int64) simclock.Duration {
+	f.checkPair(from, to)
+	f.account(from, to, bytes)
+	hops := 1
+	if !from.IsHost() && !to.IsHost() && from != to {
+		hops = 2
+	}
+	return simclock.Duration(hops) * simclock.Rate(f.model.NFSBandwidth)(bytes)
+}

@@ -1,0 +1,103 @@
+package simnet
+
+import (
+	"testing"
+
+	"snapify/internal/simclock"
+)
+
+func newTestFabric(t *testing.T, devices int) *Fabric {
+	t.Helper()
+	return NewFabric(simclock.Default(), devices)
+}
+
+func TestNodeNaming(t *testing.T) {
+	if !HostNode.IsHost() {
+		t.Error("host node not host")
+	}
+	if HostNode.String() != "host" {
+		t.Errorf("host String = %q", HostNode.String())
+	}
+	if NodeID(1).String() != "mic0" || NodeID(2).String() != "mic1" {
+		t.Errorf("device naming wrong: %q %q", NodeID(1), NodeID(2))
+	}
+}
+
+func TestFabricTopology(t *testing.T) {
+	f := newTestFabric(t, 2)
+	if f.Nodes() != 3 || f.Devices() != 2 {
+		t.Fatalf("Nodes = %d, Devices = %d", f.Nodes(), f.Devices())
+	}
+	for _, n := range []NodeID{0, 1, 2} {
+		if !f.ValidNode(n) {
+			t.Errorf("node %d should be valid", n)
+		}
+	}
+	for _, n := range []NodeID{-1, 3} {
+		if f.ValidNode(n) {
+			t.Errorf("node %d should be invalid", n)
+		}
+	}
+}
+
+func TestNewFabricRequiresDevice(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero devices")
+		}
+	}()
+	NewFabric(simclock.Default(), 0)
+}
+
+func TestRDMACostOrdering(t *testing.T) {
+	f := newTestFabric(t, 2)
+	n := int64(64 * simclock.MiB)
+	hostDev := f.RDMACost(0, 1, n)
+	devDev := f.RDMACost(1, 2, n)
+	if devDev <= hostDev {
+		t.Errorf("peer-to-peer RDMA (%v) must be slower than host-device (%v)", devDev, hostDev)
+	}
+	localHost := f.RDMACost(0, 0, n)
+	localDev := f.RDMACost(1, 1, n)
+	if localHost >= localDev {
+		t.Errorf("host memcpy (%v) must beat KNC memcpy (%v)", localHost, localDev)
+	}
+}
+
+func TestVirtioSlowerThanRDMA(t *testing.T) {
+	f := newTestFabric(t, 1)
+	n := int64(256 * simclock.MiB)
+	if f.VirtioCost(1, 0, n) <= f.RDMACost(1, 0, n) {
+		t.Error("virtio path must be slower than RDMA")
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	f := newTestFabric(t, 2)
+	f.RDMACost(1, 0, 1000)
+	f.RDMACost(1, 0, 500)
+	f.MsgCost(0, 1, 64)
+	f.VirtioCost(2, 0, 10)
+	if got := f.Traffic(1, 0); got != 1500 {
+		t.Errorf("Traffic(1,0) = %d, want 1500", got)
+	}
+	if got := f.Traffic(0, 1); got != 64 {
+		t.Errorf("Traffic(0,1) = %d, want 64", got)
+	}
+	if got := f.Traffic(2, 0); got != 10 {
+		t.Errorf("Traffic(2,0) = %d, want 10", got)
+	}
+	if got := f.Traffic(2, 1); got != 0 {
+		t.Errorf("Traffic(2,1) = %d, want 0", got)
+	}
+}
+
+func TestInvalidNodePanics(t *testing.T) {
+	f := newTestFabric(t, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for invalid node")
+		}
+	}()
+	f.RDMACost(0, 5, 10)
+}

@@ -1,0 +1,243 @@
+package snapifyio
+
+import (
+	"io"
+
+	"snapify/internal/scif"
+	"snapify/internal/simnet"
+	"snapify/internal/vfs"
+)
+
+// Daemon is the per-node Snapify-IO daemon: a remote server thread accepts
+// SCIF connections from peer daemons and spawns a handler per connection to
+// serve the local file system.
+type Daemon struct {
+	svc     *Service
+	node    simnet.NodeID
+	fs      vfs.NodeFS
+	lst     *scif.Listener
+	bufSize int64
+	done    chan struct{}
+}
+
+// Node returns the daemon's SCIF node.
+func (d *Daemon) Node() simnet.NodeID { return d.node }
+
+// remoteServer is the daemon's remote server thread (Section 6): it accepts
+// SCIF connections and spawns a remote handler per connection.
+func (d *Daemon) remoteServer() {
+	for {
+		ep, err := d.lst.Accept()
+		if err != nil {
+			return // listener closed: daemon shutting down
+		}
+		go d.remoteHandler(ep)
+	}
+}
+
+// remoteHandler serves one file stream for a peer daemon.
+func (d *Daemon) remoteHandler(ep *scif.Endpoint) {
+	defer ep.Close()
+
+	raw, _, err := ep.Recv()
+	if err != nil {
+		return
+	}
+	u, err := expect(raw, msgOpen)
+	if err != nil {
+		return
+	}
+	mode := Mode(u.u8())
+	path := u.str()
+	peerWindow := u.i64()
+	n := u.i64()
+	if n != d.bufSize {
+		// Mismatched staging sizes would deadlock the chunk protocol.
+		d.reply(ep, func(w *wire) {
+			w.u8(msgOpenResp)
+			w.str("staging buffer size mismatch")
+			w.i64(0)
+		})
+		return
+	}
+
+	switch mode {
+	case Write:
+		d.serveWrite(ep, path, peerWindow)
+	case Read:
+		d.serveRead(ep, path, peerWindow)
+	}
+}
+
+func (d *Daemon) reply(ep *scif.Endpoint, fill func(*wire)) {
+	w := &wire{}
+	fill(w)
+	ep.Send(w.buf) //nolint:errcheck // peer teardown is handled by Recv errors
+}
+
+// serveWrite drains the peer's staging buffer into a local file.
+func (d *Daemon) serveWrite(ep *scif.Endpoint, path string, peerWindow int64) {
+	fw, err := d.fs.Create(path)
+	if err != nil {
+		d.reply(ep, func(w *wire) { w.u8(msgOpenResp); w.str(err.Error()); w.i64(0) })
+		return
+	}
+	d.reply(ep, func(w *wire) { w.u8(msgOpenResp); w.str(""); w.i64(0) })
+
+	staging := newSlot(d.bufSize)
+	for {
+		raw, _, err := ep.Recv()
+		if err != nil {
+			fw.Abort() // peer vanished mid-stream
+			return
+		}
+		u := &unwire{buf: raw}
+		switch u.u8() {
+		case msgChunkReady:
+			n := u.i64()
+			// Drain the peer's registered buffer with scif_vreadfrom.
+			rdma, err := ep.VReadFrom(staging, 0, n, peerWindow)
+			if err != nil {
+				fw.Abort()
+				return
+			}
+			fsWrite, err := fw.WriteBlob(staging.SnapshotRange(0, n))
+			if err != nil {
+				d.reply(ep, func(w *wire) { w.u8(msgChunkAck); w.str(err.Error()); w.dur(0); w.dur(0) })
+				fw.Abort()
+				return
+			}
+			d.reply(ep, func(w *wire) { w.u8(msgChunkAck); w.str(""); w.dur(rdma); w.dur(fsWrite) })
+		case msgClose:
+			err := fw.Close()
+			msg := ""
+			if err != nil {
+				msg = err.Error()
+			}
+			d.reply(ep, func(w *wire) { w.u8(msgCloseResp); w.str(msg) })
+			return
+		case msgAbort:
+			fw.Abort()
+			return
+		default:
+			fw.Abort()
+			return
+		}
+	}
+}
+
+// serveRead streams a local file into the peer's staging buffer.
+func (d *Daemon) serveRead(ep *scif.Endpoint, path string, peerWindow int64) {
+	fr, err := d.fs.Open(path)
+	if err != nil {
+		d.reply(ep, func(w *wire) { w.u8(msgOpenResp); w.str(err.Error()); w.i64(0) })
+		return
+	}
+	d.reply(ep, func(w *wire) { w.u8(msgOpenResp); w.str(""); w.i64(fr.Size()) })
+
+	staging := newSlot(d.bufSize)
+	for {
+		raw, _, err := ep.Recv()
+		if err != nil {
+			return
+		}
+		u := &unwire{buf: raw}
+		switch u.u8() {
+		case msgPull:
+			chunk, fsRead, err := fr.Next(d.bufSize)
+			if err == io.EOF {
+				d.reply(ep, func(w *wire) { w.u8(msgChunkHere); w.str(""); w.i64(0); w.dur(0); w.dur(0) })
+				continue // peer will close
+			}
+			if err != nil {
+				d.reply(ep, func(w *wire) { w.u8(msgChunkHere); w.str(err.Error()); w.i64(0); w.dur(0); w.dur(0) })
+				return
+			}
+			staging.WriteBlob(0, chunk)
+			// Push into the peer's registered buffer with scif_vwriteto.
+			rdma, err := ep.VWriteTo(staging, 0, chunk.Len(), peerWindow)
+			if err != nil {
+				return
+			}
+			d.reply(ep, func(w *wire) {
+				w.u8(msgChunkHere)
+				w.str("")
+				w.i64(chunk.Len())
+				w.dur(fsRead)
+				w.dur(rdma)
+			})
+		case msgClose, msgAbort:
+			d.reply(ep, func(w *wire) { w.u8(msgCloseResp); w.str("") })
+			return
+		default:
+			return
+		}
+	}
+}
+
+// open implements the library side: connect to the target daemon, register
+// the staging buffer, and return the file handle.
+func (d *Daemon) open(target simnet.NodeID, path string, mode Mode) (*File, error) {
+	model := d.svc.net.Fabric().Model()
+	ep, err := d.svc.net.Connect(d.node, scif.Addr{Node: target, Port: Port})
+	if err != nil {
+		return nil, err
+	}
+	staging := newSlot(d.bufSize)
+	win, regCost, err := ep.Register(staging, 0, d.bufSize)
+	if err != nil {
+		ep.Close()
+		return nil, err
+	}
+
+	w := &wire{}
+	w.u8(msgOpen)
+	w.u8(uint8(mode))
+	w.str(path)
+	w.i64(win.Offset)
+	w.i64(d.bufSize)
+	if _, err := ep.Send(w.buf); err != nil {
+		ep.Close()
+		return nil, err
+	}
+	raw, _, err := ep.Recv()
+	if err != nil {
+		ep.Close()
+		return nil, err
+	}
+	u, err := expect(raw, msgOpenResp)
+	if err != nil {
+		ep.Close()
+		return nil, err
+	}
+	if msg := u.str(); msg != "" {
+		ep.Close()
+		return nil, &RemoteError{Node: target, Path: path, Msg: msg}
+	}
+	size := u.i64()
+
+	return &File{
+		node:    d.node,
+		target:  target,
+		mode:    mode,
+		ep:      ep,
+		staging: staging,
+		bufSize: d.bufSize,
+		model:   model,
+		size:    size,
+		// The open handshake: UNIX socket to the local daemon, SCIF
+		// connect, window registration, request/response.
+		pending: model.UnixSocketLatency + 2*model.SCIFMsgLatency + regCost,
+	}, nil
+}
+
+// RemoteError is a failure reported by the remote daemon.
+type RemoteError struct {
+	Node simnet.NodeID
+	Path string
+	Msg  string
+}
+
+func (e *RemoteError) Error() string {
+	return "snapifyio: " + e.Node.String() + ":" + e.Path + ": " + e.Msg
+}

@@ -1,0 +1,205 @@
+package snapifyio
+
+import (
+	"fmt"
+	"io"
+
+	"snapify/internal/blob"
+	"snapify/internal/scif"
+	"snapify/internal/simclock"
+	"snapify/internal/simnet"
+	"snapify/internal/stream"
+)
+
+// File is a Snapify-IO handle, the analogue of the UNIX file descriptor
+// snapifyio_open returns. A Write-mode file implements stream.Sink; a
+// Read-mode file implements stream.Source. Chunk costs report the three
+// pipeline stages (local copy, RDMA, remote file system) so the consumer
+// composes them with its own stages.
+type File struct {
+	node    simnet.NodeID
+	target  simnet.NodeID
+	mode    Mode
+	ep      *scif.Endpoint
+	staging *slot
+	bufSize int64
+	model   *simclock.Model
+	size    int64
+
+	// pending is fixed overhead (open handshake) charged on the next chunk.
+	pending simclock.Duration
+
+	// read-mode chunk being doled out.
+	current blob.Blob
+	curOff  int64
+	eof     bool
+
+	closed bool
+}
+
+var (
+	_ stream.Sink   = (*File)(nil)
+	_ stream.Source = (*File)(nil)
+)
+
+// Mode returns the file's access mode.
+func (f *File) Mode() Mode { return f.mode }
+
+// Size returns the remote file size (read mode only).
+func (f *File) Size() int64 { return f.size }
+
+// localCopy is the user-process-to-staging (or back) stage on f's node.
+func (f *File) localCopy(n int64) simclock.Duration {
+	d := f.model.UnixSocketLatency
+	if f.node.IsHost() {
+		return d + f.model.HostMemcpy(n)
+	}
+	return d + f.model.PhiMemcpy(n)
+}
+
+// WriteBlob streams one chunk (at most the staging buffer size) to the
+// remote file. Part of stream.Sink.
+func (f *File) WriteBlob(b blob.Blob) (stream.Cost, error) {
+	if f.closed {
+		return stream.Cost{}, ErrFileClosed
+	}
+	if f.mode != Write {
+		return stream.Cost{}, fmt.Errorf("snapifyio: write on %v-mode file", f.mode)
+	}
+	var stages [3]simclock.Duration
+	err := b.ForEachChunk(f.bufSize, func(chunk blob.Blob) error {
+		// Stage 1: user writes the socket; local handler fills the buffer.
+		f.staging.WriteBlob(0, chunk)
+		s1 := f.localCopy(chunk.Len()) + f.pending
+		f.pending = 0
+
+		// Notify the remote daemon and wait for the drain ack.
+		w := &wire{}
+		w.u8(msgChunkReady)
+		w.i64(chunk.Len())
+		if _, err := f.ep.Send(w.buf); err != nil {
+			return err
+		}
+		raw, _, err := f.ep.Recv()
+		if err != nil {
+			return err
+		}
+		u, err := expect(raw, msgChunkAck)
+		if err != nil {
+			return err
+		}
+		if msg := u.str(); msg != "" {
+			return &RemoteError{Node: f.target, Path: "", Msg: msg}
+		}
+		rdma := u.dur() + f.model.SCIFMsgLatency // notify + DMA
+		fsWrite := u.dur()
+
+		stages[0] += s1
+		stages[1] += rdma
+		stages[2] += fsWrite
+		return nil
+	})
+	if err != nil {
+		return stream.Cost{}, err
+	}
+	return stream.Cost{Stages: stages[:]}, nil
+}
+
+// Next returns up to max bytes of the remote file. Part of stream.Source.
+func (f *File) Next(max int64) (blob.Blob, stream.Cost, error) {
+	if f.closed {
+		return blob.Blob{}, stream.Cost{}, ErrFileClosed
+	}
+	if f.mode != Read {
+		return blob.Blob{}, stream.Cost{}, fmt.Errorf("snapifyio: read on %v-mode file", f.mode)
+	}
+	var cost stream.Cost
+	if f.curOff >= f.current.Len() {
+		if f.eof {
+			return blob.Blob{}, stream.Cost{}, io.EOF
+		}
+		// Pull the next chunk through the staging buffer.
+		w := &wire{}
+		w.u8(msgPull)
+		if _, err := f.ep.Send(w.buf); err != nil {
+			return blob.Blob{}, stream.Cost{}, err
+		}
+		raw, _, err := f.ep.Recv()
+		if err != nil {
+			return blob.Blob{}, stream.Cost{}, err
+		}
+		u, err := expect(raw, msgChunkHere)
+		if err != nil {
+			return blob.Blob{}, stream.Cost{}, err
+		}
+		if msg := u.str(); msg != "" {
+			return blob.Blob{}, stream.Cost{}, &RemoteError{Node: f.target, Path: "", Msg: msg}
+		}
+		n := u.i64()
+		fsRead := u.dur()
+		rdma := u.dur() + f.model.SCIFMsgLatency
+		if n == 0 {
+			f.eof = true
+			return blob.Blob{}, stream.Cost{}, io.EOF
+		}
+		f.current = f.staging.SnapshotRange(0, n)
+		f.curOff = 0
+		// Stage 3: local handler copies buffer -> socket -> user. The read
+		// path is request-response over the single staging buffer, so the
+		// stages serialize — this is why device-to-host writes (whose host
+		// file-system writeback overlaps the PCIe transfer) outrun
+		// host-to-device reads in Section 7.
+		cost = stream.Cost{
+			Stages: []simclock.Duration{fsRead, rdma, f.localCopy(n) + f.pending},
+			Serial: true,
+		}
+		f.pending = 0
+	}
+	n := max
+	if rem := f.current.Len() - f.curOff; rem < n {
+		n = rem
+	}
+	chunk := f.current.Slice(f.curOff, n)
+	f.curOff += n
+	return chunk, cost, nil
+}
+
+// Close finalizes the stream: in write mode the remote file becomes
+// visible; in read mode resources are released.
+func (f *File) Close() error {
+	if f.closed {
+		return nil
+	}
+	f.closed = true
+	defer f.ep.Close()
+	w := &wire{}
+	w.u8(msgClose)
+	if _, err := f.ep.Send(w.buf); err != nil {
+		return err
+	}
+	raw, _, err := f.ep.Recv()
+	if err != nil {
+		return err
+	}
+	u, err := expect(raw, msgCloseResp)
+	if err != nil {
+		return err
+	}
+	if msg := u.str(); msg != "" {
+		return &RemoteError{Node: f.target, Path: "", Msg: msg}
+	}
+	return nil
+}
+
+// Abort discards the stream; in write mode the partial remote file is
+// dropped.
+func (f *File) Abort() {
+	if f.closed {
+		return
+	}
+	f.closed = true
+	w := &wire{}
+	w.u8(msgAbort)
+	f.ep.Send(w.buf) //nolint:errcheck // best effort: the remote handler also aborts on reset
+	f.ep.Close()
+}

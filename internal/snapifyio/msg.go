@@ -1,0 +1,67 @@
+package snapifyio
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"snapify/internal/simclock"
+)
+
+// Wire message types between Snapify-IO daemons.
+const (
+	msgOpen uint8 = iota + 1
+	msgOpenResp
+	msgChunkReady // write mode: staging buffer filled, please drain
+	msgChunkAck   // write mode: drained and written, buffer reusable
+	msgPull       // read mode: please fill my staging buffer
+	msgChunkHere  // read mode: staging buffer filled (n=0 means EOF)
+	msgClose
+	msgCloseResp
+	msgAbort
+)
+
+// wire is a minimal append/consume codec for the daemon protocol.
+type wire struct{ buf []byte }
+
+func (w *wire) u8(v uint8)              { w.buf = append(w.buf, v) }
+func (w *wire) i64(v int64)             { w.buf = binary.BigEndian.AppendUint64(w.buf, uint64(v)) }
+func (w *wire) dur(d simclock.Duration) { w.i64(int64(d)) }
+func (w *wire) str(s string) {
+	w.i64(int64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+type unwire struct {
+	buf []byte
+	off int
+}
+
+func (u *unwire) u8() uint8 {
+	v := u.buf[u.off]
+	u.off++
+	return v
+}
+
+func (u *unwire) i64() int64 {
+	v := binary.BigEndian.Uint64(u.buf[u.off:])
+	u.off += 8
+	return int64(v)
+}
+
+func (u *unwire) dur() simclock.Duration { return simclock.Duration(u.i64()) }
+
+func (u *unwire) str() string {
+	n := int(u.i64())
+	s := string(u.buf[u.off : u.off+n])
+	u.off += n
+	return s
+}
+
+// expect decodes a message and verifies its type.
+func expect(raw []byte, want uint8) (*unwire, error) {
+	u := &unwire{buf: raw}
+	if got := u.u8(); got != want {
+		return nil, fmt.Errorf("snapifyio: protocol error: got message %d, want %d", got, want)
+	}
+	return u, nil
+}

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BarChart renders horizontal bars — the text analogue of the paper's bar
+// figures. Stacked segments reproduce the breakdown figures (Fig 10a's
+// pause / host / device stacks).
+type BarChart struct {
+	Title    string
+	Unit     string // label appended to values, e.g. "s"
+	Segments []string
+	width    int
+	rows     []barRow
+}
+
+type barRow struct {
+	label  string
+	values []float64
+	note   string
+}
+
+// NewBarChart returns a chart with the given stacked-segment names (one
+// segment for plain bars).
+func NewBarChart(title, unit string, segments ...string) *BarChart {
+	return &BarChart{Title: title, Unit: unit, Segments: segments, width: 46}
+}
+
+// Bar appends a bar; values are per-segment (padded with zeros if short).
+// note is printed after the total (e.g. an overhead percentage).
+func (c *BarChart) Bar(label string, values []float64, note string) *BarChart {
+	c.rows = append(c.rows, barRow{label: label, values: values, note: note})
+	return c
+}
+
+// segment glyphs cycle for stacked bars.
+var glyphs = []rune{'█', '▓', '▒', '░'}
+
+// String renders the chart.
+func (c *BarChart) String() string {
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if len(c.Segments) > 1 {
+		b.WriteString("  key:")
+		for i, s := range c.Segments {
+			fmt.Fprintf(&b, " %c %s", glyphs[i%len(glyphs)], s)
+		}
+		b.WriteByte('\n')
+	}
+	var maxTotal float64
+	labelW := 0
+	for _, r := range c.rows {
+		var t float64
+		for _, v := range r.values {
+			t += v
+		}
+		if t > maxTotal {
+			maxTotal = t
+		}
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+	}
+	if maxTotal <= 0 {
+		maxTotal = 1
+	}
+	for _, r := range c.rows {
+		fmt.Fprintf(&b, "  %-*s ", labelW, r.label)
+		var total float64
+		cells := 0
+		for i, v := range r.values {
+			total += v
+			n := int(v / maxTotal * float64(c.width))
+			if v > 0 && n == 0 {
+				n = 1
+			}
+			cells += n
+			b.WriteString(strings.Repeat(string(glyphs[i%len(glyphs)]), n))
+		}
+		b.WriteString(strings.Repeat(" ", c.width+2-cells))
+		fmt.Fprintf(&b, "%8.2f%s", total, c.Unit)
+		if r.note != "" {
+			fmt.Fprintf(&b, "  %s", r.note)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,48 @@
+// Package vfs defines the node-local file system contract shared by every
+// storage transport (Snapify-IO daemons, the NFS client, scp) and provides
+// adapters for the two concrete file systems of a Xeon Phi server: the
+// host file system and a card's RAM file system.
+package vfs
+
+import (
+	"snapify/internal/blob"
+	"snapify/internal/hostfs"
+	"snapify/internal/ramfs"
+	"snapify/internal/simclock"
+)
+
+// NodeFS is the file system local to one SCIF node.
+type NodeFS interface {
+	Create(path string) (Writer, error)
+	Open(path string) (Reader, error)
+}
+
+// Writer streams a file in. The file becomes visible at Close; Abort
+// discards the partial file.
+type Writer interface {
+	WriteBlob(b blob.Blob) (simclock.Duration, error)
+	Close() error
+	Abort()
+}
+
+// Reader streams a file out; Next returns io.EOF after the last chunk.
+type Reader interface {
+	Next(max int64) (blob.Blob, simclock.Duration, error)
+	Size() int64
+}
+
+// Host adapts a hostfs.FS to NodeFS.
+func Host(fs *hostfs.FS) NodeFS { return hostAdapter{fs} }
+
+type hostAdapter struct{ fs *hostfs.FS }
+
+func (h hostAdapter) Create(path string) (Writer, error) { return h.fs.Create(path) }
+func (h hostAdapter) Open(path string) (Reader, error)   { return h.fs.Open(path) }
+
+// Ram adapts a ramfs.FS to NodeFS.
+func Ram(fs *ramfs.FS) NodeFS { return ramAdapter{fs} }
+
+type ramAdapter struct{ fs *ramfs.FS }
+
+func (r ramAdapter) Create(path string) (Writer, error) { return r.fs.Create(path) }
+func (r ramAdapter) Open(path string) (Reader, error)   { return r.fs.Open(path) }

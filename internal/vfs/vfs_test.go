@@ -1,0 +1,70 @@
+package vfs
+
+import (
+	"io"
+	"testing"
+
+	"snapify/internal/blob"
+	"snapify/internal/hostfs"
+	"snapify/internal/phi"
+	"snapify/internal/ramfs"
+	"snapify/internal/simclock"
+)
+
+// roundTrip exercises a NodeFS through the interface only.
+func roundTrip(t *testing.T, fs NodeFS) {
+	t.Helper()
+	w, err := fs.Create("/vfs/file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	content := blob.Concat(blob.FromBytes([]byte("header")), blob.Synthetic(5, 10000))
+	if _, err := w.WriteBlob(content); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := fs.Open("/vfs/file")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Size() != content.Len() {
+		t.Errorf("Size = %d, want %d", r.Size(), content.Len())
+	}
+	var parts []blob.Blob
+	for {
+		c, _, err := r.Next(4096)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, c)
+	}
+	if !blob.Equal(blob.Concat(parts...), content) {
+		t.Error("round trip content mismatch")
+	}
+
+	// Abort discards.
+	w2, _ := fs.Create("/vfs/aborted")
+	w2.WriteBlob(blob.Zeros(10)) //nolint:errcheck
+	w2.Abort()
+	if _, err := fs.Open("/vfs/aborted"); err == nil {
+		t.Error("aborted file visible")
+	}
+	if _, err := fs.Open("/vfs/missing"); err == nil {
+		t.Error("missing file opened")
+	}
+}
+
+func TestHostAdapter(t *testing.T) {
+	roundTrip(t, Host(hostfs.New(simclock.Default())))
+}
+
+func TestRamAdapter(t *testing.T) {
+	bud := phi.NewMemBudget(1 << 20)
+	roundTrip(t, Ram(ramfs.New(simclock.Default(), bud)))
+}

@@ -1,0 +1,75 @@
+package workloads
+
+import (
+	"fmt"
+	"testing"
+
+	"snapify/internal/core"
+)
+
+// TestEverySpecSurvivesEveryDisturbance runs each benchmark of the suite
+// through each disturbance kind — checkpoint+restart-in-place, swap
+// round trip, migration — at a mid-run point and requires the final
+// checksum to match the undisturbed run. This is the workload-level
+// version of the paper's transparency claim.
+func TestEverySpecSurvivesEveryDisturbance(t *testing.T) {
+	for _, spec := range OpenMP {
+		spec := scaled(spec, 8)
+		t.Run(spec.Code, func(t *testing.T) {
+			// Reference.
+			plat := newPlat(t, 2)
+			ref, err := Launch(plat, spec, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := ref.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref.Close()
+
+			for _, kind := range []string{"checkpoint", "swap", "migrate"} {
+				in, err := Launch(plat, spec, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := in.RunCalls(3); err != nil {
+					t.Fatal(err)
+				}
+				dir := fmt.Sprintf("/dist/%s/%s", spec.Code, kind)
+				switch kind {
+				case "checkpoint":
+					s := core.NewSnapshot(dir, in.CP)
+					mustOK(t, core.Pause(s))
+					mustOK(t, core.Capture(s, false))
+					mustOK(t, core.Wait(s))
+					mustOK(t, core.Resume(s))
+				case "swap":
+					s, err := core.Swapout(dir, in.CP)
+					mustOK(t, err)
+					_, err = core.Swapin(s, 1)
+					mustOK(t, err)
+				case "migrate":
+					target := in.CP.DeviceNode()%2 + 1
+					_, _, err := core.Migrate(in.CP, target, dir)
+					mustOK(t, err)
+				}
+				got, err := in.Run()
+				if err != nil {
+					t.Fatalf("%s after %s: %v", spec.Code, kind, err)
+				}
+				if got != want {
+					t.Errorf("%s after %s: checksum %d, want %d", spec.Code, kind, got, want)
+				}
+				in.Close()
+			}
+		})
+	}
+}
+
+func mustOK(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,76 @@
+package workloads
+
+import (
+	"fmt"
+
+	"snapify/internal/mpi"
+	"snapify/internal/simclock"
+)
+
+// RankSpec returns the per-rank footprint of the multi-zone benchmark when
+// its zones are divided across the given number of ranks. A fixed per-rank
+// base (runtime, solver workspace) keeps the shrink sub-linear, as in the
+// NAS-MZ implementations.
+func (m MZSpec) RankSpec(ranks int) Spec {
+	r := int64(ranks)
+	const base = 48 * simclock.MiB
+	return Spec{
+		Code:           m.Code,
+		Name:           m.Code + " (NAS multi-zone, class C)",
+		HostMem:        m.TotalHostMem/r + base/2,
+		DeviceMem:      m.TotalDeviceMem/r + base,
+		LocalStore:     m.TotalLocal/r + base/4,
+		Calls:          m.Iterations,
+		StepsPerCall:   8,
+		ComputePerCall: m.ComputePerIter / simclock.Duration(ranks),
+		InPerCall:      m.ExchangeBytes,
+		OutPerCall:     m.ExchangeBytes,
+	}
+}
+
+// LaunchMZRank starts rank r's zone of the benchmark on its node's first
+// coprocessor and attaches it for coordinated CR.
+func LaunchMZRank(r *mpi.Rank, m MZSpec, ranks int) (*Instance, error) {
+	in, err := LaunchWithHost(r.Plat, m.RankSpec(ranks), 1, r.Host, r.TL)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: launching %s rank %d: %w", m.Code, r.ID, err)
+	}
+	r.AttachApp(in.CP)
+	return in, nil
+}
+
+// AttachMZRank rebuilds a rank's Instance after a coordinated restart.
+func AttachMZRank(r *mpi.Rank, m MZSpec, ranks int) (*Instance, error) {
+	in, err := Attach(r.Plat, m.RankSpec(ranks), r.Host, r.App().Proc())
+	if err != nil {
+		return nil, fmt.Errorf("workloads: attaching %s rank %d: %w", m.Code, r.ID, err)
+	}
+	return in, nil
+}
+
+// RunMZIterations advances rank r's zone by iters time steps: each step is
+// one offload call followed by a boundary exchange with the ring
+// neighbors and a barrier — the channel-drained point where a coordinated
+// checkpoint may land.
+func RunMZIterations(r *mpi.Rank, in *Instance, iters int) error {
+	world := r.World()
+	size := world.Size()
+	boundary := make([]byte, in.Spec.InPerCall)
+	for i := 0; i < iters && !in.Done(); i++ {
+		if _, err := in.RunCalls(1); err != nil {
+			return err
+		}
+		if size > 1 {
+			next := (r.ID + 1) % size
+			prev := (r.ID + size - 1) % size
+			if err := r.Send(next, 1, boundary); err != nil {
+				return err
+			}
+			if _, err := r.Recv(prev, 1); err != nil {
+				return err
+			}
+		}
+		r.Barrier()
+	}
+	return nil
+}

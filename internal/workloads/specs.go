@@ -1,0 +1,172 @@
+// Package workloads provides the benchmark applications of the paper's
+// evaluation (Section 7): eight OpenMP-style offload benchmarks (Table 5)
+// and the three NAS multi-zone MPI benchmarks (LU-MZ, SP-MZ, BT-MZ,
+// class C).
+//
+// Table 5 is an image in our source of the paper, so only the four
+// benchmarks named in the text (MD, MC, SS, SG) are certain; the other
+// four are representative stand-ins (documented in EXPERIMENTS.md). Each
+// Spec's footprint and call pattern is calibrated so the suite reproduces
+// the figures' qualitative structure: MD makes the most offload calls and
+// shows the largest Snapify hook overhead (just under 5%); MC is the
+// smallest process and migrates fastest; SS and SG have local stores far
+// larger than their device snapshots, so their pauses dominate and their
+// checkpoint sizes reach the paper's gigabyte range (Figs 9 and 10).
+package workloads
+
+import (
+	"time"
+
+	"snapify/internal/simclock"
+)
+
+// Spec describes one OpenMP-style offload benchmark.
+type Spec struct {
+	// Code is the two-letter benchmark name used in the figures.
+	Code string
+	// Name is the descriptive name (Table 5).
+	Name string
+
+	// HostMem is the host process's private data footprint (drives the
+	// host snapshot size).
+	HostMem int64
+	// DeviceMem is the offload process's private heap (drives the device
+	// snapshot size).
+	DeviceMem int64
+	// LocalStore is the total COI buffer footprint (drives pause time and
+	// the local-store file size).
+	LocalStore int64
+
+	// Calls is the number of offload-region invocations in a full run.
+	Calls int
+	// StepsPerCall is the kernel's step count per invocation (each step is
+	// a snapshot-safe point).
+	StepsPerCall int
+	// ComputePerCall is the offload compute time per invocation.
+	ComputePerCall simclock.Duration
+	// InPerCall / OutPerCall are the per-invocation buffer transfers.
+	InPerCall, OutPerCall int64
+}
+
+// OpenMP is the paper's eight-benchmark OpenMP suite.
+var OpenMP = []Spec{
+	{
+		Code: "MD", Name: "Molecular Dynamics",
+		HostMem: 64 * simclock.MiB, DeviceMem: 96 * simclock.MiB, LocalStore: 48 * simclock.MiB,
+		Calls: 20000, StepsPerCall: 4, ComputePerCall: 1500 * time.Microsecond,
+		InPerCall: 64 * simclock.KiB, OutPerCall: 16 * simclock.KiB,
+	},
+	{
+		Code: "MC", Name: "Monte Carlo Option Pricing",
+		HostMem: 16 * simclock.MiB, DeviceMem: 32 * simclock.MiB, LocalStore: 8 * simclock.MiB,
+		Calls: 100, StepsPerCall: 16, ComputePerCall: 300 * time.Millisecond,
+		InPerCall: 8 * simclock.KiB, OutPerCall: 8 * simclock.KiB,
+	},
+	{
+		Code: "SS", Name: "Sparse Solver",
+		HostMem: 900 * simclock.MiB, DeviceMem: 128 * simclock.MiB, LocalStore: 1200 * simclock.MiB,
+		Calls: 200, StepsPerCall: 16, ComputePerCall: 150 * time.Millisecond,
+		InPerCall: 1 * simclock.MiB, OutPerCall: 256 * simclock.KiB,
+	},
+	{
+		Code: "SG", Name: "Scatter-Gather",
+		HostMem: 700 * simclock.MiB, DeviceMem: 96 * simclock.MiB, LocalStore: 1000 * simclock.MiB,
+		Calls: 300, StepsPerCall: 12, ComputePerCall: 100 * time.Millisecond,
+		InPerCall: 2 * simclock.MiB, OutPerCall: 512 * simclock.KiB,
+	},
+	{
+		Code: "NB", Name: "N-Body",
+		HostMem: 96 * simclock.MiB, DeviceMem: 256 * simclock.MiB, LocalStore: 128 * simclock.MiB,
+		Calls: 5000, StepsPerCall: 8, ComputePerCall: 8 * time.Millisecond,
+		InPerCall: 128 * simclock.KiB, OutPerCall: 128 * simclock.KiB,
+	},
+	{
+		Code: "JC", Name: "Jacobi 2D Stencil",
+		HostMem: 48 * simclock.MiB, DeviceMem: 384 * simclock.MiB, LocalStore: 256 * simclock.MiB,
+		Calls: 3000, StepsPerCall: 8, ComputePerCall: 10 * time.Millisecond,
+		InPerCall: 64 * simclock.KiB, OutPerCall: 64 * simclock.KiB,
+	},
+	{
+		Code: "KM", Name: "K-Means Clustering",
+		HostMem: 128 * simclock.MiB, DeviceMem: 192 * simclock.MiB, LocalStore: 160 * simclock.MiB,
+		Calls: 8000, StepsPerCall: 6, ComputePerCall: 5 * time.Millisecond,
+		InPerCall: 96 * simclock.KiB, OutPerCall: 32 * simclock.KiB,
+	},
+	{
+		Code: "BS", Name: "Black-Scholes",
+		HostMem: 32 * simclock.MiB, DeviceMem: 64 * simclock.MiB, LocalStore: 96 * simclock.MiB,
+		Calls: 12000, StepsPerCall: 4, ComputePerCall: 2500 * time.Microsecond,
+		InPerCall: 48 * simclock.KiB, OutPerCall: 48 * simclock.KiB,
+	},
+}
+
+// ByCode returns the OpenMP spec with the given code.
+func ByCode(code string) (Spec, bool) {
+	for _, s := range OpenMP {
+		if s.Code == code {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// MZSpec describes one NAS multi-zone MPI benchmark (class C). The zones
+// partition across ranks, so per-rank memory — and hence per-rank
+// checkpoint size — shrinks as ranks are added (Fig 11c).
+type MZSpec struct {
+	Code string
+	// TotalHostMem and TotalDeviceMem are the aggregate class-C problem
+	// footprints, divided across ranks.
+	TotalHostMem   int64
+	TotalDeviceMem int64
+	TotalLocal     int64
+	// Iterations is the outer time-step count; each iteration is one
+	// offload call per rank plus a boundary exchange.
+	Iterations int
+	// ComputePerIter is the aggregate compute per iteration (divided
+	// across ranks).
+	ComputePerIter simclock.Duration
+	// ExchangeBytes is the per-neighbor boundary exchange per iteration.
+	ExchangeBytes int64
+}
+
+// NASMZ is the paper's MPI suite: LU-MZ, SP-MZ, BT-MZ, class C.
+var NASMZ = []MZSpec{
+	{
+		Code:           "LU-MZ",
+		TotalHostMem:   600 * simclock.MiB,
+		TotalDeviceMem: 900 * simclock.MiB,
+		TotalLocal:     500 * simclock.MiB,
+		Iterations:     250,
+		ComputePerIter: 600 * time.Millisecond,
+		ExchangeBytes:  2 * simclock.MiB,
+	},
+	{
+		Code:           "SP-MZ",
+		TotalHostMem:   500 * simclock.MiB,
+		TotalDeviceMem: 800 * simclock.MiB,
+		TotalLocal:     400 * simclock.MiB,
+		Iterations:     400,
+		ComputePerIter: 350 * time.Millisecond,
+		ExchangeBytes:  1 * simclock.MiB,
+	},
+	{
+		Code:           "BT-MZ",
+		TotalHostMem:   700 * simclock.MiB,
+		TotalDeviceMem: 1100 * simclock.MiB,
+		TotalLocal:     600 * simclock.MiB,
+		Iterations:     200,
+		ComputePerIter: 800 * time.Millisecond,
+		ExchangeBytes:  3 * simclock.MiB,
+	},
+}
+
+// MZByCode returns the MZ spec with the given code.
+func MZByCode(code string) (MZSpec, bool) {
+	for _, s := range NASMZ {
+		if s.Code == code {
+			return s, true
+		}
+	}
+	return MZSpec{}, false
+}

@@ -1,0 +1,200 @@
+package workloads
+
+import (
+	"testing"
+
+	"snapify/internal/coi"
+	"snapify/internal/core"
+	"snapify/internal/phi"
+	"snapify/internal/platform"
+	"snapify/internal/simclock"
+)
+
+func newPlat(t *testing.T, devices int) *platform.Platform {
+	t.Helper()
+	plat := platform.New(platform.Config{Server: phi.ServerConfig{Devices: devices, Device: phi.DeviceConfig{MemBytes: 8 * simclock.GiB}}})
+	if err := coi.StartDaemons(plat); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { coi.StopDaemons(plat) })
+	return plat
+}
+
+// scaled returns spec with a small call count for fast tests.
+func scaled(s Spec, calls int) Spec {
+	s.Calls = calls
+	return s
+}
+
+func TestEverySpecRunsAndIsDeterministic(t *testing.T) {
+	for _, s := range OpenMP {
+		s := scaled(s, 6)
+		t.Run(s.Code, func(t *testing.T) {
+			plat := newPlat(t, 1)
+			run := func() uint64 {
+				in, err := Launch(plat, s, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer in.Close()
+				sum, err := in.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !in.Done() {
+					t.Error("run not done")
+				}
+				if in.Runtime() <= 0 {
+					t.Error("no virtual runtime accumulated")
+				}
+				return sum
+			}
+			if run() != run() {
+				t.Error("checksum not deterministic across runs")
+			}
+		})
+	}
+}
+
+func TestFootprintsOnCard(t *testing.T) {
+	plat := newPlat(t, 1)
+	s, _ := ByCode("SS")
+	before := plat.Device(1).Mem.Used()
+	in, err := Launch(plat, scaled(s, 1), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	used := plat.Device(1).Mem.Used() - before
+	// Device heap + local store (+ runtime/binary overhead).
+	min := s.DeviceMem + s.LocalStore
+	if used < min {
+		t.Errorf("card holds %d bytes, want >= %d", used, min)
+	}
+}
+
+func TestCheckpointRestartMidRunPreservesChecksum(t *testing.T) {
+	s, _ := ByCode("JC")
+	s = scaled(s, 10)
+
+	// Reference: uninterrupted.
+	refPlat := newPlat(t, 1)
+	refIn, err := Launch(refPlat, s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := refIn.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refIn.Close()
+
+	// Interrupted: checkpoint at call 4, kill, restart, finish.
+	plat := newPlat(t, 1)
+	in, err := Launch(plat, s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.RunCalls(4); err != nil {
+		t.Fatal(err)
+	}
+	app := core.NewApp(plat, in.CP)
+	if _, err := app.Checkpoint("/snap/wl"); err != nil {
+		t.Fatal(err)
+	}
+	in.Close() // the application dies
+
+	app2, host2, _, err := core.RestartApp(plat, "/snap/wl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host2.Terminate()
+	in2, err := Attach(plat, s, host2, app2.Proc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in2.Progress(); got != 4 {
+		t.Fatalf("restored progress = %d, want 4", got)
+	}
+	got, err := in2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("restarted checksum %d, want %d", got, want)
+	}
+}
+
+func TestFig9OverheadBounds(t *testing.T) {
+	// Scaled-down Fig 9: the Snapify hooks add runtime, bounded by 5%.
+	s, _ := ByCode("MD")
+	s = scaled(s, 400)
+	run := func(noHooks bool) simclock.Duration {
+		plat := platform.New(platform.Config{
+			Server:    phi.ServerConfig{Devices: 1},
+			NoSnapify: noHooks,
+		})
+		if err := coi.StartDaemons(plat); err != nil {
+			t.Fatal(err)
+		}
+		defer coi.StopDaemons(plat)
+		in, err := Launch(plat, s, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer in.Close()
+		if _, err := in.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return in.Runtime()
+	}
+	with := run(false)
+	without := run(true)
+	if with <= without {
+		t.Fatalf("hooks add no overhead: with=%v without=%v", with, without)
+	}
+	overhead := float64(with-without) / float64(without)
+	if overhead >= 0.05 {
+		t.Errorf("MD overhead %.2f%% breaches the paper's 5%% bound", overhead*100)
+	}
+	if overhead < 0.005 {
+		t.Errorf("MD overhead %.3f%% implausibly low for the most call-heavy app", overhead*100)
+	}
+}
+
+func TestMZRankSpecShrinksWithRanks(t *testing.T) {
+	for _, m := range NASMZ {
+		s1 := m.RankSpec(1)
+		s2 := m.RankSpec(2)
+		s4 := m.RankSpec(4)
+		total := func(s Spec) int64 { return s.HostMem + s.DeviceMem + s.LocalStore }
+		if !(total(s1) > total(s2) && total(s2) > total(s4)) {
+			t.Errorf("%s per-rank footprint not shrinking: %d %d %d", m.Code, total(s1), total(s2), total(s4))
+		}
+		// Sub-linear: 4 ranks hold more than a quarter of 1 rank each.
+		if total(s4) <= total(s1)/4 {
+			t.Errorf("%s shrink is not sub-linear", m.Code)
+		}
+	}
+}
+
+func TestByCodeLookups(t *testing.T) {
+	if _, ok := ByCode("MD"); !ok {
+		t.Error("MD missing")
+	}
+	if _, ok := ByCode("XX"); ok {
+		t.Error("bogus code found")
+	}
+	if _, ok := MZByCode("LU-MZ"); !ok {
+		t.Error("LU-MZ missing")
+	}
+	if _, ok := MZByCode("ZZ-MZ"); ok {
+		t.Error("bogus MZ code found")
+	}
+	if len(OpenMP) != 8 {
+		t.Errorf("suite has %d benchmarks, want 8", len(OpenMP))
+	}
+	if len(NASMZ) != 3 {
+		t.Errorf("MZ suite has %d benchmarks, want 3", len(NASMZ))
+	}
+}
