@@ -1,0 +1,139 @@
+// Command snapifylint runs the Snapify-specific static analyzers
+// (internal/lint) over the module and reports protocol-invariant
+// violations with file:line positions.
+//
+// Usage:
+//
+//	snapifylint [-allowlist file] [-json] [-list] [patterns...]
+//
+// Patterns are package directories relative to the module root, with the
+// usual /... suffix for subtrees (default ./...). The exit status is 0
+// when no findings survive the allowlist, 1 when findings remain, and 2
+// on usage or load errors.
+//
+// If -allowlist is not given and a .snapifylint file exists at the module
+// root, it is used automatically. See internal/lint for the allowlist and
+// //nolint directive formats — every suppression requires a written
+// justification.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"snapify/internal/lint"
+)
+
+// DefaultAllowlistName is the allowlist loaded from the module root when
+// -allowlist is not given.
+const DefaultAllowlistName = ".snapifylint"
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	flags := flag.NewFlagSet("snapifylint", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	allowPath := flags.String("allowlist", "", "allowlist file of acknowledged findings (default: <module root>/"+DefaultAllowlistName+" if present)")
+	asJSON := flags.Bool("json", false, "emit findings as a JSON array (stable across runs, for CI diffing)")
+	list := flags.Bool("list", false, "list the analyzers and the invariant each protects, then exit")
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "snapifylint:", err)
+		return 2
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "snapifylint:", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "snapifylint:", err)
+		return 2
+	}
+
+	patterns := flags.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, "snapifylint:", err)
+		return 2
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(stderr, "snapifylint: type error (analysis degrades): %v\n", terr)
+		}
+	}
+
+	var allow *lint.Allowlist
+	switch {
+	case *allowPath != "":
+		if allow, err = lint.ParseAllowlist(*allowPath); err != nil {
+			fmt.Fprintln(stderr, "snapifylint:", err)
+			return 2
+		}
+	default:
+		implicit := filepath.Join(root, DefaultAllowlistName)
+		if _, statErr := os.Stat(implicit); statErr == nil {
+			if allow, err = lint.ParseAllowlist(implicit); err != nil {
+				fmt.Fprintln(stderr, "snapifylint:", err)
+				return 2
+			}
+		}
+	}
+
+	findings := allow.Filter(lint.Run(pkgs, lint.All()))
+	for _, e := range allow.Unused() {
+		fmt.Fprintf(stderr, "snapifylint: unused allowlist entry in %s: %s %s %s (delete it?)\n",
+			allow.Source, e.Analyzer, e.PathSuffix, e.Match)
+	}
+
+	// Findings print with module-root-relative paths so output (and the
+	// -json stream CI diffs across PRs) is stable across checkouts.
+	for i := range findings {
+		if rel, relErr := filepath.Rel(root, findings[i].File); relErr == nil {
+			findings[i].File = filepath.ToSlash(rel)
+		}
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, "snapifylint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*asJSON {
+			fmt.Fprintf(stdout, "snapifylint: %d finding(s)\n", len(findings))
+		}
+		return 1
+	}
+	return 0
+}

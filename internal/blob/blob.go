@@ -60,7 +60,7 @@ func FromBytes(b []byte) Blob {
 // from seed, starting at stream offset 0.
 func Synthetic(seed uint64, size int64) Blob {
 	if size < 0 {
-		panic(fmt.Sprintf("blob: negative size %d", size))
+		panic(fmt.Sprintf("blob: negative size %d", size)) //nolint:paniclib // caller bug: a negative size is unconstructible input, not a runtime condition
 	}
 	if size == 0 {
 		return Blob{}
@@ -92,7 +92,7 @@ func Concat(blobs ...Blob) Blob {
 // bounds.
 func (b Blob) Slice(off, n int64) Blob {
 	if off < 0 || n < 0 || off+n > b.size {
-		panic(fmt.Sprintf("blob: slice [%d,%d) out of range of %d", off, off+n, b.size))
+		panic(fmt.Sprintf("blob: slice [%d,%d) out of range of %d", off, off+n, b.size)) //nolint:paniclib // caller bug: slice bounds, mirroring built-in slice semantics
 	}
 	if n == 0 {
 		return Blob{}
@@ -179,7 +179,7 @@ func (b Blob) Bytes() []byte {
 // At returns the byte at offset off.
 func (b Blob) At(off int64) byte {
 	if off < 0 || off >= b.size {
-		panic(fmt.Sprintf("blob: offset %d out of range of %d", off, b.size))
+		panic(fmt.Sprintf("blob: offset %d out of range of %d", off, b.size)) //nolint:paniclib // caller bug: index bounds, mirroring built-in indexing
 	}
 	pos := int64(0)
 	for _, e := range b.extents {
@@ -194,7 +194,7 @@ func (b Blob) At(off int64) byte {
 		}
 		pos += e.Size
 	}
-	panic("unreachable")
+	panic("unreachable") //nolint:paniclib // unreachable: the extent list covers the whole blob by construction
 }
 
 // LiteralBytes returns the number of bytes held as literal extents; the
@@ -312,7 +312,7 @@ func (b Blob) Hash() uint64 {
 // buffers built on Splice never materialize synthetic content.
 func Splice(base Blob, off int64, src Blob) Blob {
 	if off < 0 || off+src.Len() > base.Len() {
-		panic(fmt.Sprintf("blob: splice [%d,%d) out of range of %d", off, off+src.Len(), base.Len()))
+		panic(fmt.Sprintf("blob: splice [%d,%d) out of range of %d", off, off+src.Len(), base.Len())) //nolint:paniclib // caller bug: splice bounds, mirroring built-in slice semantics
 	}
 	return Concat(base.Slice(0, off), src, base.Slice(off+src.Len(), base.Len()-off-src.Len()))
 }
@@ -322,7 +322,7 @@ func Splice(base Blob, off int64, src Blob) Blob {
 // blob through a bounded staging buffer.
 func (b Blob) ForEachChunk(chunkSize int64, fn func(chunk Blob) error) error {
 	if chunkSize <= 0 {
-		panic("blob: non-positive chunk size")
+		panic("blob: non-positive chunk size") //nolint:paniclib // caller bug: the chunk size is a constant at every call site
 	}
 	for off := int64(0); off < b.size; off += chunkSize {
 		n := chunkSize

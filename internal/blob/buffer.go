@@ -28,7 +28,7 @@ type span struct {
 // (seed 0 = zero-filled, like fresh anonymous memory).
 func NewBuffer(size int64, seed uint64) *Buffer {
 	if size < 0 {
-		panic(fmt.Sprintf("blob: negative buffer size %d", size))
+		panic(fmt.Sprintf("blob: negative buffer size %d", size)) //nolint:paniclib // caller bug: a negative size is unconstructible input, not a runtime condition
 	}
 	return &Buffer{size: size, seed: seed}
 }
@@ -48,7 +48,7 @@ func (b *Buffer) DirtyBytes() int64 {
 // WriteAt copies p into the buffer at off.
 func (b *Buffer) WriteAt(p []byte, off int64) {
 	if off < 0 || off+int64(len(p)) > b.size {
-		panic(fmt.Sprintf("blob: write [%d,%d) out of range of %d", off, off+int64(len(p)), b.size))
+		panic(fmt.Sprintf("blob: write [%d,%d) out of range of %d", off, off+int64(len(p)), b.size)) //nolint:paniclib // caller bug: write bounds, mirroring built-in slice semantics
 	}
 	if len(p) == 0 {
 		return
@@ -130,7 +130,7 @@ func (b *Buffer) Fill(v byte, off, n int64) {
 // ReadAt fills p with buffer content at off.
 func (b *Buffer) ReadAt(p []byte, off int64) {
 	if off < 0 || off+int64(len(p)) > b.size {
-		panic(fmt.Sprintf("blob: read [%d,%d) out of range of %d", off, off+int64(len(p)), b.size))
+		panic(fmt.Sprintf("blob: read [%d,%d) out of range of %d", off, off+int64(len(p)), b.size)) //nolint:paniclib // caller bug: read bounds, mirroring built-in slice semantics
 	}
 	Materialize(b.seed, off, p)
 	lo := sort.Search(len(b.writes), func(i int) bool {
@@ -160,7 +160,7 @@ func (b *Buffer) Snapshot() Blob { return b.SnapshotRange(0, b.size) }
 // buffer's own seed and matching stream offset collapse back to background.
 func (b *Buffer) Restore(src Blob) {
 	if src.Len() != b.size {
-		panic(fmt.Sprintf("blob: restore size %d into buffer of %d", src.Len(), b.size))
+		panic(fmt.Sprintf("blob: restore size %d into buffer of %d", src.Len(), b.size)) //nolint:paniclib // caller bug: a restore image matches the buffer size by protocol construction
 	}
 	b.writes = nil
 	b.WriteBlob(0, src)
@@ -173,7 +173,7 @@ func (b *Buffer) Restore(src Blob) {
 // cheap); any other synthetic extent is materialized in bounded windows.
 func (b *Buffer) WriteBlob(off int64, src Blob) {
 	if off < 0 || off+src.Len() > b.size {
-		panic(fmt.Sprintf("blob: WriteBlob [%d,%d) out of range of %d", off, off+src.Len(), b.size))
+		panic(fmt.Sprintf("blob: WriteBlob [%d,%d) out of range of %d", off, off+src.Len(), b.size)) //nolint:paniclib // caller bug: write bounds, mirroring built-in slice semantics
 	}
 	pos := off
 	for _, e := range src.Extents() {
@@ -228,7 +228,7 @@ func (b *Buffer) clearOverlay(off, n int64) {
 // [off, off+n).
 func (b *Buffer) SnapshotRange(off, n int64) Blob {
 	if off < 0 || n < 0 || off+n > b.size {
-		panic(fmt.Sprintf("blob: SnapshotRange [%d,%d) out of range of %d", off, off+n, b.size))
+		panic(fmt.Sprintf("blob: SnapshotRange [%d,%d) out of range of %d", off, off+n, b.size)) //nolint:paniclib // caller bug: snapshot bounds, mirroring built-in slice semantics
 	}
 	if n == 0 {
 		return Blob{}

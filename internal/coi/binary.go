@@ -71,7 +71,7 @@ func (b *Binary) AddRegion(name string, kind proc.RegionKind, size int64, seed u
 // Register adds a named offload function.
 func (b *Binary) Register(name string, fn OffloadFunc) *Binary {
 	if _, dup := b.funcs[name]; dup {
-		panic(fmt.Sprintf("coi: duplicate offload function %q in %s", name, b.Name))
+		panic(fmt.Sprintf("coi: duplicate offload function %q in %s", name, b.Name)) //nolint:paniclib // registration-time bug: duplicate offload function names are a programming error
 	}
 	b.funcs[name] = fn
 	return b

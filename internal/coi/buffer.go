@@ -136,7 +136,7 @@ type blobMemory struct{ b blob.Blob }
 
 func (m blobMemory) Size() int64                          { return m.b.Len() }
 func (m blobMemory) SnapshotRange(off, n int64) blob.Blob { return m.b.Slice(off, n) }
-func (m blobMemory) WriteBlob(int64, blob.Blob)           { panic("coi: write into immutable blob") }
+func (m blobMemory) WriteBlob(int64, blob.Blob)           { panic("coi: write into immutable blob") } //nolint:paniclib // interface contract: restore sources are read-only by construction
 
 // rdma runs one RDMA call site inside the case-2 critical region.
 func (b *Buffer) rdma(op func() error) error {

@@ -56,11 +56,10 @@ type Daemon struct {
 	// "Dealing with distributed states").
 	crashed map[int]bool
 
-	// Snapify monitor thread state: the list of active pause requests and
-	// whether the dedicated monitor thread is running.
+	// Snapify monitor state: the list of active pause requests, each with
+	// a dedicated monitor thread blocked on its pipe.
 	monMu      sync.Mutex
 	activeReqs map[int]*pauseState
-	monRunning bool
 }
 
 // daemonMemory is the daemon's own footprint on the card.
@@ -88,7 +87,11 @@ func StartDaemon(plat *platform.Platform, dev *phi.Device) (*Daemon, error) {
 		crashed:    make(map[int]bool),
 		activeReqs: make(map[int]*pauseState),
 	}
-	p.SpawnThread("daemon_server", d.serve)
+	if err := p.SpawnThread("daemon_server", d.serve); err != nil {
+		lst.Close() //nolint:errcheck // unwinding a failed start: the listener was just opened and has no connections
+		p.Terminate()
+		return nil, fmt.Errorf("coi: daemon server thread on %v: %w", dev.Node, err)
+	}
 	return d, nil
 }
 
@@ -97,7 +100,7 @@ func (d *Daemon) Node() simnet.NodeID { return d.dev.Node }
 
 // Stop terminates the daemon and every offload process it manages.
 func (d *Daemon) Stop() {
-	d.lst.Close()
+	d.lst.Close() //nolint:errcheck // daemon stop: a close error on the lifecycle listener has no recovery
 	d.mu.Lock()
 	procs := make([]*OffloadProc, 0, len(d.procs))
 	for _, op := range d.procs {
@@ -146,7 +149,7 @@ func (d *Daemon) handleConn(ep *scif.Endpoint) {
 	for {
 		raw, _, err := ep.Recv()
 		if err != nil {
-			ep.Close()
+			ep.Close() //nolint:errcheck // the peer is gone (Recv failed); close only releases the endpoint
 			return
 		}
 		op := raw[0]
@@ -175,7 +178,7 @@ func (d *Daemon) handleConn(ep *scif.Endpoint) {
 				reply(ep, opAwaitReadyResp, []byte{0})
 			}
 		default:
-			ep.Close()
+			ep.Close() //nolint:errcheck // protocol error: dropping the connection IS the error signal
 			return
 		}
 	}

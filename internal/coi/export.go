@@ -41,7 +41,7 @@ func DaemonRestoreRequest(plat *platform.Platform, device simnet.NodeID, payload
 	if err != nil {
 		return nil, err
 	}
-	defer ep.Close()
+	defer ep.Close() //nolint:errcheck // one-shot request endpoint: the reply already arrived or err reports the failure
 	if _, err := ep.Send(append([]byte{opSnapifyRestore}, payload...)); err != nil {
 		return nil, err
 	}

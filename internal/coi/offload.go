@@ -151,7 +151,7 @@ func (op *OffloadProc) listenChannels() error {
 			op.mu.Lock()
 			op.cmdEPs[name] = ep
 			op.mu.Unlock()
-			op.p.SpawnThread("server_"+name, func() { //nolint:errcheck
+			op.p.SpawnThread("server_"+name, func() { //nolint:errcheck // the process died mid-setup; the pending Accept fails and tears the channel down
 				serveCommandChannel(ep, func(req []byte) []byte { return op.handleCommand(name, req) })
 			})
 		}); err != nil {
@@ -185,7 +185,7 @@ func (op *OffloadProc) listenOne(name string, set func(*scif.Endpoint)) error {
 	go func() {
 		defer op.ready.Done()
 		ep, err := lst.Accept()
-		lst.Close()
+		lst.Close() //nolint:errcheck // single-use listener: the one Accept already returned
 		if err != nil {
 			return
 		}
@@ -273,12 +273,12 @@ func (op *OffloadProc) createBuffer(id int, size int64) (int64, error) {
 	dma := op.dmaEP
 	op.mu.Unlock()
 	if dma == nil {
-		op.p.RemoveRegion(name) //nolint:errcheck
+		op.p.RemoveRegion(name) //nolint:errcheck // unwinding a failed buffer create; the region was just added
 		return 0, fmt.Errorf("coi: DMA channel not connected")
 	}
 	w, _, err := dma.Register(r, 0, size)
 	if err != nil {
-		op.p.RemoveRegion(name) //nolint:errcheck
+		op.p.RemoveRegion(name) //nolint:errcheck // unwinding a failed DMA registration; the region was just added
 		return 0, err
 	}
 	op.mu.Lock()
@@ -299,7 +299,7 @@ func (op *OffloadProc) destroyBuffer(id int) error {
 		return fmt.Errorf("coi: no buffer %d", id)
 	}
 	if dma != nil {
-		dma.Unregister(b.window) //nolint:errcheck
+		dma.Unregister(b.window) //nolint:errcheck // unregistering a vanished window is a no-op on the simulated fabric
 	}
 	return op.p.RemoveRegion(BufferRegionName(id))
 }
@@ -311,9 +311,9 @@ func (op *OffloadProc) createPipeline(id uint32) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	go func() {
+	go func() { //nolint:goroutineleak // exits when its one Accept returns; teardown closes lst, which fails the Accept
 		ep, err := lst.Accept()
-		lst.Close()
+		lst.Close() //nolint:errcheck // single-use listener: the one Accept already returned
 		if err != nil {
 			return
 		}
@@ -321,7 +321,7 @@ func (op *OffloadProc) createPipeline(id uint32) (int, error) {
 		op.pipelines[id] = &devicePipeline{id: id, ep: ep}
 		op.pipeCond.Broadcast()
 		op.mu.Unlock()
-		op.p.SpawnThread(fmt.Sprintf("pipe_thread2_%d", id), func() { //nolint:errcheck
+		op.p.SpawnThread(fmt.Sprintf("pipe_thread2_%d", id), func() { //nolint:errcheck // the process died mid-setup; the connected peer sees the endpoint close
 			op.servePipeline(id, ep)
 		})
 	}()
@@ -360,10 +360,10 @@ func (op *OffloadProc) teardown() {
 	pipe := op.pipe
 	op.mu.Unlock()
 	for _, ep := range eps {
-		ep.Close()
+		ep.Close() //nolint:errcheck // teardown fan-out: each close only unblocks the host-side peer
 	}
 	if pipe != nil {
-		pipe.Close()
+		pipe.Close() //nolint:errcheck // teardown: the agent thread exits on the resulting Recv error
 	}
 	op.p.Terminate()
 }
@@ -430,7 +430,7 @@ func (op *OffloadProc) writeCtrl(st ctrlState) {
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(st.Args)))
 	buf = append(buf, st.Args...)
 	if len(buf) > ctrlRegionSize {
-		panic(fmt.Sprintf("coi: control record %d bytes exceeds control region", len(buf)))
+		panic(fmt.Sprintf("coi: control record %d bytes exceeds control region", len(buf))) //nolint:paniclib // protocol invariant: the control region is sized for the largest record (args are capped at launch)
 	}
 	r.WriteAt(buf, 0)
 }

@@ -145,7 +145,7 @@ func (pl *Pipeline) RunFunctionAsync(name string, args []byte) (*RunHandle, erro
 	if cp.hooks() {
 		cp.tl.Advance(cp.plat.Model().HookOffloadCall)
 	}
-	d, err := ep.Send(msg)
+	d, err := ep.Send(msg) //nolint:mutexblock // intended (Fig 4 step 1): sendMu IS the pause lock; pause must block here, never mid-send
 	pl.sendMu.Unlock()
 	if err != nil {
 		pl.mu.Lock()
@@ -249,7 +249,7 @@ func (op *OffloadProc) executeFunction(id uint32, seq uint64, name string, args 
 	}
 	op.resultMu.Lock()
 	defer op.resultMu.Unlock()
-	if _, err := pl.ep.Send(msg); err != nil {
+	if _, err := pl.ep.Send(msg); err != nil { //nolint:mutexblock // intended (Section 4.1 case 4): resultMu is the drain lock; the result send completes inside it
 		return
 	}
 	op.writeCtrl(ctrlState{})

@@ -99,7 +99,7 @@ func CreateProcess(plat *platform.Platform, hostProc *proc.Process, tl *simclock
 	cp.lifecycleMu.Lock()
 	defer cp.lifecycleMu.Unlock()
 
-	ep, err := plat.Net.Connect(simnet.HostNode, scif.Addr{Node: devNode, Port: DaemonPort})
+	ep, err := plat.Net.Connect(simnet.HostNode, scif.Addr{Node: devNode, Port: DaemonPort}) //nolint:mutexblock // intended: lifecycleMu serializes the whole launch round-trip against Snapify swap (Section 4.2)
 	if err != nil {
 		return nil, fmt.Errorf("coi: connecting to daemon on %v: %w", devNode, err)
 	}
@@ -113,12 +113,12 @@ func CreateProcess(plat *platform.Platform, hostProc *proc.Process, tl *simclock
 	req = appendU32(req, uint32(len(binaryName)))
 	req = append(req, binaryName...)
 	req = binary.BigEndian.AppendUint64(req, uint64(binSize))
-	if d, err := ep.Send(req); err != nil {
+	if d, err := ep.Send(req); err != nil { //nolint:mutexblock // intended: the launch request owns the lifecycle channel for its round-trip
 		return nil, err
 	} else {
 		tl.Advance(d)
 	}
-	raw, d, err := ep.Recv()
+	raw, d, err := ep.Recv() //nolint:mutexblock // intended: the launch reply completes inside the lifecycle critical region
 	if err != nil {
 		return nil, err
 	}
@@ -299,10 +299,10 @@ func (cp *Process) Destroy() error {
 		return fmt.Errorf("%w: %s", ErrProcessGone, s)
 	}
 	req := append([]byte{opDestroy}, putU32(uint32(cp.id))...)
-	if _, err := cp.lifecycleEP.Send(req); err != nil {
+	if _, err := cp.lifecycleEP.Send(req); err != nil { //nolint:mutexblock // intended: lifecycleMu serializes the destroy round-trip against Snapify swap (Section 4.2)
 		return err
 	}
-	raw, _, err := cp.lifecycleEP.Recv()
+	raw, _, err := cp.lifecycleEP.Recv() //nolint:mutexblock // intended: the destroy reply completes inside the lifecycle critical region
 	if err != nil {
 		return err
 	}

@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
-	"time"
 
 	"snapify/internal/blcr"
 	"snapify/internal/proc"
@@ -62,58 +61,34 @@ type pauseState struct {
 	id    int
 	op    *OffloadProc
 	pipe  *proc.PipeEnd // daemon end
-	inbox chan []byte   // filled by the monitor thread
+	inbox chan []byte   // filled by the monitor thread; closed when the pipe dies
 }
 
-// ensureMonitor starts the dedicated Snapify monitor thread if none runs.
-func (d *Daemon) ensureMonitor() {
-	d.monMu.Lock()
-	defer d.monMu.Unlock()
-	if d.monRunning {
-		return
-	}
-	d.monRunning = true
-	d.p.SpawnThread("snapify_monitor", d.monitor) //nolint:errcheck
-}
-
-// monitor polls the pipes of all active pause requests and routes messages
-// to the waiting handlers; it exits when the active list empties.
-func (d *Daemon) monitor() {
-	for {
-		d.monMu.Lock()
-		if len(d.activeReqs) == 0 {
-			d.monRunning = false
-			d.monMu.Unlock()
-			return
-		}
-		states := make([]*pauseState, 0, len(d.activeReqs))
-		for _, ps := range d.activeReqs {
-			states = append(states, ps)
-		}
-		d.monMu.Unlock()
-
-		idle := true
-		for _, ps := range states {
-			for {
-				msg, _, ok, err := ps.pipe.TryRecv()
-				if err != nil || !ok {
-					break
-				}
-				idle = false
-				ps.inbox <- msg
-			}
-		}
-		if idle {
-			time.Sleep(100 * time.Microsecond)
-		}
-	}
-}
-
+// addPauseState registers ps and starts its dedicated monitor thread: a
+// forwarder that blocks on the pipe and routes agent messages to the
+// waiting handler. It exits — closing the inbox so a blocked await fails
+// instead of hanging — when the pipe closes, either from removePauseState
+// or from the offload process's side going away. Blocking on Recv (rather
+// than polling TryRecv on a wall-clock timer, as an earlier version did)
+// keeps the daemon free of real-time dependencies.
 func (d *Daemon) addPauseState(ps *pauseState) {
 	d.monMu.Lock()
 	d.activeReqs[ps.id] = ps
 	d.monMu.Unlock()
-	d.ensureMonitor()
+	err := d.p.SpawnThread(fmt.Sprintf("snapify_monitor_%d", ps.id), func() {
+		for {
+			msg, _, err := ps.pipe.Recv()
+			if err != nil {
+				close(ps.inbox)
+				return
+			}
+			ps.inbox <- msg
+		}
+	})
+	if err != nil {
+		// The daemon process is terminating: fail any await immediately.
+		close(ps.inbox)
+	}
 }
 
 func (d *Daemon) removePauseState(id int) {
@@ -122,7 +97,7 @@ func (d *Daemon) removePauseState(id int) {
 	delete(d.activeReqs, id)
 	d.monMu.Unlock()
 	if ps != nil {
-		ps.pipe.Close()
+		ps.pipe.Close() //nolint:errcheck // the agent-side monitor exits on the close; nothing to recover
 	}
 }
 
@@ -311,7 +286,7 @@ func (d *Daemon) handleSnapifyRestore(ep *scif.Endpoint, payload []byte) {
 	for _, dd := range deltaDirs {
 		ds, err := d.plat.IO.Open(d.dev.Node, simnet.HostNode, dd+"/"+DeltaFileName, snapifyio.Read)
 		if err != nil {
-			src.Close()
+			src.Close() //nolint:errcheck // error path: close only releases the descriptor; the size mismatch is the reported error
 			fail(err)
 			return
 		}
@@ -325,9 +300,9 @@ func (d *Daemon) handleSnapifyRestore(ep *scif.Endpoint, payload []byte) {
 	restored, rst, err := d.plat.CR.RestartChain(src, deltas, func(img *blcr.Image) (*proc.Process, error) {
 		return d.plat.Procs.Spawn(img.Name, d.dev.Node, d.dev.Mem), nil
 	})
-	src.Close()
+	src.Close() //nolint:errcheck // read side at EOF: close only releases the descriptor
 	for _, ds := range deltas {
-		ds.Close()
+		ds.Close() //nolint:errcheck // restore already failed; close only releases the descriptor
 	}
 	if err != nil {
 		fail(fmt.Errorf("restoring offload process: %w", err))
@@ -390,23 +365,23 @@ func (d *Daemon) reloadLocalStore(p *proc.Process, dir string, lsNode simnet.Nod
 			return 0, 0, fmt.Errorf("coi: local store for %q: %w", r.Name(), err)
 		}
 		if f.Size() != r.Size() {
-			f.Close()
+			f.Close() //nolint:errcheck // read side at EOF: close only releases the descriptor
 			return 0, 0, fmt.Errorf("coi: local store for %q is %d bytes, region is %d", r.Name(), f.Size(), r.Size())
 		}
 		var off int64
 		for off < r.Size() {
 			chunk, cost, err := f.Next(4 * simclock.MiB)
 			if err != nil {
-				f.Close()
+				f.Close() //nolint:errcheck // error path: close only releases the descriptor; the read error is what propagates
 				return 0, 0, err
 			}
 			stream.Observe(acc, cost, d.plat.Model().PhiMemcpy(chunk.Len()))
 			r.WriteBlob(off, chunk)
 			off += chunk.Len()
 		}
-		f.Close()
+		f.Close() //nolint:errcheck // read side at EOF: close only releases the descriptor
 		if lsNode == d.dev.Node {
-			d.dev.FS.Remove(dir + "/" + LocalStorePrefix + r.Name()) //nolint:errcheck
+			d.dev.FS.Remove(dir + "/" + LocalStorePrefix + r.Name()) //nolint:errcheck // migration scratch: the local store is already loaded into the regions
 		}
 		total += off
 	}
@@ -474,7 +449,7 @@ func (op *OffloadProc) snapifyAgent() {
 		}
 		switch raw[0] {
 		case pipePauseReq:
-			pipe.Send([]byte{pipePauseAck}) //nolint:errcheck
+			pipe.Send([]byte{pipePauseAck}) //nolint:errcheck // fire-and-forget reply: the daemon sees a dead agent on its monitor Recv
 
 		case pipeDrainReq:
 			lsTarget := simnet.NodeID(u32(raw[1:]))
@@ -489,13 +464,13 @@ func (op *OffloadProc) snapifyAgent() {
 			d, bytes, err := op.SaveLocalStore(lsTarget, dir)
 			d += quiesce
 			if err != nil {
-				pipe.Send(append([]byte{pipeDrainDone, 1}, []byte(err.Error())...)) //nolint:errcheck
+				pipe.Send(append([]byte{pipeDrainDone, 1}, []byte(err.Error())...)) //nolint:errcheck // fire-and-forget reply: the daemon sees a dead agent on its monitor Recv
 				continue
 			}
 			resp := []byte{pipeDrainDone, 0}
 			resp = binary.BigEndian.AppendUint64(resp, uint64(d))
 			resp = binary.BigEndian.AppendUint64(resp, uint64(bytes))
-			pipe.Send(resp) //nolint:errcheck
+			pipe.Send(resp) //nolint:errcheck // fire-and-forget reply: the daemon sees a dead agent on its monitor Recv
 
 		case pipeCaptureReq:
 			terminate := raw[1] == 1
@@ -508,7 +483,7 @@ func (op *OffloadProc) snapifyAgent() {
 			}
 			sink, err := op.d.plat.IO.Open(op.d.dev.Node, simnet.HostNode, dir+"/"+name, snapifyio.Write)
 			if err != nil {
-				pipe.Send(append([]byte{pipeCaptureDone, 1}, []byte(err.Error())...)) //nolint:errcheck
+				pipe.Send(append([]byte{pipeCaptureDone, 1}, []byte(err.Error())...)) //nolint:errcheck // fire-and-forget reply: the daemon sees a dead agent on its monitor Recv
 				continue
 			}
 			var st *blcr.Stats
@@ -523,13 +498,13 @@ func (op *OffloadProc) snapifyAgent() {
 				}
 			}
 			if err != nil {
-				pipe.Send(append([]byte{pipeCaptureDone, 1}, []byte(err.Error())...)) //nolint:errcheck
+				pipe.Send(append([]byte{pipeCaptureDone, 1}, []byte(err.Error())...)) //nolint:errcheck // fire-and-forget reply: the daemon sees a dead agent on its monitor Recv
 				continue
 			}
 			resp := []byte{pipeCaptureDone, 0}
 			resp = binary.BigEndian.AppendUint64(resp, uint64(st.Bytes))
 			resp = binary.BigEndian.AppendUint64(resp, uint64(st.Duration))
-			pipe.Send(resp) //nolint:errcheck
+			pipe.Send(resp) //nolint:errcheck // fire-and-forget reply: the daemon sees a dead agent on its monitor Recv
 			if terminate {
 				// The daemon tears the process down; this agent thread
 				// ends with it.
@@ -547,11 +522,11 @@ func (op *OffloadProc) snapifyAgent() {
 			// control region and the data regions.
 			st := op.readCtrl()
 			if st.Active {
-				op.p.SpawnThread("reentry", func() { //nolint:errcheck
+				op.p.SpawnThread("reentry", func() { //nolint:errcheck // re-entry on a process mid-teardown is moot; the capture already succeeded
 					op.executeFunction(st.PipelineID, st.Seq, st.Func, st.Args)
 				})
 			}
-			pipe.Send([]byte{pipeResumeDone}) //nolint:errcheck
+			pipe.Send([]byte{pipeResumeDone}) //nolint:errcheck // fire-and-forget reply: the daemon sees a dead agent on its monitor Recv
 			return
 		}
 	}

@@ -123,7 +123,7 @@ func (cp *Process) Rebind(devNode simnet.NodeID, newID int, ports []ChannelPort)
 	cp.id = newID
 	cp.mu.Unlock()
 	if oldLifecycle != nil {
-		oldLifecycle.Close()
+		oldLifecycle.Close() //nolint:errcheck // the pre-swap endpoint is already dead; close only releases the host-side descriptor
 	}
 	cp.tl.Advance(model.SCIFReconnect)
 

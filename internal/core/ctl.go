@@ -64,7 +64,7 @@ func (s *CommandServer) handleOne() {
 		return
 	}
 	reply := s.execute(string(raw))
-	s.cmdPipe.Send([]byte(reply)) //nolint:errcheck
+	s.cmdPipe.Send([]byte(reply)) //nolint:errcheck // fire-and-forget reply: a dead controller surfaces on the next Recv
 }
 
 // execute parses and runs one command, returning "ok" or "error: ...".

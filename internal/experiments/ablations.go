@@ -132,15 +132,15 @@ func IncrementalAblation() ([]IncrementalRow, error) {
 			return nil, err
 		}
 
-		sink := func(path string) stream.Sink {
-			s, err := plat.IO.Open(dev.Node, simnet.HostNode, path, snapifyio.Write)
-			if err != nil {
-				panic(err)
-			}
-			return s
+		sink := func(path string) (stream.Sink, error) {
+			return plat.IO.Open(dev.Node, simnet.HostNode, path, snapifyio.Write)
 		}
 
-		full, err := plat.CR.CheckpointFull(p, sink("/abl/full"))
+		fullSink, err := sink("/abl/full")
+		if err != nil {
+			return nil, err
+		}
+		full, err := plat.CR.CheckpointFull(p, fullSink)
 		if err != nil {
 			return nil, err
 		}
@@ -155,7 +155,11 @@ func IncrementalAblation() ([]IncrementalRow, error) {
 			}
 			heap.WriteAt(pattern[:n], off*int64(1/frac)%(size-stride))
 		}
-		delta, err := plat.CR.CheckpointDelta(p, sink("/abl/delta"))
+		deltaSink, err := sink("/abl/delta")
+		if err != nil {
+			return nil, err
+		}
+		delta, err := plat.CR.CheckpointDelta(p, deltaSink)
 		if err != nil {
 			return nil, err
 		}

@@ -42,7 +42,6 @@ func Table3() (*Table3Result, error) {
 	dev := plat.Device(1)
 	host := plat.Host()
 	mnt := plat.NFS(1)
-	model := plat.Model()
 
 	res := &Table3Result{}
 	for _, size := range Table3Sizes {
@@ -60,7 +59,10 @@ func Table3() (*Table3Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		src, _ := dev.FS.Open("/tmp/src")
+		src, err := dev.FS.Open("/tmp/src")
+		if err != nil {
+			return nil, err
+		}
 		acc := simclock.NewPipelineAccum()
 		if err := copyReaderToSink(src, f, acc); err != nil {
 			return nil, err
@@ -72,7 +74,10 @@ func Table3() (*Table3Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		src2, _ := dev.FS.Open("/tmp/src")
+		src2, err := dev.FS.Open("/tmp/src")
+		if err != nil {
+			return nil, err
+		}
 		acc = simclock.NewPipelineAccum()
 		if err := copyReaderToSink(src2, nfsSink, acc); err != nil {
 			return nil, err
@@ -86,7 +91,7 @@ func Table3() (*Table3Result, error) {
 			return nil, err
 		}
 		row.SCPWrite = d
-		dev.FS.Remove("/tmp/src") //nolint:errcheck
+		dev.FS.Remove("/tmp/src") //nolint:errcheck // scratch cleanup; a failed remove only holds simulated ram until the next loop
 
 		// --- host -> device ("read") ---
 		if _, err := host.FS.WriteFile("/t3/src", content); err != nil {
@@ -96,25 +101,31 @@ func Table3() (*Table3Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		w, _ := dev.FS.Create("/tmp/sio_r")
+		w, err := dev.FS.Create("/tmp/sio_r")
+		if err != nil {
+			return nil, err
+		}
 		acc = simclock.NewPipelineAccum()
 		if err := copySourceToWriter(fr, w, acc); err != nil {
 			return nil, err
 		}
 		row.SnapifyIORead = acc.Total()
-		dev.FS.Remove("/tmp/sio_r") //nolint:errcheck
+		dev.FS.Remove("/tmp/sio_r") //nolint:errcheck // scratch cleanup; a failed remove only holds simulated ram until the next loop
 
 		nfsSrc, err := mnt.Open("/t3/src")
 		if err != nil {
 			return nil, err
 		}
-		w2, _ := dev.FS.Create("/tmp/nfs_r")
+		w2, err := dev.FS.Create("/tmp/nfs_r")
+		if err != nil {
+			return nil, err
+		}
 		acc = simclock.NewPipelineAccum()
 		if err := copySourceToWriter(nfsSrc, w2, acc); err != nil {
 			return nil, err
 		}
 		row.NFSRead = acc.Total()
-		dev.FS.Remove("/tmp/nfs_r") //nolint:errcheck
+		dev.FS.Remove("/tmp/nfs_r") //nolint:errcheck // scratch cleanup; a failed remove only holds simulated ram until the next loop
 
 		d, err = scp.Copy(plat.Server.Fabric, simnet.HostNode, vfs.Host(host.FS), "/t3/src",
 			dev.Node, vfs.Ram(dev.FS), "/tmp/scp_r")
@@ -122,12 +133,11 @@ func Table3() (*Table3Result, error) {
 			return nil, err
 		}
 		row.SCPRead = d
-		dev.FS.Remove("/tmp/scp_r") //nolint:errcheck
-		host.FS.RemoveAll("/t3/")   //nolint:errcheck
+		dev.FS.Remove("/tmp/scp_r") //nolint:errcheck // scratch cleanup; a failed remove only holds simulated ram until the next loop
+		host.FS.RemoveAll("/t3/")   //nolint:errcheck // scratch cleanup; a failed remove only holds simulated ram until the next loop
 
 		res.Rows = append(res.Rows, row)
 	}
-	_ = model
 	return res, nil
 }
 
@@ -163,7 +173,7 @@ func copySourceToWriter(src stream.Source, w vfs.Writer, acc *simclock.PipelineA
 		stream.Observe(acc, cost, wd)
 	}
 	if c, ok := src.(interface{ Close() error }); ok {
-		c.Close() //nolint:errcheck
+		c.Close() //nolint:errcheck // read side already at EOF: close only releases the descriptor
 	}
 	return w.Close()
 }

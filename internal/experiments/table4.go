@@ -126,7 +126,7 @@ func Table4() (*Table4Result, error) {
 			rp, st, err := plat.CR.Restart(src, func(img *blcr.Image) (*proc.Process, error) {
 				return plat.Procs.Spawn(img.Name, dev.Node, dev.Mem), nil
 			})
-			src.Close() //nolint:errcheck
+			src.Close() //nolint:errcheck // read side at EOF: close only releases the descriptor
 			if err != nil {
 				return 0, err
 			}
@@ -143,7 +143,7 @@ func Table4() (*Table4Result, error) {
 			}); err != nil {
 				return nil, err
 			}
-			dev.FS.Remove("/tmp/ctx_local") //nolint:errcheck
+			dev.FS.Remove("/tmp/ctx_local") //nolint:errcheck // scratch cleanup; a failed remove only holds simulated ram until the next loop
 		}
 		if row.RestartNFS, err = restart(func() (stream.Source, error) { return mnt.Open("/t4/ctx_nfs") }); err != nil {
 			return nil, err

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// An AllowEntry acknowledges one class of finding as intentional. Every
+// entry must say why — entries without a justification fail to parse, so
+// the allowlist cannot silently accumulate unexplained exceptions.
+type AllowEntry struct {
+	// Analyzer the entry applies to, or "all".
+	Analyzer string
+	// PathSuffix matches findings whose file path ends with it (slash
+	// separated, so "internal/proc/proc.go" matches regardless of where
+	// the module is checked out).
+	PathSuffix string
+	// Match is a substring the finding's message must contain; "*"
+	// matches any message.
+	Match string
+	// Justification is the recorded reason the finding is acceptable.
+	Justification string
+
+	used bool
+}
+
+// An Allowlist filters findings against acknowledged exceptions.
+type Allowlist struct {
+	// Source is the file the entries came from, for diagnostics.
+	Source  string
+	Entries []*AllowEntry
+}
+
+// ParseAllowlist reads an allowlist file. The format is line-oriented:
+//
+//	# comment
+//	<analyzer> <path-suffix> <message-substring|*> -- <justification>
+//
+// Blank lines and # comments are ignored. A missing " -- justification"
+// is an error.
+func ParseAllowlist(path string) (*Allowlist, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	al := &Allowlist{Source: path}
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rule, justification, found := strings.Cut(line, " -- ")
+		justification = strings.TrimSpace(justification)
+		if !found || justification == "" {
+			return nil, fmt.Errorf("%s:%d: allowlist entry has no justification (expected `analyzer path match -- why`)", path, i+1)
+		}
+		fields := strings.Fields(rule)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("%s:%d: malformed allowlist entry %q (expected `analyzer path match -- why`)", path, i+1, line)
+		}
+		al.Entries = append(al.Entries, &AllowEntry{
+			Analyzer:      fields[0],
+			PathSuffix:    fields[1],
+			Match:         fields[2],
+			Justification: justification,
+		})
+	}
+	return al, nil
+}
+
+// Filter returns the findings not covered by the allowlist.
+func (al *Allowlist) Filter(findings []Finding) []Finding {
+	if al == nil {
+		return findings
+	}
+	var out []Finding
+	for _, f := range findings {
+		if !al.covers(f) {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func (al *Allowlist) covers(f Finding) bool {
+	file := filepath.ToSlash(f.File)
+	for _, e := range al.Entries {
+		if e.Analyzer != "all" && e.Analyzer != f.Analyzer {
+			continue
+		}
+		if !strings.HasSuffix(file, e.PathSuffix) {
+			continue
+		}
+		if e.Match != "*" && !strings.Contains(f.Message, e.Match) {
+			continue
+		}
+		e.used = true
+		return true
+	}
+	return false
+}
+
+// Unused returns entries that covered nothing in the last Filter calls —
+// stale acknowledgements that should be deleted.
+func (al *Allowlist) Unused() []*AllowEntry {
+	if al == nil {
+		return nil
+	}
+	var out []*AllowEntry
+	for _, e := range al.Entries {
+		if !e.used {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "allow")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseAllowlistRejectsMissingJustification(t *testing.T) {
+	for _, bad := range []string{
+		"errcheck internal/x/y.go Close",          // no justification at all
+		"errcheck internal/x/y.go Close -- ",      // empty justification
+		"errcheck internal/x/y.go -- justified",   // missing match field
+		"errcheck a b c d -- too many rule parts", // malformed rule
+	} {
+		if _, err := ParseAllowlist(writeTemp(t, bad)); err == nil {
+			t.Errorf("ParseAllowlist accepted %q", bad)
+		}
+	}
+}
+
+func TestParseAllowlistSkipsCommentsAndBlanks(t *testing.T) {
+	al, err := ParseAllowlist(writeTemp(t, "# header\n\nerrcheck a.go Close -- teardown\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(al.Entries) != 1 {
+		t.Fatalf("got %d entries, want 1", len(al.Entries))
+	}
+	e := al.Entries[0]
+	if e.Analyzer != "errcheck" || e.PathSuffix != "a.go" || e.Match != "Close" || e.Justification != "teardown" {
+		t.Fatalf("parsed entry = %+v", *e)
+	}
+}
+
+func TestAllowlistFilter(t *testing.T) {
+	al, err := ParseAllowlist(writeTemp(t, strings.Join([]string{
+		"errcheck internal/coi/process.go Endpoint.Close -- teardown",
+		"all internal/legacy/old.go * -- frozen file",
+	}, "\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := []Finding{
+		{Analyzer: "errcheck", File: "/mod/internal/coi/process.go", Line: 1,
+			Message: "error result of Endpoint.Close is discarded by the bare call"},
+		{Analyzer: "errcheck", File: "/mod/internal/coi/process.go", Line: 2,
+			Message: "error result of Endpoint.Send is discarded by the bare call"},
+		{Analyzer: "paniclib", File: "/mod/internal/legacy/old.go", Line: 3,
+			Message: "panic in library code: return an error instead"},
+		{Analyzer: "errcheck", File: "/mod/internal/other/file.go", Line: 4,
+			Message: "error result of Endpoint.Close is discarded by the bare call"},
+	}
+	kept := al.Filter(findings)
+	if len(kept) != 2 {
+		t.Fatalf("kept %d findings, want 2: %v", len(kept), kept)
+	}
+	if kept[0].Line != 2 || kept[1].Line != 4 {
+		t.Fatalf("wrong findings survived: %v", kept)
+	}
+	if unused := al.Unused(); len(unused) != 0 {
+		t.Fatalf("both entries matched, but Unused() = %v", unused)
+	}
+}

@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The golden fixtures under testdata/src/<analyzer>/ seed one violation
+// per `// want "substr"` comment; running the named analyzer over the
+// fixture must produce exactly those findings, in addition to one
+// amended finding per line that ends with a bare //nolint directive
+// (which, by design, does not suppress).
+
+// want is one expected finding.
+type want struct {
+	file string
+	line int
+	sub  string
+}
+
+var wantRe = regexp.MustCompile(`// want "([^"]+)"`)
+
+// fixtureWants scans every .go file of a fixture directory for the two
+// expectation forms.
+func fixtureWants(t *testing.T, dir, analyzer string) []want {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var wants []want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("reading fixture: %v", err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			if m := wantRe.FindStringSubmatch(line); m != nil {
+				wants = append(wants, want{file: path, line: i + 1, sub: m[1]})
+			}
+			if strings.HasSuffix(strings.TrimSpace(line), "//nolint:"+analyzer) {
+				wants = append(wants, want{file: path, line: i + 1,
+					sub: "suppresses only with a justification"})
+			}
+		}
+	}
+	return wants
+}
+
+func loadFixture(t *testing.T, rel string) (*Loader, *Package) {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := l.LoadDir(filepath.Join("internal/lint/testdata/src", rel))
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", rel, err)
+	}
+	if pkg == nil {
+		t.Fatalf("fixture %s has no Go files", rel)
+	}
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("fixture %s does not type-check: %v", rel, terr)
+	}
+	return l, pkg
+}
+
+func analyzerByName(t *testing.T, name string) *Analyzer {
+	t.Helper()
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	t.Fatalf("no analyzer named %q", name)
+	return nil
+}
+
+func TestGolden(t *testing.T) {
+	for _, name := range []string{"errcheck", "wallclock", "mutexblock", "goroutineleak", "paniclib"} {
+		t.Run(name, func(t *testing.T) {
+			_, pkg := loadFixture(t, name)
+			findings := Run([]*Package{pkg}, []*Analyzer{analyzerByName(t, name)})
+			wants := fixtureWants(t, pkg.Dir, name)
+			checkFindings(t, findings, wants)
+		})
+	}
+}
+
+func checkFindings(t *testing.T, findings []Finding, wants []want) {
+	t.Helper()
+	matched := make([]bool, len(findings))
+	for _, w := range wants {
+		found := false
+		for i, f := range findings {
+			if !matched[i] && f.File == w.file && f.Line == w.line && strings.Contains(f.Message, w.sub) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("missing finding %s:%d containing %q", w.file, w.line, w.sub)
+		}
+	}
+	for i, f := range findings {
+		if !matched[i] {
+			t.Errorf("unexpected finding %s:%d: [%s] %s", f.File, f.Line, f.Analyzer, f.Message)
+		}
+	}
+}
+
+// TestWallclockExemptsSimclock proves the one sanctioned wall-clock
+// package (an import path ending in internal/simclock) is skipped.
+func TestWallclockExemptsSimclock(t *testing.T) {
+	_, pkg := loadFixture(t, "internal/simclock")
+	if findings := Run([]*Package{pkg}, []*Analyzer{analyzerByName(t, "wallclock")}); len(findings) != 0 {
+		t.Fatalf("expected no findings in the simclock fixture, got %v", findings)
+	}
+}
+
+// TestAllowlistGolden runs the errcheck fixture through testdata/allow.txt:
+// the entry for Allowlisted's finding must drop it (and be marked used),
+// the decoy entry must be reported unused, and every other finding must
+// survive.
+func TestAllowlistGolden(t *testing.T) {
+	_, pkg := loadFixture(t, "errcheck")
+	findings := Run([]*Package{pkg}, []*Analyzer{analyzerByName(t, "errcheck")})
+
+	al, err := ParseAllowlist(filepath.Join("testdata", "allow.txt"))
+	if err != nil {
+		t.Fatalf("parsing allowlist: %v", err)
+	}
+	kept := al.Filter(findings)
+	if len(kept) != len(findings)-1 {
+		t.Fatalf("allowlist dropped %d findings, want 1", len(findings)-len(kept))
+	}
+	for _, f := range kept {
+		if strings.Contains(f.Message, "errcheck.allowme") {
+			t.Errorf("allowlisted finding survived: %s:%d %s", f.File, f.Line, f.Message)
+		}
+	}
+	unused := al.Unused()
+	if len(unused) != 1 || unused[0].Analyzer != "wallclock" {
+		t.Fatalf("unused entries = %v, want exactly the wallclock decoy", unused)
+	}
+}
+
+// TestFindingJSON pins the JSON field names the -json mode emits, so CI
+// diffs stay stable across refactors.
+func TestFindingJSON(t *testing.T) {
+	_, pkg := loadFixture(t, "paniclib")
+	findings := Run([]*Package{pkg}, []*Analyzer{analyzerByName(t, "paniclib")})
+	if len(findings) == 0 {
+		t.Fatal("paniclib fixture produced no findings")
+	}
+	raw, err := json.Marshal(findings[0])
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	for _, key := range []string{"analyzer", "file", "line", "col", "message"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("JSON finding lacks %q field: %s", key, raw)
+		}
+	}
+	if m["analyzer"] != "paniclib" {
+		t.Errorf("analyzer field = %v, want paniclib", m["analyzer"])
+	}
+}

@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// GoroutineLeak reports `go func` literals with no visible shutdown
+// signal. The pause protocol's guarantee is that a drained process has
+// *nothing* in flight (§4.1); a goroutine that nothing can stop — no done
+// channel, no WaitGroup the teardown joins, no context — outlives the
+// process it belongs to and invalidates that guarantee (and, in the
+// simulator, skews the thread-count quiesce cost). The check is
+// syntactic and local by design: referencing any channel, WaitGroup, or
+// context inside the literal (or passing one in as an argument) counts
+// as a signal.
+var GoroutineLeak = &Analyzer{
+	Name: "goroutineleak",
+	Doc:  "every go func literal carries a shutdown signal: a channel, WaitGroup, or context in scope",
+	Run:  runGoroutineLeak,
+}
+
+func runGoroutineLeak(p *Pass) {
+	inspectFiles(p, func(n ast.Node) bool {
+		stmt, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := ast.Unparen(stmt.Call.Fun).(*ast.FuncLit)
+		if !ok {
+			return true // `go named(...)`: the callee owns its lifecycle
+		}
+		if hasShutdownSignal(p, lit, stmt.Call.Args) {
+			return true
+		}
+		p.Reportf(stmt.Pos(), "go func literal has no shutdown signal (no done channel, WaitGroup, or context in scope)")
+		return true
+	})
+}
+
+// hasShutdownSignal scans the literal's body and its call arguments for
+// anything that could stop or join the goroutine.
+func hasShutdownSignal(p *Pass, lit *ast.FuncLit, args []ast.Expr) bool {
+	info := p.Pkg.Info
+	found := false
+	consider := func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch e := n.(type) {
+		case *ast.SendStmt, *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			// A receive anywhere in the body is a signal.
+			if e.Op.String() == "<-" {
+				found = true
+			}
+		case ast.Expr:
+			if tv, ok := info.Types[e]; ok {
+				t := tv.Type
+				if isChanType(t) || namedTypeIs(t, "context", "Context") || namedTypeIs(t, "sync", "WaitGroup") {
+					found = true
+				}
+			}
+		}
+		return !found
+	}
+	ast.Inspect(lit.Body, consider)
+	for _, a := range args {
+		ast.Inspect(a, consider)
+	}
+	return found
+}

@@ -1,0 +1,239 @@
+// Package lint is a stdlib-only static-analysis framework for the Snapify
+// codebase. It exists because the snapshot protocol's correctness claims
+// rest on coding rules — every channel drained before capture, no silently
+// dropped errors on the pause/capture/resume paths, no wall-clock time
+// leaking into the simulated cost model — that ordinary `go vet` cannot
+// express. Each Analyzer encodes one such invariant; the cmd/snapifylint
+// driver runs them over the tree and gates the tier-1 verify script.
+//
+// The framework is built only on go/parser, go/ast, and go/types (the
+// module is dependency-free by design), with its own package loader in
+// load.go.
+//
+// # Suppressing a finding
+//
+// Every suppression must say why. Two mechanisms exist:
+//
+//   - An inline directive on the offending line:
+//     `//nolint:<analyzer> // <justification>`. A bare `//nolint:<analyzer>`
+//     with no justification does NOT suppress — the finding is reported
+//     with a note asking for one.
+//   - An entry in the allowlist file passed to the driver with -allowlist
+//     (see allowlist.go for the format). Entries without a justification
+//     fail to parse.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// An Analyzer checks one Snapify coding invariant over a type-checked
+// package.
+type Analyzer struct {
+	// Name is the short identifier used in reports, //nolint directives,
+	// and allowlist entries.
+	Name string
+	// Doc is a one-line statement of the invariant the analyzer protects.
+	Doc string
+	// Run inspects the pass's package and reports findings through it.
+	Run func(*Pass)
+}
+
+// All returns every registered analyzer, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		UncheckedErr,
+		Wallclock,
+		MutexBlock,
+		GoroutineLeak,
+		PanicLib,
+	}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// A Finding is one reported violation.
+type Finding struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Message  string         `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// A Pass is one analyzer applied to one package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	findings []Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	p.findings = append(p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run applies the analyzers to the packages and returns the surviving
+// findings, sorted by position. Findings on lines carrying a justified
+// //nolint:<analyzer> directive are dropped; directives without a
+// justification leave the finding in place with a note appended.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var out []Finding
+	for _, pkg := range pkgs {
+		directives := collectDirectives(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{Analyzer: a, Pkg: pkg}
+			a.Run(pass)
+			for _, f := range pass.findings {
+				switch directives.lookup(f.File, f.Line, a.Name) {
+				case suppressJustified:
+					// Acknowledged with a reason: drop.
+				case suppressBare:
+					f.Message += " (a //nolint directive suppresses only with a justification: //nolint:" + a.Name + " // why)"
+					out = append(out, f)
+				default:
+					out = append(out, f)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		if out[i].Line != out[j].Line {
+			return out[i].Line < out[j].Line
+		}
+		if out[i].Col != out[j].Col {
+			return out[i].Col < out[j].Col
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// --- //nolint directives ---
+
+type suppression int
+
+const (
+	suppressNone suppression = iota
+	suppressBare
+	suppressJustified
+)
+
+// directiveSet maps file → line → analyzer name (or "all") → whether the
+// directive carries a justification.
+type directiveSet map[string]map[int]map[string]bool
+
+func (d directiveSet) lookup(file string, line int, analyzer string) suppression {
+	byLine, ok := d[file]
+	if !ok {
+		return suppressNone
+	}
+	names, ok := byLine[line]
+	if !ok {
+		return suppressNone
+	}
+	for _, key := range []string{analyzer, "all"} {
+		if justified, ok := names[key]; ok {
+			if justified {
+				return suppressJustified
+			}
+			return suppressBare
+		}
+	}
+	return suppressNone
+}
+
+// collectDirectives scans every comment in the package for //nolint
+// directives. A directive applies to the line it sits on (the usual
+// trailing-comment placement).
+func collectDirectives(pkg *Package) directiveSet {
+	set := directiveSet{}
+	for _, file := range pkg.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				names, justified, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				byLine := set[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]bool{}
+					set[pos.Filename] = byLine
+				}
+				byName := byLine[pos.Line]
+				if byName == nil {
+					byName = map[string]bool{}
+					byLine[pos.Line] = byName
+				}
+				for _, n := range names {
+					// A justified directive wins over a bare duplicate.
+					byName[n] = byName[n] || justified
+				}
+			}
+		}
+	}
+	return set
+}
+
+// parseDirective parses one comment for a //nolint:a,b directive,
+// returning the analyzer names and whether a justification follows
+// (either `//nolint:x // reason` or `//nolint:x -- reason`).
+func parseDirective(text string) (names []string, justified bool, ok bool) {
+	body, isLine := strings.CutPrefix(text, "//")
+	if !isLine {
+		return nil, false, false // block comments are not directives
+	}
+	rest, isDirective := strings.CutPrefix(strings.TrimLeft(body, " \t"), "nolint:")
+	if !isDirective {
+		return nil, false, false
+	}
+	nameList, reason, _ := strings.Cut(rest, " ")
+	for _, n := range strings.Split(nameList, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	if len(names) == 0 {
+		return nil, false, false
+	}
+	reason = strings.TrimLeft(reason, " \t/-")
+	return names, strings.TrimSpace(reason) != "", true
+}
+
+// inspectFiles runs fn over every node of every file in the pass's
+// package.
+func inspectFiles(p *Pass, fn func(ast.Node) bool) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, fn)
+	}
+}

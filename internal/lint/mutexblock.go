@@ -1,0 +1,236 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MutexBlock reports channel operations and SCIF calls performed while a
+// sync.Mutex or sync.RWMutex is held in the same function body. The
+// pause/drain protocol is a lock-step conversation between three parties
+// (host process, COI daemon, offload agent, Fig 3); a handler that blocks
+// on a channel or a SCIF endpoint while holding one of the daemon's locks
+// stalls every other request on that lock — the classic way the drain
+// deadlocks. The analysis is a straight-line approximation: it tracks
+// Lock/Unlock pairs lexically within one function (branches are explored
+// with a copy of the held set, nested function literals start clean) and
+// does not model aliasing or cross-iteration state.
+var MutexBlock = &Analyzer{
+	Name: "mutexblock",
+	Doc:  "no channel send/receive/select or SCIF call while holding a mutex within one function body",
+	Run:  runMutexBlock,
+}
+
+func runMutexBlock(p *Pass) {
+	inspectFiles(p, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				mb := &mutexWalker{pass: p}
+				mb.walkStmts(fn.Body.List, map[string]token.Pos{})
+			}
+		case *ast.FuncLit:
+			mb := &mutexWalker{pass: p}
+			mb.walkStmts(fn.Body.List, map[string]token.Pos{})
+		}
+		// Keep descending: FuncLits nested inside a FuncDecl are found by
+		// this same Inspect and analyzed with their own (empty) held set;
+		// walkStmts itself never enters a FuncLit body.
+		return true
+	})
+}
+
+// scifBlocking is the subset of the SCIF API that can wait on a remote
+// peer (a message, an accept, a connection, an RDMA completion).
+// Accessors, non-blocking probes (TryRecv), and local teardown (Close,
+// Listen) only take short internal locks and are not flagged.
+var scifBlocking = map[string]bool{
+	"Send":      true,
+	"Recv":      true,
+	"Accept":    true,
+	"Connect":   true,
+	"Register":  true,
+	"ReadFrom":  true,
+	"WriteTo":   true,
+	"VReadFrom": true,
+	"VWriteTo":  true,
+}
+
+type mutexWalker struct {
+	pass *Pass
+}
+
+// walkStmts walks one statement sequence in source order, mutating held
+// (mutex expression → Lock position) as Lock/Unlock calls go by.
+func (w *mutexWalker) walkStmts(list []ast.Stmt, held map[string]token.Pos) {
+	for _, s := range list {
+		w.walkStmt(s, held)
+	}
+}
+
+func clone(held map[string]token.Pos) map[string]token.Pos {
+	c := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+func (w *mutexWalker) walkStmt(s ast.Stmt, held map[string]token.Pos) {
+	switch stmt := s.(type) {
+	case *ast.ExprStmt:
+		if key, op, ok := w.mutexOp(stmt.X); ok {
+			switch op {
+			case "Lock", "RLock":
+				held[key] = stmt.Pos()
+			case "Unlock", "RUnlock":
+				delete(held, key)
+			}
+			return
+		}
+		w.scanExpr(stmt.X, held)
+	case *ast.SendStmt:
+		w.blocked(stmt.Pos(), "channel send", held)
+		w.scanExpr(stmt.Value, held)
+	case *ast.DeferStmt:
+		// `defer mu.Unlock()` keeps the mutex held for the rest of the
+		// body — exactly the span this analyzer patrols — so it is not an
+		// unlock event. Other deferred work runs after the walk's scope.
+		if _, _, ok := w.mutexOp(stmt.Call); !ok {
+			for _, a := range stmt.Call.Args {
+				w.scanExpr(a, held)
+			}
+		}
+	case *ast.GoStmt:
+		for _, a := range stmt.Call.Args {
+			w.scanExpr(a, held)
+		}
+	case *ast.AssignStmt:
+		for _, e := range stmt.Rhs {
+			w.scanExpr(e, held)
+		}
+		for _, e := range stmt.Lhs {
+			w.scanExpr(e, held)
+		}
+	case *ast.DeclStmt, *ast.ReturnStmt, *ast.IncDecStmt:
+		ast.Inspect(s, w.exprInspector(held))
+	case *ast.BlockStmt:
+		w.walkStmts(stmt.List, held)
+	case *ast.IfStmt:
+		if stmt.Init != nil {
+			w.walkStmt(stmt.Init, held)
+		}
+		w.scanExpr(stmt.Cond, held)
+		w.walkStmts(stmt.Body.List, clone(held))
+		if stmt.Else != nil {
+			w.walkStmt(stmt.Else, clone(held))
+		}
+	case *ast.ForStmt:
+		if stmt.Init != nil {
+			w.walkStmt(stmt.Init, held)
+		}
+		if stmt.Cond != nil {
+			w.scanExpr(stmt.Cond, held)
+		}
+		body := clone(held)
+		w.walkStmts(stmt.Body.List, body)
+		if stmt.Post != nil {
+			w.walkStmt(stmt.Post, body)
+		}
+	case *ast.RangeStmt:
+		if tv, ok := w.pass.Pkg.Info.Types[stmt.X]; ok && isChanType(tv.Type) {
+			w.blocked(stmt.Pos(), "range over channel", held)
+		}
+		w.scanExpr(stmt.X, held)
+		w.walkStmts(stmt.Body.List, clone(held))
+	case *ast.SwitchStmt:
+		if stmt.Init != nil {
+			w.walkStmt(stmt.Init, held)
+		}
+		if stmt.Tag != nil {
+			w.scanExpr(stmt.Tag, held)
+		}
+		for _, c := range stmt.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, clone(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range stmt.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, clone(held))
+			}
+		}
+	case *ast.SelectStmt:
+		w.blocked(stmt.Pos(), "select", held)
+		for _, c := range stmt.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.walkStmts(cc.Body, clone(held))
+			}
+		}
+	case *ast.LabeledStmt:
+		w.walkStmt(stmt.Stmt, held)
+	}
+}
+
+// scanExpr looks inside one expression for blocking operations: channel
+// receives and calls into the SCIF layer. Function literals are skipped —
+// they run later, under their own (empty) held set.
+func (w *mutexWalker) scanExpr(e ast.Expr, held map[string]token.Pos) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, w.exprInspector(held))
+}
+
+func (w *mutexWalker) exprInspector(held map[string]token.Pos) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if e.Op == token.ARROW {
+				w.blocked(e.Pos(), "channel receive", held)
+			}
+		case *ast.CallExpr:
+			if f := calleeFunc(w.pass.Pkg.Info, e); f != nil && f.Pkg() != nil &&
+				strings.HasSuffix(f.Pkg().Path(), "internal/scif") && scifBlocking[f.Name()] {
+				w.blocked(e.Pos(), "SCIF call "+funcDisplayName(f), held)
+			}
+		}
+		return true
+	}
+}
+
+// blocked reports pos as a blocking operation if any mutex is held.
+func (w *mutexWalker) blocked(pos token.Pos, what string, held map[string]token.Pos) {
+	for key, at := range held {
+		w.pass.Reportf(pos, "%s while holding %s (locked at line %d): blocking under a mutex can deadlock the pause/drain protocol",
+			what, key, w.pass.Pkg.Fset.Position(at).Line)
+	}
+}
+
+// mutexOp classifies e as a Lock/RLock/Unlock/RUnlock call on a
+// sync.Mutex or sync.RWMutex, returning the receiver's printed form as
+// the tracking key.
+func (w *mutexWalker) mutexOp(e ast.Expr) (key, op string, ok bool) {
+	call, isCall := ast.Unparen(e).(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	f, isFunc := w.pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !isFunc || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch f.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return types.ExprString(sel.X), f.Name(), true
+	}
+	return "", "", false
+}

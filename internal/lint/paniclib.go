@@ -1,0 +1,41 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PanicLib reports panic calls in library packages. A panic on a
+// snapshot path unwinds through the daemon's protocol handlers and takes
+// the whole simulated stack down instead of failing one request; library
+// code returns errors and lets the host API decide. Package main (the
+// cmd/ drivers and examples) is exempt — a top-level fatal there is the
+// right call. Genuine programmer-error invariants (bounds checks that
+// mirror built-in slice panics) may be acknowledged with
+// //nolint:paniclib and a justification.
+var PanicLib = &Analyzer{
+	Name: "paniclib",
+	Doc:  "library code returns errors; panic is reserved for package main and justified invariant checks",
+	Run:  runPanicLib,
+}
+
+func runPanicLib(p *Pass) {
+	if p.Pkg.Types != nil && p.Pkg.Types.Name() == "main" {
+		return
+	}
+	info := p.Pkg.Info
+	inspectFiles(p, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+			p.Reportf(call.Pos(), "panic in library code: return an error instead")
+		}
+		return true
+	})
+}

@@ -1,0 +1,48 @@
+// Package goroutineleak is a golden fixture for the goroutineleak
+// analyzer.
+package goroutineleak
+
+import (
+	"context"
+	"sync"
+)
+
+var counter int
+
+func leak() {
+	go func() { // want "go func literal has no shutdown signal"
+		counter++
+	}()
+}
+
+func doneChannel(done chan struct{}) {
+	go func() {
+		<-done
+		counter++
+	}()
+}
+
+func waitGroupArg(wg *sync.WaitGroup) {
+	go func(wg *sync.WaitGroup) {
+		defer wg.Done()
+		counter++
+	}(wg)
+}
+
+func contextInScope(ctx context.Context) {
+	go func() {
+		if ctx.Err() == nil {
+			counter++
+		}
+	}()
+}
+
+func namedCallee() {
+	go leak() // a named callee owns its lifecycle: only literals are flagged
+}
+
+func suppressed() {
+	go func() { //nolint:goroutineleak // golden fixture: a justified directive suppresses the finding
+		counter++
+	}()
+}

@@ -1,0 +1,10 @@
+// Package simclock is a golden fixture proving the wallclock analyzer
+// exempts packages whose import path ends in internal/simclock — the one
+// place the repo is allowed to touch the host clock. No findings are
+// expected anywhere in this file.
+package simclock
+
+import "time"
+
+// HostNow reads the real clock; legal only here.
+func HostNow() time.Time { return time.Now() }

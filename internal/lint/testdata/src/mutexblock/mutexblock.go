@@ -1,0 +1,67 @@
+// Package mutexblock is a golden fixture for the mutexblock analyzer.
+package mutexblock
+
+import (
+	"sync"
+
+	"snapify/internal/scif"
+)
+
+type server struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (s *server) sendHeld() {
+	s.mu.Lock()
+	s.ch <- 1 // want "channel send while holding s.mu"
+	s.mu.Unlock()
+}
+
+func (s *server) recvHeldByDefer() int {
+	s.mu.Lock()
+	defer s.mu.Unlock() // defer keeps the mutex held for the rest of the body
+	return <-s.ch       // want "channel receive while holding s.mu"
+}
+
+func (s *server) selectHeld() {
+	s.mu.Lock()
+	select { // want "select while holding s.mu"
+	case v := <-s.ch:
+		_ = v
+	default:
+	}
+	s.mu.Unlock()
+}
+
+func (s *server) scifHeld(ep *scif.Endpoint) {
+	s.mu.Lock()
+	_, _ = ep.Send(nil) // want "SCIF call Endpoint.Send while holding s.mu"
+	s.mu.Unlock()
+}
+
+func (s *server) released() {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.ch <- 1 // lock released before the send: no finding
+}
+
+func (s *server) nonBlockingUnderLock(ep *scif.Endpoint) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, _, _, _ = ep.TryRecv() // non-blocking probe: not in scifBlocking
+	_ = ep.Close()            // local teardown: not in scifBlocking
+}
+
+func (s *server) litStartsClean() func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// The literal runs later, under its own empty held set.
+	return func() { s.ch <- 1 }
+}
+
+func (s *server) suppressed() {
+	s.mu.Lock()
+	s.ch <- 1 //nolint:mutexblock // golden fixture: a justified directive suppresses the finding
+	s.mu.Unlock()
+}

@@ -1,0 +1,23 @@
+// Package paniclib is a golden fixture for the paniclib analyzer.
+package paniclib
+
+import "fmt"
+
+func libPanic(n int) {
+	if n < 0 {
+		panic("negative") // want "panic in library code: return an error instead"
+	}
+}
+
+func libError(n int) error {
+	if n < 0 {
+		return fmt.Errorf("paniclib: negative %d", n)
+	}
+	return nil
+}
+
+func suppressed(off, size int64) {
+	if off < 0 || off >= size {
+		panic("out of range") //nolint:paniclib // golden fixture: bounds check mirroring built-in slice semantics
+	}
+}

@@ -1,0 +1,21 @@
+// Package wallclock is a golden fixture for the wallclock analyzer.
+package wallclock
+
+import "time"
+
+func bad() time.Time {
+	time.Sleep(time.Millisecond) // want "wall-clock time.Sleep breaks simulated-time determinism"
+	_ = time.Since(time.Time{})  // want "wall-clock time.Since breaks simulated-time determinism"
+	return time.Now()            // want "wall-clock time.Now breaks simulated-time determinism"
+}
+
+func good() time.Duration {
+	// Constructors and conversions that do not read the host clock stay
+	// in scope-free territory.
+	t := time.Unix(0, 0)
+	return time.Duration(t.Nanosecond())
+}
+
+func suppressed() time.Time {
+	return time.Now() //nolint:wallclock // golden fixture: a justified directive suppresses the finding
+}

@@ -1,0 +1,97 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// UncheckedErr reports discarded errors from module-defined functions.
+// Snapify's pause/capture/resume protocol (HPDC 2014, §4) propagates
+// failures as error returns all the way from the SCIF layer to the host
+// API; a silently dropped error on those paths turns a recoverable
+// protocol failure into a hung or corrupted snapshot. The rule is scoped
+// to callees defined in this module so that conventional stdlib patterns
+// (fmt printing, buffer writes) stay out of scope.
+var UncheckedErr = &Analyzer{
+	Name: "errcheck",
+	Doc:  "errors returned on snapshot/restore/SCIF paths must be handled, not discarded",
+	Run:  runUncheckedErr,
+}
+
+func runUncheckedErr(p *Pass) {
+	info := p.Pkg.Info
+	report := func(call *ast.CallExpr, how string) {
+		f := calleeFunc(info, call)
+		p.Reportf(call.Pos(), "error result of %s is %s", funcDisplayName(f), how)
+	}
+	inspectFiles(p, func(n ast.Node) bool {
+		switch stmt := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := stmt.X.(*ast.CallExpr); ok && discardsModuleError(info, call) {
+				report(call, "discarded by the bare call")
+			}
+		case *ast.GoStmt:
+			if discardsModuleError(info, stmt.Call) {
+				report(stmt.Call, "discarded by the go statement")
+			}
+		case *ast.DeferStmt:
+			if discardsModuleError(info, stmt.Call) {
+				report(stmt.Call, "discarded by the deferred call")
+			}
+		case *ast.AssignStmt:
+			checkBlankAssign(p, stmt)
+		}
+		return true
+	})
+}
+
+// discardsModuleError reports whether call returns at least one error
+// from a module-defined callee (the statement forms above discard every
+// result).
+func discardsModuleError(info *types.Info, call *ast.CallExpr) bool {
+	if !isModuleFunc(calleeFunc(info, call)) {
+		return false
+	}
+	return len(errorResults(info, call)) > 0
+}
+
+// checkBlankAssign flags error results explicitly assigned to the blank
+// identifier, e.g. `_ = ep.Close()` or `msg, _ := pipe.Recv()` where the
+// blank slot is the error.
+func checkBlankAssign(p *Pass, stmt *ast.AssignStmt) {
+	info := p.Pkg.Info
+	// Single call on the right: LHS positions map to the call's results.
+	if len(stmt.Rhs) == 1 {
+		call, ok := ast.Unparen(stmt.Rhs[0]).(*ast.CallExpr)
+		if !ok || !isModuleFunc(calleeFunc(info, call)) {
+			return
+		}
+		errIdx := errorResults(info, call)
+		for _, i := range errIdx {
+			if i < len(stmt.Lhs) && isBlank(stmt.Lhs[i]) {
+				p.Reportf(stmt.Lhs[i].Pos(), "error result of %s is assigned to _",
+					funcDisplayName(calleeFunc(info, call)))
+			}
+		}
+		return
+	}
+	// Parallel assignment: each RHS pairs with one LHS.
+	for i, rhs := range stmt.Rhs {
+		if i >= len(stmt.Lhs) || !isBlank(stmt.Lhs[i]) {
+			continue
+		}
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok || !isModuleFunc(calleeFunc(info, call)) {
+			continue
+		}
+		if len(errorResults(info, call)) > 0 {
+			p.Reportf(stmt.Lhs[i].Pos(), "error result of %s is assigned to _",
+				funcDisplayName(calleeFunc(info, call)))
+		}
+	}
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

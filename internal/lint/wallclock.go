@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// wallclockBanned are the package-time functions that read or wait on the
+// wall clock.
+var wallclockBanned = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// Wallclock reports direct wall-clock usage outside internal/simclock.
+// Every duration the benchmarks report is *virtual* (DESIGN.md §1): costs
+// come from the calibrated model, never from the host's clock, which is
+// what makes `snapbench` output bit-for-bit reproducible. A stray
+// time.Now or time.Sleep reintroduces host timing into results — or
+// worse, into protocol behavior.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "wall-clock time (time.Now/Sleep/...) is confined to internal/simclock; everything else uses virtual time",
+	Run:  runWallclock,
+}
+
+func runWallclock(p *Pass) {
+	if strings.HasSuffix(p.Pkg.Path, "internal/simclock") {
+		return
+	}
+	info := p.Pkg.Info
+	inspectFiles(p, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		f, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || f.Pkg() == nil || f.Pkg().Path() != "time" {
+			return true
+		}
+		if wallclockBanned[f.Name()] {
+			p.Reportf(sel.Pos(), "wall-clock time.%s breaks simulated-time determinism; charge the cost model via internal/simclock instead", f.Name())
+		}
+		return true
+	})
+}

@@ -19,7 +19,7 @@ func (r *Rank) AttachApp(cp *coi.Process) *core.App {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.app != nil {
-		panic("mpi: rank already has an attached app")
+		panic("mpi: rank already has an attached app") //nolint:paniclib // caller bug: a rank attaches exactly one app by construction
 	}
 	r.app = core.NewApp(r.Plat, cp)
 	return r.app

@@ -47,7 +47,7 @@ type Mount struct {
 // NewMount mounts host's file system on the card at node.
 func NewMount(fabric *simnet.Fabric, node simnet.NodeID, host *hostfs.FS) *Mount {
 	if node.IsHost() {
-		panic("nfs: the host does not NFS-mount itself")
+		panic("nfs: the host does not NFS-mount itself") //nolint:paniclib // configuration bug: mounts are built at platform setup, not at runtime
 	}
 	return &Mount{fabric: fabric, model: fabric.Model(), node: node, host: host}
 }

@@ -34,7 +34,7 @@ func NewMemBudget(capacity int64) *MemBudget {
 // Reserve claims n bytes or fails with an out-of-memory error.
 func (b *MemBudget) Reserve(n int64) error {
 	if n < 0 {
-		panic(fmt.Sprintf("phi: negative reservation %d", n))
+		panic(fmt.Sprintf("phi: negative reservation %d", n)) //nolint:paniclib // caller bug: negative reservations are unconstructible
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -49,13 +49,13 @@ func (b *MemBudget) Reserve(n int64) error {
 // Release returns n bytes to the pool.
 func (b *MemBudget) Release(n int64) {
 	if n < 0 {
-		panic(fmt.Sprintf("phi: negative release %d", n))
+		panic(fmt.Sprintf("phi: negative release %d", n)) //nolint:paniclib // caller bug: negative releases are unconstructible
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.used -= n
 	if b.used < 0 {
-		panic("phi: released more memory than reserved")
+		panic("phi: released more memory than reserved") //nolint:paniclib // accounting invariant: reserve/release are paired by construction
 	}
 }
 
@@ -107,7 +107,7 @@ type DeviceConfig struct {
 // NewDevice returns a card at the given SCIF node.
 func NewDevice(model *simclock.Model, node simnet.NodeID, cfg DeviceConfig) *Device {
 	if node.IsHost() {
-		panic("phi: device cannot be the host node")
+		panic("phi: device cannot be the host node") //nolint:paniclib // configuration bug: topology is fixed at platform setup
 	}
 	if cfg.MemBytes == 0 {
 		cfg.MemBytes = 8 * simclock.GiB
@@ -123,7 +123,7 @@ func NewDevice(model *simclock.Model, node simnet.NodeID, cfg DeviceConfig) *Dev
 	}
 	mem := NewMemBudget(cfg.MemBytes)
 	if err := mem.Reserve(cfg.OSReserved); err != nil {
-		panic(fmt.Sprintf("phi: OS reservation exceeds card memory: %v", err))
+		panic(fmt.Sprintf("phi: OS reservation exceeds card memory: %v", err)) //nolint:paniclib // configuration bug: OSReserved is a constant of the device model
 	}
 	return &Device{
 		Node:           node,
@@ -211,7 +211,7 @@ func (s *Server) Device(node simnet.NodeID) *Device {
 			return d
 		}
 	}
-	panic(fmt.Sprintf("phi: no device at node %d", node))
+	panic(fmt.Sprintf("phi: no device at node %d", node)) //nolint:paniclib // caller bug: device lookups use node ids minted by this server
 }
 
 // Model returns the server's cost model.

@@ -49,11 +49,11 @@ func New(cfg Config) *Platform {
 	net := scif.NewNetwork(server.Fabric)
 	io := snapifyio.NewService(net)
 	if _, err := io.StartDaemon(simnet.HostNode, vfs.Host(server.Host.FS)); err != nil {
-		panic(fmt.Sprintf("platform: starting host Snapify-IO daemon: %v", err))
+		panic(fmt.Sprintf("platform: starting host Snapify-IO daemon: %v", err)) //nolint:paniclib // platform constructor: a setup failure of the simulated testbed is unrecoverable (Must idiom)
 	}
 	for _, d := range server.Devices {
 		if _, err := io.StartDaemon(d.Node, vfs.Ram(d.FS)); err != nil {
-			panic(fmt.Sprintf("platform: starting Snapify-IO daemon on %v: %v", d.Node, err))
+			panic(fmt.Sprintf("platform: starting Snapify-IO daemon on %v: %v", d.Node, err)) //nolint:paniclib // platform constructor: a setup failure of the simulated testbed is unrecoverable (Must idiom)
 		}
 	}
 	p := &Platform{
@@ -71,7 +71,7 @@ func New(cfg Config) *Platform {
 	// MPSS keeps the device runtime libraries on the host file system;
 	// Snapify's pause copies them into each snapshot directory.
 	if _, err := server.Host.FS.WriteFile(RuntimeLibsPath, blob.Synthetic(0xF00D, 24*simclock.MiB)); err != nil {
-		panic(fmt.Sprintf("platform: seeding runtime libraries: %v", err))
+		panic(fmt.Sprintf("platform: seeding runtime libraries: %v", err)) //nolint:paniclib // platform constructor: a setup failure of the simulated testbed is unrecoverable (Must idiom)
 	}
 	return p
 }
@@ -87,7 +87,7 @@ func (p *Platform) Model() *simclock.Model { return p.Server.Model() }
 func (p *Platform) NFS(node simnet.NodeID) *nfs.Mount {
 	m, ok := p.mounts[node]
 	if !ok {
-		panic(fmt.Sprintf("platform: no NFS mount on %v", node))
+		panic(fmt.Sprintf("platform: no NFS mount on %v", node)) //nolint:paniclib // caller bug: an NFS mount exists for every device by construction
 	}
 	return m
 }

@@ -46,7 +46,7 @@ func (g *stepGate) leave() {
 	defer g.mu.Unlock()
 	g.active--
 	if g.active < 0 {
-		panic("proc: step gate leave without enter")
+		panic("proc: step gate leave without enter") //nolint:paniclib // protocol invariant: enter/leave are paired by the step loop
 	}
 	g.cond.Broadcast()
 }
@@ -68,7 +68,7 @@ func (g *stepGate) resume() {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if g.pauseDepth == 0 {
-		panic("proc: resume without matching pause")
+		panic("proc: resume without matching pause") //nolint:paniclib // protocol invariant: pause/resume are paired by the snapshot driver
 	}
 	g.pauseDepth--
 	if g.pauseDepth == 0 {

@@ -218,7 +218,7 @@ func xfer(bytes, bandwidth int64) Duration {
 		return 0
 	}
 	if bandwidth <= 0 {
-		panic(fmt.Sprintf("simclock: non-positive bandwidth %d", bandwidth))
+		panic(fmt.Sprintf("simclock: non-positive bandwidth %d", bandwidth)) //nolint:paniclib // model bug: bandwidths are positive constants of the hardware model
 	}
 	return Duration(float64(bytes) / float64(bandwidth) * float64(time.Second))
 }

@@ -45,7 +45,7 @@ type Fabric struct {
 // NewFabric returns a fabric with the given number of coprocessor devices.
 func NewFabric(model *simclock.Model, devices int) *Fabric {
 	if devices < 1 {
-		panic("simnet: a Xeon Phi server needs at least one coprocessor")
+		panic("simnet: a Xeon Phi server needs at least one coprocessor") //nolint:paniclib // configuration bug: fabric topology is fixed at setup
 	}
 	n := devices + 1
 	tr := make([][]atomic.Int64, n)
@@ -69,7 +69,7 @@ func (f *Fabric) ValidNode(n NodeID) bool { return n >= 0 && int(n) < f.Nodes() 
 
 func (f *Fabric) checkPair(from, to NodeID) {
 	if !f.ValidNode(from) || !f.ValidNode(to) {
-		panic(fmt.Sprintf("simnet: invalid node pair %d -> %d (fabric has %d nodes)", from, to, f.Nodes()))
+		panic(fmt.Sprintf("simnet: invalid node pair %d -> %d (fabric has %d nodes)", from, to, f.Nodes())) //nolint:paniclib // caller bug: node ids are minted by this fabric
 	}
 }
 

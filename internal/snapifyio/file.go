@@ -171,7 +171,7 @@ func (f *File) Close() error {
 		return nil
 	}
 	f.closed = true
-	defer f.ep.Close()
+	defer f.ep.Close() //nolint:errcheck // close releases the endpoint; the msgClose round-trip below carries the real error
 	w := &wire{}
 	w.u8(msgClose)
 	if _, err := f.ep.Send(w.buf); err != nil {
@@ -201,5 +201,5 @@ func (f *File) Abort() {
 	w := &wire{}
 	w.u8(msgAbort)
 	f.ep.Send(w.buf) //nolint:errcheck // best effort: the remote handler also aborts on reset
-	f.ep.Close()
+	f.ep.Close()     //nolint:errcheck // abort path: dropping the connection is the abort signal
 }

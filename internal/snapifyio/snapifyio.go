@@ -136,7 +136,7 @@ func (s *Service) Stop() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for node, d := range s.daemons {
-		d.lst.Close()
+		d.lst.Close() //nolint:errcheck // service stop: a close error on the accept listener has no recovery
 		close(d.done)
 		delete(s.daemons, node)
 	}

@@ -1,0 +1,32 @@
+#!/bin/sh
+# verify.sh — the one-command tier-1 gate (ROADMAP.md "Tier-1 verify").
+#
+# Runs, in order: formatting, go vet, the build, the Snapify-specific
+# static analyzers (cmd/snapifylint — exits non-zero on any unjustified
+# finding), and the full test suite under the race detector. Run it from
+# anywhere inside the module; it cds to the module root first.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> gofmt"
+unformatted=$(gofmt -l $(git ls-files '*.go'))
+if [ -n "$unformatted" ]; then
+    echo "gofmt: needs formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> snapifylint ./internal/... ./cmd/..."
+go run ./cmd/snapifylint ./internal/... ./cmd/...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "verify: all gates passed"
