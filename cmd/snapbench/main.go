@@ -10,6 +10,10 @@
 //	snapbench -table 3        # one table (2, 3, or 4)
 //	snapbench -fig 10         # one figure (9, 10, or 11)
 //	snapbench -check          # also verify the paper's qualitative claims
+//	snapbench -parallel -json BENCH_capture.json
+//	                          # the multi-stream capture sweep, JSON'd
+//	snapbench -parallel -smoke
+//	                          # same sweep on a small image (CI gate)
 package main
 
 import (
@@ -18,17 +22,21 @@ import (
 	"os"
 
 	"snapify/internal/experiments"
+	"snapify/internal/simclock"
 )
 
 func main() {
 	table := flag.Int("table", 0, "regenerate one table (2, 3, or 4)")
 	fig := flag.Int("fig", 0, "regenerate one figure (9, 10, or 11)")
 	ablations := flag.Bool("ablations", false, "run the design-choice ablations")
+	parallel := flag.Bool("parallel", false, "run the multi-stream parallel capture sweep")
+	jsonPath := flag.String("json", "", "with -parallel: also write the sweep as JSON to this file")
+	smoke := flag.Bool("smoke", false, "with -parallel: use a small image (fast CI smoke, shape still checked)")
 	all := flag.Bool("all", false, "regenerate everything")
 	check := flag.Bool("check", false, "verify the paper's qualitative claims against the results")
 	flag.Parse()
 
-	if !*all && *table == 0 && *fig == 0 && !*ablations {
+	if !*all && *table == 0 && *fig == 0 && !*ablations && !*parallel {
 		*all = true
 	}
 
@@ -72,6 +80,42 @@ func main() {
 	}
 	if *all || *ablations {
 		runAblations(*check)
+	}
+	if *all || *parallel {
+		runParallel(*smoke, *jsonPath)
+	}
+}
+
+// runParallel executes the multi-stream capture sweep. Its shape check
+// (4 streams >= 2x serial, byte-identical snapshots) always runs: the
+// sweep exists to pin that claim, -check or not.
+func runParallel(smoke bool, jsonPath string) {
+	size := int64(experiments.ParallelCaptureImageBytes)
+	if smoke {
+		size = 256 * simclock.MiB
+	}
+	res, err := experiments.ParallelCapture(size, experiments.ParallelCaptureStreams)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "snapbench: parallel capture: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(res.Render())
+	if err := res.CheckShape(); err != nil {
+		fmt.Fprintf(os.Stderr, "snapbench: parallel capture shape check FAILED: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("[parallel capture shape check: OK]")
+	if jsonPath != "" {
+		out, err := res.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snapbench: parallel capture: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(jsonPath, out, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "snapbench: writing %s: %v\n", jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[wrote %s]\n", jsonPath)
 	}
 }
 

@@ -28,7 +28,8 @@ import (
 
 func main() {
 	snapify.RegisterBinary(demoBinary())
-	srv := snapify.NewServer(snapify.ServerOptions{Devices: 2})
+	srv, err := snapify.NewServer(snapify.ServerOptions{Devices: 2})
+	fatal(err)
 	defer srv.Stop()
 
 	app, err := srv.Launch("ctl_demo", 1)

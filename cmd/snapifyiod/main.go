@@ -19,7 +19,8 @@ import (
 )
 
 func main() {
-	srv := snapify.NewServer(snapify.ServerOptions{Devices: 2})
+	srv, err := snapify.NewServer(snapify.ServerOptions{Devices: 2})
+	fatal(err)
 	defer srv.Stop()
 	plat := srv.Platform
 	fmt.Println("Snapify-IO daemons running on host, mic0, mic1 (SCIF port 3500)")

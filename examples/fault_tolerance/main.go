@@ -16,7 +16,8 @@ import (
 )
 
 func main() {
-	srv := snapify.NewServer(snapify.ServerOptions{Devices: 1})
+	srv, err := snapify.NewServer(snapify.ServerOptions{Devices: 1})
+	check(err)
 	defer srv.Stop()
 	plat := srv.Platform
 

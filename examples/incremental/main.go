@@ -17,7 +17,8 @@ import (
 
 func main() {
 	snapify.RegisterBinary(trainerBinary())
-	srv := snapify.NewServer(snapify.ServerOptions{Devices: 1})
+	srv, err := snapify.NewServer(snapify.ServerOptions{Devices: 1})
+	check(err)
 	defer srv.Stop()
 
 	app, err := srv.Launch("trainer", 1)
@@ -37,7 +38,7 @@ func main() {
 	epoch(1)
 	base := snapify.NewSnapshot("/incr/base", app.Proc)
 	check(snapify.Pause(base))
-	check(snapify.CaptureBase(base, false))
+	check(snapify.CaptureBase(base, snapify.CaptureOptions{}))
 	check(snapify.Wait(base))
 	check(snapify.Resume(base))
 	fmt.Printf("base snapshot: %8s in %5.2fs virtual\n",
@@ -51,7 +52,7 @@ func main() {
 		dir := fmt.Sprintf("/incr/epoch%d", e)
 		s := snapify.NewSnapshot(dir, app.Proc)
 		check(snapify.Pause(s))
-		check(snapify.CaptureDelta(s, e == 4)) // the last one swaps out
+		check(snapify.CaptureDelta(s, snapify.CaptureOptions{Terminate: e == 4})) // the last one swaps out
 		check(snapify.Wait(s))
 		if e < 4 {
 			check(snapify.Resume(s))
@@ -64,7 +65,7 @@ func main() {
 	}
 
 	// Chain restore: base + three deltas.
-	_, err = snapify.RestoreChain(last, "/incr/base", deltas, 1)
+	_, err = snapify.RestoreChain(last, "/incr/base", deltas, 1, snapify.RestoreOptions{})
 	check(err)
 	check(snapify.Resume(last))
 	fmt.Println("\nchain restore complete (base + 3 deltas)")

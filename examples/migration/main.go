@@ -16,7 +16,8 @@ import (
 
 func main() {
 	snapify.RegisterBinary(solverBinary())
-	srv := snapify.NewServer(snapify.ServerOptions{Devices: 2})
+	srv, err := snapify.NewServer(snapify.ServerOptions{Devices: 2})
+	check(err)
 	defer srv.Stop()
 
 	app, err := srv.Launch("iterative_solver", 1)

@@ -53,7 +53,8 @@ func main() {
 	snapify.RegisterBinary(bin)
 
 	// 2. Boot a Xeon Phi server and launch the application on card 1.
-	srv := snapify.NewServer(snapify.ServerOptions{Devices: 1})
+	srv, err := snapify.NewServer(snapify.ServerOptions{Devices: 1})
+	check(err)
 	defer srv.Stop()
 	app, err := srv.Launch("quickstart", 1)
 	check(err)
@@ -82,15 +83,15 @@ func main() {
 	fmt.Println("ran the offload region over the first half of the vector")
 
 	// 4. Snapshot: pause (drain every SCIF channel), capture (async, via
-	//    Snapify-IO to the host), wait, resume.
+	//    four parallel Snapify-IO streams to the host), wait, resume.
 	s := snapify.NewSnapshot("/snapshots/quickstart", app.Proc)
 	check(snapify.Pause(s))
-	check(snapify.Capture(s, false))
+	check(snapify.Capture(s, snapify.CaptureOptions{Streams: 4}))
 	check(snapify.Wait(s))
 	check(snapify.Resume(s))
-	fmt.Printf("snapshot captured: %s of process image in %.2fs virtual (pause %.0fms, capture %.2fs)\n",
+	fmt.Printf("snapshot captured: %s of process image in %.2fs virtual (pause %.0fms, capture %.2fs over %d streams)\n",
 		mib(s.Report.SnapshotBytes), (s.Report.PauseTotal() + s.Report.Capture).Seconds(),
-		s.Report.PauseTotal().Seconds()*1000, s.Report.Capture.Seconds())
+		s.Report.PauseTotal().Seconds()*1000, s.Report.Capture.Seconds(), s.Report.CaptureStreams)
 
 	// 5. Keep computing, then throw the offload process away (swap-out)
 	//    and restore it from the snapshot — the computation continues

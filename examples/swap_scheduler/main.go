@@ -21,10 +21,11 @@ import (
 
 func main() {
 	// A deliberately small card: 2 GiB. Each job needs ~700 MiB resident.
-	plat := platform.New(platform.Config{Server: phi.ServerConfig{
+	plat, err := platform.New(platform.Config{Server: phi.ServerConfig{
 		Devices: 1,
 		Device:  phi.DeviceConfig{MemBytes: 2 * simclock.GiB},
 	}})
+	check(err)
 	check(coi.StartDaemons(plat))
 	defer coi.StopDaemons(plat)
 

@@ -27,6 +27,10 @@ type Stats struct {
 	// Duration is the end-to-end virtual time of the operation, including
 	// quiesce, serialization, and transport.
 	Duration simclock.Duration
+	// StreamDurations holds each worker's virtual time when the operation
+	// ran across parallel streams (Duration is their max); nil for the
+	// serial paths.
+	StreamDurations []simclock.Duration
 }
 
 // Checkpointer captures and restores process snapshots.

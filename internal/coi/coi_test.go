@@ -70,7 +70,10 @@ type env struct {
 
 func newEnv(t *testing.T, devices int) *env {
 	t.Helper()
-	plat := platform.New(platform.Config{Server: phi.ServerConfig{Devices: devices}})
+	plat, err := platform.New(platform.Config{Server: phi.ServerConfig{Devices: devices}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := StartDaemons(plat); err != nil {
 		t.Fatal(err)
 	}
@@ -281,6 +284,8 @@ func snapCapture(t *testing.T, cp *Process, dir string, terminate bool) {
 		tb = 1
 	}
 	payload = append(payload, tb, CaptureFull)
+	payload = appendU16(payload, 0) // streams: serial
+	payload = appendU64(payload, 0) // chunk: default
 	payload = appendU32(payload, uint32(len(dir)))
 	payload = append(payload, dir...)
 	if _, err := cp.DaemonRequest(opSnapifyCapture, payload, opSnapifyCaptureResp); err != nil {
@@ -309,6 +314,8 @@ func snapRestore(t *testing.T, cp *Process, dev simnet.NodeID, dir string) []Rem
 	payload = appendU32(payload, uint32(len(dir)))
 	payload = append(payload, dir...)
 	payload = appendU32(payload, 0) // no deltas
+	payload = appendU16(payload, 0) // streams: serial
+	payload = appendU64(payload, 0) // chunk: default
 
 	// The restore request goes to the target card's daemon on a fresh
 	// connection (the old card may not even host the process anymore).
@@ -590,7 +597,10 @@ func TestSnapshotMidOffloadFunction(t *testing.T) {
 func TestHookCostsOnlyWhenEnabled(t *testing.T) {
 	RegisterBinary(counterBinary("app_hooks"))
 	run := func(noSnapify bool) simclock.Duration {
-		plat := platform.New(platform.Config{Server: phi.ServerConfig{Devices: 1}, NoSnapify: noSnapify})
+		plat, err := platform.New(platform.Config{Server: phi.ServerConfig{Devices: 1}, NoSnapify: noSnapify})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if err := StartDaemons(plat); err != nil {
 			t.Fatal(err)
 		}

@@ -191,6 +191,10 @@ func reply(ep *scif.Endpoint, op uint8, payload []byte) {
 func u32(b []byte) uint32                 { return binary.BigEndian.Uint32(b) }
 func putU32(v uint32) []byte              { return binary.BigEndian.AppendUint32(nil, v) }
 func appendU32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+func u16(b []byte) uint16                 { return binary.BigEndian.Uint16(b) }
+func appendU16(b []byte, v uint16) []byte { return binary.BigEndian.AppendUint16(b, v) }
+func u64(b []byte) uint64                 { return binary.BigEndian.Uint64(b) }
+func appendU64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
 
 // handleLaunch creates an offload process running the named binary.
 // Payload: binaryNameLen u32 | binaryName | binarySize i64.

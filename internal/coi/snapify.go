@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"snapify/internal/blcr"
+	"snapify/internal/fanout"
 	"snapify/internal/proc"
 	"snapify/internal/scif"
 	"snapify/internal/simclock"
@@ -184,7 +185,8 @@ func (d *Daemon) handleSnapifyDrain(ep *scif.Endpoint, payload []byte) {
 
 // handleSnapifyCapture forwards the capture request and waits for the
 // checkpoint to finish. Payload: procID u32 | terminate u8 | mode u8 |
-// dirLen u32 | dir. Reply: 0 | snapshotBytes u64 | captureDurNs u64.
+// streams u16 | chunkBytes u64 | dirLen u32 | dir. Reply: 0 |
+// snapshotBytes u64 | captureDurNs u64 | streams u16 | (streamDurNs u64)*.
 func (d *Daemon) handleSnapifyCapture(ep *scif.Endpoint, payload []byte) {
 	id := int(u32(payload))
 	terminate := payload[4] == 1
@@ -240,10 +242,12 @@ func (d *Daemon) handleSnapifyResume(ep *scif.Endpoint, payload []byte) {
 // handleSnapifyRestore rebuilds an offload process from a snapshot
 // directory. Payload: binNameLen u32 | binName | ctxDirLen u32 | ctxDir |
 // lsNode u32 | lsDirLen u32 | lsDir | deltaCount u32 | (dirLen u32 |
-// dir)*. The context comes from ctxDir (the base checkpoint); the saved
-// local store from lsDir on lsNode (the latest pause — the host for
-// checkpoint and swap, the daemon's own card for migration); delta
-// contexts, if any, are replayed in order (the incremental extension).
+// dir)* | streams u16 | chunkBytes u64. The context comes from ctxDir
+// (the base checkpoint); the saved local store from lsDir on lsNode (the
+// latest pause — the host for checkpoint and swap, the daemon's own card
+// for migration); delta contexts, if any, are replayed in order (the
+// incremental extension). streams > 1 restores the base context over that
+// many concurrent Snapify-IO range streams.
 // Reply: 0 | newID u32 | restoreDurNs u64 | lsCopyDurNs u64 | lsBytes u64
 // | #channels u32 | ports...
 func (d *Daemon) handleSnapifyRestore(ep *scif.Endpoint, payload []byte) {
@@ -268,6 +272,8 @@ func (d *Daemon) handleSnapifyRestore(ep *scif.Endpoint, payload []byte) {
 		deltaDirs = append(deltaDirs, string(payload[4:4+n]))
 		payload = payload[4+n:]
 	}
+	streams := int(u16(payload))
+	chunk := int64(u64(payload[2:]))
 
 	bin, err := LookupBinary(binName)
 	if err != nil {
@@ -277,7 +283,8 @@ func (d *Daemon) handleSnapifyRestore(ep *scif.Endpoint, payload []byte) {
 
 	// BLCR reads the context "on the fly" from host storage via a
 	// Snapify-IO read descriptor (Section 4.3).
-	src, err := d.plat.IO.Open(d.dev.Node, simnet.HostNode, dir+"/"+ContextFileName, snapifyio.Read)
+	ctxPath := dir + "/" + ContextFileName
+	src, err := d.plat.IO.Open(d.dev.Node, simnet.HostNode, ctxPath, snapifyio.Read)
 	if err != nil {
 		fail(err)
 		return
@@ -297,10 +304,28 @@ func (d *Daemon) handleSnapifyRestore(ep *scif.Endpoint, payload []byte) {
 	d.nextID++
 	d.mu.Unlock()
 
-	restored, rst, err := d.plat.CR.RestartChain(src, deltas, func(img *blcr.Image) (*proc.Process, error) {
+	spawn := func(img *blcr.Image) (*proc.Process, error) {
 		return d.plat.Procs.Spawn(img.Name, d.dev.Node, d.dev.Mem), nil
-	})
-	src.Close() //nolint:errcheck // read side at EOF: close only releases the descriptor
+	}
+	var restored *proc.Process
+	var rst *blcr.Stats
+	if streams > 1 {
+		// Parallel restore: the plain descriptor only supplies the context
+		// size; the pages arrive over striped range streams, each
+		// prefetching on its own slots.
+		size := src.Size()
+		src.Close() //nolint:errcheck // size probe: close only releases the descriptor
+		open := func(off, n int64) (stream.Source, error) {
+			return d.plat.IO.OpenStream(d.dev.Node, simnet.HostNode, ctxPath, snapifyio.Read, snapifyio.OpenOptions{
+				Slots:  2,
+				Stripe: snapifyio.Stripe{Offset: off, Length: n},
+			})
+		}
+		restored, rst, err = d.plat.CR.RestartChainParallel(size, streams, chunk, open, deltas, spawn)
+	} else {
+		restored, rst, err = d.plat.CR.RestartChain(src, deltas, spawn)
+		src.Close() //nolint:errcheck // read side at EOF: close only releases the descriptor
+	}
 	for _, ds := range deltas {
 		ds.Close() //nolint:errcheck // restore already failed; close only releases the descriptor
 	}
@@ -310,7 +335,7 @@ func (d *Daemon) handleSnapifyRestore(ep *scif.Endpoint, payload []byte) {
 	}
 
 	// Copy the local store back on the fly into the mapped regions.
-	lsDur, lsBytes, err := d.reloadLocalStore(restored, lsDir, lsNode)
+	lsDur, lsBytes, err := d.reloadLocalStore(restored, lsDir, lsNode, streams)
 	if err != nil {
 		restored.Terminate()
 		fail(err)
@@ -350,42 +375,80 @@ func (d *Daemon) handleSnapifyRestore(ep *scif.Endpoint, payload []byte) {
 }
 
 // reloadLocalStore streams saved local-store files from the snapshot
-// directory (on lsNode) into the restored process's regions. For process
-// migration the files are already on this card — written there directly by
-// the source card's pause — and are deleted once loaded.
-func (d *Daemon) reloadLocalStore(p *proc.Process, dir string, lsNode simnet.NodeID) (simclock.Duration, int64, error) {
-	acc := simclock.NewPipelineAccum()
-	var total int64
+// directory (on lsNode) into the restored process's regions — serially
+// through one shared pipeline for workers <= 1 (the paper's path), or one
+// region per worker on a bounded pool. For process migration the files
+// are already on this card — written there directly by the source card's
+// pause — and are deleted once loaded.
+func (d *Daemon) reloadLocalStore(p *proc.Process, dir string, lsNode simnet.NodeID, workers int) (simclock.Duration, int64, error) {
+	var regions []*proc.Region
 	for _, r := range p.Regions() {
-		if r.Kind() != proc.RegionLocalStore {
-			continue
+		if r.Kind() == proc.RegionLocalStore {
+			regions = append(regions, r)
 		}
-		f, err := d.plat.IO.Open(d.dev.Node, lsNode, dir+"/"+LocalStorePrefix+r.Name(), snapifyio.Read)
-		if err != nil {
-			return 0, 0, fmt.Errorf("coi: local store for %q: %w", r.Name(), err)
-		}
-		if f.Size() != r.Size() {
-			f.Close() //nolint:errcheck // read side at EOF: close only releases the descriptor
-			return 0, 0, fmt.Errorf("coi: local store for %q is %d bytes, region is %d", r.Name(), f.Size(), r.Size())
-		}
-		var off int64
-		for off < r.Size() {
-			chunk, cost, err := f.Next(4 * simclock.MiB)
+	}
+	if workers <= 1 || len(regions) <= 1 {
+		acc := simclock.NewPipelineAccum()
+		var total int64
+		for _, r := range regions {
+			n, err := d.reloadOneLocalStore(r, dir, lsNode, acc)
 			if err != nil {
-				f.Close() //nolint:errcheck // error path: close only releases the descriptor; the read error is what propagates
 				return 0, 0, err
 			}
-			stream.Observe(acc, cost, d.plat.Model().PhiMemcpy(chunk.Len()))
-			r.WriteBlob(off, chunk)
-			off += chunk.Len()
+			total += n
 		}
-		f.Close() //nolint:errcheck // read side at EOF: close only releases the descriptor
-		if lsNode == d.dev.Node {
-			d.dev.FS.Remove(dir + "/" + LocalStorePrefix + r.Name()) //nolint:errcheck // migration scratch: the local store is already loaded into the regions
-		}
-		total += off
+		return acc.Total(), total, nil
 	}
-	return acc.Total(), total, nil
+	durs := make([]simclock.Duration, len(regions))
+	bytes := make([]int64, len(regions))
+	err := fanout.Run(workers, len(regions), func(i int) error {
+		acc := simclock.NewPipelineAccum()
+		n, err := d.reloadOneLocalStore(regions[i], dir, lsNode, acc)
+		durs[i] = acc.Total()
+		bytes[i] = n
+		return err
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	var total int64
+	var wall simclock.Duration
+	for i := range regions {
+		total += bytes[i]
+		if durs[i] > wall {
+			wall = durs[i]
+		}
+	}
+	return wall, total, nil
+}
+
+// reloadOneLocalStore streams one saved local-store file into its region,
+// observing costs on acc.
+func (d *Daemon) reloadOneLocalStore(r *proc.Region, dir string, lsNode simnet.NodeID, acc *simclock.PipelineAccum) (int64, error) {
+	f, err := d.plat.IO.Open(d.dev.Node, lsNode, dir+"/"+LocalStorePrefix+r.Name(), snapifyio.Read)
+	if err != nil {
+		return 0, fmt.Errorf("coi: local store for %q: %w", r.Name(), err)
+	}
+	if f.Size() != r.Size() {
+		f.Close() //nolint:errcheck // read side at EOF: close only releases the descriptor
+		return 0, fmt.Errorf("coi: local store for %q is %d bytes, region is %d", r.Name(), f.Size(), r.Size())
+	}
+	var off int64
+	for off < r.Size() {
+		chunk, cost, err := f.Next(4 * simclock.MiB)
+		if err != nil {
+			f.Close() //nolint:errcheck // error path: close only releases the descriptor; the read error is what propagates
+			return 0, err
+		}
+		stream.Observe(acc, cost, d.plat.Model().PhiMemcpy(chunk.Len()))
+		r.WriteBlob(off, chunk)
+		off += chunk.Len()
+	}
+	f.Close() //nolint:errcheck // read side at EOF: close only releases the descriptor
+	if lsNode == d.dev.Node {
+		d.dev.FS.Remove(dir + "/" + LocalStorePrefix + r.Name()) //nolint:errcheck // migration scratch: the local store is already loaded into the regions
+	}
+	return off, nil
 }
 
 // rebuildOffloadProc wraps a restored process in a fresh runtime: channels
@@ -475,23 +538,11 @@ func (op *OffloadProc) snapifyAgent() {
 		case pipeCaptureReq:
 			terminate := raw[1] == 1
 			mode := raw[2]
-			dirLen := u32(raw[3:])
-			dir := string(raw[7 : 7+dirLen])
-			name := ContextFileName
-			if mode == CaptureDelta {
-				name = DeltaFileName
-			}
-			sink, err := op.d.plat.IO.Open(op.d.dev.Node, simnet.HostNode, dir+"/"+name, snapifyio.Write)
-			if err != nil {
-				pipe.Send(append([]byte{pipeCaptureDone, 1}, []byte(err.Error())...)) //nolint:errcheck // fire-and-forget reply: the daemon sees a dead agent on its monitor Recv
-				continue
-			}
-			var st *blcr.Stats
-			if mode == CaptureDelta {
-				st, err = op.d.plat.CR.CheckpointDeltaFrozen(op.p, sink)
-			} else {
-				st, err = op.d.plat.CR.CheckpointFrozen(op.p, sink)
-			}
+			streams := int(u16(raw[3:]))
+			chunk := int64(u64(raw[5:]))
+			dirLen := u32(raw[13:])
+			dir := string(raw[17 : 17+dirLen])
+			st, err := op.runCapture(mode, streams, chunk, dir)
 			if err == nil && (mode == CaptureBase || mode == CaptureDelta) {
 				for _, r := range op.p.Regions() {
 					r.MarkClean()
@@ -502,8 +553,12 @@ func (op *OffloadProc) snapifyAgent() {
 				continue
 			}
 			resp := []byte{pipeCaptureDone, 0}
-			resp = binary.BigEndian.AppendUint64(resp, uint64(st.Bytes))
-			resp = binary.BigEndian.AppendUint64(resp, uint64(st.Duration))
+			resp = appendU64(resp, uint64(st.Bytes))
+			resp = appendU64(resp, uint64(st.Duration))
+			resp = appendU16(resp, uint16(len(st.StreamDurations)))
+			for _, d := range st.StreamDurations {
+				resp = appendU64(resp, uint64(d))
+			}
 			pipe.Send(resp) //nolint:errcheck // fire-and-forget reply: the daemon sees a dead agent on its monitor Recv
 			if terminate {
 				// The daemon tears the process down; this agent thread
@@ -530,6 +585,40 @@ func (op *OffloadProc) snapifyAgent() {
 			return
 		}
 	}
+}
+
+// runCapture serializes the frozen process into the snapshot directory on
+// host storage: one Snapify-IO stream for streams <= 1 (the paper's data
+// path, byte-for-byte), or streams striped Snapify-IO streams, each
+// double-buffered and writing a disjoint range of the same context file,
+// assembled by the host daemon. chunk is the I/O granularity for the
+// parallel path (0 uses the checkpointer's default).
+func (op *OffloadProc) runCapture(mode uint8, streams int, chunk int64, dir string) (*blcr.Stats, error) {
+	name := ContextFileName
+	if mode == CaptureDelta {
+		name = DeltaFileName
+	}
+	path := dir + "/" + name
+	if streams <= 1 {
+		sink, err := op.d.plat.IO.Open(op.d.dev.Node, simnet.HostNode, path, snapifyio.Write)
+		if err != nil {
+			return nil, err
+		}
+		if mode == CaptureDelta {
+			return op.d.plat.CR.CheckpointDeltaFrozen(op.p, sink)
+		}
+		return op.d.plat.CR.CheckpointFrozen(op.p, sink)
+	}
+	open := func(off, n, total int64) (stream.Sink, error) {
+		return op.d.plat.IO.OpenStream(op.d.dev.Node, simnet.HostNode, path, snapifyio.Write, snapifyio.OpenOptions{
+			Slots:  2,
+			Stripe: snapifyio.Stripe{Offset: off, Length: n, Total: total},
+		})
+	}
+	if mode == CaptureDelta {
+		return op.d.plat.CR.CheckpointDeltaFrozenParallel(op.p, streams, chunk, open)
+	}
+	return op.d.plat.CR.CheckpointFrozenParallel(op.p, streams, chunk, open)
 }
 
 // --- buffer re-registration (restore path) ---

@@ -100,10 +100,10 @@ func (a *App) callback(req *blcr.Request) error {
 	var snap *Snapshot
 	if !req.Restarting() {
 		snap = NewSnapshot(dir, cp)
-		if err := Pause(snap); err != nil {
+		if err := snap.Pause(); err != nil {
 			return err
 		}
-		if err := Capture(snap, false); err != nil {
+		if err := snap.Capture(CaptureOptions{}); err != nil {
 			return err
 		}
 	}
@@ -114,10 +114,10 @@ func (a *App) callback(req *blcr.Request) error {
 	}
 	switch rc {
 	case blcr.RcContinue:
-		if err := Wait(snap); err != nil {
+		if err := snap.Wait(); err != nil {
 			return err
 		}
-		if err := Resume(snap); err != nil {
+		if err := snap.Resume(); err != nil {
 			return err
 		}
 		a.mu.Lock()
@@ -133,10 +133,10 @@ func (a *App) callback(req *blcr.Request) error {
 		// when the host snapshot was taken. Recreate it on the device the
 		// handle names (GetDeviceID in Fig 5a) and resume.
 		snap = NewSnapshot(dir, cp)
-		if _, err := Restore(snap, cp.DeviceNode()); err != nil {
+		if _, err := snap.Restore(cp.DeviceNode(), RestoreOptions{}); err != nil {
 			return err
 		}
-		if err := Resume(snap); err != nil {
+		if err := snap.Resume(); err != nil {
 			return err
 		}
 		a.mu.Lock()

@@ -56,7 +56,7 @@ func TestConcurrentPausesOnOneCard(t *testing.T) {
 				fail(err)
 				return
 			}
-			if err := Capture(s, false); err != nil {
+			if err := Capture(s, CaptureOptions{}); err != nil {
 				fail(err)
 				return
 			}

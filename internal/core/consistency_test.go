@@ -61,7 +61,10 @@ func runScenario(t *testing.T, dataSeed int64, ops []injection) uint64 {
 	binName := fmt.Sprintf("consistency_%d", scenarioCounter)
 	coi.RegisterBinary(consistencyBinary(binName))
 
-	plat := platform.New(platform.Config{Server: phi.ServerConfig{Devices: 2}})
+	plat, err := platform.New(platform.Config{Server: phi.ServerConfig{Devices: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := coi.StartDaemons(plat); err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +97,7 @@ func runScenario(t *testing.T, dataSeed int64, ops []injection) uint64 {
 			case 0: // checkpoint without termination
 				s := NewSnapshot(dir, cp)
 				mustOK(t, Pause(s))
-				mustOK(t, Capture(s, false))
+				mustOK(t, Capture(s, CaptureOptions{}))
 				mustOK(t, Wait(s))
 				mustOK(t, Resume(s))
 			case 1: // swap out and back in on the same card

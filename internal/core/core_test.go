@@ -58,7 +58,10 @@ type rig struct {
 func newRig(t *testing.T, binName string, devices int) *rig {
 	t.Helper()
 	coi.RegisterBinary(testBinary(binName))
-	plat := platform.New(platform.Config{Server: phi.ServerConfig{Devices: devices}})
+	plat, err := platform.New(platform.Config{Server: phi.ServerConfig{Devices: devices}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := coi.StartDaemons(plat); err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +105,7 @@ func TestPauseCaptureResumeLifecycle(t *testing.T) {
 	if s.Report.PauseTotal() <= 0 {
 		t.Error("pause must take virtual time")
 	}
-	if err := Capture(s, false); err != nil {
+	if err := Capture(s, CaptureOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if err := Wait(s); err != nil {
@@ -130,7 +133,7 @@ func TestPauseCaptureResumeLifecycle(t *testing.T) {
 func TestCaptureRequiresPause(t *testing.T) {
 	r := newRig(t, "core_nopause", 1)
 	s := NewSnapshot("/snap/np", r.cp)
-	if err := Capture(s, false); err == nil {
+	if err := Capture(s, CaptureOptions{}); err == nil {
 		t.Fatal("capture without pause must fail")
 	}
 }
@@ -165,9 +168,9 @@ func TestConsistencyInvariantAtCapture(t *testing.T) {
 	if op.Proc().StepActive() != 0 {
 		t.Error("a computation step is active during pause")
 	}
-	Capture(s, false) //nolint:errcheck
-	Wait(s)           //nolint:errcheck
-	Resume(s)         //nolint:errcheck
+	Capture(s, CaptureOptions{}) //nolint:errcheck
+	Wait(s)                      //nolint:errcheck
+	Resume(s)                    //nolint:errcheck
 }
 
 func TestSwapoutSwapinRoundTrip(t *testing.T) {
@@ -401,7 +404,10 @@ func waitFor(t *testing.T, cond func() bool) {
 // Section 4.1).
 func TestOneHostTwoCards(t *testing.T) {
 	coi.RegisterBinary(testBinary("core_twocards"))
-	plat := platform.New(platform.Config{Server: phi.ServerConfig{Devices: 2}})
+	plat, err := platform.New(platform.Config{Server: phi.ServerConfig{Devices: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := coi.StartDaemons(plat); err != nil {
 		t.Fatal(err)
 	}
@@ -440,7 +446,7 @@ func TestOneHostTwoCards(t *testing.T) {
 		snaps = append(snaps, s)
 	}
 	for _, s := range snaps {
-		if err := Capture(s, false); err != nil {
+		if err := Capture(s, CaptureOptions{}); err != nil {
 			t.Fatal(err)
 		}
 	}

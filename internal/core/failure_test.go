@@ -17,10 +17,13 @@ import (
 // a card with room.
 func TestRestoreOntoFullCardFailsCleanly(t *testing.T) {
 	coi.RegisterBinary(testBinary("core_fullcard"))
-	plat := platform.New(platform.Config{Server: phi.ServerConfig{
+	plat, err := platform.New(platform.Config{Server: phi.ServerConfig{
 		Devices: 2,
 		Device:  phi.DeviceConfig{MemBytes: 1 * simclock.GiB},
 	}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := coi.StartDaemons(plat); err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +52,7 @@ func TestRestoreOntoFullCardFailsCleanly(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if _, err := Restore(snap, 1); err == nil {
+	if _, err := Restore(snap, 1, RestoreOptions{}); err == nil {
 		t.Fatal("restore onto a full card must fail")
 	} else if !strings.Contains(err.Error(), "restoring") && !strings.Contains(err.Error(), "memory") {
 		t.Logf("error (accepted): %v", err)
@@ -84,7 +87,7 @@ func TestRestoreFromMissingSnapshotFails(t *testing.T) {
 		t.Fatal(err)
 	}
 	bogus := NewSnapshot("/snap/never_written", r.cp)
-	if _, err := Restore(bogus, 1); err == nil {
+	if _, err := Restore(bogus, 1, RestoreOptions{}); err == nil {
 		t.Fatal("restore from missing snapshot must succeed? no — must fail")
 	}
 	// The real snapshot still works.
@@ -97,7 +100,7 @@ func TestRestoreFromMissingSnapshotFails(t *testing.T) {
 func TestRestoreRequiresSwappedHandle(t *testing.T) {
 	r := newRig(t, "core_misuse", 1)
 	s := NewSnapshot("/snap/misuse", r.cp)
-	if _, err := Restore(s, 1); err == nil {
+	if _, err := Restore(s, 1, RestoreOptions{}); err == nil {
 		t.Fatal("restore of a live process must fail")
 	}
 	// Pause-resume still fine after the misuse.
@@ -117,7 +120,7 @@ func TestCaptureWaitPairing(t *testing.T) {
 	if err := Pause(s); err != nil {
 		t.Fatal(err)
 	}
-	if err := Capture(s, false); err != nil {
+	if err := Capture(s, CaptureOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if err := Wait(s); err != nil {
@@ -125,7 +128,7 @@ func TestCaptureWaitPairing(t *testing.T) {
 	}
 	// A second capture+wait on the same paused snapshot also works (the
 	// paper's API allows repeated captures before resume).
-	if err := Capture(s, false); err != nil {
+	if err := Capture(s, CaptureOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if err := Wait(s); err != nil {

@@ -15,13 +15,13 @@ import (
 // represents the swapped-out process and is the input to Swapin.
 func Swapout(path string, cp *coi.Process) (*Snapshot, error) {
 	s := NewSnapshot(path, cp)
-	if err := Pause(s); err != nil {
+	if err := s.Pause(); err != nil {
 		return nil, err
 	}
-	if err := Capture(s, true); err != nil {
+	if err := s.Capture(CaptureOptions{Terminate: true}); err != nil {
 		return nil, err
 	}
-	if err := Wait(s); err != nil {
+	if err := s.Wait(); err != nil {
 		return nil, err
 	}
 	return s, nil
@@ -30,11 +30,11 @@ func Swapout(path string, cp *coi.Process) (*Snapshot, error) {
 // Swapin restores a swapped-out offload process on the given device and
 // resumes it (snapify_swapin, Fig 6a). It returns the revived handle.
 func Swapin(s *Snapshot, deviceTo simnet.NodeID) (*coi.Process, error) {
-	cp, err := Restore(s, deviceTo)
+	cp, err := s.Restore(deviceTo, RestoreOptions{})
 	if err != nil {
 		return nil, err
 	}
-	if err := Resume(s); err != nil {
+	if err := s.Resume(); err != nil {
 		return nil, err
 	}
 	return cp, nil
@@ -51,13 +51,13 @@ func Migrate(cp *coi.Process, deviceTo simnet.NodeID, path string) (*coi.Process
 	// The local store moves device-to-device over PCIe, not through the
 	// host (Section 7, "Process migration").
 	s.LocalStoreTarget = deviceTo
-	if err := Pause(s); err != nil {
+	if err := s.Pause(); err != nil {
 		return nil, nil, err
 	}
-	if err := Capture(s, true); err != nil {
+	if err := s.Capture(CaptureOptions{Terminate: true}); err != nil {
 		return nil, nil, err
 	}
-	if err := Wait(s); err != nil {
+	if err := s.Wait(); err != nil {
 		return nil, nil, err
 	}
 	ncp, err := Swapin(s, deviceTo)

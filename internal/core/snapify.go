@@ -70,6 +70,13 @@ type Report struct {
 	// Capture.
 	Capture       simclock.Duration // device snapshot + write via Snapify-IO
 	SnapshotBytes int64
+	// CaptureStreams is how many parallel Snapify-IO streams the capture
+	// actually used (1 — the paper's serial data path — unless
+	// CaptureOptions.Streams asked for more).
+	CaptureStreams int
+	// CaptureStreamDurations holds each stream's virtual time when the
+	// capture was striped; Capture is their max. Nil for a serial capture.
+	CaptureStreamDurations []simclock.Duration
 
 	// Restore phases.
 	RestoreDevice    simclock.Duration // BLCR restart reading via Snapify-IO
@@ -98,11 +105,40 @@ func NewSnapshot(path string, cp *coi.Process) *Snapshot {
 	return &Snapshot{Path: path, Proc: cp, LocalStoreTarget: simnet.HostNode, sem: make(chan struct{}, 1)}
 }
 
+// CaptureOptions configures a capture (snapify_capture).
+type CaptureOptions struct {
+	// Terminate makes the offload process exit after the capture (the
+	// swap-out path); its exit is announced so the COI daemon does not
+	// treat it as a crash.
+	Terminate bool
+	// Streams is how many parallel Snapify-IO streams the capture stripes
+	// the context file across. Zero or one uses the paper's single-stream
+	// data path; higher values divide the file into contiguous stripes,
+	// one double-buffered stream each, assembled by the host daemon.
+	Streams int
+	// ChunkBytes is the I/O granularity of the parallel data path; zero
+	// uses the checkpointer's default (4 MiB). Ignored when Streams <= 1.
+	ChunkBytes int64
+}
+
+// RestoreOptions configures a restore (snapify_restore).
+type RestoreOptions struct {
+	// Streams is how many parallel Snapify-IO range streams the base
+	// context is read over. Zero or one is the paper's serial restore.
+	Streams int
+	// ChunkBytes is the I/O granularity of the parallel restore path; zero
+	// uses the checkpointer's default. Ignored when Streams <= 1.
+	ChunkBytes int64
+}
+
 // Pause stops and drains all communication between the host process and
 // the offload process (snapify_pause, Section 4.1). On return every SCIF
 // channel between the three parties is empty and the offload process's
 // local store has been saved.
-func Pause(s *Snapshot) error {
+func Pause(s *Snapshot) error { return s.Pause() }
+
+// Pause implements snapify_pause; see the package-level Pause.
+func (s *Snapshot) Pause() error {
 	cp := s.Proc
 	plat := cp.Platform()
 	model := plat.Model()
@@ -203,27 +239,41 @@ func LoadHandleState(host *proc.Process) (coi.HandleMeta, error) {
 // Capture takes the snapshot of the (paused) offload process and saves it
 // on the host file system via Snapify-IO (snapify_capture). It is
 // non-blocking: it returns immediately and posts the snapshot's semaphore
-// when the capture completes; use Wait. With terminate set the offload
-// process exits after the capture (the swap-out path), and its exit is
-// announced so the COI daemon does not treat it as a crash.
-func Capture(s *Snapshot, terminate bool) error {
-	return captureMode(s, terminate, coi.CaptureFull)
+// when the capture completes; use Wait. Options select termination (the
+// swap-out path) and the parallel multi-stream data path.
+func (s *Snapshot) Capture(opts CaptureOptions) error {
+	return s.captureMode(opts, coi.CaptureFull)
 }
 
 // CaptureBase is Capture plus a clean mark on every region of the offload
 // process: the snapshot anchors a chain of CaptureDelta captures (the
 // incremental-checkpoint extension; not in the paper).
-func CaptureBase(s *Snapshot, terminate bool) error {
-	return captureMode(s, terminate, coi.CaptureBase)
+func (s *Snapshot) CaptureBase(opts CaptureOptions) error {
+	return s.captureMode(opts, coi.CaptureBase)
 }
 
 // CaptureDelta captures only what the offload process wrote since the last
 // CaptureBase or CaptureDelta; restore with RestoreChain.
-func CaptureDelta(s *Snapshot, terminate bool) error {
-	return captureMode(s, terminate, coi.CaptureDelta)
+func (s *Snapshot) CaptureDelta(opts CaptureOptions) error {
+	return s.captureMode(opts, coi.CaptureDelta)
 }
 
-func captureMode(s *Snapshot, terminate bool, mode uint8) error {
+// Capture is the package-level form of (*Snapshot).Capture.
+//
+// Deprecated: call the Snapshot method instead.
+func Capture(s *Snapshot, opts CaptureOptions) error { return s.Capture(opts) }
+
+// CaptureBase is the package-level form of (*Snapshot).CaptureBase.
+//
+// Deprecated: call the Snapshot method instead.
+func CaptureBase(s *Snapshot, opts CaptureOptions) error { return s.CaptureBase(opts) }
+
+// CaptureDelta is the package-level form of (*Snapshot).CaptureDelta.
+//
+// Deprecated: call the Snapshot method instead.
+func CaptureDelta(s *Snapshot, opts CaptureOptions) error { return s.CaptureDelta(opts) }
+
+func (s *Snapshot) captureMode(opts CaptureOptions, mode uint8) error {
 	s.mu.Lock()
 	paused := s.paused
 	s.mu.Unlock()
@@ -234,10 +284,12 @@ func captureMode(s *Snapshot, terminate bool, mode uint8) error {
 	go func() {
 		payload := coi.PutU32(uint32(cp.ID()))
 		tb := byte(0)
-		if terminate {
+		if opts.Terminate {
 			tb = 1
 		}
 		payload = append(payload, tb, mode)
+		payload = binary.BigEndian.AppendUint16(payload, uint16(opts.Streams))
+		payload = binary.BigEndian.AppendUint64(payload, uint64(opts.ChunkBytes))
 		payload = coi.AppendU32(payload, uint32(len(s.Path)))
 		payload = append(payload, s.Path...)
 		resp, err := cp.DaemonRequest(coi.OpSnapifyCapture, payload, coi.OpSnapifyCaptureResp)
@@ -247,7 +299,18 @@ func captureMode(s *Snapshot, terminate bool, mode uint8) error {
 		} else {
 			s.Report.SnapshotBytes = int64(binary.BigEndian.Uint64(resp))
 			s.Report.Capture = simclock.Duration(binary.BigEndian.Uint64(resp[8:]))
-			if terminate {
+			n := int(binary.BigEndian.Uint16(resp[16:]))
+			s.Report.CaptureStreams = 1
+			s.Report.CaptureStreamDurations = nil
+			if n > 0 {
+				s.Report.CaptureStreams = n
+				durs := make([]simclock.Duration, n)
+				for i := range durs {
+					durs[i] = simclock.Duration(binary.BigEndian.Uint64(resp[18+8*i:]))
+				}
+				s.Report.CaptureStreamDurations = durs
+			}
+			if opts.Terminate {
 				cp.MarkSwapped()
 			}
 		}
@@ -259,7 +322,10 @@ func captureMode(s *Snapshot, terminate bool, mode uint8) error {
 
 // Wait blocks until a pending Capture completes (snapify_wait) and returns
 // its error, if any.
-func Wait(s *Snapshot) error {
+func Wait(s *Snapshot) error { return s.Wait() }
+
+// Wait implements snapify_wait; see the package-level Wait.
+func (s *Snapshot) Wait() error {
 	<-s.sem
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -271,7 +337,10 @@ func Wait(s *Snapshot) error {
 
 // Resume releases all locks acquired by Pause in both the host process and
 // the offload process and reopens normal operation (snapify_resume).
-func Resume(s *Snapshot) error {
+func Resume(s *Snapshot) error { return s.Resume() }
+
+// Resume implements snapify_resume; see the package-level Resume.
+func (s *Snapshot) Resume() error {
 	cp := s.Proc
 	model := cp.Platform().Model()
 	if _, err := cp.DaemonRequest(coi.OpSnapifyResume, coi.PutU32(uint32(cp.ID())), coi.OpSnapifyResumeResp); err != nil {
@@ -296,15 +365,22 @@ func Resume(s *Snapshot) error {
 // around the restored process — channels reconnect, pipelines are
 // recreated, buffers re-register, and the (old, new) RDMA address remap is
 // applied. The restored process stays quiesced until Resume is called.
-func Restore(s *Snapshot, device simnet.NodeID) (*coi.Process, error) {
-	return RestoreChain(s, s.Path, nil, device)
+func (s *Snapshot) Restore(device simnet.NodeID, opts RestoreOptions) (*coi.Process, error) {
+	return s.RestoreChain(s.Path, nil, device, opts)
+}
+
+// Restore is the package-level form of (*Snapshot).Restore.
+//
+// Deprecated: call the Snapshot method instead.
+func Restore(s *Snapshot, device simnet.NodeID, opts RestoreOptions) (*coi.Process, error) {
+	return s.Restore(device, opts)
 }
 
 // RestoreChain restores from a base snapshot plus an ordered chain of
 // delta snapshots (taken with CaptureBase / CaptureDelta). s is the
 // snapshot of the *latest* capture — its Path provides the freshest saved
 // local store; baseDir provides the full context.
-func RestoreChain(s *Snapshot, baseDir string, deltaDirs []string, device simnet.NodeID) (*coi.Process, error) {
+func (s *Snapshot) RestoreChain(baseDir string, deltaDirs []string, device simnet.NodeID, opts RestoreOptions) (*coi.Process, error) {
 	cp := s.Proc
 	plat := cp.Platform()
 	model := plat.Model()
@@ -325,6 +401,8 @@ func RestoreChain(s *Snapshot, baseDir string, deltaDirs []string, device simnet
 		payload = coi.AppendU32(payload, uint32(len(dd)))
 		payload = append(payload, dd...)
 	}
+	payload = binary.BigEndian.AppendUint16(payload, uint16(opts.Streams))
+	payload = binary.BigEndian.AppendUint64(payload, uint64(opts.ChunkBytes))
 
 	resp, err := coi.DaemonRestoreRequest(plat, device, payload)
 	if err != nil {
@@ -353,4 +431,11 @@ func RestoreChain(s *Snapshot, baseDir string, deltaDirs []string, device simnet
 	s.Report.RestoreReconnect = reconnect
 	cp.Timeline().Advance(s.Report.RestoreTotal())
 	return cp, nil
+}
+
+// RestoreChain is the package-level form of (*Snapshot).RestoreChain.
+//
+// Deprecated: call the Snapshot method instead.
+func RestoreChain(s *Snapshot, baseDir string, deltaDirs []string, device simnet.NodeID, opts RestoreOptions) (*coi.Process, error) {
+	return s.RestoreChain(baseDir, deltaDirs, device, opts)
 }

@@ -123,7 +123,10 @@ type IncrementalRow struct {
 func IncrementalAblation() ([]IncrementalRow, error) {
 	var rows []IncrementalRow
 	for _, frac := range []float64{0.01, 0.05, 0.25, 1.0} {
-		plat := newPlatform(1)
+		plat, err := newPlatform(1)
+		if err != nil {
+			return nil, err
+		}
 		dev := plat.Device(1)
 		p := plat.Procs.Spawn("incr_bench", dev.Node, dev.Mem)
 		const size = 256 * simclock.MiB
@@ -217,7 +220,10 @@ type WsizeRow struct {
 func WsizeAblation() ([]WsizeRow, error) {
 	var rows []WsizeRow
 	for _, wsize := range []int64{16 * simclock.KiB, 64 * simclock.KiB, 256 * simclock.KiB, 1 * simclock.MiB} {
-		plat := newPlatform(1)
+		plat, err := newPlatform(1)
+		if err != nil {
+			return nil, err
+		}
 		model := plat.Model()
 		model.NFSMaxTransfer = wsize
 		dev := plat.Device(1)

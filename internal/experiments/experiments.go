@@ -20,7 +20,7 @@ import (
 
 // newPlatform builds the standard single-server testbed (Table 2: one or
 // two 8 GiB cards).
-func newPlatform(devices int) *platform.Platform {
+func newPlatform(devices int) (*platform.Platform, error) {
 	return platform.New(platform.Config{Server: phi.ServerConfig{
 		Devices: devices,
 		Device:  phi.DeviceConfig{MemBytes: 8 * simclock.GiB},

@@ -62,7 +62,10 @@ func Fig10() (*Fig10Result, error) {
 }
 
 func fig10One(spec workloads.Spec) (*Fig10Row, error) {
-	plat := platform.New(platform.Config{Server: serverConfig()})
+	plat, err := platform.New(platform.Config{Server: serverConfig()})
+	if err != nil {
+		return nil, err
+	}
 	if err := coi.StartDaemons(plat); err != nil {
 		return nil, err
 	}

@@ -60,10 +60,13 @@ func Fig9() (*Fig9Result, error) {
 
 // fig9Run executes a scaled run and extrapolates the full-run time.
 func fig9Run(spec workloads.Spec, noHooks bool) (simclock.Duration, error) {
-	plat := platform.New(platform.Config{
+	plat, err := platform.New(platform.Config{
 		Server:    serverConfig(),
 		NoSnapify: noHooks,
 	})
+	if err != nil {
+		return 0, err
+	}
 	if err := coi.StartDaemons(plat); err != nil {
 		return 0, err
 	}

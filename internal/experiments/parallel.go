@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"snapify/internal/coi"
+	"snapify/internal/core"
+	"snapify/internal/phi"
+	"snapify/internal/platform"
+	"snapify/internal/simclock"
+	"snapify/internal/trace"
+	"snapify/internal/workloads"
+)
+
+// ParallelCaptureStreams is the stream-count sweep of the parallel
+// capture benchmark. The first entry must be 1: it is the serial baseline
+// every other row's speedup is computed against.
+var ParallelCaptureStreams = []int{1, 2, 4, 8}
+
+// ParallelCaptureImageBytes is the default device image size: an 8
+// GiB-class snapshot, the full memory of a 5110P-class card and the
+// worst case of Fig 10's size sweep.
+const ParallelCaptureImageBytes = 8 * simclock.GiB
+
+// ParallelCaptureRow is one stream count's measurements.
+type ParallelCaptureRow struct {
+	Streams int `json:"streams"`
+	// CaptureSeconds is the device capture's virtual wall-clock: the
+	// slowest stream when Streams > 1.
+	CaptureSeconds float64 `json:"capture_seconds"`
+	// Speedup is the serial capture time divided by this row's.
+	Speedup float64 `json:"speedup"`
+	// ThroughputMiBs is ImageBytes / CaptureSeconds.
+	ThroughputMiBs float64 `json:"throughput_mib_s"`
+	// StreamSeconds is each worker's virtual time (absent when serial).
+	StreamSeconds []float64 `json:"stream_seconds,omitempty"`
+	// SnapshotBytes is the context file size; identical across rows by
+	// the golden-parity guarantee.
+	SnapshotBytes int64 `json:"snapshot_bytes"`
+}
+
+// ParallelCaptureResult is the full sweep.
+type ParallelCaptureResult struct {
+	Benchmark  string               `json:"benchmark"`
+	ImageBytes int64                `json:"image_bytes"`
+	Rows       []ParallelCaptureRow `json:"rows"`
+}
+
+// ParallelCapture captures one offload process with an imageBytes-sized
+// device heap once per entry of streams, through the full Snapify stack
+// (pause protocol, BLCR, Snapify-IO, the SCIF fabric). Serial capture is
+// bottlenecked by the card's page-table walk (Section 5's "memory
+// snapshot" stage); striping the image across streams walks shards
+// concurrently, so capture time approaches the shared PCIe link limit.
+func ParallelCapture(imageBytes int64, streams []int) (*ParallelCaptureResult, error) {
+	if len(streams) == 0 || streams[0] != 1 {
+		return nil, fmt.Errorf("parallel capture: sweep must start with the serial baseline, got %v", streams)
+	}
+	plat, err := platform.New(platform.Config{Server: phi.ServerConfig{
+		Devices: 1,
+		Device:  phi.DeviceConfig{MemBytes: imageBytes + 2*simclock.GiB},
+	}})
+	if err != nil {
+		return nil, err
+	}
+	if err := coi.StartDaemons(plat); err != nil {
+		return nil, err
+	}
+	defer coi.StopDaemons(plat)
+	defer plat.IO.Stop()
+
+	spec := workloads.Spec{
+		Code: "PC", Name: "parallel capture sweep",
+		HostMem:      16 * simclock.MiB,
+		DeviceMem:    imageBytes,
+		LocalStore:   4 * simclock.MiB,
+		Calls:        4,
+		StepsPerCall: 2,
+	}
+	in, err := workloads.Launch(plat, spec, 1)
+	if err != nil {
+		return nil, err
+	}
+	defer in.Close()
+	if _, err := in.RunCalls(1); err != nil {
+		return nil, err
+	}
+
+	res := &ParallelCaptureResult{Benchmark: "parallel-capture", ImageBytes: imageBytes}
+	for _, n := range streams {
+		s := core.NewSnapshot(fmt.Sprintf("/bench/parallel/%d", n), in.CP)
+		if err := s.Pause(); err != nil {
+			return nil, fmt.Errorf("streams=%d pause: %w", n, err)
+		}
+		if err := s.Capture(core.CaptureOptions{Streams: n}); err != nil {
+			return nil, fmt.Errorf("streams=%d capture: %w", n, err)
+		}
+		if err := s.Wait(); err != nil {
+			return nil, fmt.Errorf("streams=%d wait: %w", n, err)
+		}
+		if err := s.Resume(); err != nil {
+			return nil, fmt.Errorf("streams=%d resume: %w", n, err)
+		}
+		row := ParallelCaptureRow{
+			Streams:        n,
+			CaptureSeconds: s.Report.Capture.Seconds(),
+			SnapshotBytes:  s.Report.SnapshotBytes,
+		}
+		for _, d := range s.Report.CaptureStreamDurations {
+			row.StreamSeconds = append(row.StreamSeconds, d.Seconds())
+		}
+		if row.CaptureSeconds > 0 {
+			row.Speedup = res.serialSeconds(row.CaptureSeconds)
+			row.ThroughputMiBs = float64(imageBytes) / float64(simclock.MiB) / row.CaptureSeconds
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// serialSeconds returns the speedup of a capture taking sec seconds over
+// the serial baseline (row 0; 1.0 while computing the baseline itself).
+func (r *ParallelCaptureResult) serialSeconds(sec float64) float64 {
+	if len(r.Rows) == 0 {
+		return 1.0
+	}
+	return r.Rows[0].CaptureSeconds / sec
+}
+
+// Render prints the sweep in the tables' layout.
+func (r *ParallelCaptureResult) Render() string {
+	t := trace.New(fmt.Sprintf("Parallel capture: %s device image, N Snapify-IO streams", sizeLabel(r.ImageBytes)),
+		"Streams", "Capture (s)", "Speedup", "MiB/s")
+	for _, row := range r.Rows {
+		t.Row(fmt.Sprintf("%d", row.Streams),
+			fmt.Sprintf("%.2f", row.CaptureSeconds),
+			fmt.Sprintf("%.2fx", row.Speedup),
+			fmt.Sprintf("%.0f", row.ThroughputMiBs))
+	}
+	return t.String()
+}
+
+// CheckShape verifies the acceptance claims: 4 streams beat serial by at
+// least 2x, speedups are monotone up to 4 streams, and every row captured
+// the same number of bytes (striping never changes the image).
+func (r *ParallelCaptureResult) CheckShape() error {
+	if len(r.Rows) == 0 {
+		return fmt.Errorf("parallel capture: no rows")
+	}
+	for _, row := range r.Rows {
+		if row.SnapshotBytes != r.Rows[0].SnapshotBytes {
+			return fmt.Errorf("parallel capture: %d streams captured %d bytes, serial captured %d",
+				row.Streams, row.SnapshotBytes, r.Rows[0].SnapshotBytes)
+		}
+		if row.Streams > 1 && len(row.StreamSeconds) != row.Streams {
+			return fmt.Errorf("parallel capture: %d streams reported %d worker durations",
+				row.Streams, len(row.StreamSeconds))
+		}
+	}
+	prev := 0.0
+	for _, row := range r.Rows {
+		if row.Streams > 4 {
+			break
+		}
+		if row.Speedup < prev {
+			return fmt.Errorf("parallel capture: speedup fell from %.2fx to %.2fx at %d streams",
+				prev, row.Speedup, row.Streams)
+		}
+		prev = row.Speedup
+		if row.Streams == 4 && row.Speedup < 2.0 {
+			return fmt.Errorf("parallel capture: 4 streams only %.2fx over serial, want >= 2x", row.Speedup)
+		}
+	}
+	return nil
+}
+
+// JSON renders the sweep as the BENCH_capture.json document.
+func (r *ParallelCaptureResult) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

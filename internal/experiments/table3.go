@@ -38,7 +38,10 @@ type Table3Result struct {
 // sizes between the card and the host through Snapify-IO, the NFS mount,
 // and scp.
 func Table3() (*Table3Result, error) {
-	plat := newPlatform(1)
+	plat, err := newPlatform(1)
+	if err != nil {
+		return nil, err
+	}
 	dev := plat.Device(1)
 	host := plat.Host()
 	mnt := plat.NFS(1)

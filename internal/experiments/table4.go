@@ -47,7 +47,10 @@ func Table4() (*Table4Result, error) {
 
 		// Each size gets a fresh platform so RAM-fs residue cannot skew
 		// the memory gate.
-		plat := newPlatform(1)
+		plat, err := newPlatform(1)
+		if err != nil {
+			return nil, err
+		}
 		dev := plat.Device(1)
 		mnt := plat.NFS(1)
 

@@ -1,0 +1,50 @@
+// Package fanout provides the bounded worker pool the parallel snapshot
+// data path runs on: the checkpointer, the COI daemon, and the core API all
+// partition their per-region or per-shard work with Run.
+package fanout
+
+import "sync"
+
+// Run executes fn(i) for every i in [0, items) on at most workers
+// concurrent goroutines and waits for all of them. It returns the first
+// error in item order (all items run regardless — snapshot shards must not
+// be silently skipped, and a striped sink is only consistent once every
+// worker has finished or aborted). workers < 1 is treated as 1.
+func Run(workers, items int, fn func(i int) error) error {
+	if items <= 0 {
+		return nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > items {
+		workers = items
+	}
+	errs := make([]error, items)
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= items {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package fanout
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunExecutesEveryItem(t *testing.T) {
+	const items = 100
+	var hits [items]atomic.Int32
+	if err := Run(7, items, func(i int) error {
+		hits[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("item %d ran %d times", i, got)
+		}
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int32
+	var mu sync.Mutex
+	if err := Run(workers, 50, func(int) error {
+		c := cur.Add(1)
+		mu.Lock()
+		if c > peak.Load() {
+			peak.Store(c)
+		}
+		mu.Unlock()
+		defer cur.Add(-1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds %d workers", p, workers)
+	}
+}
+
+func TestRunReturnsFirstErrorInItemOrder(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	err := Run(4, 10, func(i int) error {
+		switch i {
+		case 3:
+			return errA
+		case 7:
+			return errB
+		}
+		return nil
+	})
+	if !errors.Is(err, errA) {
+		t.Errorf("got %v, want first error in item order (%v)", err, errA)
+	}
+}
+
+func TestRunDegenerateInputs(t *testing.T) {
+	if err := Run(4, 0, func(int) error { t.Fatal("ran"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	var n atomic.Int32
+	if err := Run(0, 5, func(int) error { n.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 5 {
+		t.Errorf("workers=0 ran %d of 5 items", n.Load())
+	}
+}

@@ -195,6 +195,68 @@ func (w *Writer) Close() error {
 // Abort discards the partial file.
 func (w *Writer) Abort() { w.done = true }
 
+// SparseWriter fills disjoint ranges of a fixed-size file; parallel
+// Snapify-IO streams striping one snapshot each write their own ranges.
+// WriteBlobAt is safe for concurrent use.
+type SparseWriter struct {
+	fs   *FS
+	path string
+	size int64
+
+	mu      sync.Mutex
+	content blob.Blob
+	done    bool
+}
+
+// CreateSparse opens a positioned writer over a file of exactly size
+// bytes, initially zero; the file becomes visible at Commit.
+func (fs *FS) CreateSparse(path string, size int64) (*SparseWriter, error) {
+	if path == "" {
+		return nil, errors.New("hostfs: empty path")
+	}
+	if size < 0 {
+		return nil, fmt.Errorf("hostfs: negative sparse size %d", size)
+	}
+	return &SparseWriter{fs: fs, path: path, size: size, content: blob.Zeros(size)}, nil
+}
+
+// WriteBlobAt writes content at the given offset, returning the virtual
+// page-cache write time.
+func (w *SparseWriter) WriteBlobAt(off int64, content blob.Blob) (simclock.Duration, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.done {
+		return 0, errors.New("hostfs: write on closed sparse writer")
+	}
+	if off < 0 || off+content.Len() > w.size {
+		return 0, fmt.Errorf("hostfs: sparse write [%d,%d) outside file of %d bytes", off, off+content.Len(), w.size)
+	}
+	w.content = blob.Splice(w.content, off, content)
+	return simclock.Rate(w.fs.model.HostFSWriteBandwidth)(content.Len()), nil
+}
+
+// Commit makes the file visible. The per-range write costs were already
+// charged by WriteBlobAt; committing is a metadata operation.
+func (w *SparseWriter) Commit() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.done {
+		return nil
+	}
+	w.done = true
+	w.fs.mu.Lock()
+	w.fs.files[w.path] = &file{content: w.content}
+	w.fs.mu.Unlock()
+	return nil
+}
+
+// Abort discards the partial file.
+func (w *SparseWriter) Abort() {
+	w.mu.Lock()
+	w.done = true
+	w.mu.Unlock()
+}
+
 // Reader streams a file out of the FS in chunks.
 type Reader struct {
 	content blob.Blob
@@ -215,6 +277,25 @@ func (fs *FS) Open(path string) (*Reader, error) {
 		bw = fs.model.HostFSReadColdBandwidth
 	}
 	return &Reader{content: f.content, bw: bw}, nil
+}
+
+// OpenRange returns a streaming reader over bytes [off, off+n) of the
+// file at path (the read side of striped transfers).
+func (fs *FS) OpenRange(path string, off, n int64) (*Reader, error) {
+	fs.mu.Lock()
+	f, ok := fs.files[path]
+	fs.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	if off < 0 || n < 0 || off+n > f.content.Len() {
+		return nil, fmt.Errorf("hostfs: range [%d,%d) outside %s (%d bytes)", off, off+n, path, f.content.Len())
+	}
+	bw := fs.model.HostFSReadCachedBandwidth
+	if f.cold {
+		bw = fs.model.HostFSReadColdBandwidth
+	}
+	return &Reader{content: f.content.Slice(off, n), bw: bw}, nil
 }
 
 // Size returns the total file size.

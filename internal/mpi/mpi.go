@@ -33,7 +33,11 @@ func NewCluster(n int, cfg platform.Config) (*Cluster, error) {
 	}
 	c := &Cluster{}
 	for i := 0; i < n; i++ {
-		plat := platform.New(cfg)
+		plat, err := platform.New(cfg)
+		if err != nil {
+			c.Stop()
+			return nil, err
+		}
 		if err := coi.StartDaemons(plat); err != nil {
 			c.Stop()
 			return nil, err

@@ -44,16 +44,19 @@ type Config struct {
 }
 
 // New assembles a platform and starts a Snapify-IO daemon on every node.
-func New(cfg Config) *Platform {
+// On failure the daemons already started are stopped before the error is
+// returned, so a half-built platform never leaks running goroutines.
+func New(cfg Config) (*Platform, error) {
 	server := phi.NewServer(cfg.Server)
 	net := scif.NewNetwork(server.Fabric)
 	io := snapifyio.NewService(net)
 	if _, err := io.StartDaemon(simnet.HostNode, vfs.Host(server.Host.FS)); err != nil {
-		panic(fmt.Sprintf("platform: starting host Snapify-IO daemon: %v", err)) //nolint:paniclib // platform constructor: a setup failure of the simulated testbed is unrecoverable (Must idiom)
+		return nil, fmt.Errorf("platform: starting host Snapify-IO daemon: %w", err)
 	}
 	for _, d := range server.Devices {
 		if _, err := io.StartDaemon(d.Node, vfs.Ram(d.FS)); err != nil {
-			panic(fmt.Sprintf("platform: starting Snapify-IO daemon on %v: %v", d.Node, err)) //nolint:paniclib // platform constructor: a setup failure of the simulated testbed is unrecoverable (Must idiom)
+			io.Stop()
+			return nil, fmt.Errorf("platform: starting Snapify-IO daemon on %v: %w", d.Node, err)
 		}
 	}
 	p := &Platform{
@@ -71,9 +74,10 @@ func New(cfg Config) *Platform {
 	// MPSS keeps the device runtime libraries on the host file system;
 	// Snapify's pause copies them into each snapshot directory.
 	if _, err := server.Host.FS.WriteFile(RuntimeLibsPath, blob.Synthetic(0xF00D, 24*simclock.MiB)); err != nil {
-		panic(fmt.Sprintf("platform: seeding runtime libraries: %v", err)) //nolint:paniclib // platform constructor: a setup failure of the simulated testbed is unrecoverable (Must idiom)
+		io.Stop()
+		return nil, fmt.Errorf("platform: seeding runtime libraries: %w", err)
 	}
-	return p
+	return p, nil
 }
 
 // RuntimeLibsPath is where MPSS keeps the device runtime libraries on the

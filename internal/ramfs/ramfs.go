@@ -235,6 +235,109 @@ func (w *Writer) Abort() {
 	w.fs.mu.Unlock()
 }
 
+// SparseWriter fills disjoint ranges of a fixed-size file. Its full size
+// is reserved against the memory budget up front (the card must hold the
+// whole file either way); the file becomes visible at Commit. WriteBlobAt
+// is safe for concurrent use.
+type SparseWriter struct {
+	fs   *FS
+	path string
+	size int64
+
+	mu      sync.Mutex
+	content blob.Blob
+	done    bool
+}
+
+// CreateSparse opens a positioned writer over a file of exactly size
+// bytes, initially zero. On ErrNoSpace nothing is reserved.
+func (fs *FS) CreateSparse(path string, size int64) (*SparseWriter, error) {
+	if path == "" {
+		return nil, errors.New("ramfs: empty path")
+	}
+	if size < 0 {
+		return nil, fmt.Errorf("ramfs: negative sparse size %d", size)
+	}
+	if err := fs.budget.Reserve(size); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNoSpace, err)
+	}
+	fs.mu.Lock()
+	fs.open[path]++
+	fs.mu.Unlock()
+	return &SparseWriter{fs: fs, path: path, size: size, content: blob.Zeros(size)}, nil
+}
+
+// WriteBlobAt writes content at the given offset, returning the virtual
+// time of the write.
+func (w *SparseWriter) WriteBlobAt(off int64, content blob.Blob) (simclock.Duration, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.done {
+		return 0, errors.New("ramfs: write on closed sparse writer")
+	}
+	if off < 0 || off+content.Len() > w.size {
+		return 0, fmt.Errorf("ramfs: sparse write [%d,%d) outside file of %d bytes", off, off+content.Len(), w.size)
+	}
+	w.content = blob.Splice(w.content, off, content)
+	return simclock.Rate(w.fs.model.RamFSBandwidth)(content.Len()), nil
+}
+
+// Commit makes the file visible, replacing any previous content at the
+// path. The per-range write costs were already charged by WriteBlobAt.
+func (w *SparseWriter) Commit() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.done {
+		return nil
+	}
+	w.done = true
+	fs := w.fs
+	fs.mu.Lock()
+	old, had := fs.files[w.path]
+	fs.files[w.path] = w.content
+	fs.open[w.path]--
+	if fs.open[w.path] == 0 {
+		delete(fs.open, w.path)
+	}
+	fs.mu.Unlock()
+	if had {
+		fs.budget.Release(old.Len())
+	}
+	return nil
+}
+
+// Abort discards the partial file and releases its reservation.
+func (w *SparseWriter) Abort() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.done {
+		return
+	}
+	w.done = true
+	w.fs.budget.Release(w.size)
+	w.fs.mu.Lock()
+	w.fs.open[w.path]--
+	if w.fs.open[w.path] == 0 {
+		delete(w.fs.open, w.path)
+	}
+	w.fs.mu.Unlock()
+}
+
+// OpenRange returns a streaming reader over bytes [off, off+n) of the file
+// at path.
+func (fs *FS) OpenRange(path string, off, n int64) (*Reader, error) {
+	fs.mu.Lock()
+	content, ok := fs.files[path]
+	fs.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotExist, path)
+	}
+	if off < 0 || n < 0 || off+n > content.Len() {
+		return nil, fmt.Errorf("ramfs: range [%d,%d) outside %s (%d bytes)", off, off+n, path, content.Len())
+	}
+	return &Reader{fs: fs, content: content.Slice(off, n)}, nil
+}
+
 // Reader streams a file out of the FS in chunks.
 type Reader struct {
 	fs      *FS

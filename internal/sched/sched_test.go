@@ -29,10 +29,13 @@ func smallSpec(code string, calls int) workloads.Spec {
 
 func newSched(t *testing.T, devices int, cardMem int64) *Scheduler {
 	t.Helper()
-	plat := platform.New(platform.Config{Server: phi.ServerConfig{
+	plat, err := platform.New(platform.Config{Server: phi.ServerConfig{
 		Devices: devices,
 		Device:  phi.DeviceConfig{MemBytes: cardMem},
 	}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := coi.StartDaemons(plat); err != nil {
 		t.Fatal(err)
 	}

@@ -4,9 +4,17 @@
 // traffic between nodes and keeps per-link byte counters so tests and the
 // benchmark harness can verify where data actually moved.
 //
-// Contention is not modeled: each transfer is charged its isolated cost.
-// The paper's experiments take one snapshot at a time, so link contention
-// never determines any reported number.
+// Contention on the bulk-data (RDMA) path is modeled through *flows*: a
+// long-lived bulk transfer — an open Snapify-IO stream — registers itself
+// on the links it crosses with RegisterFlow, and every RDMA transfer's
+// per-byte cost is scaled by the number of flows sharing its busiest link.
+// A solitary transfer (no registered flows, or just its own) pays exactly
+// the isolated cost, so single-stream captures reproduce the paper's
+// numbers; N streams striping one capture each see 1/N of the link, which
+// is what keeps the simulation honest about overlap instead of
+// double-counting bandwidth. Small control messages (MsgCost) and the
+// virtio path are latency- and CPU-bound, not PCIe-bound, and stay
+// contention-free.
 package simnet
 
 import (
@@ -33,6 +41,28 @@ func (n NodeID) String() string {
 	return fmt.Sprintf("mic%d", int(n)-1)
 }
 
+// link holds the contention and utilization state of one card's PCIe link
+// to the root complex.
+type link struct {
+	flows     atomic.Int64 // currently registered bulk flows
+	peakFlows atomic.Int64 // high-water mark of concurrent flows
+	transfers atomic.Int64 // RDMA transfers carried
+	busy      atomic.Int64 // virtual nanoseconds of RDMA occupancy
+}
+
+// LinkStats is a snapshot of one PCIe link's utilization counters.
+type LinkStats struct {
+	// Flows is the number of bulk flows currently registered on the link.
+	Flows int64
+	// PeakFlows is the maximum number of concurrently registered flows seen.
+	PeakFlows int64
+	// Transfers counts RDMA transfers that crossed the link.
+	Transfers int64
+	// Busy is the cumulative virtual time of RDMA occupancy on the link
+	// (transfer durations summed; overlapping transfers each count in full).
+	Busy simclock.Duration
+}
+
 // Fabric is the PCIe interconnect of one Xeon Phi server.
 type Fabric struct {
 	model   *simclock.Model
@@ -40,6 +70,10 @@ type Fabric struct {
 
 	// traffic[i][j] counts bytes moved from node i to node j.
 	traffic [][]atomic.Int64
+
+	// links[i] is the PCIe link of card node i (index 0, the host, is
+	// unused: the host sits at the root complex and has no single link).
+	links []link
 }
 
 // NewFabric returns a fabric with the given number of coprocessor devices.
@@ -52,7 +86,7 @@ func NewFabric(model *simclock.Model, devices int) *Fabric {
 	for i := range tr {
 		tr[i] = make([]atomic.Int64, n)
 	}
-	return &Fabric{model: model, devices: devices, traffic: tr}
+	return &Fabric{model: model, devices: devices, traffic: tr, links: make([]link, n)}
 }
 
 // Model returns the fabric's cost model.
@@ -84,26 +118,112 @@ func (f *Fabric) Traffic(from, to NodeID) int64 {
 	return f.traffic[from][to].Load()
 }
 
+// linkNodes returns the card nodes whose PCIe links a from->to transfer
+// crosses: none for a same-node copy, one for host<->card, both for
+// card<->card (staged through the root complex).
+func (f *Fabric) linkNodes(from, to NodeID) []NodeID {
+	if from == to {
+		return nil
+	}
+	nodes := make([]NodeID, 0, 2)
+	if !from.IsHost() {
+		nodes = append(nodes, from)
+	}
+	if !to.IsHost() {
+		nodes = append(nodes, to)
+	}
+	return nodes
+}
+
+// RegisterFlow declares a long-lived bulk flow between two nodes (an open
+// Snapify-IO stream). While registered, every RDMA transfer crossing the
+// same link divides the link's per-byte bandwidth with it. The returned
+// release function deregisters the flow; it is idempotent.
+func (f *Fabric) RegisterFlow(from, to NodeID) func() {
+	f.checkPair(from, to)
+	nodes := f.linkNodes(from, to)
+	for _, n := range nodes {
+		l := &f.links[n]
+		cur := l.flows.Add(1)
+		for {
+			peak := l.peakFlows.Load()
+			if cur <= peak || l.peakFlows.CompareAndSwap(peak, cur) {
+				break
+			}
+		}
+	}
+	var released atomic.Bool
+	return func() {
+		if !released.CompareAndSwap(false, true) {
+			return
+		}
+		for _, n := range nodes {
+			f.links[n].flows.Add(-1)
+		}
+	}
+}
+
+// Flows returns the number of bulk flows currently sharing the from->to
+// path (the maximum over the links it crosses, at least 1 — a transfer
+// always shares a link with itself).
+func (f *Fabric) Flows(from, to NodeID) int64 {
+	f.checkPair(from, to)
+	share := int64(1)
+	for _, n := range f.linkNodes(from, to) {
+		if c := f.links[n].flows.Load(); c > share {
+			share = c
+		}
+	}
+	return share
+}
+
+// LinkStats returns the utilization counters of the given card's PCIe
+// link.
+func (f *Fabric) LinkStats(node NodeID) LinkStats {
+	f.checkPair(node, node)
+	if node.IsHost() {
+		return LinkStats{}
+	}
+	l := &f.links[node]
+	return LinkStats{
+		Flows:     l.flows.Load(),
+		PeakFlows: l.peakFlows.Load(),
+		Transfers: l.transfers.Load(),
+		Busy:      simclock.Duration(l.busy.Load()),
+	}
+}
+
 // RDMACost returns the virtual cost of one RDMA transfer of the given size
 // between two nodes and accounts the traffic. Device-to-device transfers
 // cross the host root complex, halving effective bandwidth (KNC peer-to-peer
-// behaves this way); same-node transfers are local memcpys.
+// behaves this way); same-node transfers are local memcpys. The per-byte
+// portion is scaled by the number of registered bulk flows sharing the
+// busiest link on the path (see RegisterFlow); the fixed setup cost is not —
+// descriptor posts do not contend for link bandwidth.
 func (f *Fabric) RDMACost(from, to NodeID, bytes int64) simclock.Duration {
 	f.checkPair(from, to)
 	f.account(from, to, bytes)
 	m := f.model
-	switch {
-	case from == to:
+	if from == to {
 		if from.IsHost() {
 			return m.HostMemcpy(bytes)
 		}
 		return m.PhiMemcpy(bytes)
-	case !from.IsHost() && !to.IsHost():
-		// Peer-to-peer: staged through the root complex.
-		return m.RDMASetup + 2*m.RDMA(bytes) - m.RDMASetup
-	default:
-		return m.RDMA(bytes)
 	}
+	hops := simclock.Duration(1)
+	if !from.IsHost() && !to.IsHost() {
+		// Peer-to-peer: staged through the root complex.
+		hops = 2
+	}
+	share := f.Flows(from, to)
+	perByte := m.RDMA(bytes) - m.RDMASetup
+	cost := hops * (m.RDMASetup + simclock.Duration(share)*perByte)
+	for _, n := range f.linkNodes(from, to) {
+		l := &f.links[n]
+		l.transfers.Add(1)
+		l.busy.Add(int64(cost))
+	}
+	return cost
 }
 
 // MsgCost returns the virtual cost of a message-path (scif_send) transfer

@@ -92,6 +92,95 @@ func TestTrafficAccounting(t *testing.T) {
 	}
 }
 
+func TestFlowSharingScalesPerByteCost(t *testing.T) {
+	f := newTestFabric(t, 2)
+	n := int64(64 * simclock.MiB)
+	m := f.Model()
+	iso := f.RDMACost(1, 0, n)
+	if iso != m.RDMA(n) {
+		t.Fatalf("isolated cost %v != model RDMA %v", iso, m.RDMA(n))
+	}
+
+	// Two flows on card 1's link: per-byte time doubles, setup does not.
+	rel1 := f.RegisterFlow(1, 0)
+	rel2 := f.RegisterFlow(0, 1)
+	shared := f.RDMACost(1, 0, n)
+	want := m.RDMASetup + 2*(m.RDMA(n)-m.RDMASetup)
+	if shared != want {
+		t.Errorf("shared cost %v, want %v", shared, want)
+	}
+	// A different card's link is unaffected.
+	if got := f.RDMACost(2, 0, n); got != iso {
+		t.Errorf("card 2 cost %v changed, want isolated %v", got, iso)
+	}
+
+	// Releasing restores the isolated cost; release is idempotent.
+	rel1()
+	rel1()
+	rel2()
+	if got := f.RDMACost(1, 0, n); got != iso {
+		t.Errorf("after release cost %v, want %v", got, iso)
+	}
+}
+
+func TestFlowSharingPeerToPeer(t *testing.T) {
+	f := newTestFabric(t, 2)
+	n := int64(8 * simclock.MiB)
+	m := f.Model()
+	iso := f.RDMACost(1, 2, n)
+	if iso != 2*m.RDMA(n) {
+		t.Fatalf("isolated p2p cost %v != 2*RDMA %v", iso, 2*m.RDMA(n))
+	}
+	// Three flows on card 2's link only: the path's share is the busiest
+	// link's count.
+	var rels []func()
+	for i := 0; i < 3; i++ {
+		rels = append(rels, f.RegisterFlow(0, 2))
+	}
+	got := f.RDMACost(1, 2, n)
+	want := 2 * (m.RDMASetup + 3*(m.RDMA(n)-m.RDMASetup))
+	if got != want {
+		t.Errorf("p2p shared cost %v, want %v", got, want)
+	}
+	for _, r := range rels {
+		r()
+	}
+}
+
+func TestLinkUtilizationCounters(t *testing.T) {
+	f := newTestFabric(t, 1)
+	rel := f.RegisterFlow(1, 0)
+	rel2 := f.RegisterFlow(1, 0)
+	rel2()
+	d1 := f.RDMACost(1, 0, 1*simclock.MiB)
+	d2 := f.RDMACost(0, 1, 2*simclock.MiB)
+	st := f.LinkStats(1)
+	if st.Transfers != 2 {
+		t.Errorf("Transfers = %d, want 2", st.Transfers)
+	}
+	if st.Busy != d1+d2 {
+		t.Errorf("Busy = %v, want %v", st.Busy, d1+d2)
+	}
+	if st.Flows != 1 {
+		t.Errorf("Flows = %d, want 1", st.Flows)
+	}
+	if st.PeakFlows != 2 {
+		t.Errorf("PeakFlows = %d, want 2", st.PeakFlows)
+	}
+	rel()
+	if got := f.LinkStats(1).Flows; got != 0 {
+		t.Errorf("Flows after release = %d, want 0", got)
+	}
+	// Same-node copies cross no link.
+	f.RDMACost(0, 0, 1024)
+	if got := f.LinkStats(1).Transfers; got != 2 {
+		t.Errorf("local copy accounted on link: Transfers = %d", got)
+	}
+	if got := f.LinkStats(HostNode); got != (LinkStats{}) {
+		t.Errorf("host LinkStats = %+v, want zero", got)
+	}
+}
+
 func TestInvalidNodePanics(t *testing.T) {
 	f := newTestFabric(t, 1)
 	defer func() {

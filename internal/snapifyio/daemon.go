@@ -1,16 +1,21 @@
 package snapifyio
 
 import (
+	"fmt"
 	"io"
+	"sync"
 
 	"snapify/internal/scif"
+	"snapify/internal/simclock"
 	"snapify/internal/simnet"
 	"snapify/internal/vfs"
 )
 
 // Daemon is the per-node Snapify-IO daemon: a remote server thread accepts
 // SCIF connections from peer daemons and spawns a handler per connection to
-// serve the local file system.
+// serve the local file system. Each connection carries one stream; the
+// daemon keeps per-stream staging slots and assembles striped writes into
+// whole files.
 type Daemon struct {
 	svc     *Service
 	node    simnet.NodeID
@@ -18,10 +23,117 @@ type Daemon struct {
 	lst     *scif.Listener
 	bufSize int64
 	done    chan struct{}
+
+	mu         sync.Mutex
+	streams    map[int64]streamInfo
+	assemblies map[string]*assembly
+}
+
+// streamInfo describes one stream this daemon is currently serving.
+type streamInfo struct {
+	mode  Mode
+	path  string
+	slots int
 }
 
 // Node returns the daemon's SCIF node.
 func (d *Daemon) Node() simnet.NodeID { return d.node }
+
+// ActiveStreams returns the number of streams the daemon is serving.
+func (d *Daemon) ActiveStreams() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.streams)
+}
+
+func (d *Daemon) registerStream(id int64, info streamInfo) {
+	d.mu.Lock()
+	if d.streams == nil {
+		d.streams = make(map[int64]streamInfo)
+	}
+	d.streams[id] = info
+	d.mu.Unlock()
+}
+
+func (d *Daemon) unregisterStream(id int64) {
+	d.mu.Lock()
+	delete(d.streams, id)
+	d.mu.Unlock()
+}
+
+// assembly is one striped write in progress: parallel streams deliver
+// disjoint ranges of the same remote file, and the daemon commits the
+// assembled file once the closed stripes cover the whole declared size
+// (so stream open/close order does not matter), or discards it if a
+// stripe aborted and no stream remains.
+type assembly struct {
+	sw      vfs.SparseWriter
+	total   int64
+	refs    int
+	covered int64
+	aborted bool
+}
+
+// openAssembly joins (or starts) the striped write of path with the given
+// total size.
+func (d *Daemon) openAssembly(path string, total int64) (*assembly, error) {
+	if total < 0 {
+		return nil, fmt.Errorf("snapifyio: negative stripe total %d", total)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if a, ok := d.assemblies[path]; ok {
+		if a.total != total {
+			return nil, fmt.Errorf("snapifyio: stripe total %d for %q, other streams declared %d", total, path, a.total)
+		}
+		a.refs++
+		return a, nil
+	}
+	sfs, ok := d.fs.(vfs.SparseFS)
+	if !ok {
+		return nil, fmt.Errorf("snapifyio: file system on %v does not support striped writes", d.node)
+	}
+	sw, err := sfs.CreateSparse(path, total)
+	if err != nil {
+		return nil, err
+	}
+	a := &assembly{sw: sw, total: total, refs: 1}
+	d.assemblies[path] = a
+	return a, nil
+}
+
+// releaseAssembly drops one stripe's reference. A clean close credits the
+// stripe's length toward coverage; once closed stripes cover the declared
+// total the file commits (stripes are disjoint, so coverage is exact). An
+// aborted stripe poisons the assembly, and the last departing stream
+// discards it.
+func (d *Daemon) releaseAssembly(path string, length int64, abort bool) error {
+	d.mu.Lock()
+	a, ok := d.assemblies[path]
+	if !ok {
+		d.mu.Unlock()
+		return nil
+	}
+	a.refs--
+	if abort {
+		a.aborted = true
+	} else {
+		a.covered += length
+	}
+	complete := !a.aborted && a.covered >= a.total
+	discard := a.aborted && a.refs == 0
+	if complete || discard {
+		delete(d.assemblies, path)
+	}
+	d.mu.Unlock()
+	if complete {
+		return a.sw.Commit()
+	}
+	if discard {
+		a.sw.Abort()
+	}
+	return nil
+}
 
 // remoteServer is the daemon's remote server thread (Section 6): it accepts
 // SCIF connections and spawns a remote handler per connection.
@@ -48,24 +160,38 @@ func (d *Daemon) remoteHandler(ep *scif.Endpoint) {
 		return
 	}
 	mode := Mode(u.u8())
+	streamID := u.i64()
+	slots := int(u.u8())
+	bufSize := u.i64()
+	windows := make([]int64, 0, slots)
+	for i := 0; i < slots; i++ {
+		windows = append(windows, u.i64())
+	}
+	striped := u.u8() == 1
+	st := Stripe{Offset: u.i64(), Length: u.i64(), Total: u.i64()}
 	path := u.str()
-	peerWindow := u.i64()
-	n := u.i64()
-	if n != d.bufSize {
+
+	openErr := func(msg string) {
+		d.reply(ep, func(w *wire) { w.u8(msgOpenResp); w.str(msg); w.i64(0) })
+	}
+	if bufSize != d.bufSize {
 		// Mismatched staging sizes would deadlock the chunk protocol.
-		d.reply(ep, func(w *wire) {
-			w.u8(msgOpenResp)
-			w.str("staging buffer size mismatch")
-			w.i64(0)
-		})
+		openErr("staging buffer size mismatch")
+		return
+	}
+	if slots < 1 || slots > MaxSlots {
+		openErr(fmt.Sprintf("stream wants %d staging slots, daemon allows 1..%d", slots, MaxSlots))
 		return
 	}
 
+	d.registerStream(streamID, streamInfo{mode: mode, path: path, slots: slots})
+	defer d.unregisterStream(streamID)
+
 	switch mode {
 	case Write:
-		d.serveWrite(ep, path, peerWindow)
+		d.serveWrite(ep, streamID, path, windows, striped, st)
 	case Read:
-		d.serveRead(ep, path, peerWindow)
+		d.serveRead(ep, streamID, path, windows, striped, st)
 	}
 }
 
@@ -75,41 +201,119 @@ func (d *Daemon) reply(ep *scif.Endpoint, fill func(*wire)) {
 	ep.Send(w.buf) //nolint:errcheck // peer teardown is handled by Recv errors
 }
 
-// serveWrite drains the peer's staging buffer into a local file.
-func (d *Daemon) serveWrite(ep *scif.Endpoint, path string, peerWindow int64) {
-	fw, err := d.fs.Create(path)
+// serveWrite drains the peer's staging slots into a local file — appended
+// chunk by chunk in the classic mode, or written at explicit offsets into
+// a shared striped assembly.
+func (d *Daemon) serveWrite(ep *scif.Endpoint, streamID int64, path string, windows []int64, striped bool, st Stripe) {
+	var fw vfs.Writer
+	var asm *assembly
+	var err error
+	if striped {
+		if st.Offset < 0 || st.Length < 0 || st.Offset+st.Length > st.Total {
+			d.reply(ep, func(w *wire) {
+				w.u8(msgOpenResp)
+				w.str(fmt.Sprintf("stripe [%d,%d) outside file of %d bytes", st.Offset, st.Offset+st.Length, st.Total))
+				w.i64(0)
+			})
+			return
+		}
+		asm, err = d.openAssembly(path, st.Total)
+	} else {
+		fw, err = d.fs.Create(path)
+	}
 	if err != nil {
 		d.reply(ep, func(w *wire) { w.u8(msgOpenResp); w.str(err.Error()); w.i64(0) })
 		return
 	}
+	abort := func() {
+		if striped {
+			d.releaseAssembly(path, 0, true) //nolint:errcheck // abort path: discarding the partial assembly is the handling
+		} else {
+			fw.Abort()
+		}
+	}
 	d.reply(ep, func(w *wire) { w.u8(msgOpenResp); w.str(""); w.i64(0) })
 
-	staging := newSlot(d.bufSize)
+	staging := make([]*slot, len(windows))
+	for i := range staging {
+		staging[i] = newSlot(d.bufSize)
+	}
 	for {
 		raw, _, err := ep.Recv()
 		if err != nil {
-			fw.Abort() // peer vanished mid-stream
+			abort() // peer vanished mid-stream
 			return
 		}
 		u := &unwire{buf: raw}
 		switch u.u8() {
 		case msgChunkReady:
+			sid := u.i64()
+			sl := int(u.u8())
 			n := u.i64()
+			fileOff := u.i64()
+			nack := func(msg string) {
+				d.reply(ep, func(w *wire) {
+					w.u8(msgChunkAck)
+					w.i64(streamID)
+					w.u8(uint8(sl))
+					w.str(msg)
+					w.dur(0)
+					w.dur(0)
+				})
+			}
+			if sid != streamID {
+				nack(fmt.Sprintf("chunk for stream %d on stream %d", sid, streamID))
+				abort()
+				return
+			}
+			if sl < 0 || sl >= len(staging) {
+				nack(fmt.Sprintf("chunk names slot %d of %d", sl, len(staging)))
+				abort()
+				return
+			}
 			// Drain the peer's registered buffer with scif_vreadfrom.
-			rdma, err := ep.VReadFrom(staging, 0, n, peerWindow)
+			rdma, err := ep.VReadFrom(staging[sl], 0, n, windows[sl])
 			if err != nil {
-				fw.Abort()
+				abort()
 				return
 			}
-			fsWrite, err := fw.WriteBlob(staging.SnapshotRange(0, n))
+			content := staging[sl].SnapshotRange(0, n)
+			var fsWrite simclock.Duration
+			if striped {
+				if fileOff < st.Offset || fileOff+n > st.Offset+st.Length {
+					nack(fmt.Sprintf("chunk [%d,%d) outside stripe [%d,%d)", fileOff, fileOff+n, st.Offset, st.Offset+st.Length))
+					abort()
+					return
+				}
+				fsWrite, err = asm.sw.WriteBlobAt(fileOff, content)
+			} else {
+				if fileOff >= 0 {
+					nack("positioned chunk on an unstriped stream")
+					abort()
+					return
+				}
+				fsWrite, err = fw.WriteBlob(content)
+			}
 			if err != nil {
-				d.reply(ep, func(w *wire) { w.u8(msgChunkAck); w.str(err.Error()); w.dur(0); w.dur(0) })
-				fw.Abort()
+				nack(err.Error())
+				abort()
 				return
 			}
-			d.reply(ep, func(w *wire) { w.u8(msgChunkAck); w.str(""); w.dur(rdma); w.dur(fsWrite) })
+			d.reply(ep, func(w *wire) {
+				w.u8(msgChunkAck)
+				w.i64(streamID)
+				w.u8(uint8(sl))
+				w.str("")
+				w.dur(rdma)
+				w.dur(fsWrite)
+			})
 		case msgClose:
-			err := fw.Close()
+			var err error
+			if striped {
+				err = d.releaseAssembly(path, st.Length, false)
+			} else {
+				err = fw.Close()
+			}
 			msg := ""
 			if err != nil {
 				msg = err.Error()
@@ -117,25 +321,40 @@ func (d *Daemon) serveWrite(ep *scif.Endpoint, path string, peerWindow int64) {
 			d.reply(ep, func(w *wire) { w.u8(msgCloseResp); w.str(msg) })
 			return
 		case msgAbort:
-			fw.Abort()
+			abort()
 			return
 		default:
-			fw.Abort()
+			abort()
 			return
 		}
 	}
 }
 
-// serveRead streams a local file into the peer's staging buffer.
-func (d *Daemon) serveRead(ep *scif.Endpoint, path string, peerWindow int64) {
-	fr, err := d.fs.Open(path)
+// serveRead streams a local file (or a byte range of it) into the peer's
+// staging slots.
+func (d *Daemon) serveRead(ep *scif.Endpoint, streamID int64, path string, windows []int64, striped bool, st Stripe) {
+	var fr vfs.Reader
+	var err error
+	if striped {
+		rfs, ok := d.fs.(vfs.RangeFS)
+		if !ok {
+			err = fmt.Errorf("snapifyio: file system on %v does not support range reads", d.node)
+		} else {
+			fr, err = rfs.OpenRange(path, st.Offset, st.Length)
+		}
+	} else {
+		fr, err = d.fs.Open(path)
+	}
 	if err != nil {
 		d.reply(ep, func(w *wire) { w.u8(msgOpenResp); w.str(err.Error()); w.i64(0) })
 		return
 	}
 	d.reply(ep, func(w *wire) { w.u8(msgOpenResp); w.str(""); w.i64(fr.Size()) })
 
-	staging := newSlot(d.bufSize)
+	staging := make([]*slot, len(windows))
+	for i := range staging {
+		staging[i] = newSlot(d.bufSize)
+	}
 	for {
 		raw, _, err := ep.Recv()
 		if err != nil {
@@ -144,23 +363,54 @@ func (d *Daemon) serveRead(ep *scif.Endpoint, path string, peerWindow int64) {
 		u := &unwire{buf: raw}
 		switch u.u8() {
 		case msgPull:
+			sid := u.i64()
+			sl := int(u.u8())
+			nack := func(msg string) {
+				d.reply(ep, func(w *wire) {
+					w.u8(msgChunkHere)
+					w.i64(streamID)
+					w.u8(uint8(sl))
+					w.str(msg)
+					w.i64(0)
+					w.dur(0)
+					w.dur(0)
+				})
+			}
+			if sid != streamID {
+				nack(fmt.Sprintf("pull for stream %d on stream %d", sid, streamID))
+				return
+			}
+			if sl < 0 || sl >= len(staging) {
+				nack(fmt.Sprintf("pull names slot %d of %d", sl, len(staging)))
+				return
+			}
 			chunk, fsRead, err := fr.Next(d.bufSize)
 			if err == io.EOF {
-				d.reply(ep, func(w *wire) { w.u8(msgChunkHere); w.str(""); w.i64(0); w.dur(0); w.dur(0) })
+				d.reply(ep, func(w *wire) {
+					w.u8(msgChunkHere)
+					w.i64(streamID)
+					w.u8(uint8(sl))
+					w.str("")
+					w.i64(0)
+					w.dur(0)
+					w.dur(0)
+				})
 				continue // peer will close
 			}
 			if err != nil {
-				d.reply(ep, func(w *wire) { w.u8(msgChunkHere); w.str(err.Error()); w.i64(0); w.dur(0); w.dur(0) })
+				nack(err.Error())
 				return
 			}
-			staging.WriteBlob(0, chunk)
+			staging[sl].WriteBlob(0, chunk)
 			// Push into the peer's registered buffer with scif_vwriteto.
-			rdma, err := ep.VWriteTo(staging, 0, chunk.Len(), peerWindow)
+			rdma, err := ep.VWriteTo(staging[sl], 0, chunk.Len(), windows[sl])
 			if err != nil {
 				return
 			}
 			d.reply(ep, func(w *wire) {
 				w.u8(msgChunkHere)
+				w.i64(streamID)
+				w.u8(uint8(sl))
 				w.str("")
 				w.i64(chunk.Len())
 				w.dur(fsRead)
@@ -176,26 +426,65 @@ func (d *Daemon) serveRead(ep *scif.Endpoint, path string, peerWindow int64) {
 }
 
 // open implements the library side: connect to the target daemon, register
-// the staging buffer, and return the file handle.
-func (d *Daemon) open(target simnet.NodeID, path string, mode Mode) (*File, error) {
+// the staging slots, declare the stream (ID, slots, stripe), and return
+// the file handle. The stream registers a bulk flow on the fabric for its
+// lifetime, so concurrent streams share link bandwidth honestly.
+func (d *Daemon) open(target simnet.NodeID, path string, mode Mode, opts OpenOptions) (*File, error) {
+	slots := opts.Slots
+	if slots == 0 {
+		slots = 1
+	}
+	if slots < 1 || slots > MaxSlots {
+		return nil, fmt.Errorf("snapifyio: %d staging slots requested, allowed 1..%d", slots, MaxSlots)
+	}
+	st := opts.Stripe
+	if st.enabled() {
+		if st.Offset < 0 || st.Length <= 0 {
+			return nil, fmt.Errorf("snapifyio: bad stripe [%d,%d)", st.Offset, st.Offset+st.Length)
+		}
+		if mode == Write && st.Offset+st.Length > st.Total {
+			return nil, fmt.Errorf("snapifyio: stripe [%d,%d) outside declared file of %d bytes", st.Offset, st.Offset+st.Length, st.Total)
+		}
+	}
+
 	model := d.svc.net.Fabric().Model()
 	ep, err := d.svc.net.Connect(d.node, scif.Addr{Node: target, Port: Port})
 	if err != nil {
 		return nil, err
 	}
-	staging := newSlot(d.bufSize)
-	win, regCost, err := ep.Register(staging, 0, d.bufSize)
-	if err != nil {
-		ep.Close()
-		return nil, err
+	staging := make([]*slot, slots)
+	windows := make([]int64, slots)
+	var regCost simclock.Duration
+	for i := range staging {
+		staging[i] = newSlot(d.bufSize)
+		win, rc, err := ep.Register(staging[i], 0, d.bufSize)
+		if err != nil {
+			ep.Close()
+			return nil, err
+		}
+		windows[i] = win.Offset
+		regCost += rc
 	}
+	streamID := d.svc.nextStreamID.Add(1)
 
 	w := &wire{}
 	w.u8(msgOpen)
 	w.u8(uint8(mode))
-	w.str(path)
-	w.i64(win.Offset)
+	w.i64(streamID)
+	w.u8(uint8(slots))
 	w.i64(d.bufSize)
+	for _, win := range windows {
+		w.i64(win)
+	}
+	if st.enabled() {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	w.i64(st.Offset)
+	w.i64(st.Length)
+	w.i64(st.Total)
+	w.str(path)
 	if _, err := ep.Send(w.buf); err != nil {
 		ep.Close()
 		return nil, err
@@ -216,19 +505,37 @@ func (d *Daemon) open(target simnet.NodeID, path string, mode Mode) (*File, erro
 	}
 	size := u.i64()
 
-	return &File{
-		node:    d.node,
-		target:  target,
-		mode:    mode,
-		ep:      ep,
-		staging: staging,
-		bufSize: d.bufSize,
-		model:   model,
-		size:    size,
+	// The stream is a bulk flow on the PCIe link for as long as it is
+	// open: writes move node -> target, reads target -> node.
+	fab := d.svc.net.Fabric()
+	var release func()
+	if mode == Write {
+		release = fab.RegisterFlow(d.node, target)
+	} else {
+		release = fab.RegisterFlow(target, d.node)
+	}
+
+	f := &File{
+		node:     d.node,
+		target:   target,
+		mode:     mode,
+		ep:       ep,
+		slots:    staging,
+		bufSize:  d.bufSize,
+		model:    model,
+		size:     size,
+		streamID: streamID,
+		release:  release,
+		fileOff:  -1,
 		// The open handshake: UNIX socket to the local daemon, SCIF
 		// connect, window registration, request/response.
 		pending: model.UnixSocketLatency + 2*model.SCIFMsgLatency + regCost,
-	}, nil
+	}
+	if st.enabled() && mode == Write {
+		f.fileOff = st.Offset
+		f.stripeEnd = st.Offset + st.Length
+	}
+	return f, nil
 }
 
 // RemoteError is a failure reported by the remote daemon.

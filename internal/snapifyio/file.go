@@ -16,20 +16,37 @@ import (
 // Read-mode file implements stream.Source. Chunk costs report the three
 // pipeline stages (local copy, RDMA, remote file system) so the consumer
 // composes them with its own stages.
+//
+// With one staging slot the handle is the paper's synchronous ping-pong:
+// each chunk is fully acknowledged before the next is sent. With more
+// slots, writes keep up to slots-1 chunks in flight (the SCIF transfer of
+// chunk k overlaps the local copy of chunk k+1) and reads prefetch up to
+// slots chunks ahead; a pipelined writer should Flush before Close so the
+// tail's cost is accounted.
 type File struct {
 	node    simnet.NodeID
 	target  simnet.NodeID
 	mode    Mode
 	ep      *scif.Endpoint
-	staging *slot
+	slots   []*slot
 	bufSize int64
 	model   *simclock.Model
 	size    int64
 
+	streamID int64
+	release  func() // drops the stream's fabric flow
+
 	// pending is fixed overhead (open handshake) charged on the next chunk.
 	pending simclock.Duration
 
-	// read-mode chunk being doled out.
+	// write-mode pipeline state.
+	inflight  int   // chunks sent but not yet acknowledged
+	seq       int   // round-robin slot cursor
+	fileOff   int64 // next write offset; -1 means append (unstriped)
+	stripeEnd int64
+
+	// read-mode prefetch state.
+	pulls   int // outstanding msgPull requests
 	current blob.Blob
 	curOff  int64
 	eof     bool
@@ -38,8 +55,9 @@ type File struct {
 }
 
 var (
-	_ stream.Sink   = (*File)(nil)
-	_ stream.Source = (*File)(nil)
+	_ stream.Sink    = (*File)(nil)
+	_ stream.Source  = (*File)(nil)
+	_ stream.Flusher = (*File)(nil)
 )
 
 // Mode returns the file's access mode.
@@ -47,6 +65,9 @@ func (f *File) Mode() Mode { return f.mode }
 
 // Size returns the remote file size (read mode only).
 func (f *File) Size() int64 { return f.size }
+
+// StreamID returns the wire-protocol stream ID.
+func (f *File) StreamID() int64 { return f.streamID }
 
 // localCopy is the user-process-to-staging (or back) stage on f's node.
 func (f *File) localCopy(n int64) simclock.Duration {
@@ -57,7 +78,37 @@ func (f *File) localCopy(n int64) simclock.Duration {
 	return d + f.model.PhiMemcpy(n)
 }
 
-// WriteBlob streams one chunk (at most the staging buffer size) to the
+// awaitAck consumes one write acknowledgment. When stages is non-nil the
+// ack's transfer and file-system costs are accumulated into it; Close
+// passes nil because a drained tail it never accounted can only discard
+// costs, not correctness.
+func (f *File) awaitAck(stages *[3]simclock.Duration) error {
+	raw, _, err := f.ep.Recv()
+	if err != nil {
+		return err
+	}
+	u, err := expect(raw, msgChunkAck)
+	if err != nil {
+		return err
+	}
+	if sid := u.i64(); sid != f.streamID {
+		return fmt.Errorf("snapifyio: ack for stream %d on stream %d", sid, f.streamID)
+	}
+	u.u8() // slot index; acks arrive in send order
+	f.inflight--
+	if msg := u.str(); msg != "" {
+		return &RemoteError{Node: f.target, Path: "", Msg: msg}
+	}
+	rdma := u.dur() + f.model.SCIFMsgLatency // notify + DMA
+	fsWrite := u.dur()
+	if stages != nil {
+		stages[1] += rdma
+		stages[2] += fsWrite
+	}
+	return nil
+}
+
+// WriteBlob streams one chunk (split at the staging buffer size) to the
 // remote file. Part of stream.Sink.
 func (f *File) WriteBlob(b blob.Blob) (stream.Cost, error) {
 	if f.closed {
@@ -68,41 +119,86 @@ func (f *File) WriteBlob(b blob.Blob) (stream.Cost, error) {
 	}
 	var stages [3]simclock.Duration
 	err := b.ForEachChunk(f.bufSize, func(chunk blob.Blob) error {
-		// Stage 1: user writes the socket; local handler fills the buffer.
-		f.staging.WriteBlob(0, chunk)
-		s1 := f.localCopy(chunk.Len()) + f.pending
+		// Stage 1: user writes the socket; local handler fills a free slot.
+		// The slot is free: at most slots-1 chunks are in flight, so the
+		// chunk that last used this slot was already acknowledged.
+		sl := f.seq % len(f.slots)
+		f.seq++
+		f.slots[sl].WriteBlob(0, chunk)
+		stages[0] += f.localCopy(chunk.Len()) + f.pending
 		f.pending = 0
 
-		// Notify the remote daemon and wait for the drain ack.
+		off := int64(-1)
+		if f.fileOff >= 0 {
+			off = f.fileOff
+			if off+chunk.Len() > f.stripeEnd {
+				return fmt.Errorf("snapifyio: chunk [%d,%d) overruns stripe ending at %d", off, off+chunk.Len(), f.stripeEnd)
+			}
+			f.fileOff += chunk.Len()
+		}
+
+		// Notify the remote daemon; with one slot this immediately awaits
+		// the drain ack (the paper's ping-pong), with more the ack of an
+		// earlier chunk is awaited instead, keeping slots-1 in flight.
 		w := &wire{}
 		w.u8(msgChunkReady)
+		w.i64(f.streamID)
+		w.u8(uint8(sl))
 		w.i64(chunk.Len())
+		w.i64(off)
 		if _, err := f.ep.Send(w.buf); err != nil {
 			return err
 		}
-		raw, _, err := f.ep.Recv()
-		if err != nil {
-			return err
+		f.inflight++
+		for f.inflight > len(f.slots)-1 {
+			if err := f.awaitAck(&stages); err != nil {
+				return err
+			}
 		}
-		u, err := expect(raw, msgChunkAck)
-		if err != nil {
-			return err
-		}
-		if msg := u.str(); msg != "" {
-			return &RemoteError{Node: f.target, Path: "", Msg: msg}
-		}
-		rdma := u.dur() + f.model.SCIFMsgLatency // notify + DMA
-		fsWrite := u.dur()
-
-		stages[0] += s1
-		stages[1] += rdma
-		stages[2] += fsWrite
 		return nil
 	})
 	if err != nil {
 		return stream.Cost{}, err
 	}
 	return stream.Cost{Stages: stages[:]}, nil
+}
+
+// Flush drains the in-flight write tail and returns its cost. Part of
+// stream.Flusher; a no-op on single-slot (synchronous) streams.
+func (f *File) Flush() (stream.Cost, error) {
+	if f.closed {
+		return stream.Cost{}, ErrFileClosed
+	}
+	if f.mode != Write {
+		return stream.Cost{}, fmt.Errorf("snapifyio: flush on %v-mode file", f.mode)
+	}
+	var stages [3]simclock.Duration
+	for f.inflight > 0 {
+		if err := f.awaitAck(&stages); err != nil {
+			return stream.Cost{}, err
+		}
+	}
+	return stream.Cost{Stages: stages[:]}, nil
+}
+
+// ensurePulls keeps up to len(slots) chunk requests outstanding so the
+// daemon-side file read and RDMA of later chunks overlap consumption of
+// earlier ones. Slot indices round-robin in pull order; replies arrive in
+// the same order, and a slot is only re-requested after its previous reply
+// was consumed (and its content snapshotted), so reuse is safe.
+func (f *File) ensurePulls() error {
+	for !f.eof && f.pulls < len(f.slots) {
+		w := &wire{}
+		w.u8(msgPull)
+		w.i64(f.streamID)
+		w.u8(uint8(f.seq % len(f.slots)))
+		f.seq++
+		if _, err := f.ep.Send(w.buf); err != nil {
+			return err
+		}
+		f.pulls++
+	}
+	return nil
 }
 
 // Next returns up to max bytes of the remote file. Part of stream.Source.
@@ -118,10 +214,7 @@ func (f *File) Next(max int64) (blob.Blob, stream.Cost, error) {
 		if f.eof {
 			return blob.Blob{}, stream.Cost{}, io.EOF
 		}
-		// Pull the next chunk through the staging buffer.
-		w := &wire{}
-		w.u8(msgPull)
-		if _, err := f.ep.Send(w.buf); err != nil {
+		if err := f.ensurePulls(); err != nil {
 			return blob.Blob{}, stream.Cost{}, err
 		}
 		raw, _, err := f.ep.Recv()
@@ -132,6 +225,11 @@ func (f *File) Next(max int64) (blob.Blob, stream.Cost, error) {
 		if err != nil {
 			return blob.Blob{}, stream.Cost{}, err
 		}
+		if sid := u.i64(); sid != f.streamID {
+			return blob.Blob{}, stream.Cost{}, fmt.Errorf("snapifyio: chunk for stream %d on stream %d", sid, f.streamID)
+		}
+		sl := int(u.u8())
+		f.pulls--
 		if msg := u.str(); msg != "" {
 			return blob.Blob{}, stream.Cost{}, &RemoteError{Node: f.target, Path: "", Msg: msg}
 		}
@@ -140,20 +238,40 @@ func (f *File) Next(max int64) (blob.Blob, stream.Cost, error) {
 		rdma := u.dur() + f.model.SCIFMsgLatency
 		if n == 0 {
 			f.eof = true
+			// Drain the remaining prefetch replies (all EOF markers, since
+			// the daemon reads the file in pull order) so Close's response
+			// is not queued behind them.
+			for f.pulls > 0 {
+				raw, _, err := f.ep.Recv()
+				if err != nil {
+					return blob.Blob{}, stream.Cost{}, err
+				}
+				if _, err := expect(raw, msgChunkHere); err != nil {
+					return blob.Blob{}, stream.Cost{}, err
+				}
+				f.pulls--
+			}
 			return blob.Blob{}, stream.Cost{}, io.EOF
 		}
-		f.current = f.staging.SnapshotRange(0, n)
+		if sl < 0 || sl >= len(f.slots) {
+			return blob.Blob{}, stream.Cost{}, fmt.Errorf("snapifyio: chunk names slot %d of %d", sl, len(f.slots))
+		}
+		f.current = f.slots[sl].SnapshotRange(0, n)
 		f.curOff = 0
-		// Stage 3: local handler copies buffer -> socket -> user. The read
-		// path is request-response over the single staging buffer, so the
-		// stages serialize — this is why device-to-host writes (whose host
-		// file-system writeback overlaps the PCIe transfer) outrun
-		// host-to-device reads in Section 7.
+		// Stage 3: local handler copies buffer -> socket -> user. With one
+		// slot the read path is request-response over a single staging
+		// buffer, so the stages serialize — this is why device-to-host
+		// writes (whose host file-system writeback overlaps the PCIe
+		// transfer) outrun host-to-device reads in Section 7. Prefetching
+		// streams overlap the legs instead.
 		cost = stream.Cost{
 			Stages: []simclock.Duration{fsRead, rdma, f.localCopy(n) + f.pending},
-			Serial: true,
+			Serial: len(f.slots) == 1,
 		}
 		f.pending = 0
+		if err := f.ensurePulls(); err != nil {
+			return blob.Blob{}, stream.Cost{}, err
+		}
 	}
 	n := max
 	if rem := f.current.Len() - f.curOff; rem < n {
@@ -164,14 +282,34 @@ func (f *File) Next(max int64) (blob.Blob, stream.Cost, error) {
 	return chunk, cost, nil
 }
 
-// Close finalizes the stream: in write mode the remote file becomes
-// visible; in read mode resources are released.
+// Close finalizes the stream: in write mode the remote file (or this
+// stream's stripe of it) becomes visible; in read mode resources are
+// released. Any in-flight pipeline tail is drained first.
 func (f *File) Close() error {
 	if f.closed {
 		return nil
 	}
 	f.closed = true
+	if f.release != nil {
+		defer f.release()
+	}
 	defer f.ep.Close() //nolint:errcheck // close releases the endpoint; the msgClose round-trip below carries the real error
+	// Drain in-flight traffic so the close response is the next message.
+	for f.inflight > 0 {
+		if err := f.awaitAck(nil); err != nil {
+			return err
+		}
+	}
+	for f.pulls > 0 {
+		raw, _, err := f.ep.Recv()
+		if err != nil {
+			return err
+		}
+		if _, err := expect(raw, msgChunkHere); err != nil {
+			return err
+		}
+		f.pulls--
+	}
 	w := &wire{}
 	w.u8(msgClose)
 	if _, err := f.ep.Send(w.buf); err != nil {
@@ -191,13 +329,16 @@ func (f *File) Close() error {
 	return nil
 }
 
-// Abort discards the stream; in write mode the partial remote file is
-// dropped.
+// Abort discards the stream; in write mode the partial remote file (and,
+// for stripes, the whole shared assembly) is dropped.
 func (f *File) Abort() {
 	if f.closed {
 		return
 	}
 	f.closed = true
+	if f.release != nil {
+		defer f.release()
+	}
 	w := &wire{}
 	w.u8(msgAbort)
 	f.ep.Send(w.buf) //nolint:errcheck // best effort: the remote handler also aborts on reset

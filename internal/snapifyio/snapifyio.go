@@ -17,12 +17,24 @@
 // so the buffer can be reused. Every leg charges its virtual cost, and the
 // per-chunk stage costs are reported to the caller so the checkpointer can
 // compose them into a pipelined end-to-end time.
+//
+// Beyond the paper's single staging buffer, a stream can be opened through
+// OpenStream with several staging slots (double-buffering: the SCIF
+// transfer of chunk k overlaps the local copy of chunk k+1, and a
+// multi-slot read prefetches instead of serializing on one buffer) and
+// with a *stripe* — a byte range of the remote file — so parallel streams
+// can carry disjoint ranges of one capture concurrently. Striped writes
+// are assembled by the remote daemon into a single file that becomes
+// visible when the last stripe closes. Every open stream registers a bulk
+// flow on the PCIe fabric, so concurrent streams honestly share link
+// bandwidth (see simnet.RegisterFlow).
 package snapifyio
 
 import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"snapify/internal/scif"
 	"snapify/internal/simclock"
@@ -36,6 +48,11 @@ const Port = 3500
 // DefaultBufSize is the registered RDMA staging buffer size. The paper
 // picks 4 MiB to balance memory footprint against transfer latency.
 const DefaultBufSize = 4 * simclock.MiB
+
+// MaxSlots bounds the staging slots of one stream (the wire protocol
+// carries the slot index in a byte, and more than a handful of slots buys
+// nothing once the transfer pipeline is full).
+const MaxSlots = 16
 
 // Mode is a file access mode. A handle is read-only or write-only, never
 // both, matching snapifyio_open.
@@ -61,9 +78,38 @@ var (
 	ErrFileClosed = errors.New("snapifyio: file closed")
 )
 
+// Stripe names a byte range of the remote file carried by one stream. The
+// zero value means the stream carries the whole file (the classic mode).
+type Stripe struct {
+	// Offset is the first byte of the remote file this stream covers.
+	Offset int64
+	// Length is the stripe's size in bytes.
+	Length int64
+	// Total is the full remote file size. Required for write stripes (the
+	// remote daemon sizes the assembled file from it); ignored for reads.
+	Total int64
+}
+
+func (s Stripe) enabled() bool { return s != Stripe{} }
+
+// OpenOptions parameterizes OpenStream.
+type OpenOptions struct {
+	// Slots is the number of registered staging slots. 1 (or 0) is the
+	// paper's single-buffer ping-pong; 2 double-buffers so transfer and
+	// local copy overlap. At most MaxSlots.
+	Slots int
+	// Stripe restricts the stream to a byte range of the remote file; the
+	// zero value streams the whole file.
+	Stripe Stripe
+}
+
 // Service manages the per-node daemons of one Xeon Phi server.
 type Service struct {
 	net *scif.Network
+
+	// nextStreamID mints the service-wide stream IDs carried by the wire
+	// protocol.
+	nextStreamID atomic.Int64
 
 	mu      sync.Mutex
 	daemons map[simnet.NodeID]*Daemon
@@ -97,12 +143,13 @@ func (s *Service) StartDaemonBuf(node simnet.NodeID, fs vfs.NodeFS, bufSize int6
 		return nil, fmt.Errorf("snapifyio: binding daemon port on %v: %w", node, err)
 	}
 	d := &Daemon{
-		svc:     s,
-		node:    node,
-		fs:      fs,
-		lst:     l,
-		bufSize: bufSize,
-		done:    make(chan struct{}),
+		svc:        s,
+		node:       node,
+		fs:         fs,
+		lst:        l,
+		bufSize:    bufSize,
+		done:       make(chan struct{}),
+		assemblies: make(map[string]*assembly),
 	}
 	s.daemons[node] = d
 	go d.remoteServer()
@@ -122,13 +169,20 @@ func (s *Service) Daemon(node simnet.NodeID) (*Daemon, error) {
 
 // Open is the library entry point (snapifyio_open): a process on localNode
 // opens the file at path on targetNode in the given mode. The returned
-// handle streams through the local daemon.
+// handle streams through the local daemon with the paper's single staging
+// buffer.
 func (s *Service) Open(localNode, targetNode simnet.NodeID, path string, mode Mode) (*File, error) {
+	return s.OpenStream(localNode, targetNode, path, mode, OpenOptions{})
+}
+
+// OpenStream opens a file handle with explicit staging and striping
+// options (the multi-stream extension of snapifyio_open).
+func (s *Service) OpenStream(localNode, targetNode simnet.NodeID, path string, mode Mode, opts OpenOptions) (*File, error) {
 	d, err := s.Daemon(localNode)
 	if err != nil {
 		return nil, err
 	}
-	return d.open(targetNode, path, mode)
+	return d.open(targetNode, path, mode, opts)
 }
 
 // Stop shuts down all daemons.

@@ -1,0 +1,316 @@
+package snapifyio
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"snapify/internal/blob"
+	"snapify/internal/simclock"
+	"snapify/internal/simnet"
+	"snapify/internal/stream"
+)
+
+// writeAllOpts streams a blob through an already-open write handle,
+// observing per-chunk costs and the flushed tail, and closes it.
+func writeAllOpts(t *testing.T, f *File, content blob.Blob) simclock.Duration {
+	t.Helper()
+	acc := simclock.NewPipelineAccum()
+	err := content.ForEachChunk(DefaultBufSize, func(chunk blob.Blob) error {
+		cost, err := f.WriteBlob(chunk)
+		if err != nil {
+			return err
+		}
+		stream.Observe(acc, cost)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, err := f.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream.Observe(acc, tail)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return acc.Total()
+}
+
+func TestMultiSlotWriteMatchesSingleSlotAndIsFaster(t *testing.T) {
+	r := newRig(t)
+	content := blob.Concat(
+		blob.FromBytes([]byte("pipelined snapshot")),
+		blob.Synthetic(11, simclock.GiB),
+	)
+	f1, err := r.svc.OpenStream(1, simnet.HostNode, "/serial", Write, OpenOptions{Slots: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := writeAllOpts(t, f1, content)
+	f2, err := r.svc.OpenStream(1, simnet.HostNode, "/piped", Write, OpenOptions{Slots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	piped := writeAllOpts(t, f2, content)
+
+	a, _, err := r.server.Host.FS.ReadFile("/serial")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := r.server.Host.FS.ReadFile("/piped")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !blob.Equal(a, b) || !blob.Equal(a, content) {
+		t.Error("multi-slot write content differs from single-slot write")
+	}
+	if piped > serial {
+		t.Errorf("double-buffered write (%v) slower than ping-pong (%v)", piped, serial)
+	}
+}
+
+func TestMultiSlotReadPrefetchMatchesContent(t *testing.T) {
+	r := newRig(t)
+	content := blob.Concat(blob.FromBytes([]byte("ctx")), blob.Synthetic(7, 64*simclock.MiB))
+	r.server.Host.FS.WriteFile("/f", content)
+
+	f1, err := r.svc.OpenStream(1, simnet.HostNode, "/f", Read, OpenOptions{Slots: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, serial := readAll(t, f1)
+	f4, err := r.svc.OpenStream(1, simnet.HostNode, "/f", Read, OpenOptions{Slots: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, piped := readAll(t, f4)
+	if !blob.Equal(got, content) {
+		t.Error("prefetching read corrupted content")
+	}
+	if piped >= serial {
+		t.Errorf("prefetching read (%v) not faster than serial read (%v)", piped, serial)
+	}
+}
+
+func TestStripedWriteAssemblesWholeFile(t *testing.T) {
+	r := newRig(t)
+	total := 32*simclock.MiB + 12345 // deliberately not chunk-aligned
+	content := blob.Concat(blob.FromBytes([]byte("striped")), blob.Synthetic(3, total-7))
+	const streams = 4
+	per := (total + streams - 1) / streams
+
+	var wg sync.WaitGroup
+	errs := make([]error, streams)
+	files := make([]*File, streams)
+	for i := 0; i < streams; i++ {
+		off := int64(i) * per
+		length := per
+		if off+length > total {
+			length = total - off
+		}
+		f, err := r.svc.OpenStream(1, simnet.HostNode, "/snap/striped", Write, OpenOptions{
+			Slots:  2,
+			Stripe: Stripe{Offset: off, Length: length, Total: total},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		files[i] = f
+	}
+	// The assembled file must not be visible while stripes are open.
+	if _, _, err := r.server.Host.FS.ReadFile("/snap/striped"); err == nil {
+		t.Error("striped file visible before any stripe closed")
+	}
+	for i := 0; i < streams; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			off := int64(i) * per
+			length := files[i].stripeEnd - off
+			part := content.Slice(off, length)
+			err := part.ForEachChunk(DefaultBufSize, func(chunk blob.Blob) error {
+				_, err := files[i].WriteBlob(chunk)
+				return err
+			})
+			if err == nil {
+				_, err = files[i].Flush()
+			}
+			if err == nil {
+				err = files[i].Close()
+			} else {
+				files[i].Abort()
+			}
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("stripe %d: %v", i, err)
+		}
+	}
+	got, _, err := r.server.Host.FS.ReadFile("/snap/striped")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != total {
+		t.Fatalf("assembled file is %d bytes, want %d", got.Len(), total)
+	}
+	if !blob.Equal(got, content) {
+		t.Error("assembled striped file differs from source content")
+	}
+	if got.LiteralBytes() > simclock.MiB {
+		t.Errorf("assembled file holds %d literal bytes; synthetic background materialized", got.LiteralBytes())
+	}
+}
+
+func TestStripedReadRange(t *testing.T) {
+	r := newRig(t)
+	content := blob.Concat(blob.FromBytes([]byte("0123456789")), blob.Synthetic(5, 8*simclock.MiB))
+	r.server.Host.FS.WriteFile("/f", content)
+	f, err := r.svc.OpenStream(1, simnet.HostNode, "/f", Read, OpenOptions{
+		Slots:  2,
+		Stripe: Stripe{Offset: 4, Length: 6*simclock.MiB + 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 6*simclock.MiB+2 {
+		t.Errorf("range size = %d, want %d", f.Size(), 6*simclock.MiB+2)
+	}
+	got, _ := readAll(t, f)
+	if !blob.Equal(got, content.Slice(4, 6*simclock.MiB+2)) {
+		t.Error("range read content differs")
+	}
+}
+
+func TestOpenStreamValidation(t *testing.T) {
+	r := newRig(t)
+	if _, err := r.svc.OpenStream(1, simnet.HostNode, "/f", Write, OpenOptions{Slots: MaxSlots + 1}); err == nil {
+		t.Error("slots over MaxSlots accepted")
+	}
+	if _, err := r.svc.OpenStream(1, simnet.HostNode, "/f", Write, OpenOptions{
+		Stripe: Stripe{Offset: -1, Length: 4, Total: 8},
+	}); err == nil {
+		t.Error("negative stripe offset accepted")
+	}
+	if _, err := r.svc.OpenStream(1, simnet.HostNode, "/f", Write, OpenOptions{
+		Stripe: Stripe{Offset: 8, Length: 8, Total: 8},
+	}); err == nil {
+		t.Error("stripe outside declared total accepted")
+	}
+
+	// A second stripe declaring a different total must be rejected by the
+	// remote daemon's assembly.
+	f1, err := r.svc.OpenStream(1, simnet.HostNode, "/asm", Write, OpenOptions{
+		Stripe: Stripe{Offset: 0, Length: 8, Total: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f1.Abort()
+	_, err = r.svc.OpenStream(1, simnet.HostNode, "/asm", Write, OpenOptions{
+		Stripe: Stripe{Offset: 8, Length: 16, Total: 24},
+	})
+	if err == nil || !strings.Contains(err.Error(), "total") {
+		t.Errorf("mismatched stripe totals: %v", err)
+	}
+}
+
+func TestStripeOverrunRejectedClientSide(t *testing.T) {
+	r := newRig(t)
+	f, err := r.svc.OpenStream(1, simnet.HostNode, "/f", Write, OpenOptions{
+		Stripe: Stripe{Offset: 0, Length: 4, Total: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteBlob(blob.Synthetic(1, 8)); err == nil {
+		t.Error("write past stripe end accepted")
+	}
+	f.Abort()
+}
+
+func TestAbortedStripeDiscardsAssembly(t *testing.T) {
+	r := newRig(t)
+	open := func(off, length int64) *File {
+		f, err := r.svc.OpenStream(1, simnet.HostNode, "/asm", Write, OpenOptions{
+			Stripe: Stripe{Offset: off, Length: length, Total: 8 * simclock.MiB},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	f1 := open(0, 4*simclock.MiB)
+	f2 := open(4*simclock.MiB, 4*simclock.MiB)
+	if _, err := f1.WriteBlob(blob.Synthetic(1, 4*simclock.MiB)); err != nil {
+		t.Fatal(err)
+	}
+	f2.Abort()
+	if err := f1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.server.Host.FS.ReadFile("/asm"); err == nil {
+		t.Error("aborted assembly still produced a file")
+	}
+}
+
+func TestConcurrentStripedCaptures(t *testing.T) {
+	// Several striped files from both devices to the host at once, each
+	// over multiple streams — the stress shape of a parallel capture.
+	r := newRig(t)
+	const files, streams = 3, 3
+	total := int64(12 * simclock.MiB)
+	per := total / streams
+	var wg sync.WaitGroup
+	errCh := make(chan error, files*streams)
+	for fi := 0; fi < files; fi++ {
+		content := blob.Synthetic(uint64(fi+1), total)
+		path := "/snap/" + string(rune('a'+fi))
+		node := simnet.NodeID(fi%2 + 1)
+		for s := 0; s < streams; s++ {
+			wg.Add(1)
+			go func(node simnet.NodeID, path string, content blob.Blob, off int64) {
+				defer wg.Done()
+				f, err := r.svc.OpenStream(node, simnet.HostNode, path, Write, OpenOptions{
+					Slots:  2,
+					Stripe: Stripe{Offset: off, Length: per, Total: total},
+				})
+				if err != nil {
+					errCh <- err
+					return
+				}
+				part := content.Slice(off, per)
+				err = part.ForEachChunk(DefaultBufSize, func(chunk blob.Blob) error {
+					_, werr := f.WriteBlob(chunk)
+					return werr
+				})
+				if err == nil {
+					err = f.Close()
+				} else {
+					f.Abort()
+				}
+				errCh <- err
+			}(node, path, content, int64(s)*per)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for fi := 0; fi < files; fi++ {
+		got, _, err := r.server.Host.FS.ReadFile("/snap/" + string(rune('a'+fi)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !blob.Equal(got, blob.Synthetic(uint64(fi+1), total)) {
+			t.Errorf("file %d corrupted by concurrent striped writes", fi)
+		}
+	}
+}

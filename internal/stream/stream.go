@@ -57,6 +57,16 @@ type Source interface {
 	Close() error
 }
 
+// Flusher is implemented by sinks that pipeline writes internally (keeping
+// chunks in flight across WriteBlob calls, like a multi-slot Snapify-IO
+// stream) and can drain the in-flight tail. Flush blocks until every
+// buffered chunk is acknowledged and returns the cost of that remaining
+// work; callers that account per-chunk costs should Observe it before
+// Close.
+type Flusher interface {
+	Flush() (Cost, error)
+}
+
 // Observe feeds one chunk's producer-side stages plus the transport cost
 // into the accumulator, honoring the transport's Serial flag.
 func Observe(acc *simclock.PipelineAccum, c Cost, producerStages ...simclock.Duration) {

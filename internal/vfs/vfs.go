@@ -31,6 +31,32 @@ type Reader interface {
 	Size() int64
 }
 
+// SparseFS is implemented by node file systems that support positioned
+// (striped) writes: several writers fill disjoint ranges of one
+// fixed-size file concurrently. The Snapify-IO daemon uses it to assemble
+// a capture striped across parallel streams.
+type SparseFS interface {
+	// CreateSparse opens a positioned writer over a file of exactly size
+	// bytes, initially zero.
+	CreateSparse(path string, size int64) (SparseWriter, error)
+}
+
+// SparseWriter writes byte ranges of a fixed-size file. The file becomes
+// visible at Commit; Abort discards it. WriteBlobAt is safe for concurrent
+// use.
+type SparseWriter interface {
+	WriteBlobAt(off int64, b blob.Blob) (simclock.Duration, error)
+	Commit() error
+	Abort()
+}
+
+// RangeFS is implemented by node file systems that can open a reader over
+// a byte range of a file (the read side of striped transfers).
+type RangeFS interface {
+	// OpenRange streams bytes [off, off+n) of the file at path.
+	OpenRange(path string, off, n int64) (Reader, error)
+}
+
 // Host adapts a hostfs.FS to NodeFS.
 func Host(fs *hostfs.FS) NodeFS { return hostAdapter{fs} }
 
@@ -38,6 +64,12 @@ type hostAdapter struct{ fs *hostfs.FS }
 
 func (h hostAdapter) Create(path string) (Writer, error) { return h.fs.Create(path) }
 func (h hostAdapter) Open(path string) (Reader, error)   { return h.fs.Open(path) }
+func (h hostAdapter) CreateSparse(path string, size int64) (SparseWriter, error) {
+	return h.fs.CreateSparse(path, size)
+}
+func (h hostAdapter) OpenRange(path string, off, n int64) (Reader, error) {
+	return h.fs.OpenRange(path, off, n)
+}
 
 // Ram adapts a ramfs.FS to NodeFS.
 func Ram(fs *ramfs.FS) NodeFS { return ramAdapter{fs} }
@@ -46,3 +78,18 @@ type ramAdapter struct{ fs *ramfs.FS }
 
 func (r ramAdapter) Create(path string) (Writer, error) { return r.fs.Create(path) }
 func (r ramAdapter) Open(path string) (Reader, error)   { return r.fs.Open(path) }
+func (r ramAdapter) CreateSparse(path string, size int64) (SparseWriter, error) {
+	return r.fs.CreateSparse(path, size)
+}
+func (r ramAdapter) OpenRange(path string, off, n int64) (Reader, error) {
+	return r.fs.OpenRange(path, off, n)
+}
+
+// Compile-time checks that both adapters implement the optional
+// interfaces.
+var (
+	_ SparseFS = hostAdapter{}
+	_ RangeFS  = hostAdapter{}
+	_ SparseFS = ramAdapter{}
+	_ RangeFS  = ramAdapter{}
+)

@@ -12,7 +12,10 @@ import (
 
 func newPlat(t *testing.T, devices int) *platform.Platform {
 	t.Helper()
-	plat := platform.New(platform.Config{Server: phi.ServerConfig{Devices: devices, Device: phi.DeviceConfig{MemBytes: 8 * simclock.GiB}}})
+	plat, err := platform.New(platform.Config{Server: phi.ServerConfig{Devices: devices, Device: phi.DeviceConfig{MemBytes: 8 * simclock.GiB}}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if err := coi.StartDaemons(plat); err != nil {
 		t.Fatal(err)
 	}
@@ -130,10 +133,13 @@ func TestFig9OverheadBounds(t *testing.T) {
 	s, _ := ByCode("MD")
 	s = scaled(s, 400)
 	run := func(noHooks bool) simclock.Duration {
-		plat := platform.New(platform.Config{
+		plat, err := platform.New(platform.Config{
 			Server:    phi.ServerConfig{Devices: 1},
 			NoSnapify: noHooks,
 		})
+		if err != nil {
+			t.Fatal(err)
+		}
 		if err := coi.StartDaemons(plat); err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,13 @@
+#!/bin/sh
+# bench.sh — the parallel capture benchmark (ISSUE 2 acceptance).
+#
+# Sweeps the multi-stream Snapify-IO capture of an 8 GiB-class device
+# image over 1/2/4/8 streams, prints the table, enforces the shape
+# (4 streams >= 2x over serial; all rows byte-identical), and records the
+# raw numbers in BENCH_capture.json at the repository root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> parallel capture sweep (8 GiB image, streams 1/2/4/8)"
+go run ./cmd/snapbench -parallel -json BENCH_capture.json

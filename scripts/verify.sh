@@ -29,4 +29,7 @@ go run ./cmd/snapifylint ./internal/... ./cmd/...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> snapbench -parallel -smoke (parallel capture smoke)"
+go run ./cmd/snapbench -parallel -smoke
+
 echo "verify: all gates passed"

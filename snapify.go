@@ -16,7 +16,8 @@
 // device Binary, moves data through COI buffers, and invokes offload
 // functions through a pipeline:
 //
-//	srv := snapify.NewServer(snapify.ServerOptions{Devices: 2})
+//	srv, err := snapify.NewServer(snapify.ServerOptions{Devices: 2})
+//	if err != nil { ... }
 //	defer srv.Stop()
 //
 //	bin := snapify.NewBinary("myapp")
@@ -43,6 +44,7 @@ package snapify
 
 import (
 	"fmt"
+	"sync"
 
 	"snapify/internal/coi"
 	"snapify/internal/core"
@@ -69,6 +71,11 @@ type (
 	Pipeline = coi.Pipeline
 	// Snapshot mirrors snapify_t: path, process handle, semaphore.
 	Snapshot = core.Snapshot
+	// CaptureOptions configures a capture: termination and the parallel
+	// multi-stream data path.
+	CaptureOptions = core.CaptureOptions
+	// RestoreOptions configures a restore's parallel data path.
+	RestoreOptions = core.RestoreOptions
 	// Report is the per-phase timing breakdown of a snapshot lifecycle.
 	Report = core.Report
 	// CheckpointReport times one full-application checkpoint.
@@ -109,28 +116,39 @@ type Server struct {
 	// Platform exposes the assembled substrate for advanced use (the
 	// benchmark harness reads file systems and fabric counters from it).
 	Platform *platform.Platform
+
+	stop sync.Once
 }
 
 // NewServer boots a server: host, cards, SCIF, Snapify-IO daemons, and one
-// COI daemon per card.
-func NewServer(opts ServerOptions) *Server {
-	plat := platform.New(platform.Config{
+// COI daemon per card. On failure every daemon already started is stopped
+// before the error is returned.
+func NewServer(opts ServerOptions) (*Server, error) {
+	plat, err := platform.New(platform.Config{
 		Server: phi.ServerConfig{
 			Devices: opts.Devices,
 			Device:  phi.DeviceConfig{MemBytes: opts.DeviceMemBytes},
 		},
 		NoSnapify: opts.NoSnapifyHooks,
 	})
-	if err := coi.StartDaemons(plat); err != nil {
-		panic(fmt.Sprintf("snapify: starting COI daemons: %v", err))
+	if err != nil {
+		return nil, fmt.Errorf("snapify: %w", err)
 	}
-	return &Server{Platform: plat}
+	if err := coi.StartDaemons(plat); err != nil {
+		coi.StopDaemons(plat)
+		plat.IO.Stop()
+		return nil, fmt.Errorf("snapify: starting COI daemons: %w", err)
+	}
+	return &Server{Platform: plat}, nil
 }
 
-// Stop shuts the server down.
+// Stop shuts the server down. It is idempotent: extra calls are no-ops, so
+// a deferred Stop composes with explicit shutdown paths.
 func (s *Server) Stop() {
-	coi.StopDaemons(s.Platform)
-	s.Platform.IO.Stop()
+	s.stop.Do(func() {
+		coi.StopDaemons(s.Platform)
+		s.Platform.IO.Stop()
+	})
 }
 
 // Devices returns the number of cards.
@@ -173,8 +191,9 @@ func NewSnapshot(path string, p *Process) *Snapshot { return core.NewSnapshot(pa
 func Pause(s *Snapshot) error { return core.Pause(s) }
 
 // Capture snapshots the paused offload process to the host, non-blocking
-// (snapify_capture). terminate kills the process after the capture.
-func Capture(s *Snapshot, terminate bool) error { return core.Capture(s, terminate) }
+// (snapify_capture). Options select termination (the swap-out path) and
+// the parallel multi-stream data path.
+func Capture(s *Snapshot, opts CaptureOptions) error { return s.Capture(opts) }
 
 // Wait joins a pending Capture (snapify_wait).
 func Wait(s *Snapshot) error { return core.Wait(s) }
@@ -184,23 +203,25 @@ func Resume(s *Snapshot) error { return core.Resume(s) }
 
 // Restore rebuilds the offload process from its snapshot on the given card
 // (snapify_restore); call Resume afterwards.
-func Restore(s *Snapshot, device NodeID) (*Process, error) { return core.Restore(s, device) }
+func Restore(s *Snapshot, device NodeID, opts RestoreOptions) (*Process, error) {
+	return s.Restore(device, opts)
+}
 
 // --- incremental snapshots (extension beyond the paper) ---
 
 // CaptureBase is Capture plus a clean mark on every region: the snapshot
 // anchors a chain of CaptureDelta captures.
-func CaptureBase(s *Snapshot, terminate bool) error { return core.CaptureBase(s, terminate) }
+func CaptureBase(s *Snapshot, opts CaptureOptions) error { return s.CaptureBase(opts) }
 
 // CaptureDelta captures only what the offload process wrote since the last
 // CaptureBase or CaptureDelta; restore the chain with RestoreChain.
-func CaptureDelta(s *Snapshot, terminate bool) error { return core.CaptureDelta(s, terminate) }
+func CaptureDelta(s *Snapshot, opts CaptureOptions) error { return s.CaptureDelta(opts) }
 
 // RestoreChain restores from a base snapshot plus an ordered chain of
 // delta snapshots; s is the latest capture's snapshot (its directory holds
 // the freshest local store).
-func RestoreChain(s *Snapshot, baseDir string, deltaDirs []string, device NodeID) (*Process, error) {
-	return core.RestoreChain(s, baseDir, deltaDirs, device)
+func RestoreChain(s *Snapshot, baseDir string, deltaDirs []string, device NodeID, opts RestoreOptions) (*Process, error) {
+	return s.RestoreChain(baseDir, deltaDirs, device, opts)
 }
 
 // --- Section 5: the three capabilities ---

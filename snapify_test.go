@@ -55,7 +55,10 @@ func runSum(t *testing.T, pl *snapify.Pipeline, n uint64) uint64 {
 
 func TestPublicAPIEndToEnd(t *testing.T) {
 	snapify.RegisterBinary(demoBinary("pub_demo"))
-	srv := snapify.NewServer(snapify.ServerOptions{Devices: 2})
+	srv, err := snapify.NewServer(snapify.ServerOptions{Devices: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer srv.Stop()
 	if srv.Devices() != 2 {
 		t.Fatalf("Devices = %d", srv.Devices())
@@ -79,7 +82,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	if err := snapify.Pause(s); err != nil {
 		t.Fatal(err)
 	}
-	if err := snapify.Capture(s, false); err != nil {
+	if err := snapify.Capture(s, snapify.CaptureOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if err := snapify.Wait(s); err != nil {
@@ -115,7 +118,10 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 
 func TestPublicAppCheckpointRestart(t *testing.T) {
 	snapify.RegisterBinary(demoBinary("pub_cr"))
-	srv := snapify.NewServer(snapify.ServerOptions{})
+	srv, err := snapify.NewServer(snapify.ServerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	defer srv.Stop()
 	app, err := srv.Launch("pub_cr", 1)
 	if err != nil {
