@@ -14,6 +14,9 @@
 //	                          # the multi-stream capture sweep, JSON'd
 //	snapbench -parallel -smoke
 //	                          # same sweep on a small image (CI gate)
+//	snapbench -parallel -trace out.json
+//	                          # also export the sweep's virtual-clock trace
+//	                          # (Chrome trace-event JSON; open in Perfetto)
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"os"
 
 	"snapify/internal/experiments"
+	"snapify/internal/obs"
 	"snapify/internal/simclock"
 )
 
@@ -31,6 +35,7 @@ func main() {
 	ablations := flag.Bool("ablations", false, "run the design-choice ablations")
 	parallel := flag.Bool("parallel", false, "run the multi-stream parallel capture sweep")
 	jsonPath := flag.String("json", "", "with -parallel: also write the sweep as JSON to this file")
+	tracePath := flag.String("trace", "", "with -parallel: write the sweep's Chrome trace-event JSON to this file (open in Perfetto)")
 	smoke := flag.Bool("smoke", false, "with -parallel: use a small image (fast CI smoke, shape still checked)")
 	all := flag.Bool("all", false, "regenerate everything")
 	check := flag.Bool("check", false, "verify the paper's qualitative claims against the results")
@@ -82,14 +87,14 @@ func main() {
 		runAblations(*check)
 	}
 	if *all || *parallel {
-		runParallel(*smoke, *jsonPath)
+		runParallel(*smoke, *jsonPath, *tracePath)
 	}
 }
 
 // runParallel executes the multi-stream capture sweep. Its shape check
 // (4 streams >= 2x serial, byte-identical snapshots) always runs: the
 // sweep exists to pin that claim, -check or not.
-func runParallel(smoke bool, jsonPath string) {
+func runParallel(smoke bool, jsonPath, tracePath string) {
 	size := int64(experiments.ParallelCaptureImageBytes)
 	if smoke {
 		size = 256 * simclock.MiB
@@ -116,6 +121,18 @@ func runParallel(smoke bool, jsonPath string) {
 			os.Exit(1)
 		}
 		fmt.Printf("[wrote %s]\n", jsonPath)
+	}
+	if tracePath != "" {
+		out := res.TraceJSON()
+		if err := obs.ValidateChromeTrace(out); err != nil {
+			fmt.Fprintf(os.Stderr, "snapbench: trace validation FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(tracePath, out, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "snapbench: writing %s: %v\n", tracePath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[wrote %s: valid Chrome trace; open at ui.perfetto.dev]\n", tracePath)
 	}
 }
 

@@ -13,16 +13,24 @@
 //
 //	snapifyctl [command...]
 //	    commands: swapout | swapin <device> | migrate <device>
+//	            | trace <out.json> | metrics
 //	    default sequence: swapout, swapin 2, migrate 1
+//
+// trace writes the session's virtual-clock trace as Chrome trace-event
+// JSON (open it at ui.perfetto.dev); metrics prints the platform metrics
+// registry in Prometheus text exposition. Both observe whatever commands
+// ran before them in the sequence.
 package main
 
 import (
 	"encoding/binary"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"snapify"
+	"snapify/internal/obs"
 	"snapify/internal/proc"
 )
 
@@ -50,6 +58,21 @@ func main() {
 
 	cmds := parseCommands(os.Args[1:])
 	for _, cmd := range cmds {
+		if cmd == "metrics" {
+			fmt.Printf("\n$ snapifyctl metrics\n")
+			fmt.Print(srv.Platform.Obs.MetricsOf().Expose())
+			continue
+		}
+		if path, ok := strings.CutPrefix(cmd, "trace "); ok {
+			fmt.Printf("\n$ snapifyctl trace %s\n", path)
+			out := srv.Platform.Obs.TracerOf().ChromeTrace()
+			if err := obs.ValidateChromeTrace(out); err != nil {
+				fatal(err)
+			}
+			fatal(os.WriteFile(path, out, 0o644))
+			fmt.Printf("  wrote %s: valid Chrome trace; open at ui.perfetto.dev\n", path)
+			continue
+		}
 		fmt.Printf("\n$ snapify %d %s\n", app.Host.PID(), cmd)
 		if err := srvr.SubmitCommand(cmd); err != nil {
 			fmt.Printf("  error: %v\n", err)
@@ -89,8 +112,16 @@ func parseCommands(argv []string) []string {
 				out = append(out, "migrate "+argv[i+1]+" /ctl/mig")
 			}
 			i++
+		case "metrics":
+			out = append(out, "metrics")
+		case "trace":
+			if i+1 >= len(argv) {
+				fatal(fmt.Errorf("trace needs an output path argument"))
+			}
+			out = append(out, "trace "+argv[i+1])
+			i++
 		default:
-			fatal(fmt.Errorf("unknown command %q (want swapout | swapin <dev> | migrate <dev>)", argv[i]))
+			fatal(fmt.Errorf("unknown command %q (want swapout | swapin <dev> | migrate <dev> | trace <out> | metrics)", argv[i]))
 		}
 	}
 	return out

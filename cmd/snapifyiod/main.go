@@ -97,6 +97,13 @@ func main() {
 		fmtBytes(plat.Server.Fabric.Traffic(1, 0)),
 		fmtBytes(plat.Server.Fabric.Traffic(0, 1)),
 		fmtBytes(plat.Server.Fabric.Traffic(1, 2)))
+
+	// The SIGUSR1 analogue: a control message on the daemon's SCIF port
+	// makes it dump the service metrics registry (real daemons can't be
+	// signalled from another node, so the dump rides the wire).
+	text, err := plat.IO.DumpMetrics(0, 1)
+	fatal(err)
+	fmt.Printf("\n--- metrics dump from mic0's daemon (control message on port %d) ---\n%s", snapifyio.Port, text)
 }
 
 func fmtBytes(n int64) string { return fmt.Sprintf("%dMiB", n/simclock.MiB) }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"snapify/internal/blob"
+	"snapify/internal/obs"
 	"snapify/internal/proc"
 	"snapify/internal/simclock"
 	"snapify/internal/stream"
@@ -25,22 +26,53 @@ type Stats struct {
 	Regions int
 	Threads int
 	// Duration is the end-to-end virtual time of the operation, including
-	// quiesce, serialization, and transport.
+	// quiesce, serialization, and transport. Per-stream timings of the
+	// parallel paths are not carried here: workers emit spans on the
+	// tracer installed by WithSpans, and consumers read them back by scope
+	// (internal/obs) — the trace is the source of truth.
 	Duration simclock.Duration
-	// StreamDurations holds each worker's virtual time when the operation
-	// ran across parallel streams (Duration is their max); nil for the
-	// serial paths.
-	StreamDurations []simclock.Duration
 }
 
 // Checkpointer captures and restores process snapshots.
 type Checkpointer struct {
 	model *simclock.Model
+	sp    *spanOpts
 }
 
 // New returns a checkpointer using the given cost model.
 func New(model *simclock.Model) *Checkpointer {
 	return &Checkpointer{model: model}
+}
+
+// spanOpts wires one operation to the observability tracer.
+type spanOpts struct {
+	tracer *obs.Tracer
+	scope  uint64
+	start  simclock.Duration // virtual time at which the operation begins
+}
+
+// WithSpans returns a shallow copy of c whose checkpoint/restart workers
+// emit per-stream spans under scope on tr, starting at the virtual time
+// start. A zero scope (or nil tracer) records nothing, so callers without
+// observability pass through unchanged.
+func (c *Checkpointer) WithSpans(tr *obs.Tracer, scope uint64, start simclock.Duration) *Checkpointer {
+	cp := *c
+	cp.sp = &spanOpts{tracer: tr, scope: scope, start: start}
+	return &cp
+}
+
+// emitStreamSpans records one span per worker of a checkpoint or restart,
+// each on its own track ("<proc>/stream N" under the process's node), all
+// starting at the operation's begin time — exactly how the real workers
+// overlap. No-op unless WithSpans installed a tracer and scope.
+func (c *Checkpointer) emitStreamSpans(p *proc.Process, name string, at simclock.Duration, durs []simclock.Duration, bytes []int64) {
+	if c.sp == nil || c.sp.scope == 0 {
+		return
+	}
+	for i, d := range durs {
+		tk := c.sp.tracer.Track(p.Node().String(), fmt.Sprintf("%s/stream %d", p.Name(), i))
+		tk.Emit(c.sp.scope, name, at, d, map[string]int64{"bytes": bytes[i], "stream": int64(i)})
+	}
 }
 
 // walkStage returns the serialization cost of n bytes on p's node.
@@ -95,6 +127,9 @@ func (c *Checkpointer) CheckpointFrozen(p *proc.Process, sink stream.Sink) (*Sta
 		return nil, err
 	}
 	st.Duration = acc.Total()
+	if c.sp != nil {
+		c.emitStreamSpans(p, "capture_stream", c.sp.start, []simclock.Duration{st.Duration}, []int64{st.Bytes})
+	}
 	return st, nil
 }
 

@@ -130,6 +130,9 @@ func (c *Checkpointer) CheckpointDeltaFrozen(p *proc.Process, sink stream.Sink) 
 		return nil, err
 	}
 	st.Duration = acc.Total()
+	if c.sp != nil {
+		c.emitStreamSpans(p, "capture_stream", c.sp.start, []simclock.Duration{st.Duration}, []int64{st.Bytes})
+	}
 	return st, nil
 }
 

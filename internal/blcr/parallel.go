@@ -37,7 +37,7 @@ type seg struct {
 	walkBytes int64 // producer-stage size charged for a meta record
 	region    *proc.Region
 	regOff    int64
-	n         int64 // page-run length; meta segments use len(meta)
+	n         int64             // page-run length; meta segments use len(meta)
 	extraWalk simclock.Duration // flat cost (delta dirty-page-table walk)
 }
 
@@ -321,10 +321,22 @@ func (c *Checkpointer) runShards(p *proc.Process, pl *plan, workers int, chunk i
 	if err != nil {
 		return nil, err
 	}
+	bytes := make([]int64, len(shards))
+	for i, sh := range shards {
+		bytes[i] = sh.n
+	}
+	c.emitStreamSpans(p, "capture_stream", c.spanStart(), durs, bytes)
 	st := pl.st
 	st.Duration = maxDur(durs)
-	st.StreamDurations = durs
 	return &st, nil
+}
+
+// spanStart returns the operation's begin time installed by WithSpans.
+func (c *Checkpointer) spanStart() simclock.Duration {
+	if c.sp == nil {
+		return 0
+	}
+	return c.sp.start
 }
 
 // CheckpointFrozenParallel serializes an already-quiesced process across
@@ -491,8 +503,13 @@ func (c *Checkpointer) RestartParallel(size int64, workers int, chunk int64, ope
 	if err != nil {
 		return abandon(err)
 	}
-	st.Duration = acc.Total() + maxDur(durs)
-	st.StreamDurations = durs
+	scanDur := acc.Total()
+	bytes := make([]int64, len(pieces))
+	for i, pc := range pieces {
+		bytes[i] = pc.n
+	}
+	c.emitStreamSpans(p, "restore_stream", c.spanStart()+scanDur, durs, bytes)
+	st.Duration = scanDur + maxDur(durs)
 	return p, st, nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"snapify/internal/obs"
 	"snapify/internal/scif"
 	"snapify/internal/simclock"
 )
@@ -43,10 +44,20 @@ type ClientChan struct {
 
 	hooks    bool // Snapify instrumentation compiled in
 	hookCost simclock.Duration
+
+	reqCtr   *obs.Counter // commands sent (nil-safe no-op without obs)
+	drainCtr *obs.Counter // shutdown markers drained
 }
 
-func newClientChan(name string, ep *scif.Endpoint, tl *simclock.Timeline, hooks bool, hookCost simclock.Duration) *ClientChan {
-	return &ClientChan{name: name, ep: ep, tl: tl, hooks: hooks, hookCost: hookCost}
+func newClientChan(name string, ep *scif.Endpoint, tl *simclock.Timeline, hooks bool, hookCost simclock.Duration, mx *obs.Registry) *ClientChan {
+	l := obs.L("channel", name)
+	return &ClientChan{
+		name: name, ep: ep, tl: tl, hooks: hooks, hookCost: hookCost,
+		reqCtr: mx.Counter("coi_channel_requests_total",
+			"Commands sent on a COI command channel.", l),
+		drainCtr: mx.Counter("coi_channel_drains_total",
+			"Shutdown markers injected and acknowledged on a COI command channel (one per pause).", l),
+	}
 }
 
 // Name returns the channel name.
@@ -56,6 +67,7 @@ func (c *ClientChan) Name() string { return c.name }
 func (c *ClientChan) Request(payload []byte) ([]byte, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.reqCtr.Inc()
 	if c.hooks {
 		c.tl.Advance(c.hookCost)
 	}
@@ -112,6 +124,7 @@ func (c *ClientChan) PauseLock() (simclock.Duration, error) {
 		c.mu.Unlock()
 		return 0, fmt.Errorf("coi: %s: expected shutdown ack, got opcode %d", c.name, raw[0])
 	}
+	c.drainCtr.Inc()
 	return total, nil
 }
 

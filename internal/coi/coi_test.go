@@ -268,6 +268,7 @@ func snapPause(t *testing.T, cp *Process, dir string) {
 		t.Fatalf("host drain: %v", err)
 	}
 	payload := putU32(uint32(cp.ID()))
+	payload = appendU64(payload, 0) // alignNs: tests drive the raw protocol at t=0
 	payload = appendU32(payload, uint32(simnet.HostNode))
 	payload = appendU32(payload, uint32(len(dir)))
 	payload = append(payload, dir...)
@@ -286,6 +287,7 @@ func snapCapture(t *testing.T, cp *Process, dir string, terminate bool) {
 	payload = append(payload, tb, CaptureFull)
 	payload = appendU16(payload, 0) // streams: serial
 	payload = appendU64(payload, 0) // chunk: default
+	payload = appendU64(payload, 0) // alignNs
 	payload = appendU32(payload, uint32(len(dir)))
 	payload = append(payload, dir...)
 	if _, err := cp.DaemonRequest(opSnapifyCapture, payload, opSnapifyCaptureResp); err != nil {
@@ -316,6 +318,7 @@ func snapRestore(t *testing.T, cp *Process, dev simnet.NodeID, dir string) []Rem
 	payload = appendU32(payload, 0) // no deltas
 	payload = appendU16(payload, 0) // streams: serial
 	payload = appendU64(payload, 0) // chunk: default
+	payload = appendU64(payload, 0) // alignNs
 
 	// The restore request goes to the target card's daemon on a fresh
 	// connection (the old card may not even host the process anymore).

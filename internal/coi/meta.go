@@ -113,7 +113,7 @@ func AttachRestored(plat *platform.Platform, hostProc *proc.Process, tl *simcloc
 		buffers:  make(map[int]*Buffer),
 	}
 	for _, name := range CommandChannelNames {
-		cp.cmds[name] = newClientChan(name, nil, tl, cp.hooks(), plat.Model().HookCommandSend)
+		cp.cmds[name] = newClientChan(name, nil, tl, cp.hooks(), plat.Model().HookCommandSend, plat.Obs.MetricsOf())
 	}
 	for _, bm := range m.Buffers {
 		cp.buffers[bm.ID] = &Buffer{cp: cp, id: bm.ID, size: bm.Size, rdmaOff: bm.Addr}

@@ -183,7 +183,7 @@ func (cp *Process) connectChannels(ports []ChannelPort) error {
 			continue
 		}
 		cp.mu.Lock()
-		cp.cmds[chp.name] = newClientChan(chp.name, ep, cp.tl, cp.hooks(), model.HookCommandSend)
+		cp.cmds[chp.name] = newClientChan(chp.name, ep, cp.tl, cp.hooks(), model.HookCommandSend, cp.plat.Obs.MetricsOf())
 		cp.mu.Unlock()
 	}
 	return nil

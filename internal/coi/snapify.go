@@ -7,6 +7,7 @@ import (
 
 	"snapify/internal/blcr"
 	"snapify/internal/fanout"
+	"snapify/internal/obs"
 	"snapify/internal/proc"
 	"snapify/internal/scif"
 	"snapify/internal/simclock"
@@ -158,10 +159,11 @@ func (d *Daemon) handleSnapifyPause(ep *scif.Endpoint, payload []byte) {
 // handleSnapifyDrain is step 4: forward the drain request (with the
 // snapshot directory and the local-store target node) and wait for the
 // agent to finish quiescing and saving its local store.
-// Payload: procID u32 | lsTarget u32 | dirLen u32 | dir.
+// Payload: procID u32 | alignNs u64 | lsTarget u32 | dirLen u32 | dir.
 // Reply: 0 | saveDurNs u64 | localStoreBytes u64.
 func (d *Daemon) handleSnapifyDrain(ep *scif.Endpoint, payload []byte) {
 	id := int(u32(payload))
+	align := simclock.Duration(u64(payload[4:]))
 	ps := d.pauseStateFor(id)
 	if ps == nil {
 		reply(ep, opSnapifyDrainResp, append([]byte{1}, []byte("no active pause")...))
@@ -180,16 +182,27 @@ func (d *Daemon) handleSnapifyDrain(ep *scif.Endpoint, payload []byte) {
 		reply(ep, opSnapifyDrainResp, append([]byte{1}, resp[1:]...))
 		return
 	}
+	// The daemon coordinates the drain for its whole duration.
+	d.coidTrack().Emit(0, "drain_coordination", align, simclock.Duration(u64(resp[1:])), nil)
 	reply(ep, opSnapifyDrainResp, append([]byte{0}, resp[1:]...))
+}
+
+// coidTrack is the COI daemon's lane in the trace, one per card.
+func (d *Daemon) coidTrack() *obs.Track {
+	return d.plat.Obs.TracerOf().Track(d.dev.Node.String(), "coid")
 }
 
 // handleSnapifyCapture forwards the capture request and waits for the
 // checkpoint to finish. Payload: procID u32 | terminate u8 | mode u8 |
-// streams u16 | chunkBytes u64 | dirLen u32 | dir. Reply: 0 |
-// snapshotBytes u64 | captureDurNs u64 | streams u16 | (streamDurNs u64)*.
+// streams u16 | chunkBytes u64 | alignNs u64 | dirLen u32 | dir. Reply:
+// 0 | snapshotBytes u64 | captureDurNs u64 | scope u64. The scope keys
+// the per-stream capture spans the shard workers emitted; the host
+// derives its Report from them (durNs is the fallback when the platform
+// runs without observability).
 func (d *Daemon) handleSnapifyCapture(ep *scif.Endpoint, payload []byte) {
 	id := int(u32(payload))
 	terminate := payload[4] == 1
+	align := simclock.Duration(u64(payload[16:]))
 	ps := d.pauseStateFor(id)
 	if ps == nil {
 		reply(ep, opSnapifyCaptureResp, append([]byte{1}, []byte("no active pause")...))
@@ -215,6 +228,7 @@ func (d *Daemon) handleSnapifyCapture(ep *scif.Endpoint, payload []byte) {
 		ps.op.teardown()
 		d.removePauseState(id)
 	}
+	d.coidTrack().Emit(0, "capture_coordination", align, simclock.Duration(u64(resp[9:])), nil)
 	reply(ep, opSnapifyCaptureResp, append([]byte{0}, resp[1:]...))
 }
 
@@ -242,7 +256,7 @@ func (d *Daemon) handleSnapifyResume(ep *scif.Endpoint, payload []byte) {
 // handleSnapifyRestore rebuilds an offload process from a snapshot
 // directory. Payload: binNameLen u32 | binName | ctxDirLen u32 | ctxDir |
 // lsNode u32 | lsDirLen u32 | lsDir | deltaCount u32 | (dirLen u32 |
-// dir)* | streams u16 | chunkBytes u64. The context comes from ctxDir
+// dir)* | streams u16 | chunkBytes u64 | alignNs u64. The context comes from ctxDir
 // (the base checkpoint); the saved local store from lsDir on lsNode (the
 // latest pause — the host for checkpoint and swap, the daemon's own card
 // for migration); delta contexts, if any, are replayed in order (the
@@ -274,6 +288,7 @@ func (d *Daemon) handleSnapifyRestore(ep *scif.Endpoint, payload []byte) {
 	}
 	streams := int(u16(payload))
 	chunk := int64(u64(payload[2:]))
+	align := simclock.Duration(u64(payload[10:]))
 
 	bin, err := LookupBinary(binName)
 	if err != nil {
@@ -307,6 +322,11 @@ func (d *Daemon) handleSnapifyRestore(ep *scif.Endpoint, payload []byte) {
 	spawn := func(img *blcr.Image) (*proc.Process, error) {
 		return d.plat.Procs.Spawn(img.Name, d.dev.Node, d.dev.Mem), nil
 	}
+	// Restore workers emit spans under a fresh scope, aligned to the
+	// host's virtual clock carried in the request.
+	tracer := d.plat.Obs.TracerOf()
+	scope := tracer.NewScope()
+	cr := d.plat.CR.WithSpans(tracer, scope, align)
 	var restored *proc.Process
 	var rst *blcr.Stats
 	if streams > 1 {
@@ -321,9 +341,9 @@ func (d *Daemon) handleSnapifyRestore(ep *scif.Endpoint, payload []byte) {
 				Stripe: snapifyio.Stripe{Offset: off, Length: n},
 			})
 		}
-		restored, rst, err = d.plat.CR.RestartChainParallel(size, streams, chunk, open, deltas, spawn)
+		restored, rst, err = cr.RestartChainParallel(size, streams, chunk, open, deltas, spawn)
 	} else {
-		restored, rst, err = d.plat.CR.RestartChain(src, deltas, spawn)
+		restored, rst, err = cr.RestartChain(src, deltas, spawn)
 		src.Close() //nolint:errcheck // read side at EOF: close only releases the descriptor
 	}
 	for _, ds := range deltas {
@@ -358,6 +378,11 @@ func (d *Daemon) handleSnapifyRestore(ep *scif.Endpoint, payload []byte) {
 	ps := &pauseState{id: newID, op: op, pipe: daemonEnd, inbox: make(chan []byte, 8)}
 	d.addPauseState(ps)
 	op.p.Deliver(proc.SigSnapify) //nolint:errcheck // handler installed by rebuildOffloadProc
+
+	tk := d.coidTrack()
+	tk.AlignTo(align)
+	tk.Emit(scope, "restore_context", align, rst.Duration, map[string]int64{"bytes": rst.Bytes})
+	tk.Emit(scope, "reload_local_store", align+rst.Duration, lsDur, map[string]int64{"bytes": lsBytes})
 
 	resp := []byte{0}
 	resp = appendU32(resp, uint32(newID))
@@ -515,9 +540,10 @@ func (op *OffloadProc) snapifyAgent() {
 			pipe.Send([]byte{pipePauseAck}) //nolint:errcheck // fire-and-forget reply: the daemon sees a dead agent on its monitor Recv
 
 		case pipeDrainReq:
-			lsTarget := simnet.NodeID(u32(raw[1:]))
-			dirLen := u32(raw[5:])
-			dir := string(raw[9 : 9+dirLen])
+			align := simclock.Duration(u64(raw[1:]))
+			lsTarget := simnet.NodeID(u32(raw[9:]))
+			dirLen := u32(raw[13:])
+			dir := string(raw[17 : 17+dirLen])
 			// Quiesce: running steps drain at the gate; the result-send
 			// critical region is held so case-4 channels stay empty.
 			op.p.PauseSteps()
@@ -525,11 +551,18 @@ func (op *OffloadProc) snapifyAgent() {
 			drained = true
 			quiesce := simclock.Duration(op.p.ThreadCount()) * op.d.plat.Model().ThreadQuiesce
 			d, bytes, err := op.SaveLocalStore(lsTarget, dir)
-			d += quiesce
 			if err != nil {
 				pipe.Send(append([]byte{pipeDrainDone, 1}, []byte(err.Error())...)) //nolint:errcheck // fire-and-forget reply: the daemon sees a dead agent on its monitor Recv
 				continue
 			}
+			// The request carries the host's virtual clock so the agent's
+			// spans land on the shared timeline (trace only; the reported
+			// durations are what the host folds into its Report).
+			tk := op.agentTrack()
+			tk.AlignTo(align)
+			tk.Emit(0, "quiesce", align, quiesce, nil)
+			tk.Emit(0, "save_local_store", align+quiesce, d, map[string]int64{"bytes": bytes})
+			d += quiesce
 			resp := []byte{pipeDrainDone, 0}
 			resp = binary.BigEndian.AppendUint64(resp, uint64(d))
 			resp = binary.BigEndian.AppendUint64(resp, uint64(bytes))
@@ -540,9 +573,15 @@ func (op *OffloadProc) snapifyAgent() {
 			mode := raw[2]
 			streams := int(u16(raw[3:]))
 			chunk := int64(u64(raw[5:]))
-			dirLen := u32(raw[13:])
-			dir := string(raw[17 : 17+dirLen])
-			st, err := op.runCapture(mode, streams, chunk, dir)
+			align := simclock.Duration(u64(raw[13:]))
+			dirLen := u32(raw[21:])
+			dir := string(raw[25 : 25+dirLen])
+			// Every shard worker of this capture emits a span under one
+			// fresh scope; the host derives its Report from those spans.
+			tracer := op.d.plat.Obs.TracerOf()
+			scope := tracer.NewScope()
+			cr := op.d.plat.CR.WithSpans(tracer, scope, align)
+			st, err := op.runCapture(cr, mode, streams, chunk, dir)
 			if err == nil && (mode == CaptureBase || mode == CaptureDelta) {
 				for _, r := range op.p.Regions() {
 					r.MarkClean()
@@ -555,10 +594,7 @@ func (op *OffloadProc) snapifyAgent() {
 			resp := []byte{pipeCaptureDone, 0}
 			resp = appendU64(resp, uint64(st.Bytes))
 			resp = appendU64(resp, uint64(st.Duration))
-			resp = appendU16(resp, uint16(len(st.StreamDurations)))
-			for _, d := range st.StreamDurations {
-				resp = appendU64(resp, uint64(d))
-			}
+			resp = appendU64(resp, scope)
 			pipe.Send(resp) //nolint:errcheck // fire-and-forget reply: the daemon sees a dead agent on its monitor Recv
 			if terminate {
 				// The daemon tears the process down; this agent thread
@@ -593,7 +629,7 @@ func (op *OffloadProc) snapifyAgent() {
 // double-buffered and writing a disjoint range of the same context file,
 // assembled by the host daemon. chunk is the I/O granularity for the
 // parallel path (0 uses the checkpointer's default).
-func (op *OffloadProc) runCapture(mode uint8, streams int, chunk int64, dir string) (*blcr.Stats, error) {
+func (op *OffloadProc) runCapture(cr *blcr.Checkpointer, mode uint8, streams int, chunk int64, dir string) (*blcr.Stats, error) {
 	name := ContextFileName
 	if mode == CaptureDelta {
 		name = DeltaFileName
@@ -605,9 +641,9 @@ func (op *OffloadProc) runCapture(mode uint8, streams int, chunk int64, dir stri
 			return nil, err
 		}
 		if mode == CaptureDelta {
-			return op.d.plat.CR.CheckpointDeltaFrozen(op.p, sink)
+			return cr.CheckpointDeltaFrozen(op.p, sink)
 		}
-		return op.d.plat.CR.CheckpointFrozen(op.p, sink)
+		return cr.CheckpointFrozen(op.p, sink)
 	}
 	open := func(off, n, total int64) (stream.Sink, error) {
 		return op.d.plat.IO.OpenStream(op.d.dev.Node, simnet.HostNode, path, snapifyio.Write, snapifyio.OpenOptions{
@@ -616,9 +652,15 @@ func (op *OffloadProc) runCapture(mode uint8, streams int, chunk int64, dir stri
 		})
 	}
 	if mode == CaptureDelta {
-		return op.d.plat.CR.CheckpointDeltaFrozenParallel(op.p, streams, chunk, open)
+		return cr.CheckpointDeltaFrozenParallel(op.p, streams, chunk, open)
 	}
-	return op.d.plat.CR.CheckpointFrozenParallel(op.p, streams, chunk, open)
+	return cr.CheckpointFrozenParallel(op.p, streams, chunk, open)
+}
+
+// agentTrack is the offload process's lane in the trace: one row per
+// offload process under its card's node.
+func (op *OffloadProc) agentTrack() *obs.Track {
+	return op.d.plat.Obs.TracerOf().Track(op.d.dev.Node.String(), op.p.Name())
 }
 
 // --- buffer re-registration (restore path) ---

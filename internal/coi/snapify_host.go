@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"snapify/internal/obs"
 	"snapify/internal/scif"
 	"snapify/internal/simclock"
 	"snapify/internal/simnet"
@@ -46,8 +47,16 @@ func (cp *Process) DaemonRequest(op uint8, payload []byte, wantResp uint8) ([]by
 // It returns the accumulated drain cost. Locks stay held until
 // ResumeChannels.
 func (cp *Process) PauseChannels() (simclock.Duration, error) {
+	mx := cp.plat.Obs.MetricsOf()
+	lock := func(class string) *obs.Counter {
+		return mx.Counter("coi_pause_locks_total",
+			"Host-side locks taken by Snapify's drain protocol, by SCIF use-case class (Section 4.1).",
+			obs.L("class", class))
+	}
 	cp.lifecycleMu.Lock()
+	lock("lifecycle").Inc()
 	cp.rdmaMu.Lock()
+	lock("rdma").Inc()
 	var total simclock.Duration
 	for _, name := range CommandChannelNames {
 		c := cp.Command(name)
@@ -58,10 +67,12 @@ func (cp *Process) PauseChannels() (simclock.Duration, error) {
 		if err != nil {
 			return 0, fmt.Errorf("coi: draining %s channel: %w", name, err)
 		}
+		lock("command").Inc()
 		total += d
 	}
 	for _, pl := range cp.Pipelines() {
 		pl.pauseLock()
+		lock("pipeline").Inc()
 	}
 	cp.setState(StatePaused)
 	return total, nil

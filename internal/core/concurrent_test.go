@@ -56,7 +56,7 @@ func TestConcurrentPausesOnOneCard(t *testing.T) {
 				fail(err)
 				return
 			}
-			if err := Capture(s, CaptureOptions{}); err != nil {
+			if err := s.Capture(CaptureOptions{}); err != nil {
 				fail(err)
 				return
 			}

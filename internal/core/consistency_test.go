@@ -97,7 +97,7 @@ func runScenario(t *testing.T, dataSeed int64, ops []injection) uint64 {
 			case 0: // checkpoint without termination
 				s := NewSnapshot(dir, cp)
 				mustOK(t, Pause(s))
-				mustOK(t, Capture(s, CaptureOptions{}))
+				mustOK(t, s.Capture(CaptureOptions{}))
 				mustOK(t, Wait(s))
 				mustOK(t, Resume(s))
 			case 1: // swap out and back in on the same card

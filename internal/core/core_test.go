@@ -105,7 +105,7 @@ func TestPauseCaptureResumeLifecycle(t *testing.T) {
 	if s.Report.PauseTotal() <= 0 {
 		t.Error("pause must take virtual time")
 	}
-	if err := Capture(s, CaptureOptions{}); err != nil {
+	if err := s.Capture(CaptureOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if err := Wait(s); err != nil {
@@ -133,7 +133,7 @@ func TestPauseCaptureResumeLifecycle(t *testing.T) {
 func TestCaptureRequiresPause(t *testing.T) {
 	r := newRig(t, "core_nopause", 1)
 	s := NewSnapshot("/snap/np", r.cp)
-	if err := Capture(s, CaptureOptions{}); err == nil {
+	if err := s.Capture(CaptureOptions{}); err == nil {
 		t.Fatal("capture without pause must fail")
 	}
 }
@@ -168,9 +168,9 @@ func TestConsistencyInvariantAtCapture(t *testing.T) {
 	if op.Proc().StepActive() != 0 {
 		t.Error("a computation step is active during pause")
 	}
-	Capture(s, CaptureOptions{}) //nolint:errcheck
-	Wait(s)                      //nolint:errcheck
-	Resume(s)                    //nolint:errcheck
+	s.Capture(CaptureOptions{}) //nolint:errcheck
+	Wait(s)                     //nolint:errcheck
+	Resume(s)                   //nolint:errcheck
 }
 
 func TestSwapoutSwapinRoundTrip(t *testing.T) {
@@ -446,7 +446,7 @@ func TestOneHostTwoCards(t *testing.T) {
 		snaps = append(snaps, s)
 	}
 	for _, s := range snaps {
-		if err := Capture(s, CaptureOptions{}); err != nil {
+		if err := s.Capture(CaptureOptions{}); err != nil {
 			t.Fatal(err)
 		}
 	}

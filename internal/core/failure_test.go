@@ -52,7 +52,7 @@ func TestRestoreOntoFullCardFailsCleanly(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if _, err := Restore(snap, 1, RestoreOptions{}); err == nil {
+	if _, err := snap.Restore(1, RestoreOptions{}); err == nil {
 		t.Fatal("restore onto a full card must fail")
 	} else if !strings.Contains(err.Error(), "restoring") && !strings.Contains(err.Error(), "memory") {
 		t.Logf("error (accepted): %v", err)
@@ -87,7 +87,7 @@ func TestRestoreFromMissingSnapshotFails(t *testing.T) {
 		t.Fatal(err)
 	}
 	bogus := NewSnapshot("/snap/never_written", r.cp)
-	if _, err := Restore(bogus, 1, RestoreOptions{}); err == nil {
+	if _, err := bogus.Restore(1, RestoreOptions{}); err == nil {
 		t.Fatal("restore from missing snapshot must succeed? no — must fail")
 	}
 	// The real snapshot still works.
@@ -100,7 +100,7 @@ func TestRestoreFromMissingSnapshotFails(t *testing.T) {
 func TestRestoreRequiresSwappedHandle(t *testing.T) {
 	r := newRig(t, "core_misuse", 1)
 	s := NewSnapshot("/snap/misuse", r.cp)
-	if _, err := Restore(s, 1, RestoreOptions{}); err == nil {
+	if _, err := s.Restore(1, RestoreOptions{}); err == nil {
 		t.Fatal("restore of a live process must fail")
 	}
 	// Pause-resume still fine after the misuse.
@@ -120,7 +120,7 @@ func TestCaptureWaitPairing(t *testing.T) {
 	if err := Pause(s); err != nil {
 		t.Fatal(err)
 	}
-	if err := Capture(s, CaptureOptions{}); err != nil {
+	if err := s.Capture(CaptureOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if err := Wait(s); err != nil {
@@ -128,7 +128,7 @@ func TestCaptureWaitPairing(t *testing.T) {
 	}
 	// A second capture+wait on the same paused snapshot also works (the
 	// paper's API allows repeated captures before resume).
-	if err := Capture(s, CaptureOptions{}); err != nil {
+	if err := s.Capture(CaptureOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if err := Wait(s); err != nil {

@@ -18,7 +18,7 @@ func TestIncrementalSwapChain(t *testing.T) {
 	}
 	base := NewSnapshot("/snap/incr/base", r.cp)
 	mustOK(t, Pause(base))
-	mustOK(t, CaptureBase(base, CaptureOptions{}))
+	mustOK(t, base.CaptureBase(CaptureOptions{}))
 	mustOK(t, Wait(base))
 	mustOK(t, Resume(base))
 	fullBytes := base.Report.SnapshotBytes
@@ -27,7 +27,7 @@ func TestIncrementalSwapChain(t *testing.T) {
 	r.count(t, 20)
 	d1 := NewSnapshot("/snap/incr/d1", r.cp)
 	mustOK(t, Pause(d1))
-	mustOK(t, CaptureDelta(d1, CaptureOptions{}))
+	mustOK(t, d1.CaptureDelta(CaptureOptions{}))
 	mustOK(t, Wait(d1))
 	mustOK(t, Resume(d1))
 	if d1.Report.SnapshotBytes >= fullBytes/4 {
@@ -41,12 +41,12 @@ func TestIncrementalSwapChain(t *testing.T) {
 	r.count(t, 30)
 	d2 := NewSnapshot("/snap/incr/d2", r.cp)
 	mustOK(t, Pause(d2))
-	mustOK(t, CaptureDelta(d2, CaptureOptions{Terminate: true}))
+	mustOK(t, d2.CaptureDelta(CaptureOptions{Terminate: true}))
 	mustOK(t, Wait(d2))
 
 	// Chain restore: base context + two deltas; local store from the
 	// latest pause (d2's directory).
-	if _, err := RestoreChain(d2, "/snap/incr/base", []string{"/snap/incr/d1", "/snap/incr/d2"}, 1, RestoreOptions{}); err != nil {
+	if _, err := d2.RestoreChain("/snap/incr/base", []string{"/snap/incr/d1", "/snap/incr/d2"}, 1, RestoreOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	mustOK(t, Resume(d2))
@@ -64,15 +64,15 @@ func TestChainRestoreMissingDeltaFails(t *testing.T) {
 	r.count(t, 5)
 	base := NewSnapshot("/snap/incrm/base", r.cp)
 	mustOK(t, Pause(base))
-	mustOK(t, CaptureBase(base, CaptureOptions{Terminate: true}))
+	mustOK(t, base.CaptureBase(CaptureOptions{Terminate: true}))
 	mustOK(t, Wait(base))
 
-	_, err := RestoreChain(base, "/snap/incrm/base", []string{"/snap/incrm/never"}, 1, RestoreOptions{})
+	_, err := base.RestoreChain("/snap/incrm/base", []string{"/snap/incrm/never"}, 1, RestoreOptions{})
 	if err == nil {
 		t.Fatal("chain restore with missing delta must fail")
 	}
 	// Without the bogus delta, the base alone restores fine.
-	if _, err := RestoreChain(base, "/snap/incrm/base", nil, 1, RestoreOptions{}); err != nil {
+	if _, err := base.RestoreChain("/snap/incrm/base", nil, 1, RestoreOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	mustOK(t, Resume(base))
@@ -88,7 +88,7 @@ func TestDeltaSequenceConsistency(t *testing.T) {
 	r.count(t, 4)
 	base := NewSnapshot("/snap/seq/base", r.cp)
 	mustOK(t, Pause(base))
-	mustOK(t, CaptureBase(base, CaptureOptions{}))
+	mustOK(t, base.CaptureBase(CaptureOptions{}))
 	mustOK(t, Wait(base))
 	mustOK(t, Resume(base))
 
@@ -100,12 +100,12 @@ func TestDeltaSequenceConsistency(t *testing.T) {
 		dir := fmt.Sprintf("/snap/seq/d%d", gen)
 		s := NewSnapshot(dir, r.cp)
 		mustOK(t, Pause(s))
-		mustOK(t, CaptureDelta(s, CaptureOptions{Terminate: gen == 3})) // last one terminates
+		mustOK(t, s.CaptureDelta(CaptureOptions{Terminate: gen == 3})) // last one terminates
 		mustOK(t, Wait(s))
 		if gen < 3 {
 			mustOK(t, Resume(s))
 		} else {
-			if _, err := RestoreChain(s, "/snap/seq/base", deltas2(deltas, dir), 1, RestoreOptions{}); err != nil {
+			if _, err := s.RestoreChain("/snap/seq/base", deltas2(deltas, dir), 1, RestoreOptions{}); err != nil {
 				t.Fatal(err)
 			}
 			mustOK(t, Resume(s))

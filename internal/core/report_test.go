@@ -1,0 +1,113 @@
+package core
+
+import (
+	"testing"
+
+	"snapify/internal/simclock"
+)
+
+// TestCaptureReportResetSymmetry reuses one Snapshot for a 4-stream
+// capture followed by a serial one and checks every capture field is
+// rewritten both times: the serial capture must not inherit the parallel
+// capture's stream count or worker durations. (The pre-span Report filled
+// these fields from a wire array that was only present for parallel
+// replies; deriving them from the capture's scoped spans makes the reset
+// structural.)
+func TestCaptureReportResetSymmetry(t *testing.T) {
+	r := newRig(t, "core_reset_sym", 1)
+	r.count(t, 10)
+
+	s := NewSnapshot("/snap/reset_sym", r.cp)
+	cycle := func(opts CaptureOptions) {
+		t.Helper()
+		if err := s.Pause(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Capture(opts); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Wait(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Resume(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cycle(CaptureOptions{Streams: 4})
+	if s.Report.CaptureStreams != 4 || len(s.Report.CaptureStreamDurations) != 4 {
+		t.Fatalf("parallel capture reported %d streams / %d durations, want 4/4",
+			s.Report.CaptureStreams, len(s.Report.CaptureStreamDurations))
+	}
+
+	cycle(CaptureOptions{})
+	if s.Report.CaptureStreams != 1 {
+		t.Errorf("serial capture after parallel left CaptureStreams = %d, want 1", s.Report.CaptureStreams)
+	}
+	if s.Report.CaptureStreamDurations != nil {
+		t.Errorf("serial capture after parallel left %d stale stream durations",
+			len(s.Report.CaptureStreamDurations))
+	}
+}
+
+// TestReportMatchesSpans checks the single-source-of-truth contract: the
+// Report's phase durations are exactly the durations of the spans the
+// operation emitted on the platform tracer — same integers.
+func TestReportMatchesSpans(t *testing.T) {
+	r := newRig(t, "core_report_spans", 1)
+	r.count(t, 10)
+
+	s := NewSnapshot("/snap/report_spans", r.cp)
+	if err := s.Pause(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Capture(CaptureOptions{Streams: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Resume(); err != nil {
+		t.Fatal(err)
+	}
+
+	byName := make(map[string]simclock.Duration)
+	var captureStreams []simclock.Duration
+	for _, sp := range r.plat.Obs.TracerOf().Spans() {
+		if sp.Name == "capture_stream" {
+			captureStreams = append(captureStreams, sp.Dur)
+			continue
+		}
+		byName[sp.Name] = sp.Dur
+	}
+	rep := &s.Report
+	for _, c := range []struct {
+		span string
+		dur  simclock.Duration
+	}{
+		{"pause_handshake", rep.PauseHandshake},
+		{"host_drain", rep.HostDrain},
+		{"device_drain", rep.DeviceDrain},
+		{"snapify_pause", rep.PauseTotal()},
+		{"snapify_capture", rep.Capture},
+		{"snapify_resume", rep.Resume},
+	} {
+		got, ok := byName[c.span]
+		if !ok {
+			t.Errorf("no %s span on the tracer", c.span)
+			continue
+		}
+		if got != c.dur {
+			t.Errorf("%s span is %d ns, Report says %d ns", c.span, got, c.dur)
+		}
+	}
+	if len(captureStreams) != len(rep.CaptureStreamDurations) {
+		t.Fatalf("tracer has %d capture_stream spans, Report has %d durations",
+			len(captureStreams), len(rep.CaptureStreamDurations))
+	}
+	for i, d := range rep.CaptureStreamDurations {
+		if captureStreams[i] != d {
+			t.Errorf("stream %d: span %d ns, Report %d ns", i, captureStreams[i], d)
+		}
+	}
+}

@@ -10,7 +10,8 @@
 // checkpointer serializes processes, and Snapify-IO streams everything
 // between card and host file system. Every operation returns a Report with
 // the per-phase virtual durations the benchmark harness turns into the
-// paper's figures.
+// paper's figures; the same quantities are emitted as spans on the
+// platform's virtual-clock tracer, so Report and trace always agree.
 package core
 
 import (
@@ -20,6 +21,7 @@ import (
 	"sync"
 
 	"snapify/internal/coi"
+	"snapify/internal/obs"
 	"snapify/internal/platform"
 	"snapify/internal/proc"
 	"snapify/internal/simclock"
@@ -32,6 +34,10 @@ const HandleStateRegion = "snapify_handle_state"
 
 // handleStateSize bounds the serialized handle metadata.
 const handleStateSize = 64 * 1024
+
+// hostProcessTrack is the trace process name for host-side lanes; each
+// host application gets its own thread row under it.
+const hostProcessTrack = "host"
 
 // Snapshot mirrors snapify_t: the snapshot directory, the process handle,
 // and the semaphore Capture posts (m_sem).
@@ -59,7 +65,8 @@ type Snapshot struct {
 }
 
 // Report carries the virtual-time breakdown of one snapshot lifecycle —
-// the quantities behind Fig 10's stacked bars.
+// the quantities behind Fig 10's stacked bars. Each field equals the
+// duration of the correspondingly named span on the platform tracer.
 type Report struct {
 	// Pause phases.
 	PauseHandshake  simclock.Duration // steps 1-3 of Fig 3
@@ -76,6 +83,7 @@ type Report struct {
 	CaptureStreams int
 	// CaptureStreamDurations holds each stream's virtual time when the
 	// capture was striped; Capture is their max. Nil for a serial capture.
+	// Derived from the capture_stream spans the shard workers emit.
 	CaptureStreamDurations []simclock.Duration
 
 	// Restore phases.
@@ -103,6 +111,18 @@ func (r *Report) RestoreTotal() simclock.Duration {
 // process handle.
 func NewSnapshot(path string, cp *coi.Process) *Snapshot {
 	return &Snapshot{Path: path, Proc: cp, LocalStoreTarget: simnet.HostNode, sem: make(chan struct{}, 1)}
+}
+
+// hostTrack returns the host application's lane in the trace.
+func (s *Snapshot) hostTrack() *obs.Track {
+	cp := s.Proc
+	return cp.Platform().Obs.TracerOf().Track(hostProcessTrack, cp.HostProc().Name())
+}
+
+// countOp bumps the per-operation counter on the platform registry.
+func (s *Snapshot) countOp(op string) {
+	s.Proc.Platform().Obs.MetricsOf().Counter("snapify_operations_total",
+		"Snapify API operations started, by operation.", obs.L("op", op)).Inc()
 }
 
 // CaptureOptions configures a capture (snapify_capture).
@@ -148,16 +168,19 @@ func (s *Snapshot) Pause() error {
 	if st := cp.State(); st != coi.StateActive {
 		return fmt.Errorf("core: pause requires an active handle, have %s", st)
 	}
+	s.countOp("pause")
+	start := cp.Timeline().Now()
 
 	// Step one: save the runtime libraries the offload process needs from
 	// the host file system into the snapshot directory (footnote 2: MPSS
 	// keeps host-side copies, so this is a host-local copy).
+	var handshake simclock.Duration
 	libs, _, err := plat.Host().FS.ReadFile(platform.RuntimeLibsPath)
 	if err == nil {
 		if _, err := plat.Host().FS.WriteFile(s.Path+"/runtime_libs", libs); err != nil {
 			return fmt.Errorf("core: saving runtime libraries: %w", err)
 		}
-		s.Report.PauseHandshake += model.HostMemcpy(libs.Len())
+		handshake += model.HostMemcpy(libs.Len())
 	}
 
 	// Steps 1-3 of Fig 3: snapify-service request to the daemon, pipe +
@@ -165,17 +188,20 @@ func (s *Snapshot) Pause() error {
 	if _, err := cp.DaemonRequest(coi.OpSnapifyPause, coi.PutU32(uint32(cp.ID())), coi.OpSnapifyPauseResp); err != nil {
 		return fmt.Errorf("core: pause handshake: %w", err)
 	}
-	s.Report.PauseHandshake += 2*model.SCIFMsg(16) + model.SignalLatency + 4*model.PipeLatency
+	handshake += 2*model.SCIFMsg(16) + model.SignalLatency + 4*model.PipeLatency
 
 	// Host-side drain: the four channel classes of Section 4.1.
 	hostDrain, err := cp.PauseChannels()
 	if err != nil {
 		return fmt.Errorf("core: host drain: %w", err)
 	}
-	s.Report.HostDrain = hostDrain
 
-	// Step 4: the device-side drain — quiesce and local-store save.
+	// Step 4: the device-side drain — quiesce and local-store save. The
+	// payload carries the host's virtual clock at which the drain begins,
+	// so the card-side tracks land on the shared timeline.
+	align := start + handshake + hostDrain
 	payload := coi.PutU32(uint32(cp.ID()))
+	payload = binary.BigEndian.AppendUint64(payload, uint64(align))
 	payload = coi.AppendU32(payload, uint32(s.LocalStoreTarget))
 	payload = coi.AppendU32(payload, uint32(len(s.Path)))
 	payload = append(payload, s.Path...)
@@ -183,8 +209,18 @@ func (s *Snapshot) Pause() error {
 	if err != nil {
 		return fmt.Errorf("core: device drain: %w", err)
 	}
-	s.Report.DeviceDrain = simclock.Duration(binary.BigEndian.Uint64(resp))
+	deviceDrain := simclock.Duration(binary.BigEndian.Uint64(resp))
 	s.Report.LocalStoreBytes = int64(binary.BigEndian.Uint64(resp[8:]))
+
+	// The phase spans are the source of truth; the Report repeats them.
+	tk := s.hostTrack()
+	tk.AlignTo(start)
+	tk.Emit(0, "snapify_pause", start, handshake+hostDrain+deviceDrain,
+		map[string]int64{"local_store_bytes": s.Report.LocalStoreBytes})
+	s.Report.PauseHandshake = tk.Emit(0, "pause_handshake", start, handshake, nil).Dur
+	s.Report.HostDrain = tk.Emit(0, "host_drain", start+handshake, hostDrain, nil).Dur
+	s.Report.DeviceDrain = tk.Emit(0, "device_drain", align, deviceDrain,
+		map[string]int64{"bytes": s.Report.LocalStoreBytes}).Dur
 
 	// Make the handle metadata part of the host process image, so a
 	// restarted host process can reattach (Section 4.3).
@@ -258,21 +294,6 @@ func (s *Snapshot) CaptureDelta(opts CaptureOptions) error {
 	return s.captureMode(opts, coi.CaptureDelta)
 }
 
-// Capture is the package-level form of (*Snapshot).Capture.
-//
-// Deprecated: call the Snapshot method instead.
-func Capture(s *Snapshot, opts CaptureOptions) error { return s.Capture(opts) }
-
-// CaptureBase is the package-level form of (*Snapshot).CaptureBase.
-//
-// Deprecated: call the Snapshot method instead.
-func CaptureBase(s *Snapshot, opts CaptureOptions) error { return s.CaptureBase(opts) }
-
-// CaptureDelta is the package-level form of (*Snapshot).CaptureDelta.
-//
-// Deprecated: call the Snapshot method instead.
-func CaptureDelta(s *Snapshot, opts CaptureOptions) error { return s.CaptureDelta(opts) }
-
 func (s *Snapshot) captureMode(opts CaptureOptions, mode uint8) error {
 	s.mu.Lock()
 	paused := s.paused
@@ -280,7 +301,9 @@ func (s *Snapshot) captureMode(opts CaptureOptions, mode uint8) error {
 	if !paused {
 		return errors.New("core: capture requires a paused snapshot (call Pause first)")
 	}
+	s.countOp("capture")
 	cp := s.Proc
+	start := cp.Timeline().Now() // stable until Wait advances it
 	go func() {
 		payload := coi.PutU32(uint32(cp.ID()))
 		tb := byte(0)
@@ -290,6 +313,7 @@ func (s *Snapshot) captureMode(opts CaptureOptions, mode uint8) error {
 		payload = append(payload, tb, mode)
 		payload = binary.BigEndian.AppendUint16(payload, uint16(opts.Streams))
 		payload = binary.BigEndian.AppendUint64(payload, uint64(opts.ChunkBytes))
+		payload = binary.BigEndian.AppendUint64(payload, uint64(start))
 		payload = coi.AppendU32(payload, uint32(len(s.Path)))
 		payload = append(payload, s.Path...)
 		resp, err := cp.DaemonRequest(coi.OpSnapifyCapture, payload, coi.OpSnapifyCaptureResp)
@@ -298,18 +322,13 @@ func (s *Snapshot) captureMode(opts CaptureOptions, mode uint8) error {
 			s.captureErr = fmt.Errorf("core: capture: %w", err)
 		} else {
 			s.Report.SnapshotBytes = int64(binary.BigEndian.Uint64(resp))
-			s.Report.Capture = simclock.Duration(binary.BigEndian.Uint64(resp[8:]))
-			n := int(binary.BigEndian.Uint16(resp[16:]))
-			s.Report.CaptureStreams = 1
-			s.Report.CaptureStreamDurations = nil
-			if n > 0 {
-				s.Report.CaptureStreams = n
-				durs := make([]simclock.Duration, n)
-				for i := range durs {
-					durs[i] = simclock.Duration(binary.BigEndian.Uint64(resp[18+8*i:]))
-				}
-				s.Report.CaptureStreamDurations = durs
-			}
+			fallback := simclock.Duration(binary.BigEndian.Uint64(resp[8:]))
+			scope := binary.BigEndian.Uint64(resp[16:])
+			dur, streams, durs := deriveCapture(cp.Platform().Obs.TracerOf(), scope, fallback)
+			s.Report.Capture = s.hostTrack().Emit(scope, "snapify_capture", start, dur,
+				map[string]int64{"bytes": s.Report.SnapshotBytes, "streams": int64(streams)}).Dur
+			s.Report.CaptureStreams = streams
+			s.Report.CaptureStreamDurations = durs
 			if opts.Terminate {
 				cp.MarkSwapped()
 			}
@@ -318,6 +337,33 @@ func (s *Snapshot) captureMode(opts CaptureOptions, mode uint8) error {
 		s.sem <- struct{}{}
 	}()
 	return nil
+}
+
+// deriveCapture computes the Report's capture figures from the
+// capture_stream spans the checkpointer's workers emitted under scope —
+// the single source of truth shared with the exported trace. When the
+// platform runs without a tracer there are no spans; the wire duration is
+// the fallback and the capture counts as one serial stream.
+func deriveCapture(tr *obs.Tracer, scope uint64, fallback simclock.Duration) (simclock.Duration, int, []simclock.Duration) {
+	var durs []simclock.Duration
+	for _, sp := range tr.ScopeSpans(scope) {
+		if sp.Name == "capture_stream" {
+			durs = append(durs, sp.Dur)
+		}
+	}
+	if len(durs) == 0 {
+		return fallback, 1, nil
+	}
+	var max simclock.Duration
+	for _, d := range durs {
+		if d > max {
+			max = d
+		}
+	}
+	if len(durs) == 1 {
+		return max, 1, nil
+	}
+	return max, len(durs), durs
 }
 
 // Wait blocks until a pending Capture completes (snapify_wait) and returns
@@ -343,6 +389,8 @@ func Resume(s *Snapshot) error { return s.Resume() }
 func (s *Snapshot) Resume() error {
 	cp := s.Proc
 	model := cp.Platform().Model()
+	s.countOp("resume")
+	start := cp.Timeline().Now()
 	if _, err := cp.DaemonRequest(coi.OpSnapifyResume, coi.PutU32(uint32(cp.ID())), coi.OpSnapifyResumeResp); err != nil {
 		return fmt.Errorf("core: resume: %w", err)
 	}
@@ -355,7 +403,8 @@ func (s *Snapshot) Resume() error {
 	} else {
 		cp.ActivateRestored()
 	}
-	s.Report.Resume = 2*model.SCIFMsg(8) + 2*model.PipeLatency
+	resume := 2*model.SCIFMsg(8) + 2*model.PipeLatency
+	s.Report.Resume = s.hostTrack().Emit(0, "snapify_resume", start, resume, nil).Dur
 	cp.Timeline().Advance(s.Report.Resume)
 	return nil
 }
@@ -367,13 +416,6 @@ func (s *Snapshot) Resume() error {
 // applied. The restored process stays quiesced until Resume is called.
 func (s *Snapshot) Restore(device simnet.NodeID, opts RestoreOptions) (*coi.Process, error) {
 	return s.RestoreChain(s.Path, nil, device, opts)
-}
-
-// Restore is the package-level form of (*Snapshot).Restore.
-//
-// Deprecated: call the Snapshot method instead.
-func Restore(s *Snapshot, device simnet.NodeID, opts RestoreOptions) (*coi.Process, error) {
-	return s.Restore(device, opts)
 }
 
 // RestoreChain restores from a base snapshot plus an ordered chain of
@@ -388,6 +430,8 @@ func (s *Snapshot) RestoreChain(baseDir string, deltaDirs []string, device simne
 	if st := cp.State(); st != coi.StateSwapped {
 		return nil, fmt.Errorf("core: restore requires a swapped-out handle, have %s", st)
 	}
+	s.countOp("restore")
+	start := cp.Timeline().Now()
 
 	payload := coi.AppendU32(nil, uint32(len(cp.BinaryName())))
 	payload = append(payload, cp.BinaryName()...)
@@ -403,19 +447,20 @@ func (s *Snapshot) RestoreChain(baseDir string, deltaDirs []string, device simne
 	}
 	payload = binary.BigEndian.AppendUint16(payload, uint16(opts.Streams))
 	payload = binary.BigEndian.AppendUint64(payload, uint64(opts.ChunkBytes))
+	payload = binary.BigEndian.AppendUint64(payload, uint64(start))
 
 	resp, err := coi.DaemonRestoreRequest(plat, device, payload)
 	if err != nil {
 		return nil, fmt.Errorf("core: restore: %w", err)
 	}
 	newID := int(binary.BigEndian.Uint32(resp))
-	s.Report.RestoreDevice = simclock.Duration(binary.BigEndian.Uint64(resp[4:]))
-	s.Report.RestoreLocal = simclock.Duration(binary.BigEndian.Uint64(resp[12:]))
+	restoreDevice := simclock.Duration(binary.BigEndian.Uint64(resp[4:]))
+	restoreLocal := simclock.Duration(binary.BigEndian.Uint64(resp[12:]))
 	ports := coi.ParsePortList(resp[28:])
 
 	// The daemon also copies the runtime libraries back on the fly.
 	if libs, _, err := plat.Host().FS.ReadFile(s.Path + "/runtime_libs"); err == nil {
-		s.Report.RestoreLocal += model.RDMA(libs.Len())
+		restoreLocal += model.RDMA(libs.Len())
 	}
 
 	remap, err := cp.Rebind(device, newID, ports)
@@ -428,14 +473,14 @@ func (s *Snapshot) RestoreChain(baseDir string, deltaDirs []string, device simne
 	for _, b := range cp.Buffers() {
 		reconnect += model.RegisterCost(b.Size())
 	}
-	s.Report.RestoreReconnect = reconnect
+
+	tk := s.hostTrack()
+	tk.AlignTo(start)
+	tk.Emit(0, "snapify_restore", start, restoreDevice+restoreLocal+reconnect, nil)
+	s.Report.RestoreDevice = tk.Emit(0, "restore_device", start, restoreDevice, nil).Dur
+	s.Report.RestoreLocal = tk.Emit(0, "restore_local", start+restoreDevice, restoreLocal, nil).Dur
+	s.Report.RestoreReconnect = tk.Emit(0, "restore_reconnect", start+restoreDevice+restoreLocal, reconnect,
+		map[string]int64{"remap_entries": int64(len(remap))}).Dur
 	cp.Timeline().Advance(s.Report.RestoreTotal())
 	return cp, nil
-}
-
-// RestoreChain is the package-level form of (*Snapshot).RestoreChain.
-//
-// Deprecated: call the Snapshot method instead.
-func RestoreChain(s *Snapshot, baseDir string, deltaDirs []string, device simnet.NodeID, opts RestoreOptions) (*coi.Process, error) {
-	return s.RestoreChain(baseDir, deltaDirs, device, opts)
 }

@@ -41,7 +41,7 @@ func BufSizeAblation() ([]BufSizeAblationRow, error) {
 	} {
 		server := phi.NewServer(phi.ServerConfig{Devices: 1, Device: phi.DeviceConfig{MemBytes: 8 * simclock.GiB}})
 		net := scif.NewNetwork(server.Fabric)
-		svc := snapifyio.NewService(net)
+		svc := snapifyio.NewService(net, nil)
 		if _, err := svc.StartDaemonBuf(simnet.HostNode, vfs.Host(server.Host.FS), bufSize); err != nil {
 			return nil, err
 		}

@@ -6,6 +6,7 @@ import (
 
 	"snapify/internal/coi"
 	"snapify/internal/core"
+	"snapify/internal/obs"
 	"snapify/internal/phi"
 	"snapify/internal/platform"
 	"snapify/internal/simclock"
@@ -35,6 +36,13 @@ type ParallelCaptureRow struct {
 	ThroughputMiBs float64 `json:"throughput_mib_s"`
 	// StreamSeconds is each worker's virtual time (absent when serial).
 	StreamSeconds []float64 `json:"stream_seconds,omitempty"`
+	// CaptureNs is the capture duration in exact virtual nanoseconds —
+	// the same integer the capture_stream spans of the exported trace
+	// carry, so trace and benchmark JSON can be diffed without rounding.
+	CaptureNs int64 `json:"capture_ns"`
+	// StreamNs is each worker's exact virtual nanoseconds (absent when
+	// serial).
+	StreamNs []int64 `json:"stream_ns,omitempty"`
 	// SnapshotBytes is the context file size; identical across rows by
 	// the golden-parity guarantee.
 	SnapshotBytes int64 `json:"snapshot_bytes"`
@@ -45,6 +53,16 @@ type ParallelCaptureResult struct {
 	Benchmark  string               `json:"benchmark"`
 	ImageBytes int64                `json:"image_bytes"`
 	Rows       []ParallelCaptureRow `json:"rows"`
+
+	tracer *obs.Tracer // the sweep platform's tracer, for TraceJSON
+}
+
+// TraceJSON exports the whole sweep's virtual-clock trace as Chrome
+// trace-event JSON (load it at ui.perfetto.dev): the host application,
+// the card's COI daemon, the offload process's agent, and one lane per
+// Snapify-IO shard worker, all on the shared virtual timeline.
+func (r *ParallelCaptureResult) TraceJSON() []byte {
+	return r.tracer.ChromeTrace()
 }
 
 // ParallelCapture captures one offload process with an imageBytes-sized
@@ -87,7 +105,10 @@ func ParallelCapture(imageBytes int64, streams []int) (*ParallelCaptureResult, e
 		return nil, err
 	}
 
-	res := &ParallelCaptureResult{Benchmark: "parallel-capture", ImageBytes: imageBytes}
+	res := &ParallelCaptureResult{
+		Benchmark: "parallel-capture", ImageBytes: imageBytes,
+		tracer: plat.Obs.TracerOf(),
+	}
 	for _, n := range streams {
 		s := core.NewSnapshot(fmt.Sprintf("/bench/parallel/%d", n), in.CP)
 		if err := s.Pause(); err != nil {
@@ -105,10 +126,12 @@ func ParallelCapture(imageBytes int64, streams []int) (*ParallelCaptureResult, e
 		row := ParallelCaptureRow{
 			Streams:        n,
 			CaptureSeconds: s.Report.Capture.Seconds(),
+			CaptureNs:      int64(s.Report.Capture),
 			SnapshotBytes:  s.Report.SnapshotBytes,
 		}
 		for _, d := range s.Report.CaptureStreamDurations {
 			row.StreamSeconds = append(row.StreamSeconds, d.Seconds())
+			row.StreamNs = append(row.StreamNs, int64(d))
 		}
 		if row.CaptureSeconds > 0 {
 			row.Speedup = res.serialSeconds(row.CaptureSeconds)

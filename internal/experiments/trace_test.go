@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"encoding/json"
+	"sort"
+	"testing"
+
+	"snapify/internal/obs"
+	"snapify/internal/simclock"
+)
+
+// TestParallelCaptureTraceMatchesReport is the observability acceptance
+// test: the sweep's exported Chrome trace must be valid, and the
+// capture-phase span durations in it must equal the Report-derived
+// benchmark rows exactly — same integers, no rounding. The trace and the
+// JSON figures are two renderings of the same spans.
+func TestParallelCaptureTraceMatchesReport(t *testing.T) {
+	res, err := ParallelCapture(128*simclock.MiB, []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := res.TraceJSON()
+	if err := obs.ValidateChromeTrace(raw); err != nil {
+		t.Fatalf("sweep trace does not validate: %v", err)
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	// Integer args survive the JSON round trip exactly: they are written
+	// as integer literals and 64-bit floats hold every virtual duration
+	// the sweep produces.
+	i64 := func(args map[string]any, key string) int64 {
+		v, _ := args[key].(float64)
+		return int64(v)
+	}
+
+	// The host lane's snapify_capture spans, in virtual-time order, are
+	// the sweep's captures in row order; each carries the scope its
+	// capture_stream worker spans were emitted under.
+	type capture struct {
+		ts    float64
+		ns    int64
+		scope int64
+	}
+	var captures []capture
+	streamNs := make(map[int64][]int64) // scope -> worker durations
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		switch ev.Name {
+		case "snapify_capture":
+			captures = append(captures, capture{ev.Ts, i64(ev.Args, "dur_ns"), i64(ev.Args, "scope")})
+		case "capture_stream":
+			scope := i64(ev.Args, "scope")
+			streamNs[scope] = append(streamNs[scope], i64(ev.Args, "dur_ns"))
+		}
+	}
+	sort.Slice(captures, func(i, j int) bool { return captures[i].ts < captures[j].ts })
+	if len(captures) != len(res.Rows) {
+		t.Fatalf("trace has %d snapify_capture spans, sweep has %d rows", len(captures), len(res.Rows))
+	}
+
+	for i, row := range res.Rows {
+		c := captures[i]
+		if c.ns != row.CaptureNs {
+			t.Errorf("row %d (streams=%d): trace capture span %d ns, benchmark row %d ns",
+				i, row.Streams, c.ns, row.CaptureNs)
+		}
+		workers := append([]int64(nil), streamNs[c.scope]...)
+		if len(workers) != row.Streams {
+			t.Fatalf("row %d (streams=%d): trace scope %d has %d capture_stream spans",
+				i, row.Streams, c.scope, len(workers))
+		}
+		want := append([]int64(nil), row.StreamNs...)
+		if row.Streams == 1 {
+			want = []int64{row.CaptureNs} // serial rows omit stream_ns
+		}
+		sort.Slice(workers, func(a, b int) bool { return workers[a] < workers[b] })
+		sort.Slice(want, func(a, b int) bool { return want[a] < want[b] })
+		for j := range want {
+			if workers[j] != want[j] {
+				t.Errorf("row %d (streams=%d): worker %d: trace %d ns, benchmark %d ns",
+					i, row.Streams, j, workers[j], want[j])
+			}
+		}
+		var max int64
+		for _, w := range workers {
+			if w > max {
+				max = w
+			}
+		}
+		if max != row.CaptureNs {
+			t.Errorf("row %d: slowest worker %d ns != capture %d ns", i, max, row.CaptureNs)
+		}
+	}
+}

@@ -90,7 +90,7 @@ func analyzerByName(t *testing.T, name string) *Analyzer {
 }
 
 func TestGolden(t *testing.T) {
-	for _, name := range []string{"errcheck", "wallclock", "mutexblock", "goroutineleak", "paniclib"} {
+	for _, name := range []string{"errcheck", "wallclock", "mutexblock", "goroutineleak", "paniclib", "rawprint"} {
 		t.Run(name, func(t *testing.T) {
 			_, pkg := loadFixture(t, name)
 			findings := Run([]*Package{pkg}, []*Analyzer{analyzerByName(t, name)})
@@ -129,6 +129,15 @@ func TestWallclockExemptsSimclock(t *testing.T) {
 	_, pkg := loadFixture(t, "internal/simclock")
 	if findings := Run([]*Package{pkg}, []*Analyzer{analyzerByName(t, "wallclock")}); len(findings) != 0 {
 		t.Fatalf("expected no findings in the simclock fixture, got %v", findings)
+	}
+}
+
+// TestRawPrintExemptsObs proves the rendering layer (an import path
+// ending in internal/obs) is the one internal package allowed to print.
+func TestRawPrintExemptsObs(t *testing.T) {
+	_, pkg := loadFixture(t, "internal/obs")
+	if findings := Run([]*Package{pkg}, []*Analyzer{analyzerByName(t, "rawprint")}); len(findings) != 0 {
+		t.Fatalf("expected no findings in the obs fixture, got %v", findings)
 	}
 }
 

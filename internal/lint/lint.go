@@ -51,6 +51,7 @@ func All() []*Analyzer {
 		MutexBlock,
 		GoroutineLeak,
 		PanicLib,
+		RawPrint,
 	}
 }
 

@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// rawprintBanned are the fmt functions that write straight to standard
+// output.
+var rawprintBanned = map[string]bool{
+	"Print":   true,
+	"Printf":  true,
+	"Println": true,
+}
+
+// RawPrint reports fmt.Print* calls inside internal/ packages, excepting
+// the rendering layer (import paths ending in internal/obs). Library code
+// that prints to stdout bypasses the observability surface: the figure it
+// announces exists nowhere a trace or metrics consumer can see, and a
+// benchmark's stdout stops being the CLI's to own. Libraries return
+// values or emit spans/metrics through internal/obs; only the cmd/
+// binaries (and the rendering layer itself) talk to the terminal.
+var RawPrint = &Analyzer{
+	Name: "rawprint",
+	Doc:  "raw fmt.Print* in internal/ packages bypasses the observability layer; return values or emit via internal/obs (exempt), and print only from cmd/",
+	Run:  runRawPrint,
+}
+
+func runRawPrint(p *Pass) {
+	if !strings.Contains(p.Pkg.Path, "internal/") || strings.HasSuffix(p.Pkg.Path, "internal/obs") {
+		return
+	}
+	info := p.Pkg.Info
+	inspectFiles(p, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		f, ok := info.Uses[sel.Sel].(*types.Func)
+		if !ok || f.Pkg() == nil || f.Pkg().Path() != "fmt" {
+			return true
+		}
+		if rawprintBanned[f.Name()] {
+			p.Reportf(sel.Pos(), "raw fmt.%s in an internal package bypasses the observability layer; return the value or record it via internal/obs", f.Name())
+		}
+		return true
+	})
+}

@@ -1,0 +1,10 @@
+// Package obs is a golden fixture proving the rawprint analyzer exempts
+// the rendering layer — packages whose import path ends in internal/obs,
+// the one library layer allowed to format output for the terminal. No
+// findings are expected anywhere in this file.
+package obs
+
+import "fmt"
+
+// Render prints a rendered metrics table; legal only here.
+func Render(table string) { fmt.Println(table) }

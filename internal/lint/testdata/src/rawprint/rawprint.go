@@ -1,0 +1,27 @@
+// Package rawprint is a golden fixture for the rawprint analyzer.
+package rawprint
+
+import (
+	"fmt"
+	"os"
+)
+
+func bad() {
+	fmt.Print("x")        // want "raw fmt.Print in an internal package bypasses the observability layer"
+	fmt.Printf("%d\n", 1) // want "raw fmt.Printf in an internal package bypasses the observability layer"
+	fmt.Println("done")   // want "raw fmt.Println in an internal package bypasses the observability layer"
+}
+
+func good() (string, error) {
+	// Building strings and writing to explicit destinations is fine — the
+	// analyzer only bans the stdout shorthands.
+	s := fmt.Sprintf("%d bytes", 42)
+	if _, err := fmt.Fprintln(os.Stderr, s); err != nil {
+		return "", fmt.Errorf("report: %w", err)
+	}
+	return s, nil
+}
+
+func suppressed() {
+	fmt.Println("progress") //nolint:rawprint // golden fixture: a justified directive suppresses the finding
+}

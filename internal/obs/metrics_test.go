@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestExposeFormat pins the Prometheus text exposition: HELP/TYPE
+// headers, families sorted by name, series sorted by label string,
+// histograms as cumulative buckets with +Inf, sum, and count.
+func TestExposeFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zz_ops_total", "Operations.", L("op", "pause")).Add(3)
+	r.Counter("zz_ops_total", "Operations.", L("op", "capture")).Inc()
+	r.Gauge("aa_active", "Active things.").Set(2)
+	h := r.Histogram("mm_chunk_bytes", "Chunk sizes.", []int64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+
+	want := `# HELP aa_active Active things.
+# TYPE aa_active gauge
+aa_active 2
+
+# HELP mm_chunk_bytes Chunk sizes.
+# TYPE mm_chunk_bytes histogram
+mm_chunk_bytes_bucket{le="10"} 1
+mm_chunk_bytes_bucket{le="100"} 2
+mm_chunk_bytes_bucket{le="+Inf"} 3
+mm_chunk_bytes_sum 555
+mm_chunk_bytes_count 3
+
+# HELP zz_ops_total Operations.
+# TYPE zz_ops_total counter
+zz_ops_total{op="capture"} 1
+zz_ops_total{op="pause"} 3
+
+`
+	if got := r.Expose(); got != want {
+		t.Errorf("exposition drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestExposeRoundTrip re-parses the exposition and checks every series
+// line carries the value the registry holds — the property the
+// Snapify-IO metrics-dump control message relies on.
+func TestExposeRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bytes_total", "Bytes.", L("node", "mic0"), L("mode", "write")).Add(12345)
+	r.Gauge("streams", "Streams.", L("node", "mic0")).Set(4)
+
+	values := make(map[string]string)
+	for _, line := range strings.Split(r.Expose(), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, value, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		values[name] = value
+	}
+	if got := values[`bytes_total{mode="write",node="mic0"}`]; got != "12345" {
+		t.Errorf("counter round-trip got %q, want 12345", got)
+	}
+	if got := values[`streams{node="mic0"}`]; got != "4" {
+		t.Errorf("gauge round-trip got %q, want 4", got)
+	}
+}
+
+// TestRegistryIdempotent: the same (name, labels) always returns the same
+// instance, regardless of label order.
+func TestRegistryIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c_total", "C.", L("x", "1"), L("y", "2"))
+	b := r.Counter("c_total", "C.", L("y", "2"), L("x", "1"))
+	if a != b {
+		t.Error("label order changed the series identity")
+	}
+	h1 := r.Histogram("h_bytes", "H.", []int64{1, 2})
+	h2 := r.Histogram("h_bytes", "H.", []int64{9, 9, 9}) // bounds fixed at creation
+	if h1 != h2 {
+		t.Error("histogram lookup is not idempotent")
+	}
+}
+
+// TestCollectorsRunAtExpose: pull-based collectors publish point-in-time
+// gauges when (and only when) Expose runs.
+func TestCollectorsRunAtExpose(t *testing.T) {
+	r := NewRegistry()
+	calls := 0
+	r.RegisterCollector(func(r *Registry) {
+		calls++
+		r.Gauge("pulled", "Pulled.").Set(int64(calls))
+	})
+	if calls != 0 {
+		t.Fatal("collector ran before Expose")
+	}
+	if out := r.Expose(); !strings.Contains(out, "pulled 1\n") {
+		t.Errorf("first exposition missing collected gauge:\n%s", out)
+	}
+	if out := r.Expose(); !strings.Contains(out, "pulled 2\n") {
+		t.Errorf("collector did not run again on second Expose:\n%s", out)
+	}
+}
+
+// TestNilRegistryIsNoOp pins the nil-safety contract: every method on a
+// nil registry (and the nil metrics it hands out) is a no-op, so
+// instrumented code never guards.
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c_total", "C.")
+	g := r.Gauge("g", "G.")
+	h := r.Histogram("h", "H.", []int64{1})
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(42)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil metrics accumulated values")
+	}
+	r.RegisterCollector(func(*Registry) { t.Error("collector ran on nil registry") })
+	if got := r.Expose(); got != "" {
+		t.Errorf("nil registry exposed %q", got)
+	}
+}
+
+// TestCounterRejectsNegative: counters are monotone; negative deltas are
+// dropped rather than corrupting the series.
+func TestCounterRejectsNegative(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("mono_total", "M.")
+	c.Add(10)
+	c.Add(-5)
+	if c.Value() != 10 {
+		t.Errorf("counter moved backwards: %d", c.Value())
+	}
+}

@@ -1,0 +1,43 @@
+// Package obs is the observability spine of the reproduction: a span
+// tracer keyed on the virtual simclock (exported as Chrome trace-event
+// JSON, loadable in Perfetto) and a metrics registry of counters, gauges,
+// and histograms with a Prometheus-style text exposition.
+//
+// Everything here measures *virtual* time — the same simclock.Duration
+// the cost model advances — never the wall clock. A span is where a
+// virtual duration is born; the core.Report phase fields are derived
+// from spans, not the other way around (DESIGN.md §9).
+//
+// Every method is safe on a nil receiver: a Platform built without
+// observability (obs == nil) costs nothing and instruments nothing, so
+// call sites never need nil guards.
+package obs
+
+// Obs bundles the tracer and the metrics registry for one Platform.
+// It is per-Platform, not process-global: the test suite runs many
+// simulated platforms concurrently and their timelines are unrelated.
+type Obs struct {
+	Tracer  *Tracer
+	Metrics *Registry
+}
+
+// New returns an Obs with an empty tracer and registry.
+func New() *Obs {
+	return &Obs{Tracer: NewTracer(), Metrics: NewRegistry()}
+}
+
+// TracerOf returns o.Tracer, tolerating a nil o.
+func (o *Obs) TracerOf() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer
+}
+
+// MetricsOf returns o.Metrics, tolerating a nil o.
+func (o *Obs) MetricsOf() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Metrics
+}

@@ -10,6 +10,7 @@ import (
 	"snapify/internal/blcr"
 	"snapify/internal/blob"
 	"snapify/internal/nfs"
+	"snapify/internal/obs"
 	"snapify/internal/phi"
 	"snapify/internal/proc"
 	"snapify/internal/scif"
@@ -26,6 +27,11 @@ type Platform struct {
 	IO     *snapifyio.Service
 	Procs  *proc.Table
 	CR     *blcr.Checkpointer
+
+	// Obs is the platform-wide observability layer (virtual-clock span
+	// tracer + metrics registry). Per-platform, not process-global: tests
+	// run many platforms concurrently and their timelines are unrelated.
+	Obs *obs.Obs
 
 	// SnapifyEnabled controls whether the COI runtime carries the Snapify
 	// pause-protocol instrumentation (the locks and blocking sends of
@@ -48,8 +54,10 @@ type Config struct {
 // returned, so a half-built platform never leaks running goroutines.
 func New(cfg Config) (*Platform, error) {
 	server := phi.NewServer(cfg.Server)
+	o := obs.New()
+	server.Fabric.PublishMetrics(o.Metrics)
 	net := scif.NewNetwork(server.Fabric)
-	io := snapifyio.NewService(net)
+	io := snapifyio.NewService(net, o)
 	if _, err := io.StartDaemon(simnet.HostNode, vfs.Host(server.Host.FS)); err != nil {
 		return nil, fmt.Errorf("platform: starting host Snapify-IO daemon: %w", err)
 	}
@@ -65,6 +73,7 @@ func New(cfg Config) (*Platform, error) {
 		IO:             io,
 		Procs:          proc.NewTable(),
 		CR:             blcr.New(server.Model()),
+		Obs:            o,
 		SnapifyEnabled: !cfg.NoSnapify,
 		mounts:         make(map[simnet.NodeID]*nfs.Mount),
 	}

@@ -1,0 +1,35 @@
+package simnet
+
+import "snapify/internal/obs"
+
+// PublishMetrics registers a collector on r that snapshots the fabric's
+// per-path traffic counters and per-link utilization state at every
+// metrics dump. The fabric keeps its own atomic counters as the source
+// of truth; publishing is pull-based so the hot transfer paths carry no
+// extra instrumentation.
+func (f *Fabric) PublishMetrics(r *obs.Registry) {
+	r.RegisterCollector(func(r *obs.Registry) {
+		for from := NodeID(0); int(from) < f.Nodes(); from++ {
+			for to := NodeID(0); int(to) < f.Nodes(); to++ {
+				if b := f.traffic[from][to].Load(); b != 0 {
+					r.Gauge("simnet_traffic_bytes",
+						"Bytes moved between two SCIF nodes (all paths).",
+						obs.L("from", from.String()), obs.L("to", to.String())).Set(b)
+				}
+			}
+		}
+		for i := 1; i < f.Nodes(); i++ {
+			node := NodeID(i)
+			st := f.LinkStats(node)
+			l := obs.L("link", node.String())
+			r.Gauge("simnet_link_flows",
+				"Bulk flows currently registered on a card's PCIe link.", l).Set(st.Flows)
+			r.Gauge("simnet_link_peak_flows",
+				"High-water mark of concurrent bulk flows on a card's PCIe link.", l).Set(st.PeakFlows)
+			r.Gauge("simnet_link_transfers_total",
+				"RDMA transfers carried by a card's PCIe link.", l).Set(st.Transfers)
+			r.Gauge("simnet_link_busy_ns",
+				"Cumulative virtual nanoseconds of RDMA occupancy on a card's PCIe link.", l).Set(int64(st.Busy))
+		}
+	})
+}

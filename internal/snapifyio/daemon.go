@@ -5,11 +5,19 @@ import (
 	"io"
 	"sync"
 
+	"snapify/internal/obs"
 	"snapify/internal/scif"
 	"snapify/internal/simclock"
 	"snapify/internal/simnet"
 	"snapify/internal/vfs"
 )
+
+// chunkSizeBuckets are the histogram bounds for per-chunk transfer sizes
+// (the staging buffer caps a chunk, so 4 MiB is the common case and the
+// 16 MiB bucket only fills under ablation-sized buffers).
+var chunkSizeBuckets = []int64{
+	64 * simclock.KiB, 256 * simclock.KiB, simclock.MiB, 4 * simclock.MiB, 16 * simclock.MiB,
+}
 
 // Daemon is the per-node Snapify-IO daemon: a remote server thread accepts
 // SCIF connections from peer daemons and spawns a handler per connection to
@@ -153,6 +161,14 @@ func (d *Daemon) remoteHandler(ep *scif.Endpoint) {
 
 	raw, _, err := ep.Recv()
 	if err != nil {
+		return
+	}
+	if len(raw) > 0 && raw[0] == msgMetricsDump {
+		// SIGUSR1 analogue: dump the metrics registry and hang up.
+		d.reply(ep, func(w *wire) {
+			w.u8(msgMetricsResp)
+			w.str(d.svc.obs.MetricsOf().Expose())
+		})
 		return
 	}
 	u, err := expect(raw, msgOpen)
@@ -515,6 +531,12 @@ func (d *Daemon) open(target simnet.NodeID, path string, mode Mode, opts OpenOpt
 		release = fab.RegisterFlow(target, d.node)
 	}
 
+	mx := d.svc.obs.MetricsOf()
+	nodeL := obs.L("node", d.node.String())
+	modeL := obs.L("mode", mode.String())
+	mx.Counter("snapifyio_streams_opened_total",
+		"Streams opened through snapifyio_open.", nodeL, modeL).Inc()
+
 	f := &File{
 		node:     d.node,
 		target:   target,
@@ -527,6 +549,14 @@ func (d *Daemon) open(target simnet.NodeID, path string, mode Mode, opts OpenOpt
 		streamID: streamID,
 		release:  release,
 		fileOff:  -1,
+		bytesCtr: mx.Counter("snapifyio_stream_bytes_total",
+			"Bytes streamed through Snapify-IO handles.", nodeL, modeL),
+		chunkHist: mx.Histogram("snapifyio_chunk_bytes",
+			"Per-chunk sizes moved through the staging slots.", chunkSizeBuckets, nodeL, modeL),
+		abortCtr: mx.Counter("snapifyio_aborts_total",
+			"Streams discarded via Abort.", nodeL),
+		errCtr: mx.Counter("snapifyio_remote_errors_total",
+			"Errors reported by the remote daemon on an open stream.", nodeL),
 		// The open handshake: UNIX socket to the local daemon, SCIF
 		// connect, window registration, request/response.
 		pending: model.UnixSocketLatency + 2*model.SCIFMsgLatency + regCost,

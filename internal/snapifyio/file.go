@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"snapify/internal/blob"
+	"snapify/internal/obs"
 	"snapify/internal/scif"
 	"snapify/internal/simclock"
 	"snapify/internal/simnet"
@@ -35,6 +36,13 @@ type File struct {
 
 	streamID int64
 	release  func() // drops the stream's fabric flow
+
+	// Per-stream metrics, resolved at open (all nil-safe no-ops when the
+	// service runs without observability).
+	bytesCtr  *obs.Counter
+	chunkHist *obs.Histogram
+	abortCtr  *obs.Counter
+	errCtr    *obs.Counter
 
 	// pending is fixed overhead (open handshake) charged on the next chunk.
 	pending simclock.Duration
@@ -97,6 +105,7 @@ func (f *File) awaitAck(stages *[3]simclock.Duration) error {
 	u.u8() // slot index; acks arrive in send order
 	f.inflight--
 	if msg := u.str(); msg != "" {
+		f.errCtr.Inc()
 		return &RemoteError{Node: f.target, Path: "", Msg: msg}
 	}
 	rdma := u.dur() + f.model.SCIFMsgLatency // notify + DMA
@@ -127,6 +136,8 @@ func (f *File) WriteBlob(b blob.Blob) (stream.Cost, error) {
 		f.slots[sl].WriteBlob(0, chunk)
 		stages[0] += f.localCopy(chunk.Len()) + f.pending
 		f.pending = 0
+		f.bytesCtr.Add(chunk.Len())
+		f.chunkHist.Observe(chunk.Len())
 
 		off := int64(-1)
 		if f.fileOff >= 0 {
@@ -231,6 +242,7 @@ func (f *File) Next(max int64) (blob.Blob, stream.Cost, error) {
 		sl := int(u.u8())
 		f.pulls--
 		if msg := u.str(); msg != "" {
+			f.errCtr.Inc()
 			return blob.Blob{}, stream.Cost{}, &RemoteError{Node: f.target, Path: "", Msg: msg}
 		}
 		n := u.i64()
@@ -258,6 +270,8 @@ func (f *File) Next(max int64) (blob.Blob, stream.Cost, error) {
 		}
 		f.current = f.slots[sl].SnapshotRange(0, n)
 		f.curOff = 0
+		f.bytesCtr.Add(n)
+		f.chunkHist.Observe(n)
 		// Stage 3: local handler copies buffer -> socket -> user. With one
 		// slot the read path is request-response over a single staging
 		// buffer, so the stages serialize — this is why device-to-host
@@ -336,6 +350,7 @@ func (f *File) Abort() {
 		return
 	}
 	f.closed = true
+	f.abortCtr.Inc()
 	if f.release != nil {
 		defer f.release()
 	}

@@ -18,6 +18,8 @@ const (
 	msgClose
 	msgCloseResp
 	msgAbort
+	msgMetricsDump // control: dump the service metrics registry (SIGUSR1 analogue)
+	msgMetricsResp
 )
 
 // wire is a minimal append/consume codec for the daemon protocol.

@@ -36,6 +36,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"snapify/internal/obs"
 	"snapify/internal/scif"
 	"snapify/internal/simclock"
 	"snapify/internal/simnet"
@@ -106,6 +107,7 @@ type OpenOptions struct {
 // Service manages the per-node daemons of one Xeon Phi server.
 type Service struct {
 	net *scif.Network
+	obs *obs.Obs
 
 	// nextStreamID mints the service-wide stream IDs carried by the wire
 	// protocol.
@@ -115,9 +117,52 @@ type Service struct {
 	daemons map[simnet.NodeID]*Daemon
 }
 
-// NewService returns a service with no daemons running.
-func NewService(net *scif.Network) *Service {
-	return &Service{net: net, daemons: make(map[simnet.NodeID]*Daemon)}
+// NewService returns a service with no daemons running. o (which may be
+// nil) receives per-stream metrics: open/abort counters, bytes moved,
+// chunk-size histograms, and a per-node active-stream gauge collected at
+// every metrics dump.
+func NewService(net *scif.Network, o *obs.Obs) *Service {
+	s := &Service{net: net, obs: o, daemons: make(map[simnet.NodeID]*Daemon)}
+	o.MetricsOf().RegisterCollector(func(r *obs.Registry) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		for node, d := range s.daemons {
+			r.Gauge("snapifyio_active_streams",
+				"Streams a Snapify-IO daemon is currently serving.",
+				obs.L("node", node.String())).Set(int64(d.ActiveStreams()))
+		}
+	})
+	return s
+}
+
+// Metrics returns the service's metrics registry (nil if the service was
+// built without observability).
+func (s *Service) Metrics() *obs.Registry { return s.obs.MetricsOf() }
+
+// DumpMetrics sends the SIGUSR1-analogue control message to the daemon on
+// targetNode from localNode and returns the daemon's Prometheus-style
+// metrics exposition. The real snapifyiod dumps its counters on a signal;
+// here the poke travels the same SCIF control path as any stream open.
+func (s *Service) DumpMetrics(localNode, targetNode simnet.NodeID) (string, error) {
+	ep, err := s.net.Connect(localNode, scif.Addr{Node: targetNode, Port: Port})
+	if err != nil {
+		return "", err
+	}
+	defer ep.Close() //nolint:errcheck // one-shot control round-trip; Recv already surfaced any peer error
+	w := &wire{}
+	w.u8(msgMetricsDump)
+	if _, err := ep.Send(w.buf); err != nil {
+		return "", err
+	}
+	raw, _, err := ep.Recv()
+	if err != nil {
+		return "", err
+	}
+	u, err := expect(raw, msgMetricsResp)
+	if err != nil {
+		return "", err
+	}
+	return u.str(), nil
 }
 
 // StartDaemon launches the Snapify-IO daemon on node, serving its local

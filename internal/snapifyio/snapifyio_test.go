@@ -27,7 +27,7 @@ func newRig(t *testing.T) *rig {
 	t.Helper()
 	server := phi.NewServer(phi.ServerConfig{Devices: 2})
 	net := scif.NewNetwork(server.Fabric)
-	svc := NewService(net)
+	svc := NewService(net, nil)
 	if _, err := svc.StartDaemon(simnet.HostNode, vfs.Host(server.Host.FS)); err != nil {
 		t.Fatal(err)
 	}
@@ -339,7 +339,7 @@ func TestConcurrentStreams(t *testing.T) {
 func TestMismatchedStagingBufferRejected(t *testing.T) {
 	server := phi.NewServer(phi.ServerConfig{Devices: 1})
 	net := scif.NewNetwork(server.Fabric)
-	svc := NewService(net)
+	svc := NewService(net, nil)
 	if _, err := svc.StartDaemonBuf(simnet.HostNode, vfs.Host(server.Host.FS), 1*simclock.MiB); err != nil {
 		t.Fatal(err)
 	}

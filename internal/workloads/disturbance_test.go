@@ -41,7 +41,7 @@ func TestEverySpecSurvivesEveryDisturbance(t *testing.T) {
 				case "checkpoint":
 					s := core.NewSnapshot(dir, in.CP)
 					mustOK(t, core.Pause(s))
-					mustOK(t, core.Capture(s, core.CaptureOptions{}))
+					mustOK(t, s.Capture(core.CaptureOptions{}))
 					mustOK(t, core.Wait(s))
 					mustOK(t, core.Resume(s))
 				case "swap":

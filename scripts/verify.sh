@@ -29,7 +29,12 @@ go run ./cmd/snapifylint ./internal/... ./cmd/...
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> snapbench -parallel -smoke (parallel capture smoke)"
-go run ./cmd/snapbench -parallel -smoke
+echo "==> snapbench -parallel -smoke -trace (parallel capture + trace smoke)"
+# The -trace flag makes snapbench export the sweep's Chrome trace and
+# schema-check it (obs.ValidateChromeTrace) before writing; a malformed
+# trace fails the gate.
+trace_out=$(mktemp /tmp/snapify_trace_smoke.XXXXXX.json)
+go run ./cmd/snapbench -parallel -smoke -trace "$trace_out"
+rm -f "$trace_out"
 
 echo "verify: all gates passed"
