@@ -17,6 +17,9 @@
 //	snapbench -parallel -trace out.json
 //	                          # also export the sweep's virtual-clock trace
 //	                          # (Chrome trace-event JSON; open in Perfetto)
+//	snapbench -faults plan.json
+//	                          # capture under an injected fault plan; report
+//	                          # the degraded-path (retry/replay) overhead
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"os"
 
 	"snapify/internal/experiments"
+	"snapify/internal/faultinject"
 	"snapify/internal/obs"
 	"snapify/internal/simclock"
 )
@@ -36,12 +40,13 @@ func main() {
 	parallel := flag.Bool("parallel", false, "run the multi-stream parallel capture sweep")
 	jsonPath := flag.String("json", "", "with -parallel: also write the sweep as JSON to this file")
 	tracePath := flag.String("trace", "", "with -parallel: write the sweep's Chrome trace-event JSON to this file (open in Perfetto)")
-	smoke := flag.Bool("smoke", false, "with -parallel: use a small image (fast CI smoke, shape still checked)")
+	smoke := flag.Bool("smoke", false, "with -parallel or -faults: use a small image (fast CI smoke, shape still checked)")
+	faults := flag.String("faults", "", "path to a fault-plan JSON; benchmark a capture riding out the plan via retry (see internal/faultinject)")
 	all := flag.Bool("all", false, "regenerate everything")
 	check := flag.Bool("check", false, "verify the paper's qualitative claims against the results")
 	flag.Parse()
 
-	if !*all && *table == 0 && *fig == 0 && !*ablations && !*parallel {
+	if !*all && *table == 0 && *fig == 0 && !*ablations && !*parallel && *faults == "" {
 		*all = true
 	}
 
@@ -89,6 +94,42 @@ func main() {
 	if *all || *parallel {
 		runParallel(*smoke, *jsonPath, *tracePath)
 	}
+	if *faults != "" {
+		runFaults(*faults, *smoke)
+	}
+}
+
+// runFaults benchmarks one capture under the fault plan at planPath: a
+// clean baseline, then the same capture with the plan armed on the
+// fabric, reporting the degraded-path (retry + watermark replay) overhead.
+// The shape check always runs — the benchmark exists to pin that the
+// faulted snapshot is byte-for-byte the clean one, only later.
+func runFaults(planPath string, smoke bool) {
+	data, err := os.ReadFile(planPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "snapbench: reading fault plan: %v\n", err)
+		os.Exit(1)
+	}
+	plan, err := faultinject.ParsePlan(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "snapbench: %s: %v\n", planPath, err)
+		os.Exit(1)
+	}
+	size := int64(experiments.FaultedCaptureImageBytes)
+	if smoke {
+		size = 256 * simclock.MiB
+	}
+	res, err := experiments.FaultedCapture(size, plan)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "snapbench: faulted capture: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(res.Render())
+	if err := res.CheckShape(); err != nil {
+		fmt.Fprintf(os.Stderr, "snapbench: faulted capture shape check FAILED: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("[faulted capture shape check: OK]")
 }
 
 // runParallel executes the multi-stream capture sweep. Its shape check

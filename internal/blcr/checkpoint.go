@@ -37,6 +37,7 @@ type Stats struct {
 type Checkpointer struct {
 	model *simclock.Model
 	sp    *spanOpts
+	retry RetryPolicy
 }
 
 // New returns a checkpointer using the given cost model.

@@ -274,49 +274,57 @@ func (c *Checkpointer) runShards(p *proc.Process, pl *plan, workers int, chunk i
 		sinks[i] = s
 	}
 	durs := make([]simclock.Duration, len(shards))
+	marks := make([][]retryMark, len(shards))
 	err := fanout.Run(workers, len(shards), func(i int) error {
 		acc := simclock.NewPipelineAccum()
-		fail := func(err error) error {
-			sinks[i].Abort()
-			return err
-		}
-		for _, sg := range shards[i].segs {
-			if sg.extraWalk > 0 {
-				acc.Add(sg.extraWalk)
-			}
-			if sg.region == nil {
-				cost, err := sinks[i].WriteBlob(sg.meta)
-				if err != nil {
-					return fail(err)
-				}
-				stream.Observe(acc, cost, c.walkStage(onHost, sg.walkBytes))
-				continue
-			}
-			content := sg.region.SnapshotRange(sg.regOff, sg.n)
-			err := content.ForEachChunk(chunk, func(piece blob.Blob) error {
-				cost, err := sinks[i].WriteBlob(piece)
-				if err != nil {
-					return err
-				}
-				stream.Observe(acc, cost, c.walkStage(onHost, piece.Len()))
+		sink := sinks[i]
+		written := int64(0) // durable watermark, bytes into the shard
+		attempt := 1
+		for {
+			werr := c.streamShard(sink, shards[i], written, onHost, chunk, acc)
+			if werr == nil {
+				durs[i] = acc.Total()
 				return nil
-			})
-			if err != nil {
-				return fail(err)
 			}
-		}
-		if fl, ok := sinks[i].(stream.Flusher); ok {
-			cost, err := fl.Flush()
-			if err != nil {
-				return fail(err)
+			// Advance the watermark by whatever this transport got
+			// acknowledged before it failed; the resumed stream starts
+			// there instead of at the shard's front.
+			if wm, ok := sink.(stream.Watermarked); ok {
+				written += wm.Acked()
 			}
-			stream.Observe(acc, cost)
+			if !c.retry.Enabled() || attempt >= c.retry.MaxAttempts {
+				sink.Abort()
+				return werr
+			}
+			// Part company with the failed transport. A Detacher keeps
+			// the remote assembly (and its durable bytes) alive for the
+			// resumed stream; anything else is aborted and the shard
+			// starts over.
+			if dt, ok := sink.(stream.Detacher); ok {
+				dt.Detach()
+			} else {
+				sink.Abort()
+				written = 0
+			}
+			attempt++
+			backoff := c.retry.BackoffFor(attempt)
+			marks[i] = append(marks[i], retryMark{at: acc.Total(), backoff: backoff, attempt: attempt})
+			acc.Add(backoff)
+			off, n := shards[i].off+written, shards[i].n-written
+			if n <= 0 {
+				// Every byte was acknowledged but the close handshake was
+				// lost: rejoin the assembly over the full stripe, write
+				// nothing, and close it again (idempotent — the remote
+				// coverage is already credited).
+				off, n, written = shards[i].off, shards[i].n, shards[i].n
+			}
+			ns, err := open(off, n, pl.total)
+			if err != nil {
+				return err
+			}
+			sink = ns
+			sinks[i] = ns
 		}
-		if err := sinks[i].Close(); err != nil {
-			return err
-		}
-		durs[i] = acc.Total()
-		return nil
 	})
 	if err != nil {
 		return nil, err
@@ -326,9 +334,92 @@ func (c *Checkpointer) runShards(p *proc.Process, pl *plan, workers int, chunk i
 		bytes[i] = sh.n
 	}
 	c.emitStreamSpans(p, "capture_stream", c.spanStart(), durs, bytes)
+	c.emitRetrySpans(p, c.spanStart(), marks)
 	st := pl.st
 	st.Duration = maxDur(durs)
 	return &st, nil
+}
+
+// streamShard replays a shard's layout into sink, skipping the first
+// written bytes (already durable at the remote end from a previous
+// attempt), then flushes and closes the sink. The skipped prefix charges
+// nothing: those pages were walked and shipped by the attempt that got
+// them acknowledged.
+func (c *Checkpointer) streamShard(sink stream.Sink, sh shard, written int64, onHost bool, chunk int64, acc *simclock.PipelineAccum) error {
+	pos := int64(0)
+	for _, sg := range sh.segs {
+		l := sg.fileLen()
+		if pos+l <= written {
+			pos += l
+			continue
+		}
+		skip := written - pos
+		if skip < 0 {
+			skip = 0
+		}
+		pos += l
+		if sg.extraWalk > 0 && skip == 0 {
+			acc.Add(sg.extraWalk)
+		}
+		if sg.region == nil {
+			b := sg.meta
+			wb := sg.walkBytes
+			if skip > 0 {
+				b = b.Slice(skip, l-skip)
+				wb = b.Len()
+			}
+			cost, err := sink.WriteBlob(b)
+			if err != nil {
+				return err
+			}
+			stream.Observe(acc, cost, c.walkStage(onHost, wb))
+			continue
+		}
+		content := sg.region.SnapshotRange(sg.regOff+skip, sg.n-skip)
+		err := content.ForEachChunk(chunk, func(piece blob.Blob) error {
+			cost, err := sink.WriteBlob(piece)
+			if err != nil {
+				return err
+			}
+			stream.Observe(acc, cost, c.walkStage(onHost, piece.Len()))
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	if fl, ok := sink.(stream.Flusher); ok {
+		cost, err := fl.Flush()
+		if err != nil {
+			return err
+		}
+		stream.Observe(acc, cost)
+	}
+	return sink.Close()
+}
+
+// retryMark records one stream retry for the trace: at which virtual
+// offset of the worker's pipeline it happened and how long it backed off.
+type retryMark struct {
+	at      simclock.Duration
+	backoff simclock.Duration
+	attempt int
+}
+
+// emitRetrySpans records a "stream_retry" span on each stream's track for
+// every retry it took, so a Perfetto trace shows the fault and the
+// recovery gap. No-op unless WithSpans installed a tracer and scope.
+func (c *Checkpointer) emitRetrySpans(p *proc.Process, base simclock.Duration, marks [][]retryMark) {
+	if c.sp == nil || c.sp.scope == 0 {
+		return
+	}
+	for i, ms := range marks {
+		for _, m := range ms {
+			tk := c.sp.tracer.Track(p.Node().String(), fmt.Sprintf("%s/stream %d", p.Name(), i))
+			tk.Emit(c.sp.scope, "stream_retry", base+m.at, m.backoff,
+				map[string]int64{"attempt": int64(m.attempt), "stream": int64(i)})
+		}
+	}
 }
 
 // spanStart returns the operation's begin time installed by WithSpans.
@@ -354,10 +445,7 @@ func (c *Checkpointer) CheckpointFrozenParallel(p *proc.Process, workers int, ch
 // format: only dirty ranges travel, striped across workers. Regions are
 // marked clean once every shard has committed.
 func (c *Checkpointer) CheckpointDeltaFrozenParallel(p *proc.Process, workers int, chunk int64, open ShardSinkFactory) (*Stats, error) {
-	if p.State() != proc.Running {
-		return nil, fmt.Errorf("blcr: cannot checkpoint %s process %s", p.State(), p.Name())
-	}
-	st, err := c.runShards(p, c.planDelta(p, p.Node().IsHost()), workers, chunk, open)
+	st, err := c.CheckpointDeltaFrozenParallelKeepDirty(p, workers, chunk, open)
 	if err != nil {
 		return nil, err
 	}
@@ -365,6 +453,17 @@ func (c *Checkpointer) CheckpointDeltaFrozenParallel(p *proc.Process, workers in
 		r.MarkClean()
 	}
 	return st, nil
+}
+
+// CheckpointDeltaFrozenParallelKeepDirty is CheckpointDeltaFrozenParallel
+// without the clean-mark. Callers that verify the snapshot end-to-end —
+// and may have to redo the whole capture from the same dirty set — mark
+// the regions clean themselves once satisfied.
+func (c *Checkpointer) CheckpointDeltaFrozenParallelKeepDirty(p *proc.Process, workers int, chunk int64, open ShardSinkFactory) (*Stats, error) {
+	if p.State() != proc.Running {
+		return nil, fmt.Errorf("blcr: cannot checkpoint %s process %s", p.State(), p.Name())
+	}
+	return c.runShards(p, c.planDelta(p, p.Node().IsHost()), workers, chunk, open)
 }
 
 // pageRun is one region's pages at a known context-file offset, discovered
@@ -547,31 +646,47 @@ func splitRuns(runs []pageRun, workers int, chunk int64) []pageRun {
 }
 
 // loadRun streams one piece of a region's pages from its own range source.
+// Reads are idempotent, so a transport fault retries by reopening the
+// range at the current offset and continuing (bounded by the retry
+// policy, with virtual backoff charged into the pipeline).
 func (c *Checkpointer) loadRun(run pageRun, onHost bool, chunk int64, open RangeSourceFactory) (simclock.Duration, error) {
-	src, err := open(run.fileOff, run.n)
-	if err != nil {
-		return 0, err
-	}
-	defer src.Close() //nolint:errcheck // read-side close failure has nothing to recover
 	acc := simclock.NewPipelineAccum()
 	restoreStage := c.model.PhiMemcpy
 	if onHost {
 		restoreStage = c.model.HostMemcpy
 	}
 	var off int64
-	for off < run.n {
-		piece, cost, err := src.Next(chunk)
-		if err == io.EOF {
-			return 0, badContext("truncated page run")
+	attempt := 1
+	for {
+		err := func() error {
+			src, err := open(run.fileOff+off, run.n-off)
+			if err != nil {
+				return err
+			}
+			defer src.Close() //nolint:errcheck // read-side close failure has nothing to recover
+			for off < run.n {
+				piece, cost, err := src.Next(chunk)
+				if err == io.EOF {
+					return badContext("truncated page run")
+				}
+				if err != nil {
+					return err
+				}
+				stream.Observe(acc, cost, restoreStage(piece.Len()))
+				run.region.WriteBlob(run.regOff+off, piece)
+				off += piece.Len()
+			}
+			return nil
+		}()
+		if err == nil {
+			return acc.Total(), nil
 		}
-		if err != nil {
-			return 0, err
+		if !c.retry.Enabled() || attempt >= c.retry.MaxAttempts {
+			return acc.Total(), err
 		}
-		stream.Observe(acc, cost, restoreStage(piece.Len()))
-		run.region.WriteBlob(run.regOff+off, piece)
-		off += piece.Len()
+		attempt++
+		acc.Add(c.retry.BackoffFor(attempt))
 	}
-	return acc.Total(), nil
 }
 
 // RestartChainParallel restores a base context in parallel, then applies
@@ -610,6 +725,7 @@ type rangeScanner struct {
 	pending blob.Blob
 	pendOff int64
 	filePos int64 // absolute offset of the next byte take() returns
+	retries int   // transport retries used so far, bounded by the policy
 }
 
 // scanWindow is how much of the file one scan range-open covers. Large
@@ -626,6 +742,21 @@ func (s *rangeScanner) close() {
 	}
 }
 
+// fault consumes one retry from the scanner's budget: the current source
+// is dropped (pull reopens a window at readPos — reads are idempotent)
+// and the backoff is charged as virtual time. Out of budget, it returns
+// the original error.
+func (s *rangeScanner) fault(err error) error {
+	rp := s.c.retry
+	if !rp.Enabled() || s.retries >= rp.MaxAttempts-1 {
+		return err
+	}
+	s.retries++
+	s.acc.Add(rp.BackoffFor(s.retries + 1))
+	s.close()
+	return nil
+}
+
 func (s *rangeScanner) pull(n int64) error {
 	for s.buffered() < n {
 		if s.src == nil || s.readPos >= s.winEnd {
@@ -639,7 +770,10 @@ func (s *rangeScanner) pull(n int64) error {
 			}
 			src, err := s.open(s.readPos, win)
 			if err != nil {
-				return err
+				if ferr := s.fault(err); ferr != nil {
+					return ferr
+				}
+				continue
 			}
 			s.src = src
 			s.winEnd = s.readPos + win
@@ -649,7 +783,10 @@ func (s *rangeScanner) pull(n int64) error {
 			return badContext("truncated context file")
 		}
 		if err != nil {
-			return err
+			if ferr := s.fault(err); ferr != nil {
+				return ferr
+			}
+			continue
 		}
 		restoreStage := s.c.model.PhiMemcpy
 		if s.onHost {

@@ -1,0 +1,48 @@
+package blcr
+
+import (
+	"snapify/internal/simclock"
+)
+
+// RetryPolicy bounds how a capture or restore stream recovers from a
+// transport fault. Attempts are per shard worker — each parallel stream
+// retries independently, resuming from its acknowledgement watermark —
+// and the backoff is virtual time (charged into the worker's pipeline
+// accumulator, never slept).
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts per stream, first
+	// try included. 0 or 1 disables retry.
+	MaxAttempts int
+	// Backoff is the virtual-time delay before the first retry; it
+	// doubles on every further retry. 0 means 1 virtual millisecond.
+	Backoff simclock.Duration
+}
+
+// Enabled reports whether the policy allows any retry at all.
+func (rp RetryPolicy) Enabled() bool { return rp.MaxAttempts > 1 }
+
+// BackoffFor returns the virtual backoff charged before the given
+// attempt (attempt 2 is the first retry).
+func (rp RetryPolicy) BackoffFor(attempt int) simclock.Duration {
+	b := rp.Backoff
+	if b <= 0 {
+		b = simclock.Duration(1_000_000) // 1 virtual ms
+	}
+	if attempt > 2 {
+		b <<= uint(attempt - 2)
+	}
+	return b
+}
+
+// WithRetry returns a shallow copy of c whose parallel checkpoint and
+// restart workers recover from stream faults under the given policy. A
+// zero policy passes through unchanged (fail on first fault, matching
+// the classic behavior).
+func (c *Checkpointer) WithRetry(rp RetryPolicy) *Checkpointer {
+	cp := *c
+	cp.retry = rp
+	return &cp
+}
+
+// Retry returns the checkpointer's retry policy.
+func (c *Checkpointer) Retry() RetryPolicy { return c.retry }

@@ -290,6 +290,8 @@ func snapCapture(t *testing.T, cp *Process, dir string, terminate bool) {
 	payload = appendU64(payload, 0) // alignNs
 	payload = appendU32(payload, uint32(len(dir)))
 	payload = append(payload, dir...)
+	payload = appendU16(payload, 0) // retry attempts: disabled
+	payload = appendU64(payload, 0) // retry backoff
 	if _, err := cp.DaemonRequest(opSnapifyCapture, payload, opSnapifyCaptureResp); err != nil {
 		t.Fatalf("capture: %v", err)
 	}
@@ -319,6 +321,8 @@ func snapRestore(t *testing.T, cp *Process, dev simnet.NodeID, dir string) []Rem
 	payload = appendU16(payload, 0) // streams: serial
 	payload = appendU64(payload, 0) // chunk: default
 	payload = appendU64(payload, 0) // alignNs
+	payload = appendU16(payload, 0) // retry attempts: disabled
+	payload = appendU64(payload, 0) // retry backoff
 
 	// The restore request goes to the target card's daemon on a fresh
 	// connection (the old card may not even host the process anymore).

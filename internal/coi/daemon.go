@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"snapify/internal/faultinject"
 	"snapify/internal/phi"
 	"snapify/internal/platform"
 	"snapify/internal/proc"
@@ -154,6 +155,13 @@ func (d *Daemon) handleConn(ep *scif.Endpoint) {
 		}
 		op := raw[0]
 		payload := raw[1:]
+		// Fault hook: a dropped request makes the daemon momentarily
+		// unreachable — the host gets a transient error reply it can retry
+		// on (response opcodes pair with requests at op+1).
+		if f := d.plat.Net.Fabric().Injector().Fire(faultinject.SiteRequest, d.dev.Node.String()); f != nil && f.Kind == faultinject.Drop {
+			reply(ep, op+1, append([]byte{1}, []byte("injected fault: coi daemon unavailable")...))
+			continue
+		}
 		switch op {
 		case opLaunch:
 			d.handleLaunch(ep, payload)

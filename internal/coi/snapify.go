@@ -289,6 +289,10 @@ func (d *Daemon) handleSnapifyRestore(ep *scif.Endpoint, payload []byte) {
 	streams := int(u16(payload))
 	chunk := int64(u64(payload[2:]))
 	align := simclock.Duration(u64(payload[10:]))
+	rp := blcr.RetryPolicy{
+		MaxAttempts: int(u16(payload[18:])),
+		Backoff:     simclock.Duration(u64(payload[20:])),
+	}
 
 	bin, err := LookupBinary(binName)
 	if err != nil {
@@ -326,13 +330,18 @@ func (d *Daemon) handleSnapifyRestore(ep *scif.Endpoint, payload []byte) {
 	// host's virtual clock carried in the request.
 	tracer := d.plat.Obs.TracerOf()
 	scope := tracer.NewScope()
-	cr := d.plat.CR.WithSpans(tracer, scope, align)
+	cr := d.plat.CR.WithSpans(tracer, scope, align).WithRetry(rp)
 	var restored *proc.Process
 	var rst *blcr.Stats
-	if streams > 1 {
+	if streams > 1 || rp.Enabled() {
 		// Parallel restore: the plain descriptor only supplies the context
 		// size; the pages arrive over striped range streams, each
-		// prefetching on its own slots.
+		// prefetching on its own slots. A retry-enabled restore rides this
+		// path even with one stream — range reads are idempotent, so a
+		// faulted source reopens at its current offset and continues.
+		if streams < 1 {
+			streams = 1
+		}
 		size := src.Size()
 		src.Close() //nolint:errcheck // size probe: close only releases the descriptor
 		open := func(off, n int64) (stream.Source, error) {
@@ -576,11 +585,15 @@ func (op *OffloadProc) snapifyAgent() {
 			align := simclock.Duration(u64(raw[13:]))
 			dirLen := u32(raw[21:])
 			dir := string(raw[25 : 25+dirLen])
+			rp := blcr.RetryPolicy{
+				MaxAttempts: int(u16(raw[25+dirLen:])),
+				Backoff:     simclock.Duration(u64(raw[27+dirLen:])),
+			}
 			// Every shard worker of this capture emits a span under one
 			// fresh scope; the host derives its Report from those spans.
 			tracer := op.d.plat.Obs.TracerOf()
 			scope := tracer.NewScope()
-			cr := op.d.plat.CR.WithSpans(tracer, scope, align)
+			cr := op.d.plat.CR.WithSpans(tracer, scope, align).WithRetry(rp)
 			st, err := op.runCapture(cr, mode, streams, chunk, dir)
 			if err == nil && (mode == CaptureBase || mode == CaptureDelta) {
 				for _, r := range op.p.Regions() {
@@ -635,7 +648,46 @@ func (op *OffloadProc) runCapture(cr *blcr.Checkpointer, mode uint8, streams int
 		name = DeltaFileName
 	}
 	path := dir + "/" + name
-	if streams <= 1 {
+	rp := cr.Retry()
+	if !rp.Enabled() {
+		return op.captureOnce(cr, mode, streams, chunk, path)
+	}
+	// With retry enabled even a one-stream capture rides the striped path
+	// (one worker writes a byte-identical file): only striped streams have
+	// the ack watermark and detach semantics a resume needs. A shard-level
+	// resume handles transport faults; the loop below redoes the whole
+	// capture for crash-class failures, where the remote daemon lost
+	// already-acknowledged stripes and every stream still closed cleanly —
+	// which is why each pass ends with an end-to-end verification instead
+	// of trusting the stream status.
+	if streams < 1 {
+		streams = 1
+	}
+	var backoffs simclock.Duration
+	st, err := op.captureOnce(cr, mode, streams, chunk, path)
+	for attempt := 1; ; attempt++ {
+		if err == nil {
+			verr := op.verifySnapshotFile(path, st.Bytes)
+			if verr == nil {
+				st.Duration += backoffs
+				return st, nil
+			}
+			err = verr
+		}
+		// Drop whatever half-covered assembly this pass left behind, so a
+		// redo starts clean and a final failure leaves no artifact.
+		op.d.plat.IO.Discard(op.d.dev.Node, simnet.HostNode, path) //nolint:errcheck // best-effort cleanup; the capture error is what propagates
+		if attempt >= rp.MaxAttempts {
+			return nil, err
+		}
+		backoffs += rp.BackoffFor(attempt + 1)
+		st, err = op.captureOnce(cr, mode, streams, chunk, path)
+	}
+}
+
+// captureOnce runs one capture pass into path.
+func (op *OffloadProc) captureOnce(cr *blcr.Checkpointer, mode uint8, streams int, chunk int64, path string) (*blcr.Stats, error) {
+	if streams <= 1 && !cr.Retry().Enabled() {
 		sink, err := op.d.plat.IO.Open(op.d.dev.Node, simnet.HostNode, path, snapifyio.Write)
 		if err != nil {
 			return nil, err
@@ -652,9 +704,32 @@ func (op *OffloadProc) runCapture(cr *blcr.Checkpointer, mode uint8, streams int
 		})
 	}
 	if mode == CaptureDelta {
+		if cr.Retry().Enabled() {
+			// The regions stay dirty until the capture verifies: a redo
+			// must lay out the same delta. The agent marks clean after
+			// runCapture returns success.
+			return cr.CheckpointDeltaFrozenParallelKeepDirty(op.p, streams, chunk, open)
+		}
 		return cr.CheckpointDeltaFrozenParallel(op.p, streams, chunk, open)
 	}
 	return cr.CheckpointFrozenParallel(op.p, streams, chunk, open)
+}
+
+// verifySnapshotFile confirms the capture's context file was committed on
+// host storage. A daemon crash can swallow acknowledged stripes, in which
+// case every resumed stream still closes cleanly but the assembled file
+// never appears — only a read-open of the final path proves the capture.
+func (op *OffloadProc) verifySnapshotFile(path string, want int64) error {
+	f, err := op.d.plat.IO.Open(op.d.dev.Node, simnet.HostNode, path, snapifyio.Read)
+	if err != nil {
+		return fmt.Errorf("coi: capture verification: %w", err)
+	}
+	size := f.Size()
+	f.Close() //nolint:errcheck // size probe: close only releases the descriptor
+	if size != want {
+		return fmt.Errorf("coi: capture verification: %s is %d bytes, want %d", path, size, want)
+	}
+	return nil
 }
 
 // agentTrack is the offload process's lane in the trace: one row per

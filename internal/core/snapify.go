@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"sync"
 
+	"snapify/internal/blcr"
 	"snapify/internal/coi"
 	"snapify/internal/obs"
 	"snapify/internal/platform"
@@ -125,6 +126,11 @@ func (s *Snapshot) countOp(op string) {
 		"Snapify API operations started, by operation.", obs.L("op", op)).Inc()
 }
 
+// RetryPolicy bounds how a capture or restore recovers from transport
+// and daemon faults; see blcr.RetryPolicy. The zero value disables
+// recovery: the first fault fails the operation (the paper's behavior).
+type RetryPolicy = blcr.RetryPolicy
+
 // CaptureOptions configures a capture (snapify_capture).
 type CaptureOptions struct {
 	// Terminate makes the offload process exit after the capture (the
@@ -139,6 +145,12 @@ type CaptureOptions struct {
 	// ChunkBytes is the I/O granularity of the parallel data path; zero
 	// uses the checkpointer's default (4 MiB). Ignored when Streams <= 1.
 	ChunkBytes int64
+	// Retry lets the capture survive transport faults: each stream resumes
+	// from its acknowledgement watermark, and crash-class failures redo
+	// the whole capture, all under bounded virtual backoff. A capture that
+	// still fails leaves no snapshot file behind. The zero value fails on
+	// the first fault.
+	Retry RetryPolicy
 }
 
 // RestoreOptions configures a restore (snapify_restore).
@@ -149,6 +161,9 @@ type RestoreOptions struct {
 	// ChunkBytes is the I/O granularity of the parallel restore path; zero
 	// uses the checkpointer's default. Ignored when Streams <= 1.
 	ChunkBytes int64
+	// Retry lets the restore survive transport faults by reopening its
+	// range reads where they left off, under bounded virtual backoff.
+	Retry RetryPolicy
 }
 
 // Pause stops and drains all communication between the host process and
@@ -316,6 +331,8 @@ func (s *Snapshot) captureMode(opts CaptureOptions, mode uint8) error {
 		payload = binary.BigEndian.AppendUint64(payload, uint64(start))
 		payload = coi.AppendU32(payload, uint32(len(s.Path)))
 		payload = append(payload, s.Path...)
+		payload = binary.BigEndian.AppendUint16(payload, uint16(opts.Retry.MaxAttempts))
+		payload = binary.BigEndian.AppendUint64(payload, uint64(opts.Retry.Backoff))
 		resp, err := cp.DaemonRequest(coi.OpSnapifyCapture, payload, coi.OpSnapifyCaptureResp)
 		s.mu.Lock()
 		if err != nil {
@@ -448,6 +465,8 @@ func (s *Snapshot) RestoreChain(baseDir string, deltaDirs []string, device simne
 	payload = binary.BigEndian.AppendUint16(payload, uint16(opts.Streams))
 	payload = binary.BigEndian.AppendUint64(payload, uint64(opts.ChunkBytes))
 	payload = binary.BigEndian.AppendUint64(payload, uint64(start))
+	payload = binary.BigEndian.AppendUint16(payload, uint16(opts.Retry.MaxAttempts))
+	payload = binary.BigEndian.AppendUint64(payload, uint64(opts.Retry.Backoff))
 
 	resp, err := coi.DaemonRestoreRequest(plat, device, payload)
 	if err != nil {

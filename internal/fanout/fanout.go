@@ -22,12 +22,27 @@ func Run(workers, items int, fn func(i int) error) error {
 	}
 	errs := make([]error, items)
 	var next int
+	var panicked any
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// A panic in fn is a bug, not a recoverable fault — but it
+			// must not strand the sibling workers or the caller's
+			// WaitGroup. Capture it, drain the pool, and re-raise on
+			// the caller's goroutine after the join.
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if panicked == nil {
+						panicked = r
+					}
+					next = items // stop handing out work
+					mu.Unlock()
+				}
+			}()
 			for {
 				mu.Lock()
 				i := next
@@ -41,6 +56,9 @@ func Run(workers, items int, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
+	if panicked != nil {
+		panic(panicked) //nolint:paniclib // re-raising a worker's panic on the caller's goroutine, not originating one
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err

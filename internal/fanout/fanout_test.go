@@ -2,9 +2,11 @@ package fanout
 
 import (
 	"errors"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestRunExecutesEveryItem(t *testing.T) {
@@ -72,4 +74,48 @@ func TestRunDegenerateInputs(t *testing.T) {
 	if n.Load() != 5 {
 		t.Errorf("workers=0 ran %d of 5 items", n.Load())
 	}
+}
+
+// TestRunFaultedWorkerLeaksNoGoroutines pins the cancellation story the
+// chaos tier leans on: when items error (an injected fault killed a
+// stream), Run still joins every worker — no goroutine may outlive the
+// call, or retried captures would pile up leaked workers.
+func TestRunFaultedWorkerLeaksNoGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	fault := errors.New("injected")
+	for round := 0; round < 20; round++ {
+		err := Run(8, 64, func(i int) error {
+			if i%3 == 0 {
+				return fault
+			}
+			runtime.Gosched()
+			return nil
+		})
+		if !errors.Is(err, fault) {
+			t.Fatalf("round %d: got %v, want %v", round, err, fault)
+		}
+	}
+	// Run waits on its WaitGroup, so the pool must already be gone; give
+	// the runtime a moment only for unrelated scheduler noise to settle.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d running, baseline %d", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRunPanicInWorkerDoesNotHangSiblings documents that a panicking fn
+// propagates (it is a bug, not a fault) rather than deadlocking Run.
+func TestRunPanicInWorkerDoesNotHangSiblings(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("panic in fn must propagate to the caller")
+		}
+	}()
+	Run(1, 1, func(int) error { panic("boom") }) //nolint:errcheck // the panic is the point
 }

@@ -208,8 +208,16 @@ type SparseWriter struct {
 	done    bool
 }
 
+// PartialSuffix marks an in-progress sparse assembly on the file
+// system: CreateSparse registers "<path>.partial" so a crashed or
+// abandoned assembly is observable (and must be cleaned up), exactly
+// like the temp file a real striped writer would leave behind. Commit
+// and Abort both remove it.
+const PartialSuffix = ".partial"
+
 // CreateSparse opens a positioned writer over a file of exactly size
-// bytes, initially zero; the file becomes visible at Commit.
+// bytes, initially zero; the file becomes visible at Commit. While the
+// writer is open, "<path>.partial" is visible in its place.
 func (fs *FS) CreateSparse(path string, size int64) (*SparseWriter, error) {
 	if path == "" {
 		return nil, errors.New("hostfs: empty path")
@@ -217,6 +225,9 @@ func (fs *FS) CreateSparse(path string, size int64) (*SparseWriter, error) {
 	if size < 0 {
 		return nil, fmt.Errorf("hostfs: negative sparse size %d", size)
 	}
+	fs.mu.Lock()
+	fs.files[path+PartialSuffix] = &file{content: blob.Zeros(0)}
+	fs.mu.Unlock()
 	return &SparseWriter{fs: fs, path: path, size: size, content: blob.Zeros(size)}, nil
 }
 
@@ -245,16 +256,24 @@ func (w *SparseWriter) Commit() error {
 	}
 	w.done = true
 	w.fs.mu.Lock()
+	delete(w.fs.files, w.path+PartialSuffix)
 	w.fs.files[w.path] = &file{content: w.content}
 	w.fs.mu.Unlock()
 	return nil
 }
 
-// Abort discards the partial file.
+// Abort discards the partial file, removing its ".partial" marker.
 func (w *SparseWriter) Abort() {
 	w.mu.Lock()
+	if w.done {
+		w.mu.Unlock()
+		return
+	}
 	w.done = true
 	w.mu.Unlock()
+	w.fs.mu.Lock()
+	delete(w.fs.files, w.path+PartialSuffix)
+	w.fs.mu.Unlock()
 }
 
 // Reader streams a file out of the FS in chunks.

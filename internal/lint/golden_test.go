@@ -90,7 +90,7 @@ func analyzerByName(t *testing.T, name string) *Analyzer {
 }
 
 func TestGolden(t *testing.T) {
-	for _, name := range []string{"errcheck", "wallclock", "mutexblock", "goroutineleak", "paniclib", "rawprint"} {
+	for _, name := range []string{"errcheck", "wallclock", "mutexblock", "goroutineleak", "paniclib", "rawprint", "faultgate"} {
 		t.Run(name, func(t *testing.T) {
 			_, pkg := loadFixture(t, name)
 			findings := Run([]*Package{pkg}, []*Analyzer{analyzerByName(t, name)})
@@ -138,6 +138,28 @@ func TestRawPrintExemptsObs(t *testing.T) {
 	_, pkg := loadFixture(t, "internal/obs")
 	if findings := Run([]*Package{pkg}, []*Analyzer{analyzerByName(t, "rawprint")}); len(findings) != 0 {
 		t.Fatalf("expected no findings in the obs fixture, got %v", findings)
+	}
+}
+
+// TestFaultgateExemptsChokePoints proves the real fault-injection choke
+// points — the packages that implement the hooks — pass the gate.
+func TestFaultgateExemptsChokePoints(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	for _, rel := range []string{"internal/simnet", "internal/scif", "internal/snapifyio", "internal/coi"} {
+		pkg, err := l.LoadDir(rel)
+		if err != nil {
+			t.Fatalf("loading %s: %v", rel, err)
+		}
+		if findings := Run([]*Package{pkg}, []*Analyzer{analyzerByName(t, "faultgate")}); len(findings) != 0 {
+			t.Errorf("expected no findings in %s, got %v", rel, findings)
+		}
 	}
 }
 

@@ -52,6 +52,7 @@ func All() []*Analyzer {
 		GoroutineLeak,
 		PanicLib,
 		RawPrint,
+		Faultgate,
 	}
 }
 

@@ -1,0 +1,11 @@
+// Package faultgate is a golden fixture for the faultgate analyzer: it
+// imports internal/faultinject from a package that is not one of the
+// fabric choke points.
+package faultgate
+
+import (
+	"snapify/internal/faultinject" // want "is not a fault-injection choke point"
+)
+
+// Using the import keeps the fixture type-checking cleanly.
+var _ = faultinject.Drop

@@ -263,9 +263,14 @@ func (fs *FS) CreateSparse(path string, size int64) (*SparseWriter, error) {
 	}
 	fs.mu.Lock()
 	fs.open[path]++
+	fs.files[path+PartialSuffix] = blob.Zeros(0)
 	fs.mu.Unlock()
 	return &SparseWriter{fs: fs, path: path, size: size, content: blob.Zeros(size)}, nil
 }
+
+// PartialSuffix marks an in-progress sparse assembly, mirroring
+// hostfs.PartialSuffix: visible from CreateSparse until Commit/Abort.
+const PartialSuffix = ".partial"
 
 // WriteBlobAt writes content at the given offset, returning the virtual
 // time of the write.
@@ -293,6 +298,7 @@ func (w *SparseWriter) Commit() error {
 	w.done = true
 	fs := w.fs
 	fs.mu.Lock()
+	delete(fs.files, w.path+PartialSuffix)
 	old, had := fs.files[w.path]
 	fs.files[w.path] = w.content
 	fs.open[w.path]--
@@ -316,6 +322,7 @@ func (w *SparseWriter) Abort() {
 	w.done = true
 	w.fs.budget.Release(w.size)
 	w.fs.mu.Lock()
+	delete(w.fs.files, w.path+PartialSuffix)
 	w.fs.open[w.path]--
 	if w.fs.open[w.path] == 0 {
 		delete(w.fs.open, w.path)

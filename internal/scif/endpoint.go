@@ -3,6 +3,7 @@ package scif
 import (
 	"sync"
 
+	"snapify/internal/faultinject"
 	"snapify/internal/simclock"
 	"snapify/internal/simnet"
 )
@@ -57,6 +58,29 @@ func (e *Endpoint) Send(data []byte) (simclock.Duration, error) {
 	cp := make([]byte, len(data))
 	copy(cp, data)
 
+	// Consult the armed fault plan, if any. Drop severs the connection
+	// (a link failure mid-message); Corrupt flips the framing byte so
+	// the receiver's decoder rejects the message (the analogue of a
+	// checksum failure); Truncate delivers only a prefix; Slow scales
+	// the virtual cost. Cost faults apply after delivery.
+	slow := simclock.Duration(1)
+	if fault := e.net.fabric.Injector().Fire(faultinject.SiteSend,
+		faultinject.LinkKey(e.local.Node.String(), e.remote.Node.String())); fault != nil {
+		switch fault.Kind {
+		case faultinject.Drop:
+			_ = e.Close() //nolint:errcheck // simulating a link failure; the severed endpoint's close error is immaterial
+			return 0, ErrConnReset
+		case faultinject.Corrupt:
+			if len(cp) > 0 {
+				cp[0] ^= 0xFF
+			}
+		case faultinject.Truncate:
+			cp = cp[:len(cp)/2]
+		case faultinject.Slow:
+			slow = simclock.Duration(fault.SlowFactor())
+		}
+	}
+
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -66,7 +90,7 @@ func (e *Endpoint) Send(data []byte) (simclock.Duration, error) {
 	p.qbytes += int64(len(cp))
 	p.cond.Signal()
 	p.mu.Unlock()
-	return e.net.fabric.MsgCost(e.local.Node, e.remote.Node, int64(len(data))), nil
+	return slow * e.net.fabric.MsgCost(e.local.Node, e.remote.Node, int64(len(data))), nil
 }
 
 // Recv blocks until a message arrives and returns it with the receive-side

@@ -4,8 +4,28 @@ import (
 	"fmt"
 
 	"snapify/internal/blob"
+	"snapify/internal/faultinject"
 	"snapify/internal/simclock"
 )
+
+// rdmaFault consults the armed fault plan for a from->to RDMA transfer.
+// Drop severs the connection and reports ErrConnReset (the peer's next
+// operation sees the reset too); Slow returns a cost multiplier. Other
+// kinds are not expressible on the DMA path and are ignored.
+func (e *Endpoint) rdmaFault(from, to string) (simclock.Duration, error) {
+	fault := e.net.fabric.Injector().Fire(faultinject.SiteRDMA, faultinject.LinkKey(from, to))
+	if fault == nil {
+		return 1, nil
+	}
+	switch fault.Kind {
+	case faultinject.Drop:
+		_ = e.Close() //nolint:errcheck // simulating a link failure; the severed endpoint's close error is immaterial
+		return 1, ErrConnReset
+	case faultinject.Slow:
+		return simclock.Duration(fault.SlowFactor()), nil
+	}
+	return 1, nil
+}
 
 // Memory is the view of process memory that RDMA operates on. The process
 // model (internal/proc) implements it with appropriate locking; the methods
@@ -93,6 +113,10 @@ func (e *Endpoint) lookupRemote(offset, n int64) (*Window, error) {
 // remoteOffset into arbitrary local memory (scif_vreadfrom). It returns the
 // virtual cost of the DMA.
 func (e *Endpoint) VReadFrom(local Memory, localOff, n, remoteOffset int64) (simclock.Duration, error) {
+	slow, err := e.rdmaFault(e.remote.Node.String(), e.local.Node.String())
+	if err != nil {
+		return 0, err
+	}
 	w, err := e.lookupRemote(remoteOffset, n)
 	if err != nil {
 		return 0, err
@@ -102,12 +126,16 @@ func (e *Endpoint) VReadFrom(local Memory, localOff, n, remoteOffset int64) (sim
 	}
 	src := w.mem.SnapshotRange(w.memBase+(remoteOffset-w.Offset), n)
 	local.WriteBlob(localOff, src)
-	return e.net.fabric.RDMACost(e.remote.Node, e.local.Node, n), nil
+	return slow * e.net.fabric.RDMACost(e.remote.Node, e.local.Node, n), nil
 }
 
 // VWriteTo copies n bytes from arbitrary local memory into the peer's
 // registered window at remoteOffset (scif_vwriteto).
 func (e *Endpoint) VWriteTo(local Memory, localOff, n, remoteOffset int64) (simclock.Duration, error) {
+	slow, err := e.rdmaFault(e.local.Node.String(), e.remote.Node.String())
+	if err != nil {
+		return 0, err
+	}
 	w, err := e.lookupRemote(remoteOffset, n)
 	if err != nil {
 		return 0, err
@@ -117,7 +145,7 @@ func (e *Endpoint) VWriteTo(local Memory, localOff, n, remoteOffset int64) (simc
 	}
 	src := local.SnapshotRange(localOff, n)
 	w.mem.WriteBlob(w.memBase+(remoteOffset-w.Offset), src)
-	return e.net.fabric.RDMACost(e.local.Node, e.remote.Node, n), nil
+	return slow * e.net.fabric.RDMACost(e.local.Node, e.remote.Node, n), nil
 }
 
 // ReadFrom copies n bytes from the peer's window at remoteOffset into this

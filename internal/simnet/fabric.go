@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"snapify/internal/faultinject"
 	"snapify/internal/simclock"
 )
 
@@ -74,7 +75,22 @@ type Fabric struct {
 	// links[i] is the PCIe link of card node i (index 0, the host, is
 	// unused: the host sits at the root complex and has no single link).
 	links []link
+
+	// injector holds the armed fault plan, if any. The fabric is the
+	// one object every data-path layer can already reach (scif, the
+	// Snapify-IO daemons, the COI runtime), so it doubles as the
+	// distribution point for fault injection.
+	injector atomic.Pointer[faultinject.Injector]
 }
+
+// SetInjector arms a fault injector on the fabric. Passing nil disarms
+// it. Layers consult it through Injector at their choke points.
+func (f *Fabric) SetInjector(in *faultinject.Injector) { f.injector.Store(in) }
+
+// Injector returns the armed fault injector, or nil when none is set.
+// A nil *faultinject.Injector never fires, so callers may consult the
+// result unconditionally.
+func (f *Fabric) Injector() *faultinject.Injector { return f.injector.Load() }
 
 // NewFabric returns a fabric with the given number of coprocessor devices.
 func NewFabric(model *simclock.Model, devices int) *Fabric {

@@ -3,8 +3,10 @@ package snapifyio
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"sync"
 
+	"snapify/internal/faultinject"
 	"snapify/internal/obs"
 	"snapify/internal/scif"
 	"snapify/internal/simclock"
@@ -35,6 +37,7 @@ type Daemon struct {
 	mu         sync.Mutex
 	streams    map[int64]streamInfo
 	assemblies map[string]*assembly
+	eps        map[*scif.Endpoint]struct{}
 }
 
 // streamInfo describes one stream this daemon is currently serving.
@@ -70,20 +73,60 @@ func (d *Daemon) unregisterStream(id int64) {
 }
 
 // assembly is one striped write in progress: parallel streams deliver
-// disjoint ranges of the same remote file, and the daemon commits the
-// assembled file once the closed stripes cover the whole declared size
-// (so stream open/close order does not matter), or discards it if a
-// stripe aborted and no stream remains.
+// disjoint ranges of the same remote file, and the daemon tracks the
+// exact byte ranges durably written (credited per chunk, merged, so an
+// idempotent replay after a fault never double-counts). The file
+// commits when the last stream departs with the declared size fully
+// covered; an aborted stripe poisons the assembly and the last
+// departing stream discards it. A *detached* stream — one whose
+// connection died or that sent msgDetach — keeps the assembly alive so
+// a replacement stream can resume from its acknowledgement watermark.
 type assembly struct {
-	sw      vfs.SparseWriter
-	total   int64
-	refs    int
-	covered int64
-	aborted bool
+	sw       vfs.SparseWriter
+	total    int64
+	refs     int
+	detached int
+	aborted  bool
+	spans    []span // sorted, disjoint byte ranges durably written
+}
+
+// span is one covered byte range [off, end).
+type span struct{ off, end int64 }
+
+// add merges [off, end) into the coverage set. Caller holds d.mu.
+func (a *assembly) add(off, end int64) {
+	if end <= off {
+		return
+	}
+	merged := make([]span, 0, len(a.spans)+1)
+	i := 0
+	for ; i < len(a.spans) && a.spans[i].end < off; i++ {
+		merged = append(merged, a.spans[i]) // entirely before, keep
+	}
+	for ; i < len(a.spans) && a.spans[i].off <= end; i++ {
+		if s := a.spans[i]; s.off < off { // overlapping or touching, absorb
+			off = s.off
+		}
+		if s := a.spans[i]; s.end > end {
+			end = s.end
+		}
+	}
+	merged = append(merged, span{off, end})
+	a.spans = append(merged, a.spans[i:]...)
+}
+
+// covered returns the total bytes durably written. Caller holds d.mu.
+func (a *assembly) covered() int64 {
+	var n int64
+	for _, s := range a.spans {
+		n += s.end - s.off
+	}
+	return n
 }
 
 // openAssembly joins (or starts) the striped write of path with the given
-// total size.
+// total size. A join while detached streams are outstanding is a resume
+// and consumes one detached slot.
 func (d *Daemon) openAssembly(path string, total int64) (*assembly, error) {
 	if total < 0 {
 		return nil, fmt.Errorf("snapifyio: negative stripe total %d", total)
@@ -94,7 +137,13 @@ func (d *Daemon) openAssembly(path string, total int64) (*assembly, error) {
 		if a.total != total {
 			return nil, fmt.Errorf("snapifyio: stripe total %d for %q, other streams declared %d", total, path, a.total)
 		}
+		if a.aborted {
+			return nil, fmt.Errorf("snapifyio: striped assembly of %q was aborted", path)
+		}
 		a.refs++
+		if a.detached > 0 {
+			a.detached--
+		}
 		return a, nil
 	}
 	sfs, ok := d.fs.(vfs.SparseFS)
@@ -110,25 +159,48 @@ func (d *Daemon) openAssembly(path string, total int64) (*assembly, error) {
 	return a, nil
 }
 
-// releaseAssembly drops one stripe's reference. A clean close credits the
-// stripe's length toward coverage; once closed stripes cover the declared
-// total the file commits (stripes are disjoint, so coverage is exact). An
-// aborted stripe poisons the assembly, and the last departing stream
-// discards it.
-func (d *Daemon) releaseAssembly(path string, length int64, abort bool) error {
+// credit records [off, off+n) of path as durably written.
+func (d *Daemon) credit(asm *assembly, off, n int64) {
+	d.mu.Lock()
+	asm.add(off, off+n)
+	d.mu.Unlock()
+}
+
+// coveredRange reports whether [off, end) is already durably written.
+func (d *Daemon) coveredRange(asm *assembly, off, end int64) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, s := range asm.spans {
+		if s.off <= off && end <= s.end {
+			return true
+		}
+	}
+	return false
+}
+
+// releaseAssembly drops one stripe's reference on a clean close or an
+// abort. The stale-handle guard (a != asm) makes departures after a
+// daemon crash harmless: the handle's assembly is gone, and a fresh one
+// under the same path must not be touched.
+func (d *Daemon) releaseAssembly(path string, asm *assembly, abort bool) error {
 	d.mu.Lock()
 	a, ok := d.assemblies[path]
-	if !ok {
+	if !ok || a != asm {
 		d.mu.Unlock()
 		return nil
 	}
 	a.refs--
 	if abort {
 		a.aborted = true
-	} else {
-		a.covered += length
 	}
-	complete := !a.aborted && a.covered >= a.total
+	// A clean close commits as soon as coverage is complete, even with
+	// other references outstanding: once every byte is durably written
+	// the only things the siblings can still do are close (harmless on a
+	// committed assembly) or replay already-covered ranges (served from
+	// coverage without touching the file). Waiting for refs==0 instead
+	// would leave the commit racing against the departure of a severed
+	// stream's handler, making the capture's outcome timing-dependent.
+	complete := !abort && !a.aborted && a.covered() >= a.total
 	discard := a.aborted && a.refs == 0
 	if complete || discard {
 		delete(d.assemblies, path)
@@ -140,7 +212,94 @@ func (d *Daemon) releaseAssembly(path string, length int64, abort bool) error {
 	if discard {
 		a.sw.Abort()
 	}
+	// Otherwise the assembly waits: either sibling streams are still
+	// open (or have not opened yet — open/close order is free), or a
+	// detached stream may resume. If coverage was lost for good (say a
+	// daemon crash wiped it), no close can tell locally — the writer
+	// verifies the committed file end-to-end and retries the capture,
+	// discarding this pending assembly first.
 	return nil
+}
+
+// detachAssembly parts a stream from its assembly without poisoning it:
+// the coverage and partial file survive so a resumed stream can finish
+// the job. If the departing stream was the last reference and coverage
+// is already complete (a close handshake lost to a link fault after all
+// data was acknowledged), the assembly commits here.
+func (d *Daemon) detachAssembly(path string, asm *assembly) {
+	d.mu.Lock()
+	a, ok := d.assemblies[path]
+	if !ok || a != asm {
+		d.mu.Unlock()
+		return
+	}
+	a.refs--
+	a.detached++
+	commit := !a.aborted && a.refs == 0 && a.covered() >= a.total
+	discard := a.aborted && a.refs == 0
+	if commit || discard {
+		delete(d.assemblies, path)
+	}
+	d.mu.Unlock()
+	if commit {
+		a.sw.Commit() //nolint:errcheck // detach path: no peer is listening; the consumer validates the committed file
+	}
+	if discard {
+		a.sw.Abort()
+	}
+}
+
+// discardAssembly drops a pending assembly and removes its partial
+// file. The cleanup path for a writer that exhausted its retries.
+func (d *Daemon) discardAssembly(path string) {
+	d.mu.Lock()
+	a, ok := d.assemblies[path]
+	if ok {
+		delete(d.assemblies, path)
+	}
+	d.mu.Unlock()
+	if ok {
+		a.sw.Abort()
+	}
+}
+
+// crash simulates a daemon crash and immediate restart (an injected
+// Crash fault): every active connection dies, every in-progress
+// assembly is discarded — partial files removed — and per-stream state
+// is wiped. The listener stays bound: by the time a client observes the
+// connection resets, the restarted daemon is already accepting again.
+func (d *Daemon) crash() {
+	d.mu.Lock()
+	eps := make([]*scif.Endpoint, 0, len(d.eps))
+	for ep := range d.eps {
+		eps = append(eps, ep)
+	}
+	d.eps = make(map[*scif.Endpoint]struct{})
+	asms := d.assemblies
+	d.assemblies = make(map[string]*assembly)
+	d.streams = make(map[int64]streamInfo)
+	d.mu.Unlock()
+	for _, ep := range eps {
+		ep.Close() //nolint:errcheck // crash path: connection teardown is the point
+	}
+	for _, a := range asms {
+		a.sw.Abort()
+	}
+}
+
+func (d *Daemon) trackEp(ep *scif.Endpoint) {
+	d.mu.Lock()
+	if d.eps == nil {
+		d.eps = make(map[*scif.Endpoint]struct{})
+	}
+	d.eps[ep] = struct{}{}
+	d.mu.Unlock()
+}
+
+func (d *Daemon) untrackEp(ep *scif.Endpoint) {
+	d.mu.Lock()
+	delete(d.eps, ep)
+	d.mu.Unlock()
 }
 
 // remoteServer is the daemon's remote server thread (Section 6): it accepts
@@ -157,6 +316,8 @@ func (d *Daemon) remoteServer() {
 
 // remoteHandler serves one file stream for a peer daemon.
 func (d *Daemon) remoteHandler(ep *scif.Endpoint) {
+	d.trackEp(ep)
+	defer d.untrackEp(ep)
 	defer ep.Close()
 
 	raw, _, err := ep.Recv()
@@ -171,6 +332,22 @@ func (d *Daemon) remoteHandler(ep *scif.Endpoint) {
 		})
 		return
 	}
+	if len(raw) > 0 && raw[0] == msgDiscard {
+		// Control: drop a pending striped assembly and its partial file
+		// (a writer gave up on resuming).
+		u := &unwire{buf: raw}
+		u.u8()
+		path := u.str()
+		if u.err() != nil {
+			return
+		}
+		d.discardAssembly(path)
+		d.svc.obs.MetricsOf().Counter("snapifyio_discards_total",
+			"Pending striped assemblies discarded by control request.",
+			obs.L("node", d.node.String())).Inc()
+		d.reply(ep, func(w *wire) { w.u8(msgDiscardResp); w.str("") })
+		return
+	}
 	u, err := expect(raw, msgOpen)
 	if err != nil {
 		return
@@ -180,7 +357,7 @@ func (d *Daemon) remoteHandler(ep *scif.Endpoint) {
 	slots := int(u.u8())
 	bufSize := u.i64()
 	windows := make([]int64, 0, slots)
-	for i := 0; i < slots; i++ {
+	for i := 0; i < slots && !u.bad; i++ {
 		windows = append(windows, u.i64())
 	}
 	striped := u.u8() == 1
@@ -189,6 +366,10 @@ func (d *Daemon) remoteHandler(ep *scif.Endpoint) {
 
 	openErr := func(msg string) {
 		d.reply(ep, func(w *wire) { w.u8(msgOpenResp); w.str(msg); w.i64(0) })
+	}
+	if err := u.err(); err != nil {
+		openErr(err.Error())
+		return
 	}
 	if bufSize != d.bufSize {
 		// Mismatched staging sizes would deadlock the chunk protocol.
@@ -243,7 +424,18 @@ func (d *Daemon) serveWrite(ep *scif.Endpoint, streamID int64, path string, wind
 	}
 	abort := func() {
 		if striped {
-			d.releaseAssembly(path, 0, true) //nolint:errcheck // abort path: discarding the partial assembly is the handling
+			d.releaseAssembly(path, asm, true) //nolint:errcheck // abort path: discarding the partial assembly is the handling
+		} else {
+			fw.Abort()
+		}
+	}
+	// fail parts the stream on a transport-class failure (peer vanished,
+	// corrupted message, injected fault). A striped stream detaches —
+	// the assembly and its coverage survive for a watermark resume — an
+	// unstriped one can only discard its append-mode file.
+	fail := func() {
+		if striped {
+			d.detachAssembly(path, asm)
 		} else {
 			fw.Abort()
 		}
@@ -257,7 +449,7 @@ func (d *Daemon) serveWrite(ep *scif.Endpoint, streamID int64, path string, wind
 	for {
 		raw, _, err := ep.Recv()
 		if err != nil {
-			abort() // peer vanished mid-stream
+			fail() // peer vanished mid-stream
 			return
 		}
 		u := &unwire{buf: raw}
@@ -277,6 +469,10 @@ func (d *Daemon) serveWrite(ep *scif.Endpoint, streamID int64, path string, wind
 					w.dur(0)
 				})
 			}
+			if u.err() != nil {
+				fail() // truncated or corrupted request
+				return
+			}
 			if sid != streamID {
 				nack(fmt.Sprintf("chunk for stream %d on stream %d", sid, streamID))
 				abort()
@@ -287,10 +483,29 @@ func (d *Daemon) serveWrite(ep *scif.Endpoint, streamID int64, path string, wind
 				abort()
 				return
 			}
+			// Consult the fault plan at the daemon's chunk service
+			// point: a Crash fault takes the whole daemon down (and
+			// back up, state wiped); chunk-level faults hit just this
+			// stream, keyed by its stripe offset.
+			inj := d.svc.net.Fabric().Injector()
+			if f := inj.Fire(faultinject.SiteDaemon, d.node.String()); f != nil && f.Kind == faultinject.Crash {
+				d.crash()
+				return
+			}
+			partial := false
+			if f := inj.Fire(faultinject.SiteChunk, strconv.FormatInt(st.Offset, 10)); f != nil {
+				switch f.Kind {
+				case faultinject.Drop:
+					fail()
+					return
+				case faultinject.PartialWrite:
+					partial = true
+				}
+			}
 			// Drain the peer's registered buffer with scif_vreadfrom.
 			rdma, err := ep.VReadFrom(staging[sl], 0, n, windows[sl])
 			if err != nil {
-				abort()
+				fail()
 				return
 			}
 			content := staging[sl].SnapshotRange(0, n)
@@ -301,11 +516,37 @@ func (d *Daemon) serveWrite(ep *scif.Endpoint, streamID int64, path string, wind
 					abort()
 					return
 				}
-				fsWrite, err = asm.sw.WriteBlobAt(fileOff, content)
+				if partial {
+					// Injected partial stripe write: persist a prefix,
+					// report failure, and never credit coverage — the
+					// resumed stream replays the whole chunk.
+					_, _ = asm.sw.WriteBlobAt(fileOff, content.Slice(0, n/2)) //nolint:errcheck // injected fault: the chunk is nacked below regardless of how the half-write fared
+					nack("injected fault: partial stripe write")
+					fail()
+					return
+				}
+				if d.coveredRange(asm, fileOff, fileOff+n) {
+					// Idempotent replay of bytes that are already
+					// durable (a resumed stream's watermark undercounts
+					// acked-but-uncredited chunks): ack without touching
+					// the file — it may even have committed under us.
+					fsWrite = 0
+				} else {
+					fsWrite, err = asm.sw.WriteBlobAt(fileOff, content)
+					if err == nil {
+						d.credit(asm, fileOff, n)
+					}
+				}
 			} else {
 				if fileOff >= 0 {
 					nack("positioned chunk on an unstriped stream")
 					abort()
+					return
+				}
+				if partial {
+					_, _ = fw.WriteBlob(content.Slice(0, n/2)) //nolint:errcheck // injected fault: the chunk is nacked below regardless of how the half-write fared
+					nack("injected fault: partial write")
+					fail()
 					return
 				}
 				fsWrite, err = fw.WriteBlob(content)
@@ -326,7 +567,7 @@ func (d *Daemon) serveWrite(ep *scif.Endpoint, streamID int64, path string, wind
 		case msgClose:
 			var err error
 			if striped {
-				err = d.releaseAssembly(path, st.Length, false)
+				err = d.releaseAssembly(path, asm, false)
 			} else {
 				err = fw.Close()
 			}
@@ -336,11 +577,14 @@ func (d *Daemon) serveWrite(ep *scif.Endpoint, streamID int64, path string, wind
 			}
 			d.reply(ep, func(w *wire) { w.u8(msgCloseResp); w.str(msg) })
 			return
+		case msgDetach:
+			fail()
+			return
 		case msgAbort:
 			abort()
 			return
 		default:
-			abort()
+			fail()
 			return
 		}
 	}
@@ -381,6 +625,9 @@ func (d *Daemon) serveRead(ep *scif.Endpoint, streamID int64, path string, windo
 		case msgPull:
 			sid := u.i64()
 			sl := int(u.u8())
+			if u.err() != nil {
+				return // truncated or corrupted request
+			}
 			nack := func(msg string) {
 				d.reply(ep, func(w *wire) {
 					w.u8(msgChunkHere)
@@ -398,6 +645,18 @@ func (d *Daemon) serveRead(ep *scif.Endpoint, streamID int64, path string, windo
 			}
 			if sl < 0 || sl >= len(staging) {
 				nack(fmt.Sprintf("pull names slot %d of %d", sl, len(staging)))
+				return
+			}
+			// The read path consults the same fault plan as the write
+			// path: restores face the same daemon crashes and chunk
+			// faults captures do.
+			inj := d.svc.net.Fabric().Injector()
+			if f := inj.Fire(faultinject.SiteDaemon, d.node.String()); f != nil && f.Kind == faultinject.Crash {
+				d.crash()
+				return
+			}
+			if f := inj.Fire(faultinject.SiteChunk, strconv.FormatInt(st.Offset, 10)); f != nil && f.Kind != faultinject.Slow {
+				nack("injected fault: chunk read failed")
 				return
 			}
 			chunk, fsRead, err := fr.Next(d.bufSize)
@@ -432,7 +691,7 @@ func (d *Daemon) serveRead(ep *scif.Endpoint, streamID int64, path string, windo
 				w.dur(fsRead)
 				w.dur(rdma)
 			})
-		case msgClose, msgAbort:
+		case msgClose, msgAbort, msgDetach:
 			d.reply(ep, func(w *wire) { w.u8(msgCloseResp); w.str("") })
 			return
 		default:
@@ -555,6 +814,8 @@ func (d *Daemon) open(target simnet.NodeID, path string, mode Mode, opts OpenOpt
 			"Per-chunk sizes moved through the staging slots.", chunkSizeBuckets, nodeL, modeL),
 		abortCtr: mx.Counter("snapifyio_aborts_total",
 			"Streams discarded via Abort.", nodeL),
+		detachCtr: mx.Counter("snapifyio_detaches_total",
+			"Streams detached for a later watermark resume.", nodeL),
 		errCtr: mx.Counter("snapifyio_remote_errors_total",
 			"Errors reported by the remote daemon on an open stream.", nodeL),
 		// The open handshake: UNIX socket to the local daemon, SCIF

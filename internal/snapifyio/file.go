@@ -42,6 +42,7 @@ type File struct {
 	bytesCtr  *obs.Counter
 	chunkHist *obs.Histogram
 	abortCtr  *obs.Counter
+	detachCtr *obs.Counter
 	errCtr    *obs.Counter
 
 	// pending is fixed overhead (open handshake) charged on the next chunk.
@@ -52,6 +53,14 @@ type File struct {
 	seq       int   // round-robin slot cursor
 	fileOff   int64 // next write offset; -1 means append (unstriped)
 	stripeEnd int64
+
+	// Acknowledgement watermark: lengths of in-flight chunks in send
+	// order, and the bytes durably written by the remote daemon so far.
+	// Acks arrive in send order and a chunk is written in full before
+	// it is acknowledged, so acked is always a contiguous prefix of the
+	// stream's payload — the resume point after a fault.
+	sentLens []int64
+	acked    int64
 
 	// read-mode prefetch state.
 	pulls   int // outstanding msgPull requests
@@ -104,17 +113,54 @@ func (f *File) awaitAck(stages *[3]simclock.Duration) error {
 	}
 	u.u8() // slot index; acks arrive in send order
 	f.inflight--
-	if msg := u.str(); msg != "" {
+	msg := u.str()
+	rdma := u.dur() + f.model.SCIFMsgLatency // notify + DMA
+	fsWrite := u.dur()
+	if err := u.err(); err != nil {
+		return err
+	}
+	chunkLen := int64(0)
+	if len(f.sentLens) > 0 {
+		chunkLen = f.sentLens[0]
+		f.sentLens = f.sentLens[1:]
+	}
+	if msg != "" {
+		// A nacked chunk was not durably written; it does not advance
+		// the watermark.
 		f.errCtr.Inc()
 		return &RemoteError{Node: f.target, Path: "", Msg: msg}
 	}
-	rdma := u.dur() + f.model.SCIFMsgLatency // notify + DMA
-	fsWrite := u.dur()
+	f.acked += chunkLen
 	if stages != nil {
 		stages[1] += rdma
 		stages[2] += fsWrite
 	}
 	return nil
+}
+
+// Acked returns the stream's acknowledgement watermark: the number of
+// payload bytes the remote daemon has durably written and acknowledged.
+// After a fault, a writer resumes from this offset instead of replaying
+// the whole stripe. Part of stream.Watermarked.
+func (f *File) Acked() int64 { return f.acked }
+
+// Detach abandons the stream without poisoning a shared striped
+// assembly: the remote daemon keeps the assembled ranges so a
+// replacement stream can resume from the acknowledgement watermark.
+// Contrast Abort, which discards the whole assembly.
+func (f *File) Detach() {
+	if f.closed {
+		return
+	}
+	f.closed = true
+	f.detachCtr.Inc()
+	if f.release != nil {
+		defer f.release()
+	}
+	w := &wire{}
+	w.u8(msgDetach)
+	f.ep.Send(w.buf) //nolint:errcheck // best effort: the remote handler also detaches on reset
+	f.ep.Close()     //nolint:errcheck // detach path: dropping the connection carries the signal
 }
 
 // WriteBlob streams one chunk (split at the staging buffer size) to the
@@ -161,6 +207,7 @@ func (f *File) WriteBlob(b blob.Blob) (stream.Cost, error) {
 			return err
 		}
 		f.inflight++
+		f.sentLens = append(f.sentLens, chunk.Len())
 		for f.inflight > len(f.slots)-1 {
 			if err := f.awaitAck(&stages); err != nil {
 				return err
@@ -241,13 +288,17 @@ func (f *File) Next(max int64) (blob.Blob, stream.Cost, error) {
 		}
 		sl := int(u.u8())
 		f.pulls--
-		if msg := u.str(); msg != "" {
-			f.errCtr.Inc()
-			return blob.Blob{}, stream.Cost{}, &RemoteError{Node: f.target, Path: "", Msg: msg}
-		}
+		msg := u.str()
 		n := u.i64()
 		fsRead := u.dur()
 		rdma := u.dur() + f.model.SCIFMsgLatency
+		if err := u.err(); err != nil {
+			return blob.Blob{}, stream.Cost{}, err
+		}
+		if msg != "" {
+			f.errCtr.Inc()
+			return blob.Blob{}, stream.Cost{}, &RemoteError{Node: f.target, Path: "", Msg: msg}
+		}
 		if n == 0 {
 			f.eof = true
 			// Drain the remaining prefetch replies (all EOF markers, since
@@ -337,7 +388,11 @@ func (f *File) Close() error {
 	if err != nil {
 		return err
 	}
-	if msg := u.str(); msg != "" {
+	msg := u.str()
+	if err := u.err(); err != nil {
+		return err
+	}
+	if msg != "" {
 		return &RemoteError{Node: f.target, Path: "", Msg: msg}
 	}
 	return nil

@@ -2,6 +2,7 @@ package snapifyio
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"snapify/internal/simclock"
@@ -20,7 +21,14 @@ const (
 	msgAbort
 	msgMetricsDump // control: dump the service metrics registry (SIGUSR1 analogue)
 	msgMetricsResp
+	msgDetach  // write mode: stream departs but the striped assembly survives for a resume
+	msgDiscard // control: drop a pending striped assembly and its partial file
+	msgDiscardResp
 )
+
+// errTruncated is reported when a message is shorter than its fields
+// claim — either a protocol bug or an injected truncation fault.
+var errTruncated = errors.New("snapifyio: truncated message")
 
 // wire is a minimal append/consume codec for the daemon protocol.
 type wire struct{ buf []byte }
@@ -33,18 +41,31 @@ func (w *wire) str(s string) {
 	w.buf = append(w.buf, s...)
 }
 
+// unwire consumes a wire message. Every accessor bounds-checks: reading
+// past the end (a truncated or corrupted message) latches the bad flag
+// and yields zero values, and the caller checks err() once after
+// decoding instead of trusting the peer's framing.
 type unwire struct {
 	buf []byte
 	off int
+	bad bool
 }
 
 func (u *unwire) u8() uint8 {
+	if u.off+1 > len(u.buf) {
+		u.bad = true
+		return 0
+	}
 	v := u.buf[u.off]
 	u.off++
 	return v
 }
 
 func (u *unwire) i64() int64 {
+	if u.off+8 > len(u.buf) {
+		u.bad = true
+		return 0
+	}
 	v := binary.BigEndian.Uint64(u.buf[u.off:])
 	u.off += 8
 	return int64(v)
@@ -54,15 +75,27 @@ func (u *unwire) dur() simclock.Duration { return simclock.Duration(u.i64()) }
 
 func (u *unwire) str() string {
 	n := int(u.i64())
+	if n < 0 || u.off+n > len(u.buf) {
+		u.bad = true
+		return ""
+	}
 	s := string(u.buf[u.off : u.off+n])
 	u.off += n
 	return s
 }
 
+// err reports whether any accessor ran past the message end.
+func (u *unwire) err() error {
+	if u.bad {
+		return errTruncated
+	}
+	return nil
+}
+
 // expect decodes a message and verifies its type.
 func expect(raw []byte, want uint8) (*unwire, error) {
 	u := &unwire{buf: raw}
-	if got := u.u8(); got != want {
+	if got := u.u8(); u.bad || got != want {
 		return nil, fmt.Errorf("snapifyio: protocol error: got message %d, want %d", got, want)
 	}
 	return u, nil

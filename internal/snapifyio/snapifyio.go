@@ -165,6 +165,53 @@ func (s *Service) DumpMetrics(localNode, targetNode simnet.NodeID) (string, erro
 	return u.str(), nil
 }
 
+// Discard asks the daemon on targetNode to drop the pending striped
+// assembly of path, removing its partial file. Writers call it after
+// exhausting their retries so a failed capture leaves no artifact; a
+// discard of a path with no pending assembly is a no-op.
+func (s *Service) Discard(localNode, targetNode simnet.NodeID, path string) error {
+	ep, err := s.net.Connect(localNode, scif.Addr{Node: targetNode, Port: Port})
+	if err != nil {
+		return err
+	}
+	defer ep.Close() //nolint:errcheck // one-shot control round-trip; Recv already surfaced any peer error
+	w := &wire{}
+	w.u8(msgDiscard)
+	w.str(path)
+	if _, err := ep.Send(w.buf); err != nil {
+		return err
+	}
+	raw, _, err := ep.Recv()
+	if err != nil {
+		return err
+	}
+	u, err := expect(raw, msgDiscardResp)
+	if err != nil {
+		return err
+	}
+	msg := u.str()
+	if err := u.err(); err != nil {
+		return err
+	}
+	if msg != "" {
+		return &RemoteError{Node: targetNode, Path: path, Msg: msg}
+	}
+	return nil
+}
+
+// CrashDaemon crashes (and immediately restarts) the daemon on node:
+// connections die, in-progress assemblies are discarded with their
+// partial files. Test hook for the chaos tier; the injected Crash fault
+// takes the same path.
+func (s *Service) CrashDaemon(node simnet.NodeID) error {
+	d, err := s.Daemon(node)
+	if err != nil {
+		return err
+	}
+	d.crash()
+	return nil
+}
+
 // StartDaemon launches the Snapify-IO daemon on node, serving its local
 // file system fs, with the default 4 MiB staging buffer.
 func (s *Service) StartDaemon(node simnet.NodeID, fs vfs.NodeFS) (*Daemon, error) {
@@ -238,5 +285,8 @@ func (s *Service) Stop() {
 		d.lst.Close() //nolint:errcheck // service stop: a close error on the accept listener has no recovery
 		close(d.done)
 		delete(s.daemons, node)
+		// Drop any assemblies still waiting for a resume so no partial
+		// files outlive the service.
+		d.crash()
 	}
 }

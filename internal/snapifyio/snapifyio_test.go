@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 	"testing"
 
 	"snapify/internal/blob"
+	"snapify/internal/hostfs"
 	"snapify/internal/phi"
 	"snapify/internal/scif"
 	"snapify/internal/simclock"
@@ -352,5 +354,98 @@ func TestMismatchedStagingBufferRejected(t *testing.T) {
 	}
 	if _, err := svc.StartDaemonBuf(2, nil, 0); err == nil {
 		t.Fatal("zero buffer size must be rejected")
+	}
+}
+
+// TestDaemonCrashLeavesNoPartialFiles is the daemon-abort orphan
+// regression (DESIGN.md §10): a daemon that dies mid-stripe must take
+// its in-progress ".partial" assembly markers with it. Before the fix,
+// the crash wiped the assembly table but the marker survived on the
+// host file system, shadowing later captures to the same path.
+func TestDaemonCrashLeavesNoPartialFiles(t *testing.T) {
+	r := newRig(t)
+	const total = 8 * int64(simclock.MiB)
+	f, err := r.svc.OpenStream(1, simnet.HostNode, "/snap/crashed", Write, OpenOptions{
+		Slots:  2,
+		Stripe: Stripe{Offset: 0, Length: total, Total: total},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Move one chunk so the sparse assembly (and its marker) exists.
+	if _, err := f.WriteBlob(blob.Synthetic(3, DefaultBufSize)); err != nil {
+		t.Fatal(err)
+	}
+	if !r.server.Host.FS.Exists("/snap/crashed" + hostfs.PartialSuffix) {
+		t.Fatal("no partial marker while the stripe is in progress")
+	}
+	if err := r.svc.CrashDaemon(simnet.HostNode); err != nil {
+		t.Fatal(err)
+	}
+	// The stream is dead; its next operation fails.
+	if _, err := f.WriteBlob(blob.Synthetic(4, DefaultBufSize)); err == nil {
+		t.Error("write after daemon crash must fail")
+	}
+	f.Abort()
+	for _, p := range r.server.Host.FS.List("") {
+		if strings.HasSuffix(p, hostfs.PartialSuffix) {
+			t.Errorf("orphan partial file after daemon crash: %s", p)
+		}
+	}
+	if r.server.Host.FS.Exists("/snap/crashed") {
+		t.Error("crashed assembly must not surface as a committed file")
+	}
+	// The restarted daemon accepts new streams on the same path, and a
+	// clean write commits.
+	f2, err := r.svc.OpenStream(1, simnet.HostNode, "/snap/crashed", Write, OpenOptions{
+		Slots:  2,
+		Stripe: Stripe{Offset: 0, Length: total, Total: total},
+	})
+	if err != nil {
+		t.Fatalf("open after daemon restart: %v", err)
+	}
+	content := blob.Synthetic(5, total)
+	if err := content.ForEachChunk(DefaultBufSize, func(chunk blob.Blob) error {
+		_, werr := f2.WriteBlob(chunk)
+		return werr
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := r.server.Host.FS.ReadFile("/snap/crashed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !blob.Equal(got, content) {
+		t.Error("post-restart capture differs from what was written")
+	}
+}
+
+// TestDiscardRemovesPendingAssembly covers the writer-gave-up path: a
+// Discard control request drops the pending assembly and its marker.
+func TestDiscardRemovesPendingAssembly(t *testing.T) {
+	r := newRig(t)
+	// The stripe is twice the chunk the writer manages to send: the
+	// abandoned assembly is genuinely incomplete, so neither the detach
+	// nor the discard may ever commit it.
+	const total = 8 * int64(simclock.MiB)
+	f, err := r.svc.OpenStream(1, simnet.HostNode, "/snap/given_up", Write, OpenOptions{
+		Slots:  1,
+		Stripe: Stripe{Offset: 0, Length: total, Total: total},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteBlob(blob.Synthetic(6, DefaultBufSize)); err != nil {
+		t.Fatal(err)
+	}
+	f.Detach()
+	if err := r.svc.Discard(1, simnet.HostNode, "/snap/given_up"); err != nil {
+		t.Fatal(err)
+	}
+	if r.server.Host.FS.Exists("/snap/given_up"+hostfs.PartialSuffix) || r.server.Host.FS.Exists("/snap/given_up") {
+		t.Error("discard left the assembly or its marker behind")
 	}
 }

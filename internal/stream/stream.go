@@ -57,6 +57,23 @@ type Source interface {
 	Close() error
 }
 
+// Watermarked is implemented by sinks that track a durability watermark:
+// Acked returns how many bytes of the stream the remote end has
+// acknowledged as written, in order, with no gaps. After a transport
+// fault, a writer may resume from this offset instead of starting over.
+type Watermarked interface {
+	Acked() int64
+}
+
+// Detacher is implemented by sinks that can part with a shared remote
+// assembly without poisoning it: Detach abandons this transport leg but
+// leaves the bytes already acknowledged in place, so a successor stream
+// opened over the remaining range completes the same file. Contrast
+// Abort, which discards the whole assembly.
+type Detacher interface {
+	Detach()
+}
+
 // Flusher is implemented by sinks that pipeline writes internally (keeping
 // chunks in flight across WriteBlob calls, like a multi-slot Snapify-IO
 // stream) and can drain the in-flight tail. Flush blocks until every

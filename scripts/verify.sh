@@ -29,6 +29,15 @@ go run ./cmd/snapifylint ./internal/... ./cmd/...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> chaos tier (fault-injection sweeps + seed replay, -count=2)"
+# The chaos tier re-runs the deterministic fault-injection sweeps twice
+# under the race detector: every single-fault case must end atomic (no
+# torn snapshot, no orphan .partial) or retryable, and the seeded runs
+# (seeds pinned inside the tests: 1, 7, 0xC0FFEE) must replay to
+# byte-identical Chrome traces. -count=2 makes cross-run nondeterminism
+# a failure, not a flake.
+go test -race -count=2 -run 'TestChaos|TestSeedReplay' ./internal/core/
+
 echo "==> snapbench -parallel -smoke -trace (parallel capture + trace smoke)"
 # The -trace flag makes snapbench export the sweep's Chrome trace and
 # schema-check it (obs.ValidateChromeTrace) before writing; a malformed
