@@ -17,6 +17,10 @@
 //	snapbench -parallel -trace out.json
 //	                          # also export the sweep's virtual-clock trace
 //	                          # (Chrome trace-event JSON; open in Perfetto)
+//	snapbench -store -json BENCH_dedup.json
+//	                          # repeated swap cycles through the dedup store
+//	                          # vs plain files: bytes shipped each way
+//	snapbench -store -smoke   # same comparison on a small image (CI gate)
 //	snapbench -faults plan.json
 //	                          # capture under an injected fault plan; report
 //	                          # the degraded-path (retry/replay) overhead
@@ -38,15 +42,16 @@ func main() {
 	fig := flag.Int("fig", 0, "regenerate one figure (9, 10, or 11)")
 	ablations := flag.Bool("ablations", false, "run the design-choice ablations")
 	parallel := flag.Bool("parallel", false, "run the multi-stream parallel capture sweep")
-	jsonPath := flag.String("json", "", "with -parallel: also write the sweep as JSON to this file")
-	tracePath := flag.String("trace", "", "with -parallel: write the sweep's Chrome trace-event JSON to this file (open in Perfetto)")
-	smoke := flag.Bool("smoke", false, "with -parallel or -faults: use a small image (fast CI smoke, shape still checked)")
+	store := flag.Bool("store", false, "run the dedup-store swap-cycle comparison")
+	jsonPath := flag.String("json", "", "with -parallel or -store: also write the result as JSON to this file")
+	tracePath := flag.String("trace", "", "with -parallel or -store: write the run's Chrome trace-event JSON to this file (open in Perfetto)")
+	smoke := flag.Bool("smoke", false, "with -parallel, -store, or -faults: use a small image (fast CI smoke, shape still checked)")
 	faults := flag.String("faults", "", "path to a fault-plan JSON; benchmark a capture riding out the plan via retry (see internal/faultinject)")
 	all := flag.Bool("all", false, "regenerate everything")
 	check := flag.Bool("check", false, "verify the paper's qualitative claims against the results")
 	flag.Parse()
 
-	if !*all && *table == 0 && *fig == 0 && !*ablations && !*parallel && *faults == "" {
+	if !*all && *table == 0 && *fig == 0 && !*ablations && !*parallel && !*store && *faults == "" {
 		*all = true
 	}
 
@@ -93,6 +98,14 @@ func main() {
 	}
 	if *all || *parallel {
 		runParallel(*smoke, *jsonPath, *tracePath)
+	}
+	if *all || *store {
+		// -all writes no files; explicit -store honors -json/-trace.
+		jp, tp := *jsonPath, *tracePath
+		if *all && !*store {
+			jp, tp = "", ""
+		}
+		runStore(*smoke, jp, tp)
 	}
 	if *faults != "" {
 		runFaults(*faults, *smoke)
@@ -155,6 +168,52 @@ func runParallel(smoke bool, jsonPath, tracePath string) {
 		out, err := res.JSON()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "snapbench: parallel capture: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(jsonPath, out, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "snapbench: writing %s: %v\n", jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[wrote %s]\n", jsonPath)
+	}
+	if tracePath != "" {
+		out := res.TraceJSON()
+		if err := obs.ValidateChromeTrace(out); err != nil {
+			fmt.Fprintf(os.Stderr, "snapbench: trace validation FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(tracePath, out, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "snapbench: writing %s: %v\n", tracePath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[wrote %s: valid Chrome trace; open at ui.perfetto.dev]\n", tracePath)
+	}
+}
+
+// runStore executes the dedup-store swap-cycle comparison. Its shape
+// check (>= 3x shipped-byte reduction, checksum-identical restores,
+// negotiation spans scoped to captures, GC back to zero chunks) always
+// runs: the benchmark exists to pin those claims, -check or not.
+func runStore(smoke bool, jsonPath, tracePath string) {
+	size := int64(experiments.DedupSwapImageBytes)
+	if smoke {
+		size = 256 * simclock.MiB
+	}
+	res, err := experiments.DedupSwap(size, experiments.DedupSwapCycles)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "snapbench: dedup swap: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(res.Render())
+	if err := res.CheckShape(); err != nil {
+		fmt.Fprintf(os.Stderr, "snapbench: dedup swap shape check FAILED: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("[dedup swap shape check: OK]")
+	if jsonPath != "" {
+		out, err := res.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snapbench: dedup swap: %v\n", err)
 			os.Exit(1)
 		}
 		if err := os.WriteFile(jsonPath, out, 0o644); err != nil {

@@ -12,12 +12,18 @@
 // Usage:
 //
 //	snapifyctl [command...]
-//	    commands: swapout | swapin <device> | migrate <device>
+//	    commands: swapout [store] | swapin <device> | migrate <device> [store]
+//	            | store ls|stat|verify|gc
 //	            | trace <out.json> | metrics
 //	    default sequence: swapout, swapin 2, migrate 1
 //
-// trace writes the session's virtual-clock trace as Chrome trace-event
-// JSON (open it at ui.perfetto.dev); metrics prints the platform metrics
+// swapout store (and migrate <device> store) capture through the
+// content-addressed dedup store instead of plain host files; the store
+// subcommands inspect it: ls lists committed manifests, stat prints
+// chunk/dedup statistics, verify re-digests every chunk and checks the
+// refcount invariants, and gc runs a mark-and-sweep collection. trace
+// writes the session's virtual-clock trace as Chrome trace-event JSON
+// (open it at ui.perfetto.dev); metrics prints the platform metrics
 // registry in Prometheus text exposition. Both observe whatever commands
 // ran before them in the sequence.
 package main
@@ -32,6 +38,7 @@ import (
 	"snapify"
 	"snapify/internal/obs"
 	"snapify/internal/proc"
+	"snapify/internal/snapstore"
 )
 
 func main() {
@@ -61,6 +68,11 @@ func main() {
 		if cmd == "metrics" {
 			fmt.Printf("\n$ snapifyctl metrics\n")
 			fmt.Print(srv.Platform.Obs.MetricsOf().Expose())
+			continue
+		}
+		if sub, ok := strings.CutPrefix(cmd, "store "); ok {
+			fmt.Printf("\n$ snapifyctl store %s\n", sub)
+			storeCommand(srv.Platform.Store, sub)
 			continue
 		}
 		if path, ok := strings.CutPrefix(cmd, "trace "); ok {
@@ -101,7 +113,12 @@ func parseCommands(argv []string) []string {
 	for i := 0; i < len(argv); i++ {
 		switch argv[i] {
 		case "swapout":
-			out = append(out, "swapout /ctl/snap")
+			cmd := "swapout /ctl/snap"
+			if i+1 < len(argv) && argv[i+1] == "store" {
+				cmd += " store"
+				i++
+			}
+			out = append(out, cmd)
 		case "swapin", "migrate":
 			if i+1 >= len(argv) {
 				fatal(fmt.Errorf("%s needs a device argument", argv[i]))
@@ -109,7 +126,23 @@ func parseCommands(argv []string) []string {
 			if argv[i] == "swapin" {
 				out = append(out, "swapin "+argv[i+1])
 			} else {
-				out = append(out, "migrate "+argv[i+1]+" /ctl/mig")
+				cmd := "migrate " + argv[i+1] + " /ctl/mig"
+				if i+2 < len(argv) && argv[i+2] == "store" {
+					cmd += " store"
+					i++
+				}
+				out = append(out, cmd)
+			}
+			i++
+		case "store":
+			if i+1 >= len(argv) {
+				fatal(fmt.Errorf("store needs a subcommand (ls | stat | verify | gc)"))
+			}
+			switch argv[i+1] {
+			case "ls", "stat", "verify", "gc":
+				out = append(out, "store "+argv[i+1])
+			default:
+				fatal(fmt.Errorf("unknown store subcommand %q (want ls | stat | verify | gc)", argv[i+1]))
 			}
 			i++
 		case "metrics":
@@ -121,10 +154,55 @@ func parseCommands(argv []string) []string {
 			out = append(out, "trace "+argv[i+1])
 			i++
 		default:
-			fatal(fmt.Errorf("unknown command %q (want swapout | swapin <dev> | migrate <dev> | trace <out> | metrics)", argv[i]))
+			fatal(fmt.Errorf("unknown command %q (want swapout [store] | swapin <dev> | migrate <dev> [store] | store <sub> | trace <out> | metrics)", argv[i]))
 		}
 	}
 	return out
+}
+
+// storeCommand services one `store <sub>` inspection command against the
+// platform's dedup store.
+func storeCommand(st *snapstore.Store, sub string) {
+	switch sub {
+	case "ls":
+		paths := st.List()
+		if len(paths) == 0 {
+			fmt.Println("  (no committed manifests)")
+			return
+		}
+		for _, p := range paths {
+			m, _, err := st.Manifest(p)
+			fatal(err)
+			parent := "-"
+			if m.Parent != "" {
+				parent = m.Parent
+			}
+			fmt.Printf("  %s  %d bytes, %d chunks, refs %d, parent %s\n",
+				m.Path, m.Size, len(m.Chunks), m.Refs, parent)
+		}
+	case "stat":
+		s := st.Stats()
+		fmt.Printf("  manifests:     %d\n", s.Manifests)
+		fmt.Printf("  chunks:        %d (%d bytes stored)\n", s.Chunks, s.StoredBytes)
+		fmt.Printf("  logical bytes: %d\n", s.LogicalBytes)
+		fmt.Printf("  dedup ratio:   %.2fx\n", s.DedupRatio())
+		fmt.Printf("  reclaimable:   %d chunks (%d bytes)\n", s.ReclaimableChunks, s.ReclaimableBytes)
+	case "verify":
+		problems, _ := st.Verify()
+		if len(problems) == 0 {
+			fmt.Println("  store consistent: every chunk matches its digest, every reference resolves")
+			return
+		}
+		for _, p := range problems {
+			fmt.Printf("  PROBLEM: %s\n", p)
+		}
+		fatal(fmt.Errorf("store verify found %d problems", len(problems)))
+	case "gc":
+		gs, _, err := st.GC(0)
+		fatal(err)
+		fmt.Printf("  scanned %d chunks, reclaimed %d (%d bytes), swept %d stale tmp files, %d live\n",
+			gs.ChunksScanned, gs.ChunksReclaimed, gs.BytesReclaimed, gs.TmpSwept, gs.ChunksLive)
+	}
 }
 
 func demoBinary() *snapify.Binary {

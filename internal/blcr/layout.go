@@ -1,0 +1,115 @@
+package blcr
+
+import (
+	"fmt"
+
+	"snapify/internal/blob"
+	"snapify/internal/proc"
+	"snapify/internal/simclock"
+)
+
+// Layout is a checkpoint's byte-exact context-file layout, computed
+// without writing a byte anywhere. The dedup-aware capture path uses
+// it in three steps: digest the image chunk by chunk (ChunkDigests),
+// negotiate a have/need set against the store, then ship only the
+// missing ranges (Range) — the bytes are identical, offset for offset,
+// to what the plain serial or striped writers would have produced.
+type Layout struct {
+	c      *Checkpointer
+	pl     *plan
+	onHost bool
+}
+
+// LayoutFull lays out the full-checkpoint format of an already-quiesced
+// process.
+func (c *Checkpointer) LayoutFull(p *proc.Process) (*Layout, error) {
+	if p.State() != proc.Running {
+		return nil, fmt.Errorf("blcr: cannot lay out %s process %s", p.State(), p.Name())
+	}
+	return &Layout{c: c, pl: c.planFull(p), onHost: p.Node().IsHost()}, nil
+}
+
+// LayoutDelta lays out the delta-checkpoint format (dirty ranges only).
+// Regions are NOT marked clean: the caller does that itself once the
+// capture is verified end-to-end, exactly like the KeepDirty writers.
+func (c *Checkpointer) LayoutDelta(p *proc.Process) (*Layout, error) {
+	if p.State() != proc.Running {
+		return nil, fmt.Errorf("blcr: cannot lay out %s process %s", p.State(), p.Name())
+	}
+	return &Layout{c: c, pl: c.planDelta(p, p.Node().IsHost()), onHost: p.Node().IsHost()}, nil
+}
+
+// Size is the laid-out context file's exact byte length.
+func (l *Layout) Size() int64 { return l.pl.total }
+
+// Stats returns the layout's counts (Bytes, MetaWrites, Regions,
+// Threads); Duration is zero — laying out moves no data.
+func (l *Layout) Stats() Stats { return l.pl.st }
+
+// Range materializes bytes [off, off+n) of the laid-out context file.
+// Out-of-range requests are clipped to the file.
+func (l *Layout) Range(off, n int64) blob.Blob {
+	if off < 0 {
+		off = 0
+	}
+	if off+n > l.pl.total {
+		n = l.pl.total - off
+	}
+	if n <= 0 {
+		return blob.FromBytes(nil)
+	}
+	var parts []blob.Blob
+	pos := int64(0)
+	for _, sg := range l.pl.segs {
+		fl := sg.fileLen()
+		segStart, segEnd := pos, pos+fl
+		pos = segEnd
+		if segEnd <= off {
+			continue
+		}
+		if segStart >= off+n {
+			break
+		}
+		s := segStart
+		if off > s {
+			s = off
+		}
+		e := segEnd
+		if off+n < e {
+			e = off + n
+		}
+		if sg.region == nil {
+			parts = append(parts, sg.meta.Slice(s-segStart, e-s))
+		} else {
+			parts = append(parts, sg.region.SnapshotRange(sg.regOff+(s-segStart), e-s))
+		}
+	}
+	return blob.Concat(parts...)
+}
+
+// ChunkDigests digests the layout in chunk-sized windows (<=0 means
+// PageChunk) using the supplied digest function — the function lives in
+// internal/snapstore; keeping it a parameter keeps blcr free of hash
+// imports (snapifylint's storegate pins that). The returned duration is
+// the virtual cost of the digest pass: one page-table walk plus one
+// memcpy-rate read of the image on the process's node, plus any
+// dirty-detection walks the delta layout carries.
+func (l *Layout) ChunkDigests(chunk int64, digest func(blob.Blob) string) ([]string, simclock.Duration) {
+	chunk = chunkOrDefault(chunk)
+	var out []string
+	if l.pl.total > 0 {
+		l.Range(0, l.pl.total).ForEachChunk(chunk, func(piece blob.Blob) error { //nolint:errcheck // the callback never fails
+			out = append(out, digest(piece))
+			return nil
+		})
+	}
+	memcpy := l.c.model.PhiMemcpy
+	if l.onHost {
+		memcpy = l.c.model.HostMemcpy
+	}
+	dur := l.c.walkStage(l.onHost, l.pl.total) + memcpy(l.pl.total)
+	for _, sg := range l.pl.segs {
+		dur += sg.extraWalk
+	}
+	return out, dur
+}

@@ -13,6 +13,7 @@ import (
 	"snapify/internal/simclock"
 	"snapify/internal/simnet"
 	"snapify/internal/snapifyio"
+	"snapify/internal/snapstore"
 	"snapify/internal/stream"
 )
 
@@ -589,12 +590,32 @@ func (op *OffloadProc) snapifyAgent() {
 				MaxAttempts: int(u16(raw[25+dirLen:])),
 				Backoff:     simclock.Duration(u64(raw[27+dirLen:])),
 			}
+			// Dedup-aware captures (StoreOptions on the host side) carry
+			// a store flag and the parent snapshot path after the retry
+			// policy.
+			storeOn := false
+			parent := ""
+			if base := 35 + int(dirLen); len(raw) > base {
+				storeOn = raw[base] == 1
+				pn := int(u32(raw[base+1:]))
+				parent = string(raw[base+5 : base+5+pn])
+			}
 			// Every shard worker of this capture emits a span under one
 			// fresh scope; the host derives its Report from those spans.
 			tracer := op.d.plat.Obs.TracerOf()
 			scope := tracer.NewScope()
 			cr := op.d.plat.CR.WithSpans(tracer, scope, align).WithRetry(rp)
-			st, err := op.runCapture(cr, mode, streams, chunk, dir)
+			var st *blcr.Stats
+			var shipped int64
+			var err error
+			if storeOn {
+				st, shipped, err = op.runCaptureStore(cr, mode, streams, chunk, dir, parent, align, scope)
+			} else {
+				st, err = op.runCapture(cr, mode, streams, chunk, dir)
+				if st != nil {
+					shipped = st.Bytes
+				}
+			}
 			if err == nil && (mode == CaptureBase || mode == CaptureDelta) {
 				for _, r := range op.p.Regions() {
 					r.MarkClean()
@@ -608,6 +629,7 @@ func (op *OffloadProc) snapifyAgent() {
 			resp = appendU64(resp, uint64(st.Bytes))
 			resp = appendU64(resp, uint64(st.Duration))
 			resp = appendU64(resp, scope)
+			resp = appendU64(resp, uint64(shipped))
 			pipe.Send(resp) //nolint:errcheck // fire-and-forget reply: the daemon sees a dead agent on its monitor Recv
 			if terminate {
 				// The daemon tears the process down; this agent thread
@@ -683,6 +705,177 @@ func (op *OffloadProc) runCapture(cr *blcr.Checkpointer, mode uint8, streams int
 		backoffs += rp.BackoffFor(attempt + 1)
 		st, err = op.captureOnce(cr, mode, streams, chunk, path)
 	}
+}
+
+// runCaptureStore is the dedup-aware capture path: instead of streaming
+// every byte, the agent lays out the context file in memory (blcr.Layout),
+// digests it chunk by chunk, negotiates a have/need set against the host's
+// chunk store, and ships only the chunks the store lacks over store-mode
+// striped streams. The committed manifest reassembles a byte-identical
+// context file through the store's overlay file system, so restores (and
+// the end-to-end verification below) use the ordinary read path. Returns
+// the layout stats plus the bytes physically shipped — the dedup win is
+// st.Bytes - shipped.
+func (op *OffloadProc) runCaptureStore(cr *blcr.Checkpointer, mode uint8, streams int, chunk int64, dir, parent string, align simclock.Duration, scope uint64) (*blcr.Stats, int64, error) {
+	name := ContextFileName
+	if mode == CaptureDelta {
+		name = DeltaFileName
+	}
+	path := dir + "/" + name
+	if streams < 1 {
+		streams = 1
+	}
+	if chunk <= 0 {
+		chunk = blcr.PageChunk
+	}
+	var lay *blcr.Layout
+	var err error
+	if mode == CaptureDelta {
+		lay, err = cr.LayoutDelta(op.p)
+	} else {
+		lay, err = cr.LayoutFull(op.p)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	size := lay.Size()
+	digests, digDur := lay.ChunkDigests(chunk, snapstore.Digest)
+
+	rp := cr.Retry()
+	attempts := rp.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	tk := op.agentTrack()
+	tk.AlignTo(align)
+
+	st := lay.Stats()
+	var shipped int64
+	elapsed := digDur
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		passDur, passShipped, err := op.storePass(lay, path, parent, size, chunk, streams, digests, align+elapsed, scope, tk)
+		shipped += passShipped
+		elapsed += passDur
+		if err == nil {
+			if verr := op.verifySnapshotFile(path, size); verr == nil {
+				st.Duration = elapsed
+				return &st, shipped, nil
+			} else {
+				err = verr
+			}
+		}
+		lastErr = err
+		if attempt < attempts {
+			elapsed += rp.BackoffFor(attempt + 1)
+		}
+	}
+	// Give up: drop the pending upload so its pinned digests don't shield
+	// orphaned chunks from GC. Chunks already shipped stay — they are
+	// content-addressed and a later capture may reuse them.
+	op.d.plat.IO.Discard(op.d.dev.Node, simnet.HostNode, path) //nolint:errcheck // best-effort cleanup; the capture error is what propagates
+	return nil, 0, lastErr
+}
+
+// storePass runs one negotiate-then-ship round of a dedup-aware capture.
+// It returns the pass's virtual duration (negotiation round-trip plus the
+// slowest stream) and the bytes shipped. The per-stream capture_stream
+// spans — the host's source of truth for the Report — are emitted only
+// when the pass succeeds, so a retried pass doesn't pollute the scope.
+func (op *OffloadProc) storePass(lay *blcr.Layout, path, parent string, size, chunk int64, streams int, digests []string, at simclock.Duration, scope uint64, tk *obs.Track) (simclock.Duration, int64, error) {
+	need, committed, negDur, err := op.d.plat.IO.Negotiate(op.d.dev.Node, simnet.HostNode, path, parent, size, chunk, digests)
+	tk.Emit(scope, "store_negotiate", at, negDur, map[string]int64{
+		"chunks_total":  int64(len(digests)),
+		"chunks_needed": int64(len(need)),
+	})
+	if err != nil {
+		return negDur, 0, err
+	}
+	if committed {
+		// Every chunk was already resident: the manifest committed during
+		// the negotiation and not one data byte moves.
+		return negDur, 0, nil
+	}
+	chunkLen := func(i int) int64 {
+		n := size - int64(i)*chunk
+		if n > chunk {
+			n = chunk
+		}
+		return n
+	}
+	// Partition the need set into contiguous groups, one stream each.
+	// Chunks are uniform except the last, so an even split by count is an
+	// even split by bytes.
+	if streams > len(need) {
+		streams = len(need)
+	}
+	per := (len(need) + streams - 1) / streams
+	var groups [][]int
+	for i := 0; i < len(need); i += per {
+		e := i + per
+		if e > len(need) {
+			e = len(need)
+		}
+		groups = append(groups, need[i:e])
+	}
+	durs := make([]simclock.Duration, len(groups))
+	bytes := make([]int64, len(groups))
+	ferr := fanout.Run(len(groups), len(groups), func(i int) error {
+		g := groups[i]
+		first := int64(g[0]) * chunk
+		end := int64(g[len(g)-1])*chunk + chunkLen(g[len(g)-1])
+		f, err := op.d.plat.IO.OpenStream(op.d.dev.Node, simnet.HostNode, path, snapifyio.Write, snapifyio.OpenOptions{
+			Slots:  2,
+			Stripe: snapifyio.Stripe{Offset: first, Length: end - first, Total: size},
+			Store:  true,
+		})
+		if err != nil {
+			return err
+		}
+		acc := simclock.NewPipelineAccum()
+		for _, ci := range g {
+			off := int64(ci) * chunk
+			n := chunkLen(ci)
+			cost, err := f.WriteBlobAt(off, lay.Range(off, n))
+			if err != nil {
+				f.Abort()
+				return err
+			}
+			stream.Observe(acc, cost, op.d.plat.Model().PhiMemcpy(n))
+			bytes[i] += n
+		}
+		if cost, err := f.Flush(); err != nil {
+			f.Abort()
+			return err
+		} else {
+			stream.Observe(acc, cost)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		durs[i] = acc.Total()
+		return nil
+	})
+	var wall simclock.Duration
+	var total int64
+	for i := range groups {
+		if durs[i] > wall {
+			wall = durs[i]
+		}
+		total += bytes[i]
+	}
+	if ferr != nil {
+		return negDur + wall, total, ferr
+	}
+	// Mirror the plain parallel capture's per-stream spans so the host's
+	// deriveCapture (and the exported trace) treat both data paths alike.
+	tracer := op.d.plat.Obs.TracerOf()
+	for i := range groups {
+		stk := tracer.Track(op.d.dev.Node.String(), fmt.Sprintf("%s/stream %d", op.p.Name(), i))
+		stk.AlignTo(at + negDur)
+		stk.Emit(scope, "capture_stream", at+negDur, durs[i], map[string]int64{"bytes": bytes[i]})
+	}
+	return negDur + wall, total, nil
 }
 
 // captureOnce runs one capture pass into path.

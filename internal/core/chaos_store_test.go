@@ -1,0 +1,173 @@
+package core
+
+// Chaos cases for the dedup store data path (ISSUE 5): a daemon crash
+// mid-dedup-upload, a crash between a manifest's temp and final writes,
+// and a crash mid-GC sweep. The contract matches the plain chaos tier —
+// atomic-or-retryable — plus the store's own invariants: no dangling
+// manifest, no pinned orphan chunk, refcounts consistent after recovery,
+// and a byte-identical restore when the operation succeeds.
+// scripts/verify.sh runs these twice under -race via the TestChaos filter.
+
+import (
+	"errors"
+	"testing"
+
+	"snapify/internal/coi"
+	"snapify/internal/faultinject"
+	"snapify/internal/simnet"
+	"snapify/internal/snapstore"
+)
+
+// chaosStoreOpts is chaosOpts routed through the dedup store.
+func chaosStoreOpts() CaptureOptions {
+	o := chaosOpts()
+	o.ChunkBytes = 32 * 1024
+	o.Store.Enabled = true
+	return o
+}
+
+// assertStoreConsistent is the post-fault store fsck: Verify finds
+// nothing wrong, and after a GC nothing reclaimable lingers.
+func assertStoreConsistent(t *testing.T, r *rig) {
+	t.Helper()
+	if problems, _ := r.plat.Store.Verify(); len(problems) != 0 {
+		t.Errorf("store inconsistent: %v", problems)
+	}
+	if _, _, err := r.plat.Store.GC(0); err != nil {
+		t.Fatalf("recovery gc: %v", err)
+	}
+	if s := r.plat.Store.Stats(); s.ReclaimableChunks != 0 {
+		t.Errorf("orphan chunks survive gc: %+v", s)
+	}
+}
+
+// TestChaosStoreDaemonCrashMidUpload kills the host Snapify-IO daemon in
+// the middle of a dedup upload. The retry budget lets the capture
+// re-negotiate: chunks that landed before the crash are found as "have"
+// and drop out of the need set, and the capture either completes (with a
+// byte-identical restore) or fails cleanly with no dangling manifest.
+func TestChaosStoreDaemonCrashMidUpload(t *testing.T) {
+	r := newRig(t, "core_chaos_store", 1)
+	r.count(t, 20)
+	ctx := "/snap/chstore/" + coi.ContextFileName
+	s := NewSnapshot("/snap/chstore", r.cp)
+	if err := Pause(s); err != nil {
+		t.Fatal(err)
+	}
+	arm(r, faultinject.Fault{Site: faultinject.SiteDaemon, Key: simnet.HostNode.String(), Kind: faultinject.Crash, Nth: 2})
+	err := s.Capture(chaosStoreOpts())
+	if err == nil {
+		err = Wait(s)
+	}
+	disarm(r)
+	assertNoPartials(t, r.plat)
+	if err != nil {
+		// Clean failure: the snapshot is absent from the store (never a
+		// torn or dangling manifest) and recovery leaves no orphans.
+		t.Logf("store capture failed cleanly: %v", err)
+		if r.plat.Store.Has(ctx) {
+			if problems, _ := r.plat.Store.Verify(); len(problems) != 0 {
+				t.Errorf("committed-but-unreported manifest inconsistent: %v", problems)
+			}
+		}
+		if problems, _ := r.plat.Store.Verify(); len(problems) != 0 {
+			t.Errorf("store inconsistent after failed capture: %v", problems)
+		}
+		if _, _, err := r.plat.Store.GC(0); err != nil {
+			t.Fatalf("gc after failed capture: %v", err)
+		}
+		return
+	}
+	if !r.plat.Store.Has(ctx) {
+		t.Fatal("capture succeeded but no manifest committed")
+	}
+	assertStoreConsistent(t, r)
+	ropts := RestoreOptions{Streams: 2, ChunkBytes: 32 * 1024, Retry: RetryPolicy{MaxAttempts: 4}}
+	ropts.Store.Enabled = true
+	if _, err := SwapinOpts(s, 1, ropts); err != nil {
+		t.Fatalf("swap-in after faulted store capture: %v", err)
+	}
+	if got := r.count(t, 40); got != refSum(40) {
+		t.Errorf("restored computation = %d, want %d", got, refSum(40))
+	}
+}
+
+// TestChaosStoreCommitCrash crashes the daemon between the manifest's
+// temp and final writes. The snapshot is atomically absent; the capture
+// retry re-negotiates, finds every chunk resident, and commits during
+// the negotiation with not one data byte re-shipped.
+func TestChaosStoreCommitCrash(t *testing.T) {
+	r := newRig(t, "core_chaos_store", 1)
+	r.count(t, 20)
+	ctx := "/snap/chcommit/" + coi.ContextFileName
+	s := NewSnapshot("/snap/chcommit", r.cp)
+	if err := Pause(s); err != nil {
+		t.Fatal(err)
+	}
+	arm(r, faultinject.Fault{Site: faultinject.SiteStore, Key: "commit", Kind: faultinject.Crash, Nth: 1})
+	err := s.Capture(chaosStoreOpts())
+	if err == nil {
+		err = Wait(s)
+	}
+	disarm(r)
+	assertNoPartials(t, r.plat)
+	if err != nil {
+		t.Fatalf("retry must ride out a single commit crash: %v", err)
+	}
+	if !r.plat.Store.Has(ctx) {
+		t.Fatal("no committed manifest after retried commit")
+	}
+	// The retried commit reused the same temp name, so nothing stale
+	// lingers and the refcount graph checks out.
+	assertStoreConsistent(t, r)
+	ropts := RestoreOptions{}
+	ropts.Store.Enabled = true
+	if _, err := SwapinOpts(s, 1, ropts); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.count(t, 40); got != refSum(40) {
+		t.Errorf("restored computation = %d, want %d", got, refSum(40))
+	}
+}
+
+// TestChaosStoreGCCrash interrupts a GC sweep mid-scan. The sweep only
+// ever deletes garbage, so the partial run is harmless and a re-run
+// converges on the empty store.
+func TestChaosStoreGCCrash(t *testing.T) {
+	r := newRig(t, "core_chaos_store", 1)
+	r.count(t, 20)
+	ctx := "/snap/chgc/" + coi.ContextFileName
+	if _, err := SwapoutOpts("/snap/chgc", r.cp, chaosStoreOpts()); err != nil {
+		t.Fatal(err)
+	}
+	before := r.plat.Store.Stats()
+	if before.Chunks < 2 {
+		t.Fatalf("need at least 2 chunks to interrupt a sweep, have %d", before.Chunks)
+	}
+	// Drop the snapshot: every chunk becomes garbage.
+	if _, err := r.plat.Store.Release(ctx); err != nil {
+		t.Fatal(err)
+	}
+	arm(r, faultinject.Fault{Site: faultinject.SiteStore, Key: "gc", Kind: faultinject.Crash, Nth: 2})
+	gs, _, err := r.plat.Store.GC(0)
+	disarm(r)
+	if !errors.Is(err, snapstore.ErrInterrupted) {
+		t.Fatalf("interrupted gc returned %v, want ErrInterrupted", err)
+	}
+	if gs.ChunksScanned != 2 || gs.ChunksReclaimed != 1 {
+		t.Errorf("interrupted gc stats: %+v", gs)
+	}
+	if problems, _ := r.plat.Store.Verify(); len(problems) != 0 {
+		t.Errorf("store inconsistent after interrupted gc: %v", problems)
+	}
+	// The re-run converges: zero chunks, zero manifests, nothing dangling.
+	if _, _, err := r.plat.Store.GC(0); err != nil {
+		t.Fatal(err)
+	}
+	if s := r.plat.Store.Stats(); s.Chunks != 0 || s.Manifests != 0 {
+		t.Errorf("gc re-run did not converge: %+v", s)
+	}
+	if problems, _ := r.plat.Store.Verify(); len(problems) != 0 {
+		t.Errorf("store inconsistent after recovery: %v", problems)
+	}
+}

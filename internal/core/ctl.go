@@ -24,9 +24,10 @@ import (
 type CommandServer struct {
 	plat *platform.Platform
 
-	mu      sync.Mutex
-	cp      *coi.Process
-	swapped *Snapshot // set while the offload process is swapped out
+	mu       sync.Mutex
+	cp       *coi.Process
+	swapped  *Snapshot // set while the offload process is swapped out
+	viaStore bool      // the swapped-out snapshot lives in the dedup store
 
 	cmdPipe *proc.PipeEnd // server end
 	ctlPipe *proc.PipeEnd // utility end
@@ -79,17 +80,21 @@ func (s *CommandServer) execute(cmd string) string {
 	defer s.mu.Unlock()
 	switch fields[0] {
 	case "swapout":
-		if len(fields) != 2 {
-			return "error: usage: swapout <snapshot-dir>"
+		store, ok := storeFlagArg(fields, 3)
+		if !ok {
+			return "error: usage: swapout <snapshot-dir> [store]"
 		}
 		if s.swapped != nil {
 			return "error: already swapped out"
 		}
-		snap, err := Swapout(fields[1], s.cp)
+		var copts CaptureOptions
+		copts.Store.Enabled = store
+		snap, err := SwapoutOpts(fields[1], s.cp, copts)
 		if err != nil {
 			return fail(err)
 		}
 		s.swapped = snap
+		s.viaStore = store
 		return "ok"
 	case "swapin":
 		if len(fields) != 2 {
@@ -102,16 +107,20 @@ func (s *CommandServer) execute(cmd string) string {
 		if err != nil {
 			return fail(err)
 		}
-		cp, err := Swapin(s.swapped, simnet.NodeID(dev))
+		var ropts RestoreOptions
+		ropts.Store.Enabled = s.viaStore
+		cp, err := SwapinOpts(s.swapped, simnet.NodeID(dev), ropts)
 		if err != nil {
 			return fail(err)
 		}
 		s.cp = cp
 		s.swapped = nil
+		s.viaStore = false
 		return "ok"
 	case "migrate":
-		if len(fields) != 3 {
-			return "error: usage: migrate <device> <snapshot-dir>"
+		store, ok := storeFlagArg(fields, 4)
+		if !ok {
+			return "error: usage: migrate <device> <snapshot-dir> [store]"
 		}
 		if s.swapped != nil {
 			return "error: swapped out; swap in first"
@@ -120,7 +129,11 @@ func (s *CommandServer) execute(cmd string) string {
 		if err != nil {
 			return fail(err)
 		}
-		cp, _, err := Migrate(s.cp, simnet.NodeID(dev), fields[2])
+		var copts CaptureOptions
+		var ropts RestoreOptions
+		copts.Store.Enabled = store
+		ropts.Store.Enabled = store
+		cp, _, err := MigrateOpts(s.cp, simnet.NodeID(dev), fields[2], copts, ropts)
 		if err != nil {
 			return fail(err)
 		}
@@ -129,6 +142,19 @@ func (s *CommandServer) execute(cmd string) string {
 	default:
 		return fmt.Sprintf("error: unknown command %q", fields[0])
 	}
+}
+
+// storeFlagArg interprets an optional trailing "store" token on a
+// command: fields may have max-1 entries (the plain data path) or max
+// entries whose last is "store" (capture through the dedup store).
+func storeFlagArg(fields []string, max int) (store, ok bool) {
+	switch {
+	case len(fields) == max-1:
+		return false, true
+	case len(fields) == max && fields[max-1] == "store":
+		return true, true
+	}
+	return false, false
 }
 
 // SubmitCommand is the utility side: resolve the host PID, submit the

@@ -14,11 +14,19 @@ import (
 // for another tenant (snapify_swapout, Fig 6a). The returned Snapshot
 // represents the swapped-out process and is the input to Swapin.
 func Swapout(path string, cp *coi.Process) (*Snapshot, error) {
+	return SwapoutOpts(path, cp, CaptureOptions{})
+}
+
+// SwapoutOpts is Swapout with explicit capture options (parallel streams,
+// retry, the dedup store). Terminate is forced on — a swap-out that left
+// the process running would defeat its purpose.
+func SwapoutOpts(path string, cp *coi.Process, opts CaptureOptions) (*Snapshot, error) {
 	s := NewSnapshot(path, cp)
 	if err := s.Pause(); err != nil {
 		return nil, err
 	}
-	if err := s.Capture(CaptureOptions{Terminate: true}); err != nil {
+	opts.Terminate = true
+	if err := s.Capture(opts); err != nil {
 		return nil, err
 	}
 	if err := s.Wait(); err != nil {
@@ -30,7 +38,13 @@ func Swapout(path string, cp *coi.Process) (*Snapshot, error) {
 // Swapin restores a swapped-out offload process on the given device and
 // resumes it (snapify_swapin, Fig 6a). It returns the revived handle.
 func Swapin(s *Snapshot, deviceTo simnet.NodeID) (*coi.Process, error) {
-	cp, err := s.Restore(deviceTo, RestoreOptions{})
+	return SwapinOpts(s, deviceTo, RestoreOptions{})
+}
+
+// SwapinOpts is Swapin with explicit restore options (parallel range
+// streams, retry, the store-manifest pre-check).
+func SwapinOpts(s *Snapshot, deviceTo simnet.NodeID, opts RestoreOptions) (*coi.Process, error) {
+	cp, err := s.Restore(deviceTo, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -44,6 +58,13 @@ func Swapin(s *Snapshot, deviceTo simnet.NodeID) (*coi.Process, error) {
 // machine (snapify_migration, Fig 7): a swap-out whose local store streams
 // directly to the destination card, followed by a swap-in there.
 func Migrate(cp *coi.Process, deviceTo simnet.NodeID, path string) (*coi.Process, *Snapshot, error) {
+	return MigrateOpts(cp, deviceTo, path, CaptureOptions{}, RestoreOptions{})
+}
+
+// MigrateOpts is Migrate with explicit capture and restore options; a
+// store-enabled migration moves the context through the dedup store while
+// the local store still streams device-to-device.
+func MigrateOpts(cp *coi.Process, deviceTo simnet.NodeID, path string, copts CaptureOptions, ropts RestoreOptions) (*coi.Process, *Snapshot, error) {
 	if deviceTo == cp.DeviceNode() {
 		return nil, nil, fmt.Errorf("core: migration target %v is the current device", deviceTo)
 	}
@@ -54,13 +75,14 @@ func Migrate(cp *coi.Process, deviceTo simnet.NodeID, path string) (*coi.Process
 	if err := s.Pause(); err != nil {
 		return nil, nil, err
 	}
-	if err := s.Capture(CaptureOptions{Terminate: true}); err != nil {
+	copts.Terminate = true
+	if err := s.Capture(copts); err != nil {
 		return nil, nil, err
 	}
 	if err := s.Wait(); err != nil {
 		return nil, nil, err
 	}
-	ncp, err := Swapin(s, deviceTo)
+	ncp, err := SwapinOpts(s, deviceTo, ropts)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -78,6 +78,12 @@ type Report struct {
 	// Capture.
 	Capture       simclock.Duration // device snapshot + write via Snapify-IO
 	SnapshotBytes int64
+	// ShippedBytes is how many bytes the capture physically moved to the
+	// host. Equals SnapshotBytes on the plain data path; under
+	// CaptureOptions.Store the have/need negotiation skips chunks the
+	// store already holds, so ShippedBytes <= SnapshotBytes and the gap
+	// is the dedup win.
+	ShippedBytes int64
 	// CaptureStreams is how many parallel Snapify-IO streams the capture
 	// actually used (1 — the paper's serial data path — unless
 	// CaptureOptions.Streams asked for more).
@@ -131,6 +137,21 @@ func (s *Snapshot) countOp(op string) {
 // recovery: the first fault fails the operation (the paper's behavior).
 type RetryPolicy = blcr.RetryPolicy
 
+// StoreOptions routes a capture or restore through the host's
+// content-addressed snapshot store (internal/snapstore) instead of plain
+// files: the capture negotiates a have/need chunk set and ships only the
+// chunks the store lacks, and the restore reads the committed manifest's
+// chunks through the store's overlay file system.
+type StoreOptions struct {
+	// Enabled turns on the dedup-aware data path.
+	Enabled bool
+	// Parent, if nonempty, names the snapshot file whose manifest this
+	// capture's delta chain extends (e.g. the base capture's context
+	// path). The parent must already be committed in the store; its
+	// refcount is retained until this snapshot is released.
+	Parent string
+}
+
 // CaptureOptions configures a capture (snapify_capture).
 type CaptureOptions struct {
 	// Terminate makes the offload process exit after the capture (the
@@ -151,6 +172,9 @@ type CaptureOptions struct {
 	// still fails leaves no snapshot file behind. The zero value fails on
 	// the first fault.
 	Retry RetryPolicy
+	// Store selects the dedup-aware data path through the host's
+	// content-addressed snapshot store.
+	Store StoreOptions
 }
 
 // RestoreOptions configures a restore (snapify_restore).
@@ -164,6 +188,12 @@ type RestoreOptions struct {
 	// Retry lets the restore survive transport faults by reopening its
 	// range reads where they left off, under bounded virtual backoff.
 	Retry RetryPolicy
+	// Store asserts the snapshot lives in the host's content-addressed
+	// store: the restore fails fast with a clear error if no committed
+	// manifest exists, instead of a read error deep in the data path. The
+	// data path itself is unchanged — the store's overlay file system
+	// serves store-resident snapshots through the ordinary reads.
+	Store StoreOptions
 }
 
 // Pause stops and drains all communication between the host process and
@@ -333,6 +363,13 @@ func (s *Snapshot) captureMode(opts CaptureOptions, mode uint8) error {
 		payload = append(payload, s.Path...)
 		payload = binary.BigEndian.AppendUint16(payload, uint16(opts.Retry.MaxAttempts))
 		payload = binary.BigEndian.AppendUint64(payload, uint64(opts.Retry.Backoff))
+		sb := byte(0)
+		if opts.Store.Enabled {
+			sb = 1
+		}
+		payload = append(payload, sb)
+		payload = coi.AppendU32(payload, uint32(len(opts.Store.Parent)))
+		payload = append(payload, opts.Store.Parent...)
 		resp, err := cp.DaemonRequest(coi.OpSnapifyCapture, payload, coi.OpSnapifyCaptureResp)
 		s.mu.Lock()
 		if err != nil {
@@ -341,9 +378,14 @@ func (s *Snapshot) captureMode(opts CaptureOptions, mode uint8) error {
 			s.Report.SnapshotBytes = int64(binary.BigEndian.Uint64(resp))
 			fallback := simclock.Duration(binary.BigEndian.Uint64(resp[8:]))
 			scope := binary.BigEndian.Uint64(resp[16:])
-			dur, streams, durs := deriveCapture(cp.Platform().Obs.TracerOf(), scope, fallback)
+			s.Report.ShippedBytes = s.Report.SnapshotBytes
+			if len(resp) >= 32 {
+				s.Report.ShippedBytes = int64(binary.BigEndian.Uint64(resp[24:]))
+			}
+			dur, streams, durs := deriveCapture(cp.Platform().Obs.TracerOf(), scope, start, fallback)
 			s.Report.Capture = s.hostTrack().Emit(scope, "snapify_capture", start, dur,
-				map[string]int64{"bytes": s.Report.SnapshotBytes, "streams": int64(streams)}).Dur
+				map[string]int64{"bytes": s.Report.SnapshotBytes, "streams": int64(streams),
+					"shipped_bytes": s.Report.ShippedBytes}).Dur
 			s.Report.CaptureStreams = streams
 			s.Report.CaptureStreamDurations = durs
 			if opts.Terminate {
@@ -356,31 +398,34 @@ func (s *Snapshot) captureMode(opts CaptureOptions, mode uint8) error {
 	return nil
 }
 
-// deriveCapture computes the Report's capture figures from the
-// capture_stream spans the checkpointer's workers emitted under scope —
-// the single source of truth shared with the exported trace. When the
-// platform runs without a tracer there are no spans; the wire duration is
-// the fallback and the capture counts as one serial stream.
-func deriveCapture(tr *obs.Tracer, scope uint64, fallback simclock.Duration) (simclock.Duration, int, []simclock.Duration) {
+// deriveCapture computes the Report's capture figures from the spans the
+// capture emitted under scope — the single source of truth shared with
+// the exported trace. The capture duration is the latest scope span's end
+// relative to the capture's start, so preludes the workers sit out (the
+// dedup path digests and negotiates before any stream moves) count, and
+// the timeline advance in Wait lines up with the device-side
+// capture_coordination span. The per-stream figures still come from the
+// capture_stream spans alone. When the platform runs without a tracer
+// there are no spans; the wire duration is the fallback and the capture
+// counts as one serial stream.
+func deriveCapture(tr *obs.Tracer, scope uint64, start, fallback simclock.Duration) (simclock.Duration, int, []simclock.Duration) {
 	var durs []simclock.Duration
+	var end simclock.Duration
 	for _, sp := range tr.ScopeSpans(scope) {
 		if sp.Name == "capture_stream" {
 			durs = append(durs, sp.Dur)
+		}
+		if sp.End() > end {
+			end = sp.End()
 		}
 	}
 	if len(durs) == 0 {
 		return fallback, 1, nil
 	}
-	var max simclock.Duration
-	for _, d := range durs {
-		if d > max {
-			max = d
-		}
-	}
 	if len(durs) == 1 {
-		return max, 1, nil
+		return end - start, 1, nil
 	}
-	return max, len(durs), durs
+	return end - start, len(durs), durs
 }
 
 // Wait blocks until a pending Capture completes (snapify_wait) and returns
@@ -446,6 +491,23 @@ func (s *Snapshot) RestoreChain(baseDir string, deltaDirs []string, device simne
 
 	if st := cp.State(); st != coi.StateSwapped {
 		return nil, fmt.Errorf("core: restore requires a swapped-out handle, have %s", st)
+	}
+	if opts.Store.Enabled {
+		// Fail fast with a clear error when the snapshot is supposed to be
+		// store-resident but no manifest committed; the data path itself
+		// reads through the store's overlay either way.
+		if plat.Store == nil {
+			return nil, errors.New("core: restore: platform has no snapshot store")
+		}
+		ctx := baseDir + "/" + coi.ContextFileName
+		if !plat.Store.Has(ctx) {
+			return nil, fmt.Errorf("core: restore: no committed store manifest for %s", ctx)
+		}
+		for _, dd := range deltaDirs {
+			if dp := dd + "/" + coi.DeltaFileName; !plat.Store.Has(dp) {
+				return nil, fmt.Errorf("core: restore: no committed store manifest for %s", dp)
+			}
+		}
 	}
 	s.countOp("restore")
 	start := cp.Timeline().Now()

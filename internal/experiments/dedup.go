@@ -1,0 +1,400 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"snapify/internal/blob"
+	"snapify/internal/coi"
+	"snapify/internal/core"
+	"snapify/internal/obs"
+	"snapify/internal/phi"
+	"snapify/internal/platform"
+	"snapify/internal/simclock"
+	"snapify/internal/simnet"
+	"snapify/internal/snapstore"
+	"snapify/internal/trace"
+	"snapify/internal/vfs"
+	"snapify/internal/workloads"
+)
+
+// DedupSwapImageBytes is the default device image of the dedup swap
+// benchmark. Like the faulted-capture benchmark it is deliberately
+// smaller than the parallel sweep's 8 GiB: the object of study is the
+// *ratio* of bytes shipped with and without the store, and that ratio is
+// size-independent once the image dwarfs one chunk.
+const DedupSwapImageBytes = 1 * simclock.GiB
+
+// DedupSwapCycles is how many swap-out/swap-in round trips each data
+// path runs. The first store-path cycle ships everything (the store is
+// cold); every later cycle ships only the chunks the workload dirtied
+// in between, so the dedup win grows with the cycle count.
+const DedupSwapCycles = 4
+
+// DedupSwapRow is one swap cycle's measurements on both data paths.
+type DedupSwapRow struct {
+	Cycle int `json:"cycle"`
+	// SnapshotBytes is the logical context-file size (identical across
+	// cycles and paths: swapping never changes the image size).
+	SnapshotBytes int64 `json:"snapshot_bytes"`
+	// PlainShippedBytes is what the plain data path moved to the host —
+	// always the whole image.
+	PlainShippedBytes int64 `json:"plain_shipped_bytes"`
+	// StoreShippedBytes is what the dedup path moved after the have/need
+	// negotiation skipped the chunks the store already held.
+	StoreShippedBytes int64 `json:"store_shipped_bytes"`
+	PlainCaptureNs    int64 `json:"plain_capture_ns"`
+	StoreCaptureNs    int64 `json:"store_capture_ns"`
+	// ChunksTotal and ChunksShipped are the negotiation's have/need
+	// outcome, from the cycle's store_negotiate span.
+	ChunksTotal   int64 `json:"chunks_total"`
+	ChunksShipped int64 `json:"chunks_shipped"`
+}
+
+// DedupSwapResult is the full comparison.
+type DedupSwapResult struct {
+	Benchmark  string         `json:"benchmark"`
+	ImageBytes int64          `json:"image_bytes"`
+	Cycles     int            `json:"cycles"`
+	Rows       []DedupSwapRow `json:"rows"`
+
+	PlainShippedTotal int64 `json:"plain_shipped_total"`
+	StoreShippedTotal int64 `json:"store_shipped_total"`
+	// ReductionX is PlainShippedTotal / StoreShippedTotal — the headline
+	// dedup win (the acceptance floor is 3x at 4 cycles).
+	ReductionX float64 `json:"reduction_x"`
+	// StoreDedupRatio is the store's logical/stored byte ratio after the
+	// run: how many snapshot bytes each resident chunk byte serves.
+	StoreDedupRatio float64 `json:"store_dedup_ratio"`
+	// ContextsIdentical reports the dual-capture identity probe: the same
+	// frozen process captured once to a plain file and once through the
+	// store, with the store copy read back chunk-by-chunk — both byte
+	// streams must be identical, so restores from the store rebuild
+	// exactly what a plain restore would.
+	ContextsIdentical bool `json:"contexts_identical"`
+	// NegotiationSpans counts the store_negotiate spans on the trace;
+	// CorrelatedSpans counts those sharing a scope id with a
+	// snapify_capture span (all of them, or the trace is broken).
+	NegotiationSpans int `json:"negotiation_spans"`
+	CorrelatedSpans  int `json:"correlated_spans"`
+	// ChunksAfterGC is the store's resident chunk count after every
+	// manifest was released and a GC ran: zero, or the refcounts leak.
+	ChunksAfterGC int `json:"chunks_after_gc"`
+
+	tracer *obs.Tracer
+}
+
+// TraceJSON exports the run's virtual-clock trace as Chrome trace-event
+// JSON; the store_negotiate spans sit on the card tracks, scoped to
+// their captures.
+func (r *DedupSwapResult) TraceJSON() []byte {
+	return r.tracer.ChromeTrace()
+}
+
+// DedupSwap swaps one offload process out and back in `cycles` times on
+// each data path — plain host files, then the content-addressed store —
+// running one offload call between swaps so consecutive images differ by
+// a realistic dirty set. It reports the bytes each path physically
+// shipped, proves the store round-trip byte-identical with a dual
+// capture of one frozen image, and finishes by releasing every manifest
+// and running GC to pin the refcount accounting at zero chunks.
+//
+// Each data path runs on its own freshly built platform: the two runs are
+// deterministic replays of the same workload, so sharing one platform
+// would land both instances' spans at the same virtual times on the
+// shared host and coid trace lanes, and the exported trace would show
+// phantom overlaps between operations that never coexisted.
+func DedupSwap(imageBytes int64, cycles int) (*DedupSwapResult, error) {
+	if cycles < 2 {
+		return nil, fmt.Errorf("dedup swap: need at least 2 cycles to dedup across, got %d", cycles)
+	}
+	newPlat := func() (*platform.Platform, error) {
+		p, err := platform.New(platform.Config{Server: phi.ServerConfig{
+			Devices: 1,
+			Device:  phi.DeviceConfig{MemBytes: imageBytes + 2*simclock.GiB},
+		}})
+		if err != nil {
+			return nil, err
+		}
+		if err := coi.StartDaemons(p); err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
+
+	spec := workloads.Spec{
+		Code: "DS", Name: "dedup swap cycles",
+		HostMem:      16 * simclock.MiB,
+		DeviceMem:    imageBytes,
+		LocalStore:   4 * simclock.MiB,
+		Calls:        cycles + 2,
+		StepsPerCall: 2,
+	}
+
+	// runCycles drives one instance through the swap cycles on one data
+	// path and returns the per-cycle capture reports. The store-path
+	// instance finishes with the dual-capture identity probe while the
+	// process is still resident; both instances then run to completion
+	// (a corrupted restore would derail the remaining offload calls).
+	identical := false
+	runCycles := func(plat *platform.Platform, storeMode bool, pathPrefix string) ([]*core.Report, error) {
+		in, err := workloads.Launch(plat, spec, 1)
+		if err != nil {
+			return nil, err
+		}
+		defer in.Close()
+		if _, err := in.RunCalls(1); err != nil {
+			return nil, err
+		}
+		var reports []*core.Report
+		for c := 0; c < cycles; c++ {
+			var copts core.CaptureOptions
+			var ropts core.RestoreOptions
+			copts.Store.Enabled = storeMode
+			ropts.Store.Enabled = storeMode
+			s, err := core.SwapoutOpts(fmt.Sprintf("%s/cycle%d", pathPrefix, c), in.CP, copts)
+			if err != nil {
+				return nil, fmt.Errorf("cycle %d swapout: %w", c, err)
+			}
+			cp, err := core.SwapinOpts(s, simnet.NodeID(1), ropts)
+			if err != nil {
+				return nil, fmt.Errorf("cycle %d swapin: %w", c, err)
+			}
+			in.CP = cp
+			reports = append(reports, &s.Report)
+			// Dirty a small working set before the next cycle, as a real
+			// swapped tenant would between residencies.
+			if _, err := in.RunCalls(1); err != nil {
+				return nil, err
+			}
+		}
+		if storeMode {
+			if identical, err = dualCaptureIdentical(plat, in.CP); err != nil {
+				return nil, fmt.Errorf("identity probe: %w", err)
+			}
+		}
+		if _, err := in.Run(); err != nil {
+			return nil, err
+		}
+		return reports, nil
+	}
+
+	plainPlat, err := newPlat()
+	if err != nil {
+		return nil, err
+	}
+	plainReports, err := func() ([]*core.Report, error) {
+		defer coi.StopDaemons(plainPlat)
+		defer plainPlat.IO.Stop()
+		return runCycles(plainPlat, false, "/bench/dedup/plain")
+	}()
+	if err != nil {
+		return nil, fmt.Errorf("plain path: %w", err)
+	}
+
+	plat, err := newPlat()
+	if err != nil {
+		return nil, err
+	}
+	defer coi.StopDaemons(plat)
+	defer plat.IO.Stop()
+	storeReports, err := runCycles(plat, true, "/bench/dedup/store")
+	if err != nil {
+		return nil, fmt.Errorf("store path: %w", err)
+	}
+
+	res := &DedupSwapResult{
+		Benchmark: "dedup-swap", ImageBytes: imageBytes, Cycles: cycles,
+		ContextsIdentical: identical,
+		tracer:            plat.Obs.TracerOf(),
+	}
+
+	// The store_negotiate spans, in cycle order, carry each cycle's
+	// have/need outcome; their scope ids must resolve to captures.
+	captureScopes := map[uint64]bool{}
+	var negotiations []obs.Span
+	for _, sp := range res.tracer.Spans() {
+		switch sp.Name {
+		case "snapify_capture":
+			captureScopes[sp.Scope] = true
+		case "store_negotiate":
+			negotiations = append(negotiations, sp)
+		}
+	}
+	res.NegotiationSpans = len(negotiations)
+	for _, sp := range negotiations {
+		if sp.Scope != 0 && captureScopes[sp.Scope] {
+			res.CorrelatedSpans++
+		}
+	}
+
+	for c := 0; c < cycles; c++ {
+		row := DedupSwapRow{
+			Cycle:             c,
+			SnapshotBytes:     plainReports[c].SnapshotBytes,
+			PlainShippedBytes: plainReports[c].ShippedBytes,
+			StoreShippedBytes: storeReports[c].ShippedBytes,
+			PlainCaptureNs:    int64(plainReports[c].Capture),
+			StoreCaptureNs:    int64(storeReports[c].Capture),
+		}
+		if c < len(negotiations) {
+			row.ChunksTotal = negotiations[c].Args["chunks_total"]
+			row.ChunksShipped = negotiations[c].Args["chunks_needed"]
+		}
+		res.PlainShippedTotal += row.PlainShippedBytes
+		res.StoreShippedTotal += row.StoreShippedBytes
+		res.Rows = append(res.Rows, row)
+	}
+	if res.StoreShippedTotal > 0 {
+		res.ReductionX = float64(res.PlainShippedTotal) / float64(res.StoreShippedTotal)
+	}
+	res.StoreDedupRatio = plat.Store.Stats().DedupRatio()
+
+	// Drop every snapshot and collect: a clean store afterwards is the
+	// refcount/GC acceptance (ISSUE 5) measured, not assumed.
+	for _, p := range plat.Store.List() {
+		if _, err := plat.Store.Release(p); err != nil {
+			return nil, fmt.Errorf("releasing %s: %w", p, err)
+		}
+	}
+	if _, _, err := plat.Store.GC(0); err != nil {
+		return nil, fmt.Errorf("gc: %w", err)
+	}
+	res.ChunksAfterGC = plat.Store.Stats().Chunks
+	return res, nil
+}
+
+// Render prints the comparison in the tables' layout.
+func (r *DedupSwapResult) Render() string {
+	t := trace.New(fmt.Sprintf("Dedup swap: %s image, %d swap cycles, plain files vs content-addressed store",
+		sizeLabel(r.ImageBytes), r.Cycles),
+		"Cycle", "Snapshot (MiB)", "Plain ship (MiB)", "Store ship (MiB)", "Chunks need/total")
+	for _, row := range r.Rows {
+		t.Row(fmt.Sprintf("%d", row.Cycle),
+			fmt.Sprintf("%d", row.SnapshotBytes/simclock.MiB),
+			fmt.Sprintf("%d", row.PlainShippedBytes/simclock.MiB),
+			fmt.Sprintf("%d", row.StoreShippedBytes/simclock.MiB),
+			fmt.Sprintf("%d/%d", row.ChunksShipped, row.ChunksTotal))
+	}
+	return t.String() + fmt.Sprintf("\nshipped: plain %d MiB, store %d MiB — %.1fx reduction; store dedup ratio %.2fx\nstore context byte-identical to plain: %v; chunks after release-all + GC: %d",
+		r.PlainShippedTotal/simclock.MiB, r.StoreShippedTotal/simclock.MiB,
+		r.ReductionX, r.StoreDedupRatio, r.ContextsIdentical, r.ChunksAfterGC)
+}
+
+// CheckShape verifies the acceptance claims: the cold cycle ships the
+// whole image, every warm cycle ships strictly less, the total reduction
+// is at least 3x, the store-resident context is byte-for-byte the plain
+// capture, every negotiation span correlates with a capture scope, and
+// releasing everything leaves an empty store.
+func (r *DedupSwapResult) CheckShape() error {
+	if len(r.Rows) != r.Cycles {
+		return fmt.Errorf("dedup swap: %d rows for %d cycles", len(r.Rows), r.Cycles)
+	}
+	for _, row := range r.Rows {
+		if row.SnapshotBytes != r.Rows[0].SnapshotBytes {
+			return fmt.Errorf("dedup swap: cycle %d snapshot is %d bytes, cycle 0 was %d",
+				row.Cycle, row.SnapshotBytes, r.Rows[0].SnapshotBytes)
+		}
+		if row.PlainShippedBytes != row.SnapshotBytes {
+			return fmt.Errorf("dedup swap: plain path shipped %d of %d bytes at cycle %d — plain captures ship everything",
+				row.PlainShippedBytes, row.SnapshotBytes, row.Cycle)
+		}
+		if row.Cycle > 0 && row.StoreShippedBytes >= row.SnapshotBytes {
+			return fmt.Errorf("dedup swap: warm cycle %d still shipped %d of %d bytes — negotiation skipped nothing",
+				row.Cycle, row.StoreShippedBytes, row.SnapshotBytes)
+		}
+	}
+	if r.Rows[0].StoreShippedBytes != r.Rows[0].SnapshotBytes {
+		return fmt.Errorf("dedup swap: cold store cycle shipped %d of %d bytes — the empty store cannot dedup",
+			r.Rows[0].StoreShippedBytes, r.Rows[0].SnapshotBytes)
+	}
+	if r.ReductionX < 3.0 {
+		return fmt.Errorf("dedup swap: only %.2fx shipped-byte reduction over %d cycles, want >= 3x",
+			r.ReductionX, r.Cycles)
+	}
+	if !r.ContextsIdentical {
+		return fmt.Errorf("dedup swap: store round-trip of the context file is not byte-identical to the plain capture")
+	}
+	// The store cycles plus the identity probe each negotiated once.
+	if r.NegotiationSpans != r.Cycles+1 {
+		return fmt.Errorf("dedup swap: %d store_negotiate spans for %d store captures", r.NegotiationSpans, r.Cycles+1)
+	}
+	if r.CorrelatedSpans != r.NegotiationSpans {
+		return fmt.Errorf("dedup swap: only %d of %d negotiation spans share a scope with a snapify_capture span",
+			r.CorrelatedSpans, r.NegotiationSpans)
+	}
+	if r.ChunksAfterGC != 0 {
+		return fmt.Errorf("dedup swap: %d chunks survive release-all + GC — a refcount leaked", r.ChunksAfterGC)
+	}
+	return nil
+}
+
+// JSON renders the comparison as the BENCH_dedup.json document.
+func (r *DedupSwapResult) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// dualCaptureIdentical captures the same frozen process twice — once to
+// a plain host file, once through the store — and compares the two byte
+// streams, reading the store copy back chunk-by-chunk through the
+// overlay exactly as a restore would. No work runs between the captures
+// (and CaptureFull does not reset dirty tracking), so the frozen image
+// is the same both times.
+func dualCaptureIdentical(plat *platform.Platform, cp *coi.Process) (bool, error) {
+	capture := func(dir string, storeMode bool) error {
+		s := core.NewSnapshot(dir, cp)
+		if err := s.Pause(); err != nil {
+			return err
+		}
+		var opts core.CaptureOptions
+		opts.Store.Enabled = storeMode
+		if err := s.Capture(opts); err != nil {
+			return err
+		}
+		if err := s.Wait(); err != nil {
+			return err
+		}
+		return s.Resume()
+	}
+	if err := capture("/bench/dedup/ident_plain", false); err != nil {
+		return false, fmt.Errorf("plain capture: %w", err)
+	}
+	if err := capture("/bench/dedup/ident_store", true); err != nil {
+		return false, fmt.Errorf("store capture: %w", err)
+	}
+	plain, _, err := plat.Host().FS.ReadFile("/bench/dedup/ident_plain/" + coi.ContextFileName)
+	if err != nil {
+		return false, err
+	}
+	stored, err := readStoreFile(plat, "/bench/dedup/ident_store/"+coi.ContextFileName)
+	if err != nil {
+		return false, err
+	}
+	return plain.Len() == stored.Len() && blob.Equal(plain, stored), nil
+}
+
+// readStoreFile assembles a store-resident snapshot file through the
+// same overlay reader the restore path uses.
+func readStoreFile(plat *platform.Platform, path string) (blob.Blob, error) {
+	r, err := snapstore.Overlay(plat.Store, vfs.Host(plat.Host().FS)).Open(path)
+	if err != nil {
+		return blob.Blob{}, err
+	}
+	var parts []blob.Blob
+	for {
+		b, _, err := r.Next(64 * simclock.MiB)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return blob.Blob{}, err
+		}
+		parts = append(parts, b)
+	}
+	return blob.Concat(parts...), nil
+}

@@ -36,8 +36,8 @@ type FaultedCaptureRow struct {
 // timers, so the faulted run finishes with an identical snapshot — just
 // later. OverheadPct is that lateness.
 type FaultedCaptureResult struct {
-	Benchmark  string             `json:"benchmark"`
-	ImageBytes int64              `json:"image_bytes"`
+	Benchmark  string            `json:"benchmark"`
+	ImageBytes int64             `json:"image_bytes"`
 	Plan       faultinject.Plan  `json:"plan"`
 	Clean      FaultedCaptureRow `json:"clean"`
 	Faulted    FaultedCaptureRow `json:"faulted"`

@@ -81,6 +81,12 @@ const (
 	// SiteRequest is the COI daemon's capture/restore request
 	// dispatch. Key: node name of the daemon.
 	SiteRequest Site = "coi.request"
+	// SiteStore is the snapshot store's mutation points. Key "commit"
+	// fires between a manifest's temp write and its final rename (a
+	// Crash there leaves the snapshot absent, never torn); key "gc"
+	// fires once per chunk the sweep examines (a Crash abandons the
+	// sweep mid-way — re-running GC must converge).
+	SiteStore Site = "snapstore.op"
 )
 
 // LinkKey renders the canonical key for a directed link fault at

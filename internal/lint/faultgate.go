@@ -17,6 +17,7 @@ var faultgateAllowed = []string{
 	"internal/scif",
 	"internal/snapifyio",
 	"internal/coi",
+	"internal/snapstore",
 	"internal/experiments",
 	"cmd/snapbench",
 }

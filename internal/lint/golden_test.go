@@ -90,7 +90,7 @@ func analyzerByName(t *testing.T, name string) *Analyzer {
 }
 
 func TestGolden(t *testing.T) {
-	for _, name := range []string{"errcheck", "wallclock", "mutexblock", "goroutineleak", "paniclib", "rawprint", "faultgate"} {
+	for _, name := range []string{"errcheck", "wallclock", "mutexblock", "goroutineleak", "paniclib", "rawprint", "faultgate", "storegate"} {
 		t.Run(name, func(t *testing.T) {
 			_, pkg := loadFixture(t, name)
 			findings := Run([]*Package{pkg}, []*Analyzer{analyzerByName(t, name)})
@@ -152,7 +152,7 @@ func TestFaultgateExemptsChokePoints(t *testing.T) {
 	if err != nil {
 		t.Fatalf("loader: %v", err)
 	}
-	for _, rel := range []string{"internal/simnet", "internal/scif", "internal/snapifyio", "internal/coi"} {
+	for _, rel := range []string{"internal/simnet", "internal/scif", "internal/snapifyio", "internal/coi", "internal/snapstore"} {
 		pkg, err := l.LoadDir(rel)
 		if err != nil {
 			t.Fatalf("loading %s: %v", rel, err)
@@ -160,6 +160,27 @@ func TestFaultgateExemptsChokePoints(t *testing.T) {
 		if findings := Run([]*Package{pkg}, []*Analyzer{analyzerByName(t, "faultgate")}); len(findings) != 0 {
 			t.Errorf("expected no findings in %s, got %v", rel, findings)
 		}
+	}
+}
+
+// TestStoregateExemptsSnapstore proves the snapshot store itself — the
+// one sanctioned digest site — passes the gate, and that the rest of the
+// tree computes no chunk digests outside it.
+func TestStoregateExemptsSnapstore(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	pkg, err := l.LoadDir("internal/snapstore")
+	if err != nil {
+		t.Fatalf("loading internal/snapstore: %v", err)
+	}
+	if findings := Run([]*Package{pkg}, []*Analyzer{analyzerByName(t, "storegate")}); len(findings) != 0 {
+		t.Errorf("expected no findings in internal/snapstore, got %v", findings)
 	}
 }
 

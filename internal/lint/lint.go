@@ -53,6 +53,7 @@ func All() []*Analyzer {
 		PanicLib,
 		RawPrint,
 		Faultgate,
+		Storegate,
 	}
 }
 

@@ -1,0 +1,50 @@
+package lint
+
+import "strconv"
+
+// storegateHashImports are the digest-primitive packages the storegate
+// rule pins to the snapshot store. SHA-256 is the store's chunk key; the
+// other common digests are gated too so the rule can't be dodged by
+// "temporarily" keying chunks with a different hash elsewhere.
+var storegateHashImports = []string{
+	"crypto/sha256",
+	"crypto/sha512",
+	"crypto/sha1",
+	"crypto/md5",
+}
+
+// Storegate reports non-test imports of the digest primitives outside
+// internal/snapstore. Chunk identity is the store's one load-bearing
+// invariant: a chunk file's name IS the SHA-256 of its content, and
+// every layer above (the have/need negotiation, the dedup accounting,
+// GC's mark set, Verify) assumes exactly one implementation computed it.
+// A second digest site — a layer hashing chunks "the same way" itself —
+// could drift (chunking geometry, hex casing, a truncated digest) and
+// silently corrupt dedup, so other packages must take the function as a
+// value (snapstore.Digest) instead of re-deriving it. Tests are exempt:
+// asserting stored bytes against an independently computed digest is how
+// the invariant is checked.
+var Storegate = &Analyzer{
+	Name: "storegate",
+	Doc:  "chunk digests are computed only by internal/snapstore; other packages pass snapstore.Digest as a value instead of importing hash primitives",
+	Run:  runStoregate,
+}
+
+func runStoregate(p *Pass) {
+	if pathHasSuffix(p.Pkg.Path, "internal/snapstore") {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			for _, gated := range storegateHashImports {
+				if path == gated {
+					p.Reportf(imp.Pos(), "package %s imports %s but chunk digests are computed only by internal/snapstore; take snapstore.Digest as a value instead", p.Pkg.Path, path)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,11 @@
+// Package storegate is a golden fixture for the storegate analyzer: it
+// computes a digest with a hash primitive from a package that is not the
+// snapshot store.
+package storegate
+
+import (
+	"crypto/sha256" // want "chunk digests are computed only by internal/snapstore"
+)
+
+// Using the import keeps the fixture type-checking cleanly.
+var _ = sha256.Sum256

@@ -17,6 +17,7 @@ import (
 	"snapify/internal/simclock"
 	"snapify/internal/simnet"
 	"snapify/internal/snapifyio"
+	"snapify/internal/snapstore"
 	"snapify/internal/vfs"
 )
 
@@ -27,6 +28,12 @@ type Platform struct {
 	IO     *snapifyio.Service
 	Procs  *proc.Table
 	CR     *blcr.Checkpointer
+
+	// Store is the host's content-addressed snapshot repository. The host
+	// Snapify-IO daemon serves its file system through the store's overlay,
+	// so store-resident snapshots are readable by every existing path, and
+	// dedup-aware captures (core.StoreOptions) negotiate against it.
+	Store *snapstore.Store
 
 	// Obs is the platform-wide observability layer (virtual-clock span
 	// tracer + metrics registry). Per-platform, not process-global: tests
@@ -58,8 +65,15 @@ func New(cfg Config) (*Platform, error) {
 	server.Fabric.PublishMetrics(o.Metrics)
 	net := scif.NewNetwork(server.Fabric)
 	io := snapifyio.NewService(net, o)
-	if _, err := io.StartDaemon(simnet.HostNode, vfs.Host(server.Host.FS)); err != nil {
+	// The store consults the fabric's injector lazily: chaos plans are
+	// armed after the platform is built.
+	store := snapstore.New(server.Model(), server.Host.FS, o, server.Fabric.Injector)
+	if _, err := io.StartDaemon(simnet.HostNode, snapstore.Overlay(store, vfs.Host(server.Host.FS))); err != nil {
 		return nil, fmt.Errorf("platform: starting host Snapify-IO daemon: %w", err)
+	}
+	if err := io.AttachStore(simnet.HostNode, store); err != nil {
+		io.Stop()
+		return nil, fmt.Errorf("platform: attaching snapshot store: %w", err)
 	}
 	for _, d := range server.Devices {
 		if _, err := io.StartDaemon(d.Node, vfs.Ram(d.FS)); err != nil {
@@ -73,6 +87,7 @@ func New(cfg Config) (*Platform, error) {
 		IO:             io,
 		Procs:          proc.NewTable(),
 		CR:             blcr.New(server.Model()),
+		Store:          store,
 		Obs:            o,
 		SnapifyEnabled: !cfg.NoSnapify,
 		mounts:         make(map[simnet.NodeID]*nfs.Mount),

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sync"
 
+	"snapify/internal/coi"
 	"snapify/internal/core"
 	"snapify/internal/platform"
 	"snapify/internal/simnet"
@@ -60,6 +61,14 @@ type Job struct {
 // Scheduler shares a server's cards among jobs.
 type Scheduler struct {
 	plat *platform.Platform
+
+	// Capture configures every swap-out and migration capture the
+	// scheduler issues (Terminate is forced regardless). Setting
+	// Capture.Store.Enabled routes snapshots through the host's dedup
+	// store: a job swapped out repeatedly re-ships only what changed.
+	Capture core.CaptureOptions
+	// Restore configures every swap-in and migration restore.
+	Restore core.RestoreOptions
 
 	mu     sync.Mutex
 	jobs   []*Job
@@ -140,7 +149,7 @@ func (s *Scheduler) pickVictim(device simnet.NodeID) *Job {
 }
 
 func (s *Scheduler) swapOut(j *Job) error {
-	snap, err := core.Swapout(fmt.Sprintf("/sched/job%d", j.ID), j.Inst.CP)
+	snap, err := core.SwapoutOpts(fmt.Sprintf("/sched/job%d", j.ID), j.Inst.CP, s.Capture)
 	if err != nil {
 		return fmt.Errorf("sched: swapping out job %d: %w", j.ID, err)
 	}
@@ -157,7 +166,7 @@ func (s *Scheduler) swapIn(j *Job, device simnet.NodeID) error {
 	if err := s.makeRoomExcept(device, footprint(j.Spec), j); err != nil {
 		return err
 	}
-	if _, err := core.Swapin(j.snapshot, device); err != nil {
+	if _, err := core.SwapinOpts(j.snapshot, device, s.Restore); err != nil {
 		return fmt.Errorf("sched: swapping in job %d: %w", j.ID, err)
 	}
 	s.mu.Lock()
@@ -227,6 +236,28 @@ func (s *Scheduler) totalSwaps() int {
 	return n
 }
 
+// Drop releases every snapshot artifact a finished (or abandoned) job
+// left on the host: store manifests for its context and delta files are
+// released — at refcount zero they disappear and the next GC reclaims
+// their unshared chunks — and plain files under the job's snapshot
+// directories (runtime libraries, saved local stores) are removed. After
+// all jobs are dropped, a GC leaves the store empty.
+func (s *Scheduler) Drop(j *Job) {
+	for _, dir := range []string{fmt.Sprintf("/sched/job%d", j.ID), fmt.Sprintf("/sched/evac%d", j.ID)} {
+		if st := s.plat.Store; st != nil {
+			for _, name := range []string{coi.ContextFileName, coi.DeltaFileName} {
+				if p := dir + "/" + name; st.Has(p) {
+					st.Release(p) //nolint:errcheck // best-effort cleanup; a release of a live manifest cannot fail, and a missing one is already gone
+				}
+			}
+		}
+		s.plat.Host().FS.RemoveAll(dir + "/")
+	}
+	s.mu.Lock()
+	j.snapshot = nil
+	s.mu.Unlock()
+}
+
 // Evacuate migrates every resident job off device (a fault predictor
 // flagged it, Section 1) onto target. Swapped-out jobs simply retarget.
 func (s *Scheduler) Evacuate(device, target simnet.NodeID) error {
@@ -239,7 +270,7 @@ func (s *Scheduler) Evacuate(device, target simnet.NodeID) error {
 			if err := s.makeRoomExcept(target, footprint(j.Spec), j); err != nil {
 				return err
 			}
-			if _, _, err := core.Migrate(j.Inst.CP, target, fmt.Sprintf("/sched/evac%d", j.ID)); err != nil {
+			if _, _, err := core.MigrateOpts(j.Inst.CP, target, fmt.Sprintf("/sched/evac%d", j.ID), s.Capture, s.Restore); err != nil {
 				return fmt.Errorf("sched: migrating job %d: %w", j.ID, err)
 			}
 			s.mu.Lock()

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"snapify/internal/coi"
+	"snapify/internal/core"
 	"snapify/internal/phi"
 	"snapify/internal/platform"
 	"snapify/internal/simclock"
@@ -131,5 +132,213 @@ func TestEvacuateMigratesJobs(t *testing.T) {
 	}
 	if err := s.Evacuate(1, 1); err == nil {
 		t.Error("evacuating onto the failing card must fail")
+	}
+}
+
+// newStoreSched is newSched with every capture and restore routed
+// through the host's dedup store.
+func newStoreSched(t *testing.T, devices int, cardMem int64) *Scheduler {
+	t.Helper()
+	s := newSched(t, devices, cardMem)
+	s.Capture.Streams = 2
+	s.Capture.ChunkBytes = 256 * 1024
+	s.Capture.Store.Enabled = true
+	s.Restore.Store.Enabled = true
+	return s
+}
+
+// dropAllAndExpectEmptyStore drops every job's snapshot artifacts and
+// checks the GC invariant of ISSUE 5: after all snapshots are gone, the
+// store holds zero manifests and zero chunks.
+func dropAllAndExpectEmptyStore(t *testing.T, s *Scheduler) {
+	t.Helper()
+	for _, j := range s.Jobs() {
+		s.Drop(j)
+	}
+	if _, _, err := s.plat.Store.GC(0); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.plat.Store.Stats(); st.Manifests != 0 || st.Chunks != 0 {
+		t.Errorf("store not empty after dropping all jobs: %+v", st)
+	}
+	if problems, _ := s.plat.Store.Verify(); len(problems) != 0 {
+		t.Errorf("store inconsistent after drop + gc: %v", problems)
+	}
+}
+
+// TestSwapCyclesThroughStore is TestMultiTenancyViaSwapping on the dedup
+// data path: every swap-out negotiates against the store, every swap-in
+// reads the committed manifest through the overlay, and dropping the
+// finished jobs GCs the store back to zero.
+func TestSwapCyclesThroughStore(t *testing.T) {
+	s := newStoreSched(t, 1, 1536*simclock.MiB)
+	j1, err := s.Submit(smallSpec("S1", 6), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(smallSpec("S2", 6), 1); err != nil {
+		t.Fatal(err)
+	}
+	if j1.State != SwappedOut {
+		t.Fatalf("submitting job 2 should have swapped job 1 out (state %v)", j1.State)
+	}
+	// The swapped-out context lives only in the store.
+	ctx1 := "/sched/job1/" + coi.ContextFileName
+	if !s.plat.Store.Has(ctx1) {
+		t.Fatal("swap-out committed no store manifest")
+	}
+	if s.plat.Host().FS.Exists(ctx1) {
+		t.Error("store-mode swap-out left a plain context file")
+	}
+
+	swaps, err := s.RunRoundRobin(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swaps < 2 {
+		t.Errorf("round robin finished with only %d swaps; no real sharing happened", swaps)
+	}
+	for _, j := range s.Jobs() {
+		if j.State != Done {
+			t.Errorf("job %d not done: %v", j.ID, j.State)
+		}
+	}
+	// Repeated swap-outs of the same job hit the store: most chunks of a
+	// mostly-unchanged image are already resident.
+	if st := s.plat.Store.Stats(); st.Manifests < 2 {
+		t.Errorf("expected both jobs' manifests resident, have %+v", st)
+	}
+	dropAllAndExpectEmptyStore(t, s)
+}
+
+// TestEvacuateThroughStore migrates every job off a flagged card with
+// the context routed through the dedup store.
+func TestEvacuateThroughStore(t *testing.T) {
+	s := newStoreSched(t, 2, 8*simclock.GiB)
+	j1, err := s.Submit(smallSpec("V1", 6), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := s.Submit(smallSpec("V2", 6), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1.Inst.RunCalls(2) //nolint:errcheck
+	j2.Inst.RunCalls(2) //nolint:errcheck
+
+	if err := s.Evacuate(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range s.Jobs() {
+		if j.Device != 2 {
+			t.Errorf("job %d still on %v", j.ID, j.Device)
+		}
+	}
+	// The migration's context manifest is store-resident.
+	if !s.plat.Store.Has("/sched/evac1/" + coi.ContextFileName) {
+		t.Error("migration committed no store manifest")
+	}
+	if _, err := s.RunRoundRobin(3); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range s.Jobs() {
+		if j.State != Done {
+			t.Errorf("job %d not done after evacuation", j.ID)
+		}
+	}
+	dropAllAndExpectEmptyStore(t, s)
+}
+
+// TestDeltaChainRestoreParentOnlyInStore checkpoints a running job as a
+// store-resident base + delta chain — neither file ever exists outside
+// the store — and restores the chain through the overlay.
+func TestDeltaChainRestoreParentOnlyInStore(t *testing.T) {
+	s := newSched(t, 1, 8*simclock.GiB)
+	spec := smallSpec("DC", 4)
+	spec.DeviceMem = 64 * simclock.MiB
+	spec.LocalStore = 16 * simclock.MiB
+	in, err := workloads.Launch(s.plat, spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.RunCalls(1); err != nil {
+		t.Fatal(err)
+	}
+
+	var copts core.CaptureOptions
+	copts.Streams = 2
+	copts.ChunkBytes = 256 * 1024
+	copts.Store.Enabled = true
+	baseCtx := "/sched/dcbase/" + coi.ContextFileName
+
+	base := core.NewSnapshot("/sched/dcbase", in.CP)
+	if err := core.Pause(base); err != nil {
+		t.Fatal(err)
+	}
+	if err := base.CaptureBase(copts); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Wait(base); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Resume(base); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.RunCalls(1); err != nil {
+		t.Fatal(err)
+	}
+
+	dopts := copts
+	dopts.Terminate = true
+	dopts.Store.Parent = baseCtx
+	d := core.NewSnapshot("/sched/dcdelta", in.CP)
+	if err := core.Pause(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CaptureDelta(dopts); err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Wait(d); err != nil {
+		t.Fatal(err)
+	}
+
+	deltaPath := "/sched/dcdelta/" + coi.DeltaFileName
+	if s.plat.Host().FS.Exists(baseCtx) || s.plat.Host().FS.Exists(deltaPath) {
+		t.Fatal("chain files exist outside the store")
+	}
+	bm, _, err := s.plat.Store.Manifest(baseCtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bm.Refs != 2 {
+		t.Errorf("base refs %d, want 2 (holder + delta child)", bm.Refs)
+	}
+
+	var ropts core.RestoreOptions
+	ropts.Store.Enabled = true
+	if _, err := d.RestoreChain("/sched/dcbase", []string{"/sched/dcdelta"}, 1, ropts); err != nil {
+		t.Fatalf("restore chain from store: %v", err)
+	}
+	if err := d.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	// The job runs to completion from the restored chain.
+	if _, err := in.Run(); err != nil {
+		t.Fatalf("run to completion after chain restore: %v", err)
+	}
+	in.Close()
+
+	// Releasing the chain cascades the store back to empty.
+	if _, err := s.plat.Store.Release(deltaPath); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.plat.Store.Release(baseCtx); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.plat.Store.GC(0); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.plat.Store.Stats(); st.Manifests != 0 || st.Chunks != 0 {
+		t.Errorf("store not empty after chain release + gc: %+v", st)
 	}
 }

@@ -38,6 +38,16 @@ type Daemon struct {
 	streams    map[int64]streamInfo
 	assemblies map[string]*assembly
 	eps        map[*scif.Endpoint]struct{}
+	// store, when attached (AttachStore), serves store-mode streams and
+	// have/need negotiations on this node.
+	store ChunkStore
+}
+
+// chunkStore returns the attached store, or nil.
+func (d *Daemon) chunkStore() ChunkStore {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.store
 }
 
 // streamInfo describes one stream this daemon is currently serving.
@@ -278,12 +288,18 @@ func (d *Daemon) crash() {
 	asms := d.assemblies
 	d.assemblies = make(map[string]*assembly)
 	d.streams = make(map[int64]streamInfo)
+	cs := d.store
 	d.mu.Unlock()
 	for _, ep := range eps {
 		ep.Close() //nolint:errcheck // crash path: connection teardown is the point
 	}
 	for _, a := range asms {
 		a.sw.Abort()
+	}
+	if cs != nil {
+		// Negotiated uploads die with the daemon; their durable chunks
+		// stay, so a retrying capture ships only what is still missing.
+		cs.AbortAll()
 	}
 }
 
@@ -342,10 +358,19 @@ func (d *Daemon) remoteHandler(ep *scif.Endpoint) {
 			return
 		}
 		d.discardAssembly(path)
+		if cs := d.chunkStore(); cs != nil {
+			// A writer giving up on a path also abandons any negotiated
+			// dedup upload of it; stored chunks stay for the next attempt.
+			cs.AbortUpload(path)
+		}
 		d.svc.obs.MetricsOf().Counter("snapifyio_discards_total",
 			"Pending striped assemblies discarded by control request.",
 			obs.L("node", d.node.String())).Inc()
 		d.reply(ep, func(w *wire) { w.u8(msgDiscardResp); w.str("") })
+		return
+	}
+	if len(raw) > 0 && raw[0] == msgStoreNegotiate {
+		d.serveNegotiate(ep, raw)
 		return
 	}
 	u, err := expect(raw, msgOpen)
@@ -363,6 +388,7 @@ func (d *Daemon) remoteHandler(ep *scif.Endpoint) {
 	striped := u.u8() == 1
 	st := Stripe{Offset: u.i64(), Length: u.i64(), Total: u.i64()}
 	path := u.str()
+	storeMode := u.u8() == 1
 
 	openErr := func(msg string) {
 		d.reply(ep, func(w *wire) { w.u8(msgOpenResp); w.str(msg); w.i64(0) })
@@ -384,12 +410,69 @@ func (d *Daemon) remoteHandler(ep *scif.Endpoint) {
 	d.registerStream(streamID, streamInfo{mode: mode, path: path, slots: slots})
 	defer d.unregisterStream(streamID)
 
-	switch mode {
-	case Write:
+	switch {
+	case mode == Write && storeMode:
+		d.serveStoreWrite(ep, streamID, path, windows, striped, st)
+	case mode == Write:
 		d.serveWrite(ep, streamID, path, windows, striped, st)
-	case Read:
+	case mode == Read:
 		d.serveRead(ep, streamID, path, windows, striped, st)
 	}
+}
+
+// serveNegotiate answers a have/need control round against the attached
+// chunk store: decode the digest list, ask the store which chunks it
+// lacks, reply with the need set (or that the manifest committed on the
+// spot).
+func (d *Daemon) serveNegotiate(ep *scif.Endpoint, raw []byte) {
+	u := &unwire{buf: raw}
+	u.u8()
+	path := u.str()
+	parent := u.str()
+	size := u.i64()
+	chunkBytes := u.i64()
+	count := int(u.i64())
+	var digests []string
+	for i := 0; i < count && !u.bad; i++ {
+		digests = append(digests, u.str())
+	}
+	fail := func(msg string) {
+		d.reply(ep, func(w *wire) {
+			w.u8(msgStoreNegotiateResp)
+			w.str(msg)
+			w.u8(0)
+			w.dur(0)
+			w.i64(0)
+		})
+	}
+	if err := u.err(); err != nil {
+		fail(err.Error())
+		return
+	}
+	cs := d.chunkStore()
+	if cs == nil {
+		fail(fmt.Sprintf("no chunk store attached on %v", d.node))
+		return
+	}
+	need, committed, dur, err := cs.Negotiate(path, parent, size, chunkBytes, digests)
+	if err != nil {
+		fail(err.Error())
+		return
+	}
+	d.reply(ep, func(w *wire) {
+		w.u8(msgStoreNegotiateResp)
+		w.str("")
+		if committed {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+		w.dur(dur)
+		w.i64(int64(len(need)))
+		for _, idx := range need {
+			w.i64(int64(idx))
+		}
+	})
 }
 
 func (d *Daemon) reply(ep *scif.Endpoint, fill func(*wire)) {
@@ -590,6 +673,132 @@ func (d *Daemon) serveWrite(ep *scif.Endpoint, streamID int64, path string, wind
 	}
 }
 
+// serveStoreWrite drains the peer's staging slots into the node's chunk
+// store: each positioned chunk of a negotiated dedup upload is verified
+// against its announced digest and stored once. There is no striped
+// assembly and no partial file — chunks are durable and idempotent the
+// moment they land, so a severed stream simply leaves the upload
+// pending and a retry re-negotiates, shipping only what is still
+// missing. Close asks the store to commit the manifest (a no-op until
+// the last missing chunk has landed across all sibling streams).
+func (d *Daemon) serveStoreWrite(ep *scif.Endpoint, streamID int64, path string, windows []int64, striped bool, st Stripe) {
+	openErr := func(msg string) {
+		d.reply(ep, func(w *wire) { w.u8(msgOpenResp); w.str(msg); w.i64(0) })
+	}
+	cs := d.chunkStore()
+	if cs == nil {
+		openErr(fmt.Sprintf("no chunk store attached on %v", d.node))
+		return
+	}
+	if !striped {
+		// Store chunks are positioned by definition; the stripe carries
+		// the offsets.
+		openErr("store-mode stream requires a stripe")
+		return
+	}
+	if st.Offset < 0 || st.Length < 0 || st.Offset+st.Length > st.Total {
+		openErr(fmt.Sprintf("stripe [%d,%d) outside file of %d bytes", st.Offset, st.Offset+st.Length, st.Total))
+		return
+	}
+	d.reply(ep, func(w *wire) { w.u8(msgOpenResp); w.str(""); w.i64(0) })
+
+	staging := make([]*slot, len(windows))
+	for i := range staging {
+		staging[i] = newSlot(d.bufSize)
+	}
+	for {
+		raw, _, err := ep.Recv()
+		if err != nil {
+			return // peer vanished: upload stays pending for a retry
+		}
+		u := &unwire{buf: raw}
+		switch u.u8() {
+		case msgChunkReady:
+			sid := u.i64()
+			sl := int(u.u8())
+			n := u.i64()
+			fileOff := u.i64()
+			nack := func(msg string) {
+				d.reply(ep, func(w *wire) {
+					w.u8(msgChunkAck)
+					w.i64(streamID)
+					w.u8(uint8(sl))
+					w.str(msg)
+					w.dur(0)
+					w.dur(0)
+				})
+			}
+			if u.err() != nil {
+				return // truncated or corrupted request
+			}
+			if sid != streamID {
+				nack(fmt.Sprintf("chunk for stream %d on stream %d", sid, streamID))
+				return
+			}
+			if sl < 0 || sl >= len(staging) {
+				nack(fmt.Sprintf("chunk names slot %d of %d", sl, len(staging)))
+				return
+			}
+			// Same fault surface as the plain write path: the daemon can
+			// crash (wiping pending uploads) and chunk faults hit this
+			// stream, keyed by its stripe offset.
+			inj := d.svc.net.Fabric().Injector()
+			if f := inj.Fire(faultinject.SiteDaemon, d.node.String()); f != nil && f.Kind == faultinject.Crash {
+				d.crash()
+				return
+			}
+			if f := inj.Fire(faultinject.SiteChunk, strconv.FormatInt(st.Offset, 10)); f != nil {
+				switch f.Kind {
+				case faultinject.Drop:
+					return
+				case faultinject.PartialWrite:
+					// The store admits whole verified chunks or nothing, so
+					// a partial write degenerates to a failed chunk: nothing
+					// durable, nothing credited.
+					nack("injected fault: partial chunk upload")
+					return
+				}
+			}
+			if fileOff < st.Offset || fileOff+n > st.Offset+st.Length {
+				nack(fmt.Sprintf("chunk [%d,%d) outside stripe [%d,%d)", fileOff, fileOff+n, st.Offset, st.Offset+st.Length))
+				return
+			}
+			rdma, err := ep.VReadFrom(staging[sl], 0, n, windows[sl])
+			if err != nil {
+				return
+			}
+			fsWrite, err := cs.PutChunkAt(path, fileOff, staging[sl].SnapshotRange(0, n))
+			if err != nil {
+				nack(err.Error())
+				return
+			}
+			d.reply(ep, func(w *wire) {
+				w.u8(msgChunkAck)
+				w.i64(streamID)
+				w.u8(uint8(sl))
+				w.str("")
+				w.dur(rdma)
+				w.dur(fsWrite)
+			})
+		case msgClose:
+			_, _, err := cs.CloseUpload(path)
+			msg := ""
+			if err != nil {
+				msg = err.Error()
+			}
+			d.reply(ep, func(w *wire) { w.u8(msgCloseResp); w.str(msg) })
+			return
+		case msgDetach:
+			return // upload stays pending for a resume
+		case msgAbort:
+			cs.AbortUpload(path)
+			return
+		default:
+			return
+		}
+	}
+}
+
 // serveRead streams a local file (or a byte range of it) into the peer's
 // staging slots.
 func (d *Daemon) serveRead(ep *scif.Endpoint, streamID int64, path string, windows []int64, striped bool, st Stripe) {
@@ -721,6 +930,9 @@ func (d *Daemon) open(target simnet.NodeID, path string, mode Mode, opts OpenOpt
 			return nil, fmt.Errorf("snapifyio: stripe [%d,%d) outside declared file of %d bytes", st.Offset, st.Offset+st.Length, st.Total)
 		}
 	}
+	if opts.Store && (mode != Write || !st.enabled()) {
+		return nil, fmt.Errorf("snapifyio: store-mode stream must be a striped write")
+	}
 
 	model := d.svc.net.Fabric().Model()
 	ep, err := d.svc.net.Connect(d.node, scif.Addr{Node: target, Port: Port})
@@ -760,6 +972,11 @@ func (d *Daemon) open(target simnet.NodeID, path string, mode Mode, opts OpenOpt
 	w.i64(st.Length)
 	w.i64(st.Total)
 	w.str(path)
+	if opts.Store {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
 	if _, err := ep.Send(w.buf); err != nil {
 		ep.Close()
 		return nil, err

@@ -221,6 +221,24 @@ func (f *File) WriteBlob(b blob.Blob) (stream.Cost, error) {
 	return stream.Cost{Stages: stages[:]}, nil
 }
 
+// WriteBlobAt positions the stream at off within its stripe and streams
+// one chunk there. Store-mode writers use it to ship only the chunks a
+// have/need negotiation reported missing, skipping the stretches the
+// store already holds.
+func (f *File) WriteBlobAt(off int64, b blob.Blob) (stream.Cost, error) {
+	if f.closed {
+		return stream.Cost{}, ErrFileClosed
+	}
+	if f.mode != Write || f.fileOff < 0 {
+		return stream.Cost{}, fmt.Errorf("snapifyio: positioned write on an unstriped %v-mode file", f.mode)
+	}
+	if off < 0 || off+b.Len() > f.stripeEnd {
+		return stream.Cost{}, fmt.Errorf("snapifyio: positioned write [%d,%d) overruns stripe ending at %d", off, off+b.Len(), f.stripeEnd)
+	}
+	f.fileOff = off
+	return f.WriteBlob(b)
+}
+
 // Flush drains the in-flight write tail and returns its cost. Part of
 // stream.Flusher; a no-op on single-slot (synchronous) streams.
 func (f *File) Flush() (stream.Cost, error) {

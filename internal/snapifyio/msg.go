@@ -24,6 +24,8 @@ const (
 	msgDetach  // write mode: stream departs but the striped assembly survives for a resume
 	msgDiscard // control: drop a pending striped assembly and its partial file
 	msgDiscardResp
+	msgStoreNegotiate // control: have/need negotiation against the node's chunk store
+	msgStoreNegotiateResp
 )
 
 // errTruncated is reported when a message is shorter than its fields

@@ -36,6 +36,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"snapify/internal/blob"
 	"snapify/internal/obs"
 	"snapify/internal/scif"
 	"snapify/internal/simclock"
@@ -102,6 +103,32 @@ type OpenOptions struct {
 	// Stripe restricts the stream to a byte range of the remote file; the
 	// zero value streams the whole file.
 	Stripe Stripe
+	// Store routes the stream's chunks into the target node's chunk
+	// store instead of a plain file: each positioned chunk is verified
+	// and deduplicated against the store, and the snapshot's manifest
+	// commits when a negotiated upload (see Service.Negotiate) sees its
+	// last missing chunk. Requires a stripe (chunks carry offsets) and a
+	// store attached on the target.
+	Store bool
+}
+
+// ChunkStore is the target-side repository a store-mode stream feeds.
+// *snapstore.Store implements it; the indirection keeps snapifyio a
+// pure transport with no dependency on the store's internals.
+type ChunkStore interface {
+	// Negotiate registers an upload and returns the chunk indices the
+	// store lacks, or committed=true if the manifest committed on the
+	// spot because every chunk was already resident.
+	Negotiate(path, parent string, size, chunkBytes int64, digests []string) (need []int, committed bool, dur simclock.Duration, err error)
+	// PutChunkAt stores one chunk-aligned piece of a negotiated upload.
+	PutChunkAt(path string, off int64, content blob.Blob) (simclock.Duration, error)
+	// CloseUpload commits the manifest if every chunk landed; otherwise
+	// the upload stays pending for a retry.
+	CloseUpload(path string) (committed bool, dur simclock.Duration, err error)
+	// AbortUpload drops a pending upload (chunks already stored remain).
+	AbortUpload(path string)
+	// AbortAll drops every pending upload (daemon crash).
+	AbortAll()
 }
 
 // Service manages the per-node daemons of one Xeon Phi server.
@@ -197,6 +224,72 @@ func (s *Service) Discard(localNode, targetNode simnet.NodeID, path string) erro
 		return &RemoteError{Node: targetNode, Path: path, Msg: msg}
 	}
 	return nil
+}
+
+// AttachStore mounts a chunk store on the daemon running on node:
+// store-mode streams and have/need negotiations against that node are
+// served from cs. Typically called once at platform bring-up, right
+// after StartDaemon on the host.
+func (s *Service) AttachStore(node simnet.NodeID, cs ChunkStore) error {
+	d, err := s.Daemon(node)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.store = cs
+	d.mu.Unlock()
+	return nil
+}
+
+// Negotiate runs the have/need round of a dedup-aware capture: it sends
+// the snapshot's chunk digests to the chunk store on targetNode and
+// returns the indices of the chunks the store lacks. committed=true
+// means the store already had every chunk and the manifest committed
+// without a single data byte moving. dur is the virtual round-trip
+// including the store's index scan.
+func (s *Service) Negotiate(localNode, targetNode simnet.NodeID, path, parent string, size, chunkBytes int64, digests []string) (need []int, committed bool, dur simclock.Duration, err error) {
+	ep, err := s.net.Connect(localNode, scif.Addr{Node: targetNode, Port: Port})
+	if err != nil {
+		return nil, false, 0, err
+	}
+	defer ep.Close() //nolint:errcheck // one-shot control round-trip; Recv already surfaced any peer error
+	w := &wire{}
+	w.u8(msgStoreNegotiate)
+	w.str(path)
+	w.str(parent)
+	w.i64(size)
+	w.i64(chunkBytes)
+	w.i64(int64(len(digests)))
+	for _, d := range digests {
+		w.str(d)
+	}
+	sendDur, err := ep.Send(w.buf)
+	if err != nil {
+		return nil, false, 0, err
+	}
+	raw, recvDur, err := ep.Recv()
+	if err != nil {
+		return nil, false, 0, err
+	}
+	u, err := expect(raw, msgStoreNegotiateResp)
+	if err != nil {
+		return nil, false, 0, err
+	}
+	msg := u.str()
+	committed = u.u8() == 1
+	storeDur := u.dur()
+	n := int(u.i64())
+	for i := 0; i < n && !u.bad; i++ {
+		need = append(need, int(u.i64()))
+	}
+	if err := u.err(); err != nil {
+		return nil, false, 0, err
+	}
+	dur = sendDur + recvDur + storeDur
+	if msg != "" {
+		return nil, false, dur, &RemoteError{Node: targetNode, Path: path, Msg: msg}
+	}
+	return need, committed, dur, nil
 }
 
 // CrashDaemon crashes (and immediately restarts) the daemon on node:

@@ -1,0 +1,101 @@
+package snapstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sync"
+
+	"snapify/internal/blob"
+)
+
+// This file is the only place in the tree that computes chunk digests
+// (snapifylint's storegate analyzer pins that): every layer that needs a
+// content address — the card-side layout walk, the daemon's upload
+// verification, the fsck in Verify — calls Digest. Keeping the hash in one
+// package is what makes "same bytes, same name" a global invariant instead
+// of a per-caller convention.
+
+// digestWindow bounds how much synthetic content is materialized at a
+// time while hashing, mirroring blob's bounded-window comparisons: chunk
+// digests stay content-true without ever holding a materialized chunk.
+const digestWindow = 64 * 1024
+
+// synKey identifies a fully synthetic extent's content. Synthetic
+// content is a pure function of (seed, offset, size), so its digest is
+// too — the cache turns the repeated-swap hot path (mostly untouched
+// background pages) into a map lookup.
+type synKey struct {
+	seed      uint64
+	off, size int64
+}
+
+var (
+	synMu    sync.Mutex
+	synCache = make(map[synKey]string)
+)
+
+// synCacheMax bounds the process-wide synthetic-digest cache; on
+// overflow the cache resets rather than evicting (entries are cheap to
+// recompute and the working set of one run fits comfortably).
+const synCacheMax = 1 << 15
+
+// Digest returns the hex SHA-256 of the blob's content. Synthetic
+// extents are materialized in bounded windows, so digesting a multi-GiB
+// snapshot chunk never allocates more than digestWindow bytes; fully
+// synthetic chunks are served from a deterministic cache.
+func Digest(b blob.Blob) string {
+	exts := b.Extents()
+	var key synKey
+	cacheable := len(exts) == 1 && !exts[0].IsLiteral()
+	if cacheable {
+		key = synKey{seed: exts[0].Seed, off: exts[0].Off, size: exts[0].Size}
+		synMu.Lock()
+		d, ok := synCache[key]
+		synMu.Unlock()
+		if ok {
+			return d
+		}
+	}
+	h := sha256.New()
+	var buf [digestWindow]byte
+	for _, e := range exts {
+		if e.IsLiteral() {
+			h.Write(e.Literal)
+			continue
+		}
+		for off := int64(0); off < e.Size; {
+			n := e.Size - off
+			if n > digestWindow {
+				n = digestWindow
+			}
+			blob.Materialize(e.Seed, e.Off+off, buf[:n])
+			h.Write(buf[:n])
+			off += n
+		}
+	}
+	d := hex.EncodeToString(h.Sum(nil))
+	if cacheable {
+		synMu.Lock()
+		if len(synCache) >= synCacheMax {
+			synCache = make(map[synKey]string)
+		}
+		synCache[key] = d
+		synMu.Unlock()
+	}
+	return d
+}
+
+// ChunkDigests splits content into chunkBytes-sized pieces (the last may
+// be short) and returns their digests in order — the have/need unit of
+// the dedup-aware transfer protocol.
+func ChunkDigests(content blob.Blob, chunkBytes int64) []string {
+	if chunkBytes <= 0 || content.Len() == 0 {
+		return nil
+	}
+	out := make([]string, 0, (content.Len()+chunkBytes-1)/chunkBytes)
+	content.ForEachChunk(chunkBytes, func(chunk blob.Blob) error { //nolint:errcheck // the callback never fails
+		out = append(out, Digest(chunk))
+		return nil
+	})
+	return out
+}

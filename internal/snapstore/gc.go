@@ -1,0 +1,150 @@
+package snapstore
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"snapify/internal/faultinject"
+	"snapify/internal/simclock"
+)
+
+// GCStats reports one GC run.
+type GCStats struct {
+	ChunksScanned   int
+	ChunksReclaimed int
+	BytesReclaimed  int64
+	TmpSwept        int // stale mid-commit temp manifests removed
+	ChunksLive      int
+}
+
+// GC reclaims unreferenced chunks: mark every digest reachable from a
+// committed manifest or a pending upload, sweep chunk files outside the
+// mark set, and remove stale mid-commit temp manifests. at positions
+// the emitted store_gc span on the host timeline.
+//
+// The sweep consults the fault injector once per examined chunk
+// (SiteStore, key "gc"); a Crash fault abandons the sweep where it
+// stands and returns ErrInterrupted. That is always safe: the sweep
+// only ever deletes garbage, so a re-run converges on the same end
+// state.
+func (st *Store) GC(at simclock.Duration) (GCStats, simclock.Duration, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var gs GCStats
+	live := st.referencedLocked()
+	dur := st.model.HostFSOpLatency // directory scan
+	var sweepErr error
+	for _, mp := range st.fs.List(ManifestPrefix) {
+		if !strings.HasSuffix(mp, TmpSuffix) {
+			continue
+		}
+		// A temp manifest only outlives its commit if the daemon died
+		// between the temp and final writes; the snapshot is absent, so
+		// the temp is pure garbage.
+		if err := st.fs.Remove(mp); err == nil {
+			gs.TmpSwept++
+			dur += st.model.HostFSOpLatency
+		}
+	}
+	for _, cp := range st.fs.List(ChunkPrefix) {
+		gs.ChunksScanned++
+		if f := st.fire("gc"); f != nil && f.Kind == faultinject.Crash {
+			sweepErr = fmt.Errorf("%w: gc sweep after %d chunks", ErrInterrupted, gs.ChunksScanned)
+			break
+		}
+		if live[strings.TrimPrefix(cp, ChunkPrefix)] {
+			gs.ChunksLive++
+			continue
+		}
+		n, err := st.fs.Size(cp)
+		if err != nil {
+			continue
+		}
+		if err := st.fs.Remove(cp); err != nil {
+			continue
+		}
+		gs.ChunksReclaimed++
+		gs.BytesReclaimed += n
+		dur += st.model.HostFSOpLatency
+	}
+	st.gcChunks.Add(int64(gs.ChunksReclaimed))
+	st.gcBytes.Add(gs.BytesReclaimed)
+	st.obs.TracerOf().Track("host", "snapstore").Emit(0, "store_gc", at, dur, map[string]int64{
+		"chunks_reclaimed": int64(gs.ChunksReclaimed),
+		"bytes_reclaimed":  gs.BytesReclaimed,
+		"chunks_live":      int64(gs.ChunksLive),
+	})
+	return gs, dur, sweepErr
+}
+
+// Verify is the store's fsck. It re-digests every chunk against its
+// name, decodes every manifest, and checks the reference graph:
+// referenced chunks exist, parents exist, and every refcount is at
+// least one-for-the-holder plus one per child. It returns a description
+// of each problem found (empty means clean).
+func (st *Store) Verify() ([]string, simclock.Duration) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var problems []string
+	var dur simclock.Duration
+	for _, cp := range st.fs.List(ChunkPrefix) {
+		b, d, err := st.fs.ReadFile(cp)
+		dur += d
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("chunk %s: %v", cp, err))
+			continue
+		}
+		want := strings.TrimPrefix(cp, ChunkPrefix)
+		dur += st.model.HostMemcpy(b.Len())
+		if got := Digest(b); got != want {
+			problems = append(problems, fmt.Sprintf("chunk %s: content digests to %s", cp, got))
+		}
+	}
+	children := make(map[string]int64)
+	manifests := make(map[string]*Manifest)
+	for _, mp := range st.fs.List(ManifestPrefix) {
+		if strings.HasSuffix(mp, TmpSuffix) {
+			problems = append(problems, fmt.Sprintf("stale temp manifest %s (crashed commit; run gc)", mp))
+			continue
+		}
+		b, d, err := st.fs.ReadFile(mp)
+		dur += d
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("manifest %s: %v", mp, err))
+			continue
+		}
+		m, err := decodeManifest(b)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("manifest %s: %v", mp, err))
+			continue
+		}
+		path := strings.TrimPrefix(mp, ManifestPrefix)
+		manifests[path] = m
+		if m.Parent != "" {
+			children[m.Parent]++
+		}
+		for i, dg := range m.Chunks {
+			if !st.fs.Exists(chunkPath(dg)) {
+				problems = append(problems, fmt.Sprintf("manifest %s: chunk %d (%s) missing", path, i, dg[:12]))
+			}
+		}
+	}
+	paths := make([]string, 0, len(manifests))
+	for path := range manifests {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		m := manifests[path]
+		if m.Parent != "" {
+			if _, ok := manifests[m.Parent]; !ok {
+				problems = append(problems, fmt.Sprintf("manifest %s: parent %s missing (dangling delta chain)", path, m.Parent))
+			}
+		}
+		if min := 1 + children[path]; m.Refs < min {
+			problems = append(problems, fmt.Sprintf("manifest %s: refs %d below %d (1 holder + %d children)", path, m.Refs, min, children[path]))
+		}
+	}
+	return problems, dur
+}

@@ -1,0 +1,520 @@
+// Package snapstore is a chunked, content-addressed snapshot repository
+// on the host file system (DESIGN.md §11).
+//
+// Snapshot images are split into fixed-size chunks keyed by SHA-256 and
+// stored once; per-snapshot manifests list the chunk digests that
+// reassemble the image, carry a refcount, and link to a delta chain's
+// parent manifest. The capture data path negotiates a have/need chunk
+// set before streaming (Snapify-IO msgStoreNegotiate) and ships only
+// the chunks the store lacks — the dedup that makes repeated swap-out
+// of a mostly-unchanged offload process cheap, the same redundancy the
+// paper's delta checkpoints (§4.4) exploit at page granularity.
+//
+// Consistency contract: a manifest is committed atomically
+// (temp-then-final write; a crash in between leaves the snapshot
+// absent, never torn), chunk writes are idempotent (same digest, same
+// content), and GC — mark from manifests plus in-flight uploads, sweep
+// unreferenced chunks — is safe to re-run after any interruption.
+package snapstore
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"snapify/internal/blob"
+	"snapify/internal/faultinject"
+	"snapify/internal/hostfs"
+	"snapify/internal/obs"
+	"snapify/internal/simclock"
+)
+
+// ErrInterrupted reports an operation cut short by an injected daemon
+// crash (SiteStore). The store is left consistent; the operation can be
+// re-run.
+var ErrInterrupted = errors.New("snapstore: interrupted by injected crash")
+
+// Store is the content-addressed snapshot repository. Safe for
+// concurrent use; the parallel upload streams of one capture and the
+// control plane (GC, Verify, ctl) share one Store.
+type Store struct {
+	model *simclock.Model
+	fs    *hostfs.FS
+	obs   *obs.Obs
+	// injector supplies the fault injector lazily: chaos plans are armed
+	// on the fabric after the Platform (and Store) are built.
+	injector func() *faultinject.Injector
+
+	mu      sync.Mutex
+	uploads map[string]*upload
+
+	chunksPut    *obs.Counter
+	chunkHits    *obs.Counter
+	bytesShipped *obs.Counter
+	bytesLogical *obs.Counter
+	gcChunks     *obs.Counter
+	gcBytes      *obs.Counter
+	commits      *obs.Counter
+}
+
+// upload is one negotiated dedup upload in flight. It pins its digests
+// against GC until committed or aborted, so a concurrent sweep can
+// never reclaim a chunk the writer was told the store already has.
+type upload struct {
+	path       string // normalized snapshot path
+	parent     string // normalized parent snapshot path, or ""
+	size       int64
+	chunkBytes int64
+	digests    []string
+	have       []bool // chunk present when negotiated or put since
+	committed  bool
+}
+
+// New builds a Store over the host file system. injector may be nil or
+// return nil; faults then never fire.
+func New(model *simclock.Model, fs *hostfs.FS, o *obs.Obs, injector func() *faultinject.Injector) *Store {
+	reg := o.MetricsOf()
+	st := &Store{
+		model:    model,
+		fs:       fs,
+		obs:      o,
+		injector: injector,
+		uploads:  make(map[string]*upload),
+		chunksPut: reg.Counter("snapstore_chunks_put_total",
+			"Chunks shipped to and written by the store."),
+		chunkHits: reg.Counter("snapstore_chunk_hits_total",
+			"Chunks a negotiation found already present (dedup hits)."),
+		bytesShipped: reg.Counter("snapstore_bytes_shipped_total",
+			"Bytes physically shipped into the store."),
+		bytesLogical: reg.Counter("snapstore_bytes_logical_total",
+			"Logical snapshot bytes committed (pre-dedup)."),
+		gcChunks: reg.Counter("snapstore_gc_reclaimed_chunks_total",
+			"Chunks reclaimed by GC sweeps."),
+		gcBytes: reg.Counter("snapstore_gc_reclaimed_bytes_total",
+			"Bytes reclaimed by GC sweeps."),
+		commits: reg.Counter("snapstore_manifests_committed_total",
+			"Manifests committed (temp-then-final renames)."),
+	}
+	reg.RegisterCollector(func(r *obs.Registry) {
+		s := st.Stats()
+		r.Gauge("snapstore_chunks", "Unique chunks resident in the store.").Set(int64(s.Chunks))
+		r.Gauge("snapstore_manifests", "Manifests resident in the store.").Set(int64(s.Manifests))
+		r.Gauge("snapstore_stored_bytes", "Physical chunk bytes resident.").Set(s.StoredBytes)
+		r.Gauge("snapstore_logical_bytes", "Logical snapshot bytes referenced.").Set(s.LogicalBytes)
+	})
+	return st
+}
+
+func (st *Store) fire(key string) *faultinject.Fault {
+	if st.injector == nil {
+		return nil
+	}
+	return st.injector().Fire(faultinject.SiteStore, key)
+}
+
+// Negotiate registers a dedup upload for the snapshot at path and
+// returns which chunk indices the store lacks. digests are the ordered
+// chunk digests of the full image (size bytes in chunkBytes chunks);
+// parent, if nonempty, names the snapshot whose manifest this one's
+// delta chain extends and must already be committed. If nothing is
+// missing the manifest commits immediately (committed reports this) and
+// no data streams at all.
+//
+// Negotiating again for the same path replaces the pending upload (the
+// retry path after a mid-upload crash: chunks already shipped are found
+// and drop out of the need set).
+func (st *Store) Negotiate(path, parent string, size, chunkBytes int64, digests []string) (need []int, committed bool, dur simclock.Duration, err error) {
+	if size < 0 || chunkBytes <= 0 {
+		return nil, false, 0, fmt.Errorf("snapstore: negotiate %s: bad geometry size=%d chunkBytes=%d", path, size, chunkBytes)
+	}
+	if got, want := len(digests), chunkCount(size, chunkBytes); got != want {
+		return nil, false, 0, fmt.Errorf("snapstore: negotiate %s: %d digests for %d bytes in %d-byte chunks (want %d)", path, got, size, chunkBytes, want)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	path = normPath(path)
+	if parent != "" {
+		parent = normPath(parent)
+		if !st.fs.Exists(manifestPath(parent)) {
+			return nil, false, 0, fmt.Errorf("snapstore: negotiate %s: parent %s has no manifest", path, parent)
+		}
+		if parent == path {
+			return nil, false, 0, fmt.Errorf("snapstore: negotiate %s: snapshot cannot parent itself", path)
+		}
+	}
+	up := &upload{
+		path:       path,
+		parent:     parent,
+		size:       size,
+		chunkBytes: chunkBytes,
+		digests:    append([]string(nil), digests...),
+		have:       make([]bool, len(digests)),
+	}
+	for i, d := range digests {
+		if st.fs.Exists(chunkPath(d)) {
+			up.have[i] = true
+			st.chunkHits.Inc()
+		} else {
+			need = append(need, i)
+		}
+	}
+	st.uploads[path] = up
+	// Metadata cost: one fs round-trip plus an in-memory index scan of
+	// the digest list (a real store answers have/need from an index, not
+	// per-chunk stats).
+	dur = st.model.HostFSOpLatency + st.model.HostMemcpy(64*int64(len(digests)))
+	if len(need) == 0 {
+		d, err := st.commitLocked(up)
+		dur += d
+		if err != nil {
+			return nil, false, dur, err
+		}
+		return nil, true, dur, nil
+	}
+	return need, false, dur, nil
+}
+
+// PutChunkAt stores one chunk of a negotiated upload. off must be
+// chunk-aligned; content is digest-verified against the negotiated
+// digest before it is admitted (a corrupted transfer is rejected, not
+// stored under a name it doesn't match). Idempotent: re-shipping a
+// chunk that already landed is a no-op replay.
+func (st *Store) PutChunkAt(path string, off int64, content blob.Blob) (simclock.Duration, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	up := st.uploads[normPath(path)]
+	if up == nil {
+		return 0, fmt.Errorf("snapstore: put %s: no negotiated upload", path)
+	}
+	if off < 0 || off%up.chunkBytes != 0 || off >= up.size {
+		return 0, fmt.Errorf("snapstore: put %s: offset %d not a chunk boundary of %d-byte chunks in %d bytes", path, off, up.chunkBytes, up.size)
+	}
+	idx := int(off / up.chunkBytes)
+	m := Manifest{Size: up.size, ChunkBytes: up.chunkBytes}
+	if content.Len() != m.chunkLen(idx) {
+		return 0, fmt.Errorf("snapstore: put %s: chunk %d is %d bytes, want %d", path, idx, content.Len(), m.chunkLen(idx))
+	}
+	// Verifying the digest re-reads the chunk once at memcpy rate.
+	dur := st.model.HostMemcpy(content.Len())
+	if got := Digest(content); got != up.digests[idx] {
+		return dur, fmt.Errorf("snapstore: put %s: chunk %d digest mismatch (got %s, want %s)", path, idx, got[:12], up.digests[idx][:12])
+	}
+	cp := chunkPath(up.digests[idx])
+	if !st.fs.Exists(cp) {
+		d, err := st.fs.WriteFile(cp, content)
+		dur += d
+		if err != nil {
+			return dur, err
+		}
+		st.chunksPut.Inc()
+	}
+	if !up.have[idx] {
+		up.have[idx] = true
+		st.bytesShipped.Add(content.Len())
+	}
+	return dur, nil
+}
+
+// CloseUpload finishes a negotiated upload: if every chunk is present
+// the manifest commits atomically and CloseUpload reports committed;
+// otherwise the upload stays pending (the writer detached or died
+// mid-stream — a retry re-negotiates). Idempotent across the parallel
+// streams of one capture: the first complete close commits, later
+// closes see committed.
+func (st *Store) CloseUpload(path string) (bool, simclock.Duration, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	up := st.uploads[normPath(path)]
+	if up == nil {
+		return false, 0, fmt.Errorf("snapstore: close %s: no negotiated upload", path)
+	}
+	if up.committed {
+		return true, 0, nil
+	}
+	for _, ok := range up.have {
+		if !ok {
+			return false, 0, nil
+		}
+	}
+	dur, err := st.commitLocked(up)
+	return err == nil, dur, err
+}
+
+// AbortUpload drops a pending upload, unpinning its digests. Chunks
+// already written stay — they are content-addressed, so a retry (or an
+// unrelated snapshot) reuses them, and GC reclaims them if nobody does.
+func (st *Store) AbortUpload(path string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	delete(st.uploads, normPath(path))
+}
+
+// AbortAll drops every pending upload — the Snapify-IO daemon crashed
+// and its stream state is gone. Durable chunks and committed manifests
+// are unaffected.
+func (st *Store) AbortAll() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for p, up := range st.uploads {
+		if !up.committed {
+			delete(st.uploads, p)
+		}
+	}
+}
+
+// commitLocked writes the manifest for a completed upload with the
+// temp-then-final dance and settles refcounts: a replaced manifest's
+// refs carry over (holders don't know the content changed), a replaced
+// parent link is released, a new parent link retained. Caller holds
+// st.mu.
+func (st *Store) commitLocked(up *upload) (simclock.Duration, error) {
+	mp := manifestPath(up.path)
+	var old *Manifest
+	if st.fs.Exists(mp) {
+		b, d, err := st.fs.ReadFile(mp)
+		if err != nil {
+			return d, err
+		}
+		old, err = decodeManifest(b)
+		if err != nil {
+			return d, err
+		}
+	}
+	m := &Manifest{
+		Path:       up.path,
+		Size:       up.size,
+		ChunkBytes: up.chunkBytes,
+		Parent:     up.parent,
+		Refs:       1,
+		Chunks:     append([]string(nil), up.digests...),
+	}
+	if old != nil {
+		m.Refs = old.Refs
+	}
+	dur, err := st.fs.WriteFile(mp+TmpSuffix, m.encode())
+	if err != nil {
+		return dur, err
+	}
+	if f := st.fire("commit"); f != nil && f.Kind == faultinject.Crash {
+		// Crashed between temp and final: the snapshot is absent, the
+		// stale temp is GC fodder, the upload dies with the daemon.
+		delete(st.uploads, up.path)
+		return dur, fmt.Errorf("%w: commit of %s", ErrInterrupted, up.path)
+	}
+	d, err := st.fs.WriteFile(mp, m.encode())
+	dur += d
+	if err != nil {
+		return dur, err
+	}
+	if err := st.fs.Remove(mp + TmpSuffix); err != nil {
+		return dur, err
+	}
+	if old == nil || old.Parent != m.Parent {
+		if m.Parent != "" {
+			d, err := st.retainLocked(m.Parent)
+			dur += d
+			if err != nil {
+				return dur, err
+			}
+		}
+		if old != nil && old.Parent != "" {
+			d, err := st.releaseLocked(old.Parent)
+			dur += d
+			if err != nil {
+				return dur, err
+			}
+		}
+	}
+	up.committed = true
+	st.commits.Inc()
+	st.bytesLogical.Add(up.size)
+	return dur, nil
+}
+
+// writeManifestLocked rewrites an existing manifest (refcount changes)
+// with the same temp-then-final discipline as a commit.
+func (st *Store) writeManifestLocked(m *Manifest) (simclock.Duration, error) {
+	mp := manifestPath(m.Path)
+	dur, err := st.fs.WriteFile(mp+TmpSuffix, m.encode())
+	if err != nil {
+		return dur, err
+	}
+	d, err := st.fs.WriteFile(mp, m.encode())
+	dur += d
+	if err != nil {
+		return dur, err
+	}
+	return dur, st.fs.Remove(mp + TmpSuffix)
+}
+
+// retainLocked bumps the refcount of the manifest at path.
+func (st *Store) retainLocked(path string) (simclock.Duration, error) {
+	m, dur, err := st.manifestLocked(path)
+	if err != nil {
+		return dur, err
+	}
+	m.Refs++
+	d, err := st.writeManifestLocked(m)
+	return dur + d, err
+}
+
+// releaseLocked drops one reference from the manifest at path, deleting
+// it (and cascading up its delta chain) at zero. Chunks are left for GC.
+func (st *Store) releaseLocked(path string) (simclock.Duration, error) {
+	m, dur, err := st.manifestLocked(path)
+	if err != nil {
+		return dur, err
+	}
+	m.Refs--
+	if m.Refs > 0 {
+		d, err := st.writeManifestLocked(m)
+		return dur + d, err
+	}
+	if err := st.fs.Remove(manifestPath(path)); err != nil {
+		return dur, err
+	}
+	if m.Parent != "" {
+		d, err := st.releaseLocked(m.Parent)
+		return dur + d, err
+	}
+	return dur, nil
+}
+
+// Release drops one reference from the snapshot at path — the owner no
+// longer wants it. At refcount zero the manifest disappears (parents
+// cascade) and the next GC reclaims any chunks nothing else references.
+func (st *Store) Release(path string) (simclock.Duration, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	p := normPath(path)
+	// The committed upload entry kept for idempotent CloseUpload replays
+	// has outlived its purpose once the owner releases the snapshot.
+	if up := st.uploads[p]; up != nil && up.committed {
+		delete(st.uploads, p)
+	}
+	return st.releaseLocked(p)
+}
+
+// manifestLocked reads and decodes the manifest for the snapshot at
+// path. Caller holds st.mu.
+func (st *Store) manifestLocked(path string) (*Manifest, simclock.Duration, error) {
+	b, dur, err := st.fs.ReadFile(manifestPath(normPath(path)))
+	if err != nil {
+		return nil, dur, err
+	}
+	m, err := decodeManifest(b)
+	return m, dur, err
+}
+
+// Manifest returns the committed manifest for the snapshot at path.
+func (st *Store) Manifest(path string) (*Manifest, simclock.Duration, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.manifestLocked(path)
+}
+
+// Has reports whether a committed manifest exists for the snapshot at
+// path.
+func (st *Store) Has(path string) bool {
+	return st.fs.Exists(manifestPath(normPath(path)))
+}
+
+// List returns the snapshot paths with committed manifests, sorted.
+func (st *Store) List() []string {
+	var out []string
+	for _, mp := range st.fs.List(ManifestPrefix) {
+		if strings.HasSuffix(mp, TmpSuffix) {
+			continue
+		}
+		out = append(out, strings.TrimPrefix(mp, ManifestPrefix))
+	}
+	return out
+}
+
+// Stats summarizes the store for snapifyctl and the metrics collector.
+type Stats struct {
+	Manifests         int
+	Chunks            int
+	StoredBytes       int64 // physical chunk bytes resident
+	LogicalBytes      int64 // sum of manifest sizes (pre-dedup)
+	ReclaimableChunks int
+	ReclaimableBytes  int64 // unreferenced chunk bytes a GC would sweep
+}
+
+// DedupRatio is logical over stored bytes — how many snapshot bytes
+// each resident byte serves. 0 when the store is empty.
+func (s Stats) DedupRatio() float64 {
+	if s.StoredBytes == 0 {
+		return 0
+	}
+	return float64(s.LogicalBytes) / float64(s.StoredBytes)
+}
+
+// Stats walks the manifests and chunk files. Metadata-only; it charges
+// no virtual time (the ctl surface reports, it doesn't simulate).
+func (st *Store) Stats() Stats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var s Stats
+	live := st.referencedLocked()
+	for _, mp := range st.fs.List(ManifestPrefix) {
+		if strings.HasSuffix(mp, TmpSuffix) {
+			continue
+		}
+		s.Manifests++
+		if b, _, err := st.fs.ReadFile(mp); err == nil {
+			if m, err := decodeManifest(b); err == nil {
+				s.LogicalBytes += m.Size
+			}
+		}
+	}
+	for _, cp := range st.fs.List(ChunkPrefix) {
+		n, err := st.fs.Size(cp)
+		if err != nil {
+			continue
+		}
+		s.Chunks++
+		s.StoredBytes += n
+		if !live[strings.TrimPrefix(cp, ChunkPrefix)] {
+			s.ReclaimableChunks++
+			s.ReclaimableBytes += n
+		}
+	}
+	return s
+}
+
+// referencedLocked builds the mark set: every digest referenced by a
+// committed manifest or pinned by a pending upload. Caller holds st.mu.
+func (st *Store) referencedLocked() map[string]bool {
+	live := make(map[string]bool)
+	for _, mp := range st.fs.List(ManifestPrefix) {
+		if strings.HasSuffix(mp, TmpSuffix) {
+			continue
+		}
+		b, _, err := st.fs.ReadFile(mp)
+		if err != nil {
+			continue
+		}
+		m, err := decodeManifest(b)
+		if err != nil {
+			continue
+		}
+		for _, d := range m.Chunks {
+			live[d] = true
+		}
+	}
+	for _, up := range st.uploads {
+		// A committed upload's chunks are protected by its manifest (or
+		// fair game once that manifest is released): the entry lingers
+		// only so late CloseUpload calls from sibling streams stay
+		// idempotent, and must not pin anything.
+		if up.committed {
+			continue
+		}
+		for _, d := range up.digests {
+			live[d] = true
+		}
+	}
+	return live
+}

@@ -1,13 +1,20 @@
 #!/bin/sh
-# bench.sh — the parallel capture benchmark (ISSUE 2 acceptance).
+# bench.sh — the standing benchmarks (ISSUE 2 and ISSUE 5 acceptance).
 #
-# Sweeps the multi-stream Snapify-IO capture of an 8 GiB-class device
-# image over 1/2/4/8 streams, prints the table, enforces the shape
-# (4 streams >= 2x over serial; all rows byte-identical), and records the
-# raw numbers in BENCH_capture.json at the repository root.
+# First sweeps the multi-stream Snapify-IO capture of an 8 GiB-class
+# device image over 1/2/4/8 streams, enforcing the shape (4 streams
+# >= 2x over serial; all rows byte-identical) and recording the raw
+# numbers in BENCH_capture.json. Then runs the dedup-store swap-cycle
+# comparison — repeated swap-out of a mostly-unchanged image through the
+# content-addressed store vs plain files — enforcing >= 3x fewer bytes
+# shipped with byte-identical content, and recording BENCH_dedup.json.
+# Both land at the repository root.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 echo "==> parallel capture sweep (8 GiB image, streams 1/2/4/8)"
 go run ./cmd/snapbench -parallel -json BENCH_capture.json
+
+echo "==> dedup store swap cycles (1 GiB image, 4 cycles, plain vs store)"
+go run ./cmd/snapbench -store -json BENCH_dedup.json

@@ -46,4 +46,13 @@ trace_out=$(mktemp /tmp/snapify_trace_smoke.XXXXXX.json)
 go run ./cmd/snapbench -parallel -smoke -trace "$trace_out"
 rm -f "$trace_out"
 
+echo "==> snapbench -store -smoke -trace (dedup store + trace smoke)"
+# The store smoke runs the swap-cycle dedup comparison on a small image;
+# its shape check pins the >= 3x shipped-byte reduction, the
+# byte-identical store round-trip, the negotiation spans' capture-scope
+# correlation, and GC back to zero chunks.
+store_trace=$(mktemp /tmp/snapify_store_smoke.XXXXXX.json)
+go run ./cmd/snapbench -store -smoke -trace "$store_trace"
+rm -f "$store_trace"
+
 echo "verify: all gates passed"
