@@ -4,12 +4,19 @@
 //
 // Usage:
 //
-//	snapifylint [-allowlist file] [-json] [-list] [patterns...]
+//	snapifylint [-allowlist file] [-json] [-sarif file] [-stats] [-unused-allowlist] [-list] [patterns...]
 //
 // Patterns are package directories relative to the module root, with the
 // usual /... suffix for subtrees (default ./...). The exit status is 0
 // when no findings survive the allowlist, 1 when findings remain, and 2
 // on usage or load errors.
+//
+// -sarif additionally writes the surviving findings as a SARIF 2.1.0 log
+// so code hosts and editors that speak the format can ingest them.
+// -stats appends a per-analyzer finding-count and wall-clock summary.
+// -unused-allowlist inverts the check: instead of findings it reports
+// allowlist entries that no longer match anything (exit 1 if any), so
+// the suppression file cannot rot.
 //
 // If -allowlist is not given and a .snapifylint file exists at the module
 // root, it is used automatically. See internal/lint for the allowlist and
@@ -21,8 +28,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"time"
 
 	"snapify/internal/lint"
 )
@@ -35,11 +44,14 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr *os.File) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	flags := flag.NewFlagSet("snapifylint", flag.ContinueOnError)
 	flags.SetOutput(stderr)
 	allowPath := flags.String("allowlist", "", "allowlist file of acknowledged findings (default: <module root>/"+DefaultAllowlistName+" if present)")
 	asJSON := flags.Bool("json", false, "emit findings as a JSON array (stable across runs, for CI diffing)")
+	sarifPath := flags.String("sarif", "", "also write findings as a SARIF 2.1.0 log to this file")
+	stats := flags.Bool("stats", false, "print a per-analyzer finding-count and wall-clock summary")
+	unusedOnly := flags.Bool("unused-allowlist", false, "report allowlist entries that no longer match any finding, exit 1 if any")
 	list := flags.Bool("list", false, "list the analyzers and the invariant each protects, then exit")
 	if err := flags.Parse(args); err != nil {
 		return 2
@@ -100,7 +112,27 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 	}
 
-	findings := allow.Filter(lint.Run(pkgs, lint.All()))
+	raw, perAnalyzer := lint.RunStats(pkgs, lint.All())
+	findings := allow.Filter(raw)
+
+	if *unusedOnly {
+		if allow == nil {
+			fmt.Fprintln(stdout, "snapifylint: no allowlist in use, nothing to check")
+			return 0
+		}
+		unused := allow.Unused()
+		for _, e := range unused {
+			fmt.Fprintf(stdout, "unused allowlist entry in %s: %s %s %s (delete it)\n",
+				allow.Source, e.Analyzer, e.PathSuffix, e.Match)
+		}
+		if len(unused) > 0 {
+			fmt.Fprintf(stdout, "snapifylint: %d stale allowlist entr%s\n",
+				len(unused), pluralY(len(unused)))
+			return 1
+		}
+		fmt.Fprintf(stdout, "snapifylint: allowlist %s is clean: every entry still matches a finding\n", allow.Source)
+		return 0
+	}
 	for _, e := range allow.Unused() {
 		fmt.Fprintf(stderr, "snapifylint: unused allowlist entry in %s: %s %s %s (delete it?)\n",
 			allow.Source, e.Analyzer, e.PathSuffix, e.Match)
@@ -111,6 +143,13 @@ func run(args []string, stdout, stderr *os.File) int {
 	for i := range findings {
 		if rel, relErr := filepath.Rel(root, findings[i].File); relErr == nil {
 			findings[i].File = filepath.ToSlash(rel)
+		}
+	}
+
+	if *sarifPath != "" {
+		if err := writeSARIFFile(*sarifPath, findings); err != nil {
+			fmt.Fprintln(stderr, "snapifylint:", err)
+			return 2
 		}
 	}
 
@@ -129,6 +168,9 @@ func run(args []string, stdout, stderr *os.File) int {
 			fmt.Fprintln(stdout, f)
 		}
 	}
+	if *stats {
+		printStats(stdout, perAnalyzer)
+	}
 	if len(findings) > 0 {
 		if !*asJSON {
 			fmt.Fprintf(stdout, "snapifylint: %d finding(s)\n", len(findings))
@@ -136,4 +178,27 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 1
 	}
 	return 0
+}
+
+// printStats renders the per-analyzer summary: raw finding counts
+// (before the allowlist, so suppressed noise is still visible) and the
+// wall-clock each analyzer spent, then a total line.
+func printStats(w io.Writer, perAnalyzer []lint.AnalyzerStat) {
+	var findings int
+	var wall time.Duration
+	for _, s := range perAnalyzer {
+		fmt.Fprintf(w, "stats: %-14s findings=%-3d wall=%s\n",
+			s.Analyzer, s.Findings, s.Wall.Round(time.Microsecond))
+		findings += s.Findings
+		wall += s.Wall
+	}
+	fmt.Fprintf(w, "stats: %-14s findings=%-3d wall=%s\n",
+		"total", findings, wall.Round(time.Microsecond))
+}
+
+func pluralY(n int) string {
+	if n == 1 {
+		return "y"
+	}
+	return "ies"
 }

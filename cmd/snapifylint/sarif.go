@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"snapify/internal/lint"
+)
+
+// SARIF 2.1.0 output: the minimal subset of the OASIS schema that GitHub
+// code scanning and SARIF-aware editors consume. Only fields we fill are
+// declared; encoding/json leaves the rest out entirely, which the schema
+// permits (almost everything in SARIF is optional).
+
+const (
+	sarifSchema  = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+	sarifVersion = "2.1.0"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// buildSARIF converts findings (with module-root-relative slash paths
+// already applied) into a SARIF log. The rules table lists only the
+// analyzers that actually fired, in name order, so the log is stable.
+func buildSARIF(findings []lint.Finding) sarifLog {
+	docs := make(map[string]string)
+	for _, a := range lint.All() {
+		docs[a.Name] = a.Doc
+	}
+	fired := make(map[string]bool)
+	results := make([]sarifResult, 0, len(findings))
+	for _, f := range findings {
+		fired[f.Analyzer] = true
+		results = append(results, sarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "warning",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: f.File},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+				},
+			}},
+		})
+	}
+	rules := make([]sarifRule, 0, len(fired))
+	for name := range fired {
+		rules = append(rules, sarifRule{
+			ID:               name,
+			ShortDescription: sarifMessage{Text: docs[name]},
+		})
+	}
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+	return sarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "snapifylint", Rules: rules}},
+			Results: results,
+		}},
+	}
+}
+
+// writeSARIFFile writes the findings as an indented SARIF 2.1.0 log.
+func writeSARIFFile(path string, findings []lint.Finding) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("sarif: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(buildSARIF(findings)); err != nil {
+		f.Close()
+		return fmt.Errorf("sarif: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("sarif: %w", err)
+	}
+	return nil
+}

@@ -499,6 +499,58 @@ func TestSwapOutSwapInWithBuffers(t *testing.T) {
 	cp.Destroy()
 }
 
+// TestRebindRemapOrderDeterministic pins the fix for a real defect the
+// maporder analyzer caught: Rebind used to iterate the buffer map
+// directly, so with several buffers the cmdBufferReregister wire
+// requests — and the remap table, part of the restore transcript — came
+// out in Go's randomized map order and differed run to run. The remap
+// table must list buffers in ascending ID order, every buffer, exactly
+// once.
+func TestRebindRemapOrderDeterministic(t *testing.T) {
+	RegisterBinary(counterBinary("app_remap_order"))
+	e := newEnv(t, 1)
+	cp := e.create(t, "app_remap_order", 1)
+	const nbufs = 6
+	bufs := make([]*Buffer, nbufs)
+	for i := range bufs {
+		b, err := cp.CreateBuffer(64 * 1024)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bufs[i] = b
+	}
+
+	dir := "/snap/remap_order"
+	snapPause(t, cp, dir)
+	snapCapture(t, cp, dir, true)
+	remap := snapRestore(t, cp, 1, dir)
+	snapResume(t, cp)
+
+	if len(remap) != nbufs {
+		t.Fatalf("remap table has %d entries, want %d: %+v", len(remap), nbufs, remap)
+	}
+	for i := 1; i < len(remap); i++ {
+		if remap[i-1].BufferID >= remap[i].BufferID {
+			t.Fatalf("remap table not in ascending buffer-ID order: %+v", remap)
+		}
+	}
+	// Each entry's new address is what the corresponding handle now holds.
+	byID := map[int]RemapEntry{}
+	for _, re := range remap {
+		byID[re.BufferID] = re
+	}
+	for _, b := range bufs {
+		re, ok := byID[b.ID()]
+		if !ok {
+			t.Fatalf("buffer %d missing from remap table %+v", b.ID(), remap)
+		}
+		if re.New != b.RDMAAddr() {
+			t.Errorf("buffer %d: remap New %#x, handle holds %#x", b.ID(), re.New, b.RDMAAddr())
+		}
+	}
+	cp.Destroy()
+}
+
 func TestMigrationAcrossDevices(t *testing.T) {
 	RegisterBinary(counterBinary("app_migrate"))
 	e := newEnv(t, 2)

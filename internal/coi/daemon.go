@@ -3,6 +3,7 @@ package coi
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"sync"
 
 	"snapify/internal/faultinject"
@@ -102,10 +103,18 @@ func (d *Daemon) Node() simnet.NodeID { return d.dev.Node }
 // Stop terminates the daemon and every offload process it manages.
 func (d *Daemon) Stop() {
 	d.lst.Close() //nolint:errcheck // daemon stop: a close error on the lifecycle listener has no recovery
+	// Tear processes down in ascending ID order: exits announce on the
+	// simulated network and advance virtual time, so iterating the map
+	// directly would make shutdown traces run-to-run nondeterministic.
 	d.mu.Lock()
-	procs := make([]*OffloadProc, 0, len(d.procs))
-	for _, op := range d.procs {
-		procs = append(procs, op)
+	ids := make([]int, 0, len(d.procs))
+	for id := range d.procs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	procs := make([]*OffloadProc, 0, len(ids))
+	for _, id := range ids {
+		procs = append(procs, d.procs[id])
 	}
 	d.mu.Unlock()
 	for _, op := range procs {

@@ -3,6 +3,7 @@ package coi
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"snapify/internal/obs"
 	"snapify/internal/scif"
@@ -210,10 +211,21 @@ func (cp *Process) Rebind(devNode simnet.NodeID, newID int, ports []ChannelPort)
 		pl.reconnect(nep)
 	}
 
-	// Re-register every buffer; new RDMA offsets come back, and the remap
-	// table translates the stale addresses the handle still holds.
+	// Re-register every buffer in ascending ID order; new RDMA offsets come
+	// back, and the remap table translates the stale addresses the handle
+	// still holds. The order matters twice over: each re-registration is a
+	// wire request that advances the virtual timeline, and the remap table
+	// is part of the restore transcript — iterating the buffer map directly
+	// would make both nondeterministic.
+	bufs := cp.Buffers()
+	ids := make([]int, 0, len(bufs))
+	for id := range bufs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
 	var remap []RemapEntry
-	for id, b := range cp.Buffers() {
+	for _, id := range ids {
+		b := bufs[id]
 		reply, err := rawRequest(append([]byte{cmdBufferReregister}, putU32(uint32(id))...))
 		if err != nil {
 			return nil, fmt.Errorf("coi: re-registering buffer %d: %w", id, err)

@@ -39,44 +39,55 @@ func BufSizeAblation() ([]BufSizeAblationRow, error) {
 		64 * simclock.KiB, 256 * simclock.KiB, 1 * simclock.MiB,
 		4 * simclock.MiB, 16 * simclock.MiB, 64 * simclock.MiB,
 	} {
-		server := phi.NewServer(phi.ServerConfig{Devices: 1, Device: phi.DeviceConfig{MemBytes: 8 * simclock.GiB}})
-		net := scif.NewNetwork(server.Fabric)
-		svc := snapifyio.NewService(net, nil)
-		if _, err := svc.StartDaemonBuf(simnet.HostNode, vfs.Host(server.Host.FS), bufSize); err != nil {
-			return nil, err
-		}
-		if _, err := svc.StartDaemonBuf(1, vfs.Ram(server.Device(1).FS), bufSize); err != nil {
-			return nil, err
-		}
-
-		content := blob.Synthetic(7, simclock.GiB)
-		f, err := svc.Open(1, simnet.HostNode, "/abl/f", snapifyio.Write)
+		row, err := bufSizeRun(bufSize)
 		if err != nil {
 			return nil, err
 		}
-		acc := simclock.NewPipelineAccum()
-		err = content.ForEachChunk(bufSize, func(chunk blob.Blob) error {
-			cost, err := f.WriteBlob(chunk)
-			if err != nil {
-				return err
-			}
-			stream.Observe(acc, cost)
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-		if err := f.Close(); err != nil {
-			return nil, err
-		}
-		svc.Stop()
-		rows = append(rows, BufSizeAblationRow{
-			BufSize:   bufSize,
-			Write1G:   acc.Total(),
-			Footprint: 2 * bufSize,
-		})
+		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// bufSizeRun builds a fresh fabric, streams 1 GiB device-to-host at the
+// given staging buffer size, and stops the service on every path out.
+func bufSizeRun(bufSize int64) (BufSizeAblationRow, error) {
+	server := phi.NewServer(phi.ServerConfig{Devices: 1, Device: phi.DeviceConfig{MemBytes: 8 * simclock.GiB}})
+	net := scif.NewNetwork(server.Fabric)
+	svc := snapifyio.NewService(net, nil)
+	defer svc.Stop()
+	if _, err := svc.StartDaemonBuf(simnet.HostNode, vfs.Host(server.Host.FS), bufSize); err != nil {
+		return BufSizeAblationRow{}, err
+	}
+	if _, err := svc.StartDaemonBuf(1, vfs.Ram(server.Device(1).FS), bufSize); err != nil {
+		return BufSizeAblationRow{}, err
+	}
+
+	content := blob.Synthetic(7, simclock.GiB)
+	f, err := svc.Open(1, simnet.HostNode, "/abl/f", snapifyio.Write)
+	if err != nil {
+		return BufSizeAblationRow{}, err
+	}
+	acc := simclock.NewPipelineAccum()
+	err = content.ForEachChunk(bufSize, func(chunk blob.Blob) error {
+		cost, err := f.WriteBlob(chunk)
+		if err != nil {
+			return err
+		}
+		stream.Observe(acc, cost)
+		return nil
+	})
+	if err != nil {
+		f.Abort()
+		return BufSizeAblationRow{}, err
+	}
+	if err := f.Close(); err != nil {
+		return BufSizeAblationRow{}, err
+	}
+	return BufSizeAblationRow{
+		BufSize:   bufSize,
+		Write1G:   acc.Total(),
+		Footprint: 2 * bufSize,
+	}, nil
 }
 
 // RenderBufSizeAblation prints the sweep.

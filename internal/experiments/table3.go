@@ -64,6 +64,7 @@ func Table3() (*Table3Result, error) {
 		}
 		src, err := dev.FS.Open("/tmp/src")
 		if err != nil {
+			f.Abort()
 			return nil, err
 		}
 		acc := simclock.NewPipelineAccum()
@@ -79,6 +80,7 @@ func Table3() (*Table3Result, error) {
 		}
 		src2, err := dev.FS.Open("/tmp/src")
 		if err != nil {
+			nfsSink.Abort()
 			return nil, err
 		}
 		acc = simclock.NewPipelineAccum()
@@ -106,6 +108,7 @@ func Table3() (*Table3Result, error) {
 		}
 		w, err := dev.FS.Create("/tmp/sio_r")
 		if err != nil {
+			fr.Abort()
 			return nil, err
 		}
 		acc = simclock.NewPipelineAccum()
@@ -121,6 +124,7 @@ func Table3() (*Table3Result, error) {
 		}
 		w2, err := dev.FS.Create("/tmp/nfs_r")
 		if err != nil {
+			nfsSrc.Close() //nolint:errcheck // error path: the create failure is the reported error; Close on a read source only releases the handle
 			return nil, err
 		}
 		acc = simclock.NewPipelineAccum()

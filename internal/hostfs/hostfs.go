@@ -50,6 +50,7 @@ func (fs *FS) WriteFile(path string, content blob.Blob) (simclock.Duration, erro
 	}
 	d, err := w.WriteBlob(content)
 	if err != nil {
+		w.Abort()
 		return d, err
 	}
 	return d + fs.model.HostFSOpLatency, w.Close()

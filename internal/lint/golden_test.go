@@ -2,6 +2,7 @@ package lint
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -90,7 +91,7 @@ func analyzerByName(t *testing.T, name string) *Analyzer {
 }
 
 func TestGolden(t *testing.T) {
-	for _, name := range []string{"errcheck", "wallclock", "mutexblock", "goroutineleak", "paniclib", "rawprint", "faultgate", "storegate"} {
+	for _, name := range []string{"errcheck", "wallclock", "mutexblock", "goroutineleak", "paniclib", "rawprint", "faultgate", "storegate", "maporder", "spanleak", "lockorder", "closeleak"} {
 		t.Run(name, func(t *testing.T) {
 			_, pkg := loadFixture(t, name)
 			findings := Run([]*Package{pkg}, []*Analyzer{analyzerByName(t, name)})
@@ -113,14 +114,41 @@ func checkFindings(t *testing.T, findings []Finding, wants []want) {
 			}
 		}
 		if !found {
-			t.Errorf("missing finding %s:%d containing %q", w.file, w.line, w.sub)
+			t.Errorf("missing finding %s:%d containing %q\n%s", w.file, w.line, w.sub, sourceContext(w.file, w.line))
 		}
 	}
 	for i, f := range findings {
 		if !matched[i] {
-			t.Errorf("unexpected finding %s:%d: [%s] %s", f.File, f.Line, f.Analyzer, f.Message)
+			t.Errorf("unexpected finding %s:%d: [%s] %s\n%s", f.File, f.Line, f.Analyzer, f.Message, sourceContext(f.File, f.Line))
 		}
 	}
+}
+
+// sourceContext renders the fixture lines around a mismatch, with the
+// offending line marked — a missing or unexpected finding is diagnosable
+// from the test log alone, without opening the fixture.
+func sourceContext(file string, line int) string {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return "\t(no source context: " + err.Error() + ")"
+	}
+	lines := strings.Split(string(data), "\n")
+	lo, hi := line-3, line+3
+	if lo < 1 {
+		lo = 1
+	}
+	if hi > len(lines) {
+		hi = len(lines)
+	}
+	var b strings.Builder
+	for i := lo; i <= hi; i++ {
+		mark := "  "
+		if i == line {
+			mark = "> "
+		}
+		fmt.Fprintf(&b, "\t%s%4d | %s\n", mark, i, lines[i-1])
+	}
+	return strings.TrimRight(b.String(), "\n")
 }
 
 // TestWallclockExemptsSimclock proves the one sanctioned wall-clock

@@ -29,18 +29,26 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"time"
 )
 
 // An Analyzer checks one Snapify coding invariant over a type-checked
-// package.
+// package — or, for Module analyzers, over the whole loaded program at
+// once.
 type Analyzer struct {
 	// Name is the short identifier used in reports, //nolint directives,
 	// and allowlist entries.
 	Name string
 	// Doc is a one-line statement of the invariant the analyzer protects.
 	Doc string
-	// Run inspects the pass's package and reports findings through it.
+	// Run inspects the pass's package (or, for Module analyzers, the
+	// pass's Prog) and reports findings through it.
 	Run func(*Pass)
+	// Module marks a whole-program analyzer: Run is invoked once per
+	// lint.Run with Pass.Pkg nil and Pass.Prog set, instead of once per
+	// package. Properties that span packages (the lock-order graph)
+	// cannot be checked one package at a time.
+	Module bool
 }
 
 // All returns every registered analyzer, in reporting order.
@@ -54,6 +62,10 @@ func All() []*Analyzer {
 		RawPrint,
 		Faultgate,
 		Storegate,
+		MapOrder,
+		SpanLeak,
+		LockOrder,
+		CloseLeak,
 	}
 }
 
@@ -81,17 +93,33 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
 }
 
-// A Pass is one analyzer applied to one package.
+// A Pass is one analyzer applied to one package (or, for Module
+// analyzers, to the whole program).
 type Pass struct {
 	Analyzer *Analyzer
-	Pkg      *Package
+	// Pkg is the package under analysis; nil for Module analyzers.
+	Pkg *Package
+	// Prog is the whole-program view (call graph, CFG cache), shared by
+	// every pass of one lint.Run.
+	Prog *Program
 
 	findings []Finding
 }
 
+// Fset returns the file set positioning the pass's files.
+func (p *Pass) Fset() *token.FileSet {
+	if p.Pkg != nil {
+		return p.Pkg.Fset
+	}
+	for _, pkg := range p.Prog.Pkgs {
+		return pkg.Fset
+	}
+	return token.NewFileSet()
+}
+
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	position := p.Pkg.Fset.Position(pos)
+	position := p.Fset().Position(pos)
 	p.findings = append(p.findings, Finding{
 		Analyzer: p.Analyzer.Name,
 		Pos:      position,
@@ -107,24 +135,58 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 // //nolint:<analyzer> directive are dropped; directives without a
 // justification leave the finding in place with a note appended.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
-	var out []Finding
+	findings, _ := RunStats(pkgs, analyzers)
+	return findings
+}
+
+// An AnalyzerStat summarizes one analyzer's work in a RunStats call.
+type AnalyzerStat struct {
+	Analyzer string        `json:"analyzer"`
+	Findings int           `json:"findings"` // surviving findings (after //nolint, before allowlist)
+	Wall     time.Duration `json:"wall_ns"`  // wall-clock spent in the analyzer's Run calls
+}
+
+// RunStats is Run plus per-analyzer counts and wall-clock timings (the
+// driver's -stats view; lint-time regressions should be visible, not
+// archaeological).
+func RunStats(pkgs []*Package, analyzers []*Analyzer) ([]Finding, []AnalyzerStat) {
+	prog := BuildProgram(pkgs)
+	directives := directiveSet{}
 	for _, pkg := range pkgs {
-		directives := collectDirectives(pkg)
-		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg}
-			a.Run(pass)
-			for _, f := range pass.findings {
-				switch directives.lookup(f.File, f.Line, a.Name) {
-				case suppressJustified:
-					// Acknowledged with a reason: drop.
-				case suppressBare:
-					f.Message += " (a //nolint directive suppresses only with a justification: //nolint:" + a.Name + " // why)"
-					out = append(out, f)
-				default:
-					out = append(out, f)
-				}
+		collectDirectives(pkg, directives)
+	}
+	var out []Finding
+	stats := make([]AnalyzerStat, len(analyzers))
+	keep := func(a *Analyzer, i int, pass *Pass) {
+		for _, f := range pass.findings {
+			switch directives.lookup(f.File, f.Line, a.Name) {
+			case suppressJustified:
+				// Acknowledged with a reason: drop.
+			case suppressBare:
+				f.Message += " (a //nolint directive suppresses only with a justification: //nolint:" + a.Name + " // why)"
+				out = append(out, f)
+				stats[i].Findings++
+			default:
+				out = append(out, f)
+				stats[i].Findings++
 			}
 		}
+	}
+	for i, a := range analyzers {
+		stats[i].Analyzer = a.Name
+		start := time.Now() //nolint:wallclock // lint tooling self-measurement, not simulated time
+		if a.Module {
+			pass := &Pass{Analyzer: a, Prog: prog}
+			a.Run(pass)
+			keep(a, i, pass)
+		} else {
+			for _, pkg := range pkgs {
+				pass := &Pass{Analyzer: a, Pkg: pkg, Prog: prog}
+				a.Run(pass)
+				keep(a, i, pass)
+			}
+		}
+		stats[i].Wall = time.Since(start) //nolint:wallclock // lint tooling self-measurement, not simulated time
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].File != out[j].File {
@@ -138,7 +200,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		}
 		return out[i].Analyzer < out[j].Analyzer
 	})
-	return out
+	return out, stats
 }
 
 // --- //nolint directives ---
@@ -176,10 +238,9 @@ func (d directiveSet) lookup(file string, line int, analyzer string) suppression
 }
 
 // collectDirectives scans every comment in the package for //nolint
-// directives. A directive applies to the line it sits on (the usual
-// trailing-comment placement).
-func collectDirectives(pkg *Package) directiveSet {
-	set := directiveSet{}
+// directives, adding them to set. A directive applies to the line it sits
+// on (the usual trailing-comment placement).
+func collectDirectives(pkg *Package, set directiveSet) {
 	for _, file := range pkg.Files {
 		for _, group := range file.Comments {
 			for _, c := range group.List {
@@ -205,7 +266,6 @@ func collectDirectives(pkg *Package) directiveSet {
 			}
 		}
 	}
-	return set
 }
 
 // parseDirective parses one comment for a //nolint:a,b directive,

@@ -1,0 +1,499 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds the module-wide mutex acquisition-order graph and
+// reports cycles as potential deadlocks. An edge A→B is recorded when B
+// is locked — directly, or anywhere in the static call graph below a call
+// made — while A is held; two goroutines traversing a cycle from
+// different entry points can each hold one lock and wait forever on the
+// other. The scheduler, the snapshot store, and the simulated network all
+// take locks on behalf of concurrently-running virtual processors, which
+// is exactly the shape that breeds this bug.
+//
+// Lock identity is the declared variable or struct field (the
+// types.Object of `(*Scheduler).mu`), so two instances of the same struct
+// share a node. That approximation can in principle merge distinct
+// instances into a spurious cycle; in exchange it needs no alias
+// analysis, and the rule it enforces — one global acquisition order per
+// lock *site* — is the discipline the codebase documents anyway.
+// Self-edges are only reported for lexically nested acquisitions;
+// call-graph expansion skips them, because "a method of the same struct
+// locks its own mu" is usually a different instance.
+var LockOrder = &Analyzer{
+	Name:   "lockorder",
+	Doc:    "mutex acquisition order must be acyclic module-wide (a cycle is a potential deadlock)",
+	Module: true,
+	Run:    runLockOrder,
+}
+
+// lockEdge is one ordered pair in the acquisition graph.
+type lockEdge struct{ from, to types.Object }
+
+// heldCall is a call made while locks were held, expanded against the
+// callee's transitively-acquired lock set once that fixpoint is known.
+type heldCall struct {
+	callee *types.Func
+	impls  []*types.Func
+	held   []types.Object
+	pos    token.Pos
+}
+
+type lockOrderState struct {
+	pass    *Pass
+	prog    *Program
+	display map[types.Object]string
+	order   []types.Object // first-seen order, for deterministic iteration
+	direct  map[*types.Func][]types.Object
+	edges   map[lockEdge]token.Pos // first witness site per edge
+	calls   []heldCall
+}
+
+func runLockOrder(p *Pass) {
+	st := &lockOrderState{
+		pass:    p,
+		prog:    p.Prog,
+		display: map[types.Object]string{},
+		direct:  map[*types.Func][]types.Object{},
+		edges:   map[lockEdge]token.Pos{},
+	}
+	for _, info := range p.Prog.FuncsInOrder() {
+		w := &lockWalker{st: st, fn: info}
+		w.walkStmts(info.Decl.Body.List, nil)
+	}
+	st.expandCalls()
+	st.reportCycles()
+}
+
+// note registers a lock object on first sight and returns it.
+func (st *lockOrderState) note(obj types.Object, display string) types.Object {
+	if _, ok := st.display[obj]; !ok {
+		st.display[obj] = display
+		st.order = append(st.order, obj)
+	}
+	return obj
+}
+
+func (st *lockOrderState) addEdge(from, to types.Object, pos token.Pos) {
+	e := lockEdge{from, to}
+	if _, ok := st.edges[e]; !ok {
+		st.edges[e] = pos
+	}
+}
+
+func (st *lockOrderState) addDirect(fn *types.Func, obj types.Object) {
+	for _, have := range st.direct[fn] {
+		if have == obj {
+			return
+		}
+	}
+	st.direct[fn] = append(st.direct[fn], obj)
+}
+
+// expandCalls computes each function's transitively-acquired lock set over
+// the call graph, then turns every held-site call into edges from the
+// held locks to everything the callee may acquire.
+func (st *lockOrderState) expandCalls() {
+	acquired := map[*types.Func][]types.Object{}
+	for fn, locks := range st.direct {
+		acquired[fn] = append([]types.Object(nil), locks...)
+	}
+	add := func(fn *types.Func, obj types.Object) bool {
+		for _, have := range acquired[fn] {
+			if have == obj {
+				return false
+			}
+		}
+		acquired[fn] = append(acquired[fn], obj)
+		return true
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, fn := range st.prog.funcOrder {
+			for _, site := range st.prog.Funcs[fn].Calls {
+				for _, target := range callTargets(st.prog, site) {
+					for _, obj := range acquired[target] {
+						if add(fn, obj) {
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, hc := range st.calls {
+		var targets []*types.Func
+		if _, ok := st.prog.Funcs[hc.callee]; ok {
+			targets = append(targets, hc.callee)
+		}
+		targets = append(targets, hc.impls...)
+		for _, t := range targets {
+			for _, to := range acquired[t] {
+				for _, from := range hc.held {
+					if from == to {
+						continue // see the instance-identity note above
+					}
+					st.addEdge(from, to, hc.pos)
+				}
+			}
+		}
+	}
+}
+
+// callTargets lists the declared functions a call site can reach.
+func callTargets(prog *Program, site CallSite) []*types.Func {
+	var out []*types.Func
+	if _, ok := prog.Funcs[site.Callee]; ok {
+		out = append(out, site.Callee)
+	}
+	out = append(out, site.Impls...)
+	return out
+}
+
+// reportCycles finds strongly connected components of the edge graph and
+// reports each cycle once, at its lexically first witness site.
+func (st *lockOrderState) reportCycles() {
+	// Deterministic adjacency: nodes in first-seen order, successors
+	// sorted by display name.
+	succs := map[types.Object][]types.Object{}
+	for e := range st.edges {
+		succs[e.from] = append(succs[e.from], e.to)
+	}
+	for _, list := range succs {
+		sort.Slice(list, func(i, j int) bool { return st.display[list[i]] < st.display[list[j]] })
+	}
+
+	// Tarjan's SCC algorithm, iterative state kept simple via recursion
+	// (lock graphs are tiny).
+	index := map[types.Object]int{}
+	low := map[types.Object]int{}
+	onStack := map[types.Object]bool{}
+	var stack []types.Object
+	next := 0
+	var sccs [][]types.Object
+	var strongconnect func(v types.Object)
+	strongconnect = func(v types.Object) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range succs[v] {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var scc []types.Object
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, v := range st.order {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+
+	for _, scc := range sccs {
+		if len(scc) == 1 {
+			if _, self := st.edges[lockEdge{scc[0], scc[0]}]; !self {
+				continue
+			}
+		}
+		st.reportCycle(scc)
+	}
+}
+
+func (st *lockOrderState) reportCycle(scc []types.Object) {
+	in := map[types.Object]bool{}
+	for _, v := range scc {
+		in[v] = true
+	}
+	// Collect the cycle's edges sorted by (from, to) display name; the
+	// report anchors at the earliest witness position.
+	type witness struct {
+		from, to types.Object
+		pos      token.Pos
+	}
+	var ws []witness
+	for e, pos := range st.edges {
+		if in[e.from] && in[e.to] {
+			ws = append(ws, witness{e.from, e.to, pos})
+		}
+	}
+	sort.Slice(ws, func(i, j int) bool {
+		if a, b := st.display[ws[i].from], st.display[ws[j].from]; a != b {
+			return a < b
+		}
+		return st.display[ws[i].to] < st.display[ws[j].to]
+	})
+	at := ws[0].pos
+	for _, w := range ws {
+		if w.pos < at {
+			at = w.pos
+		}
+	}
+	fset := st.pass.Fset()
+	var parts []string
+	for _, w := range ws {
+		p := fset.Position(w.pos)
+		parts = append(parts, fmt.Sprintf("%s -> %s (%s:%d)",
+			st.display[w.from], st.display[w.to], shortFile(p.Filename), p.Line))
+	}
+	var names []string
+	for _, v := range scc {
+		names = append(names, st.display[v])
+	}
+	sort.Strings(names)
+	st.pass.Reportf(at, "mutex acquisition-order cycle among {%s}: %s; pick one global order and acquire in it everywhere",
+		strings.Join(names, ", "), strings.Join(parts, ", "))
+}
+
+func shortFile(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// lockWalker walks one function body lexically, tracking the held stack.
+type lockWalker struct {
+	st *lockOrderState
+	fn *FuncInfo
+}
+
+func (w *lockWalker) info() *types.Info { return w.fn.Pkg.Info }
+
+func cloneHeld(held []types.Object) []types.Object {
+	return append([]types.Object(nil), held...)
+}
+
+func (w *lockWalker) walkStmts(list []ast.Stmt, held []types.Object) []types.Object {
+	for _, s := range list {
+		held = w.walkStmt(s, held)
+	}
+	return held
+}
+
+func (w *lockWalker) walkStmt(s ast.Stmt, held []types.Object) []types.Object {
+	switch stmt := s.(type) {
+	case *ast.ExprStmt:
+		if obj, op, ok := w.lockOp(stmt.X); ok {
+			switch op {
+			case "Lock", "RLock":
+				for _, h := range held {
+					w.st.addEdge(h, obj, stmt.Pos())
+				}
+				w.st.addDirect(w.fn.Func, obj)
+				return append(held, obj)
+			case "Unlock", "RUnlock":
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i] == obj {
+						return append(cloneHeld(held[:i]), held[i+1:]...)
+					}
+				}
+			}
+			return held
+		}
+		w.scanCalls(stmt.X, held)
+	case *ast.DeferStmt:
+		// `defer mu.Unlock()` keeps the lock held for the rest of the
+		// body; a deferred call into other code runs at exit, when locks
+		// taken here are (lexically) still held — scan it conservatively.
+		if _, _, ok := w.lockOp(stmt.Call); !ok {
+			w.scanCalls(stmt.Call, held)
+		}
+	case *ast.GoStmt:
+		// The goroutine runs with its own (empty) held set; only the
+		// argument expressions evaluate here.
+		for _, a := range stmt.Call.Args {
+			w.scanCalls(a, held)
+		}
+	case *ast.AssignStmt:
+		for _, e := range stmt.Rhs {
+			w.scanCalls(e, held)
+		}
+	case *ast.DeclStmt, *ast.ReturnStmt, *ast.IncDecStmt, *ast.SendStmt:
+		w.scanCalls(s, held)
+	case *ast.BlockStmt:
+		return w.walkStmts(stmt.List, held)
+	case *ast.IfStmt:
+		if stmt.Init != nil {
+			held = w.walkStmt(stmt.Init, held)
+		}
+		w.scanCalls(stmt.Cond, held)
+		w.walkStmts(stmt.Body.List, cloneHeld(held))
+		if stmt.Else != nil {
+			w.walkStmt(stmt.Else, cloneHeld(held))
+		}
+	case *ast.ForStmt:
+		if stmt.Init != nil {
+			held = w.walkStmt(stmt.Init, held)
+		}
+		if stmt.Cond != nil {
+			w.scanCalls(stmt.Cond, held)
+		}
+		body := cloneHeld(held)
+		body = w.walkStmts(stmt.Body.List, body)
+		if stmt.Post != nil {
+			w.walkStmt(stmt.Post, body)
+		}
+	case *ast.RangeStmt:
+		w.scanCalls(stmt.X, held)
+		w.walkStmts(stmt.Body.List, cloneHeld(held))
+	case *ast.SwitchStmt:
+		if stmt.Init != nil {
+			held = w.walkStmt(stmt.Init, held)
+		}
+		if stmt.Tag != nil {
+			w.scanCalls(stmt.Tag, held)
+		}
+		for _, c := range stmt.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, cloneHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range stmt.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				w.walkStmts(cc.Body, cloneHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range stmt.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				w.walkStmts(cc.Body, cloneHeld(held))
+			}
+		}
+	case *ast.LabeledStmt:
+		return w.walkStmt(stmt.Stmt, held)
+	}
+	return held
+}
+
+// scanCalls records every module call made under held locks. Function
+// literals are skipped: they run later, under whatever is held then.
+func (w *lockWalker) scanCalls(n ast.Node, held []types.Object) {
+	if n == nil || len(held) == 0 {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch e := m.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			callee := calleeFunc(w.info(), e)
+			if callee == nil {
+				return true
+			}
+			var impls []*types.Func
+			if site, ok := w.st.prog.SiteOf(e); ok {
+				impls = site.Impls
+			}
+			if _, declared := w.st.prog.Funcs[callee]; declared || len(impls) > 0 {
+				w.st.calls = append(w.st.calls, heldCall{
+					callee: callee,
+					impls:  impls,
+					held:   cloneHeld(held),
+					pos:    e.Pos(),
+				})
+			}
+		}
+		return true
+	})
+}
+
+// lockOp classifies e as a Lock/RLock/Unlock/RUnlock call on a
+// sync.Mutex/RWMutex and resolves the mutex to its declared object.
+func (w *lockWalker) lockOp(e ast.Expr) (types.Object, string, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil, "", false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	f, ok := w.info().Uses[sel.Sel].(*types.Func)
+	if !ok || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return nil, "", false
+	}
+	switch f.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return nil, "", false
+	}
+	obj, display := w.lockIdent(ast.Unparen(sel.X))
+	if obj == nil {
+		return nil, "", false
+	}
+	return w.st.note(obj, display), f.Name(), true
+}
+
+// lockIdent resolves the mutex expression to the declared variable or
+// field, with a stable display name ("sched.fleetMu", "Scheduler.mu").
+func (w *lockWalker) lockIdent(x ast.Expr) (types.Object, string) {
+	switch e := x.(type) {
+	case *ast.Ident:
+		obj := w.info().Uses[e]
+		if obj == nil {
+			obj = w.info().Defs[e]
+		}
+		if obj == nil {
+			return nil, ""
+		}
+		if obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope() {
+			return obj, obj.Pkg().Name() + "." + obj.Name()
+		}
+		return obj, obj.Name()
+	case *ast.SelectorExpr:
+		obj := w.info().Uses[e.Sel]
+		if obj == nil {
+			return nil, ""
+		}
+		owner := ""
+		if tv, ok := w.info().Types[e.X]; ok {
+			owner = typeShortName(tv.Type)
+		}
+		if owner == "" {
+			return obj, obj.Name()
+		}
+		return obj, owner + "." + obj.Name()
+	}
+	return nil, ""
+}
+
+// typeShortName renders a type as its bare named-type name.
+func typeShortName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}

@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// SpanLeak reports obs spans begun with Track.Begin/BeginAt that are not
+// ended on every CFG path out of the beginning function. An unended span
+// never reaches the tracer, so the capture phase it was supposed to cover
+// silently vanishes from the Chrome trace and from every duration metric
+// derived from it — the observability analogue of a dropped error. The
+// engine is the shared acquire/release dataflow in leak.go: a `defer
+// sp.End()` right after Begin discharges every exit at once (End is
+// idempotent, so an explicit early EndAt still composes); returning the
+// span or handing it to another function moves the obligation to code
+// this intraprocedural pass trusts.
+var SpanLeak = &Analyzer{
+	Name: "spanleak",
+	Doc:  "every obs span begun must be ended on all paths out of the function (defer sp.End() or total return coverage)",
+	Run:  runSpanLeak,
+}
+
+var spanLeakSpec = &leakSpec{
+	isAcquire: func(p *Pass, f *types.Func) bool {
+		if !funcPkgPathHasSuffix(f, "internal/obs") {
+			return false
+		}
+		return f.Name() == "Begin" || f.Name() == "BeginAt"
+	},
+	isResource: func(t types.Type) bool {
+		named, ok := derefNamed(t)
+		return ok && named.Obj().Name() == "OpenSpan" && named.Obj().Pkg() != nil &&
+			pathHasSuffix(named.Obj().Pkg().Path(), "internal/obs")
+	},
+	release: map[string]bool{"End": true, "EndAt": true},
+	describe: func(p *Pass, call *ast.CallExpr, f *types.Func, obj types.Object) string {
+		// Begin(scope, name, args) / BeginAt(scope, name, start, args):
+		// the span name is the second argument when it is a literal.
+		if len(call.Args) >= 2 {
+			if lit, ok := ast.Unparen(call.Args[1]).(*ast.BasicLit); ok {
+				if name, err := strconv.Unquote(lit.Value); err == nil {
+					return "span " + strconv.Quote(name) + " begun here"
+				}
+			}
+		}
+		return "span begun here"
+	},
+	verb:   "ended",
+	advice: "defer its End right after Begin, or end it before every return",
+}
+
+func runSpanLeak(p *Pass) {
+	runLeak(p, spanLeakSpec)
+}
+
+// derefNamed unwraps one level of pointer and returns the named type.
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if t == nil {
+		return nil, false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return named, ok
+}

@@ -1,0 +1,86 @@
+// Package lockorder is a golden fixture for the lockorder analyzer:
+// every line marked with a want comment must produce exactly one finding
+// with the quoted substring. Each cycle is reported once, anchored at
+// its lexically first witness site. See golden_test.go.
+package lockorder
+
+import "sync"
+
+// A and B are locked in both orders by the two functions below: a
+// two-node cycle, the textbook deadlock shape.
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+func lockAB(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock() // want "mutex acquisition-order cycle among {A.mu, B.mu}"
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func lockBA(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// C and D cycle only through the call graph: neither function locks both
+// mutexes lexically, but each calls a helper that acquires the other.
+type C struct{ mu sync.Mutex }
+
+type D struct{ mu sync.Mutex }
+
+func (c *C) withD(d *D) {
+	c.mu.Lock()
+	lockD(d) // want "mutex acquisition-order cycle among {C.mu, D.mu}"
+	c.mu.Unlock()
+}
+
+func lockD(d *D) {
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+func (d *D) withC(c *C) {
+	d.mu.Lock()
+	lockC(c)
+	d.mu.Unlock()
+}
+
+func lockC(c *C) {
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+// gate is double-locked in one function: a lexical self-edge, the
+// self-deadlock sync.Mutex does not forgive.
+var gate sync.Mutex
+
+func doubleLock() {
+	gate.Lock()
+	gate.Lock() // want "mutex acquisition-order cycle among {lockorder.gate}"
+	gate.Unlock()
+	gate.Unlock()
+}
+
+// E and F are always acquired in the same order — edges but no cycle,
+// and RLock counts like Lock for ordering purposes.
+type E struct{ mu sync.Mutex }
+
+type F struct{ mu sync.RWMutex }
+
+func readEF(e *E, f *F) {
+	e.mu.Lock()
+	f.mu.RLock()
+	f.mu.RUnlock()
+	e.mu.Unlock()
+}
+
+func writeEF(e *E, f *F) {
+	e.mu.Lock()
+	f.mu.Lock()
+	f.mu.Unlock()
+	e.mu.Unlock()
+}

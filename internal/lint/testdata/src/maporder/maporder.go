@@ -1,0 +1,105 @@
+// Package maporder is a golden fixture for the maporder analyzer: every
+// line marked with a want comment must produce exactly one finding with
+// the quoted substring, and a line ending in a bare nolint directive
+// must produce the amended no-justification finding. See golden_test.go.
+package maporder
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"snapify/internal/obs"
+	"snapify/internal/simclock"
+)
+
+// direct: a serialization sink called straight from a map-range body.
+func direct(w io.Writer, m map[string]int) {
+	for k, v := range m { // want "iteration over a map calls fmt.Fprintf"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// indirect: the loop body calls a helper that reaches the sink through
+// the module call graph.
+func indirect(w io.Writer, m map[string]int) {
+	for k := range m { // want "reaches a serialization sink via"
+		emit(w, k)
+	}
+}
+
+func emit(w io.Writer, k string) {
+	json.NewEncoder(w).Encode(k) //nolint:errcheck // fixture helper: only maporder runs here
+}
+
+// moduleSink: trace emission order is observable in the export, so a
+// map-ordered Emit sequence breaks seed-replay-identical traces.
+func moduleSink(tr *obs.Tracer, m map[string]int64) {
+	tk := tr.Track("host", "app")
+	for k, v := range m { // want "iteration over a map calls Track.Emit"
+		tk.Emit(0, k, 0, simclock.Duration(v), nil)
+	}
+}
+
+// tainted: a slice appended to in map order inherits the taint; ranging
+// over it later is just the map iteration with extra steps.
+func tainted(w io.Writer, m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for _, k := range keys { // want "slice built in map-iteration order"
+		fmt.Fprintln(w, k)
+	}
+}
+
+// taintedArg: the tainted slice rides into a helper that serializes it.
+func taintedArg(w io.Writer, m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	writeAll(w, keys) // want "a slice built in map-iteration order"
+}
+
+func writeAll(w io.Writer, keys []string) {
+	for _, k := range keys {
+		fmt.Fprintln(w, k)
+	}
+}
+
+// sorted: an intervening sort cleanses the taint — the canonical fix.
+func sorted(w io.Writer, m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintln(w, k)
+	}
+}
+
+// counting: order-insensitive effects inside a map range are fine.
+func counting(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func suppressed(w io.Writer, m map[string]int) {
+	for k := range m { //nolint:maporder // golden fixture: a justified directive suppresses the finding
+		fmt.Fprintln(w, k)
+	}
+}
+
+// A directive with no justification must NOT suppress: the finding is
+// reported with a message explaining what a directive needs.
+func bareDirective(w io.Writer, m map[string]int) {
+	for k := range m { //nolint:maporder
+		fmt.Fprintln(w, k)
+	}
+}

@@ -1,0 +1,92 @@
+// Package spanleak is a golden fixture for the spanleak analyzer: every
+// line marked with a want comment must produce exactly one finding with
+// the quoted substring, and a line ending in a bare nolint directive
+// must produce the amended no-justification finding. See golden_test.go.
+package spanleak
+
+import (
+	"errors"
+
+	"snapify/internal/obs"
+)
+
+var errEarly = errors.New("early")
+
+// leaky: the span is ended on the happy path but not on the early error
+// return — the classic shape the analyzer exists for.
+func leaky(tk *obs.Track, fail bool) error {
+	sp := tk.Begin(0, "capture", nil) // want "is not ended on the path leaving the function"
+	if fail {
+		return errEarly
+	}
+	sp.End()
+	return nil
+}
+
+// partial: ended in one branch only; the fallthrough exit leaks.
+func partial(tk *obs.Track, ok bool) {
+	sp := tk.Begin(0, "resume", nil) // want "is not ended on the path leaving the function"
+	if ok {
+		sp.End()
+	}
+}
+
+// twoSpans: the inner span is ended, the outer falls off the end open.
+func twoSpans(tk *obs.Track) {
+	outer := tk.Begin(0, "pause", nil) // want "is not ended on the path leaving the function"
+	outer.SetArg("phase", 1)
+	inner := tk.Begin(0, "drain", nil)
+	inner.SetArg("bytes", 4096)
+	inner.End()
+}
+
+// deferred: `defer sp.End()` right after Begin discharges every exit.
+func deferred(tk *obs.Track, fail bool) error {
+	sp := tk.Begin(0, "restore", nil)
+	defer sp.End()
+	if fail {
+		return errEarly
+	}
+	return nil
+}
+
+// earlyEnd: an explicit early EndAt composes with the deferred End
+// because End is idempotent.
+func earlyEnd(tk *obs.Track, fast bool) {
+	sp := tk.BeginAt(0, "reconnect", 0, nil)
+	defer sp.End()
+	if fast {
+		sp.EndAt(10)
+	}
+}
+
+// handoff: returning the span moves the obligation to the caller.
+func handoff(tk *obs.Track) *obs.OpenSpan {
+	return tk.BeginAt(0, "upload", 0, nil)
+}
+
+// handoffVar: same through a local.
+func handoffVar(tk *obs.Track) *obs.OpenSpan {
+	sp := tk.Begin(0, "commit", nil)
+	return sp
+}
+
+// handToHelper: passing the span to any function hands ownership over.
+func handToHelper(tk *obs.Track) {
+	sp := tk.Begin(0, "verify", nil)
+	finish(sp)
+}
+
+func finish(sp *obs.OpenSpan) { sp.End() }
+
+func suppressed(tk *obs.Track) {
+	sp := tk.Begin(0, "intentional", nil) //nolint:spanleak // golden fixture: a justified directive suppresses the finding
+	sp.SetArg("bytes", 1)
+}
+
+// A directive with no justification must NOT suppress: the finding is
+// reported with a message explaining what a directive needs.
+func bareDirective(tk *obs.Track) {
+	sp := tk.Begin(0, "orphan", nil) //nolint:spanleak
+	sp.SetArg("bytes", 1)
+}

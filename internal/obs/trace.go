@@ -185,6 +185,79 @@ func (tk *Track) Span(scope uint64, name string, dur simclock.Duration, args map
 	return tk.Emit(scope, name, tk.Now(), dur, args)
 }
 
+// An OpenSpan is an in-flight span begun with Track.Begin: the virtual
+// start time is fixed, the duration still accumulating. Every span begun
+// must be ended exactly once on every path out of the beginning function
+// — `defer sp.End()` right after Begin is the idiomatic form, and the
+// spanleak analyzer enforces the pairing. Ending twice is a no-op, so a
+// deferred End composes with an explicit early EndAt.
+type OpenSpan struct {
+	tk    *Track
+	scope uint64
+	name  string
+	start simclock.Duration
+	args  map[string]int64
+	ended bool
+}
+
+// Begin opens a span starting at the track cursor. Safe on a nil track:
+// the returned span still carries name/scope/args and End stays a no-op
+// recorder, so instrumented code paths need no nil checks.
+func (tk *Track) Begin(scope uint64, name string, args map[string]int64) *OpenSpan {
+	var start simclock.Duration
+	if tk != nil {
+		start = tk.Now()
+	}
+	return tk.BeginAt(scope, name, start, args)
+}
+
+// BeginAt opens a span with an explicit virtual start time.
+func (tk *Track) BeginAt(scope uint64, name string, start simclock.Duration, args map[string]int64) *OpenSpan {
+	return &OpenSpan{tk: tk, scope: scope, name: name, start: start, args: args}
+}
+
+// SetArg attaches (or overwrites) one argument on the still-open span.
+// No-op after End.
+func (o *OpenSpan) SetArg(key string, v int64) {
+	if o == nil || o.ended {
+		return
+	}
+	if o.args == nil {
+		o.args = map[string]int64{}
+	}
+	o.args[key] = v
+}
+
+// End closes the span at the track cursor — virtual time as advanced by
+// whatever was emitted since Begin — and records it. Second and later
+// calls are no-ops returning a zero Span.
+func (o *OpenSpan) End() Span {
+	if o == nil || o.ended {
+		return Span{}
+	}
+	at := o.start
+	if o.tk != nil {
+		if now := o.tk.Now(); now > at {
+			at = now
+		}
+	}
+	return o.EndAt(at)
+}
+
+// EndAt closes the span at an explicit virtual end time (clamped to the
+// start, so a stale timestamp cannot produce a negative duration).
+func (o *OpenSpan) EndAt(at simclock.Duration) Span {
+	if o == nil || o.ended {
+		return Span{}
+	}
+	o.ended = true
+	dur := at - o.start
+	if dur < 0 {
+		dur = 0
+	}
+	return o.tk.Emit(o.scope, o.name, o.start, dur, o.args)
+}
+
 // chromeEvent is one entry of the Chrome trace-event JSON array.
 // "X" events are complete spans (ts/dur in fractional microseconds, as
 // the format requires); "M" events are process/thread name metadata.

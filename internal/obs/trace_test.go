@@ -175,6 +175,78 @@ func TestValidateChromeTraceAcceptsNesting(t *testing.T) {
 	}
 }
 
+// TestOpenSpan pins the Begin/End pairing contract: the recorded span
+// matches an equivalent Emit, SetArg mutates only until End, End is
+// idempotent (so a deferred End composes with an early explicit EndAt),
+// and EndAt clamps a stale timestamp to zero duration.
+func TestOpenSpan(t *testing.T) {
+	tr := NewTracer()
+	tk := tr.Track("host", "app")
+	tk.AlignTo(100)
+
+	sp := tk.Begin(3, "gc", map[string]int64{"seed": 1})
+	sp.SetArg("reclaimed", 42)
+	tk.Emit(0, "sweep", 100, 40, nil) // advances the cursor to 140
+	got := sp.End()
+	want := Span{Process: "host", Thread: "app", Scope: 3, Name: "gc",
+		Start: 100, Dur: 40, Args: map[string]int64{"seed": 1, "reclaimed": 42}}
+	if got.Name != want.Name || got.Start != want.Start || got.Dur != want.Dur ||
+		got.Scope != want.Scope || got.Args["reclaimed"] != 42 || got.Args["seed"] != 1 {
+		t.Errorf("End recorded %+v, want %+v", got, want)
+	}
+
+	// Second End is a no-op: nothing re-recorded, SetArg dead.
+	before := len(tr.Spans())
+	sp.SetArg("late", 1)
+	if again := sp.End(); again.Name != "" {
+		t.Errorf("second End returned %+v, want zero Span", again)
+	}
+	if len(tr.Spans()) != before {
+		t.Error("second End recorded another span")
+	}
+
+	// Early explicit EndAt followed by a deferred End: exactly one record.
+	sp2 := tk.BeginAt(0, "early", 200, nil)
+	sp2.EndAt(250)
+	sp2.End()
+	var early int
+	for _, s := range tr.Spans() {
+		if s.Name == "early" {
+			early++
+			if s.Start != 200 || s.Dur != 50 {
+				t.Errorf("early span %+v, want start 200 dur 50", s)
+			}
+		}
+	}
+	if early != 1 {
+		t.Errorf("early span recorded %d times, want 1", early)
+	}
+
+	// Stale end time clamps instead of going negative.
+	sp3 := tk.BeginAt(0, "clamp", 300, nil)
+	if s := sp3.EndAt(120); s.Dur != 0 {
+		t.Errorf("EndAt before start produced dur %v, want 0", s.Dur)
+	}
+}
+
+// TestOpenSpanNilTrack: instrumented code must not need nil checks —
+// Begin on a nil track hands back a span whose End returns the record
+// without touching a tracer.
+func TestOpenSpanNilTrack(t *testing.T) {
+	var tk *Track
+	sp := tk.Begin(1, "work", nil)
+	sp.SetArg("k", 7)
+	got := sp.End()
+	if got.Name != "work" || got.Args["k"] != 7 {
+		t.Errorf("nil-track End returned %+v, want the span record back", got)
+	}
+	var nilSp *OpenSpan
+	nilSp.SetArg("k", 1) // must not panic
+	if s := nilSp.End(); s.Name != "" {
+		t.Errorf("nil OpenSpan End returned %+v", s)
+	}
+}
+
 // TestTrackCursor pins AlignTo/Emit cursor semantics: forward-only
 // alignment, cursor at the furthest span end, Span() starting there.
 func TestTrackCursor(t *testing.T) {

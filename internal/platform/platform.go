@@ -69,6 +69,7 @@ func New(cfg Config) (*Platform, error) {
 	// armed after the platform is built.
 	store := snapstore.New(server.Model(), server.Host.FS, o, server.Fabric.Injector)
 	if _, err := io.StartDaemon(simnet.HostNode, snapstore.Overlay(store, vfs.Host(server.Host.FS))); err != nil {
+		io.Stop()
 		return nil, fmt.Errorf("platform: starting host Snapify-IO daemon: %w", err)
 	}
 	if err := io.AttachStore(simnet.HostNode, store); err != nil {

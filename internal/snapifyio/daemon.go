@@ -3,6 +3,7 @@ package snapifyio
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"sync"
 
@@ -279,6 +280,10 @@ func (d *Daemon) discardAssembly(path string) {
 // is wiped. The listener stays bound: by the time a client observes the
 // connection resets, the restarted daemon is already accepting again.
 func (d *Daemon) crash() {
+	// Connections reset in (remote, local) address order and assemblies
+	// abort in path order: both teardowns touch the simulated network and
+	// file systems, so iterating the maps directly would make post-crash
+	// traces run-to-run nondeterministic.
 	d.mu.Lock()
 	eps := make([]*scif.Endpoint, 0, len(d.eps))
 	for ep := range d.eps {
@@ -290,11 +295,29 @@ func (d *Daemon) crash() {
 	d.streams = make(map[int64]streamInfo)
 	cs := d.store
 	d.mu.Unlock()
+	sort.Slice(eps, func(i, j int) bool {
+		a, b := eps[i], eps[j]
+		if a.RemoteAddr() != b.RemoteAddr() {
+			if a.RemoteAddr().Node != b.RemoteAddr().Node {
+				return a.RemoteAddr().Node < b.RemoteAddr().Node
+			}
+			return a.RemoteAddr().Port < b.RemoteAddr().Port
+		}
+		if a.LocalAddr().Node != b.LocalAddr().Node {
+			return a.LocalAddr().Node < b.LocalAddr().Node
+		}
+		return a.LocalAddr().Port < b.LocalAddr().Port
+	})
 	for _, ep := range eps {
 		ep.Close() //nolint:errcheck // crash path: connection teardown is the point
 	}
-	for _, a := range asms {
-		a.sw.Abort()
+	paths := make([]string, 0, len(asms))
+	for path := range asms {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		asms[path].sw.Abort()
 	}
 	if cs != nil {
 		// Negotiated uploads die with the daemon; their durable chunks

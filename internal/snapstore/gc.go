@@ -35,6 +35,16 @@ func (st *Store) GC(at simclock.Duration) (GCStats, simclock.Duration, error) {
 	live := st.referencedLocked()
 	dur := st.model.HostFSOpLatency // directory scan
 	var sweepErr error
+	// The span is open for the whole run and closed on every path out —
+	// including an injected-crash abandon — so an interrupted sweep still
+	// shows up on the timeline with whatever it reclaimed.
+	sp := st.obs.TracerOf().Track("host", "snapstore").BeginAt(0, "store_gc", at, nil)
+	defer func() {
+		sp.SetArg("chunks_reclaimed", int64(gs.ChunksReclaimed))
+		sp.SetArg("bytes_reclaimed", gs.BytesReclaimed)
+		sp.SetArg("chunks_live", int64(gs.ChunksLive))
+		sp.EndAt(at + dur)
+	}()
 	for _, mp := range st.fs.List(ManifestPrefix) {
 		if !strings.HasSuffix(mp, TmpSuffix) {
 			continue
@@ -70,11 +80,6 @@ func (st *Store) GC(at simclock.Duration) (GCStats, simclock.Duration, error) {
 	}
 	st.gcChunks.Add(int64(gs.ChunksReclaimed))
 	st.gcBytes.Add(gs.BytesReclaimed)
-	st.obs.TracerOf().Track("host", "snapstore").Emit(0, "store_gc", at, dur, map[string]int64{
-		"chunks_reclaimed": int64(gs.ChunksReclaimed),
-		"bytes_reclaimed":  gs.BytesReclaimed,
-		"chunks_live":      int64(gs.ChunksLive),
-	})
 	return gs, dur, sweepErr
 }
 

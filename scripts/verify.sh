@@ -23,8 +23,15 @@ go vet ./...
 echo "==> go build ./..."
 go build ./...
 
-echo "==> snapifylint ./internal/... ./cmd/..."
-go run ./cmd/snapifylint ./internal/... ./cmd/...
+echo "==> snapifylint -stats ./internal/... ./cmd/..."
+# All twelve analyzers run here, including the interprocedural CFG-based
+# ones (maporder, spanleak, lockorder, closeleak); -stats prints the
+# per-analyzer finding-count and wall-clock summary so gate cost and
+# noise stay visible in CI logs.
+go run ./cmd/snapifylint -stats ./internal/... ./cmd/...
+
+echo "==> snapifylint -unused-allowlist (no stale suppressions)"
+go run ./cmd/snapifylint -unused-allowlist ./internal/... ./cmd/...
 
 echo "==> go test -race ./..."
 go test -race ./...
