@@ -21,6 +21,10 @@
 //	                          # repeated swap cycles through the dedup store
 //	                          # vs plain files: bytes shipped each way
 //	snapbench -store -smoke   # same comparison on a small image (CI gate)
+//	snapbench -migrate -json BENCH_migrate.json
+//	                          # stop-the-world vs live (pre-copy) migration
+//	                          # downtime across the image-size grid
+//	snapbench -migrate -smoke # same sweep on small images (CI gate)
 //	snapbench -faults plan.json
 //	                          # capture under an injected fault plan; report
 //	                          # the degraded-path (retry/replay) overhead
@@ -43,15 +47,16 @@ func main() {
 	ablations := flag.Bool("ablations", false, "run the design-choice ablations")
 	parallel := flag.Bool("parallel", false, "run the multi-stream parallel capture sweep")
 	store := flag.Bool("store", false, "run the dedup-store swap-cycle comparison")
-	jsonPath := flag.String("json", "", "with -parallel or -store: also write the result as JSON to this file")
-	tracePath := flag.String("trace", "", "with -parallel or -store: write the run's Chrome trace-event JSON to this file (open in Perfetto)")
-	smoke := flag.Bool("smoke", false, "with -parallel, -store, or -faults: use a small image (fast CI smoke, shape still checked)")
+	migrate := flag.Bool("migrate", false, "run the stop-the-world vs live migration downtime sweep")
+	jsonPath := flag.String("json", "", "with -parallel, -store, or -migrate: also write the result as JSON to this file")
+	tracePath := flag.String("trace", "", "with -parallel, -store, or -migrate: write the run's Chrome trace-event JSON to this file (open in Perfetto)")
+	smoke := flag.Bool("smoke", false, "with -parallel, -store, -migrate, or -faults: use a small image (fast CI smoke, shape still checked)")
 	faults := flag.String("faults", "", "path to a fault-plan JSON; benchmark a capture riding out the plan via retry (see internal/faultinject)")
 	all := flag.Bool("all", false, "regenerate everything")
 	check := flag.Bool("check", false, "verify the paper's qualitative claims against the results")
 	flag.Parse()
 
-	if !*all && *table == 0 && *fig == 0 && !*ablations && !*parallel && !*store && *faults == "" {
+	if !*all && *table == 0 && *fig == 0 && !*ablations && !*parallel && !*store && !*migrate && *faults == "" {
 		*all = true
 	}
 
@@ -106,6 +111,13 @@ func main() {
 			jp, tp = "", ""
 		}
 		runStore(*smoke, jp, tp)
+	}
+	if *all || *migrate {
+		jp, tp := *jsonPath, *tracePath
+		if *all && !*migrate {
+			jp, tp = "", ""
+		}
+		runMigrate(*smoke, jp, tp)
 	}
 	if *faults != "" {
 		runFaults(*faults, *smoke)
@@ -214,6 +226,52 @@ func runStore(smoke bool, jsonPath, tracePath string) {
 		out, err := res.JSON()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "snapbench: dedup swap: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(jsonPath, out, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "snapbench: writing %s: %v\n", jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[wrote %s]\n", jsonPath)
+	}
+	if tracePath != "" {
+		out := res.TraceJSON()
+		if err := obs.ValidateChromeTrace(out); err != nil {
+			fmt.Fprintf(os.Stderr, "snapbench: trace validation FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(tracePath, out, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "snapbench: writing %s: %v\n", tracePath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[wrote %s: valid Chrome trace; open at ui.perfetto.dev]\n", tracePath)
+	}
+}
+
+// runMigrate executes the stop-the-world vs live migration downtime
+// sweep. Its shape check (byte-identical restores, live downtime bounded
+// while stop-the-world grows with the image, store drained after
+// release) always runs: the sweep exists to pin those claims.
+func runMigrate(smoke bool, jsonPath, tracePath string) {
+	sizes := experiments.MigrateSweepSizes
+	if smoke {
+		sizes = experiments.MigrateSweepSmokeSizes
+	}
+	res, err := experiments.MigrateSweep(sizes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "snapbench: migrate sweep: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(res.Render())
+	if err := res.CheckShape(); err != nil {
+		fmt.Fprintf(os.Stderr, "snapbench: migrate sweep shape check FAILED: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("[migrate sweep shape check: OK]")
+	if jsonPath != "" {
+		out, err := res.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snapbench: migrate sweep: %v\n", err)
 			os.Exit(1)
 		}
 		if err := os.WriteFile(jsonPath, out, 0o644); err != nil {

@@ -12,13 +12,16 @@
 // Usage:
 //
 //	snapifyctl [command...]
-//	    commands: swapout [store] | swapin <device> | migrate <device> [store]
+//	    commands: swapout [store] | swapin <device> | migrate <device> [store|live]
 //	            | store ls|stat|verify|gc
 //	            | trace <out.json> | metrics
-//	    default sequence: swapout, swapin 2, migrate 1
+//	    default sequence: swapout, swapin 2, migrate 1 live
 //
 // swapout store (and migrate <device> store) capture through the
-// content-addressed dedup store instead of plain host files; the store
+// content-addressed dedup store instead of plain host files; migrate
+// <device> live runs a pre-copy live migration — the image ships in
+// rounds while the process runs, and the reply details each round's
+// dirty/shipped bytes plus the final downtime. The store
 // subcommands inspect it: ls lists committed manifests, stat prints
 // chunk/dedup statistics, verify re-digests every chunk and checks the
 // refcount invariants, and gc runs a mark-and-sweep collection. trace
@@ -86,9 +89,16 @@ func main() {
 			continue
 		}
 		fmt.Printf("\n$ snapify %d %s\n", app.Host.PID(), cmd)
-		if err := srvr.SubmitCommand(cmd); err != nil {
+		reply, err := srvr.SubmitCommand(cmd)
+		if err != nil {
 			fmt.Printf("  error: %v\n", err)
 			continue
+		}
+		// A migration reply details each pre-copy round and the downtime.
+		if detail, ok := strings.CutPrefix(reply, "ok\n"); ok {
+			for _, line := range strings.Split(detail, "\n") {
+				fmt.Printf("  %s\n", line)
+			}
 		}
 		state := "resident on " + srvr.Proc().DeviceNode().String()
 		if srvr.Swapped() {
@@ -107,7 +117,7 @@ func main() {
 
 func parseCommands(argv []string) []string {
 	if len(argv) == 0 {
-		return []string{"swapout /ctl/snap", "swapin 2", "migrate 1 /ctl/mig"}
+		return []string{"swapout /ctl/snap", "swapin 2", "migrate 1 /ctl/mig live"}
 	}
 	var out []string
 	for i := 0; i < len(argv); i++ {
@@ -127,8 +137,8 @@ func parseCommands(argv []string) []string {
 				out = append(out, "swapin "+argv[i+1])
 			} else {
 				cmd := "migrate " + argv[i+1] + " /ctl/mig"
-				if i+2 < len(argv) && argv[i+2] == "store" {
-					cmd += " store"
+				if i+2 < len(argv) && (argv[i+2] == "store" || argv[i+2] == "live") {
+					cmd += " " + argv[i+2]
 					i++
 				}
 				out = append(out, cmd)
@@ -154,7 +164,7 @@ func parseCommands(argv []string) []string {
 			out = append(out, "trace "+argv[i+1])
 			i++
 		default:
-			fatal(fmt.Errorf("unknown command %q (want swapout [store] | swapin <dev> | migrate <dev> [store] | store <sub> | trace <out> | metrics)", argv[i]))
+			fatal(fmt.Errorf("unknown command %q (want swapout [store] | swapin <dev> | migrate <dev> [store|live] | store <sub> | trace <out> | metrics)", argv[i]))
 		}
 	}
 	return out

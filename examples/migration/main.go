@@ -1,7 +1,14 @@
-// Migration: a fault predictor flags a coprocessor, and the job scheduler
-// proactively migrates the offload process to a healthy card (the paper's
-// motivating scenario in Section 1) — transparently to the application,
-// which keeps computing with the same handles.
+// Migration: a fault predictor flags a coprocessor, and the offload
+// process moves to a healthy card (the paper's motivating scenario in
+// Section 1) — transparently to the application, which keeps computing
+// with the same handles.
+//
+// The move is a *live* migration: a pre-copy session ships the process
+// image in rounds through the host's dedup store while the solver keeps
+// iterating, and the process stops only for the final small delta. A
+// stop-the-world migration of an identical solver runs afterwards for
+// contrast, and an undisturbed reference run proves the restored state is
+// byte-identical either way.
 package main
 
 import (
@@ -20,72 +27,125 @@ func main() {
 	check(err)
 	defer srv.Stop()
 
-	app, err := srv.Launch("iterative_solver", 1)
-	check(err)
-	defer app.Close()
-	pl, err := app.Proc.CreatePipeline()
-	check(err)
-	buf, err := app.Proc.CreateBuffer(64 << 20)
-	check(err)
-	seedData := make([]byte, 1<<20)
-	for i := range seedData {
-		seedData[i] = byte(i * 31)
-	}
-	check(buf.Write(seedData, 0))
-
-	run := func(totalIters uint64) uint64 {
-		args := make([]byte, 12)
-		binary.BigEndian.PutUint64(args, totalIters)
-		binary.BigEndian.PutUint32(args[8:], uint32(buf.ID()))
-		out, err := pl.RunFunction("iterate", args)
-		check(err)
-		return binary.BigEndian.Uint64(out)
-	}
-
-	fmt.Printf("solver running on %v\n", app.Proc.DeviceNode())
-	run(200)
+	live := launchSolver(srv, 1)
+	defer live.app.Close()
+	fmt.Printf("solver running on %v\n", live.app.Proc.DeviceNode())
+	live.run(200)
 	fmt.Println("200 iterations done")
 
 	// The fault predictor (Section 1 cites online failure prediction)
-	// flags mic0. Migrate before it dies: the local store streams
-	// device-to-device over PCIe, the snapshot through the host.
-	fmt.Println("\n*** fault predictor: mic0 degradation imminent — migrating ***")
-	_, snap, err := snapify.Migrate(app.Proc, 2, "/migration/solver")
+	// flags mic0. Open a live-migration session and drive the pre-copy
+	// rounds by hand, interleaving them with solver work — each burst of
+	// iterations dirties a slice of the image for the next round to ship.
+	fmt.Println("\n*** fault predictor: mic0 degradation imminent — live migration ***")
+	m, err := snapify.NewMigration(live.app.Proc, snapify.MigrateOptions{
+		DeviceTo: 2,
+		Path:     "/migration/solver",
+		Precopy: snapify.PrecopyOptions{
+			MaxRounds:      4,
+			DowntimeBudget: 50 * time.Millisecond,
+		},
+	})
 	check(err)
-	fmt.Printf("migrated to %v in %.2fs virtual (pause+local-store %.2fs, capture %.2fs, restore %.2fs)\n",
-		app.Proc.DeviceNode(),
-		(snap.Report.PauseTotal() + snap.Report.Capture + snap.Report.RestoreTotal() + snap.Report.Resume).Seconds(),
-		snap.Report.PauseTotal().Seconds(), snap.Report.Capture.Seconds(),
-		snap.Report.RestoreTotal().Seconds())
+	iters := uint64(200)
+	for {
+		rec, done, err := m.Round()
+		check(err)
+		if rec.Skipped {
+			fmt.Printf("round %d: %s dirty — under the floor, left for the final delta\n",
+				rec.Round, size(rec.DirtyBytes))
+		} else {
+			fmt.Printf("round %d: %s of %s dirty, shipped %s (%d/%d chunks after dedup)\n",
+				rec.Round, size(rec.DirtyBytes), size(rec.ImageBytes),
+				size(rec.ShippedBytes), rec.ChunksNeeded, rec.ChunksTotal)
+		}
+		if done {
+			break
+		}
+		iters += 40
+		live.run(iters) // the solver computes on while its image moves
+	}
+	_, err = m.Finish()
+	check(err)
+	snap := m.Snapshot()
+	liveDown := snap.Report.Downtime
+	fmt.Printf("switched over to %v: the solver stood still for only %.0fms\n",
+		live.app.Proc.DeviceNode(), liveDown.Seconds()*1000)
 	fmt.Printf("RDMA buffers re-registered: %d address(es) remapped\n", snap.Report.RemapEntries)
 
 	// mic0 "fails"; the job never notices.
-	final := run(500)
+	final := live.run(500)
 	fmt.Printf("\nsolver completed 500 iterations on the healthy card; residual checksum %d\n", final)
 
-	// Cross-check against an undisturbed run.
-	app2, err := srv.Launch("iterative_solver", 2)
-	check(err)
-	defer app2.Close()
-	pl2, _ := app2.Proc.CreatePipeline()
-	buf2, _ := app2.Proc.CreateBuffer(64 << 20)
-	check(buf2.Write(seedData, 0))
-	args := make([]byte, 12)
-	binary.BigEndian.PutUint64(args, 500)
-	binary.BigEndian.PutUint32(args[8:], uint32(buf2.ID()))
-	out, err := pl2.RunFunction("iterate", args)
-	check(err)
-	if ref := binary.BigEndian.Uint64(out); ref == final {
-		fmt.Printf("reference run agrees (%d): migration was transparent\n", ref)
+	// Cross-check against an undisturbed run: same binary, same input,
+	// never migrated.
+	ref := launchSolver(srv, 2)
+	defer ref.app.Close()
+	if r := ref.run(500); r == final {
+		fmt.Printf("reference run agrees (%d): the migration was transparent\n", r)
 	} else {
-		fmt.Printf("MISMATCH: reference %d != migrated %d\n", ref, final)
+		fmt.Printf("MISMATCH: reference %d != migrated %d\n", r, final)
+		os.Exit(1)
+	}
+
+	// Contrast: the paper's stop-the-world migration of an identical
+	// solver — the process stands still for the whole capture and restore.
+	fmt.Println("\n*** contrast: stop-the-world migration of a second solver ***")
+	stw := launchSolver(srv, 1)
+	defer stw.app.Close()
+	stw.run(200)
+	_, ssnap, err := snapify.Migrate(stw.app.Proc, snapify.MigrateOptions{
+		DeviceTo: 2, Path: "/migration/solver_stw",
+	})
+	check(err)
+	fmt.Printf("stop-the-world downtime %.2fs vs %.0fms live — %.0fx less standstill\n",
+		ssnap.Report.Downtime.Seconds(), liveDown.Seconds()*1000,
+		ssnap.Report.Downtime.Seconds()/liveDown.Seconds())
+	if sf := stw.run(500); sf == final {
+		fmt.Printf("both paths end in the same state (%d): byte-identical restores\n", sf)
+	} else {
+		fmt.Printf("MISMATCH: stop-the-world %d != live %d\n", sf, final)
 		os.Exit(1)
 	}
 }
 
+// solver bundles one launched iterative_solver application with its
+// pipeline and input buffer.
+type solver struct {
+	app *snapify.Application
+	pl  *snapify.Pipeline
+	buf *snapify.Buffer
+}
+
+func launchSolver(srv *snapify.Server, device snapify.NodeID) *solver {
+	app, err := srv.Launch("iterative_solver", device)
+	check(err)
+	pl, err := app.Proc.CreatePipeline()
+	check(err)
+	buf, err := app.Proc.CreateBuffer(8 << 20)
+	check(err)
+	seed := make([]byte, 1<<20)
+	for i := range seed {
+		seed[i] = byte(i * 31)
+	}
+	check(buf.Write(seed, 0))
+	return &solver{app: app, pl: pl, buf: buf}
+}
+
+// run advances the solver to totalIters iterations and returns the
+// residual checksum.
+func (s *solver) run(totalIters uint64) uint64 {
+	args := make([]byte, 12)
+	binary.BigEndian.PutUint64(args, totalIters)
+	binary.BigEndian.PutUint32(args[8:], uint32(s.buf.ID()))
+	out, err := s.pl.RunFunction("iterate", args)
+	check(err)
+	return binary.BigEndian.Uint64(out)
+}
+
 func solverBinary() *snapify.Binary {
 	bin := snapify.NewBinary("iterative_solver")
-	bin.AddRegion("state", proc.RegionHeap, 8<<20, 0)
+	bin.AddRegion("state", proc.RegionHeap, 256<<20, 0)
 	bin.Register("iterate", func(ctx *snapify.RunContext, args []byte) ([]byte, error) {
 		n := binary.BigEndian.Uint64(args)
 		bufID := int(binary.BigEndian.Uint32(args[8:]))
@@ -119,6 +179,13 @@ func solverBinary() *snapify.Binary {
 		return out, nil
 	})
 	return bin
+}
+
+func size(n int64) string {
+	if n >= 1<<20 {
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	}
+	return fmt.Sprintf("%.0fKiB", float64(n)/(1<<10))
 }
 
 func check(err error) {

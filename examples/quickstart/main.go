@@ -102,10 +102,10 @@ func main() {
 	got := binary.BigEndian.Uint64(out)
 	fmt.Printf("finished the run: dot = %d (want %d)\n", got, want)
 
-	swap, err := snapify.Swapout("/snapshots/quickstart_swap", app.Proc)
+	swap, err := snapify.Swapout("/snapshots/quickstart_swap", app.Proc, snapify.CaptureOptions{})
 	check(err)
 	fmt.Println("swapped out: card memory freed, process lives on host storage")
-	_, err = snapify.Swapin(swap, 1)
+	_, err = snapify.Swapin(swap, 1, snapify.RestoreOptions{})
 	check(err)
 	out, err = pl.RunFunction("dotstep", args)
 	check(err)

@@ -96,13 +96,28 @@ func (l *Layout) Range(off, n int64) blob.Blob {
 // dirty-detection walks the delta layout carries.
 func (l *Layout) ChunkDigests(chunk int64, digest func(blob.Blob) string) ([]string, simclock.Duration) {
 	chunk = chunkOrDefault(chunk)
+	img, dur := l.Materialize()
 	var out []string
-	if l.pl.total > 0 {
-		l.Range(0, l.pl.total).ForEachChunk(chunk, func(piece blob.Blob) error { //nolint:errcheck // the callback never fails
+	if img.Len() > 0 {
+		img.ForEachChunk(chunk, func(piece blob.Blob) error { //nolint:errcheck // the callback never fails
 			out = append(out, digest(piece))
 			return nil
 		})
 	}
+	return out, dur
+}
+
+// Materialize snapshots the whole laid-out context file into one
+// immutable blob. The pre-copy rounds of a live migration depend on
+// this immutability: the process keeps running (and writing) after the
+// call, but digests computed from the returned blob and chunks shipped
+// from it always describe the same point-in-time image — never a torn
+// mix of old and new pages. The returned duration is the cost of the
+// full read pass: a page-table walk plus a memcpy-rate copy of the
+// image on the process's node (the same formula ChunkDigests charges),
+// plus any dirty-detection walks the delta layout carries.
+func (l *Layout) Materialize() (blob.Blob, simclock.Duration) {
+	img := l.Range(0, l.pl.total)
 	memcpy := l.c.model.PhiMemcpy
 	if l.onHost {
 		memcpy = l.c.model.HostMemcpy
@@ -111,5 +126,25 @@ func (l *Layout) ChunkDigests(chunk int64, digest func(blob.Blob) string) ([]str
 	for _, sg := range l.pl.segs {
 		dur += sg.extraWalk
 	}
-	return out, dur
+	return img, dur
+}
+
+// pteBytesPerByte is the page-table overhead ratio: one 8-byte entry
+// describes one 4 KiB page, so scanning (or installing) the page tables
+// that cover n bytes of memory touches n/512 bytes.
+const pteBytesPerByte = 512
+
+// RescanCost is the virtual cost of re-reading an image whose dirty set
+// the hardware already knows: a PTE-granularity scan of the whole page
+// table (to collect dirty bits) plus a walk and memcpy-rate read of
+// only the dirty bytes. The pre-copy rounds after the first charge this
+// instead of a full Materialize pass — the digests still come from the
+// genuinely materialized image, so correctness never rests on the dirty
+// bits being right; only the charged time does.
+func (c *Checkpointer) RescanCost(onHost bool, totalBytes, dirtyBytes int64) simclock.Duration {
+	memcpy := c.model.PhiMemcpy
+	if onHost {
+		memcpy = c.model.HostMemcpy
+	}
+	return memcpy(totalBytes/pteBytesPerByte) + c.walkStage(onHost, dirtyBytes) + memcpy(dirtyBytes)
 }

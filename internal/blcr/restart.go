@@ -29,8 +29,14 @@ type Spawner func(img *Image) (*proc.Process, error)
 // restored process is returned with its step gate paused; the caller
 // resumes it once reconnection (Section 4.3) is complete.
 func (c *Checkpointer) Restart(source stream.Source, spawn Spawner) (*proc.Process, *Stats, error) {
+	return c.restartFrom(source, spawn, false)
+}
+
+// restartFrom is the shared record-parse loop behind Restart and
+// RestartAdopted; adopt selects the page-adoption cost model.
+func (c *Checkpointer) restartFrom(source stream.Source, spawn Spawner, adopt bool) (*proc.Process, *Stats, error) {
 	acc := simclock.NewPipelineAccum()
-	r := &contextReader{c: c, src: source, acc: acc}
+	r := &contextReader{c: c, src: source, acc: acc, adopt: adopt}
 	st := &Stats{}
 
 	// Header.
@@ -161,6 +167,7 @@ type contextReader struct {
 	src    stream.Source
 	acc    *simclock.PipelineAccum
 	onHost bool // restore target is the host (set once the spawner ran)
+	adopt  bool // pages are adopted in place, not copied (RestartAdopted)
 
 	pending blob.Blob
 	off     int64
@@ -176,12 +183,18 @@ func (r *contextReader) pull(n int64) error {
 		if err != nil {
 			return err
 		}
-		// Restore-side producer stage: writing the pages into memory.
+		// Restore-side producer stage: writing the pages into memory —
+		// or, on the adoption path, only installing page-table entries
+		// over frames that are already resident.
 		restoreStage := r.c.model.PhiMemcpy
 		if r.onHost {
 			restoreStage = r.c.model.HostMemcpy
 		}
-		stream.Observe(r.acc, cost, restoreStage(chunk.Len()))
+		n := chunk.Len()
+		if r.adopt {
+			n /= pteBytesPerByte
+		}
+		stream.Observe(r.acc, cost, restoreStage(n))
 		if r.off > 0 {
 			r.pending = r.pending.Slice(r.off, r.pending.Len()-r.off)
 			r.off = 0

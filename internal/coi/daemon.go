@@ -13,6 +13,7 @@ import (
 	"snapify/internal/scif"
 	"snapify/internal/simclock"
 	"snapify/internal/simnet"
+	"snapify/internal/snapstore"
 )
 
 // DaemonPort is the fixed SCIF port every COI daemon listens on.
@@ -38,6 +39,14 @@ const (
 	opSnapifyRestoreResp
 	opAwaitReady
 	opAwaitReadyResp
+	// Live-migration extensions: a pre-copy round on the source card's
+	// daemon (digest + ship while the process runs) and the staging
+	// control on the destination card's daemon (sync staged chunks from
+	// the host store, or drop them).
+	opSnapifyPrecopy
+	opSnapifyPrecopyResp
+	opSnapifyPrecopyStage
+	opSnapifyPrecopyStageResp
 )
 
 // Daemon is the per-card COI daemon (coi_daemon): it launches offload
@@ -62,6 +71,10 @@ type Daemon struct {
 	// a dedicated monitor thread blocked on its pipe.
 	monMu      sync.Mutex
 	activeReqs map[int]*pauseState
+
+	// staging parks pre-copy chunks arriving ahead of a live migration's
+	// switch-over (this daemon's card is the migration destination).
+	staging *snapstore.Staging
 }
 
 // daemonMemory is the daemon's own footprint on the card.
@@ -88,6 +101,7 @@ func StartDaemon(plat *platform.Platform, dev *phi.Device) (*Daemon, error) {
 		nextID:     1,
 		crashed:    make(map[int]bool),
 		activeReqs: make(map[int]*pauseState),
+		staging:    snapstore.NewStaging(),
 	}
 	if err := p.SpawnThread("daemon_server", d.serve); err != nil {
 		lst.Close() //nolint:errcheck // unwinding a failed start: the listener was just opened and has no connections
@@ -99,6 +113,10 @@ func StartDaemon(plat *platform.Platform, dev *phi.Device) (*Daemon, error) {
 
 // Node returns the daemon's card node.
 func (d *Daemon) Node() simnet.NodeID { return d.dev.Node }
+
+// Staging exposes the daemon's pre-copy staging area — chaos tests
+// assert it holds no orphan chunks after an aborted migration.
+func (d *Daemon) Staging() *snapstore.Staging { return d.staging }
 
 // Stop terminates the daemon and every offload process it manages.
 func (d *Daemon) Stop() {
@@ -186,6 +204,10 @@ func (d *Daemon) handleConn(ep *scif.Endpoint) {
 			d.handleSnapifyResume(ep, payload)
 		case opSnapifyRestore:
 			d.handleSnapifyRestore(ep, payload)
+		case opSnapifyPrecopy:
+			d.handleSnapifyPrecopy(ep, payload)
+		case opSnapifyPrecopyStage:
+			d.handleSnapifyPrecopyStage(ep, payload)
 		case opAwaitReady:
 			id := int(u32(payload))
 			if op, err := d.Lookup(id); err != nil {

@@ -23,6 +23,17 @@ const (
 	OpSnapifyCaptureResp = opSnapifyCaptureResp
 	OpSnapifyResume      = opSnapifyResume
 	OpSnapifyResumeResp  = opSnapifyResumeResp
+	OpSnapifyPrecopy     = opSnapifyPrecopy
+	OpSnapifyPrecopyResp = opSnapifyPrecopyResp
+)
+
+// Stage-control modes of a DaemonStageRequest.
+const (
+	// StageSync pulls the current digest plan's missing chunks from the
+	// host store into the destination daemon's staging area.
+	StageSync uint8 = 0
+	// StageDrop discards the staged chunks for the path (abort).
+	StageDrop uint8 = 1
 )
 
 // PutU32 encodes v big-endian.
@@ -37,24 +48,37 @@ func ParsePortList(b []byte) []ChannelPort { return parsePorts(b) }
 // DaemonRestoreRequest sends a snapify-restore request to the daemon on
 // device and returns the reply payload after the status byte.
 func DaemonRestoreRequest(plat *platform.Platform, device simnet.NodeID, payload []byte) ([]byte, error) {
+	return daemonRequest(plat, device, opSnapifyRestore, opSnapifyRestoreResp, "restore", payload)
+}
+
+// DaemonStageRequest sends a pre-copy stage-control request (StageSync
+// or StageDrop) to the daemon on the migration's destination device.
+func DaemonStageRequest(plat *platform.Platform, device simnet.NodeID, payload []byte) ([]byte, error) {
+	return daemonRequest(plat, device, opSnapifyPrecopyStage, opSnapifyPrecopyStageResp, "stage", payload)
+}
+
+// daemonRequest runs one host-to-daemon request on a fresh connection —
+// the shape restore and stage control share, since both talk to a card
+// that does not (yet) host the process.
+func daemonRequest(plat *platform.Platform, device simnet.NodeID, op, respOp uint8, what string, payload []byte) ([]byte, error) {
 	ep, err := plat.Net.Connect(simnet.HostNode, scif.Addr{Node: device, Port: DaemonPort})
 	if err != nil {
 		return nil, err
 	}
 	defer ep.Close() //nolint:errcheck // one-shot request endpoint: the reply already arrived or err reports the failure
-	if _, err := ep.Send(append([]byte{opSnapifyRestore}, payload...)); err != nil {
+	if _, err := ep.Send(append([]byte{op}, payload...)); err != nil {
 		return nil, err
 	}
 	raw, _, err := ep.Recv()
 	if err != nil {
 		return nil, err
 	}
-	u, err := expectOp(raw, opSnapifyRestoreResp)
+	u, err := expectOp(raw, respOp)
 	if err != nil {
 		return nil, err
 	}
 	if u[0] != 0 {
-		return nil, fmt.Errorf("coi: daemon restore error: %s", u[1:])
+		return nil, fmt.Errorf("coi: daemon %s error: %s", what, u[1:])
 	}
 	return u[1:], nil
 }

@@ -60,6 +60,14 @@ type OffloadProc struct {
 	// pipe connects to the daemon during Snapify operations (created by
 	// the pause protocol, Section 4.1).
 	pipe *proc.PipeEnd
+
+	// Pre-copy round state (live migration): the chunk digests of the
+	// previous round's materialized image. The next round diffs its own
+	// digests against these to size the dirty set — both for the
+	// shipped delta and for the dirty-bit-assisted rescan cost. Cleared
+	// on round 1, on resume, and when the final capture consumes it.
+	precopyDigests []string
+	precopyChunk   int64
 }
 
 type ChannelPort struct {

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"snapify/internal/blcr"
+	"snapify/internal/blob"
 	"snapify/internal/fanout"
 	"snapify/internal/obs"
 	"snapify/internal/proc"
@@ -301,24 +302,6 @@ func (d *Daemon) handleSnapifyRestore(ep *scif.Endpoint, payload []byte) {
 		return
 	}
 
-	// BLCR reads the context "on the fly" from host storage via a
-	// Snapify-IO read descriptor (Section 4.3).
-	ctxPath := dir + "/" + ContextFileName
-	src, err := d.plat.IO.Open(d.dev.Node, simnet.HostNode, ctxPath, snapifyio.Read)
-	if err != nil {
-		fail(err)
-		return
-	}
-	deltas := make([]stream.Source, 0, len(deltaDirs))
-	for _, dd := range deltaDirs {
-		ds, err := d.plat.IO.Open(d.dev.Node, simnet.HostNode, dd+"/"+DeltaFileName, snapifyio.Read)
-		if err != nil {
-			src.Close() //nolint:errcheck // error path: close only releases the descriptor; the size mismatch is the reported error
-			fail(err)
-			return
-		}
-		deltas = append(deltas, ds)
-	}
 	d.mu.Lock()
 	newID := d.nextID
 	d.nextID++
@@ -332,36 +315,65 @@ func (d *Daemon) handleSnapifyRestore(ep *scif.Endpoint, payload []byte) {
 	tracer := d.plat.Obs.TracerOf()
 	scope := tracer.NewScope()
 	cr := d.plat.CR.WithSpans(tracer, scope, align).WithRetry(rp)
+	ctxPath := dir + "/" + ContextFileName
 	var restored *proc.Process
 	var rst *blcr.Stats
-	if streams > 1 || rp.Enabled() {
-		// Parallel restore: the plain descriptor only supplies the context
-		// size; the pages arrive over striped range streams, each
-		// prefetching on its own slots. A retry-enabled restore rides this
-		// path even with one stream — range reads are idempotent, so a
-		// faulted source reopens at its current offset and continues.
-		if streams < 1 {
-			streams = 1
-		}
-		size := src.Size()
-		src.Close() //nolint:errcheck // size probe: close only releases the descriptor
-		open := func(off, n int64) (stream.Source, error) {
-			return d.plat.IO.OpenStream(d.dev.Node, simnet.HostNode, ctxPath, snapifyio.Read, snapifyio.OpenOptions{
-				Slots:  2,
-				Stripe: snapifyio.Stripe{Offset: off, Length: n},
-			})
-		}
-		restored, rst, err = cr.RestartChainParallel(size, streams, chunk, open, deltas, spawn)
-	} else {
-		restored, rst, err = cr.RestartChain(src, deltas, spawn)
-		src.Close() //nolint:errcheck // read side at EOF: close only releases the descriptor
+	adopted := false
+	if len(deltaDirs) == 0 && d.staging.Has(ctxPath) {
+		// Live migration switch-over: the pre-copy rounds already parked
+		// this context's chunks on the card, so the restore adopts them
+		// in place — installing page tables over resident frames instead
+		// of streaming the image from the host. Any failure falls through
+		// to the streaming path, which is byte-identical.
+		restored, rst, adopted = d.tryAdoptedRestart(cr, ctxPath, spawn)
 	}
-	for _, ds := range deltas {
-		ds.Close() //nolint:errcheck // restore already failed; close only releases the descriptor
-	}
-	if err != nil {
-		fail(fmt.Errorf("restoring offload process: %w", err))
-		return
+	if !adopted {
+		// BLCR reads the context "on the fly" from host storage via a
+		// Snapify-IO read descriptor (Section 4.3).
+		src, err := d.plat.IO.Open(d.dev.Node, simnet.HostNode, ctxPath, snapifyio.Read)
+		if err != nil {
+			fail(err)
+			return
+		}
+		deltas := make([]stream.Source, 0, len(deltaDirs))
+		for _, dd := range deltaDirs {
+			ds, err := d.plat.IO.Open(d.dev.Node, simnet.HostNode, dd+"/"+DeltaFileName, snapifyio.Read)
+			if err != nil {
+				src.Close() //nolint:errcheck // error path: close only releases the descriptor; the size mismatch is the reported error
+				fail(err)
+				return
+			}
+			deltas = append(deltas, ds)
+		}
+		if streams > 1 || rp.Enabled() {
+			// Parallel restore: the plain descriptor only supplies the context
+			// size; the pages arrive over striped range streams, each
+			// prefetching on its own slots. A retry-enabled restore rides this
+			// path even with one stream — range reads are idempotent, so a
+			// faulted source reopens at its current offset and continues.
+			if streams < 1 {
+				streams = 1
+			}
+			size := src.Size()
+			src.Close() //nolint:errcheck // size probe: close only releases the descriptor
+			open := func(off, n int64) (stream.Source, error) {
+				return d.plat.IO.OpenStream(d.dev.Node, simnet.HostNode, ctxPath, snapifyio.Read, snapifyio.OpenOptions{
+					Slots:  2,
+					Stripe: snapifyio.Stripe{Offset: off, Length: n},
+				})
+			}
+			restored, rst, err = cr.RestartChainParallel(size, streams, chunk, open, deltas, spawn)
+		} else {
+			restored, rst, err = cr.RestartChain(src, deltas, spawn)
+			src.Close() //nolint:errcheck // read side at EOF: close only releases the descriptor
+		}
+		for _, ds := range deltas {
+			ds.Close() //nolint:errcheck // restore already failed; close only releases the descriptor
+		}
+		if err != nil {
+			fail(fmt.Errorf("restoring offload process: %w", err))
+			return
+		}
 	}
 
 	// Copy the local store back on the fly into the mapped regions.
@@ -391,7 +403,11 @@ func (d *Daemon) handleSnapifyRestore(ep *scif.Endpoint, payload []byte) {
 
 	tk := d.coidTrack()
 	tk.AlignTo(align)
-	tk.Emit(scope, "restore_context", align, rst.Duration, map[string]int64{"bytes": rst.Bytes})
+	ctxArgs := map[string]int64{"bytes": rst.Bytes}
+	if adopted {
+		ctxArgs["adopted"] = 1
+	}
+	tk.Emit(scope, "restore_context", align, rst.Duration, ctxArgs)
 	tk.Emit(scope, "reload_local_store", align+rst.Duration, lsDur, map[string]int64{"bytes": lsBytes})
 
 	resp := []byte{0}
@@ -643,6 +659,12 @@ func (op *OffloadProc) snapifyAgent() {
 			}
 			op.p.ResumeSteps()
 			drained = false
+			// An aborted live migration resumes here: its pre-copy digest
+			// cache no longer tracks a continuous dirty history, so the
+			// next capture must pay the full scan.
+			op.mu.Lock()
+			op.precopyDigests, op.precopyChunk = nil, 0
+			op.mu.Unlock()
 			// Re-enter an offload function that was in flight when the
 			// snapshot was taken (Section 4.3): its progress is in the
 			// control region and the data regions.
@@ -739,7 +761,24 @@ func (op *OffloadProc) runCaptureStore(cr *blcr.Checkpointer, mode uint8, stream
 		return nil, 0, err
 	}
 	size := lay.Size()
-	digests, digDur := lay.ChunkDigests(chunk, snapstore.Digest)
+	img, digDur := lay.Materialize()
+	digests := snapstore.ChunkDigests(img, chunk)
+	if mode == CaptureFull {
+		// Live migration's final capture: the pre-copy rounds digested
+		// this image already, so the hardware dirty bits scope the final
+		// pass to what changed since the last round — the digests still
+		// come from the real materialized image, only the charged time
+		// shrinks. Consumed here so a later unrelated capture pays full
+		// price again.
+		op.mu.Lock()
+		prev, prevChunk := op.precopyDigests, op.precopyChunk
+		op.precopyDigests, op.precopyChunk = nil, 0
+		op.mu.Unlock()
+		if prev != nil && prevChunk == chunk {
+			dirty := precopyDirtyBytes(digests, prev, chunk, size)
+			digDur = cr.RescanCost(op.p.Node().IsHost(), size, dirty)
+		}
+	}
 
 	rp := cr.Retry()
 	attempts := rp.MaxAttempts
@@ -754,7 +793,7 @@ func (op *OffloadProc) runCaptureStore(cr *blcr.Checkpointer, mode uint8, stream
 	elapsed := digDur
 	var lastErr error
 	for attempt := 1; attempt <= attempts; attempt++ {
-		passDur, passShipped, err := op.storePass(lay, path, parent, size, chunk, streams, digests, align+elapsed, scope, tk)
+		passDur, passShipped, err := op.storePass(img, path, parent, size, chunk, streams, digests, align+elapsed, scope, tk, "capture_stream")
 		shipped += passShipped
 		elapsed += passDur
 		if err == nil {
@@ -777,12 +816,16 @@ func (op *OffloadProc) runCaptureStore(cr *blcr.Checkpointer, mode uint8, stream
 	return nil, 0, lastErr
 }
 
-// storePass runs one negotiate-then-ship round of a dedup-aware capture.
-// It returns the pass's virtual duration (negotiation round-trip plus the
-// slowest stream) and the bytes shipped. The per-stream capture_stream
-// spans — the host's source of truth for the Report — are emitted only
-// when the pass succeeds, so a retried pass doesn't pollute the scope.
-func (op *OffloadProc) storePass(lay *blcr.Layout, path, parent string, size, chunk int64, streams int, digests []string, at simclock.Duration, scope uint64, tk *obs.Track) (simclock.Duration, int64, error) {
+// storePass runs one negotiate-then-ship round of a dedup-aware capture
+// or pre-copy round. src is the materialized point-in-time image the
+// digests describe — chunks ship from it, never from a live re-read, so
+// a round taken while the process runs stays self-consistent. It
+// returns the pass's virtual duration (negotiation round-trip plus the
+// slowest stream) and the bytes shipped. The per-stream spans (named
+// spanName) — the host's source of truth for the Report — are emitted
+// only when the pass succeeds, so a retried pass doesn't pollute the
+// scope.
+func (op *OffloadProc) storePass(src blob.Blob, path, parent string, size, chunk int64, streams int, digests []string, at simclock.Duration, scope uint64, tk *obs.Track, spanName string) (simclock.Duration, int64, error) {
 	need, committed, negDur, err := op.d.plat.IO.Negotiate(op.d.dev.Node, simnet.HostNode, path, parent, size, chunk, digests)
 	tk.Emit(scope, "store_negotiate", at, negDur, map[string]int64{
 		"chunks_total":  int64(len(digests)),
@@ -796,6 +839,14 @@ func (op *OffloadProc) storePass(lay *blcr.Layout, path, parent string, size, ch
 		// the negotiation and not one data byte moves.
 		return negDur, 0, nil
 	}
+	shipDur, shipped, err := op.shipChunks(src, path, size, chunk, streams, need, at+negDur, scope, spanName)
+	return negDur + shipDur, shipped, err
+}
+
+// shipChunks ships the need set of a negotiated upload from the
+// materialized image over store-mode striped streams, one contiguous
+// group per stream.
+func (op *OffloadProc) shipChunks(src blob.Blob, path string, size, chunk int64, streams int, need []int, at simclock.Duration, scope uint64, spanName string) (simclock.Duration, int64, error) {
 	chunkLen := func(i int) int64 {
 		n := size - int64(i)*chunk
 		if n > chunk {
@@ -836,7 +887,7 @@ func (op *OffloadProc) storePass(lay *blcr.Layout, path, parent string, size, ch
 		for _, ci := range g {
 			off := int64(ci) * chunk
 			n := chunkLen(ci)
-			cost, err := f.WriteBlobAt(off, lay.Range(off, n))
+			cost, err := f.WriteBlobAt(off, src.Slice(off, n))
 			if err != nil {
 				f.Abort()
 				return err
@@ -865,17 +916,284 @@ func (op *OffloadProc) storePass(lay *blcr.Layout, path, parent string, size, ch
 		total += bytes[i]
 	}
 	if ferr != nil {
-		return negDur + wall, total, ferr
+		return wall, total, ferr
 	}
 	// Mirror the plain parallel capture's per-stream spans so the host's
 	// deriveCapture (and the exported trace) treat both data paths alike.
 	tracer := op.d.plat.Obs.TracerOf()
 	for i := range groups {
 		stk := tracer.Track(op.d.dev.Node.String(), fmt.Sprintf("%s/stream %d", op.p.Name(), i))
-		stk.AlignTo(at + negDur)
-		stk.Emit(scope, "capture_stream", at+negDur, durs[i], map[string]int64{"bytes": bytes[i]})
+		stk.AlignTo(at)
+		stk.Emit(scope, spanName, at, durs[i], map[string]int64{"bytes": bytes[i]})
 	}
-	return negDur + wall, total, nil
+	return wall, total, nil
+}
+
+// precopyDirtyBytes sums the bytes of the chunks whose digest changed
+// between two rounds' digest lists (an appeared or vanished tail counts
+// as dirty).
+func precopyDirtyBytes(cur, prev []string, chunk, size int64) int64 {
+	var dirty int64
+	for i, d := range cur {
+		if i >= len(prev) || prev[i] != d {
+			n := size - int64(i)*chunk
+			if n > chunk {
+				n = chunk
+			}
+			dirty += n
+		}
+	}
+	return dirty
+}
+
+// --- live migration: pre-copy rounds and destination staging ---
+
+// precopyResult is one pre-copy round's outcome, as reported to the host.
+type precopyResult struct {
+	dur          simclock.Duration
+	imageBytes   int64
+	dirtyBytes   int64
+	shippedBytes int64
+	chunksTotal  int
+	chunksNeeded int
+	skipped      bool
+}
+
+// handleSnapifyPrecopy runs one pre-copy round on the source card: digest
+// the running process's image and ship the changed chunks to the host
+// store while the process keeps mutating state. No pause is involved —
+// the materialized image is the round's consistent cut.
+// Payload: procID u32 | round u32 | alignNs u64 | scope u64 | chunkBytes
+// u64 | streams u16 | shipFloorBytes u64 | dirLen u32 | dir.
+// Reply: 0 | durNs u64 | imageBytes u64 | dirtyBytes u64 | shippedBytes
+// u64 | chunksTotal u32 | chunksNeeded u32 | skipped u8.
+func (d *Daemon) handleSnapifyPrecopy(ep *scif.Endpoint, payload []byte) {
+	fail := func(err error) { reply(ep, opSnapifyPrecopyResp, append([]byte{1}, []byte(err.Error())...)) }
+	id := int(u32(payload))
+	round := int(u32(payload[4:]))
+	align := simclock.Duration(u64(payload[8:]))
+	scope := u64(payload[16:])
+	chunk := int64(u64(payload[24:]))
+	streams := int(u16(payload[32:]))
+	shipFloor := int64(u64(payload[34:]))
+	dirLen := u32(payload[42:])
+	dir := string(payload[46 : 46+dirLen])
+
+	op, err := d.Lookup(id)
+	if err != nil {
+		fail(err)
+		return
+	}
+	res, err := op.runPrecopyRound(round, chunk, streams, shipFloor, dir, align, scope)
+	if err != nil {
+		fail(err)
+		return
+	}
+	resp := []byte{0}
+	resp = appendU64(resp, uint64(res.dur))
+	resp = appendU64(resp, uint64(res.imageBytes))
+	resp = appendU64(resp, uint64(res.dirtyBytes))
+	resp = appendU64(resp, uint64(res.shippedBytes))
+	resp = appendU32(resp, uint32(res.chunksTotal))
+	resp = appendU32(resp, uint32(res.chunksNeeded))
+	if res.skipped {
+		resp = append(resp, 1)
+	} else {
+		resp = append(resp, 0)
+	}
+	reply(ep, opSnapifyPrecopyResp, resp)
+}
+
+// runPrecopyRound digests the running process and, unless the dirty set
+// already fits under shipFloor, negotiates and ships the changed chunks
+// into the host store's pending upload for the migration's context path.
+// Round 1 pays the full materialize cost; later rounds are charged the
+// dirty-bit-assisted rescan (PTE sweep + dirty pages only), while the
+// digests always come from the genuinely materialized image so the shipped
+// bytes stay byte-correct. The digest cache updates every round — skipped
+// (probe) rounds included, since the hardware dirty bits reset at each
+// scan regardless of whether anything ships.
+func (op *OffloadProc) runPrecopyRound(round int, chunk int64, streams int, shipFloor int64, dir string, align simclock.Duration, scope uint64) (precopyResult, error) {
+	if chunk <= 0 {
+		chunk = blcr.PageChunk
+	}
+	if streams < 1 {
+		streams = 1
+	}
+	cr := op.d.plat.CR
+	lay, err := cr.LayoutFull(op.p)
+	if err != nil {
+		return precopyResult{}, err
+	}
+	size := lay.Size()
+	img, digDur := lay.Materialize()
+	digests := snapstore.ChunkDigests(img, chunk)
+
+	op.mu.Lock()
+	prev, prevChunk := op.precopyDigests, op.precopyChunk
+	op.mu.Unlock()
+	if round <= 1 {
+		prev, prevChunk = nil, 0
+	}
+	dirty := size
+	if prev != nil && prevChunk == chunk {
+		dirty = precopyDirtyBytes(digests, prev, chunk, size)
+		digDur = cr.RescanCost(op.p.Node().IsHost(), size, dirty)
+	}
+	op.mu.Lock()
+	op.precopyDigests, op.precopyChunk = digests, chunk
+	op.mu.Unlock()
+
+	tk := op.agentTrack()
+	tk.AlignTo(align)
+	tk.Emit(scope, "precopy_digest", align, digDur, map[string]int64{
+		"round":       int64(round),
+		"dirty_bytes": dirty,
+	})
+
+	res := precopyResult{dur: digDur, imageBytes: size, dirtyBytes: dirty, chunksTotal: len(digests)}
+	if dirty <= shipFloor {
+		// Probe round: the delta is small enough to ship inside the
+		// downtime budget, so leave it for the final (paused) capture.
+		res.skipped = true
+		return res, nil
+	}
+	path := dir + "/" + ContextFileName
+	need, committed, negDur, err := op.d.plat.IO.Negotiate(op.d.dev.Node, simnet.HostNode, path, "", size, chunk, digests)
+	tk.Emit(scope, "store_negotiate", align+digDur, negDur, map[string]int64{
+		"chunks_total":  int64(len(digests)),
+		"chunks_needed": int64(len(need)),
+	})
+	res.dur += negDur
+	if err != nil {
+		return res, err
+	}
+	res.chunksNeeded = len(need)
+	if committed {
+		return res, nil
+	}
+	shipDur, shipped, err := op.shipChunks(img, path, size, chunk, streams, need, align+digDur+negDur, scope, "precopy_stream")
+	res.dur += shipDur
+	res.shippedBytes = shipped
+	return res, err
+}
+
+// handleSnapifyPrecopyStage is the destination card's side of a pre-copy
+// round: pull the freshly shipped chunks out of the host store into the
+// staging area (StageSync), or discard the staged state (StageDrop, on
+// abort). Payload: mode u8 | alignNs u64 | scope u64 | pathLen u32 | path.
+// Reply: 0 | durNs u64 | fetchedBytes u64 | stagedBytes u64.
+func (d *Daemon) handleSnapifyPrecopyStage(ep *scif.Endpoint, payload []byte) {
+	fail := func(err error) { reply(ep, opSnapifyPrecopyStageResp, append([]byte{1}, []byte(err.Error())...)) }
+	mode := payload[0]
+	align := simclock.Duration(u64(payload[1:]))
+	scope := u64(payload[9:])
+	pathLen := u32(payload[17:])
+	path := string(payload[21 : 21+pathLen])
+
+	if mode == StageDrop {
+		d.staging.Drop(path)
+		resp := []byte{0}
+		resp = appendU64(resp, 0)
+		resp = appendU64(resp, 0)
+		resp = appendU64(resp, 0)
+		reply(ep, opSnapifyPrecopyStageResp, resp)
+		return
+	}
+	size, chunkBytes, digests, _, ok, planDur, err := d.plat.IO.StagePlan(d.dev.Node, simnet.HostNode, path)
+	if err != nil {
+		fail(err)
+		return
+	}
+	if !ok {
+		fail(fmt.Errorf("coi: stage sync: no digest plan for %s on the host store", path))
+		return
+	}
+	need := d.staging.Plan(path, size, chunkBytes, digests)
+	fetchDur, fetched, err := d.stageFetch(path, digests, need)
+	if err != nil {
+		fail(err)
+		return
+	}
+	dur := planDur + fetchDur
+	staged := d.staging.StagedBytes(path)
+	tk := d.coidTrack()
+	tk.AlignTo(align)
+	tk.Emit(scope, "precopy_stage", align, dur, map[string]int64{
+		"fetched_bytes": fetched,
+		"staged_bytes":  staged,
+	})
+	resp := []byte{0}
+	resp = appendU64(resp, uint64(dur))
+	resp = appendU64(resp, uint64(fetched))
+	resp = appendU64(resp, uint64(staged))
+	reply(ep, opSnapifyPrecopyStageResp, resp)
+}
+
+// stageFetch pulls the needed chunks from the host store's chunk files
+// into the staging area. Chunks are plain content-addressed files under
+// the store's chunk prefix, served by the host IO daemon's overlay.
+func (d *Daemon) stageFetch(path string, digests []string, need []int) (simclock.Duration, int64, error) {
+	acc := simclock.NewPipelineAccum()
+	var fetched int64
+	for _, idx := range need {
+		f, err := d.plat.IO.Open(d.dev.Node, simnet.HostNode, snapstore.ChunkPrefix+digests[idx], snapifyio.Read)
+		if err != nil {
+			return 0, 0, fmt.Errorf("coi: stage fetch chunk %d: %w", idx, err)
+		}
+		parts := make([]blob.Blob, 0, 1)
+		var off int64
+		for off < f.Size() {
+			b, cost, err := f.Next(4 * simclock.MiB)
+			if err != nil {
+				f.Close() //nolint:errcheck // error path: close only releases the descriptor; the read error is what propagates
+				return 0, 0, err
+			}
+			stream.Observe(acc, cost, d.plat.Model().PhiMemcpy(b.Len()))
+			parts = append(parts, b)
+			off += b.Len()
+		}
+		f.Close() //nolint:errcheck // read side at EOF: close only releases the descriptor
+		content := blob.Concat(parts...)
+		if err := d.staging.SetChunk(path, idx, content); err != nil {
+			return 0, 0, err
+		}
+		fetched += content.Len()
+	}
+	return acc.Total(), fetched, nil
+}
+
+// tryAdoptedRestart restores the migrated process from the staging area:
+// the pre-copy rounds parked (almost) every chunk on this card, so the
+// restart installs page tables over resident frames instead of streaming
+// the context from the host; only last-round stragglers are fetched. The
+// committed manifest is the authority — Plan re-verifies every staged
+// chunk against it, so a stale staging area degrades to extra fetches,
+// never to a wrong image. ok=false falls back to the streaming restore.
+func (d *Daemon) tryAdoptedRestart(cr *blcr.Checkpointer, ctxPath string, spawn blcr.Spawner) (*proc.Process, *blcr.Stats, bool) {
+	size, chunkBytes, digests, committed, ok, planDur, err := d.plat.IO.StagePlan(d.dev.Node, simnet.HostNode, ctxPath)
+	if err != nil || !ok || !committed {
+		return nil, nil, false
+	}
+	need := d.staging.Plan(ctxPath, size, chunkBytes, digests)
+	var fetchDur simclock.Duration
+	if len(need) > 0 {
+		fetchDur, _, err = d.stageFetch(ctxPath, digests, need)
+		if err != nil {
+			return nil, nil, false
+		}
+	}
+	img, ok := d.staging.Image(ctxPath)
+	if !ok {
+		return nil, nil, false
+	}
+	restored, rst, err := cr.RestartAdopted(img, spawn)
+	if err != nil {
+		return nil, nil, false
+	}
+	rst.Duration += planDur + fetchDur
+	d.staging.Drop(ctxPath)
+	return restored, rst, true
 }
 
 // captureOnce runs one capture pass into path.

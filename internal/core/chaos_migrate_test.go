@@ -1,0 +1,171 @@
+package core
+
+// Chaos cases for live migration: the host Snapify-IO daemon crashes in
+// the middle of a pre-copy round and in the middle of the final delta
+// capture. The contract extends the store tier's atomic-or-retryable rule
+// with live migration's own invariants: the source process is never
+// harmed (it was running during rounds and gets resumed after a failed
+// switch-over), Abort leaves no orphan staged chunks on the destination
+// and no pinned upload in the store, and a retried migration restores
+// byte-identically. scripts/verify.sh runs these twice under -race via
+// the TestChaos filter.
+
+import (
+	"testing"
+
+	"snapify/internal/coi"
+	"snapify/internal/faultinject"
+	"snapify/internal/simnet"
+)
+
+// chaosMigrateOpts routes a live migration through the chaos-store data
+// path: small chunks, striped streams, and a retry budget on the final
+// capture.
+func chaosMigrateOpts(path string) MigrateOptions {
+	o := MigrateOptions{DeviceTo: 2, Path: path}
+	o.Capture = chaosStoreOpts()
+	o.Restore = RestoreOptions{Streams: 2, ChunkBytes: 32 * 1024, Retry: RetryPolicy{MaxAttempts: 4}}
+	o.Restore.Store.Enabled = true
+	o.Precopy = PrecopyOptions{MaxRounds: 3}
+	return o
+}
+
+// assertNoStaging checks the destination daemon holds no staged chunks.
+func assertNoStaging(t *testing.T, r *rig, dev simnet.NodeID) {
+	t.Helper()
+	if dst := coi.DaemonAt(r.plat, dev); len(dst.Staging().Paths()) != 0 {
+		t.Errorf("orphan staged chunks on %v: %v", dev, dst.Staging().Paths())
+	}
+}
+
+// TestChaosMigratePrecopyRoundCrash kills the host Snapify-IO daemon in
+// the middle of the first pre-copy round. Whatever the round's outcome,
+// the source process — which was never paused — keeps computing, and an
+// Abort leaves the destination staging empty and the store consistent.
+// A retried live migration then succeeds with byte-identical state.
+func TestChaosMigratePrecopyRoundCrash(t *testing.T) {
+	r := newRig(t, "core_chaos_mig", 2)
+	r.count(t, 20)
+	opts := chaosMigrateOpts("/snap/chmig")
+	m, err := NewMigration(r.cp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	arm(r, faultinject.Fault{Site: faultinject.SiteDaemon, Key: simnet.HostNode.String(), Kind: faultinject.Crash, Nth: 2})
+	rec, _, rerr := m.Round()
+	disarm(r)
+	if rerr != nil {
+		t.Logf("pre-copy round failed cleanly: %v", rerr)
+	} else {
+		t.Logf("pre-copy round survived the crash: shipped %d of %d bytes", rec.ShippedBytes, rec.ImageBytes)
+	}
+	m.Abort()
+
+	// The source was running the whole time: still active, still correct.
+	if st := r.cp.State(); st != coi.StateActive {
+		t.Fatalf("source process state %v after aborted round, want active", st)
+	}
+	if got := r.count(t, 40); got != refSum(40) {
+		t.Errorf("source computation after aborted round = %d, want %d", got, refSum(40))
+	}
+	assertNoStaging(t, r, 2)
+	assertNoPartials(t, r.plat)
+	// The aborted upload is unpinned: a GC reclaims anything the crashed
+	// round left behind and the refcount graph stays sound.
+	assertStoreConsistent(t, r)
+
+	// Retry from scratch: the full live migration lands the process on
+	// the other card with identical bytes.
+	cp2, snap, err := Migrate(r.cp, opts)
+	if err != nil {
+		t.Fatalf("retried live migration: %v", err)
+	}
+	if cp2.DeviceNode() != 2 {
+		t.Errorf("process on %v after retried migration, want mic1", cp2.DeviceNode())
+	}
+	if snap.Report.Downtime <= 0 || len(snap.Report.Precopy) == 0 {
+		t.Errorf("retried migration report incomplete: downtime %v, %d rounds", snap.Report.Downtime, len(snap.Report.Precopy))
+	}
+	assertNoStaging(t, r, 2)
+	if got := r.count(t, 60); got != refSum(60) {
+		t.Errorf("computation after retried migration = %d, want %d", got, refSum(60))
+	}
+}
+
+// TestChaosMigrateFinalDeltaCrash lets the pre-copy rounds complete
+// cleanly, then kills the host Snapify-IO daemon during the final paused
+// delta capture with no retry budget. The switch-over must fail cleanly:
+// the source process is resumed on its original card and computes on,
+// Abort clears the staged rounds, and a retried migration (with a retry
+// budget back in place) restores byte-identically.
+func TestChaosMigrateFinalDeltaCrash(t *testing.T) {
+	r := newRig(t, "core_chaos_mig", 2)
+	r.count(t, 20)
+	opts := chaosMigrateOpts("/snap/chfinal")
+	opts.Capture.Retry = RetryPolicy{MaxAttempts: 1} // the crash must surface
+	m, err := NewMigration(r.cp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iters := uint64(20)
+	for {
+		_, done, err := m.Round()
+		if err != nil {
+			t.Fatalf("clean pre-copy round: %v", err)
+		}
+		if done {
+			break
+		}
+		iters += 10
+		r.count(t, iters)
+	}
+
+	// Dirty the image after the last round so the switch-over has a real
+	// final delta to ship — that shipment is what the crash interrupts.
+	iters += 10
+	r.count(t, iters)
+	arm(r, faultinject.Fault{Site: faultinject.SiteDaemon, Key: simnet.HostNode.String(), Kind: faultinject.Crash, Nth: 1})
+	_, ferr := m.Finish()
+	disarm(r)
+	if ferr == nil {
+		t.Fatal("Finish must fail when the IO daemon crashes with no retry budget")
+	}
+	t.Logf("switch-over failed cleanly: %v", ferr)
+
+	// A failed migration leaves the source unharmed: resumed, on its
+	// original card, computation intact.
+	if r.cp.DeviceNode() != 1 {
+		t.Fatalf("source on %v after failed switch-over, want mic0", r.cp.DeviceNode())
+	}
+	if st := r.cp.State(); st != coi.StateActive {
+		t.Fatalf("source process state %v after failed switch-over, want active", st)
+	}
+	iters += 10
+	if got := r.count(t, iters); got != refSum(iters) {
+		t.Errorf("source computation after failed switch-over = %d, want %d", got, refSum(iters))
+	}
+
+	m.Abort()
+	assertNoStaging(t, r, 2)
+	assertNoPartials(t, r.plat)
+	assertStoreConsistent(t, r)
+
+	// Retry with the retry budget restored: byte-identical on the new card.
+	opts.Capture.Retry = RetryPolicy{MaxAttempts: 4}
+	cp2, snap, err := Migrate(r.cp, opts)
+	if err != nil {
+		t.Fatalf("retried migration: %v", err)
+	}
+	if cp2.DeviceNode() != 2 {
+		t.Errorf("process on %v after retried migration, want mic1", cp2.DeviceNode())
+	}
+	if snap.Report.Downtime <= 0 {
+		t.Error("retried migration recorded no downtime")
+	}
+	assertNoStaging(t, r, 2)
+	iters += 10
+	if got := r.count(t, iters); got != refSum(iters) {
+		t.Errorf("computation after retried migration = %d, want %d", got, refSum(iters))
+	}
+}

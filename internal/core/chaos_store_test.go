@@ -84,7 +84,7 @@ func TestChaosStoreDaemonCrashMidUpload(t *testing.T) {
 	assertStoreConsistent(t, r)
 	ropts := RestoreOptions{Streams: 2, ChunkBytes: 32 * 1024, Retry: RetryPolicy{MaxAttempts: 4}}
 	ropts.Store.Enabled = true
-	if _, err := SwapinOpts(s, 1, ropts); err != nil {
+	if _, err := Swapin(s, 1, ropts); err != nil {
 		t.Fatalf("swap-in after faulted store capture: %v", err)
 	}
 	if got := r.count(t, 40); got != refSum(40) {
@@ -122,7 +122,7 @@ func TestChaosStoreCommitCrash(t *testing.T) {
 	assertStoreConsistent(t, r)
 	ropts := RestoreOptions{}
 	ropts.Store.Enabled = true
-	if _, err := SwapinOpts(s, 1, ropts); err != nil {
+	if _, err := Swapin(s, 1, ropts); err != nil {
 		t.Fatal(err)
 	}
 	if got := r.count(t, 40); got != refSum(40) {
@@ -137,7 +137,7 @@ func TestChaosStoreGCCrash(t *testing.T) {
 	r := newRig(t, "core_chaos_store", 1)
 	r.count(t, 20)
 	ctx := "/snap/chgc/" + coi.ContextFileName
-	if _, err := SwapoutOpts("/snap/chgc", r.cp, chaosStoreOpts()); err != nil {
+	if _, err := Swapout("/snap/chgc", r.cp, chaosStoreOpts()); err != nil {
 		t.Fatal(err)
 	}
 	before := r.plat.Store.Stats()

@@ -195,7 +195,7 @@ func TestChaosCaptureSweep(t *testing.T) {
 				return
 			}
 			// Success: the snapshot must restore to the exact state.
-			if _, err := Swapin(s, 1); err != nil {
+			if _, err := Swapin(s, 1, RestoreOptions{}); err != nil {
 				t.Fatalf("swap-in after faulted capture: %v", err)
 			}
 			if got := r.count(t, 40); got != refSum(40) {

@@ -120,7 +120,7 @@ func TestConcurrentSwapsAcrossCards(t *testing.T) {
 	errs := make([]error, 2)
 	migrate := func(i int, rg *rig, to simnet.NodeID) {
 		defer wg.Done()
-		if _, _, err := Migrate(rg.cp, to, fmt.Sprintf("/snap/cross/%d", i)); err != nil {
+		if _, _, err := Migrate(rg.cp, MigrateOptions{DeviceTo: to, Path: fmt.Sprintf("/snap/cross/%d", i)}); err != nil {
 			errs[i] = err
 		}
 	}

@@ -101,16 +101,16 @@ func runScenario(t *testing.T, dataSeed int64, ops []injection) uint64 {
 				mustOK(t, Wait(s))
 				mustOK(t, Resume(s))
 			case 1: // swap out and back in on the same card
-				s, err := Swapout(dir, cp)
+				s, err := Swapout(dir, cp, CaptureOptions{})
 				mustOK(t, err)
-				_, err = Swapin(s, cp.DeviceNode())
+				_, err = Swapin(s, cp.DeviceNode(), RestoreOptions{})
 				mustOK(t, err)
 			case 2: // migrate to the other card
 				target := simnet.NodeID(1)
 				if cp.DeviceNode() == 1 {
 					target = 2
 				}
-				_, _, err := Migrate(cp, target, dir)
+				_, _, err := Migrate(cp, MigrateOptions{DeviceTo: target, Path: dir})
 				mustOK(t, err)
 			}
 		}

@@ -184,7 +184,7 @@ func TestSwapoutSwapinRoundTrip(t *testing.T) {
 	r.count(t, 33)
 
 	memBefore := r.plat.Device(1).Mem.Used()
-	snap, err := Swapout("/snap/swap", r.cp)
+	snap, err := Swapout("/snap/swap", r.cp, CaptureOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +196,7 @@ func TestSwapoutSwapinRoundTrip(t *testing.T) {
 		t.Error("handle not swapped")
 	}
 
-	cp2, err := Swapin(snap, 1)
+	cp2, err := Swapin(snap, 1, RestoreOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +230,7 @@ func TestMigrateMovesProcessAndLocalStoreDirect(t *testing.T) {
 	hostTrafficBefore := r.plat.Server.Fabric.Traffic(1, 0)
 	devTrafficBefore := r.plat.Server.Fabric.Traffic(1, 2)
 
-	cp2, snap, err := Migrate(r.cp, 2, "/snap/mig")
+	cp2, snap, err := Migrate(r.cp, MigrateOptions{DeviceTo: 2, Path: "/snap/mig"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +269,7 @@ func TestMigrateMovesProcessAndLocalStoreDirect(t *testing.T) {
 
 func TestMigrateToSameDeviceRejected(t *testing.T) {
 	r := newRig(t, "core_selfmig", 1)
-	if _, _, err := Migrate(r.cp, 1, "/snap/self"); err == nil {
+	if _, _, err := Migrate(r.cp, MigrateOptions{DeviceTo: 1, Path: "/snap/self"}); err == nil {
 		t.Fatal("migration to the same device must fail")
 	}
 }

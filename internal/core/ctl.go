@@ -89,7 +89,7 @@ func (s *CommandServer) execute(cmd string) string {
 		}
 		var copts CaptureOptions
 		copts.Store.Enabled = store
-		snap, err := SwapoutOpts(fields[1], s.cp, copts)
+		snap, err := Swapout(fields[1], s.cp, copts)
 		if err != nil {
 			return fail(err)
 		}
@@ -109,7 +109,7 @@ func (s *CommandServer) execute(cmd string) string {
 		}
 		var ropts RestoreOptions
 		ropts.Store.Enabled = s.viaStore
-		cp, err := SwapinOpts(s.swapped, simnet.NodeID(dev), ropts)
+		cp, err := Swapin(s.swapped, simnet.NodeID(dev), ropts)
 		if err != nil {
 			return fail(err)
 		}
@@ -118,9 +118,9 @@ func (s *CommandServer) execute(cmd string) string {
 		s.viaStore = false
 		return "ok"
 	case "migrate":
-		store, ok := storeFlagArg(fields, 4)
+		opts, ok := migrateArgs(fields)
 		if !ok {
-			return "error: usage: migrate <device> <snapshot-dir> [store]"
+			return "error: usage: migrate <device> <snapshot-dir> [store|live]"
 		}
 		if s.swapped != nil {
 			return "error: swapped out; swap in first"
@@ -129,19 +129,57 @@ func (s *CommandServer) execute(cmd string) string {
 		if err != nil {
 			return fail(err)
 		}
-		var copts CaptureOptions
-		var ropts RestoreOptions
-		copts.Store.Enabled = store
-		ropts.Store.Enabled = store
-		cp, _, err := MigrateOpts(s.cp, simnet.NodeID(dev), fields[2], copts, ropts)
+		opts.DeviceTo = simnet.NodeID(dev)
+		opts.Path = fields[2]
+		cp, snap, err := Migrate(s.cp, opts)
 		if err != nil {
 			return fail(err)
 		}
 		s.cp = cp
-		return "ok"
+		return migrateReply(&snap.Report)
 	default:
 		return fmt.Sprintf("error: unknown command %q", fields[0])
 	}
+}
+
+// migrateArgs interprets the migrate command's optional trailing mode
+// token: none (stop-the-world, plain files), "store" (stop-the-world
+// through the dedup store), or "live" (pre-copy live migration — the
+// store data path is implied).
+func migrateArgs(fields []string) (MigrateOptions, bool) {
+	var opts MigrateOptions
+	switch {
+	case len(fields) == 3:
+		return opts, true
+	case len(fields) == 4 && fields[3] == "store":
+		opts.Capture.Store.Enabled = true
+		opts.Restore.Store.Enabled = true
+		return opts, true
+	case len(fields) == 4 && fields[3] == "live":
+		opts.Precopy.MaxRounds = defaultLiveRounds
+		return opts, true
+	}
+	return MigrateOptions{}, false
+}
+
+// defaultLiveRounds bounds the pre-copy iterations of a "migrate ... live"
+// command (and of scheduler evacuations that enable live migration
+// without tuning it).
+const defaultLiveRounds = 3
+
+// migrateReply formats a migration's Report for the utility: one line per
+// pre-copy round plus the final downtime.
+func migrateReply(r *Report) string {
+	var b strings.Builder
+	b.WriteString("ok")
+	for _, pr := range r.Precopy {
+		fmt.Fprintf(&b, "\nround %d: dirty %d B, shipped %d B", pr.Round, pr.DirtyBytes, pr.ShippedBytes)
+		if pr.Skipped {
+			b.WriteString(" (under floor, not shipped)")
+		}
+	}
+	fmt.Fprintf(&b, "\ndowntime %v", r.Downtime)
+	return b.String()
 }
 
 // storeFlagArg interprets an optional trailing "store" token on a
@@ -159,25 +197,26 @@ func storeFlagArg(fields []string, max int) (store, ok bool) {
 
 // SubmitCommand is the utility side: resolve the host PID, submit the
 // command through the server's pipe, signal the process, and collect the
-// reply.
-func (s *CommandServer) SubmitCommand(cmd string) error {
+// reply. On success it returns the server's reply text (the "ok" line,
+// plus per-round and downtime detail for a migration).
+func (s *CommandServer) SubmitCommand(cmd string) (string, error) {
 	host := s.cp.HostProc()
 	if _, err := s.plat.Procs.Lookup(host.PID()); err != nil {
-		return fmt.Errorf("core: snapify utility: %w", err)
+		return "", fmt.Errorf("core: snapify utility: %w", err)
 	}
 	if _, err := s.ctlPipe.Send([]byte(cmd)); err != nil {
-		return err
+		return "", err
 	}
 	if err := host.Deliver(proc.SigCommand); err != nil {
-		return err
+		return "", err
 	}
 	raw, _, err := s.ctlPipe.Recv()
 	if err != nil {
-		return err
+		return "", err
 	}
 	reply := string(raw)
-	if reply != "ok" {
-		return errors.New("core: snapify utility: " + strings.TrimPrefix(reply, "error: "))
+	if reply != "ok" && !strings.HasPrefix(reply, "ok\n") {
+		return "", errors.New("core: snapify utility: " + strings.TrimPrefix(reply, "error: "))
 	}
-	return nil
+	return reply, nil
 }

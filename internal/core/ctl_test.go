@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -10,16 +11,16 @@ func TestCommandServerSwapAndMigrate(t *testing.T) {
 	srv := InstallCommandServer(r.plat, r.cp)
 
 	// Swap out, then in on the other card.
-	if err := srv.SubmitCommand("swapout /snap/ctl"); err != nil {
+	if _, err := srv.SubmitCommand("swapout /snap/ctl"); err != nil {
 		t.Fatal(err)
 	}
 	if !srv.Swapped() {
 		t.Fatal("server does not report swapped state")
 	}
-	if err := srv.SubmitCommand("swapout /snap/ctl2"); err == nil {
+	if _, err := srv.SubmitCommand("swapout /snap/ctl2"); err == nil {
 		t.Fatal("double swapout must fail")
 	}
-	if err := srv.SubmitCommand("swapin 2"); err != nil {
+	if _, err := srv.SubmitCommand("swapin 2"); err != nil {
 		t.Fatal(err)
 	}
 	if srv.Proc().DeviceNode() != 2 {
@@ -27,7 +28,7 @@ func TestCommandServerSwapAndMigrate(t *testing.T) {
 	}
 
 	// Migrate back to card 1.
-	if err := srv.SubmitCommand("migrate 1 /snap/ctl_mig"); err != nil {
+	if _, err := srv.SubmitCommand("migrate 1 /snap/ctl_mig"); err != nil {
 		t.Fatal(err)
 	}
 	if srv.Proc().DeviceNode() != 1 {
@@ -40,16 +41,39 @@ func TestCommandServerSwapAndMigrate(t *testing.T) {
 	}
 
 	// Error paths.
-	if err := srv.SubmitCommand("swapin 1"); err == nil {
+	if _, err := srv.SubmitCommand("swapin 1"); err == nil {
 		t.Error("swapin while not swapped must fail")
 	}
-	if err := srv.SubmitCommand("frobnicate"); err == nil {
+	if _, err := srv.SubmitCommand("frobnicate"); err == nil {
 		t.Error("unknown command must fail")
 	}
-	if err := srv.SubmitCommand(""); err == nil {
+	if _, err := srv.SubmitCommand(""); err == nil {
 		t.Error("empty command must fail")
 	}
-	if err := srv.SubmitCommand("migrate nope /x"); err == nil {
+	if _, err := srv.SubmitCommand("migrate nope /x"); err == nil {
 		t.Error("bad device must fail")
+	}
+}
+
+func TestCommandServerLiveMigrateReply(t *testing.T) {
+	r := newRig(t, "core_ctl_live", 2)
+	r.count(t, 5)
+	srv := InstallCommandServer(r.plat, r.cp)
+
+	reply, err := srv.SubmitCommand("migrate 2 /snap/ctl_live live")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.Proc().DeviceNode() != 2 {
+		t.Errorf("process on %v after live migrate 2", srv.Proc().DeviceNode())
+	}
+	if !strings.HasPrefix(reply, "ok\n") {
+		t.Fatalf("live migrate reply %q lacks detail lines", reply)
+	}
+	if !strings.Contains(reply, "round 1:") || !strings.Contains(reply, "downtime ") {
+		t.Errorf("live migrate reply %q missing round/downtime detail", reply)
+	}
+	if got := r.count(t, 25); got != refSum(25) {
+		t.Errorf("count after live migration = %d, want %d", got, refSum(25))
 	}
 }

@@ -41,7 +41,7 @@ func TestRestoreOntoFullCardFailsCleanly(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	snap, err := Swapout("/snap/full", cp)
+	snap, err := Swapout("/snap/full", cp, CaptureOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +67,7 @@ func TestRestoreOntoFullCardFailsCleanly(t *testing.T) {
 	}
 
 	// The snapshot restores fine on the other card.
-	if _, err := Swapin(snap, 2); err != nil {
+	if _, err := Swapin(snap, 2, RestoreOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	out, err := pl.RunFunction("count", makeCountArgs(24))
@@ -82,7 +82,7 @@ func TestRestoreOntoFullCardFailsCleanly(t *testing.T) {
 // TestRestoreFromMissingSnapshotFails covers the storage error path.
 func TestRestoreFromMissingSnapshotFails(t *testing.T) {
 	r := newRig(t, "core_missing", 1)
-	snap, err := Swapout("/snap/present", r.cp)
+	snap, err := Swapout("/snap/present", r.cp, CaptureOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func TestRestoreFromMissingSnapshotFails(t *testing.T) {
 		t.Fatal("restore from missing snapshot must succeed? no — must fail")
 	}
 	// The real snapshot still works.
-	if _, err := Swapin(snap, 1); err != nil {
+	if _, err := Swapin(snap, 1, RestoreOptions{}); err != nil {
 		t.Fatal(err)
 	}
 }

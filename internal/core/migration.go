@@ -1,0 +1,320 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"snapify/internal/coi"
+	"snapify/internal/simclock"
+)
+
+// Live migration (the VM-style pre-copy extension of the paper's
+// stop-the-world migration, Section 5 / Fig 7): a Migration session runs
+// iterative digest-and-ship rounds against the *running* offload process —
+// each round materializes a consistent cut of the image, diffs its chunk
+// digests against the previous round's, and ships only the changed chunks
+// into the host store while the destination card stages them — then pauses
+// the process only for the final small delta plus the context switch-over.
+// The restored image is byte-identical to a stop-the-world migration's:
+// every round's digests come from a genuinely materialized image and every
+// staged chunk is digest-verified, so pre-copy only moves *when* bytes
+// travel, never *which* bytes arrive.
+
+// PrecopyRound is one pre-copy round's outcome, recorded in
+// Report.Precopy.
+type PrecopyRound struct {
+	// Round numbers from 1.
+	Round int
+	// Duration is the round's source-side virtual time: the digest scan
+	// (full materialize on round 1, the dirty-bit-assisted rescan after)
+	// plus the have/need negotiation and chunk shipping.
+	Duration simclock.Duration
+	// StageDuration is the destination card's time pulling the round's
+	// chunks from the host store into its staging area.
+	StageDuration simclock.Duration
+	// ImageBytes is the full context image size at this round's cut.
+	ImageBytes int64
+	// DirtyBytes is how much of the image changed since the previous
+	// round (the whole image on round 1).
+	DirtyBytes int64
+	// ShippedBytes is how many bytes the round physically moved to the
+	// host store; dedup against earlier rounds makes it <= DirtyBytes.
+	ShippedBytes int64
+	// ChunksTotal and ChunksNeeded are the round's negotiation figures.
+	ChunksTotal  int
+	ChunksNeeded int
+	// Skipped means the dirty set already fit the stopping floor, so the
+	// round probed but shipped nothing — the delta waits for the final
+	// paused capture.
+	Skipped bool
+}
+
+// Migration is a live-migration session: Round drives the pre-copy
+// iterations, Finish executes the switch-over (pause, final delta
+// capture, restore on the destination, resume), and Abort cleans up a
+// session abandoned mid-rounds, leaving the source process running and
+// unharmed. Migrate composes them for the common case.
+type Migration struct {
+	s    *Snapshot
+	opts MigrateOptions
+
+	scope    uint64
+	round    int
+	done     bool // rounds are over (floor hit, budget fit, or no progress)
+	finished bool // Finish ran
+
+	prevDirty   int64
+	lastShipped int64
+	lastShipDur simclock.Duration
+}
+
+// NewMigration validates opts against cp and opens a live-migration
+// session. The source process keeps running; nothing moves until the
+// first Round (or Finish, for a stop-the-world migration).
+func NewMigration(cp *coi.Process, opts MigrateOptions) (*Migration, error) {
+	if st := cp.State(); st != coi.StateActive {
+		return nil, fmt.Errorf("core: migration requires an active handle, have %s", st)
+	}
+	if err := opts.validate(cp); err != nil {
+		return nil, err
+	}
+	opts = opts.normalized()
+	s := NewSnapshot(opts.Path, cp)
+	if !opts.StageLocalStoreOnHost {
+		// The local store moves device-to-device over PCIe, not through
+		// the host (Section 7, "Process migration").
+		s.localStoreTarget = opts.DeviceTo
+	}
+	return &Migration{
+		s:     s,
+		opts:  opts,
+		scope: cp.Platform().Obs.TracerOf().NewScope(),
+	}, nil
+}
+
+// Snapshot returns the session's snapshot descriptor (its Report carries
+// the per-round figures and the final downtime).
+func (m *Migration) Snapshot() *Snapshot { return m.s }
+
+// ctxPath is the context file the rounds negotiate into the store.
+func (m *Migration) ctxPath() string { return m.opts.Path + "/" + coi.ContextFileName }
+
+// shipFloor is the current round-stopping floor: the static
+// DirtyFloorBytes, raised dynamically when the observed shipping
+// bandwidth projects the remaining dirty set to fit DowntimeBudget.
+func (m *Migration) shipFloor() int64 {
+	floor := m.opts.Precopy.DirtyFloorBytes
+	if m.opts.Precopy.DowntimeBudget > 0 && m.lastShipDur > 0 && m.lastShipped > 0 {
+		bw := float64(m.lastShipped) / float64(m.lastShipDur) // bytes per ns
+		if proj := int64(bw * float64(m.opts.Precopy.DowntimeBudget)); proj > floor {
+			floor = proj
+		}
+	}
+	return floor
+}
+
+// Round runs one pre-copy iteration: the source daemon digests the
+// running process and ships the changed chunks, then the destination
+// daemon pulls them into its staging area. done reports that the rounds
+// have converged (or stopped making progress) and Finish should run.
+func (m *Migration) Round() (PrecopyRound, bool, error) {
+	if m.finished {
+		return PrecopyRound{}, true, errors.New("core: migration already finished")
+	}
+	if m.done {
+		return PrecopyRound{}, true, errors.New("core: pre-copy rounds are over; call Finish")
+	}
+	if !m.opts.Precopy.Enabled() {
+		return PrecopyRound{}, true, errors.New("core: pre-copy is disabled (MaxRounds is 0); call Finish for a stop-the-world migration")
+	}
+	cp := m.s.Proc
+	if st := cp.State(); st != coi.StateActive {
+		return PrecopyRound{}, true, fmt.Errorf("core: pre-copy round requires an active handle, have %s", st)
+	}
+	m.round++
+	m.s.countOp("precopy_round")
+	start := cp.Timeline().Now()
+	floor := m.shipFloor()
+
+	payload := coi.PutU32(uint32(cp.ID()))
+	payload = coi.AppendU32(payload, uint32(m.round))
+	payload = binary.BigEndian.AppendUint64(payload, uint64(start))
+	payload = binary.BigEndian.AppendUint64(payload, m.scope)
+	payload = binary.BigEndian.AppendUint64(payload, uint64(m.opts.Precopy.ChunkBytes))
+	payload = binary.BigEndian.AppendUint16(payload, uint16(m.opts.Precopy.Streams))
+	payload = binary.BigEndian.AppendUint64(payload, uint64(floor))
+	payload = coi.AppendU32(payload, uint32(len(m.opts.Path)))
+	payload = append(payload, m.opts.Path...)
+	resp, err := cp.DaemonRequest(coi.OpSnapifyPrecopy, payload, coi.OpSnapifyPrecopyResp)
+	if err != nil {
+		return PrecopyRound{}, false, fmt.Errorf("core: pre-copy round %d: %w", m.round, err)
+	}
+	rec := PrecopyRound{
+		Round:        m.round,
+		Duration:     simclock.Duration(binary.BigEndian.Uint64(resp)),
+		ImageBytes:   int64(binary.BigEndian.Uint64(resp[8:])),
+		DirtyBytes:   int64(binary.BigEndian.Uint64(resp[16:])),
+		ShippedBytes: int64(binary.BigEndian.Uint64(resp[24:])),
+		ChunksTotal:  int(binary.BigEndian.Uint32(resp[32:])),
+		ChunksNeeded: int(binary.BigEndian.Uint32(resp[36:])),
+		Skipped:      resp[40] == 1,
+	}
+
+	if !rec.Skipped {
+		// The round's chunks are in the host store; let the destination
+		// pull them down while the source keeps running. A skipped round
+		// shipped nothing, so there is nothing new to stage.
+		stageDur, _, _, err := m.stageRequest(coi.StageSync, start+rec.Duration)
+		if err != nil {
+			return rec, false, fmt.Errorf("core: pre-copy round %d staging: %w", m.round, err)
+		}
+		rec.StageDuration = stageDur
+	}
+
+	tk := m.s.hostTrack()
+	tk.AlignTo(start)
+	tk.Emit(m.scope, "precopy_round", start, rec.Duration+rec.StageDuration, map[string]int64{
+		"round":         int64(rec.Round),
+		"dirty_bytes":   rec.DirtyBytes,
+		"shipped_bytes": rec.ShippedBytes,
+	})
+	ms := cp.Platform().Obs.MetricsOf()
+	ms.Counter("snapify_precopy_rounds_total", "Pre-copy rounds run.").Inc()
+	ms.Counter("snapify_precopy_shipped_bytes_total", "Bytes shipped by pre-copy rounds.").Add(rec.ShippedBytes)
+	ms.Gauge("snapify_precopy_dirty_bytes", "Dirty bytes after the latest pre-copy round.").Set(rec.DirtyBytes)
+
+	m.s.Report.Precopy = append(m.s.Report.Precopy, rec)
+	cp.Timeline().Advance(rec.Duration + rec.StageDuration)
+
+	// Round-termination rule: stop when the dirty set fits the floor
+	// (the device skipped), when the round budget is exhausted, or when
+	// the dirty set stopped shrinking (the workload writes faster than
+	// the link ships — more rounds only burn bandwidth).
+	switch {
+	case rec.Skipped:
+		m.done = true
+	case m.round >= m.opts.Precopy.MaxRounds:
+		m.done = true
+	case m.round >= 2 && rec.DirtyBytes >= m.prevDirty:
+		m.done = true
+	}
+	m.prevDirty = rec.DirtyBytes
+	if rec.ShippedBytes > 0 {
+		m.lastShipped = rec.ShippedBytes
+		m.lastShipDur = rec.Duration
+	}
+	return rec, m.done, nil
+}
+
+// stageRequest sends one stage-control request (StageSync or StageDrop)
+// to the destination card's daemon.
+func (m *Migration) stageRequest(mode uint8, align simclock.Duration) (dur simclock.Duration, fetched, staged int64, err error) {
+	ctx := m.ctxPath()
+	payload := []byte{mode}
+	payload = binary.BigEndian.AppendUint64(payload, uint64(align))
+	payload = binary.BigEndian.AppendUint64(payload, m.scope)
+	payload = coi.AppendU32(payload, uint32(len(ctx)))
+	payload = append(payload, ctx...)
+	resp, err := coi.DaemonStageRequest(m.s.Proc.Platform(), m.opts.DeviceTo, payload)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	dur = simclock.Duration(binary.BigEndian.Uint64(resp))
+	fetched = int64(binary.BigEndian.Uint64(resp[8:]))
+	staged = int64(binary.BigEndian.Uint64(resp[16:]))
+	return dur, fetched, staged, nil
+}
+
+// Finish executes the switch-over: pause, final capture (only the last
+// delta ships when pre-copy ran), restore on the destination (adopting
+// the staged chunks), and resume. Report.Downtime records the whole
+// stop-everything window. On a capture failure the source process is
+// resumed — it stays unharmed on its card.
+func (m *Migration) Finish() (*coi.Process, error) {
+	if m.finished {
+		return nil, errors.New("core: migration already finished")
+	}
+	s := m.s
+	downStart := s.Proc.Timeline().Now()
+	if err := s.Pause(); err != nil {
+		return nil, err
+	}
+	copts := m.opts.Capture
+	copts.Terminate = true
+	if err := s.Capture(copts); err != nil {
+		s.Resume() //nolint:errcheck // best-effort unwind; the capture error is what propagates
+		return nil, err
+	}
+	if err := s.Wait(); err != nil {
+		// The capture failed before the terminate took effect: the source
+		// process is still on its card, paused. Resume it — a failed
+		// migration must leave the source unharmed.
+		s.Resume() //nolint:errcheck // best-effort unwind; the capture error is what propagates
+		return nil, err
+	}
+	ncp, err := s.Restore(m.opts.DeviceTo, m.opts.Restore)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Resume(); err != nil {
+		return nil, err
+	}
+	m.finished = true
+	m.done = true
+	s.Report.Downtime = s.Report.PauseTotal() + s.Report.Capture + s.Report.RestoreTotal() + s.Report.Resume
+	tk := s.hostTrack()
+	tk.Emit(m.scope, "migration_downtime", downStart, s.Report.Downtime, map[string]int64{
+		"rounds": int64(len(s.Report.Precopy)),
+	})
+	return ncp, nil
+}
+
+// Abort abandons a session mid-rounds: the pending store upload is
+// dropped (unpinning its digests for GC) and the destination's staged
+// chunks are discarded. The source process was never paused and keeps
+// running.
+func (m *Migration) Abort() {
+	if m.finished {
+		return
+	}
+	m.done = true
+	plat := m.s.Proc.Platform()
+	if plat.Store != nil {
+		plat.Store.AbortUpload(m.ctxPath())
+	}
+	if m.opts.Precopy.Enabled() {
+		m.stageRequest(coi.StageDrop, m.s.Proc.Timeline().Now()) //nolint:errcheck // best-effort cleanup; the destination daemon may be the very thing that failed
+	}
+}
+
+// Migrate moves the offload process to another coprocessor on the same
+// machine (snapify_migration, Fig 7). With opts.Precopy enabled it is a
+// live migration — pre-copy rounds ship the image while the process
+// runs, and the process stops only for the final delta; with a zero
+// Precopy it is the paper's stop-the-world migration (pause, capture,
+// restore, resume). Either way Report.Downtime records how long the
+// process was stopped, and the restored image is byte-identical.
+func Migrate(cp *coi.Process, opts MigrateOptions) (*coi.Process, *Snapshot, error) {
+	m, err := NewMigration(cp, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if m.opts.Precopy.Enabled() {
+		for {
+			_, done, err := m.Round()
+			if err != nil {
+				m.Abort()
+				return nil, nil, err
+			}
+			if done {
+				break
+			}
+		}
+	}
+	ncp, err := m.Finish()
+	if err != nil {
+		return nil, nil, err
+	}
+	return ncp, m.s, nil
+}

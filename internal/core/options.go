@@ -1,0 +1,180 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"snapify/internal/coi"
+	"snapify/internal/simclock"
+	"snapify/internal/simnet"
+)
+
+// This file validates every public option struct in one place: each entry
+// point calls the relevant validate() before touching the platform, so a
+// misconfigured option fails fast with an actionable message instead of a
+// transport error deep in the data path.
+
+// validate checks a CaptureOptions for internal consistency.
+func (o *CaptureOptions) validate() error {
+	if o.Streams < 0 {
+		return fmt.Errorf("core: CaptureOptions.Streams is %d; want 0 (serial) or a positive stream count", o.Streams)
+	}
+	if o.ChunkBytes < 0 {
+		return fmt.Errorf("core: CaptureOptions.ChunkBytes is %d; want 0 (default) or a positive chunk size", o.ChunkBytes)
+	}
+	if o.Retry.MaxAttempts < 0 {
+		return fmt.Errorf("core: CaptureOptions.Retry.MaxAttempts is %d; want 0 (no retry) or a positive attempt bound", o.Retry.MaxAttempts)
+	}
+	if o.Retry.Backoff < 0 {
+		return errors.New("core: CaptureOptions.Retry.Backoff is negative; want a non-negative virtual duration")
+	}
+	if o.Store.Parent != "" && !o.Store.Enabled {
+		return errors.New("core: CaptureOptions.Store.Parent is set but Store.Enabled is false; enable the store to extend a parent manifest")
+	}
+	return nil
+}
+
+// validate checks a RestoreOptions for internal consistency.
+func (o *RestoreOptions) validate() error {
+	if o.Streams < 0 {
+		return fmt.Errorf("core: RestoreOptions.Streams is %d; want 0 (serial) or a positive stream count", o.Streams)
+	}
+	if o.ChunkBytes < 0 {
+		return fmt.Errorf("core: RestoreOptions.ChunkBytes is %d; want 0 (default) or a positive chunk size", o.ChunkBytes)
+	}
+	if o.Retry.MaxAttempts < 0 {
+		return fmt.Errorf("core: RestoreOptions.Retry.MaxAttempts is %d; want 0 (no retry) or a positive attempt bound", o.Retry.MaxAttempts)
+	}
+	if o.Retry.Backoff < 0 {
+		return errors.New("core: RestoreOptions.Retry.Backoff is negative; want a non-negative virtual duration")
+	}
+	if o.Store.Parent != "" {
+		return errors.New("core: RestoreOptions.Store.Parent has no meaning on restore; leave it empty")
+	}
+	return nil
+}
+
+// PrecopyOptions configures the iterative pre-copy phase of a live
+// migration: rounds of digest-and-ship run while the offload process keeps
+// executing, and the process is paused only for the final small delta.
+// The zero value disables pre-copy (stop-the-world migration).
+type PrecopyOptions struct {
+	// MaxRounds bounds the number of pre-copy rounds; a workload that
+	// dirties memory faster than the link ships it would otherwise iterate
+	// forever. Zero disables pre-copy entirely.
+	MaxRounds int
+	// DirtyFloorBytes stops iterating once a round's dirty set is at or
+	// under this size: the remainder ships in the paused final capture.
+	// Zero means rounds stop only on MaxRounds, DowntimeBudget, or lack
+	// of progress.
+	DirtyFloorBytes int64
+	// DowntimeBudget, when positive, derives a dynamic stopping floor from
+	// the observed shipping bandwidth: rounds stop as soon as the projected
+	// time to ship the remaining dirty set fits the budget.
+	DowntimeBudget simclock.Duration
+	// Streams is how many parallel Snapify-IO streams each round ships
+	// over; zero inherits MigrateOptions.Capture.Streams (or 1).
+	Streams int
+	// ChunkBytes is the digest/ship granularity; zero inherits
+	// MigrateOptions.Capture.ChunkBytes (or the checkpointer default).
+	ChunkBytes int64
+}
+
+// Enabled reports whether pre-copy is on.
+func (o *PrecopyOptions) Enabled() bool { return o.MaxRounds > 0 }
+
+// validate checks a PrecopyOptions for internal consistency.
+func (o *PrecopyOptions) validate() error {
+	if o.MaxRounds < 0 {
+		return fmt.Errorf("core: PrecopyOptions.MaxRounds is %d; want 0 (stop-the-world) or a positive round bound", o.MaxRounds)
+	}
+	if o.DirtyFloorBytes < 0 {
+		return fmt.Errorf("core: PrecopyOptions.DirtyFloorBytes is %d; want a non-negative byte floor", o.DirtyFloorBytes)
+	}
+	if o.DowntimeBudget < 0 {
+		return errors.New("core: PrecopyOptions.DowntimeBudget is negative; want a non-negative virtual duration")
+	}
+	if o.Streams < 0 {
+		return fmt.Errorf("core: PrecopyOptions.Streams is %d; want 0 (inherit) or a positive stream count", o.Streams)
+	}
+	if o.ChunkBytes < 0 {
+		return fmt.Errorf("core: PrecopyOptions.ChunkBytes is %d; want 0 (inherit) or a positive chunk size", o.ChunkBytes)
+	}
+	if o.MaxRounds == 0 && (o.DirtyFloorBytes > 0 || o.DowntimeBudget > 0 || o.Streams > 0 || o.ChunkBytes > 0) {
+		return errors.New("core: PrecopyOptions fields are set but MaxRounds is 0; set MaxRounds > 0 to enable pre-copy")
+	}
+	return nil
+}
+
+// MigrateOptions configures a migration (Migrate, NewMigration): the
+// destination, the snapshot directory, and the capture/restore/pre-copy
+// behavior. A zero Precopy gives the paper's stop-the-world migration.
+type MigrateOptions struct {
+	// DeviceTo is the destination coprocessor.
+	DeviceTo simnet.NodeID
+	// Path is the snapshot directory on the host file system.
+	Path string
+	// StageLocalStoreOnHost keeps the saved local store on the host
+	// instead of streaming it device-to-device during the pause (the
+	// device-direct path is the paper's default for migration).
+	StageLocalStoreOnHost bool
+	// Precopy turns the migration into a live one: iterative rounds ship
+	// the image while the process runs, and only the final delta is
+	// captured under pause. Pre-copy requires the dedup store data path;
+	// enabling it forces Capture.Store.Enabled and Restore.Store.Enabled.
+	Precopy PrecopyOptions
+	// Capture configures the final (paused) capture.
+	Capture CaptureOptions
+	// Restore configures the restore on the destination card.
+	Restore RestoreOptions
+}
+
+// validate checks a MigrateOptions against the handle being migrated.
+func (o *MigrateOptions) validate(cp *coi.Process) error {
+	if o.Path == "" {
+		return errors.New("core: MigrateOptions.Path is empty; set the snapshot directory")
+	}
+	if o.DeviceTo == cp.DeviceNode() {
+		return fmt.Errorf("core: migration target %v is the current device", o.DeviceTo)
+	}
+	if o.DeviceTo == simnet.HostNode {
+		return errors.New("core: MigrateOptions.DeviceTo is the host; migration targets a coprocessor")
+	}
+	if err := o.Precopy.validate(); err != nil {
+		return err
+	}
+	if err := o.Capture.validate(); err != nil {
+		return err
+	}
+	if err := o.Restore.validate(); err != nil {
+		return err
+	}
+	if o.Precopy.Enabled() && cp.Platform().Store == nil {
+		return errors.New("core: pre-copy migration needs a snapshot store; build the platform with one")
+	}
+	return nil
+}
+
+// normalized returns a copy of o with the pre-copy defaults resolved: the
+// store data path is forced on (pre-copy rounds live in the store's
+// have/need negotiation), the chunk geometry is made consistent between
+// rounds and the final capture (the dirty diff compares digest lists, so
+// both must chunk identically), and stream counts inherit sensibly.
+func (o MigrateOptions) normalized() MigrateOptions {
+	if !o.Precopy.Enabled() {
+		return o
+	}
+	o.Capture.Store.Enabled = true
+	o.Restore.Store.Enabled = true
+	if o.Precopy.ChunkBytes == 0 {
+		o.Precopy.ChunkBytes = o.Capture.ChunkBytes
+	}
+	o.Capture.ChunkBytes = o.Precopy.ChunkBytes
+	if o.Precopy.Streams == 0 {
+		o.Precopy.Streams = o.Capture.Streams
+	}
+	if o.Precopy.Streams < 1 {
+		o.Precopy.Streams = 1
+	}
+	return o
+}

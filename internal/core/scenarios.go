@@ -1,26 +1,22 @@
 package core
 
 import (
-	"fmt"
-
 	"snapify/internal/coi"
 	"snapify/internal/simnet"
 )
 
 // The three API use scenarios of Section 5, composed from the five
 // primitives exactly as the paper's sample code does (Fig 6 and Fig 7).
+// Each takes its options struct directly; the zero value is the paper's
+// behavior. Migration lives in migration.go — see Migrate and Migration.
 
 // Swapout captures and terminates the offload process, freeing the card
 // for another tenant (snapify_swapout, Fig 6a). The returned Snapshot
-// represents the swapped-out process and is the input to Swapin.
-func Swapout(path string, cp *coi.Process) (*Snapshot, error) {
-	return SwapoutOpts(path, cp, CaptureOptions{})
-}
-
-// SwapoutOpts is Swapout with explicit capture options (parallel streams,
-// retry, the dedup store). Terminate is forced on — a swap-out that left
-// the process running would defeat its purpose.
-func SwapoutOpts(path string, cp *coi.Process, opts CaptureOptions) (*Snapshot, error) {
+// represents the swapped-out process and is the input to Swapin. opts
+// selects parallel streams, retry, and the dedup store; Terminate is
+// forced on — a swap-out that left the process running would defeat its
+// purpose.
+func Swapout(path string, cp *coi.Process, opts CaptureOptions) (*Snapshot, error) {
 	s := NewSnapshot(path, cp)
 	if err := s.Pause(); err != nil {
 		return nil, err
@@ -36,14 +32,10 @@ func SwapoutOpts(path string, cp *coi.Process, opts CaptureOptions) (*Snapshot, 
 }
 
 // Swapin restores a swapped-out offload process on the given device and
-// resumes it (snapify_swapin, Fig 6a). It returns the revived handle.
-func Swapin(s *Snapshot, deviceTo simnet.NodeID) (*coi.Process, error) {
-	return SwapinOpts(s, deviceTo, RestoreOptions{})
-}
-
-// SwapinOpts is Swapin with explicit restore options (parallel range
-// streams, retry, the store-manifest pre-check).
-func SwapinOpts(s *Snapshot, deviceTo simnet.NodeID, opts RestoreOptions) (*coi.Process, error) {
+// resumes it (snapify_swapin, Fig 6a), returning the revived handle. opts
+// selects parallel range streams, retry, and the store-manifest
+// pre-check.
+func Swapin(s *Snapshot, deviceTo simnet.NodeID, opts RestoreOptions) (*coi.Process, error) {
 	cp, err := s.Restore(deviceTo, opts)
 	if err != nil {
 		return nil, err
@@ -52,39 +44,4 @@ func SwapinOpts(s *Snapshot, deviceTo simnet.NodeID, opts RestoreOptions) (*coi.
 		return nil, err
 	}
 	return cp, nil
-}
-
-// Migrate moves the offload process to another coprocessor on the same
-// machine (snapify_migration, Fig 7): a swap-out whose local store streams
-// directly to the destination card, followed by a swap-in there.
-func Migrate(cp *coi.Process, deviceTo simnet.NodeID, path string) (*coi.Process, *Snapshot, error) {
-	return MigrateOpts(cp, deviceTo, path, CaptureOptions{}, RestoreOptions{})
-}
-
-// MigrateOpts is Migrate with explicit capture and restore options; a
-// store-enabled migration moves the context through the dedup store while
-// the local store still streams device-to-device.
-func MigrateOpts(cp *coi.Process, deviceTo simnet.NodeID, path string, copts CaptureOptions, ropts RestoreOptions) (*coi.Process, *Snapshot, error) {
-	if deviceTo == cp.DeviceNode() {
-		return nil, nil, fmt.Errorf("core: migration target %v is the current device", deviceTo)
-	}
-	s := NewSnapshot(path, cp)
-	// The local store moves device-to-device over PCIe, not through the
-	// host (Section 7, "Process migration").
-	s.LocalStoreTarget = deviceTo
-	if err := s.Pause(); err != nil {
-		return nil, nil, err
-	}
-	copts.Terminate = true
-	if err := s.Capture(copts); err != nil {
-		return nil, nil, err
-	}
-	if err := s.Wait(); err != nil {
-		return nil, nil, err
-	}
-	ncp, err := SwapinOpts(s, deviceTo, ropts)
-	if err != nil {
-		return nil, nil, err
-	}
-	return ncp, s, nil
 }

@@ -47,7 +47,7 @@ func seedReplayRun(t *testing.T, seed uint64) (trace []byte, outcome string) {
 	if err != nil {
 		outcome = "capture error: " + err.Error()
 	} else {
-		if _, rerr := Swapin(s, 1); rerr != nil {
+		if _, rerr := Swapin(s, 1, RestoreOptions{}); rerr != nil {
 			t.Fatalf("swap-in after seeded capture: %v", rerr)
 		}
 		if got := r.count(t, 40); got != refSum(40) {

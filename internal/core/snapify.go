@@ -49,11 +49,11 @@ type Snapshot struct {
 	// Proc is the offload process handle (m_process).
 	Proc *coi.Process
 
-	// LocalStoreTarget is the node the pause phase streams the local store
-	// to. Zero (the host) for checkpoint and swap; process migration sets
-	// the destination card so the local store moves device-to-device
+	// localStoreTarget is the node the pause phase streams the local store
+	// to. The host for checkpoint and swap; a migration (MigrateOptions)
+	// sets the destination card so the local store moves device-to-device
 	// (Section 7, "Process migration").
-	LocalStoreTarget simnet.NodeID
+	localStoreTarget simnet.NodeID
 
 	sem chan struct{} // m_sem
 
@@ -101,6 +101,14 @@ type Report struct {
 
 	// Resume.
 	Resume simclock.Duration
+
+	// Live migration. Precopy records each pre-copy round a Migration
+	// session ran; Downtime is the stop-everything window of the
+	// switch-over (pause through resume) — the quantity live migration
+	// exists to shrink. A stop-the-world Migrate fills Downtime too, with
+	// an empty Precopy.
+	Precopy  []PrecopyRound
+	Downtime simclock.Duration
 }
 
 // PauseTotal returns the end-to-end pause duration (the "pause" bar of
@@ -117,7 +125,7 @@ func (r *Report) RestoreTotal() simclock.Duration {
 // NewSnapshot returns a snapshot descriptor for the given directory and
 // process handle.
 func NewSnapshot(path string, cp *coi.Process) *Snapshot {
-	return &Snapshot{Path: path, Proc: cp, LocalStoreTarget: simnet.HostNode, sem: make(chan struct{}, 1)}
+	return &Snapshot{Path: path, Proc: cp, localStoreTarget: simnet.HostNode, sem: make(chan struct{}, 1)}
 }
 
 // hostTrack returns the host application's lane in the trace.
@@ -247,7 +255,7 @@ func (s *Snapshot) Pause() error {
 	align := start + handshake + hostDrain
 	payload := coi.PutU32(uint32(cp.ID()))
 	payload = binary.BigEndian.AppendUint64(payload, uint64(align))
-	payload = coi.AppendU32(payload, uint32(s.LocalStoreTarget))
+	payload = coi.AppendU32(payload, uint32(s.localStoreTarget))
 	payload = coi.AppendU32(payload, uint32(len(s.Path)))
 	payload = append(payload, s.Path...)
 	resp, err := cp.DaemonRequest(coi.OpSnapifyDrain, payload, coi.OpSnapifyDrainResp)
@@ -340,6 +348,9 @@ func (s *Snapshot) CaptureDelta(opts CaptureOptions) error {
 }
 
 func (s *Snapshot) captureMode(opts CaptureOptions, mode uint8) error {
+	if err := opts.validate(); err != nil {
+		return err
+	}
 	s.mu.Lock()
 	paused := s.paused
 	s.mu.Unlock()
@@ -489,6 +500,9 @@ func (s *Snapshot) RestoreChain(baseDir string, deltaDirs []string, device simne
 	plat := cp.Platform()
 	model := plat.Model()
 
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	if st := cp.State(); st != coi.StateSwapped {
 		return nil, fmt.Errorf("core: restore requires a swapped-out handle, have %s", st)
 	}
@@ -516,7 +530,7 @@ func (s *Snapshot) RestoreChain(baseDir string, deltaDirs []string, device simne
 	payload = append(payload, cp.BinaryName()...)
 	payload = coi.AppendU32(payload, uint32(len(baseDir)))
 	payload = append(payload, baseDir...)
-	payload = coi.AppendU32(payload, uint32(s.LocalStoreTarget))
+	payload = coi.AppendU32(payload, uint32(s.localStoreTarget))
 	payload = coi.AppendU32(payload, uint32(len(s.Path)))
 	payload = append(payload, s.Path...)
 	payload = coi.AppendU32(payload, uint32(len(deltaDirs)))

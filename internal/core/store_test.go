@@ -32,7 +32,7 @@ func TestStoreSwapRoundTrip(t *testing.T) {
 	r.count(t, 33)
 
 	ctx := "/snap/store/" + coi.ContextFileName
-	snap, err := SwapoutOpts("/snap/store", r.cp, storeOpts())
+	snap, err := Swapout("/snap/store", r.cp, storeOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestStoreSwapRoundTrip(t *testing.T) {
 
 	ropts := RestoreOptions{}
 	ropts.Store.Enabled = true
-	if _, err := SwapinOpts(snap, 1, ropts); err != nil {
+	if _, err := Swapin(snap, 1, ropts); err != nil {
 		t.Fatal(err)
 	}
 	back := make([]byte, len(pattern))
@@ -74,14 +74,14 @@ func TestStoreSwapRoundTrip(t *testing.T) {
 
 	// A second cycle re-ships only what changed: the counter page, not
 	// the 512 KiB buffer or the untouched background.
-	snap2, err := SwapoutOpts("/snap/store", r.cp, storeOpts())
+	snap2, err := Swapout("/snap/store", r.cp, storeOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if snap2.Report.ShippedBytes >= snap2.Report.SnapshotBytes {
 		t.Errorf("warm swap shipped %d of %d bytes: no dedup", snap2.Report.ShippedBytes, snap2.Report.SnapshotBytes)
 	}
-	if _, err := SwapinOpts(snap2, 1, ropts); err != nil {
+	if _, err := Swapin(snap2, 1, ropts); err != nil {
 		t.Fatal(err)
 	}
 	if got := r.count(t, 99); got != refSum(99) {
@@ -103,17 +103,17 @@ func TestStoreSwapRoundTrip(t *testing.T) {
 func TestStoreRestorePrecheckFailsFast(t *testing.T) {
 	r := newRig(t, "core_store_precheck", 1)
 	r.count(t, 10)
-	snap, err := SwapoutOpts("/snap/nostore", r.cp, chaosOpts()) // plain capture
+	snap, err := Swapout("/snap/nostore", r.cp, chaosOpts()) // plain capture
 	if err != nil {
 		t.Fatal(err)
 	}
 	ropts := RestoreOptions{}
 	ropts.Store.Enabled = true
-	if _, err := SwapinOpts(snap, 1, ropts); err == nil {
+	if _, err := Swapin(snap, 1, ropts); err == nil {
 		t.Fatal("store-asserting restore of a plain snapshot must fail fast")
 	}
 	// The plain restore still works.
-	if _, err := SwapinOpts(snap, 1, RestoreOptions{}); err != nil {
+	if _, err := Swapin(snap, 1, RestoreOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if got := r.count(t, 20); got != refSum(20) {

@@ -153,11 +153,11 @@ func DedupSwap(imageBytes int64, cycles int) (*DedupSwapResult, error) {
 			var ropts core.RestoreOptions
 			copts.Store.Enabled = storeMode
 			ropts.Store.Enabled = storeMode
-			s, err := core.SwapoutOpts(fmt.Sprintf("%s/cycle%d", pathPrefix, c), in.CP, copts)
+			s, err := core.Swapout(fmt.Sprintf("%s/cycle%d", pathPrefix, c), in.CP, copts)
 			if err != nil {
 				return nil, fmt.Errorf("cycle %d swapout: %w", c, err)
 			}
-			cp, err := core.SwapinOpts(s, simnet.NodeID(1), ropts)
+			cp, err := core.Swapin(s, simnet.NodeID(1), ropts)
 			if err != nil {
 				return nil, fmt.Errorf("cycle %d swapin: %w", c, err)
 			}

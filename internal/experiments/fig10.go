@@ -115,7 +115,7 @@ func fig10One(spec workloads.Spec) (*Fig10Row, error) {
 	// (d): migrate the restarted process to the other card; the local
 	// store streams device-to-device.
 	cp := app2.Proc()
-	_, msnap, err := core.Migrate(cp, 2, dir+"/mig")
+	_, msnap, err := core.Migrate(cp, core.MigrateOptions{DeviceTo: 2, Path: dir + "/mig"})
 	if err != nil {
 		return nil, fmt.Errorf("migrate: %w", err)
 	}
@@ -125,7 +125,7 @@ func fig10One(spec workloads.Spec) (*Fig10Row, error) {
 	row.MigTotal = row.MigPause + row.MigCapture + row.MigRestore + msnap.Report.Resume
 
 	// (e)+(f): swap out and back in.
-	ssnap, err := core.Swapout(dir+"/swap", cp)
+	ssnap, err := core.Swapout(dir+"/swap", cp, core.CaptureOptions{})
 	if err != nil {
 		return nil, fmt.Errorf("swapout: %w", err)
 	}
@@ -133,7 +133,7 @@ func fig10One(spec workloads.Spec) (*Fig10Row, error) {
 	row.SwapOutCapture = ssnap.Report.Capture
 	row.SwapOutTotal = row.SwapOutPause + row.SwapOutCapture
 
-	if _, err := core.Swapin(ssnap, 2); err != nil {
+	if _, err := core.Swapin(ssnap, 2, core.RestoreOptions{}); err != nil {
 		return nil, fmt.Errorf("swapin: %w", err)
 	}
 	row.SwapInRestore = ssnap.Report.RestoreTotal()

@@ -1,0 +1,361 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"snapify/internal/coi"
+	"snapify/internal/core"
+	"snapify/internal/obs"
+	"snapify/internal/phi"
+	"snapify/internal/platform"
+	"snapify/internal/simclock"
+	"snapify/internal/trace"
+	"snapify/internal/workloads"
+)
+
+// MigrateSweepSizes is the full image grid: live-migration downtime must
+// stay roughly flat across it while stop-the-world downtime grows
+// linearly, because the workload's per-call dirty set is fixed.
+var MigrateSweepSizes = []int64{
+	1 * simclock.GiB, 2 * simclock.GiB, 4 * simclock.GiB, 8 * simclock.GiB,
+}
+
+// MigrateSweepSmokeSizes is the CI grid: small images, same shape rules.
+var MigrateSweepSmokeSizes = []int64{128 * simclock.MiB, 256 * simclock.MiB}
+
+// MigrateSweepRounds bounds each live migration's pre-copy iterations.
+const MigrateSweepRounds = 4
+
+// MigrateRow is one image size's stop-the-world vs live comparison.
+type MigrateRow struct {
+	ImageBytes int64 `json:"image_bytes"`
+	// StwDowntimeNs is the stop-the-world migration's downtime: the
+	// process stands still for the entire capture and restore.
+	StwDowntimeNs int64 `json:"stw_downtime_ns"`
+	// LiveDowntimeNs is the live migration's downtime: pause, final delta
+	// capture, adoption restore, resume.
+	LiveDowntimeNs int64 `json:"live_downtime_ns"`
+	// DowntimeRatio is live/stw — the headline win.
+	DowntimeRatio float64 `json:"downtime_ratio"`
+	// Rounds is how many pre-copy rounds ran before the switch-over.
+	Rounds int `json:"rounds"`
+	// PrecopyShippedBytes is what the rounds moved while the process ran.
+	PrecopyShippedBytes int64 `json:"precopy_shipped_bytes"`
+	// FinalDirtyBytes is the last round's dirty set — what was left for
+	// the paused final capture.
+	FinalDirtyBytes int64 `json:"final_dirty_bytes"`
+	// ChecksumsMatch is the transparency probe: the live-migrated, the
+	// stop-the-world-migrated, and the undisturbed run all finish with the
+	// same device-side checksum.
+	ChecksumsMatch bool `json:"checksums_match"`
+}
+
+// MigrateResult is the full sweep.
+type MigrateResult struct {
+	Benchmark string       `json:"benchmark"`
+	Rows      []MigrateRow `json:"rows"`
+	// RoundSpans / DowntimeSpans count the largest run's precopy_round and
+	// migration_downtime spans on the trace (observability acceptance).
+	RoundSpans    int `json:"round_spans"`
+	DowntimeSpans int `json:"downtime_spans"`
+	// ChunksAfterGC is the largest live run's store population after every
+	// manifest was released and a GC ran: zero, or a refcount leaked.
+	ChunksAfterGC int `json:"chunks_after_gc"`
+
+	tracer *obs.Tracer
+}
+
+// TraceJSON exports the largest live run's virtual-clock trace as Chrome
+// trace-event JSON: the precopy_round spans on the host track, the
+// per-round precopy_stream/precopy_digest work on the card tracks, and
+// the migration_downtime span marking the switch-over.
+func (r *MigrateResult) TraceJSON() []byte { return r.tracer.ChromeTrace() }
+
+// migrateSpec is the sweep's workload at one image size: the heap scales,
+// the per-call dirty set does not (workloads touch a fixed working set
+// each call), so pre-copy converges to the same final delta at every
+// size. InPerCall must stay nonzero and within LocalStore: the kernel
+// checksums the input window, and a zero transfer would leave it reading
+// the buffer's per-launch background seed, making the checksum depend on
+// the instance rather than the computation.
+func migrateSpec(imageBytes int64) workloads.Spec {
+	return workloads.Spec{
+		Code: "MG", Name: "migration sweep",
+		HostMem:        16 * simclock.MiB,
+		DeviceMem:      imageBytes,
+		LocalStore:     4 * simclock.MiB,
+		Calls:          10,
+		StepsPerCall:   2,
+		ComputePerCall: 2 * time.Millisecond,
+		InPerCall:      1 * simclock.MiB,
+	}
+}
+
+// migrateOne runs both migration flavors at one image size on fresh
+// platforms (deterministic replays, so the checksums are comparable) and
+// returns the row plus the live platform for trace/store inspection.
+func migrateOne(imageBytes int64) (*MigrateRow, *platform.Platform, error) {
+	newPlat := func() (*platform.Platform, error) {
+		p, err := platform.New(platform.Config{Server: phi.ServerConfig{
+			Devices: 2,
+			Device:  phi.DeviceConfig{MemBytes: imageBytes + 2*simclock.GiB},
+		}})
+		if err != nil {
+			return nil, err
+		}
+		if err := coi.StartDaemons(p); err != nil {
+			return nil, err
+		}
+		return p, nil
+	}
+	spec := migrateSpec(imageBytes)
+	row := &MigrateRow{ImageBytes: imageBytes}
+
+	// Undisturbed reference checksum.
+	refPlat, err := newPlat()
+	if err != nil {
+		return nil, nil, err
+	}
+	refSum, err := func() (uint64, error) {
+		defer coi.StopDaemons(refPlat)
+		defer refPlat.IO.Stop()
+		in, err := workloads.Launch(refPlat, spec, 1)
+		if err != nil {
+			return 0, err
+		}
+		defer in.Close()
+		return in.Run()
+	}()
+	if err != nil {
+		return nil, nil, fmt.Errorf("reference run: %w", err)
+	}
+
+	// Stop-the-world.
+	stwPlat, err := newPlat()
+	if err != nil {
+		return nil, nil, err
+	}
+	stwSum, err := func() (uint64, error) {
+		defer coi.StopDaemons(stwPlat)
+		defer stwPlat.IO.Stop()
+		in, err := workloads.Launch(stwPlat, spec, 1)
+		if err != nil {
+			return 0, err
+		}
+		defer in.Close()
+		if _, err := in.RunCalls(2); err != nil {
+			return 0, err
+		}
+		_, snap, err := core.Migrate(in.CP, core.MigrateOptions{DeviceTo: 2, Path: "/bench/mig/stw"})
+		if err != nil {
+			return 0, err
+		}
+		row.StwDowntimeNs = int64(snap.Report.Downtime)
+		return in.Run()
+	}()
+	if err != nil {
+		return nil, nil, fmt.Errorf("stop-the-world: %w", err)
+	}
+
+	// Live: drive the session by hand, one offload call between rounds —
+	// the process computes while its image moves.
+	livePlat, err := newPlat()
+	if err != nil {
+		return nil, nil, err
+	}
+	liveSum, err := func() (uint64, error) {
+		in, err := workloads.Launch(livePlat, spec, 1)
+		if err != nil {
+			return 0, err
+		}
+		defer in.Close()
+		if _, err := in.RunCalls(2); err != nil {
+			return 0, err
+		}
+		m, err := core.NewMigration(in.CP, core.MigrateOptions{
+			DeviceTo: 2,
+			Path:     "/bench/mig/live",
+			Precopy:  core.PrecopyOptions{MaxRounds: MigrateSweepRounds},
+		})
+		if err != nil {
+			return 0, err
+		}
+		for {
+			rec, done, err := m.Round()
+			if err != nil {
+				return 0, fmt.Errorf("round %d: %w", rec.Round, err)
+			}
+			row.Rounds = rec.Round
+			row.PrecopyShippedBytes += rec.ShippedBytes
+			row.FinalDirtyBytes = rec.DirtyBytes
+			if done {
+				break
+			}
+			if !in.Done() {
+				if _, err := in.RunCalls(1); err != nil {
+					return 0, err
+				}
+			}
+		}
+		if _, err := m.Finish(); err != nil {
+			return 0, err
+		}
+		row.LiveDowntimeNs = int64(m.Snapshot().Report.Downtime)
+		return in.Run()
+	}()
+	if err != nil {
+		coi.StopDaemons(livePlat)
+		livePlat.IO.Stop()
+		return nil, nil, fmt.Errorf("live: %w", err)
+	}
+
+	if row.StwDowntimeNs > 0 {
+		row.DowntimeRatio = float64(row.LiveDowntimeNs) / float64(row.StwDowntimeNs)
+	}
+	row.ChecksumsMatch = refSum == stwSum && refSum == liveSum
+	return row, livePlat, nil
+}
+
+// MigrateSweep compares stop-the-world and live migration downtime across
+// the image-size grid at a fixed per-call dirty rate. Each size runs an
+// undisturbed reference, a stop-the-world migration, and a session-driven
+// live migration with work interleaved between rounds; the largest live
+// run's platform is kept for trace and store-hygiene inspection.
+func MigrateSweep(sizes []int64) (*MigrateResult, error) {
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("migrate sweep: empty size grid")
+	}
+	res := &MigrateResult{Benchmark: "migrate-sweep"}
+	var last *platform.Platform
+	for _, size := range sizes {
+		row, plat, err := migrateOne(size)
+		if err != nil {
+			if last != nil {
+				coi.StopDaemons(last)
+				last.IO.Stop()
+			}
+			return nil, fmt.Errorf("migrate sweep %s: %w", sizeLabel(size), err)
+		}
+		res.Rows = append(res.Rows, *row)
+		if last != nil {
+			coi.StopDaemons(last)
+			last.IO.Stop()
+		}
+		last = plat
+	}
+	defer coi.StopDaemons(last)
+	defer last.IO.Stop()
+
+	res.tracer = last.Obs.TracerOf()
+	for _, sp := range res.tracer.Spans() {
+		switch sp.Name {
+		case "precopy_round":
+			res.RoundSpans++
+		case "migration_downtime":
+			res.DowntimeSpans++
+		}
+	}
+
+	// Store hygiene on the largest run: release everything, collect, and
+	// the store must be empty — pre-copy's intermediate manifests and the
+	// aborted-round machinery may not leak a single chunk.
+	for _, p := range last.Store.List() {
+		if _, err := last.Store.Release(p); err != nil {
+			return nil, fmt.Errorf("releasing %s: %w", p, err)
+		}
+	}
+	if _, _, err := last.Store.GC(0); err != nil {
+		return nil, fmt.Errorf("gc: %w", err)
+	}
+	res.ChunksAfterGC = last.Store.Stats().Chunks
+	return res, nil
+}
+
+// Render prints the sweep in the tables' layout.
+func (r *MigrateResult) Render() string {
+	t := trace.New("Migration: stop-the-world vs live (pre-copy) downtime, fixed dirty rate",
+		"Image", "STW downtime (s)", "Live downtime (ms)", "Ratio", "Rounds", "Pre-copy ship (MiB)", "Checksums")
+	for _, row := range r.Rows {
+		t.Row(sizeLabel(row.ImageBytes),
+			fmt.Sprintf("%.2f", simclock.Duration(row.StwDowntimeNs).Seconds()),
+			fmt.Sprintf("%.0f", simclock.Duration(row.LiveDowntimeNs).Seconds()*1000),
+			fmt.Sprintf("%.3f", row.DowntimeRatio),
+			fmt.Sprintf("%d", row.Rounds),
+			fmt.Sprintf("%d", row.PrecopyShippedBytes/simclock.MiB),
+			fmt.Sprintf("%v", row.ChecksumsMatch))
+	}
+	return t.String() + fmt.Sprintf("\nspans: %d precopy_round, %d migration_downtime; chunks after release-all + GC: %d",
+		r.RoundSpans, r.DowntimeSpans, r.ChunksAfterGC)
+}
+
+// CheckShape verifies the acceptance claims: live downtime undercuts
+// stop-the-world at every size and by at least 6.7x (ratio <= 0.15) at
+// the largest; stop-the-world downtime grows with the image while live
+// downtime stays roughly flat (max/min <= 3x); every live run converged
+// through at least two rounds with a final delta far below the image;
+// all three checksums agree at every size; the trace carries the
+// per-round and downtime spans; and the store is empty after GC.
+func (r *MigrateResult) CheckShape() error {
+	if len(r.Rows) == 0 {
+		return fmt.Errorf("migrate sweep: no rows")
+	}
+	minLive, maxLive := r.Rows[0].LiveDowntimeNs, r.Rows[0].LiveDowntimeNs
+	for i, row := range r.Rows {
+		if !row.ChecksumsMatch {
+			return fmt.Errorf("migrate sweep %s: checksums diverge — a migration was not byte-identical", sizeLabel(row.ImageBytes))
+		}
+		if row.LiveDowntimeNs >= row.StwDowntimeNs {
+			return fmt.Errorf("migrate sweep %s: live downtime %v not below stop-the-world %v",
+				sizeLabel(row.ImageBytes), simclock.Duration(row.LiveDowntimeNs), simclock.Duration(row.StwDowntimeNs))
+		}
+		if row.Rounds < 2 {
+			return fmt.Errorf("migrate sweep %s: only %d pre-copy rounds; convergence needs at least a full pass and a delta pass",
+				sizeLabel(row.ImageBytes), row.Rounds)
+		}
+		if row.FinalDirtyBytes*4 > row.ImageBytes {
+			return fmt.Errorf("migrate sweep %s: final delta %d bytes did not converge below a quarter of the image",
+				sizeLabel(row.ImageBytes), row.FinalDirtyBytes)
+		}
+		if i > 0 && row.StwDowntimeNs <= r.Rows[i-1].StwDowntimeNs {
+			return fmt.Errorf("migrate sweep: stop-the-world downtime must grow with the image, but %s (%v) <= %s (%v)",
+				sizeLabel(row.ImageBytes), simclock.Duration(row.StwDowntimeNs),
+				sizeLabel(r.Rows[i-1].ImageBytes), simclock.Duration(r.Rows[i-1].StwDowntimeNs))
+		}
+		if row.LiveDowntimeNs < minLive {
+			minLive = row.LiveDowntimeNs
+		}
+		if row.LiveDowntimeNs > maxLive {
+			maxLive = row.LiveDowntimeNs
+		}
+	}
+	last := r.Rows[len(r.Rows)-1]
+	if last.DowntimeRatio > 0.15 {
+		return fmt.Errorf("migrate sweep: live/stw downtime ratio %.3f at %s, want <= 0.15",
+			last.DowntimeRatio, sizeLabel(last.ImageBytes))
+	}
+	if minLive > 0 && float64(maxLive)/float64(minLive) > 3.0 {
+		return fmt.Errorf("migrate sweep: live downtime not flat across sizes: min %v, max %v (> 3x spread)",
+			simclock.Duration(minLive), simclock.Duration(maxLive))
+	}
+	if r.RoundSpans < last.Rounds {
+		return fmt.Errorf("migrate sweep: %d precopy_round spans for %d rounds", r.RoundSpans, last.Rounds)
+	}
+	if r.DowntimeSpans == 0 {
+		return fmt.Errorf("migrate sweep: no migration_downtime span on the trace")
+	}
+	if r.ChunksAfterGC != 0 {
+		return fmt.Errorf("migrate sweep: %d chunks survive release-all + GC — a refcount leaked", r.ChunksAfterGC)
+	}
+	return nil
+}
+
+// JSON renders the sweep as the BENCH_migrate.json document.
+func (r *MigrateResult) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}

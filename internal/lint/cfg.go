@@ -78,10 +78,10 @@ func BuildCFG(body *ast.BlockStmt) *CFG {
 }
 
 type loopFrame struct {
-	label          string
-	brk, cont      *Block
-	isSwitchOrSel  bool
-	fallthroughTo  *Block
+	label         string
+	brk, cont     *Block
+	isSwitchOrSel bool
+	fallthroughTo *Block
 }
 
 type cfgBuilder struct {
@@ -540,7 +540,9 @@ func FactsAt(cfg *CFG, in map[*Block]Facts, node ast.Node, transfer func(n ast.N
 
 // sortedFactPositions renders fact keys that carry positions in a stable
 // order, for deterministic messages.
-func sortedFactPositions(fset interface{ Position(token.Pos) token.Position }, facts Facts, posOf func(any) token.Pos) []string {
+func sortedFactPositions(fset interface {
+	Position(token.Pos) token.Position
+}, facts Facts, posOf func(any) token.Pos) []string {
 	var ps []token.Pos
 	for k := range facts {
 		if p := posOf(k); p.IsValid() {

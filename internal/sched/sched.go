@@ -69,6 +69,13 @@ type Scheduler struct {
 	Capture core.CaptureOptions
 	// Restore configures every swap-in and migration restore.
 	Restore core.RestoreOptions
+	// Precopy configures live evacuation: with MaxRounds > 0 an Evacuate
+	// pre-copies each job's image to the target card while the job keeps
+	// running and pauses it only for the final delta. The zero value
+	// defaults to a bounded live migration when the scheduler's captures
+	// already go through the dedup store (pre-copy needs it), and to the
+	// paper's stop-the-world migration otherwise.
+	Precopy core.PrecopyOptions
 
 	mu     sync.Mutex
 	jobs   []*Job
@@ -149,7 +156,7 @@ func (s *Scheduler) pickVictim(device simnet.NodeID) *Job {
 }
 
 func (s *Scheduler) swapOut(j *Job) error {
-	snap, err := core.SwapoutOpts(fmt.Sprintf("/sched/job%d", j.ID), j.Inst.CP, s.Capture)
+	snap, err := core.Swapout(fmt.Sprintf("/sched/job%d", j.ID), j.Inst.CP, s.Capture)
 	if err != nil {
 		return fmt.Errorf("sched: swapping out job %d: %w", j.ID, err)
 	}
@@ -166,7 +173,7 @@ func (s *Scheduler) swapIn(j *Job, device simnet.NodeID) error {
 	if err := s.makeRoomExcept(device, footprint(j.Spec), j); err != nil {
 		return err
 	}
-	if _, err := core.SwapinOpts(j.snapshot, device, s.Restore); err != nil {
+	if _, err := core.Swapin(j.snapshot, device, s.Restore); err != nil {
 		return fmt.Errorf("sched: swapping in job %d: %w", j.ID, err)
 	}
 	s.mu.Lock()
@@ -258,8 +265,23 @@ func (s *Scheduler) Drop(j *Job) {
 	s.mu.Unlock()
 }
 
+// evacPrecopy resolves the evacuation pre-copy policy: the explicit
+// Precopy options when set, a bounded live migration when captures
+// already route through the dedup store, stop-the-world otherwise.
+func (s *Scheduler) evacPrecopy() core.PrecopyOptions {
+	if s.Precopy.Enabled() {
+		return s.Precopy
+	}
+	if s.Capture.Store.Enabled && s.plat.Store != nil {
+		return core.PrecopyOptions{MaxRounds: 3}
+	}
+	return core.PrecopyOptions{}
+}
+
 // Evacuate migrates every resident job off device (a fault predictor
-// flagged it, Section 1) onto target. Swapped-out jobs simply retarget.
+// flagged it, Section 1) onto target — live (pre-copy) when the
+// scheduler's evacuation policy allows it, so the job keeps computing
+// while its image moves. Swapped-out jobs simply retarget.
 func (s *Scheduler) Evacuate(device, target simnet.NodeID) error {
 	if device == target {
 		return errors.New("sched: evacuation target is the failing card")
@@ -270,7 +292,14 @@ func (s *Scheduler) Evacuate(device, target simnet.NodeID) error {
 			if err := s.makeRoomExcept(target, footprint(j.Spec), j); err != nil {
 				return err
 			}
-			if _, _, err := core.MigrateOpts(j.Inst.CP, target, fmt.Sprintf("/sched/evac%d", j.ID), s.Capture, s.Restore); err != nil {
+			opts := core.MigrateOptions{
+				DeviceTo: target,
+				Path:     fmt.Sprintf("/sched/evac%d", j.ID),
+				Precopy:  s.evacPrecopy(),
+				Capture:  s.Capture,
+				Restore:  s.Restore,
+			}
+			if _, _, err := core.Migrate(j.Inst.CP, opts); err != nil {
 				return fmt.Errorf("sched: migrating job %d: %w", j.ID, err)
 			}
 			s.mu.Lock()

@@ -396,6 +396,10 @@ func (d *Daemon) remoteHandler(ep *scif.Endpoint) {
 		d.serveNegotiate(ep, raw)
 		return
 	}
+	if len(raw) > 0 && raw[0] == msgStoreDigests {
+		d.serveDigestPlan(ep, raw)
+		return
+	}
 	u, err := expect(raw, msgOpen)
 	if err != nil {
 		return
@@ -494,6 +498,58 @@ func (d *Daemon) serveNegotiate(ep *scif.Endpoint, raw []byte) {
 		w.i64(int64(len(need)))
 		for _, idx := range need {
 			w.i64(int64(idx))
+		}
+	})
+}
+
+// serveDigestPlan answers a digest-plan request against the attached
+// chunk store: the live-migration destination asking "what should I be
+// staging for this path right now?".
+func (d *Daemon) serveDigestPlan(ep *scif.Endpoint, raw []byte) {
+	u := &unwire{buf: raw}
+	u.u8()
+	path := u.str()
+	fail := func(msg string) {
+		d.reply(ep, func(w *wire) {
+			w.u8(msgStoreDigestsResp)
+			w.str(msg)
+			w.u8(0)
+			w.u8(0)
+			w.dur(0)
+			w.i64(0)
+			w.i64(0)
+			w.i64(0)
+		})
+	}
+	if err := u.err(); err != nil {
+		fail(err.Error())
+		return
+	}
+	cs := d.chunkStore()
+	if cs == nil {
+		fail(fmt.Sprintf("no chunk store attached on %v", d.node))
+		return
+	}
+	size, chunkBytes, digests, committed, ok, dur := cs.DigestPlan(path)
+	d.reply(ep, func(w *wire) {
+		w.u8(msgStoreDigestsResp)
+		w.str("")
+		if ok {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+		if committed {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+		w.dur(dur)
+		w.i64(size)
+		w.i64(chunkBytes)
+		w.i64(int64(len(digests)))
+		for _, dg := range digests {
+			w.str(dg)
 		}
 	})
 }

@@ -26,6 +26,8 @@ const (
 	msgDiscardResp
 	msgStoreNegotiate // control: have/need negotiation against the node's chunk store
 	msgStoreNegotiateResp
+	msgStoreDigests // control: fetch the digest plan (pending upload or manifest) for a snapshot path
+	msgStoreDigestsResp
 )
 
 // errTruncated is reported when a message is shorter than its fields

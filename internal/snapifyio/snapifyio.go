@@ -129,6 +129,10 @@ type ChunkStore interface {
 	AbortUpload(path string)
 	// AbortAll drops every pending upload (daemon crash).
 	AbortAll()
+	// DigestPlan returns the digest list for path — the pending upload's
+	// when one is in flight, else the committed manifest's — so a live
+	// migration's destination can stage against it across rounds.
+	DigestPlan(path string) (size, chunkBytes int64, digests []string, committed, ok bool, dur simclock.Duration)
 }
 
 // Service manages the per-node daemons of one Xeon Phi server.
@@ -290,6 +294,54 @@ func (s *Service) Negotiate(localNode, targetNode simnet.NodeID, path, parent st
 		return nil, false, dur, &RemoteError{Node: targetNode, Path: path, Msg: msg}
 	}
 	return need, committed, dur, nil
+}
+
+// StagePlan fetches the digest plan for path from the chunk store on
+// targetNode: the pending upload's digest list when a pre-copy round is
+// in flight, else the committed manifest's. The destination card of a
+// live migration calls this each round to learn what to stage, and once
+// more at switch-over to verify the staged set against the committed
+// manifest. ok=false (without error) means the store knows nothing
+// about path.
+func (s *Service) StagePlan(localNode, targetNode simnet.NodeID, path string) (size, chunkBytes int64, digests []string, committed, ok bool, dur simclock.Duration, err error) {
+	ep, err := s.net.Connect(localNode, scif.Addr{Node: targetNode, Port: Port})
+	if err != nil {
+		return 0, 0, nil, false, false, 0, err
+	}
+	defer ep.Close() //nolint:errcheck // one-shot control round-trip; Recv already surfaced any peer error
+	w := &wire{}
+	w.u8(msgStoreDigests)
+	w.str(path)
+	sendDur, err := ep.Send(w.buf)
+	if err != nil {
+		return 0, 0, nil, false, false, 0, err
+	}
+	raw, recvDur, err := ep.Recv()
+	if err != nil {
+		return 0, 0, nil, false, false, 0, err
+	}
+	u, err := expect(raw, msgStoreDigestsResp)
+	if err != nil {
+		return 0, 0, nil, false, false, 0, err
+	}
+	msg := u.str()
+	ok = u.u8() == 1
+	committed = u.u8() == 1
+	storeDur := u.dur()
+	size = u.i64()
+	chunkBytes = u.i64()
+	n := int(u.i64())
+	for i := 0; i < n && !u.bad; i++ {
+		digests = append(digests, u.str())
+	}
+	if err := u.err(); err != nil {
+		return 0, 0, nil, false, false, 0, err
+	}
+	dur = sendDur + recvDur + storeDur
+	if msg != "" {
+		return 0, 0, nil, false, false, dur, &RemoteError{Node: targetNode, Path: path, Msg: msg}
+	}
+	return size, chunkBytes, digests, committed, ok, dur, nil
 }
 
 // CrashDaemon crashes (and immediately restarts) the daemon on node:

@@ -250,6 +250,42 @@ func (st *Store) AbortUpload(path string) {
 	delete(st.uploads, normPath(path))
 }
 
+// DigestPlan returns the digest list the destination of a live
+// migration should stage against: the pending negotiated upload for
+// path when one is in flight (the current pre-copy round's image), else
+// the committed manifest. committed distinguishes the two; ok is false
+// when neither exists. The charged duration mirrors Negotiate's
+// metadata cost — one fs round-trip plus an index scan of the list.
+func (st *Store) DigestPlan(path string) (size, chunkBytes int64, digests []string, committed, ok bool, dur simclock.Duration) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	p := normPath(path)
+	if up := st.uploads[p]; up != nil && !up.committed {
+		dur = st.model.HostFSOpLatency + st.model.HostMemcpy(64*int64(len(up.digests)))
+		return up.size, up.chunkBytes, append([]string(nil), up.digests...), false, true, dur
+	}
+	m, d, err := st.manifestLocked(p)
+	if err != nil {
+		return 0, 0, nil, false, false, d
+	}
+	dur = d + st.model.HostMemcpy(64*int64(len(m.Chunks)))
+	return m.Size, m.ChunkBytes, m.Chunks, true, true, dur
+}
+
+// PendingUploads counts negotiated uploads that have not committed —
+// the in-flight state a chaos test asserts is cleaned up after a fault.
+func (st *Store) PendingUploads() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := 0
+	for _, up := range st.uploads {
+		if !up.committed {
+			n++
+		}
+	}
+	return n
+}
+
 // AbortAll drops every pending upload — the Snapify-IO daemon crashed
 // and its stream state is gone. Durable chunks and committed manifests
 // are unaffected.

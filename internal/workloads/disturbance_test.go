@@ -45,13 +45,13 @@ func TestEverySpecSurvivesEveryDisturbance(t *testing.T) {
 					mustOK(t, core.Wait(s))
 					mustOK(t, core.Resume(s))
 				case "swap":
-					s, err := core.Swapout(dir, in.CP)
+					s, err := core.Swapout(dir, in.CP, core.CaptureOptions{})
 					mustOK(t, err)
-					_, err = core.Swapin(s, 1)
+					_, err = core.Swapin(s, 1, core.RestoreOptions{})
 					mustOK(t, err)
 				case "migrate":
 					target := in.CP.DeviceNode()%2 + 1
-					_, _, err := core.Migrate(in.CP, target, dir)
+					_, _, err := core.Migrate(in.CP, core.MigrateOptions{DeviceTo: target, Path: dir})
 					mustOK(t, err)
 				}
 				got, err := in.Run()

@@ -8,7 +8,10 @@
 # comparison — repeated swap-out of a mostly-unchanged image through the
 # content-addressed store vs plain files — enforcing >= 3x fewer bytes
 # shipped with byte-identical content, and recording BENCH_dedup.json.
-# Both land at the repository root.
+# Finally sweeps stop-the-world vs live (pre-copy) migration downtime
+# over a 1-8 GiB image grid — enforcing byte-identical restores and a
+# live downtime that stays bounded while stop-the-world grows linearly —
+# and records BENCH_migrate.json. All land at the repository root.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -18,3 +21,6 @@ go run ./cmd/snapbench -parallel -json BENCH_capture.json
 
 echo "==> dedup store swap cycles (1 GiB image, 4 cycles, plain vs store)"
 go run ./cmd/snapbench -store -json BENCH_dedup.json
+
+echo "==> migration downtime sweep (1-8 GiB images, stop-the-world vs live)"
+go run ./cmd/snapbench -migrate -json BENCH_migrate.json

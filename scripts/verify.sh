@@ -62,4 +62,14 @@ store_trace=$(mktemp /tmp/snapify_store_smoke.XXXXXX.json)
 go run ./cmd/snapbench -store -smoke -trace "$store_trace"
 rm -f "$store_trace"
 
+echo "==> snapbench -migrate -smoke -trace (live migration + trace smoke)"
+# The migrate smoke runs the stop-the-world vs live pre-copy sweep on
+# small images; its shape check pins byte-identical restores, bounded
+# live downtime against a stop-the-world that grows with image size,
+# pre-copy convergence within the round budget, the downtime/round span
+# accounting, and a store drained back to zero chunks after release.
+migrate_trace=$(mktemp /tmp/snapify_migrate_smoke.XXXXXX.json)
+go run ./cmd/snapbench -migrate -smoke -trace "$migrate_trace"
+rm -f "$migrate_trace"
+
 echo "verify: all gates passed"

@@ -76,6 +76,15 @@ type (
 	CaptureOptions = core.CaptureOptions
 	// RestoreOptions configures a restore's parallel data path.
 	RestoreOptions = core.RestoreOptions
+	// MigrateOptions configures a migration: destination, snapshot
+	// directory, and the capture/restore/pre-copy behavior.
+	MigrateOptions = core.MigrateOptions
+	// PrecopyOptions configures live migration's iterative pre-copy phase.
+	PrecopyOptions = core.PrecopyOptions
+	// Migration is a live-migration session (NewMigration, Round, Finish).
+	Migration = core.Migration
+	// PrecopyRound is one pre-copy round's outcome in Report.Precopy.
+	PrecopyRound = core.PrecopyRound
 	// Report is the per-phase timing breakdown of a snapshot lifecycle.
 	Report = core.Report
 	// CheckpointReport times one full-application checkpoint.
@@ -227,15 +236,30 @@ func RestoreChain(s *Snapshot, baseDir string, deltaDirs []string, device NodeID
 // --- Section 5: the three capabilities ---
 
 // Swapout captures and terminates the offload process (snapify_swapout).
-func Swapout(path string, p *Process) (*Snapshot, error) { return core.Swapout(path, p) }
+// The zero opts is the paper's serial data path.
+func Swapout(path string, p *Process, opts CaptureOptions) (*Snapshot, error) {
+	return core.Swapout(path, p, opts)
+}
 
 // Swapin restores and resumes a swapped-out process (snapify_swapin).
-func Swapin(s *Snapshot, device NodeID) (*Process, error) { return core.Swapin(s, device) }
+func Swapin(s *Snapshot, device NodeID, opts RestoreOptions) (*Process, error) {
+	return core.Swapin(s, device, opts)
+}
 
 // Migrate moves the offload process to another card (snapify_migration),
-// streaming its local store device-to-device.
-func Migrate(p *Process, device NodeID, path string) (*Process, *Snapshot, error) {
-	return core.Migrate(p, device, path)
+// streaming its local store device-to-device. With opts.Precopy enabled
+// it is a live migration: pre-copy rounds ship the image while the
+// process runs and only the final delta is captured under pause; the
+// restored image is byte-identical either way.
+func Migrate(p *Process, opts MigrateOptions) (*Process, *Snapshot, error) {
+	return core.Migrate(p, opts)
+}
+
+// NewMigration opens a live-migration session whose pre-copy rounds the
+// caller drives explicitly (Round, Finish, Abort) — for interleaving
+// rounds with application work.
+func NewMigration(p *Process, opts MigrateOptions) (*Migration, error) {
+	return core.NewMigration(p, opts)
 }
 
 // --- full-application checkpoint and restart (Fig 5) ---

@@ -93,7 +93,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 
 	// Migrate to card 2, keep computing.
-	if _, _, err := snapify.Migrate(app.Proc, 2, "/pub/mig"); err != nil {
+	if _, _, err := snapify.Migrate(app.Proc, snapify.MigrateOptions{DeviceTo: 2, Path: "/pub/mig"}); err != nil {
 		t.Fatal(err)
 	}
 	if got := runSum(t, pl, 200); got != 19900 {
@@ -101,11 +101,11 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 
 	// Swap out and back.
-	snap, err := snapify.Swapout("/pub/swap", app.Proc)
+	snap, err := snapify.Swapout("/pub/swap", app.Proc, snapify.CaptureOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := snapify.Swapin(snap, 1); err != nil {
+	if _, err := snapify.Swapin(snap, 1, snapify.RestoreOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if got := runSum(t, pl, 300); got != 44850 {
