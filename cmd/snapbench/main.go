@@ -10,6 +10,13 @@
 //	snapbench -table 3        # one table (2, 3, or 4)
 //	snapbench -fig 10         # one figure (9, 10, or 11)
 //	snapbench -check          # also verify the paper's qualitative claims
+//	snapbench -check baselines/
+//	                          # regression gate: re-run every committed
+//	                          # BENCH_*.json at its recorded parameters and
+//	                          # fail on any drifted non-wall field
+//	snapbench -parallel -analyze
+//	                          # also print a critical-path breakdown of the
+//	                          # run's trace (works with -store and -migrate)
 //	snapbench -parallel -json BENCH_capture.json
 //	                          # the multi-stream capture sweep, JSON'd
 //	snapbench -parallel -smoke
@@ -38,6 +45,7 @@ import (
 	"snapify/internal/experiments"
 	"snapify/internal/faultinject"
 	"snapify/internal/obs"
+	"snapify/internal/obs/analyze"
 	"snapify/internal/simclock"
 )
 
@@ -53,8 +61,28 @@ func main() {
 	smoke := flag.Bool("smoke", false, "with -parallel, -store, -migrate, or -faults: use a small image (fast CI smoke, shape still checked)")
 	faults := flag.String("faults", "", "path to a fault-plan JSON; benchmark a capture riding out the plan via retry (see internal/faultinject)")
 	all := flag.Bool("all", false, "regenerate everything")
-	check := flag.Bool("check", false, "verify the paper's qualitative claims against the results")
+	check := flag.Bool("check", false, "verify the paper's qualitative claims against the results; with a directory argument, run the baseline regression gate instead")
+	analyzeTrace := flag.Bool("analyze", false, "with -parallel, -store, or -migrate: print a critical-path breakdown of the run's trace")
 	flag.Parse()
+
+	// `snapbench -check baselines/` is the regression gate: re-run every
+	// committed BENCH_*.json at its recorded parameters and exit nonzero
+	// if any non-wall field drifted. It runs alone — gating and
+	// regenerating in one invocation would compare a thing to itself.
+	if *check && flag.NArg() > 0 {
+		report, ok, err := experiments.CheckBaselines(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snapbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(report)
+		if !ok {
+			fmt.Fprintln(os.Stderr, "snapbench: baseline regression gate FAILED")
+			os.Exit(1)
+		}
+		fmt.Println("[baseline regression gate: OK]")
+		return
+	}
 
 	if !*all && *table == 0 && *fig == 0 && !*ablations && !*parallel && !*store && !*migrate && *faults == "" {
 		*all = true
@@ -102,7 +130,7 @@ func main() {
 		runAblations(*check)
 	}
 	if *all || *parallel {
-		runParallel(*smoke, *jsonPath, *tracePath)
+		runParallel(*smoke, *jsonPath, *tracePath, *analyzeTrace)
 	}
 	if *all || *store {
 		// -all writes no files; explicit -store honors -json/-trace.
@@ -110,14 +138,14 @@ func main() {
 		if *all && !*store {
 			jp, tp = "", ""
 		}
-		runStore(*smoke, jp, tp)
+		runStore(*smoke, jp, tp, *analyzeTrace)
 	}
 	if *all || *migrate {
 		jp, tp := *jsonPath, *tracePath
 		if *all && !*migrate {
 			jp, tp = "", ""
 		}
-		runMigrate(*smoke, jp, tp)
+		runMigrate(*smoke, jp, tp, *analyzeTrace)
 	}
 	if *faults != "" {
 		runFaults(*faults, *smoke)
@@ -160,7 +188,7 @@ func runFaults(planPath string, smoke bool) {
 // runParallel executes the multi-stream capture sweep. Its shape check
 // (4 streams >= 2x serial, byte-identical snapshots) always runs: the
 // sweep exists to pin that claim, -check or not.
-func runParallel(smoke bool, jsonPath, tracePath string) {
+func runParallel(smoke bool, jsonPath, tracePath string, doAnalyze bool) {
 	size := int64(experiments.ParallelCaptureImageBytes)
 	if smoke {
 		size = 256 * simclock.MiB
@@ -176,6 +204,9 @@ func runParallel(smoke bool, jsonPath, tracePath string) {
 		os.Exit(1)
 	}
 	fmt.Println("[parallel capture shape check: OK]")
+	if doAnalyze {
+		printCriticalPath(res.TraceJSON())
+	}
 	if jsonPath != "" {
 		out, err := res.JSON()
 		if err != nil {
@@ -206,7 +237,7 @@ func runParallel(smoke bool, jsonPath, tracePath string) {
 // check (>= 3x shipped-byte reduction, checksum-identical restores,
 // negotiation spans scoped to captures, GC back to zero chunks) always
 // runs: the benchmark exists to pin those claims, -check or not.
-func runStore(smoke bool, jsonPath, tracePath string) {
+func runStore(smoke bool, jsonPath, tracePath string, doAnalyze bool) {
 	size := int64(experiments.DedupSwapImageBytes)
 	if smoke {
 		size = 256 * simclock.MiB
@@ -222,6 +253,9 @@ func runStore(smoke bool, jsonPath, tracePath string) {
 		os.Exit(1)
 	}
 	fmt.Println("[dedup swap shape check: OK]")
+	if doAnalyze {
+		printCriticalPath(res.TraceJSON())
+	}
 	if jsonPath != "" {
 		out, err := res.JSON()
 		if err != nil {
@@ -252,7 +286,7 @@ func runStore(smoke bool, jsonPath, tracePath string) {
 // sweep. Its shape check (byte-identical restores, live downtime bounded
 // while stop-the-world grows with the image, store drained after
 // release) always runs: the sweep exists to pin those claims.
-func runMigrate(smoke bool, jsonPath, tracePath string) {
+func runMigrate(smoke bool, jsonPath, tracePath string, doAnalyze bool) {
 	sizes := experiments.MigrateSweepSizes
 	if smoke {
 		sizes = experiments.MigrateSweepSmokeSizes
@@ -268,6 +302,9 @@ func runMigrate(smoke bool, jsonPath, tracePath string) {
 		os.Exit(1)
 	}
 	fmt.Println("[migrate sweep shape check: OK]")
+	if doAnalyze {
+		printCriticalPath(res.TraceJSON())
+	}
 	if jsonPath != "" {
 		out, err := res.JSON()
 		if err != nil {
@@ -292,6 +329,23 @@ func runMigrate(smoke bool, jsonPath, tracePath string) {
 		}
 		fmt.Printf("[wrote %s: valid Chrome trace; open at ui.perfetto.dev]\n", tracePath)
 	}
+}
+
+// printCriticalPath parses a run's Chrome trace and prints the
+// critical-path breakdown (chain, blame table, straggler skew, pre-copy
+// rounds) — the -analyze self-profile.
+func printCriticalPath(trace []byte) {
+	spans, err := analyze.ParseChromeTrace(trace)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "snapbench: parsing trace for analysis: %v\n", err)
+		os.Exit(1)
+	}
+	report, err := analyze.CriticalPath(spans)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "snapbench: critical path: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(report.Render(10))
 }
 
 // runAblations executes the design-choice sweeps of DESIGN.md §6.

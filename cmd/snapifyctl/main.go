@@ -17,6 +17,13 @@
 //	            | trace <out.json> | metrics
 //	    default sequence: swapout, swapin 2, migrate 1 live
 //
+//	snapifyctl analyze critical-path <trace.json>
+//	    offline: print the critical-path breakdown (chain, blame table,
+//	    straggler skew, pre-copy rounds) of an exported Chrome trace
+//	snapifyctl analyze flight <dump.json>
+//	    offline: summarize a flight-recorder dump (reason, counter
+//	    deltas, critical path of the recorded window)
+//
 // swapout store (and migrate <device> store) capture through the
 // content-addressed dedup store instead of plain host files; migrate
 // <device> live runs a pre-copy live migration — the image ships in
@@ -40,11 +47,19 @@ import (
 
 	"snapify"
 	"snapify/internal/obs"
+	"snapify/internal/obs/analyze"
 	"snapify/internal/proc"
 	"snapify/internal/snapstore"
 )
 
 func main() {
+	// `analyze` works on files a previous run exported — no demo server
+	// to boot, so it dispatches before the simulation starts.
+	if len(os.Args) > 1 && os.Args[1] == "analyze" {
+		analyzeCommand(os.Args[2:])
+		return
+	}
+
 	snapify.RegisterBinary(demoBinary())
 	srv, err := snapify.NewServer(snapify.ServerOptions{Devices: 2})
 	fatal(err)
@@ -168,6 +183,31 @@ func parseCommands(argv []string) []string {
 		}
 	}
 	return out
+}
+
+// analyzeCommand services `snapifyctl analyze <sub> <file>`: offline
+// analysis of artifacts a previous run exported (a Chrome trace from
+// `trace`/`-trace`, or a flight-recorder dump from SNAPIFY_FLIGHT_DIR).
+func analyzeCommand(argv []string) {
+	if len(argv) != 2 {
+		fatal(fmt.Errorf("usage: snapifyctl analyze critical-path <trace.json> | analyze flight <dump.json>"))
+	}
+	data, err := os.ReadFile(argv[1])
+	fatal(err)
+	switch argv[0] {
+	case "critical-path":
+		spans, err := analyze.ParseChromeTrace(data)
+		fatal(err)
+		report, err := analyze.CriticalPath(spans)
+		fatal(err)
+		fmt.Print(report.Render(10))
+	case "flight":
+		report, err := analyze.FlightReport(data)
+		fatal(err)
+		fmt.Print(report)
+	default:
+		fatal(fmt.Errorf("unknown analyze subcommand %q (want critical-path | flight)", argv[0]))
+	}
 }
 
 // storeCommand services one `store <sub>` inspection command against the

@@ -1,0 +1,65 @@
+package core
+
+// Flight-recorder chaos coverage (DESIGN.md §14): when a capture dies —
+// here a daemon crash mid-stream with no retry budget — the platform's
+// always-on flight recorder must produce a dump whose embedded trace is
+// schema-valid and records the failing operation's marker span, so the
+// failure can be analyzed offline without re-running the scenario.
+
+import (
+	"strings"
+	"testing"
+
+	"snapify/internal/faultinject"
+	"snapify/internal/obs"
+	"snapify/internal/simnet"
+)
+
+func TestChaosFlightRecorderDumpOnCaptureFailure(t *testing.T) {
+	r := newRig(t, "core_chaos_flight", 1)
+	r.count(t, 20)
+	s := NewSnapshot("/snap/chaosflight", r.cp)
+	if err := Pause(s); err != nil {
+		t.Fatal(err)
+	}
+	// Crash the host daemon on the first capture chunk it receives and
+	// grant no retry budget, so the capture must fail (a retry would
+	// mask the dump we are testing for).
+	arm(r, faultinject.Fault{
+		Site: faultinject.SiteDaemon,
+		Key:  simnet.HostNode.String(),
+		Kind: faultinject.Crash,
+		Nth:  1,
+	})
+	opts := chaosOpts()
+	opts.Retry = RetryPolicy{}
+	err := s.Capture(opts)
+	if err == nil {
+		err = Wait(s)
+	}
+	disarm(r)
+	if err == nil {
+		t.Fatal("capture with crashed daemon and no retry budget succeeded")
+	}
+	assertNoPartials(t, r.plat)
+
+	d := r.plat.Obs.FlightOf().LastDump()
+	if d == nil {
+		t.Fatal("failed capture produced no flight dump")
+	}
+	if !strings.Contains(d.Reason, "capture") {
+		t.Errorf("dump reason %q does not mention the failing op", d.Reason)
+	}
+	if d.SpanCount == 0 {
+		t.Error("flight dump holds no spans")
+	}
+	if err := obs.ValidateChromeTrace([]byte(d.Trace)); err != nil {
+		t.Errorf("flight dump trace does not validate: %v", err)
+	}
+	if !strings.Contains(string(d.Trace), `"capture_failed"`) {
+		t.Error("flight dump trace is missing the capture_failed marker span")
+	}
+	if sum := d.Summary(); !strings.Contains(sum, "flight dump") {
+		t.Errorf("dump summary missing header:\n%s", sum)
+	}
+}

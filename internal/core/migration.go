@@ -148,7 +148,9 @@ func (m *Migration) Round() (PrecopyRound, bool, error) {
 	payload = append(payload, m.opts.Path...)
 	resp, err := cp.DaemonRequest(coi.OpSnapifyPrecopy, payload, coi.OpSnapifyPrecopyResp)
 	if err != nil {
-		return PrecopyRound{}, false, fmt.Errorf("core: pre-copy round %d: %w", m.round, err)
+		err = fmt.Errorf("core: pre-copy round %d: %w", m.round, err)
+		m.s.failDump("migrate", err)
+		return PrecopyRound{}, false, err
 	}
 	rec := PrecopyRound{
 		Round:        m.round,
@@ -167,7 +169,9 @@ func (m *Migration) Round() (PrecopyRound, bool, error) {
 		// shipped nothing, so there is nothing new to stage.
 		stageDur, _, _, err := m.stageRequest(coi.StageSync, start+rec.Duration)
 		if err != nil {
-			return rec, false, fmt.Errorf("core: pre-copy round %d staging: %w", m.round, err)
+			err = fmt.Errorf("core: pre-copy round %d staging: %w", m.round, err)
+			m.s.failDump("migrate", err)
+			return rec, false, err
 		}
 		rec.StageDuration = stageDur
 	}

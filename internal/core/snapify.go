@@ -447,11 +447,25 @@ func Wait(s *Snapshot) error { return s.Wait() }
 func (s *Snapshot) Wait() error {
 	<-s.sem
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	err := s.captureErr
 	s.captureErr = nil
 	s.Proc.Timeline().Advance(s.Report.Capture)
+	s.mu.Unlock()
+	if err != nil {
+		s.failDump("capture", err)
+	}
 	return err
+}
+
+// failDump freezes the platform's flight recorder around a failed
+// top-level operation: a zero-duration <op>_failed marker span lands at
+// the host track cursor — so the dump provably contains the incident —
+// and the recent-span ring plus counter deltas are dumped for the
+// post-mortem (written to SNAPIFY_FLIGHT_DIR when set).
+func (s *Snapshot) failDump(op string, err error) {
+	tk := s.hostTrack()
+	tk.Emit(0, op+"_failed", tk.Now(), 0, nil)
+	s.Proc.Platform().Obs.FlightOf().Trigger("core: " + op + " failed: " + err.Error())
 }
 
 // Resume releases all locks acquired by Pause in both the host process and
@@ -546,7 +560,9 @@ func (s *Snapshot) RestoreChain(baseDir string, deltaDirs []string, device simne
 
 	resp, err := coi.DaemonRestoreRequest(plat, device, payload)
 	if err != nil {
-		return nil, fmt.Errorf("core: restore: %w", err)
+		err = fmt.Errorf("core: restore: %w", err)
+		s.failDump("restore", err)
+		return nil, err
 	}
 	newID := int(binary.BigEndian.Uint32(resp))
 	restoreDevice := simclock.Duration(binary.BigEndian.Uint64(resp[4:]))
@@ -560,7 +576,9 @@ func (s *Snapshot) RestoreChain(baseDir string, deltaDirs []string, device simne
 
 	remap, err := cp.Rebind(device, newID, ports)
 	if err != nil {
-		return nil, fmt.Errorf("core: rebind: %w", err)
+		err = fmt.Errorf("core: rebind: %w", err)
+		s.failDump("restore", err)
+		return nil, err
 	}
 	s.Report.RemapEntries = len(remap)
 	var reconnect simclock.Duration

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"snapify/internal/obs/analyze"
+)
+
+// CheckBaselines is the benchmark regression gate: it reads every
+// BENCH_*.json under dir, re-runs the benchmark each one records at its
+// recorded parameters (image size, cycle count, size grid), and compares
+// the fresh result against the committed numbers with
+// analyze.CompareBenchJSON. The virtual clock makes every non-"wall"
+// field exactly reproducible, so the gate's default 1% tolerance exists
+// only to absorb float formatting, not timing noise — a drifted field
+// means the data path changed.
+//
+// The returned report always describes every baseline checked; ok is
+// false when any baseline regressed. An error means the gate itself
+// could not run (unreadable dir, unknown benchmark, a benchmark failing
+// outright) — distinct from a regression.
+func CheckBaselines(dir string) (report string, ok bool, err error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", false, fmt.Errorf("benchgate: %v", err)
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return "", false, fmt.Errorf("benchgate: no BENCH_*.json baselines under %s", dir)
+	}
+	var b strings.Builder
+	ok = true
+	for _, p := range paths {
+		baseline, err := os.ReadFile(p)
+		if err != nil {
+			return "", false, fmt.Errorf("benchgate: %v", err)
+		}
+		fresh, err := rerunBaseline(baseline)
+		if err != nil {
+			return "", false, fmt.Errorf("benchgate: %s: %v", p, err)
+		}
+		regs, err := analyze.CompareBenchJSON(baseline, fresh, analyze.DefaultCheckOptions())
+		if err != nil {
+			return "", false, fmt.Errorf("benchgate: %s: %v", p, err)
+		}
+		b.WriteString(analyze.RenderRegressions(filepath.Base(p), regs))
+		b.WriteByte('\n')
+		if len(regs) > 0 {
+			ok = false
+		}
+	}
+	return b.String(), ok, nil
+}
+
+// rerunBaseline re-runs the benchmark a baseline document records, at
+// the parameters stored in the document itself, and returns the fresh
+// result's JSON. Parameters ride in the baseline (not in the gate) so a
+// smoke-scale baseline re-runs at smoke scale.
+func rerunBaseline(baseline []byte) ([]byte, error) {
+	var head struct {
+		Benchmark  string `json:"benchmark"`
+		ImageBytes int64  `json:"image_bytes"`
+		Cycles     int    `json:"cycles"`
+		Rows       []struct {
+			Streams    int   `json:"streams"`
+			ImageBytes int64 `json:"image_bytes"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(baseline, &head); err != nil {
+		return nil, err
+	}
+	switch head.Benchmark {
+	case "parallel-capture":
+		streams := make([]int, 0, len(head.Rows))
+		for _, r := range head.Rows {
+			streams = append(streams, r.Streams)
+		}
+		if len(streams) == 0 {
+			return nil, fmt.Errorf("baseline has no rows to replay")
+		}
+		res, err := ParallelCapture(head.ImageBytes, streams)
+		if err != nil {
+			return nil, err
+		}
+		return res.JSON()
+	case "dedup-swap":
+		res, err := DedupSwap(head.ImageBytes, head.Cycles)
+		if err != nil {
+			return nil, err
+		}
+		return res.JSON()
+	case "migrate-sweep":
+		sizes := make([]int64, 0, len(head.Rows))
+		for _, r := range head.Rows {
+			sizes = append(sizes, r.ImageBytes)
+		}
+		if len(sizes) == 0 {
+			return nil, fmt.Errorf("baseline has no rows to replay")
+		}
+		res, err := MigrateSweep(sizes)
+		if err != nil {
+			return nil, err
+		}
+		return res.JSON()
+	default:
+		return nil, fmt.Errorf("unknown benchmark %q", head.Benchmark)
+	}
+}

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"snapify/internal/simclock"
+)
+
+// gateBaseline runs a tiny parallel-capture sweep and writes its JSON to
+// dir as a BENCH baseline for the gate tests.
+func gateBaseline(t *testing.T, dir string) string {
+	t.Helper()
+	res, err := ParallelCapture(64*simclock.MiB, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "BENCH_capture.json")
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCheckBaselinesClean pins that a freshly generated baseline passes
+// the gate: the virtual clock makes the re-run byte-reproducible on
+// every non-wall field.
+func TestCheckBaselinesClean(t *testing.T) {
+	dir := t.TempDir()
+	gateBaseline(t, dir)
+	report, ok, err := CheckBaselines(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("fresh baseline regressed:\n%s", report)
+	}
+	if !strings.Contains(report, "BENCH_capture.json") {
+		t.Errorf("report does not name the baseline:\n%s", report)
+	}
+}
+
+// TestCheckBaselinesPerturbed is the acceptance probe: an intentionally
+// perturbed baseline must fail the gate (snapbench -check exits nonzero
+// on this same ok=false).
+func TestCheckBaselinesPerturbed(t *testing.T) {
+	dir := t.TempDir()
+	path := gateBaseline(t, dir)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := string(b)
+	if !strings.Contains(doc, `"capture_ns"`) {
+		t.Fatalf("baseline has no capture_ns field to perturb:\n%s", doc)
+	}
+	// Shift every capture_ns by an order of magnitude — far past the 1%
+	// tolerance on every row.
+	doc = strings.ReplaceAll(doc, `"capture_ns": `, `"capture_ns": 9`)
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	report, ok, err := CheckBaselines(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatalf("perturbed baseline passed the gate:\n%s", report)
+	}
+	if !strings.Contains(report, "capture_ns") {
+		t.Errorf("report does not blame the perturbed field:\n%s", report)
+	}
+}
+
+// TestCheckBaselinesEmptyDir pins that the gate refuses to vacuously
+// pass when no baselines are present.
+func TestCheckBaselinesEmptyDir(t *testing.T) {
+	if _, _, err := CheckBaselines(t.TempDir()); err == nil {
+		t.Fatal("gate passed with no baselines to check")
+	}
+}
+
+// TestCheckBaselinesUnknownBenchmark pins the gate erroring (not
+// passing) on a baseline it does not know how to replay.
+func TestCheckBaselinesUnknownBenchmark(t *testing.T) {
+	dir := t.TempDir()
+	doc := `{"benchmark": "warp-drive", "rows": []}`
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_warp.json"), []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := CheckBaselines(dir)
+	if err == nil || !strings.Contains(err.Error(), "warp-drive") {
+		t.Fatalf("gate error = %v, want unknown-benchmark", err)
+	}
+}

@@ -50,6 +50,11 @@ type DedupSwapRow struct {
 	// outcome, from the cycle's store_negotiate span.
 	ChunksTotal   int64 `json:"chunks_total"`
 	ChunksShipped int64 `json:"chunks_shipped"`
+	// PlainWallNs / StoreWallNs are the real wall-clock time the harness
+	// spent on this cycle's swap round trip on each path —
+	// machine-dependent, excluded from the regression gate.
+	PlainWallNs int64 `json:"plain_wall_ns"`
+	StoreWallNs int64 `json:"store_wall_ns"`
 }
 
 // DedupSwapResult is the full comparison.
@@ -81,6 +86,10 @@ type DedupSwapResult struct {
 	// ChunksAfterGC is the store's resident chunk count after every
 	// manifest was released and a GC ran: zero, or the refcounts leak.
 	ChunksAfterGC int `json:"chunks_after_gc"`
+	// WallTotalNs / WallNsPerGiB are the harness's own wall-clock cost
+	// across both paths, normalized per GiB of simulated image swapped.
+	WallTotalNs  int64 `json:"wall_total_ns"`
+	WallNsPerGiB int64 `json:"wall_ns_per_gib"`
 
 	tracer *obs.Tracer
 }
@@ -138,53 +147,57 @@ func DedupSwap(imageBytes int64, cycles int) (*DedupSwapResult, error) {
 	// process is still resident; both instances then run to completion
 	// (a corrupted restore would derail the remaining offload calls).
 	identical := false
-	runCycles := func(plat *platform.Platform, storeMode bool, pathPrefix string) ([]*core.Report, error) {
+	runCycles := func(plat *platform.Platform, storeMode bool, pathPrefix string) ([]*core.Report, []int64, error) {
 		in, err := workloads.Launch(plat, spec, 1)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		defer in.Close()
 		if _, err := in.RunCalls(1); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		var reports []*core.Report
+		var walls []int64
 		for c := 0; c < cycles; c++ {
+			wall := simclock.StartWall()
 			var copts core.CaptureOptions
 			var ropts core.RestoreOptions
 			copts.Store.Enabled = storeMode
 			ropts.Store.Enabled = storeMode
 			s, err := core.Swapout(fmt.Sprintf("%s/cycle%d", pathPrefix, c), in.CP, copts)
 			if err != nil {
-				return nil, fmt.Errorf("cycle %d swapout: %w", c, err)
+				return nil, nil, fmt.Errorf("cycle %d swapout: %w", c, err)
 			}
 			cp, err := core.Swapin(s, simnet.NodeID(1), ropts)
 			if err != nil {
-				return nil, fmt.Errorf("cycle %d swapin: %w", c, err)
+				return nil, nil, fmt.Errorf("cycle %d swapin: %w", c, err)
 			}
 			in.CP = cp
 			reports = append(reports, &s.Report)
+			walls = append(walls, wall.ElapsedNs())
 			// Dirty a small working set before the next cycle, as a real
 			// swapped tenant would between residencies.
 			if _, err := in.RunCalls(1); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 		if storeMode {
 			if identical, err = dualCaptureIdentical(plat, in.CP); err != nil {
-				return nil, fmt.Errorf("identity probe: %w", err)
+				return nil, nil, fmt.Errorf("identity probe: %w", err)
 			}
 		}
 		if _, err := in.Run(); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return reports, nil
+		return reports, walls, nil
 	}
 
+	runWall := simclock.StartWall()
 	plainPlat, err := newPlat()
 	if err != nil {
 		return nil, err
 	}
-	plainReports, err := func() ([]*core.Report, error) {
+	plainReports, plainWalls, err := func() ([]*core.Report, []int64, error) {
 		defer coi.StopDaemons(plainPlat)
 		defer plainPlat.IO.Stop()
 		return runCycles(plainPlat, false, "/bench/dedup/plain")
@@ -199,7 +212,7 @@ func DedupSwap(imageBytes int64, cycles int) (*DedupSwapResult, error) {
 	}
 	defer coi.StopDaemons(plat)
 	defer plat.IO.Stop()
-	storeReports, err := runCycles(plat, true, "/bench/dedup/store")
+	storeReports, storeWalls, err := runCycles(plat, true, "/bench/dedup/store")
 	if err != nil {
 		return nil, fmt.Errorf("store path: %w", err)
 	}
@@ -237,6 +250,8 @@ func DedupSwap(imageBytes int64, cycles int) (*DedupSwapResult, error) {
 			StoreShippedBytes: storeReports[c].ShippedBytes,
 			PlainCaptureNs:    int64(plainReports[c].Capture),
 			StoreCaptureNs:    int64(storeReports[c].Capture),
+			PlainWallNs:       plainWalls[c],
+			StoreWallNs:       storeWalls[c],
 		}
 		if c < len(negotiations) {
 			row.ChunksTotal = negotiations[c].Args["chunks_total"]
@@ -262,6 +277,9 @@ func DedupSwap(imageBytes int64, cycles int) (*DedupSwapResult, error) {
 		return nil, fmt.Errorf("gc: %w", err)
 	}
 	res.ChunksAfterGC = plat.Store.Stats().Chunks
+	res.WallTotalNs = runWall.ElapsedNs()
+	// Both paths swap the full image out and back each cycle.
+	res.WallNsPerGiB = simclock.WallNsPerGiB(res.WallTotalNs, 2*imageBytes*int64(cycles))
 	return res, nil
 }
 
@@ -277,9 +295,10 @@ func (r *DedupSwapResult) Render() string {
 			fmt.Sprintf("%d", row.StoreShippedBytes/simclock.MiB),
 			fmt.Sprintf("%d/%d", row.ChunksShipped, row.ChunksTotal))
 	}
-	return t.String() + fmt.Sprintf("\nshipped: plain %d MiB, store %d MiB — %.1fx reduction; store dedup ratio %.2fx\nstore context byte-identical to plain: %v; chunks after release-all + GC: %d",
+	return t.String() + fmt.Sprintf("\nshipped: plain %d MiB, store %d MiB — %.1fx reduction; store dedup ratio %.2fx\nstore context byte-identical to plain: %v; chunks after release-all + GC: %d\nharness wall-clock: %.1f ms total, %d ns per simulated GiB",
 		r.PlainShippedTotal/simclock.MiB, r.StoreShippedTotal/simclock.MiB,
-		r.ReductionX, r.StoreDedupRatio, r.ContextsIdentical, r.ChunksAfterGC)
+		r.ReductionX, r.StoreDedupRatio, r.ContextsIdentical, r.ChunksAfterGC,
+		float64(r.WallTotalNs)/1e6, r.WallNsPerGiB)
 }
 
 // CheckShape verifies the acceptance claims: the cold cycle ships the

@@ -50,6 +50,9 @@ type MigrateRow struct {
 	// stop-the-world-migrated, and the undisturbed run all finish with the
 	// same device-side checksum.
 	ChecksumsMatch bool `json:"checksums_match"`
+	// WallNs is the real wall-clock time the harness spent on this size
+	// (all three runs) — machine-dependent, excluded from the gate.
+	WallNs int64 `json:"wall_ns"`
 }
 
 // MigrateResult is the full sweep.
@@ -63,6 +66,10 @@ type MigrateResult struct {
 	// ChunksAfterGC is the largest live run's store population after every
 	// manifest was released and a GC ran: zero, or a refcount leaked.
 	ChunksAfterGC int `json:"chunks_after_gc"`
+	// WallTotalNs / WallNsPerGiB are the harness's own wall-clock cost,
+	// normalized per GiB of simulated image migrated (three runs per size).
+	WallTotalNs  int64 `json:"wall_total_ns"`
+	WallNsPerGiB int64 `json:"wall_ns_per_gib"`
 
 	tracer *obs.Tracer
 }
@@ -112,6 +119,7 @@ func migrateOne(imageBytes int64) (*MigrateRow, *platform.Platform, error) {
 	}
 	spec := migrateSpec(imageBytes)
 	row := &MigrateRow{ImageBytes: imageBytes}
+	wall := simclock.StartWall()
 
 	// Undisturbed reference checksum.
 	refPlat, err := newPlat()
@@ -215,6 +223,7 @@ func migrateOne(imageBytes int64) (*MigrateRow, *platform.Platform, error) {
 		row.DowntimeRatio = float64(row.LiveDowntimeNs) / float64(row.StwDowntimeNs)
 	}
 	row.ChecksumsMatch = refSum == stwSum && refSum == liveSum
+	row.WallNs = wall.ElapsedNs()
 	return row, livePlat, nil
 }
 
@@ -228,8 +237,11 @@ func MigrateSweep(sizes []int64) (*MigrateResult, error) {
 		return nil, fmt.Errorf("migrate sweep: empty size grid")
 	}
 	res := &MigrateResult{Benchmark: "migrate-sweep"}
+	sweepWall := simclock.StartWall()
+	var migratedBytes int64
 	var last *platform.Platform
 	for _, size := range sizes {
+		migratedBytes += 3 * size
 		row, plat, err := migrateOne(size)
 		if err != nil {
 			if last != nil {
@@ -270,6 +282,8 @@ func MigrateSweep(sizes []int64) (*MigrateResult, error) {
 		return nil, fmt.Errorf("gc: %w", err)
 	}
 	res.ChunksAfterGC = last.Store.Stats().Chunks
+	res.WallTotalNs = sweepWall.ElapsedNs()
+	res.WallNsPerGiB = simclock.WallNsPerGiB(res.WallTotalNs, migratedBytes)
 	return res, nil
 }
 
@@ -286,8 +300,9 @@ func (r *MigrateResult) Render() string {
 			fmt.Sprintf("%d", row.PrecopyShippedBytes/simclock.MiB),
 			fmt.Sprintf("%v", row.ChecksumsMatch))
 	}
-	return t.String() + fmt.Sprintf("\nspans: %d precopy_round, %d migration_downtime; chunks after release-all + GC: %d",
-		r.RoundSpans, r.DowntimeSpans, r.ChunksAfterGC)
+	return t.String() + fmt.Sprintf("\nspans: %d precopy_round, %d migration_downtime; chunks after release-all + GC: %d\nharness wall-clock: %.1f ms total, %d ns per simulated GiB",
+		r.RoundSpans, r.DowntimeSpans, r.ChunksAfterGC,
+		float64(r.WallTotalNs)/1e6, r.WallNsPerGiB)
 }
 
 // CheckShape verifies the acceptance claims: live downtime undercuts

@@ -46,6 +46,11 @@ type ParallelCaptureRow struct {
 	// SnapshotBytes is the context file size; identical across rows by
 	// the golden-parity guarantee.
 	SnapshotBytes int64 `json:"snapshot_bytes"`
+	// WallNs is the real wall-clock time the simulator harness spent
+	// producing this row — machine-dependent, excluded from the
+	// regression gate, reported so fleet-scale planning knows how fast
+	// the harness itself runs.
+	WallNs int64 `json:"wall_ns"`
 }
 
 // ParallelCaptureResult is the full sweep.
@@ -53,6 +58,11 @@ type ParallelCaptureResult struct {
 	Benchmark  string               `json:"benchmark"`
 	ImageBytes int64                `json:"image_bytes"`
 	Rows       []ParallelCaptureRow `json:"rows"`
+	// WallTotalNs / WallNsPerGiB are the harness's own wall-clock cost:
+	// total real nanoseconds for the sweep, and that normalized per GiB
+	// of simulated image captured.
+	WallTotalNs  int64 `json:"wall_total_ns"`
+	WallNsPerGiB int64 `json:"wall_ns_per_gib"`
 
 	tracer *obs.Tracer // the sweep platform's tracer, for TraceJSON
 }
@@ -109,7 +119,9 @@ func ParallelCapture(imageBytes int64, streams []int) (*ParallelCaptureResult, e
 		Benchmark: "parallel-capture", ImageBytes: imageBytes,
 		tracer: plat.Obs.TracerOf(),
 	}
+	sweepWall := simclock.StartWall()
 	for _, n := range streams {
+		rowWall := simclock.StartWall()
 		s := core.NewSnapshot(fmt.Sprintf("/bench/parallel/%d", n), in.CP)
 		if err := s.Pause(); err != nil {
 			return nil, fmt.Errorf("streams=%d pause: %w", n, err)
@@ -128,6 +140,7 @@ func ParallelCapture(imageBytes int64, streams []int) (*ParallelCaptureResult, e
 			CaptureSeconds: s.Report.Capture.Seconds(),
 			CaptureNs:      int64(s.Report.Capture),
 			SnapshotBytes:  s.Report.SnapshotBytes,
+			WallNs:         rowWall.ElapsedNs(),
 		}
 		for _, d := range s.Report.CaptureStreamDurations {
 			row.StreamSeconds = append(row.StreamSeconds, d.Seconds())
@@ -139,6 +152,8 @@ func ParallelCapture(imageBytes int64, streams []int) (*ParallelCaptureResult, e
 		}
 		res.Rows = append(res.Rows, row)
 	}
+	res.WallTotalNs = sweepWall.ElapsedNs()
+	res.WallNsPerGiB = simclock.WallNsPerGiB(res.WallTotalNs, imageBytes*int64(len(streams)))
 	return res, nil
 }
 
@@ -161,7 +176,8 @@ func (r *ParallelCaptureResult) Render() string {
 			fmt.Sprintf("%.2fx", row.Speedup),
 			fmt.Sprintf("%.0f", row.ThroughputMiBs))
 	}
-	return t.String()
+	return t.String() + fmt.Sprintf("harness wall-clock: %.1f ms total, %d ns per simulated GiB\n",
+		float64(r.WallTotalNs)/1e6, r.WallNsPerGiB)
 }
 
 // CheckShape verifies the acceptance claims: 4 streams beat serial by at

@@ -1,0 +1,371 @@
+package analyze
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"snapify/internal/obs"
+)
+
+// PathSegment is one link of the critical path: during [Start, Start+Dur)
+// the named span is what end-to-end time was spent under. Idle gaps —
+// virtual time no lane was working — appear as "(idle)" segments so the
+// chain tiles the whole window.
+type PathSegment struct {
+	Name    string `json:"name"`
+	Process string `json:"process,omitempty"`
+	Thread  string `json:"thread,omitempty"`
+	Scope   uint64 `json:"scope,omitempty"`
+	StartNs int64  `json:"start_ns"`
+	DurNs   int64  `json:"dur_ns"`
+}
+
+// BlameEntry aggregates critical-path time charged to one span name.
+type BlameEntry struct {
+	Name     string  `json:"name"`
+	TotalNs  int64   `json:"total_ns"`
+	Percent  float64 `json:"percent"`
+	Segments int     `json:"segments"`
+}
+
+// StragglerSkew measures fan-out imbalance: for a scope whose same-named
+// spans run on several lanes (the parallel capture/restore streams), the
+// skew is how long the last lane outlived the first — pure straggler
+// time the paper's phase breakdown attributes to the slowest stream.
+type StragglerSkew struct {
+	Name     string `json:"name"`
+	Scope    uint64 `json:"scope"`
+	Lanes    int    `json:"lanes"`
+	SkewNs   int64  `json:"skew_ns"`
+	LastLane string `json:"last_lane"`
+}
+
+// RoundStat is one pre-copy migration round on the critical path.
+type RoundStat struct {
+	Round        int64 `json:"round"`
+	DurNs        int64 `json:"dur_ns"`
+	DirtyBytes   int64 `json:"dirty_bytes"`
+	ShippedBytes int64 `json:"shipped_bytes"`
+}
+
+// PathReport is the result of CriticalPath: the blame chain tiling
+// [StartNs, EndNs], aggregated blame, straggler skews, and (for
+// migration traces) per-round stats. The chain's durations sum to
+// EndToEndNs exactly — CriticalPath errors out rather than return a
+// report violating that invariant.
+type PathReport struct {
+	StartNs    int64           `json:"start_ns"`
+	EndNs      int64           `json:"end_ns"`
+	EndToEndNs int64           `json:"end_to_end_ns"`
+	Spans      int             `json:"spans"`
+	Chain      []PathSegment   `json:"chain"`
+	Blame      []BlameEntry    `json:"blame"`
+	Skews      []StragglerSkew `json:"skews,omitempty"`
+	Rounds     []RoundStat     `json:"rounds,omitempty"`
+}
+
+// ChainTotalNs returns the sum of chain segment durations (== EndToEndNs).
+func (r *PathReport) ChainTotalNs() int64 {
+	var total int64
+	for _, seg := range r.Chain {
+		total += seg.DurNs
+	}
+	return total
+}
+
+// CriticalPath extracts the blame chain from a set of spans (typically
+// ParseChromeTrace output, optionally filtered to one scope). The
+// algorithm is a deterministic sweep: cut the trace window at every
+// span boundary, and for each elementary interval charge the deepest
+// active span — ties broken toward the span that ends latest (the
+// straggler), then starts latest, then by lane order and emission
+// order. Intervals with no active span are charged to "(idle)".
+// Adjacent intervals with the same blame merge, so the chain reads as
+// the paper's phase breakdown: pause → capture streams → ship →
+// restore → resume, with the straggling stream blamed for skew time.
+func CriticalPath(spans []obs.Span) (*PathReport, error) {
+	// Zero-duration marker spans (e.g. capture_failed) carry no time.
+	var active []obs.Span
+	for _, s := range spans {
+		if s.Dur > 0 {
+			active = append(active, s)
+		}
+	}
+	if len(active) == 0 {
+		return nil, fmt.Errorf("analyze: no spans with nonzero duration")
+	}
+
+	laneOf := map[[2]string]int{}
+	var laneOrder [][2]string
+	items := make([]ispan, 0, len(active))
+	for i, s := range active {
+		key := [2]string{s.Process, s.Thread}
+		if _, ok := laneOf[key]; !ok {
+			laneOf[key] = len(laneOrder)
+			laneOrder = append(laneOrder, key)
+		}
+		items = append(items, ispan{Span: s, lane: laneOf[key], idx: i})
+	}
+	// Nesting depth within a lane: a contains b when a's interval covers
+	// b's and is strictly larger (equal intervals parent by emission
+	// order, matching the validator's nesting stack).
+	for i := range items {
+		for j := range items {
+			if i == j || items[i].lane != items[j].lane {
+				continue
+			}
+			a, b := items[j], items[i]
+			if a.Start <= b.Start && a.End() >= b.End() &&
+				(a.Start < b.Start || a.End() > b.End() || a.idx < b.idx) {
+				items[i].depth++
+			}
+		}
+	}
+
+	// Elementary intervals: every span boundary cuts the window.
+	bounds := make([]int64, 0, 2*len(items))
+	for _, it := range items {
+		bounds = append(bounds, int64(it.Start), int64(it.End()))
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	uniq := bounds[:1]
+	for _, b := range bounds[1:] {
+		if b != uniq[len(uniq)-1] {
+			uniq = append(uniq, b)
+		}
+	}
+
+	var chain []PathSegment
+	for i := 0; i+1 < len(uniq); i++ {
+		lo, hi := uniq[i], uniq[i+1]
+		best := -1
+		for j, it := range items {
+			if int64(it.Start) > lo || int64(it.End()) < hi {
+				continue
+			}
+			if best < 0 || blameLess(items[best], it) {
+				best = j
+			}
+		}
+		seg := PathSegment{Name: "(idle)", StartNs: lo, DurNs: hi - lo}
+		if best >= 0 {
+			it := items[best]
+			seg.Name = it.Name
+			seg.Process = it.Process
+			seg.Thread = it.Thread
+			seg.Scope = it.Scope
+		}
+		if n := len(chain); n > 0 && chain[n-1].Name == seg.Name &&
+			chain[n-1].Process == seg.Process && chain[n-1].Thread == seg.Thread &&
+			chain[n-1].Scope == seg.Scope {
+			chain[n-1].DurNs += seg.DurNs
+			continue
+		}
+		chain = append(chain, seg)
+	}
+
+	r := &PathReport{
+		StartNs: uniq[0],
+		EndNs:   uniq[len(uniq)-1],
+		Spans:   len(spans),
+		Chain:   chain,
+	}
+	r.EndToEndNs = r.EndNs - r.StartNs
+	if got := r.ChainTotalNs(); got != r.EndToEndNs {
+		return nil, fmt.Errorf("analyze: chain total %d ns != end-to-end %d ns (internal invariant)",
+			got, r.EndToEndNs)
+	}
+	r.Blame = blameTotals(chain, r.EndToEndNs)
+	r.Skews = stragglerSkews(active)
+	r.Rounds = roundStats(active)
+	return r, nil
+}
+
+// ispan is one span annotated for the sweep: its lane (first-appearance
+// order), emission index, and nesting depth within the lane.
+type ispan struct {
+	obs.Span
+	lane  int
+	idx   int
+	depth int
+}
+
+// blameLess reports whether b should be blamed over a for an interval
+// both cover: deeper wins; then the later-ending (straggler), the
+// later-starting, the later lane, the later emission.
+func blameLess(a, b ispan) bool {
+	if a.depth != b.depth {
+		return b.depth > a.depth
+	}
+	if a.End() != b.End() {
+		return b.End() > a.End()
+	}
+	if a.Start != b.Start {
+		return b.Start > a.Start
+	}
+	if a.lane != b.lane {
+		return b.lane > a.lane
+	}
+	return b.idx > a.idx
+}
+
+// blameTotals aggregates chain time by span name, descending.
+func blameTotals(chain []PathSegment, endToEnd int64) []BlameEntry {
+	totals := map[string]*BlameEntry{}
+	var order []string
+	for _, seg := range chain {
+		e, ok := totals[seg.Name]
+		if !ok {
+			e = &BlameEntry{Name: seg.Name}
+			totals[seg.Name] = e
+			order = append(order, seg.Name)
+		}
+		e.TotalNs += seg.DurNs
+		e.Segments++
+	}
+	out := make([]BlameEntry, 0, len(order))
+	for _, name := range order {
+		e := totals[name]
+		if endToEnd > 0 {
+			e.Percent = 100 * float64(e.TotalNs) / float64(endToEnd)
+		}
+		out = append(out, *e)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TotalNs > out[j].TotalNs })
+	return out
+}
+
+// stragglerSkews finds (scope, name) groups fanned out over 2+ lanes
+// and measures last-finisher minus first-finisher.
+func stragglerSkews(spans []obs.Span) []StragglerSkew {
+	type key struct {
+		scope uint64
+		name  string
+	}
+	type group struct {
+		lanes          map[[2]string]bool
+		minEnd, maxEnd int64
+		lastLane       string
+	}
+	groups := map[key]*group{}
+	var order []key
+	for _, s := range spans {
+		if s.Scope == 0 {
+			continue
+		}
+		k := key{s.Scope, s.Name}
+		g, ok := groups[k]
+		if !ok {
+			g = &group{lanes: map[[2]string]bool{}, minEnd: int64(s.End()), maxEnd: int64(s.End())}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.lanes[[2]string{s.Process, s.Thread}] = true
+		if e := int64(s.End()); e < g.minEnd {
+			g.minEnd = e
+		} else if e > g.maxEnd {
+			g.maxEnd = e
+		}
+		if int64(s.End()) == g.maxEnd {
+			g.lastLane = s.Process + "/" + s.Thread
+		}
+	}
+	var out []StragglerSkew
+	for _, k := range order {
+		g := groups[k]
+		if len(g.lanes) < 2 {
+			continue
+		}
+		out = append(out, StragglerSkew{
+			Name:     k.name,
+			Scope:    k.scope,
+			Lanes:    len(g.lanes),
+			SkewNs:   g.maxEnd - g.minEnd,
+			LastLane: g.lastLane,
+		})
+	}
+	return out
+}
+
+// roundStats extracts pre-copy round spans (migration traces).
+func roundStats(spans []obs.Span) []RoundStat {
+	var out []RoundStat
+	for _, s := range spans {
+		if s.Name != "precopy_round" {
+			continue
+		}
+		out = append(out, RoundStat{
+			Round:        s.Args["round"],
+			DurNs:        int64(s.Dur),
+			DirtyBytes:   s.Args["dirty_bytes"],
+			ShippedBytes: s.Args["shipped_bytes"],
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Round < out[j].Round })
+	return out
+}
+
+// Render formats the report as the phase-breakdown table the paper's
+// figure 9 presents: the chain in time order, then blame ranked by
+// share of end-to-end, then skews and rounds when present. topN limits
+// the blame table (0 = all).
+func (r *PathReport) Render(topN int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "critical path: %d spans, end-to-end %s (virtual)\n",
+		r.Spans, fmtNs(r.EndToEndNs))
+	fmt.Fprintf(&b, "window: [%s, %s]\n\n", fmtNs(r.StartNs), fmtNs(r.EndNs))
+	b.WriteString("chain (time order):\n")
+	for _, seg := range r.Chain {
+		lane := ""
+		if seg.Process != "" {
+			lane = "  [" + seg.Process + "/" + seg.Thread + "]"
+		}
+		fmt.Fprintf(&b, "  %12s  %-28s %6.1f%%%s\n",
+			fmtNs(seg.DurNs), seg.Name, 100*float64(seg.DurNs)/float64(max64(r.EndToEndNs, 1)), lane)
+	}
+	b.WriteString("\nblame (share of end-to-end):\n")
+	blame := r.Blame
+	if topN > 0 && len(blame) > topN {
+		blame = blame[:topN]
+	}
+	for _, e := range blame {
+		fmt.Fprintf(&b, "  %6.1f%%  %12s  %-28s (%d segment(s))\n",
+			e.Percent, fmtNs(e.TotalNs), e.Name, e.Segments)
+	}
+	if len(r.Skews) > 0 {
+		b.WriteString("\nstraggler skew (fan-out last-minus-first finisher):\n")
+		for _, sk := range r.Skews {
+			fmt.Fprintf(&b, "  %12s  %-28s scope %d over %d lanes, last %s\n",
+				fmtNs(sk.SkewNs), sk.Name, sk.Scope, sk.Lanes, sk.LastLane)
+		}
+	}
+	if len(r.Rounds) > 0 {
+		b.WriteString("\npre-copy rounds:\n")
+		for _, rd := range r.Rounds {
+			fmt.Fprintf(&b, "  round %2d  %12s  dirty %d B  shipped %d B\n",
+				rd.Round, fmtNs(rd.DurNs), rd.DirtyBytes, rd.ShippedBytes)
+		}
+	}
+	return b.String()
+}
+
+func fmtNs(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.3fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.3fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.3fus", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,183 @@
+package analyze
+
+import (
+	"strings"
+	"testing"
+
+	"snapify/internal/obs"
+	"snapify/internal/simclock"
+)
+
+// scriptedLifecycle builds the tracer the obs golden uses: a two-card
+// pause + 2-stream capture + restore with hand-picked durations, plus
+// an idle gap between capture end (3000) and restore start (3000) — no
+// gap here, but the restore tail ends at 4150.
+func scriptedLifecycle() *obs.Tracer {
+	tr := obs.NewTracer()
+	host := tr.Track("host", "app")
+	host.Emit(0, "snapify_pause", 0, 1000, nil)
+	scope := tr.NewScope()
+	w0 := tr.Track("mic0", "offload_a/stream 0")
+	w1 := tr.Track("mic0", "offload_a/stream 1")
+	w0.Emit(scope, "capture_stream", 1000, 2000, map[string]int64{"stream": 0})
+	w1.Emit(scope, "capture_stream", 1000, 1500, map[string]int64{"stream": 1})
+	host.Emit(scope, "snapify_capture", 1000, 2000, nil)
+	host.Emit(0, "snapify_restore", 3500, 600, nil)
+	host.Emit(0, "snapify_resume", 4100, 50, nil)
+	return tr
+}
+
+// TestCriticalPathTilesWindow is the acceptance-criteria property: the
+// chain's segment durations sum exactly (integer equality) to the
+// trace's end-to-end duration, idle gaps included.
+func TestCriticalPathTilesWindow(t *testing.T) {
+	spans, err := ParseChromeTrace(scriptedLifecycle().ChromeTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := CriticalPath(spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EndToEndNs != 4150 {
+		t.Errorf("end-to-end %d ns, want 4150", r.EndToEndNs)
+	}
+	if got := r.ChainTotalNs(); got != r.EndToEndNs {
+		t.Errorf("chain total %d != end-to-end %d", got, r.EndToEndNs)
+	}
+	// The gap [3000, 3500) has no active span: the chain must carry it
+	// as (idle) so the tiling stays exact.
+	var idle int64
+	for _, seg := range r.Chain {
+		if seg.Name == "(idle)" {
+			idle += seg.DurNs
+		}
+	}
+	if idle != 500 {
+		t.Errorf("idle time %d ns, want 500", idle)
+	}
+}
+
+// TestCriticalPathBlame pins blame attribution: the capture streams
+// (deeper than the covering snapify_capture span) take the capture
+// window, with stream 0 — the straggler — blamed for the skew tail.
+func TestCriticalPathBlame(t *testing.T) {
+	spans, err := ParseChromeTrace(scriptedLifecycle().ChromeTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := CriticalPath(spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected chain: pause 1000 → capture_stream (stream 0, the later
+	// finisher wins both the shared window and the tail) 2000 → idle
+	// 500 → restore 600 → resume 50.
+	wantNames := []string{"snapify_pause", "capture_stream", "(idle)", "snapify_restore", "snapify_resume"}
+	var gotNames []string
+	for _, seg := range r.Chain {
+		gotNames = append(gotNames, seg.Name)
+	}
+	if len(r.Chain) != len(wantNames) {
+		t.Fatalf("chain has %d segments %v, want %d", len(r.Chain), gotNames, len(wantNames))
+	}
+	for i, w := range wantNames {
+		if r.Chain[i].Name != w {
+			t.Errorf("chain[%d] = %q, want %q", i, r.Chain[i].Name, w)
+		}
+	}
+	if r.Chain[1].Thread != "offload_a/stream 0" {
+		t.Errorf("capture window blamed on %q, want the straggler stream 0", r.Chain[1].Thread)
+	}
+	if r.Blame[0].Name != "capture_stream" || r.Blame[0].TotalNs != 2000 {
+		t.Errorf("top blame %+v, want capture_stream 2000ns", r.Blame[0])
+	}
+	// Straggler skew: stream 0 ends at 3000, stream 1 at 2500.
+	if len(r.Skews) != 1 || r.Skews[0].SkewNs != 500 || r.Skews[0].Lanes != 2 {
+		t.Errorf("skews %+v, want one capture_stream skew of 500ns over 2 lanes", r.Skews)
+	}
+	if !strings.Contains(r.Render(0), "capture_stream") {
+		t.Error("render missing blame table")
+	}
+}
+
+// TestCriticalPathRounds: precopy_round spans surface as per-round
+// stats ordered by round number.
+func TestCriticalPathRounds(t *testing.T) {
+	tr := obs.NewTracer()
+	host := tr.Track("host", "app")
+	host.Emit(0, "precopy_round", 0, 100, map[string]int64{"round": 1, "dirty_bytes": 800, "shipped_bytes": 800})
+	host.Emit(0, "precopy_round", 100, 40, map[string]int64{"round": 2, "dirty_bytes": 200, "shipped_bytes": 200})
+	host.Emit(0, "migration_downtime", 140, 10, map[string]int64{"rounds": 2})
+	spans, err := ParseChromeTrace(tr.ChromeTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := CriticalPath(spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rounds) != 2 {
+		t.Fatalf("rounds %+v, want 2", r.Rounds)
+	}
+	if r.Rounds[0].Round != 1 || r.Rounds[0].DirtyBytes != 800 {
+		t.Errorf("round 1 stats %+v", r.Rounds[0])
+	}
+	if r.Rounds[1].Round != 2 || r.Rounds[1].ShippedBytes != 200 {
+		t.Errorf("round 2 stats %+v", r.Rounds[1])
+	}
+	if !strings.Contains(r.Render(0), "pre-copy rounds") {
+		t.Error("render missing rounds section")
+	}
+}
+
+// TestCriticalPathErrors: no spans, or only zero-duration markers.
+func TestCriticalPathErrors(t *testing.T) {
+	if _, err := CriticalPath(nil); err == nil {
+		t.Error("empty span set produced a report")
+	}
+	if _, err := CriticalPath([]obs.Span{{Name: "capture_failed", Start: 5, Dur: 0}}); err == nil {
+		t.Error("marker-only span set produced a report")
+	}
+}
+
+// TestParseChromeTraceRoundTrip: export → parse reproduces the spans
+// the tracer recorded (args minus the dur_ns/scope bookkeeping).
+func TestParseChromeTraceRoundTrip(t *testing.T) {
+	tr := scriptedLifecycle()
+	want := tr.Spans()
+	got, err := ParseChromeTrace(tr.ChromeTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d spans, tracer recorded %d", len(got), len(want))
+	}
+	// The export sorts spans by lane then start; match by identity key.
+	type key struct {
+		p, th, n string
+		start    simclock.Duration
+	}
+	index := map[key]obs.Span{}
+	for _, s := range got {
+		index[key{s.Process, s.Thread, s.Name, s.Start}] = s
+	}
+	for _, w := range want {
+		g, ok := index[key{w.Process, w.Thread, w.Name, w.Start}]
+		if !ok {
+			t.Errorf("span %s/%s %q missing from parse", w.Process, w.Thread, w.Name)
+			continue
+		}
+		if g.Dur != w.Dur || g.Scope != w.Scope {
+			t.Errorf("span %q parsed as dur %v scope %d, want %v/%d", w.Name, g.Dur, g.Scope, w.Dur, w.Scope)
+		}
+		for k, v := range w.Args {
+			if g.Args[k] != v {
+				t.Errorf("span %q arg %s = %d, want %d", w.Name, k, g.Args[k], v)
+			}
+		}
+	}
+	if _, err := ParseChromeTrace([]byte("not json")); err == nil {
+		t.Error("garbage parsed")
+	}
+}

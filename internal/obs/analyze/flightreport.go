@@ -1,0 +1,24 @@
+package analyze
+
+import "snapify/internal/obs"
+
+// FlightReport decodes a flight-recorder dump file (obs.FlightDump
+// JSON) and renders its incident summary followed by the critical path
+// of the embedded trace window. A dump holding only zero-duration
+// marker spans has no path; the summary alone is returned.
+func FlightReport(b []byte) (string, error) {
+	d, err := obs.DecodeFlightDump(b)
+	if err != nil {
+		return "", err
+	}
+	out := d.Summary()
+	spans, err := ParseChromeTrace([]byte(d.Trace))
+	if err != nil {
+		return "", err
+	}
+	r, err := CriticalPath(spans)
+	if err != nil {
+		return out, nil
+	}
+	return out + "\n" + r.Render(10), nil
+}

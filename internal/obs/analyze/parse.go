@@ -1,0 +1,106 @@
+// Package analyze is the insight layer over the obs tracer and metrics:
+// it parses exported Chrome traces back into spans, extracts the
+// critical path through a snapshot lifecycle (blame attribution,
+// straggler skew, per-precopy-round accounting), and diffs benchmark
+// JSON against committed baselines with per-metric tolerances. It
+// consumes only the serialized artifacts (trace JSON, flight dumps,
+// BENCH_*.json), never live platform state, so it works equally on a
+// file from CI and on an in-memory export.
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"snapify/internal/obs"
+	"snapify/internal/simclock"
+)
+
+// ParseChromeTrace validates b (via obs.ValidateChromeTrace) and
+// reconstructs the recorded spans: lane labels from the metadata
+// events, exact nanosecond durations from args.dur_ns, scope from
+// args.scope. The bookkeeping args (dur_ns, scope) are stripped;
+// every other integer arg is kept.
+func ParseChromeTrace(b []byte) ([]obs.Span, error) {
+	if err := obs.ValidateChromeTrace(b); err != nil {
+		return nil, err
+	}
+	return parseEventwise(b)
+}
+
+// parseEventwise decodes each event with json.RawMessage args so that
+// metadata events (string args) and span events (numeric args) coexist.
+func parseEventwise(b []byte) ([]obs.Span, error) {
+	var doc struct {
+		TraceEvents []struct {
+			Name string          `json:"name"`
+			Ph   string          `json:"ph"`
+			TS   float64         `json:"ts"`
+			Dur  float64         `json:"dur"`
+			Pid  int             `json:"pid"`
+			Tid  int             `json:"tid"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil {
+		return nil, fmt.Errorf("analyze: %w", err)
+	}
+	procName := map[int]string{}
+	laneName := map[[2]int]string{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "M" {
+			continue
+		}
+		var margs struct {
+			Name string `json:"name"`
+		}
+		switch ev.Name {
+		case "process_name":
+			if err := json.Unmarshal(ev.Args, &margs); err == nil {
+				procName[ev.Pid] = margs.Name
+			}
+		case "thread_name":
+			if err := json.Unmarshal(ev.Args, &margs); err == nil {
+				laneName[[2]int{ev.Pid, ev.Tid}] = margs.Name
+			}
+		}
+	}
+	var spans []obs.Span
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		var xargs map[string]float64
+		if len(ev.Args) > 0 {
+			if err := json.Unmarshal(ev.Args, &xargs); err != nil {
+				return nil, fmt.Errorf("analyze: span %q args: %w", ev.Name, err)
+			}
+		}
+		s := obs.Span{
+			Process: procName[ev.Pid],
+			Thread:  laneName[[2]int{ev.Pid, ev.Tid}],
+			Name:    ev.Name,
+			Start:   simclock.Duration(int64(math.Round(ev.TS * 1e3))),
+			Dur:     simclock.Duration(int64(xargs["dur_ns"])),
+			Scope:   uint64(xargs["scope"]),
+		}
+		keys := make([]string, 0, len(xargs))
+		for k := range xargs {
+			if k == "dur_ns" || k == "scope" {
+				continue
+			}
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		if len(keys) > 0 {
+			s.Args = make(map[string]int64, len(keys))
+			for _, k := range keys {
+				s.Args[k] = int64(math.Round(xargs[k]))
+			}
+		}
+		spans = append(spans, s)
+	}
+	return spans, nil
+}

@@ -113,6 +113,60 @@ func (h *Histogram) Sum() int64 {
 	return h.sum
 }
 
+// Quantile estimates the q-th quantile (0 < q <= 1) from the bucket
+// counts, histogram_quantile-style: linear interpolation inside the
+// covering bucket, with the lowest bucket anchored at 0. Observations
+// landing in the +Inf bucket clamp to the highest finite bound — the
+// estimate cannot exceed what the buckets can resolve. Returns 0 on
+// nil or when nothing has been observed.
+func (h *Histogram) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.quantileLocked(q)
+}
+
+func (h *Histogram) quantileLocked(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	rank := q * float64(h.count)
+	cum := int64(0)
+	for i, bound := range h.bounds {
+		prev := cum
+		cum += h.counts[i]
+		if float64(cum) >= rank {
+			lower := int64(0)
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			if h.counts[i] == 0 {
+				return bound
+			}
+			frac := (rank - float64(prev)) / float64(h.counts[i])
+			return lower + int64(float64(bound-lower)*frac+0.5)
+		}
+	}
+	if len(h.bounds) > 0 {
+		return h.bounds[len(h.bounds)-1]
+	}
+	// Degenerate histogram with no finite buckets: fall back to the mean.
+	return h.sum / h.count
+}
+
+// exposedQuantiles are the estimates rendered for every histogram
+// series in Expose, as name_quantile{quantile="..."} lines.
+var exposedQuantiles = []struct {
+	label string
+	q     float64
+}{
+	{"0.5", 0.5},
+	{"0.9", 0.9},
+	{"0.99", 0.99},
+}
+
 type metricKind int
 
 const (
@@ -235,6 +289,28 @@ func (r *Registry) familyLocked(name, help string, kind metricKind) *family {
 	return f
 }
 
+// counterSnapshot returns the current value of every counter series as
+// "name{labels}" → value. The flight recorder diffs two snapshots to
+// report what moved around an incident. Callers must iterate sorted
+// keys before serializing.
+func (r *Registry) counterSnapshot() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64)
+	for name, f := range r.families {
+		if f.kind != kindCounter {
+			continue
+		}
+		for k, s := range f.series {
+			out[name+k] = s.counter.Value()
+		}
+	}
+	return out
+}
+
 // renderLabels renders a sorted {k="v",...} string ("" for no labels).
 func renderLabels(labels []Label) string {
 	if len(labels) == 0 {
@@ -309,6 +385,10 @@ func (r *Registry) Expose() string {
 				}
 				cum += h.counts[len(h.bounds)]
 				fmt.Fprintf(&b, "%s_bucket%s %d\n", name, mergeLabels(s.labels, L("le", "+Inf")), cum)
+				for _, eq := range exposedQuantiles {
+					fmt.Fprintf(&b, "%s_quantile%s %d\n",
+						name, mergeLabels(s.labels, L("quantile", eq.label)), h.quantileLocked(eq.q))
+				}
 				fmt.Fprintf(&b, "%s_sum%s %d\n", name, k, h.sum)
 				fmt.Fprintf(&b, "%s_count%s %d\n", name, k, h.count)
 				h.mu.Unlock()

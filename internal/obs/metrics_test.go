@@ -7,7 +7,8 @@ import (
 
 // TestExposeFormat pins the Prometheus text exposition: HELP/TYPE
 // headers, families sorted by name, series sorted by label string,
-// histograms as cumulative buckets with +Inf, sum, and count.
+// histograms as cumulative buckets with +Inf, quantile estimates,
+// sum, and count.
 func TestExposeFormat(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("zz_ops_total", "Operations.", L("op", "pause")).Add(3)
@@ -27,6 +28,9 @@ aa_active 2
 mm_chunk_bytes_bucket{le="10"} 1
 mm_chunk_bytes_bucket{le="100"} 2
 mm_chunk_bytes_bucket{le="+Inf"} 3
+mm_chunk_bytes_quantile{quantile="0.5"} 55
+mm_chunk_bytes_quantile{quantile="0.9"} 100
+mm_chunk_bytes_quantile{quantile="0.99"} 100
 mm_chunk_bytes_sum 555
 mm_chunk_bytes_count 3
 
@@ -38,6 +42,39 @@ zz_ops_total{op="pause"} 3
 `
 	if got := r.Expose(); got != want {
 		t.Errorf("exposition drifted:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestHistogramQuantile pins the bucket-interpolation estimator: the
+// lowest bucket anchors at 0, interior quantiles interpolate linearly
+// within their covering bucket, and the +Inf bucket clamps to the
+// highest finite bound.
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_bytes", "Q.", []int64{100, 1000})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram p50 = %d, want 0", got)
+	}
+	for i := 0; i < 8; i++ {
+		h.Observe(50) // 8 observations in (0, 100]
+	}
+	h.Observe(400)  // 1 in (100, 1000]
+	h.Observe(5000) // 1 in (1000, +Inf]
+	// p50: rank 5 of 10 lands in the first bucket → 0 + 100*(5/8) = 62.5 → 63.
+	if got := h.Quantile(0.5); got != 63 {
+		t.Errorf("p50 = %d, want 63", got)
+	}
+	// p90: rank 9 lands in the (100, 1000] bucket → 100 + 900*(1/1) = 1000.
+	if got := h.Quantile(0.9); got != 1000 {
+		t.Errorf("p90 = %d, want 1000", got)
+	}
+	// p99: rank 9.9 lands in +Inf → clamp to the highest finite bound.
+	if got := h.Quantile(0.99); got != 1000 {
+		t.Errorf("p99 = %d, want 1000", got)
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram quantile = %d, want 0", got)
 	}
 }
 

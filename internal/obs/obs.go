@@ -13,17 +13,30 @@
 // call sites never need nil guards.
 package obs
 
-// Obs bundles the tracer and the metrics registry for one Platform.
-// It is per-Platform, not process-global: the test suite runs many
-// simulated platforms concurrently and their timelines are unrelated.
+import "os"
+
+// Obs bundles the tracer, the metrics registry, and the always-on
+// flight recorder for one Platform. It is per-Platform, not
+// process-global: the test suite runs many simulated platforms
+// concurrently and their timelines are unrelated.
 type Obs struct {
 	Tracer  *Tracer
 	Metrics *Registry
+	Flight  *FlightRecorder
 }
 
-// New returns an Obs with an empty tracer and registry.
+// New returns an Obs with an empty tracer and registry, and a flight
+// recorder fed every span the tracer records. If SNAPIFY_FLIGHT_DIR is
+// set in the environment, each incident dump is also written there.
 func New() *Obs {
-	return &Obs{Tracer: NewTracer(), Metrics: NewRegistry()}
+	t := NewTracer()
+	m := NewRegistry()
+	f := NewFlightRecorder(DefaultFlightSpans, m)
+	if dir := os.Getenv("SNAPIFY_FLIGHT_DIR"); dir != "" {
+		f.SetDumpDir(dir)
+	}
+	t.SetOnEmit(f.Record)
+	return &Obs{Tracer: t, Metrics: m, Flight: f}
 }
 
 // TracerOf returns o.Tracer, tolerating a nil o.
@@ -40,4 +53,12 @@ func (o *Obs) MetricsOf() *Registry {
 		return nil
 	}
 	return o.Metrics
+}
+
+// FlightOf returns o.Flight, tolerating a nil o.
+func (o *Obs) FlightOf() *FlightRecorder {
+	if o == nil {
+		return nil
+	}
+	return o.Flight
 }

@@ -34,6 +34,7 @@ type Tracer struct {
 	procIDs   map[string]int
 	spans     []Span
 	nextScope uint64
+	onEmit    func(Span)
 }
 
 // NewTracer returns an empty tracer.
@@ -84,6 +85,18 @@ func (t *Tracer) NewScope() uint64 {
 	defer t.mu.Unlock()
 	t.nextScope++
 	return t.nextScope
+}
+
+// SetOnEmit installs a callback invoked for every span the tracer
+// records (the flight recorder's feed). The callback runs under the
+// tracer lock and must be cheap; it must not call back into this tracer.
+func (t *Tracer) SetOnEmit(fn func(Span)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.onEmit = fn
 }
 
 // ScopeSpans returns (a copy of) every span recorded under scope, in
@@ -173,6 +186,9 @@ func (tk *Track) Emit(scope uint64, name string, start, dur simclock.Duration, a
 	tk.tracer.spans = append(tk.tracer.spans, s)
 	if end := start + dur; end > tk.cursor {
 		tk.cursor = end
+	}
+	if tk.tracer.onEmit != nil {
+		tk.tracer.onEmit(s)
 	}
 	return s
 }
@@ -285,7 +301,16 @@ func (t *Tracer) ChromeTrace() []byte {
 		copy(tracks, t.order)
 		spans := make([]Span, len(t.spans))
 		copy(spans, t.spans)
+		scopes := t.nextScope
 		t.mu.Unlock()
+
+		// The scope ledger: how many scopes this tracer ever minted. The
+		// validator uses it to reject spans referencing a scope id that was
+		// never created (a corrupted or hand-edited trace).
+		events = append(events, chromeEvent{
+			Name: "scope_count", Ph: "M", Pid: 0, Tid: 0,
+			Args: map[string]any{"count": int64(scopes)},
+		})
 
 		seenProc := make(map[int]bool)
 		for _, tk := range tracks {
@@ -358,8 +383,11 @@ func (t *Tracer) ChromeTrace() []byte {
 // trace-event JSON as produced by ChromeTrace: a non-empty traceEvents
 // array of "X"/"M" events, every X span named, non-negative, carrying a
 // dur_ns arg consistent with its microsecond dur, its (pid, tid) lane
-// labeled by metadata, and spans on one lane properly nested (contained
-// or disjoint — partial overlap would render garbage in Perfetto).
+// labeled by metadata, spans on one lane properly nested (contained
+// or disjoint — partial overlap would render garbage in Perfetto), and
+// every args.scope a positive integer no larger than the scope_count
+// ledger (when the trace carries one): a span may not reference a scope
+// the tracer never created.
 func ValidateChromeTrace(b []byte) error {
 	var doc struct {
 		TraceEvents []struct {
@@ -387,6 +415,14 @@ func ValidateChromeTrace(b []byte) error {
 	}
 	lanes := make(map[lane][]ispan)
 	nX := 0
+	scopeCount := int64(-1) // -1: trace carries no scope ledger
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "scope_count" {
+			if c, ok := ev.Args["count"].(float64); ok {
+				scopeCount = int64(c)
+			}
+		}
+	}
 	for i, ev := range doc.TraceEvents {
 		switch ev.Ph {
 		case "M":
@@ -415,6 +451,16 @@ func ValidateChromeTrace(b []byte) error {
 			if diff := ev.Dur*1e3 - durNS; diff > 1 || diff < -1 {
 				return fmt.Errorf("trace: event %d (%s): dur %.3fus disagrees with dur_ns %d",
 					i, ev.Name, ev.Dur, int64(durNS))
+			}
+			if rawScope, ok := ev.Args["scope"]; ok {
+				sc, ok := rawScope.(float64)
+				if !ok || sc != float64(int64(sc)) || sc < 1 {
+					return fmt.Errorf("trace: event %d (%s): args.scope %v is not a positive integer", i, ev.Name, rawScope)
+				}
+				if scopeCount >= 0 && int64(sc) > scopeCount {
+					return fmt.Errorf("trace: event %d (%s): references scope %d, but only %d scope(s) were ever created",
+						i, ev.Name, int64(sc), scopeCount)
+				}
 			}
 			l := lane{ev.Pid, ev.Tid}
 			start := int64(ev.Ts*1e3 + 0.5)

@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -146,6 +147,22 @@ func TestValidateChromeTraceRejects(t *testing.T) {
 			{"name":"a","ph":"X","ts":0,"dur":2,"pid":1,"tid":1,"args":{"dur_ns":2000}},
 			{"name":"b","ph":"X","ts":1,"dur":2,"pid":1,"tid":1,"args":{"dur_ns":2000}}]}`,
 			"partially overlaps"},
+		{"scope never created", `{"traceEvents":[
+			{"name":"scope_count","ph":"M","ts":0,"pid":0,"tid":0,"args":{"count":1}},
+			{"name":"process_name","ph":"M","ts":0,"pid":1,"tid":0,"args":{"name":"host"}},
+			{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":1,"args":{"name":"app"}},
+			{"name":"x","ph":"X","ts":0,"dur":1,"pid":1,"tid":1,"args":{"dur_ns":1000,"scope":3}}]}`,
+			"only 1 scope(s) were ever created"},
+		{"non-integer scope", `{"traceEvents":[
+			{"name":"process_name","ph":"M","ts":0,"pid":1,"tid":0,"args":{"name":"host"}},
+			{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":1,"args":{"name":"app"}},
+			{"name":"x","ph":"X","ts":0,"dur":1,"pid":1,"tid":1,"args":{"dur_ns":1000,"scope":1.5}}]}`,
+			"not a positive integer"},
+		{"zero scope arg", `{"traceEvents":[
+			{"name":"process_name","ph":"M","ts":0,"pid":1,"tid":0,"args":{"name":"host"}},
+			{"name":"thread_name","ph":"M","ts":0,"pid":1,"tid":1,"args":{"name":"app"}},
+			{"name":"x","ph":"X","ts":0,"dur":1,"pid":1,"tid":1,"args":{"dur_ns":1000,"scope":0}}]}`,
+			"not a positive integer"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -155,6 +172,30 @@ func TestValidateChromeTraceRejects(t *testing.T) {
 			}
 			if !strings.Contains(err.Error(), tc.wantErr) {
 				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestValidateBadTraceFixtures runs the validator over the committed
+// bad-trace goldens (testdata/bad_*.json) — corrupted exports a tool in
+// the wild might hand us — and demands each is rejected.
+func TestValidateBadTraceFixtures(t *testing.T) {
+	fixtures, err := filepath.Glob("testdata/bad_*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixtures) == 0 {
+		t.Fatal("no bad_*.json fixtures found")
+	}
+	for _, path := range fixtures {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := ValidateChromeTrace(b); err == nil {
+				t.Errorf("%s validated; fixture must be rejected", path)
 			}
 		})
 	}

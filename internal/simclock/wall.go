@@ -1,0 +1,38 @@
+package simclock
+
+import "time"
+
+// WallTimer measures real elapsed wall-clock time of the simulator
+// harness itself — the one legitimate wall-clock reading in the tree.
+// Everything the paper's figures report is virtual time from the cost
+// model; the wall timer exists so snapbench can report how fast the
+// *simulator* runs (ns of host CPU per GiB of simulated image), which
+// is what bounds fleet-scale experiments. Wall readings are
+// machine-dependent and must never feed a deterministic artifact:
+// benchmark JSON carries them in fields containing "wall", which the
+// analyze regression gate skips.
+type WallTimer struct {
+	start time.Time
+}
+
+// StartWall starts a wall-clock timer.
+func StartWall() WallTimer {
+	return WallTimer{start: time.Now()}
+}
+
+// ElapsedNs returns the real nanoseconds since StartWall.
+func (w WallTimer) ElapsedNs() int64 {
+	if w.start.IsZero() {
+		return 0
+	}
+	return time.Since(w.start).Nanoseconds()
+}
+
+// WallNsPerGiB scales elapsed wall nanoseconds to a per-GiB rate over
+// the given number of simulated bytes (0 if bytes is 0).
+func WallNsPerGiB(elapsedNs, bytes int64) int64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return int64(float64(elapsedNs) * float64(GiB) / float64(bytes))
+}

@@ -280,6 +280,18 @@ func (d *Daemon) discardAssembly(path string) {
 // is wiped. The listener stays bound: by the time a client observes the
 // connection resets, the restarted daemon is already accepting again.
 func (d *Daemon) crash() {
+	d.teardown()
+	// A daemon crash is exactly the incident the always-on flight
+	// recorder exists for: freeze the recent-span ring before recovery
+	// machinery overwrites it.
+	d.svc.obs.FlightOf().Trigger("snapifyio: injected daemon crash on " + d.node.String())
+}
+
+// teardown is the state-wiping half of crash, shared with the clean
+// Service.Stop path — which must NOT trigger a flight dump: a planned
+// shutdown is not an incident, and a dump there would overwrite the one
+// a real failure just recorded.
+func (d *Daemon) teardown() {
 	// Connections reset in (remote, local) address order and assemblies
 	// abort in path order: both teardowns touch the simulated network and
 	// file systems, so iterating the maps directly would make post-crash

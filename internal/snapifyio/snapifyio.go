@@ -431,7 +431,8 @@ func (s *Service) Stop() {
 		close(d.done)
 		delete(s.daemons, node)
 		// Drop any assemblies still waiting for a resume so no partial
-		// files outlive the service.
-		d.crash()
+		// files outlive the service. Plain teardown, not crash(): a clean
+		// stop is not an incident and must not trigger a flight dump.
+		d.teardown()
 	}
 }

@@ -12,9 +12,29 @@
 # over a 1-8 GiB image grid — enforcing byte-identical restores and a
 # live downtime that stays bounded while stop-the-world grows linearly —
 # and records BENCH_migrate.json. All land at the repository root.
+#
+# Every row also records the harness's own wall-clock cost (wall_ns /
+# wall_*_ns fields, plus the per-result wall_ns_per_gib normalization):
+# how much real time the simulation spent producing its virtual numbers.
+# Wall fields are machine-dependent and excluded from the regression
+# gate (`snapbench -check baselines/`); everything else is virtual-clock
+# deterministic and gated exactly.
+#
+#   bench.sh          regenerate the full-scale BENCH_*.json at the root
+#   bench.sh -smoke   regenerate the smoke-scale baselines/ the verify.sh
+#                     regression gate compares against
 set -eu
 
 cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "-smoke" ]; then
+    echo "==> regenerating smoke-scale regression-gate baselines (baselines/)"
+    mkdir -p baselines
+    go run ./cmd/snapbench -parallel -smoke -json baselines/BENCH_capture.json
+    go run ./cmd/snapbench -store -smoke -json baselines/BENCH_dedup.json
+    go run ./cmd/snapbench -migrate -smoke -json baselines/BENCH_migrate.json
+    exit 0
+fi
 
 echo "==> parallel capture sweep (8 GiB image, streams 1/2/4/8)"
 go run ./cmd/snapbench -parallel -json BENCH_capture.json

@@ -51,6 +51,12 @@ echo "==> snapbench -parallel -smoke -trace (parallel capture + trace smoke)"
 # trace fails the gate.
 trace_out=$(mktemp /tmp/snapify_trace_smoke.XXXXXX.json)
 go run ./cmd/snapbench -parallel -smoke -trace "$trace_out"
+
+echo "==> snapifyctl analyze critical-path (smoke trace)"
+# The critical-path analyzer must decompose the smoke trace into a chain
+# whose summed segments exactly tile the end-to-end window (the analyzer
+# errors out otherwise — integer-equality, no tolerance).
+go run ./cmd/snapifyctl analyze critical-path "$trace_out"
 rm -f "$trace_out"
 
 echo "==> snapbench -store -smoke -trace (dedup store + trace smoke)"
@@ -71,5 +77,13 @@ echo "==> snapbench -migrate -smoke -trace (live migration + trace smoke)"
 migrate_trace=$(mktemp /tmp/snapify_migrate_smoke.XXXXXX.json)
 go run ./cmd/snapbench -migrate -smoke -trace "$migrate_trace"
 rm -f "$migrate_trace"
+
+echo "==> snapbench -check baselines/ (benchmark regression gate)"
+# Re-runs every committed smoke-scale baseline at its recorded parameters
+# and fails on any drifted non-wall field: the virtual clock makes every
+# benchmark number exactly reproducible, so a drift means the data path
+# changed and the baselines (and their analysis) must be regenerated
+# deliberately — scripts/bench.sh -smoke refreshes them.
+go run ./cmd/snapbench -check baselines/
 
 echo "verify: all gates passed"
