@@ -56,6 +56,7 @@ func main() {
 	parallel := flag.Bool("parallel", false, "run the multi-stream parallel capture sweep")
 	store := flag.Bool("store", false, "run the dedup-store swap-cycle comparison")
 	migrate := flag.Bool("migrate", false, "run the stop-the-world vs live migration downtime sweep")
+	federation := flag.Bool("federation", false, "run the cross-host federation benchmark: migration dedup + host-kill recovery from replicas")
 	jsonPath := flag.String("json", "", "with -parallel, -store, or -migrate: also write the result as JSON to this file")
 	tracePath := flag.String("trace", "", "with -parallel, -store, or -migrate: write the run's Chrome trace-event JSON to this file (open in Perfetto)")
 	smoke := flag.Bool("smoke", false, "with -parallel, -store, -migrate, or -faults: use a small image (fast CI smoke, shape still checked)")
@@ -84,7 +85,7 @@ func main() {
 		return
 	}
 
-	if !*all && *table == 0 && *fig == 0 && !*ablations && !*parallel && !*store && !*migrate && *faults == "" {
+	if !*all && *table == 0 && *fig == 0 && !*ablations && !*parallel && !*store && !*migrate && !*federation && *faults == "" {
 		*all = true
 	}
 
@@ -147,8 +148,49 @@ func main() {
 		}
 		runMigrate(*smoke, jp, tp, *analyzeTrace)
 	}
+	if *all || *federation {
+		jp := *jsonPath
+		if *all && !*federation {
+			jp = ""
+		}
+		runFederation(*smoke, jp)
+	}
 	if *faults != "" {
 		runFaults(*faults, *smoke)
+	}
+}
+
+// runFederation executes the cross-host federation benchmark. Its shape
+// check (>= 2x cross-host dedup on warm legs, byte-identical
+// restart-from-replica after a host kill, repaired replica sets, clean
+// fsck) always runs: the benchmark exists to pin those claims.
+func runFederation(smoke bool, jsonPath string) {
+	size := int64(experiments.FederationImageBytes)
+	if smoke {
+		size = 96 * simclock.MiB
+	}
+	res, err := experiments.FederationBench(size, experiments.FederationHosts, experiments.FederationLegs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "snapbench: federation: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(res.Render())
+	if err := res.CheckShape(); err != nil {
+		fmt.Fprintf(os.Stderr, "snapbench: federation shape check FAILED: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("[federation shape check: OK]")
+	if jsonPath != "" {
+		out, err := res.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snapbench: federation: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(jsonPath, out, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "snapbench: writing %s: %v\n", jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[wrote %s]\n", jsonPath)
 	}
 }
 

@@ -23,10 +23,12 @@ type App struct {
 	plat   *platform.Platform
 	client *blcr.Client
 
-	mu   sync.Mutex
-	cp   *coi.Process
-	dir  string
-	last *CheckpointReport
+	mu      sync.Mutex
+	cp      *coi.Process
+	dir     string
+	last    *CheckpointReport
+	capture CaptureOptions
+	restore RestoreOptions
 }
 
 // HostContextFileName is the host process's BLCR context file inside a
@@ -89,12 +91,37 @@ func (a *App) Proc() *coi.Process {
 // signals through it).
 func (a *App) Client() *blcr.Client { return a.client }
 
+// SetOptions configures how the callback captures and restores the
+// offload process — store-backed data paths, parallel streams, retry,
+// replication targets. The zero values (the default) are the plain
+// serial paths.
+func (a *App) SetOptions(capture CaptureOptions, restore RestoreOptions) error {
+	if err := capture.validate(); err != nil {
+		return err
+	}
+	if err := restore.validate(); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.capture, a.restore = capture, restore
+	return nil
+}
+
+// Options returns the callback's configured capture and restore options.
+func (a *App) Options() (CaptureOptions, RestoreOptions) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.capture, a.restore
+}
+
 // callback is Fig 5a: pause + capture the offload process, snapshot the
 // host process, then either finish the capture (continue) or restore the
 // offload process (restart).
 func (a *App) callback(req *blcr.Request) error {
 	a.mu.Lock()
 	cp, dir := a.cp, a.dir
+	captureOpts, restoreOpts := a.capture, a.restore
 	a.mu.Unlock()
 
 	var snap *Snapshot
@@ -103,7 +130,7 @@ func (a *App) callback(req *blcr.Request) error {
 		if err := snap.Pause(); err != nil {
 			return err
 		}
-		if err := snap.Capture(CaptureOptions{}); err != nil {
+		if err := snap.Capture(captureOpts); err != nil {
 			return err
 		}
 	}
@@ -133,7 +160,7 @@ func (a *App) callback(req *blcr.Request) error {
 		// when the host snapshot was taken. Recreate it on the device the
 		// handle names (GetDeviceID in Fig 5a) and resume.
 		snap = NewSnapshot(dir, cp)
-		if _, err := snap.Restore(cp.DeviceNode(), RestoreOptions{}); err != nil {
+		if _, err := snap.Restore(cp.DeviceNode(), restoreOpts); err != nil {
 			return err
 		}
 		if err := snap.Resume(); err != nil {
@@ -171,12 +198,23 @@ func (a *App) Checkpoint(dir string) (*CheckpointReport, error) {
 	return a.last, nil
 }
 
-// RestartApp restores a whole application from a snapshot directory: the
-// host process first (BLCR), then — through the callback's restart branch —
-// the offload process. It returns the new App, the restored host process,
-// and the timing report. The restored host process's step gate is released
-// before return.
+// RestartApp restores a whole application from a snapshot directory with
+// the plain serial restore path; see RestartAppOptions.
 func RestartApp(plat *platform.Platform, dir string) (*App, *proc.Process, *RestartReport, error) {
+	return RestartAppOptions(plat, dir, RestoreOptions{})
+}
+
+// RestartAppOptions restores a whole application from a snapshot
+// directory: the host process first (BLCR), then — through the
+// callback's restart branch — the offload process, restored with the
+// given options (a store-resident snapshot needs Store.Enabled here).
+// It returns the new App, the restored host process, and the timing
+// report. The restored host process's step gate is released before
+// return.
+func RestartAppOptions(plat *platform.Platform, dir string, restore RestoreOptions) (*App, *proc.Process, *RestartReport, error) {
+	if err := restore.validate(); err != nil {
+		return nil, nil, nil, err
+	}
 	src, err := stream.NewHostFSSource(plat.Host().FS, dir+"/"+HostContextFileName)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("core: opening host context: %w", err)
@@ -196,7 +234,7 @@ func RestartApp(plat *platform.Platform, dir string) (*App, *proc.Process, *Rest
 	tl := simclock.NewTimeline()
 	cp := coi.AttachRestored(plat, hostProc, tl, meta)
 
-	a := &App{plat: plat, client: blcr.NewClient(plat.CR, hostProc), cp: cp, dir: dir}
+	a := &App{plat: plat, client: blcr.NewClient(plat.CR, hostProc), cp: cp, dir: dir, restore: restore}
 	a.client.RegisterCallback(a.callback)
 
 	// Execution resumes inside cr_checkpoint: the callback's restart

@@ -9,8 +9,7 @@ import (
 	"time"
 
 	"snapify/internal/coi"
-	"snapify/internal/phi"
-	"snapify/internal/platform"
+	"snapify/internal/platform/platformtest"
 	"snapify/internal/proc"
 	"snapify/internal/simclock"
 	"snapify/internal/simnet"
@@ -61,14 +60,7 @@ func runScenario(t *testing.T, dataSeed int64, ops []injection) uint64 {
 	binName := fmt.Sprintf("consistency_%d", scenarioCounter)
 	coi.RegisterBinary(consistencyBinary(binName))
 
-	plat, err := platform.New(platform.Config{Server: phi.ServerConfig{Devices: 2}})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := coi.StartDaemons(plat); err != nil {
-		t.Fatal(err)
-	}
-	defer coi.StopDaemons(plat)
+	plat := platformtest.Start(t, platformtest.Options{Devices: 2})
 
 	host := plat.Procs.Spawn("host_proc", simnet.HostNode, plat.Host().Mem)
 	defer host.Terminate()

@@ -7,8 +7,8 @@ import (
 	"time"
 
 	"snapify/internal/coi"
-	"snapify/internal/phi"
 	"snapify/internal/platform"
+	"snapify/internal/platform/platformtest"
 	"snapify/internal/proc"
 	"snapify/internal/simclock"
 	"snapify/internal/simnet"
@@ -58,14 +58,7 @@ type rig struct {
 func newRig(t *testing.T, binName string, devices int) *rig {
 	t.Helper()
 	coi.RegisterBinary(testBinary(binName))
-	plat, err := platform.New(platform.Config{Server: phi.ServerConfig{Devices: devices}})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := coi.StartDaemons(plat); err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { coi.StopDaemons(plat) })
+	plat := platformtest.Start(t, platformtest.Options{Devices: devices})
 	host := plat.Procs.Spawn("host_proc", simnet.HostNode, plat.Host().Mem)
 	tl := simclock.NewTimeline()
 	cp, err := coi.CreateProcess(plat, host, tl, 1, binName)
@@ -404,14 +397,7 @@ func waitFor(t *testing.T, cond func() bool) {
 // Section 4.1).
 func TestOneHostTwoCards(t *testing.T) {
 	coi.RegisterBinary(testBinary("core_twocards"))
-	plat, err := platform.New(platform.Config{Server: phi.ServerConfig{Devices: 2}})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := coi.StartDaemons(plat); err != nil {
-		t.Fatal(err)
-	}
-	defer coi.StopDaemons(plat)
+	plat := platformtest.Start(t, platformtest.Options{Devices: 2})
 	host := plat.Procs.Spawn("host_two", simnet.HostNode, plat.Host().Mem)
 	tl := simclock.NewTimeline()
 

@@ -5,8 +5,7 @@ import (
 	"testing"
 
 	"snapify/internal/coi"
-	"snapify/internal/phi"
-	"snapify/internal/platform"
+	"snapify/internal/platform/platformtest"
 	"snapify/internal/simclock"
 	"snapify/internal/simnet"
 )
@@ -17,17 +16,7 @@ import (
 // a card with room.
 func TestRestoreOntoFullCardFailsCleanly(t *testing.T) {
 	coi.RegisterBinary(testBinary("core_fullcard"))
-	plat, err := platform.New(platform.Config{Server: phi.ServerConfig{
-		Devices: 2,
-		Device:  phi.DeviceConfig{MemBytes: 1 * simclock.GiB},
-	}})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := coi.StartDaemons(plat); err != nil {
-		t.Fatal(err)
-	}
-	defer coi.StopDaemons(plat)
+	plat := platformtest.Start(t, platformtest.Options{Devices: 2, CardMem: 1 * simclock.GiB})
 
 	host := plat.Procs.Spawn("host_full", simnet.HostNode, plat.Host().Mem)
 	tl := simclock.NewTimeline()

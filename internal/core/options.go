@@ -31,6 +31,12 @@ func (o *CaptureOptions) validate() error {
 	if o.Store.Parent != "" && !o.Store.Enabled {
 		return errors.New("core: CaptureOptions.Store.Parent is set but Store.Enabled is false; enable the store to extend a parent manifest")
 	}
+	if o.Store.Replicas < 0 {
+		return fmt.Errorf("core: CaptureOptions.Store.Replicas is %d; want 0 (no replication) or a positive copy count", o.Store.Replicas)
+	}
+	if o.Store.Replicas > 0 && !o.Store.Enabled {
+		return errors.New("core: CaptureOptions.Store.Replicas is set but Store.Enabled is false; replication rides the store federation")
+	}
 	return nil
 }
 
@@ -50,6 +56,9 @@ func (o *RestoreOptions) validate() error {
 	}
 	if o.Store.Parent != "" {
 		return errors.New("core: RestoreOptions.Store.Parent has no meaning on restore; leave it empty")
+	}
+	if o.Store.Replicas != 0 {
+		return errors.New("core: RestoreOptions.Store.Replicas has no meaning on restore; leave it zero")
 	}
 	return nil
 }

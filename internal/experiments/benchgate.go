@@ -66,6 +66,8 @@ func rerunBaseline(baseline []byte) ([]byte, error) {
 		Benchmark  string `json:"benchmark"`
 		ImageBytes int64  `json:"image_bytes"`
 		Cycles     int    `json:"cycles"`
+		Hosts      int    `json:"hosts"`
+		Legs       int    `json:"legs"`
 		Rows       []struct {
 			Streams    int   `json:"streams"`
 			ImageBytes int64 `json:"image_bytes"`
@@ -90,6 +92,12 @@ func rerunBaseline(baseline []byte) ([]byte, error) {
 		return res.JSON()
 	case "dedup-swap":
 		res, err := DedupSwap(head.ImageBytes, head.Cycles)
+		if err != nil {
+			return nil, err
+		}
+		return res.JSON()
+	case "federation":
+		res, err := FederationBench(head.ImageBytes, head.Hosts, head.Legs)
 		if err != nil {
 			return nil, err
 		}

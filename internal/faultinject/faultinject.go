@@ -87,6 +87,14 @@ const (
 	// fires once per chunk the sweep examines (a Crash abandons the
 	// sweep mid-way — re-running GC must converge).
 	SiteStore Site = "snapstore.op"
+	// SiteFederation is the cross-host store federation's choke points.
+	// Key "negotiate" fires when a ship negotiates against the
+	// destination store, "chunk" once per chunk shipped cross-host,
+	// "repair" once per replica re-established by the repair loop. A
+	// Crash kills the destination host mid-op (the federation marks it
+	// dead and the op fails with ErrHostDead); ships and repairs must
+	// stay retryable against the surviving members.
+	SiteFederation Site = "snapstore.federation"
 )
 
 // LinkKey renders the canonical key for a directed link fault at

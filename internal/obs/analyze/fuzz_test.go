@@ -1,0 +1,44 @@
+package analyze
+
+import (
+	"testing"
+)
+
+// FuzzParseChromeTrace throws arbitrary bytes at the trace parser. The
+// parser is the analyze layer's input surface for artifacts produced
+// outside the process (CI trace files, user-supplied exports), so it
+// must reject malformed documents with an error — never panic — and
+// every span it does return must carry what ValidateChromeTrace
+// guarantees: a name, and a non-negative start.
+func FuzzParseChromeTrace(f *testing.F) {
+	f.Add([]byte(`{"traceEvents":[` +
+		`{"name":"process_name","ph":"M","pid":1,"args":{"name":"host"}},` +
+		`{"name":"thread_name","ph":"M","pid":1,"tid":2,"args":{"name":"stream0"}},` +
+		`{"name":"capture","ph":"X","ts":1.5,"dur":2,"pid":1,"tid":2,"args":{"dur_ns":2000,"bytes":4096}}` +
+		`]}`))
+	f.Add([]byte(`{"traceEvents":[` +
+		`{"name":"scope_count","ph":"M","pid":1,"args":{"count":1}},` +
+		`{"name":"process_name","ph":"M","pid":1,"args":{"name":"host"}},` +
+		`{"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"lane"}},` +
+		`{"name":"outer","ph":"X","ts":0,"dur":5,"pid":1,"tid":1,"args":{"dur_ns":5000,"scope":1}},` +
+		`{"name":"inner","ph":"X","ts":1,"dur":2,"pid":1,"tid":1,"args":{"dur_ns":2000,"scope":1}}` +
+		`]}`))
+	f.Add([]byte(`{"traceEvents":[]}`))
+	f.Add([]byte(`{"traceEvents":[{"name":"x","ph":"X","ts":-1,"dur":1,"pid":1,"tid":1,"args":{"dur_ns":1000}}]}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spans, err := ParseChromeTrace(data)
+		if err != nil {
+			return // rejected input: the only requirement is "no panic"
+		}
+		for i, s := range spans {
+			if s.Name == "" {
+				t.Fatalf("span %d accepted without a name", i)
+			}
+			if s.Start < 0 {
+				t.Fatalf("span %d (%s) accepted with negative start %d", i, s.Name, s.Start)
+			}
+		}
+	})
+}

@@ -1,0 +1,301 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"snapify/internal/coi"
+	"snapify/internal/faultinject"
+	"snapify/internal/obs"
+	"snapify/internal/platform/platformtest"
+	"snapify/internal/snapstore"
+	"snapify/internal/workloads"
+)
+
+// fleetEnv is an n-host fleet with a swappable federation fault
+// injector (nil means no faults).
+type fleetEnv struct {
+	fleet *Fleet
+	inj   *faultinject.Injector
+}
+
+func newFleetEnv(t *testing.T, hosts int, replicas int) *fleetEnv {
+	t.Helper()
+	fe := &fleetEnv{}
+	fe.fleet = NewFleet(obs.New(), snapstore.DefaultLink(), func() *faultinject.Injector { return fe.inj })
+	for i := 0; i < hosts; i++ {
+		name := string(rune('a' + i))
+		plat := platformtest.Start(t, platformtest.Options{Devices: 1})
+		if err := fe.fleet.AddHost("h"+name, plat); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fe.fleet.Capture.Streams = 2
+	fe.fleet.Capture.ChunkBytes = 256 * 1024
+	fe.fleet.Capture.Store.Enabled = true
+	fe.fleet.Capture.Store.Replicas = replicas
+	fe.fleet.Restore.Store.Enabled = true
+	return fe
+}
+
+func (fe *fleetEnv) arm(plan faultinject.Plan) { fe.inj = faultinject.New(plan, nil) }
+func (fe *fleetEnv) disarm()                  { fe.inj = nil }
+
+// referenceChecksum runs spec uninterrupted on a fresh platform.
+func referenceChecksum(t *testing.T, spec workloads.Spec) uint64 {
+	t.Helper()
+	plat := platformtest.Start(t, platformtest.Options{Devices: 1})
+	in, err := workloads.Launch(plat, spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	want, err := in.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// ctxDigests returns the chunk digest list of the job's offload context
+// manifest in the named member's store — the byte-identity fingerprint.
+func ctxDigests(t *testing.T, f *Fleet, host string, j *FleetJob) []string {
+	t.Helper()
+	st, err := f.Federation().StoreOf(host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := st.Manifest(j.Dir + "/" + coi.ContextFileName)
+	if err != nil {
+		t.Fatalf("no context manifest for job %d on %s: %v", j.ID, host, err)
+	}
+	return m.Chunks
+}
+
+func assertFleetFsckClean(t *testing.T, f *Fleet) {
+	t.Helper()
+	for _, name := range f.Federation().Members() {
+		if !f.Federation().Alive(name) {
+			continue
+		}
+		st, err := f.Federation().StoreOf(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if problems, _ := st.Verify(); len(problems) != 0 {
+			t.Errorf("store on %s inconsistent: %v", name, problems)
+		}
+	}
+}
+
+// TestFleetMigrateJobCrossHostDedup moves a job between hosts twice:
+// the first migration ships the whole image cold, the return trip
+// negotiates against a store that already holds the first checkpoint's
+// chunks and ships almost nothing (the tentpole's >= 2x dedup claim).
+func TestFleetMigrateJobCrossHostDedup(t *testing.T) {
+	fe := newFleetEnv(t, 2, 0)
+	spec := smallSpec("FM", 8)
+	want := referenceChecksum(t, spec)
+
+	j, err := fe.fleet.Submit(spec, "ha", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Inst.RunCalls(3); err != nil {
+		t.Fatal(err)
+	}
+
+	cold, err := fe.fleet.MigrateJob(j, "hb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Host != "hb" {
+		t.Fatalf("job migrated to %q, want hb", j.Host)
+	}
+	if cold.BytesShipped == 0 {
+		t.Fatal("cold migration shipped nothing")
+	}
+	if _, err := j.Inst.RunCalls(1); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, err := fe.fleet.MigrateJob(j, "ha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.BytesLogical < 2*warm.BytesShipped {
+		t.Errorf("warm migration dedup ratio %.2f, want >= 2 (logical %d, shipped %d)",
+			float64(warm.BytesLogical)/float64(warm.BytesShipped), warm.BytesLogical, warm.BytesShipped)
+	}
+	if warm.ChunksDeduped == 0 {
+		t.Error("warm migration deduped no chunks")
+	}
+
+	if err := fe.fleet.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Inst.Checksum(); got != want {
+		t.Errorf("checksum after two migrations %d, want %d", got, want)
+	}
+	assertFleetFsckClean(t, fe.fleet)
+}
+
+// TestFleetHostKillRecovery is the PR's acceptance scenario: jobs
+// checkpoint with k=2 replication, the whole host dies, and Recover
+// restarts every lost job on a surviving replica holder with
+// byte-identical state (same context chunk digests, same progress,
+// same final checksum).
+func TestFleetHostKillRecovery(t *testing.T) {
+	fe := newFleetEnv(t, 3, 2)
+	spec := smallSpec("FK", 8)
+	want := referenceChecksum(t, spec)
+
+	var jobs []*FleetJob
+	for i := 0; i < 2; i++ {
+		j, err := fe.fleet.Submit(spec, "ha", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := j.Inst.RunCalls(4); err != nil {
+			t.Fatal(err)
+		}
+		_, holders, err := fe.fleet.Checkpoint(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(holders) < 2 {
+			t.Fatalf("job %d replicated to %v, want >= 2 holders", j.ID, holders)
+		}
+		jobs = append(jobs, j)
+	}
+	// Fingerprint the checkpoints before the failure.
+	digests := make(map[int][]string)
+	for _, j := range jobs {
+		digests[j.ID] = ctxDigests(t, fe.fleet, "ha", j)
+	}
+
+	if err := fe.fleet.KillHost("ha"); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if !j.Lost {
+			t.Fatalf("job %d not marked lost after host kill", j.ID)
+		}
+	}
+	if _, err := fe.fleet.Submit(spec, "ha", 1); err == nil {
+		t.Fatal("submitting to a dead host must fail")
+	}
+
+	recovered, err := fe.fleet.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 2 {
+		t.Fatalf("recovered %d jobs, want 2", len(recovered))
+	}
+	for _, j := range jobs {
+		if j.Lost || j.Host == "ha" {
+			t.Fatalf("job %d still lost or on the dead host (%q)", j.ID, j.Host)
+		}
+		// Progress rolled back exactly to the checkpoint.
+		if got := j.Inst.Progress(); got != 4 {
+			t.Errorf("job %d restored progress %d, want 4", j.ID, got)
+		}
+		// Byte identity: the replica's context manifest lists the same
+		// chunk digests the source committed.
+		got := ctxDigests(t, fe.fleet, j.Host, j)
+		if strings.Join(got, ",") != strings.Join(digests[j.ID], ",") {
+			t.Errorf("job %d context digests differ after recovery", j.ID)
+		}
+	}
+
+	if err := fe.fleet.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if got := j.Inst.Checksum(); got != want {
+			t.Errorf("job %d checksum after recovery %d, want %d", j.ID, got, want)
+		}
+	}
+	assertFleetFsckClean(t, fe.fleet)
+}
+
+// TestFleetRecoverNeedsReplicas: without replication the snapshot dies
+// with its host and Recover reports the loss instead of fabricating
+// state.
+func TestFleetRecoverNeedsReplicas(t *testing.T) {
+	fe := newFleetEnv(t, 2, 0)
+	j, err := fe.fleet.Submit(smallSpec("FN", 4), "ha", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Inst.RunCalls(2); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fe.fleet.Checkpoint(j); err != nil {
+		t.Fatal(err)
+	}
+	if err := fe.fleet.KillHost("ha"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fe.fleet.Recover(); err == nil {
+		t.Fatal("recover without replicas must fail")
+	}
+}
+
+// TestChaosFleetKillDuringReplication injects a host crash in the
+// middle of the replication ship: the checkpoint's replication leg
+// fails, the repair loop re-establishes k on the remaining host, and
+// after the source also dies the job still recovers.
+func TestChaosFleetKillDuringReplication(t *testing.T) {
+	fe := newFleetEnv(t, 3, 2)
+	j, err := fe.fleet.Submit(smallSpec("FC", 8), "ha", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Inst.RunCalls(4); err != nil {
+		t.Fatal(err)
+	}
+
+	// The destination host dies while chunks are in flight.
+	fe.arm(faultinject.Plan{{Site: faultinject.SiteFederation, Key: "chunk", Kind: faultinject.Crash, Nth: 2}})
+	_, _, err = fe.fleet.Checkpoint(j)
+	fe.disarm()
+	if err == nil {
+		t.Fatal("replication onto a dying host must surface an error")
+	}
+	if fe.fleet.Federation().ReplicaLag() == 0 {
+		t.Fatal("no replica lag after a failed replication")
+	}
+
+	// The repair loop tops the set back up on the surviving host.
+	stats, _, err := fe.fleet.Federation().Repair(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ReplicasAdded == 0 {
+		t.Fatal("repair added no replicas")
+	}
+	if lag := fe.fleet.Federation().ReplicaLag(); lag != 0 {
+		t.Fatalf("replica lag %d after repair, want 0", lag)
+	}
+
+	// Now the source dies too; the repaired replica carries the job.
+	if err := fe.fleet.KillHost("ha"); err != nil {
+		t.Fatal(err)
+	}
+	recovered, err := fe.fleet.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 1 {
+		t.Fatalf("recovered %d jobs, want 1", len(recovered))
+	}
+	if got := j.Inst.Progress(); got != 4 {
+		t.Errorf("recovered progress %d, want 4", got)
+	}
+	if err := fe.fleet.Run(); err != nil {
+		t.Fatal(err)
+	}
+	assertFleetFsckClean(t, fe.fleet)
+}

@@ -6,8 +6,7 @@ import (
 
 	"snapify/internal/coi"
 	"snapify/internal/core"
-	"snapify/internal/phi"
-	"snapify/internal/platform"
+	"snapify/internal/platform/platformtest"
 	"snapify/internal/simclock"
 	"snapify/internal/workloads"
 )
@@ -30,18 +29,7 @@ func smallSpec(code string, calls int) workloads.Spec {
 
 func newSched(t *testing.T, devices int, cardMem int64) *Scheduler {
 	t.Helper()
-	plat, err := platform.New(platform.Config{Server: phi.ServerConfig{
-		Devices: devices,
-		Device:  phi.DeviceConfig{MemBytes: cardMem},
-	}})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := coi.StartDaemons(plat); err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { coi.StopDaemons(plat) })
-	return New(plat)
+	return New(platformtest.Start(t, platformtest.Options{Devices: devices, CardMem: cardMem}))
 }
 
 func TestMultiTenancyViaSwapping(t *testing.T) {

@@ -93,7 +93,7 @@ func (r *chunkReader) Next(max int64) (blob.Blob, simclock.Duration, error) {
 	idx := int(r.off / r.m.ChunkBytes)
 	var dur simclock.Duration
 	if !r.curValid || r.curIdx != idx {
-		b, d, err := r.store.fs.ReadFile(chunkPath(r.m.Chunks[idx]))
+		b, d, err := r.store.ReadChunk(r.m.Chunks[idx])
 		if err != nil {
 			return blob.Blob{}, d, err
 		}

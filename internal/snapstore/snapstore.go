@@ -48,6 +48,7 @@ type Store struct {
 
 	mu      sync.Mutex
 	uploads map[string]*upload
+	tiers   *tiers
 
 	chunksPut    *obs.Counter
 	chunkHits    *obs.Counter
@@ -56,6 +57,12 @@ type Store struct {
 	gcChunks     *obs.Counter
 	gcBytes      *obs.Counter
 	commits      *obs.Counter
+
+	cacheHits      *obs.Counter
+	hostTierHits   *obs.Counter
+	coldHits       *obs.Counter
+	tierDemotions  *obs.Counter
+	tierPromotions *obs.Counter
 }
 
 // upload is one negotiated dedup upload in flight. It pins its digests
@@ -95,6 +102,17 @@ func New(model *simclock.Model, fs *hostfs.FS, o *obs.Obs, injector func() *faul
 			"Bytes reclaimed by GC sweeps."),
 		commits: reg.Counter("snapstore_manifests_committed_total",
 			"Manifests committed (temp-then-final renames)."),
+		cacheHits: reg.Counter("snapstore_tier_reads_total",
+			"Chunk reads served per tier.", obs.L("tier", string(TierCache))),
+		hostTierHits: reg.Counter("snapstore_tier_reads_total",
+			"Chunk reads served per tier.", obs.L("tier", string(TierHost))),
+		coldHits: reg.Counter("snapstore_tier_reads_total",
+			"Chunk reads served per tier.", obs.L("tier", string(TierCold))),
+		tierDemotions: reg.Counter("snapstore_tier_demotions_total",
+			"Chunks demoted host -> cold by the byte-budget rebalance."),
+		tierPromotions: reg.Counter("snapstore_tier_promotions_total",
+			"Chunks promoted cold -> host on read."),
+		tiers: newTiers(),
 	}
 	reg.RegisterCollector(func(r *obs.Registry) {
 		s := st.Stats()
@@ -152,7 +170,7 @@ func (st *Store) Negotiate(path, parent string, size, chunkBytes int64, digests 
 		have:       make([]bool, len(digests)),
 	}
 	for i, d := range digests {
-		if st.fs.Exists(chunkPath(d)) {
+		if st.chunkResidentLocked(d) {
 			up.have[i] = true
 			st.chunkHits.Inc()
 		} else {
@@ -201,13 +219,18 @@ func (st *Store) PutChunkAt(path string, off int64, content blob.Blob) (simclock
 		return dur, fmt.Errorf("snapstore: put %s: chunk %d digest mismatch (got %s, want %s)", path, idx, got[:12], up.digests[idx][:12])
 	}
 	cp := chunkPath(up.digests[idx])
-	if !st.fs.Exists(cp) {
+	if !st.chunkResidentLocked(up.digests[idx]) {
 		d, err := st.fs.WriteFile(cp, content)
 		dur += d
 		if err != nil {
 			return dur, err
 		}
 		st.chunksPut.Inc()
+		d, err = st.admitHostLocked(up.digests[idx], content.Len())
+		dur += d
+		if err != nil {
+			return dur, err
+		}
 	}
 	if !up.have[idx] {
 		up.have[idx] = true
@@ -505,16 +528,18 @@ func (st *Store) Stats() Stats {
 			}
 		}
 	}
-	for _, cp := range st.fs.List(ChunkPrefix) {
-		n, err := st.fs.Size(cp)
-		if err != nil {
-			continue
-		}
-		s.Chunks++
-		s.StoredBytes += n
-		if !live[strings.TrimPrefix(cp, ChunkPrefix)] {
-			s.ReclaimableChunks++
-			s.ReclaimableBytes += n
+	for _, prefix := range []string{ChunkPrefix, ColdPrefix} {
+		for _, cp := range st.fs.List(prefix) {
+			n, err := st.fs.Size(cp)
+			if err != nil {
+				continue
+			}
+			s.Chunks++
+			s.StoredBytes += n
+			if !live[strings.TrimPrefix(cp, prefix)] {
+				s.ReclaimableChunks++
+				s.ReclaimableBytes += n
+			}
 		}
 	}
 	return s

@@ -1,0 +1,363 @@
+package snapstore
+
+// The storage hierarchy (DESIGN.md §15): chunk reads are served from the
+// hottest tier holding the content — a size-bounded card RAM-fs cache,
+// then the host store, then a simulated cold/object tier — and chunk
+// writes admit into the host tier, demoting least-recently-used chunks
+// to cold when the host budget overflows. The zero TierPolicy disables
+// both bounds, which reduces exactly to the single-tier store of PR 5:
+// every read is a host-tier read at the same virtual cost as before, so
+// untiered benchmarks and baselines are bit-for-bit unchanged.
+
+import (
+	"container/list"
+	"fmt"
+
+	"snapify/internal/blob"
+	"snapify/internal/simclock"
+)
+
+// ColdPrefix is the VFS directory holding chunks demoted to the
+// simulated cold/object tier. Cold chunks are the same content-addressed
+// files as host chunks, just slower to read (coldReadFactor) and outside
+// the host-tier byte budget.
+const ColdPrefix = "/snapstore/cold/"
+
+// coldReadFactor multiplies the cold tier's read cost over a cold host
+// file-system read — the object-store penalty of the simulated tier.
+const coldReadFactor = 4
+
+// Tier names a level of the storage hierarchy.
+type Tier string
+
+// The tiers, hottest first.
+const (
+	TierCache Tier = "cache"
+	TierHost  Tier = "host"
+	TierCold  Tier = "cold"
+)
+
+// TierPolicy bounds the storage hierarchy. Zero fields disable the
+// corresponding bound: CacheBytes 0 means no card cache, HostBytes 0
+// means the host tier is unbounded and nothing ever demotes to cold.
+type TierPolicy struct {
+	// CacheBytes is the card RAM-fs chunk cache capacity. Cached chunks
+	// re-read at memcpy rate instead of paying the host file system.
+	CacheBytes int64
+	// HostBytes is the host-resident chunk byte budget. Admitting a chunk
+	// past the budget demotes least-recently-used chunks to the cold tier.
+	HostBytes int64
+}
+
+// tiers is the Store's placement state. All fields are guarded by the
+// Store's mutex.
+type tiers struct {
+	policy TierPolicy
+
+	// Host-tier LRU: front is least recently used. pos indexes digests
+	// into the list; hostUsed sums resident host chunk bytes.
+	hostLRU  *list.List
+	hostPos  map[string]*list.Element
+	hostUsed int64
+
+	// Card cache: digest set with its own LRU and byte budget. The cache
+	// holds copies — content is still durable in host or cold.
+	cacheLRU  *list.List
+	cachePos  map[string]*list.Element
+	cacheSize map[string]int64
+	cacheUsed int64
+
+	demotions  int64
+	promotions int64
+}
+
+func newTiers() *tiers {
+	return &tiers{
+		hostLRU:   list.New(),
+		hostPos:   make(map[string]*list.Element),
+		cacheLRU:  list.New(),
+		cachePos:  make(map[string]*list.Element),
+		cacheSize: make(map[string]int64),
+	}
+}
+
+// SetTierPolicy installs the storage-hierarchy bounds. Shrinking the
+// host budget below the resident set demotes immediately (oldest first);
+// shrinking the cache evicts.
+func (st *Store) SetTierPolicy(p TierPolicy) (simclock.Duration, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.tiers.policy = p
+	st.trimCacheLocked()
+	return st.rebalanceLocked("")
+}
+
+// TierPolicy returns the installed bounds.
+func (st *Store) TierPolicy() TierPolicy {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.tiers.policy
+}
+
+// TierStats summarizes placement and traffic per tier.
+type TierStats struct {
+	CacheChunks int
+	CacheBytes  int64
+	HostChunks  int
+	HostBytes   int64
+	ColdChunks  int
+	ColdBytes   int64
+
+	CacheHits  int64
+	HostHits   int64
+	ColdHits   int64
+	Demotions  int64
+	Promotions int64
+}
+
+// HitRatio returns the fraction of chunk reads served above the cold
+// tier (0 when nothing has been read).
+func (s TierStats) HitRatio() float64 {
+	total := s.CacheHits + s.HostHits + s.ColdHits
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits+s.HostHits) / float64(total)
+}
+
+// TierStats walks the chunk directories and the placement state.
+// Metadata-only; no virtual time is charged.
+func (st *Store) TierStats() TierStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s := TierStats{
+		CacheChunks: st.tiers.cacheLRU.Len(),
+		CacheBytes:  st.tiers.cacheUsed,
+		CacheHits:   st.cacheHits.Value(),
+		HostHits:    st.hostTierHits.Value(),
+		ColdHits:    st.coldHits.Value(),
+		Demotions:   st.tiers.demotions,
+		Promotions:  st.tiers.promotions,
+	}
+	for _, cp := range st.fs.List(ChunkPrefix) {
+		if n, err := st.fs.Size(cp); err == nil {
+			s.HostChunks++
+			s.HostBytes += n
+		}
+	}
+	for _, cp := range st.fs.List(ColdPrefix) {
+		if n, err := st.fs.Size(cp); err == nil {
+			s.ColdChunks++
+			s.ColdBytes += n
+		}
+	}
+	return s
+}
+
+// coldPath maps a digest to its cold-tier file.
+func coldPath(digest string) string { return ColdPrefix + digest }
+
+// chunkResidentLocked reports whether the chunk content is durable in
+// any tier (host or cold; the cache is a copy, never the only resident).
+func (st *Store) chunkResidentLocked(digest string) bool {
+	return st.fs.Exists(chunkPath(digest)) || st.fs.Exists(coldPath(digest))
+}
+
+// ReadChunk returns the content of the chunk with the given digest from
+// the hottest tier holding it, charging that tier's virtual read cost
+// and updating placement (LRU touch, cache admission, cold promotion).
+func (st *Store) ReadChunk(digest string) (blob.Blob, simclock.Duration, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.readChunkLocked(digest)
+}
+
+func (st *Store) readChunkLocked(digest string) (blob.Blob, simclock.Duration, error) {
+	t := st.tiers
+	// Cache tier: the content is a card-RAM copy; serving it costs one
+	// memcpy. Durable content still lives below, read without charge.
+	if _, ok := t.cachePos[digest]; ok {
+		b, err := st.readDurableLocked(digest)
+		if err != nil {
+			return blob.Blob{}, 0, err
+		}
+		t.cacheLRU.MoveToBack(t.cachePos[digest])
+		st.cacheHits.Inc()
+		return b, st.model.HostMemcpy(b.Len()), nil
+	}
+	// Host tier.
+	if st.fs.Exists(chunkPath(digest)) {
+		b, dur, err := st.fs.ReadFile(chunkPath(digest))
+		if err != nil {
+			return blob.Blob{}, dur, err
+		}
+		st.touchHostLocked(digest, b.Len())
+		st.admitCacheLocked(digest, b.Len())
+		st.hostTierHits.Inc()
+		return b, dur, nil
+	}
+	// Cold tier: pay the object-store penalty, then promote the chunk
+	// back to host (and let the budget demote something colder).
+	if st.fs.Exists(coldPath(digest)) {
+		b, _, err := st.fs.ReadFile(coldPath(digest))
+		if err != nil {
+			return blob.Blob{}, 0, err
+		}
+		dur := simclock.Duration(coldReadFactor) * (st.model.HostFSOpLatency + simclock.Rate(st.model.HostFSReadColdBandwidth)(b.Len()))
+		st.coldHits.Inc()
+		d, err := st.promoteLocked(digest, b)
+		dur += d
+		if err != nil {
+			return blob.Blob{}, dur, err
+		}
+		st.admitCacheLocked(digest, b.Len())
+		return b, dur, nil
+	}
+	return blob.Blob{}, 0, fmt.Errorf("snapstore: chunk %s resident in no tier", digest[:12])
+}
+
+// readDurableLocked reads chunk content from whichever durable tier
+// holds it, charging nothing (the caller accounts the serving tier).
+func (st *Store) readDurableLocked(digest string) (blob.Blob, error) {
+	if st.fs.Exists(chunkPath(digest)) {
+		b, _, err := st.fs.ReadFile(chunkPath(digest))
+		return b, err
+	}
+	b, _, err := st.fs.ReadFile(coldPath(digest))
+	return b, err
+}
+
+// admitHostLocked records a freshly written host chunk in the LRU and
+// rebalances against the host budget. Returns the demotion cost, if any.
+func (st *Store) admitHostLocked(digest string, n int64) (simclock.Duration, error) {
+	st.touchHostLocked(digest, n)
+	return st.rebalanceLocked(digest)
+}
+
+// touchHostLocked moves digest to the hot end of the host LRU, inserting
+// it if unseen.
+func (st *Store) touchHostLocked(digest string, n int64) {
+	t := st.tiers
+	if e, ok := t.hostPos[digest]; ok {
+		t.hostLRU.MoveToBack(e)
+		return
+	}
+	t.hostPos[digest] = t.hostLRU.PushBack(digest)
+	t.hostUsed += n
+}
+
+// rebalanceLocked demotes least-recently-used host chunks to the cold
+// tier until the host byte budget holds. exclude pins one digest (the
+// chunk just admitted or promoted) so a single oversized admission
+// cannot demote itself into a thrash loop.
+func (st *Store) rebalanceLocked(exclude string) (simclock.Duration, error) {
+	t := st.tiers
+	if t.policy.HostBytes <= 0 {
+		return 0, nil
+	}
+	var dur simclock.Duration
+	for t.hostUsed > t.policy.HostBytes {
+		var victim *list.Element
+		for e := t.hostLRU.Front(); e != nil; e = e.Next() {
+			if e.Value.(string) != exclude {
+				victim = e
+				break
+			}
+		}
+		if victim == nil {
+			return dur, nil
+		}
+		d, err := st.demoteLocked(victim.Value.(string))
+		dur += d
+		if err != nil {
+			return dur, err
+		}
+	}
+	return dur, nil
+}
+
+// demoteLocked moves one host chunk to the cold tier.
+func (st *Store) demoteLocked(digest string) (simclock.Duration, error) {
+	b, dur, err := st.fs.ReadFile(chunkPath(digest))
+	if err != nil {
+		return dur, err
+	}
+	d, err := st.fs.WriteFile(coldPath(digest), b)
+	dur += d
+	if err != nil {
+		return dur, err
+	}
+	if err := st.fs.Remove(chunkPath(digest)); err != nil {
+		return dur, err
+	}
+	st.dropHostLocked(digest, b.Len())
+	st.tiers.demotions++
+	st.tierDemotions.Inc()
+	return dur, nil
+}
+
+// promoteLocked moves a cold chunk back into the host tier and
+// rebalances (something colder pays for the promotion).
+func (st *Store) promoteLocked(digest string, content blob.Blob) (simclock.Duration, error) {
+	dur, err := st.fs.WriteFile(chunkPath(digest), content)
+	if err != nil {
+		return dur, err
+	}
+	if err := st.fs.Remove(coldPath(digest)); err != nil {
+		return dur, err
+	}
+	st.touchHostLocked(digest, content.Len())
+	st.tiers.promotions++
+	st.tierPromotions.Inc()
+	d, err := st.rebalanceLocked(digest)
+	return dur + d, err
+}
+
+// dropHostLocked forgets a digest's host-tier placement (demotion or GC
+// reclaim).
+func (st *Store) dropHostLocked(digest string, n int64) {
+	t := st.tiers
+	if e, ok := t.hostPos[digest]; ok {
+		t.hostLRU.Remove(e)
+		delete(t.hostPos, digest)
+		t.hostUsed -= n
+	}
+}
+
+// dropCacheLocked forgets a digest's cache entry.
+func (st *Store) dropCacheLocked(digest string) {
+	t := st.tiers
+	if e, ok := t.cachePos[digest]; ok {
+		t.cacheLRU.Remove(e)
+		delete(t.cachePos, digest)
+		t.cacheUsed -= t.cacheSize[digest]
+		delete(t.cacheSize, digest)
+	}
+}
+
+// admitCacheLocked copies a just-read chunk into the card cache,
+// evicting LRU entries to fit. Chunks larger than the whole cache are
+// never admitted.
+func (st *Store) admitCacheLocked(digest string, n int64) {
+	t := st.tiers
+	if t.policy.CacheBytes <= 0 || n > t.policy.CacheBytes {
+		return
+	}
+	if e, ok := t.cachePos[digest]; ok {
+		t.cacheLRU.MoveToBack(e)
+		return
+	}
+	t.cachePos[digest] = t.cacheLRU.PushBack(digest)
+	t.cacheSize[digest] = n
+	t.cacheUsed += n
+	st.trimCacheLocked()
+}
+
+// trimCacheLocked evicts least-recently-used cache entries until the
+// cache budget holds.
+func (st *Store) trimCacheLocked() {
+	t := st.tiers
+	for t.cacheUsed > t.policy.CacheBytes && t.cacheLRU.Len() > 0 {
+		st.dropCacheLocked(t.cacheLRU.Front().Value.(string))
+	}
+}

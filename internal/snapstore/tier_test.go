@@ -1,0 +1,256 @@
+package snapstore
+
+import (
+	"strings"
+	"testing"
+
+	"snapify/internal/blob"
+)
+
+// TestTierZeroPolicyIsSingleTier pins the compatibility contract: the
+// zero TierPolicy never demotes, never caches, and reads cost exactly
+// one host file-system read — the PR 5 single-tier store.
+func TestTierZeroPolicyIsSingleTier(t *testing.T) {
+	e := newEnv(t)
+	content := testContent(1, 4096)
+	putAll(t, e, "/snap/a", "", content, 1024)
+
+	if got := readAll(t, e, "/snap/a"); !blob.Equal(got, content) {
+		t.Fatalf("round trip mismatch")
+	}
+	ts := e.st.TierStats()
+	if ts.ColdChunks != 0 || ts.CacheChunks != 0 {
+		t.Fatalf("zero policy placed chunks outside host: %+v", ts)
+	}
+	if ts.HostChunks != 4 {
+		t.Fatalf("HostChunks = %d, want 4", ts.HostChunks)
+	}
+	if ts.Demotions != 0 || ts.Promotions != 0 {
+		t.Fatalf("zero policy migrated chunks: %+v", ts)
+	}
+	if ts.HostHits != 4 {
+		t.Fatalf("HostHits = %d, want 4", ts.HostHits)
+	}
+}
+
+// TestTierDemotionAndPromotion drives the host budget below the resident
+// set and checks LRU demotion to cold, then a read promoting back.
+func TestTierDemotionAndPromotion(t *testing.T) {
+	e := newEnv(t)
+	content := testContent(2, 8*1024)
+	putAll(t, e, "/snap/a", "", content, 1024) // 8 chunks x 1 KiB
+
+	if _, err := e.st.SetTierPolicy(TierPolicy{HostBytes: 4 * 1024}); err != nil {
+		t.Fatalf("set policy: %v", err)
+	}
+	ts := e.st.TierStats()
+	if ts.HostBytes > 4*1024 {
+		t.Fatalf("host tier over budget after rebalance: %+v", ts)
+	}
+	if ts.ColdChunks != 4 || ts.Demotions != 4 {
+		t.Fatalf("want 4 demotions to cold, got %+v", ts)
+	}
+
+	// The store still serves the full image — cold chunks promote on read.
+	if got := readAll(t, e, "/snap/a"); !blob.Equal(got, content) {
+		t.Fatalf("round trip mismatch after demotion")
+	}
+	// The sequential scan thrashes a half-sized LRU deterministically:
+	// each of the 4 cold chunks promotes and demotes a not-yet-read host
+	// chunk, so all 8 reads end up served cold.
+	ts = e.st.TierStats()
+	if ts.ColdHits != 8 {
+		t.Fatalf("ColdHits = %d, want 8", ts.ColdHits)
+	}
+	if ts.Promotions != 8 {
+		t.Fatalf("Promotions = %d, want 8", ts.Promotions)
+	}
+	if ts.HostBytes > 4*1024 {
+		t.Fatalf("host tier over budget after promotions: %+v", ts)
+	}
+
+	// Verify stays clean across tier moves.
+	if problems, _ := e.st.Verify(); len(problems) != 0 {
+		t.Fatalf("verify after tier moves: %v", problems)
+	}
+}
+
+// TestTierColdReadCostsMore pins the simulated object-store penalty: a
+// cold read charges strictly more virtual time than a host read of the
+// same chunk.
+func TestTierColdReadCostsMore(t *testing.T) {
+	e := newEnv(t)
+	content := testContent(3, 1024)
+	putAll(t, e, "/snap/a", "", content, 1024)
+
+	digests := ChunkDigests(content, 1024)
+	_, hostDur, err := e.st.ReadChunk(digests[0])
+	if err != nil {
+		t.Fatalf("host read: %v", err)
+	}
+
+	e2 := newEnv(t)
+	putAll(t, e2, "/snap/a", "", content, 1024)
+	if _, err := e2.st.SetTierPolicy(TierPolicy{HostBytes: 1}); err != nil {
+		t.Fatalf("set policy: %v", err)
+	}
+	if ts := e2.st.TierStats(); ts.ColdChunks != 1 {
+		t.Fatalf("chunk not demoted: %+v", ts)
+	}
+	_, coldDur, err := e2.st.ReadChunk(digests[0])
+	if err != nil {
+		t.Fatalf("cold read: %v", err)
+	}
+	if coldDur <= hostDur {
+		t.Fatalf("cold read (%v) not slower than host read (%v)", coldDur, hostDur)
+	}
+}
+
+// TestTierCacheHit checks that a second read of a cached chunk is served
+// from the card cache at memcpy cost and counted as a cache hit.
+func TestTierCacheHit(t *testing.T) {
+	e := newEnv(t)
+	content := testContent(4, 2048)
+	putAll(t, e, "/snap/a", "", content, 1024)
+	if _, err := e.st.SetTierPolicy(TierPolicy{CacheBytes: 4 * 1024}); err != nil {
+		t.Fatalf("set policy: %v", err)
+	}
+	digests := ChunkDigests(content, 1024)
+
+	if _, _, err := e.st.ReadChunk(digests[0]); err != nil {
+		t.Fatalf("first read: %v", err)
+	}
+	b, dur, err := e.st.ReadChunk(digests[0])
+	if err != nil {
+		t.Fatalf("cached read: %v", err)
+	}
+	if !blob.Equal(b, content.Slice(0, 1024)) {
+		t.Fatalf("cached read content mismatch")
+	}
+	if want := e.st.model.HostMemcpy(1024); dur != want {
+		t.Fatalf("cached read cost %v, want memcpy %v", dur, want)
+	}
+	ts := e.st.TierStats()
+	if ts.CacheHits != 1 || ts.HostHits != 1 {
+		t.Fatalf("hits = %+v, want 1 cache + 1 host", ts)
+	}
+	if ts.HitRatio() != 1 {
+		t.Fatalf("HitRatio = %v, want 1 (nothing read cold)", ts.HitRatio())
+	}
+}
+
+// TestTierCacheEviction bounds the cache: admitting past the budget
+// evicts the least recently used entry, and oversized chunks are never
+// admitted.
+func TestTierCacheEviction(t *testing.T) {
+	e := newEnv(t)
+	content := testContent(5, 3*1024)
+	putAll(t, e, "/snap/a", "", content, 1024)
+	if _, err := e.st.SetTierPolicy(TierPolicy{CacheBytes: 2 * 1024}); err != nil {
+		t.Fatalf("set policy: %v", err)
+	}
+	digests := ChunkDigests(content, 1024)
+	for _, d := range digests {
+		if _, _, err := e.st.ReadChunk(d); err != nil {
+			t.Fatalf("read: %v", err)
+		}
+	}
+	ts := e.st.TierStats()
+	if ts.CacheChunks != 2 || ts.CacheBytes != 2*1024 {
+		t.Fatalf("cache not bounded: %+v", ts)
+	}
+	// digests[0] was evicted by digests[2]'s admission; 1 and 2 remain.
+	if _, _, err := e.st.ReadChunk(digests[1]); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if got := e.st.TierStats().CacheHits; got != 1 {
+		t.Fatalf("CacheHits = %d, want 1", got)
+	}
+
+	// A chunk larger than the whole cache is never admitted.
+	big := newEnv(t)
+	bigContent := testContent(6, 4*1024)
+	putAll(t, big, "/snap/b", "", bigContent, 4*1024)
+	if _, err := big.st.SetTierPolicy(TierPolicy{CacheBytes: 1024}); err != nil {
+		t.Fatalf("set policy: %v", err)
+	}
+	bd := ChunkDigests(bigContent, 4*1024)
+	if _, _, err := big.st.ReadChunk(bd[0]); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if ts := big.st.TierStats(); ts.CacheChunks != 0 {
+		t.Fatalf("oversized chunk admitted to cache: %+v", ts)
+	}
+}
+
+// TestTierGCReclaimsCold releases a snapshot whose chunks were demoted
+// and checks GC sweeps the cold tier too, leaving placement state empty.
+func TestTierGCReclaimsCold(t *testing.T) {
+	e := newEnv(t)
+	content := testContent(7, 4*1024)
+	putAll(t, e, "/snap/a", "", content, 1024)
+	if _, err := e.st.SetTierPolicy(TierPolicy{HostBytes: 2 * 1024}); err != nil {
+		t.Fatalf("set policy: %v", err)
+	}
+	if ts := e.st.TierStats(); ts.ColdChunks != 2 {
+		t.Fatalf("setup: want 2 cold chunks, got %+v", ts)
+	}
+	if _, err := e.st.Release("/snap/a"); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	gs, _, err := e.st.GC(0)
+	if err != nil {
+		t.Fatalf("gc: %v", err)
+	}
+	if gs.ChunksReclaimed != 4 {
+		t.Fatalf("ChunksReclaimed = %d, want 4 (host + cold)", gs.ChunksReclaimed)
+	}
+	ts := e.st.TierStats()
+	if ts.HostChunks != 0 || ts.ColdChunks != 0 || ts.HostBytes != 0 {
+		t.Fatalf("tier state not empty after GC: %+v", ts)
+	}
+	if s := e.st.Stats(); s.Chunks != 0 {
+		t.Fatalf("Stats.Chunks = %d after GC, want 0", s.Chunks)
+	}
+}
+
+// TestTierNegotiateSeesColdChunks pins dedup across tiers: a chunk
+// demoted to cold still negotiates as "have", so re-capturing identical
+// content ships nothing.
+func TestTierNegotiateSeesColdChunks(t *testing.T) {
+	e := newEnv(t)
+	content := testContent(8, 4*1024)
+	putAll(t, e, "/snap/a", "", content, 1024)
+	if _, err := e.st.SetTierPolicy(TierPolicy{HostBytes: 1}); err != nil {
+		t.Fatalf("set policy: %v", err)
+	}
+	if ts := e.st.TierStats(); ts.ColdChunks != 4 {
+		t.Fatalf("setup: want all chunks cold, got %+v", ts)
+	}
+	shipped := putAll(t, e, "/snap/b", "", content, 1024)
+	if shipped != 0 {
+		t.Fatalf("re-capture shipped %d chunks, want 0 (cold chunks are still have)", shipped)
+	}
+}
+
+// TestTierVerifyFlagsDoubleResidency plants a chunk in both tiers and
+// checks fsck reports it.
+func TestTierVerifyFlagsDoubleResidency(t *testing.T) {
+	e := newEnv(t)
+	content := testContent(9, 1024)
+	putAll(t, e, "/snap/a", "", content, 1024)
+	d := ChunkDigests(content, 1024)[0]
+	if _, err := e.fs.WriteFile(coldPath(d), content); err != nil {
+		t.Fatalf("plant cold copy: %v", err)
+	}
+	problems, _ := e.st.Verify()
+	found := false
+	for _, p := range problems {
+		if strings.Contains(p, "both host and cold") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("verify missed double residency: %v", problems)
+	}
+}

@@ -3,24 +3,15 @@ package workloads
 import (
 	"testing"
 
-	"snapify/internal/coi"
 	"snapify/internal/core"
-	"snapify/internal/phi"
 	"snapify/internal/platform"
+	"snapify/internal/platform/platformtest"
 	"snapify/internal/simclock"
 )
 
 func newPlat(t *testing.T, devices int) *platform.Platform {
 	t.Helper()
-	plat, err := platform.New(platform.Config{Server: phi.ServerConfig{Devices: devices, Device: phi.DeviceConfig{MemBytes: 8 * simclock.GiB}}})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := coi.StartDaemons(plat); err != nil {
-		t.Fatal(err)
-	}
-	t.Cleanup(func() { coi.StopDaemons(plat) })
-	return plat
+	return platformtest.Start(t, platformtest.Options{Devices: devices, CardMem: 8 * simclock.GiB})
 }
 
 // scaled returns spec with a small call count for fast tests.
@@ -133,17 +124,7 @@ func TestFig9OverheadBounds(t *testing.T) {
 	s, _ := ByCode("MD")
 	s = scaled(s, 400)
 	run := func(noHooks bool) simclock.Duration {
-		plat, err := platform.New(platform.Config{
-			Server:    phi.ServerConfig{Devices: 1},
-			NoSnapify: noHooks,
-		})
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := coi.StartDaemons(plat); err != nil {
-			t.Fatal(err)
-		}
-		defer coi.StopDaemons(plat)
+		plat := platformtest.Start(t, platformtest.Options{NoSnapify: noHooks})
 		in, err := Launch(plat, s, 1)
 		if err != nil {
 			t.Fatal(err)

@@ -8,10 +8,14 @@
 # comparison — repeated swap-out of a mostly-unchanged image through the
 # content-addressed store vs plain files — enforcing >= 3x fewer bytes
 # shipped with byte-identical content, and recording BENCH_dedup.json.
-# Finally sweeps stop-the-world vs live (pre-copy) migration downtime
+# Then sweeps stop-the-world vs live (pre-copy) migration downtime
 # over a 1-8 GiB image grid — enforcing byte-identical restores and a
 # live downtime that stays bounded while stop-the-world grows linearly —
-# and records BENCH_migrate.json. All land at the repository root.
+# and records BENCH_migrate.json. Finally runs the federation scenario —
+# cross-host migration ping-pong (warm legs must dedup >= 2x against the
+# destination store) plus k=2 replication, a host kill, repair, and a
+# byte-identical restart-from-replica — recording BENCH_federation.json.
+# All land at the repository root.
 #
 # Every row also records the harness's own wall-clock cost (wall_ns /
 # wall_*_ns fields, plus the per-result wall_ns_per_gib normalization):
@@ -33,6 +37,7 @@ if [ "${1:-}" = "-smoke" ]; then
     go run ./cmd/snapbench -parallel -smoke -json baselines/BENCH_capture.json
     go run ./cmd/snapbench -store -smoke -json baselines/BENCH_dedup.json
     go run ./cmd/snapbench -migrate -smoke -json baselines/BENCH_migrate.json
+    go run ./cmd/snapbench -federation -smoke -json baselines/BENCH_federation.json
     exit 0
 fi
 
@@ -44,3 +49,6 @@ go run ./cmd/snapbench -store -json BENCH_dedup.json
 
 echo "==> migration downtime sweep (1-8 GiB images, stop-the-world vs live)"
 go run ./cmd/snapbench -migrate -json BENCH_migrate.json
+
+echo "==> federation scenario (cross-host dedup ping-pong + host-kill recovery)"
+go run ./cmd/snapbench -federation -json BENCH_federation.json

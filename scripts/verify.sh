@@ -36,14 +36,53 @@ go run ./cmd/snapifylint -unused-allowlist ./internal/... ./cmd/...
 echo "==> go test -race ./..."
 go test -race ./...
 
+echo "==> coverage floors (internal/snapstore, internal/core)"
+# Per-package statement-coverage floors for the two packages that hold
+# the durability-critical logic (the dedup store and the checkpoint /
+# restart engine). The floors sit a few points under the measured
+# coverage at the time each floor was set, so they trip on real test
+# erosion, not on formatting-level churn. Raise a floor when coverage
+# grows; never lower one without a written justification in the PR.
+cover_fail=0
+printf '%-24s %10s %8s\n' "package" "coverage" "floor"
+for spec in "./internal/snapstore/:72.0" "./internal/core/:80.0"; do
+    pkg=${spec%:*}
+    floor=${spec#*:}
+    pct=$(go test -cover "$pkg" | awk '{for (i=1;i<=NF;i++) if ($i ~ /%$/) {gsub(/%/,"",$i); print $i}}')
+    if [ -z "$pct" ]; then
+        echo "coverage: no percentage reported for $pkg" >&2
+        cover_fail=1
+        continue
+    fi
+    printf '%-24s %9s%% %7s%%\n' "$pkg" "$pct" "$floor"
+    if [ "$(awk -v p="$pct" -v f="$floor" 'BEGIN{print (p < f) ? 1 : 0}')" = 1 ]; then
+        echo "coverage: $pkg at $pct% is below the $floor% floor" >&2
+        cover_fail=1
+    fi
+done
+[ "$cover_fail" = 0 ]
+
+echo "==> fuzz smoke (5s per target, committed seed corpora)"
+# Short native-Go fuzz runs over the two external parsing surfaces: the
+# snapstore manifest decoder (bytes off the VFS / off the wire from a
+# federation peer) and the Chrome-trace parser (CI artifacts, user
+# exports). The committed corpora under testdata/fuzz/ replay first;
+# 5s of mutation on top catches regressions in input hardening without
+# turning the gate into a fuzzing campaign. Crashers minimize into
+# testdata/fuzz/ and fail the gate until fixed.
+go test -run '^$' -fuzz '^FuzzDecodeManifest$' -fuzztime 5s ./internal/snapstore/
+go test -run '^$' -fuzz '^FuzzParseChromeTrace$' -fuzztime 5s ./internal/obs/analyze/
+
 echo "==> chaos tier (fault-injection sweeps + seed replay, -count=2)"
 # The chaos tier re-runs the deterministic fault-injection sweeps twice
 # under the race detector: every single-fault case must end atomic (no
 # torn snapshot, no orphan .partial) or retryable, and the seeded runs
 # (seeds pinned inside the tests: 1, 7, 0xC0FFEE) must replay to
 # byte-identical Chrome traces. -count=2 makes cross-run nondeterminism
-# a failure, not a flake.
-go test -race -count=2 -run 'TestChaos|TestSeedReplay' ./internal/core/
+# a failure, not a flake. snapstore carries the federation chaos cases
+# (TestChaosFederation*), sched the fleet-level kill-during-replication
+# case.
+go test -race -count=2 -run 'TestChaos|TestSeedReplay' ./internal/core/ ./internal/snapstore/ ./internal/sched/
 
 echo "==> snapbench -parallel -smoke -trace (parallel capture + trace smoke)"
 # The -trace flag makes snapbench export the sweep's Chrome trace and
