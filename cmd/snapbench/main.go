@@ -57,6 +57,7 @@ func main() {
 	store := flag.Bool("store", false, "run the dedup-store swap-cycle comparison")
 	migrate := flag.Bool("migrate", false, "run the stop-the-world vs live migration downtime sweep")
 	federation := flag.Bool("federation", false, "run the cross-host federation benchmark: migration dedup + host-kill recovery from replicas")
+	fleet := flag.Bool("fleet", false, "run the fleet control-plane benchmark: seeded bursty trace across an oversubscription sweep")
 	jsonPath := flag.String("json", "", "with -parallel, -store, or -migrate: also write the result as JSON to this file")
 	tracePath := flag.String("trace", "", "with -parallel, -store, or -migrate: write the run's Chrome trace-event JSON to this file (open in Perfetto)")
 	smoke := flag.Bool("smoke", false, "with -parallel, -store, -migrate, or -faults: use a small image (fast CI smoke, shape still checked)")
@@ -85,7 +86,7 @@ func main() {
 		return
 	}
 
-	if !*all && *table == 0 && *fig == 0 && !*ablations && !*parallel && !*store && !*migrate && !*federation && *faults == "" {
+	if !*all && *table == 0 && *fig == 0 && !*ablations && !*parallel && !*store && !*migrate && !*federation && !*fleet && *faults == "" {
 		*all = true
 	}
 
@@ -155,8 +156,63 @@ func main() {
 		}
 		runFederation(*smoke, jp)
 	}
+	if *all || *fleet {
+		jp, tp := *jsonPath, *tracePath
+		if *all && !*fleet {
+			jp, tp = "", ""
+		}
+		runFleet(*smoke, jp, tp)
+	}
 	if *faults != "" {
 		runFaults(*faults, *smoke)
+	}
+}
+
+// runFleet executes the fleet control-plane benchmark: the seeded
+// bursty trace against the model backend, once per oversubscription
+// ratio. Its shape check (jobs conserved, everything admitted
+// completes, evacuation inside its deadline, oversubscription swapping
+// and lifting utilization, the event heap staying O(log n)) always
+// runs: the sweep exists to pin those claims.
+func runFleet(smoke bool, jsonPath, tracePath string) {
+	p := experiments.DefaultFleetParams()
+	if smoke {
+		p = experiments.SmokeFleetParams()
+	}
+	res, err := experiments.FleetBench(p)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "snapbench: fleet: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(res.Render())
+	if err := res.CheckShape(); err != nil {
+		fmt.Fprintf(os.Stderr, "snapbench: fleet shape check FAILED: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("[fleet shape check: OK]")
+	if jsonPath != "" {
+		out, err := res.JSON()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snapbench: fleet: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(jsonPath, out, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "snapbench: writing %s: %v\n", jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[wrote %s]\n", jsonPath)
+	}
+	if tracePath != "" {
+		out := res.TraceJSON()
+		if err := obs.ValidateChromeTrace(out); err != nil {
+			fmt.Fprintf(os.Stderr, "snapbench: trace validation FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(tracePath, out, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "snapbench: writing %s: %v\n", tracePath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[wrote %s: valid Chrome trace; open at ui.perfetto.dev]\n", tracePath)
 	}
 }
 

@@ -1,0 +1,133 @@
+package main
+
+// `snapifyctl fleet <status|queue>` — inspect the fleetd control plane.
+// There is no long-running daemon in the simulation, so the command
+// boots a deterministic in-process scenario (the seeded bursty trace
+// against the model backend, one host draining, memory oversubscribed
+// 2x), advances it to mid-run, and prints the requested view: `status`
+// is the per-host card occupancy, `queue` the admission queue.
+
+import (
+	"fmt"
+	"sort"
+
+	"snapify/internal/fleetd"
+	"snapify/internal/obs"
+	"snapify/internal/simclock"
+	"snapify/internal/trace"
+)
+
+// The demo scenario: 8 hosts x 1 card, 160 jobs, 2x oversubscription,
+// h000 draining mid-run. Mirrors the fleet benchmark's smoke shape.
+const (
+	fleetDemoHosts   = 8
+	fleetDemoJobs    = 160
+	fleetDemoCardMem = 256 * simclock.MiB
+	fleetDemoSeed    = 42
+	fleetDemoAt      = 8000 * simclock.Duration(1e6)
+)
+
+func fleetCommand(argv []string) {
+	if len(argv) != 1 || (argv[0] != "status" && argv[0] != "queue") {
+		fatal(fmt.Errorf("usage: snapifyctl fleet status | fleet queue"))
+	}
+	be := fleetd.NewModelBackend(fleetd.ModelOptions{
+		Hosts: fleetDemoHosts, CardsPerHost: 1, CardMem: fleetDemoCardMem,
+	})
+	c := fleetd.New(fleetd.Options{OversubPct: 200, QueueDepth: 128}, be, obs.New())
+	specs := fleetd.GenerateTrace(fleetd.TraceConfig{
+		Seed: fleetDemoSeed, Jobs: fleetDemoJobs, Tenants: 4, CardMem: fleetDemoCardMem,
+		BurstScale: 10, ThinkScale: 400,
+	})
+	fatal(c.SubmitTrace(specs))
+	c.ScheduleEvacuation(fleetDemoAt/2, "h000", 120000*simclock.Duration(1e6))
+	fatal(c.RunUntil(fleetDemoAt))
+
+	st := c.Stats()
+	fmt.Printf("fleetd @ t=%dms: %d submitted, %d admitted, %d rejected, %d completed, %d pending, %d swaps out/%d in\n\n",
+		c.Now()/1e6, st.Submitted, st.Admitted, st.Rejected, st.Completed, len(c.PendingJobs()), st.SwapOuts, st.SwapIns)
+
+	switch argv[0] {
+	case "status":
+		fleetStatus(c)
+	case "queue":
+		fleetQueue(c)
+	}
+}
+
+// fleetStatus prints the per-host card occupancy table.
+func fleetStatus(c *fleetd.Controller) {
+	t := trace.New("$ snapifyctl fleet status",
+		"Host", "State", "Jobs", "Committed (MiB)", "Resident (MiB)", "Capacity (MiB)", "Waiters")
+	for _, hs := range c.HostStatuses() {
+		state := "up"
+		if hs.Draining {
+			state = "draining"
+		}
+		if hs.Dead {
+			state = "dead"
+		}
+		var committed, resident, capacity int64
+		waiters := 0
+		for _, cd := range hs.Cards {
+			committed += cd.CommittedBytes
+			resident += cd.ResidentBytes
+			capacity += cd.CapacityBytes
+			waiters += cd.Waiters
+		}
+		t.Row(hs.Host, state,
+			fmt.Sprintf("%d", hs.Assigned),
+			fmt.Sprintf("%d", committed/simclock.MiB),
+			fmt.Sprintf("%d", resident/simclock.MiB),
+			fmt.Sprintf("%d", capacity/simclock.MiB),
+			fmt.Sprintf("%d", waiters))
+	}
+	fmt.Println(t.String())
+	for _, r := range c.Evacuations() {
+		fmt.Printf("evacuation of %s: moved %d in %d wave(s), done=%v, deadline met=%v\n",
+			r.Host, r.Moved, r.Waves, r.Done, r.DeadlineMet)
+	}
+}
+
+// fleetQueue prints the admission queue: per-tenant depth, then the
+// longest-waiting pending jobs.
+func fleetQueue(c *fleetd.Controller) {
+	pending := c.PendingJobs()
+	byTenant := make(map[string]int)
+	for _, j := range pending {
+		byTenant[j.Spec.Tenant]++
+	}
+	tenants := make([]string, 0, len(byTenant))
+	for tn := range byTenant {
+		tenants = append(tenants, tn)
+	}
+	sort.Strings(tenants)
+	fmt.Print("queued per tenant:")
+	for _, tn := range tenants {
+		fmt.Printf(" %s=%d", tn, byTenant[tn])
+	}
+	fmt.Println()
+
+	sort.SliceStable(pending, func(a, b int) bool {
+		if pending[a].Spec.Priority != pending[b].Spec.Priority {
+			return pending[a].Spec.Priority > pending[b].Spec.Priority
+		}
+		return pending[a].Spec.Arrival < pending[b].Spec.Arrival
+	})
+	t := trace.New("$ snapifyctl fleet queue (dispatch order)",
+		"Job", "Tenant", "Priority", "Footprint (MiB)", "Waited (ms)")
+	max := len(pending)
+	if max > 12 {
+		max = 12
+	}
+	for _, j := range pending[:max] {
+		t.Row(fmt.Sprintf("%d", j.ID), j.Spec.Tenant,
+			fmt.Sprintf("%d", j.Spec.Priority),
+			fmt.Sprintf("%d", j.Spec.Footprint/simclock.MiB),
+			fmt.Sprintf("%d", (c.Now()-j.Spec.Arrival)/1e6))
+	}
+	fmt.Println(t.String())
+	if len(pending) > max {
+		fmt.Printf("... and %d more\n", len(pending)-max)
+	}
+}

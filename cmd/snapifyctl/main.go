@@ -23,6 +23,13 @@
 //	snapifyctl analyze flight <dump.json>
 //	    offline: summarize a flight-recorder dump (reason, counter
 //	    deltas, critical path of the recorded window)
+//	snapifyctl fleet status
+//	    boot the deterministic fleet control-plane demo (model backend,
+//	    2x oversubscription, one host draining), advance to mid-run, and
+//	    print per-host card occupancy and evacuation progress
+//	snapifyctl fleet queue
+//	    same scenario; print the admission queue (per-tenant depth and
+//	    the pending jobs in dispatch order)
 //
 // swapout store (and migrate <device> store) capture through the
 // content-addressed dedup store instead of plain host files; migrate
@@ -59,6 +66,12 @@ func main() {
 	// to boot, so it dispatches before the simulation starts.
 	if len(os.Args) > 1 && os.Args[1] == "analyze" {
 		analyzeCommand(os.Args[2:])
+		return
+	}
+
+	// `fleet` boots its own control-plane scenario — no demo server.
+	if len(os.Args) > 1 && os.Args[1] == "fleet" {
+		fleetCommand(os.Args[2:])
 		return
 	}
 

@@ -63,14 +63,21 @@ func CheckBaselines(dir string) (report string, ok bool, err error) {
 // smoke-scale baseline re-runs at smoke scale.
 func rerunBaseline(baseline []byte) ([]byte, error) {
 	var head struct {
-		Benchmark  string `json:"benchmark"`
-		ImageBytes int64  `json:"image_bytes"`
-		Cycles     int    `json:"cycles"`
-		Hosts      int    `json:"hosts"`
-		Legs       int    `json:"legs"`
-		Rows       []struct {
+		Benchmark    string `json:"benchmark"`
+		ImageBytes   int64  `json:"image_bytes"`
+		Cycles       int    `json:"cycles"`
+		Hosts        int    `json:"hosts"`
+		Legs         int    `json:"legs"`
+		CardsPerHost int    `json:"cards_per_host"`
+		CardMemBytes int64  `json:"card_mem_bytes"`
+		Jobs         int    `json:"jobs"`
+		Tenants      int    `json:"tenants"`
+		QueueDepth   int    `json:"queue_depth"`
+		Seed         uint64 `json:"seed"`
+		Rows         []struct {
 			Streams    int   `json:"streams"`
 			ImageBytes int64 `json:"image_bytes"`
+			OversubPct int   `json:"oversub_pct"`
 		} `json:"rows"`
 	}
 	if err := json.Unmarshal(baseline, &head); err != nil {
@@ -98,6 +105,23 @@ func rerunBaseline(baseline []byte) ([]byte, error) {
 		return res.JSON()
 	case "federation":
 		res, err := FederationBench(head.ImageBytes, head.Hosts, head.Legs)
+		if err != nil {
+			return nil, err
+		}
+		return res.JSON()
+	case "fleet":
+		ratios := make([]int, 0, len(head.Rows))
+		for _, r := range head.Rows {
+			ratios = append(ratios, r.OversubPct)
+		}
+		if len(ratios) == 0 {
+			return nil, fmt.Errorf("baseline has no rows to replay")
+		}
+		res, err := FleetBench(FleetParams{
+			Hosts: head.Hosts, CardsPerHost: head.CardsPerHost, CardMem: head.CardMemBytes,
+			Jobs: head.Jobs, Tenants: head.Tenants, QueueDepth: head.QueueDepth,
+			Seed: head.Seed, Ratios: ratios,
+		})
 		if err != nil {
 			return nil, err
 		}

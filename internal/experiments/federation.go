@@ -69,12 +69,12 @@ type FederationResult struct {
 
 	// Host-kill recovery phase: the job checkpoints with k-way
 	// replication, its host dies, Recover restarts it from a replica.
-	Replicas       int  `json:"replicas"`
-	ReplicaHolders int  `json:"replica_holders"`
-	LagAfterKill   int  `json:"replica_lag_after_kill"`
-	RepairAdded    int  `json:"repair_replicas_added"`
-	LagAfterRepair int  `json:"replica_lag_after_repair"`
-	RecoveredJobs  int  `json:"recovered_jobs"`
+	Replicas       int `json:"replicas"`
+	ReplicaHolders int `json:"replica_holders"`
+	LagAfterKill   int `json:"replica_lag_after_kill"`
+	RepairAdded    int `json:"repair_replicas_added"`
+	LagAfterRepair int `json:"replica_lag_after_repair"`
+	RecoveredJobs  int `json:"recovered_jobs"`
 	// ByteIdentical reports that the recovered host's context manifest
 	// lists exactly the chunk digests the dead host committed.
 	ByteIdentical bool `json:"byte_identical"`

@@ -1,0 +1,128 @@
+package fleetd
+
+// Trace-driven open-loop arrival generation. The generator produces a
+// bursty job stream: arrivals cluster into bursts (a tenant submitting
+// a campaign) separated by longer lulls, which is what stresses the
+// admission queue and the oversubscription machinery far more than a
+// uniform trickle would. Everything is integer splitmix64 arithmetic on
+// a caller-provided seed, so a trace is a pure function of its config.
+
+import "snapify/internal/simclock"
+
+// TraceConfig parameterizes GenerateTrace.
+type TraceConfig struct {
+	Seed uint64
+	// Jobs is the trace length.
+	Jobs int
+	// Tenants is how many tenants share the fleet; tenant t submits with
+	// priority t%3 (0 low, 2 high).
+	Tenants int
+	// CardMem scales footprints: jobs take 1/8, 1/4 or 1/2 of a card.
+	CardMem int64
+	// BurstEvery is the mean arrival-burst spacing; bursts hold 4-11
+	// jobs spaced MeanGap/8 apart. 0 defaults to 20ms.
+	BurstEvery simclock.Duration
+	// MeanGap is the mean intra-burst spacing. 0 defaults to 1ms.
+	MeanGap simclock.Duration
+	// BurstScale and ThinkScale multiply the generated burst and think
+	// lengths (0 means 1). The fleet benchmark stretches thinks far past
+	// the swap cycle so memory oversubscription has something to win.
+	BurstScale int
+	ThinkScale int
+}
+
+func (c TraceConfig) burstEvery() simclock.Duration {
+	if c.BurstEvery <= 0 {
+		return 20 * simclock.Duration(1e6)
+	}
+	return c.BurstEvery
+}
+
+func (c TraceConfig) meanGap() simclock.Duration {
+	if c.MeanGap <= 0 {
+		return simclock.Duration(1e6)
+	}
+	return c.MeanGap
+}
+
+// splitmix64 advances *s and returns the next value of the sequence —
+// the repo's standard deterministic generator.
+func splitmix64(s *uint64) uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// GenerateTrace produces cfg.Jobs job specs with bursty open-loop
+// arrival times, IDs 1..Jobs in arrival order.
+func GenerateTrace(cfg TraceConfig) []JobSpec {
+	if cfg.Jobs <= 0 {
+		return nil
+	}
+	tenants := cfg.Tenants
+	if tenants <= 0 {
+		tenants = 4
+	}
+	cardMem := cfg.CardMem
+	if cardMem <= 0 {
+		cardMem = 8 << 30
+	}
+	burstScale := simclock.Duration(cfg.BurstScale)
+	if burstScale <= 0 {
+		burstScale = 1
+	}
+	thinkScale := simclock.Duration(cfg.ThinkScale)
+	if thinkScale <= 0 {
+		thinkScale = 1
+	}
+	s := cfg.Seed
+	specs := make([]JobSpec, 0, cfg.Jobs)
+	at := simclock.Duration(0)
+	id := 1
+	for id <= cfg.Jobs {
+		// One arrival burst: 4-11 jobs close together.
+		n := 4 + int(splitmix64(&s)%8)
+		for i := 0; i < n && id <= cfg.Jobs; i++ {
+			tenant := int(splitmix64(&s) % uint64(tenants))
+			// Footprint: 1/8, 1/4 or 1/2 of a card, biased small.
+			var fp int64
+			switch splitmix64(&s) % 4 {
+			case 0:
+				fp = cardMem / 2
+			case 1:
+				fp = cardMem / 4
+			default:
+				fp = cardMem / 8
+			}
+			bursts := 2 + int(splitmix64(&s)%4)
+			// Burst and think lengths: 2-9ms compute, 1-8ms host phase.
+			burstLen := simclock.Duration(2e6+splitmix64(&s)%8*1e6) * burstScale
+			thinkLen := simclock.Duration(1e6+splitmix64(&s)%8*1e6) * thinkScale
+			specs = append(specs, JobSpec{
+				ID:        id,
+				Tenant:    tenantName(tenant),
+				Priority:  tenant % 3,
+				Arrival:   at,
+				Footprint: fp,
+				Bursts:    bursts,
+				BurstLen:  burstLen,
+				ThinkLen:  thinkLen,
+			})
+			id++
+			at += simclock.Duration(1 + splitmix64(&s)%uint64(cfg.meanGap()/4*3)) // jittered intra-burst gap
+		}
+		// Lull until the next burst.
+		at += simclock.Duration(1 + splitmix64(&s)%uint64(2*cfg.burstEvery()))
+	}
+	return specs
+}
+
+func tenantName(t int) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	if t < len(letters) {
+		return "tenant-" + string(letters[t])
+	}
+	return "tenant-x"
+}

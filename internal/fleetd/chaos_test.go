@@ -1,0 +1,182 @@
+package fleetd
+
+// Chaos coverage for the control plane, driven by seeded fault plans:
+// a destination host dying mid-evacuation-wave, and a capture crashing
+// mid-preemption. The chaosBackend wraps ModelBackend and consults a
+// faultinject plan at the two riskiest backend operations; every run
+// is a pure function of its seed, so a failure replays from nothing
+// but the seed.
+
+import (
+	"fmt"
+	"testing"
+
+	"snapify/internal/faultinject"
+	"snapify/internal/obs"
+	"snapify/internal/simclock"
+	"snapify/internal/snapstore"
+)
+
+// Chaos keys at the federation site: the controller's migrate and
+// swap-out choke points.
+const (
+	chaosMigrateKey = "fleet-migrate"
+	chaosSwapKey    = "fleet-swapout"
+)
+
+// chaosPlan derives a seeded crash plan over the given keys: n faults
+// with trigger ordinals in [1, maxNth], kinds pinned to Crash (the
+// meaningful kind at these choke points).
+func chaosPlan(seed uint64, keys []string, n, maxNth int) faultinject.Plan {
+	menu := make([]faultinject.SiteKey, len(keys))
+	for i, k := range keys {
+		menu[i] = faultinject.SiteKey{Site: faultinject.SiteFederation, Key: k}
+	}
+	plan := faultinject.SeededPlan(seed, menu, n, maxNth)
+	for i := range plan {
+		plan[i].Kind = faultinject.Crash
+	}
+	return plan
+}
+
+// chaosBackend wraps ModelBackend with fault injection: a fired
+// migrate fault kills the destination host mid-transfer (the op fails
+// with ErrHostDead, as the federation would report it), and a fired
+// swap-out fault crashes the capture (clean failure, snapshot absent).
+type chaosBackend struct {
+	*ModelBackend
+	inj *faultinject.Injector
+}
+
+func (b *chaosBackend) Migrate(j *Job, dstHost string, dstCard int) (simclock.Duration, error) {
+	if f := b.inj.Fire(faultinject.SiteFederation, chaosMigrateKey); f != nil {
+		return 0, fmt.Errorf("chaos: migrating job %d to %s: %w", j.ID, dstHost, snapstore.ErrHostDead)
+	}
+	return b.ModelBackend.Migrate(j, dstHost, dstCard)
+}
+
+func (b *chaosBackend) SwapOut(j *Job) (simclock.Duration, error) {
+	if f := b.inj.Fire(faultinject.SiteFederation, chaosSwapKey); f != nil {
+		return 0, fmt.Errorf("chaos: capture of job %d crashed", j.ID)
+	}
+	return b.ModelBackend.SwapOut(j)
+}
+
+var _ Backend = (*chaosBackend)(nil)
+
+// runChaosEvacuation drains a fully packed host while a seeded plan
+// kills migration destinations mid-wave, and returns the final stats.
+func runChaosEvacuation(t *testing.T, seed uint64) Stats {
+	t.Helper()
+	be := &chaosBackend{
+		ModelBackend: NewModelBackend(ModelOptions{
+			Hosts: 4, CardsPerHost: 1, CardMem: 4 << 30, ReplicaK: 2,
+		}),
+		inj: faultinject.New(chaosPlan(seed, []string{chaosMigrateKey}, 2, 4), nil),
+	}
+	c := New(Options{EvacWave: 4}, be, obs.New())
+	var specs []JobSpec
+	for id := 1; id <= 8; id++ {
+		specs = append(specs, JobSpec{
+			ID: id, Tenant: "tenant-a",
+			Footprint: 512 << 20, Bursts: 4,
+			BurstLen: 50 * ms, ThinkLen: 2000 * ms,
+		})
+	}
+	if err := c.SubmitTrace(specs); err != nil {
+		t.Fatal(err)
+	}
+	c.ScheduleEvacuation(2*ms, "h000", 300000*ms)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return c.Stats()
+}
+
+// TestChaosFleetEvacuationHostKill packs eight jobs onto one host and
+// drains it while the fault plan kills destination hosts mid-wave. The
+// controller must absorb the losses — re-routing in-flight moves,
+// requeueing jobs stranded on the dead destinations — and still land
+// every job on a living host.
+func TestChaosFleetEvacuationHostKill(t *testing.T) {
+	st := runChaosEvacuation(t, 0xC0FFEE)
+	if st.Completed != 8 {
+		t.Fatalf("completed %d of 8 jobs: %+v", st.Completed, st)
+	}
+	if st.EvacFails == 0 {
+		t.Fatalf("seeded plan fired no mid-wave host kill: %+v", st)
+	}
+	if st.EvacMoves == 0 {
+		t.Fatalf("evacuation moved nothing: %+v", st)
+	}
+}
+
+// TestChaosFleetEvacuationSeedReplay replays the evacuation chaos run:
+// the same seed must reproduce the identical stats, and other seeds
+// must still drive every job to completion.
+func TestChaosFleetEvacuationSeedReplay(t *testing.T) {
+	a := runChaosEvacuation(t, 0xC0FFEE)
+	b := runChaosEvacuation(t, 0xC0FFEE)
+	if a != b {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+	for seed := uint64(1); seed <= 3; seed++ {
+		if st := runChaosEvacuation(t, seed); st.Completed != 8 {
+			t.Errorf("seed %d: completed %d of 8: %+v", seed, st.Completed, st)
+		}
+	}
+}
+
+// runChaosPreemption races a high-priority arrival against a resident
+// low-priority job while a seeded plan crashes swap-out captures, and
+// returns the final stats.
+func runChaosPreemption(t *testing.T, seed uint64) Stats {
+	t.Helper()
+	be := &chaosBackend{
+		ModelBackend: NewModelBackend(ModelOptions{
+			Hosts: 1, CardsPerHost: 1, CardMem: 1 << 30, ReplicaK: 1,
+		}),
+		inj: faultinject.New(chaosPlan(seed, []string{chaosSwapKey}, 1, 1), nil),
+	}
+	c := New(Options{}, be, obs.New())
+	specs := []JobSpec{
+		{ID: 1, Tenant: "tenant-a", Priority: 0, Arrival: 0,
+			Footprint: 1 << 30, Bursts: 3, BurstLen: 10 * ms, ThinkLen: 100 * ms},
+		{ID: 2, Tenant: "tenant-b", Priority: 2, Arrival: 200 * ms,
+			Footprint: 1 << 30, Bursts: 2, BurstLen: 10 * ms, ThinkLen: 10 * ms},
+	}
+	if err := c.SubmitTrace(specs); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return c.Stats()
+}
+
+// TestChaosFleetPreemptionCrash crashes the eviction capture the first
+// time a high-priority arrival preempts the resident job. The aborted
+// eviction must leave the victim unharmed and running; the next
+// dispatch retries, succeeds, and both jobs finish.
+func TestChaosFleetPreemptionCrash(t *testing.T) {
+	st := runChaosPreemption(t, 0xBADBEEF)
+	if st.Completed != 2 {
+		t.Fatalf("completed %d of 2 jobs: %+v", st.Completed, st)
+	}
+	if st.PreemptAborts == 0 || st.SwapFails == 0 {
+		t.Fatalf("seeded plan crashed no capture mid-preemption: %+v", st)
+	}
+	if st.Preemptions == 0 {
+		t.Fatalf("retry after the aborted eviction never preempted: %+v", st)
+	}
+}
+
+// TestChaosFleetPreemptionSeedReplay pins determinism of the
+// preemption chaos run.
+func TestChaosFleetPreemptionSeedReplay(t *testing.T) {
+	a := runChaosPreemption(t, 0xBADBEEF)
+	b := runChaosPreemption(t, 0xBADBEEF)
+	if a != b {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,0 +1,225 @@
+package fleetd
+
+// PlatformBackend executes control-plane operations on real simulated
+// platforms through sched.Fleet: jobs are live workloads.Instances,
+// swap-outs run the store-backed core.Swapout path, recoveries restart
+// from replicated snapshot directories. It validates the control
+// plane's decisions end to end — at test scale, not bench scale.
+
+import (
+	"fmt"
+
+	"snapify/internal/sched"
+	"snapify/internal/simclock"
+	"snapify/internal/simnet"
+)
+
+// PlatformBackend implements Backend over a sched.Fleet of real
+// simulated servers.
+type PlatformBackend struct {
+	fleet *sched.Fleet
+	topo  []HostTopo
+	model *simclock.Model
+}
+
+// NewPlatformBackend wraps a fleet whose members are already added.
+// cardMem is each card's capacity; cards is cards per host.
+func NewPlatformBackend(fleet *sched.Fleet, hosts []string, cards int, cardMem int64) *PlatformBackend {
+	b := &PlatformBackend{fleet: fleet, model: simclock.Default()}
+	for _, h := range hosts {
+		caps := make([]int64, cards)
+		for i := range caps {
+			caps[i] = cardMem
+		}
+		b.topo = append(b.topo, HostTopo{Name: h, Cards: caps})
+	}
+	return b
+}
+
+// Fleet exposes the underlying sched.Fleet.
+func (b *PlatformBackend) Fleet() *sched.Fleet { return b.fleet }
+
+// Topology enumerates the wrapped hosts.
+func (b *PlatformBackend) Topology() []HostTopo { return b.topo }
+
+// LinkCost prices an inter-host transfer through the federation's
+// per-pair link models.
+func (b *PlatformBackend) LinkCost(a, bHost string, n int64) simclock.Duration {
+	if a == bHost {
+		return 0
+	}
+	return b.fleet.Federation().LinkCost(a, bHost, n)
+}
+
+func (b *PlatformBackend) fj(j *Job) (*sched.FleetJob, error) {
+	fj, ok := j.FJ.(*sched.FleetJob)
+	if !ok || fj == nil {
+		return nil, fmt.Errorf("fleetd: job %d has no fleet binding", j.ID)
+	}
+	return fj, nil
+}
+
+// device maps the controller's card index to the member's SCIF node.
+func device(cardIdx int) simnet.NodeID { return simnet.NodeID(cardIdx + 1) }
+
+// callsPerBurst splits the workload's calls evenly over the job's
+// bursts; the last burst absorbs the remainder.
+func callsPerBurst(j *Job) int {
+	n := j.Spec.Workload.Calls / j.Spec.Bursts
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Launch submits the job's workload on its assigned host and card.
+func (b *PlatformBackend) Launch(j *Job) (simclock.Duration, error) {
+	if j.Spec.Workload == nil {
+		return 0, fmt.Errorf("fleetd: job %d has no workload spec", j.ID)
+	}
+	fj, err := b.fleet.Submit(*j.Spec.Workload, j.Host, device(j.Card))
+	if err != nil {
+		return 0, err
+	}
+	j.FJ = fj
+	return b.model.RDMA(j.Spec.Footprint), nil
+}
+
+// RunBurst executes one burst's worth of offload calls.
+func (b *PlatformBackend) RunBurst(j *Job) error {
+	fj, err := b.fj(j)
+	if err != nil {
+		return err
+	}
+	want := callsPerBurst(j)
+	if left := fj.Spec.Calls - fj.Inst.Progress(); left < want || j.burstsDone == j.Spec.Bursts-1 {
+		want = fj.Spec.Calls - fj.Inst.Progress()
+	}
+	if want <= 0 {
+		return nil
+	}
+	if _, err := fj.Inst.RunCalls(want); err != nil {
+		return fmt.Errorf("fleetd: job %d burst: %w", j.ID, err)
+	}
+	return nil
+}
+
+// SwapOut checkpoints the whole application (durable, replicated per
+// the fleet's capture options) and then swaps the offload process out
+// through the store-backed path, freeing the card.
+func (b *PlatformBackend) SwapOut(j *Job) (simclock.Duration, error) {
+	fj, err := b.fj(j)
+	if err != nil {
+		return 0, err
+	}
+	rep, _, err := b.fleet.Checkpoint(fj)
+	if err != nil {
+		return 0, err
+	}
+	snap, err := b.fleet.SwapoutJob(fj)
+	if err != nil {
+		return 0, err
+	}
+	return rep.Total() + snap.Report.PauseTotal() + snap.Report.Capture, nil
+}
+
+// SwapIn revives the swapped-out offload process on its card.
+func (b *PlatformBackend) SwapIn(j *Job, from string) (simclock.Duration, error) {
+	fj, err := b.fj(j)
+	if err != nil {
+		return 0, err
+	}
+	if err := b.fleet.SwapinJob(fj, device(j.Card)); err != nil {
+		return 0, err
+	}
+	dur := b.model.RDMA(j.Spec.Footprint)
+	if from != "" && from != j.Host {
+		dur += b.LinkCost(from, j.Host, j.Spec.Footprint)
+	}
+	return dur, nil
+}
+
+// Checkpoint captures a durable replicated snapshot of the live job.
+func (b *PlatformBackend) Checkpoint(j *Job) (simclock.Duration, error) {
+	fj, err := b.fj(j)
+	if err != nil {
+		return 0, err
+	}
+	rep, _, err := b.fleet.Checkpoint(fj)
+	if err != nil {
+		return 0, err
+	}
+	return rep.Total(), nil
+}
+
+// Holders returns the living holders of the job's snapshot directory.
+func (b *PlatformBackend) Holders(j *Job) []string {
+	fj, err := b.fj(j)
+	if err != nil {
+		return nil
+	}
+	fed := b.fleet.Federation()
+	var out []string
+	for _, h := range fed.Holders(fj.Dir) {
+		if fed.Alive(h) {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// Migrate moves the live job to the destination host: checkpoint, ship
+// the snapshot directory (deduped against the destination store),
+// restart there.
+func (b *PlatformBackend) Migrate(j *Job, dstHost string, dstCard int) (simclock.Duration, error) {
+	fj, err := b.fj(j)
+	if err != nil {
+		return 0, err
+	}
+	stats, err := b.fleet.MigrateJob(fj, dstHost)
+	if err != nil {
+		return 0, err
+	}
+	return b.LinkCost(j.Host, dstHost, stats.BytesShipped) + b.model.RDMA(j.Spec.Footprint), nil
+}
+
+// Recover restarts a lost or swapped-out job from its closest replica
+// onto the destination host.
+func (b *PlatformBackend) Recover(j *Job, dstHost string, dstCard int) (simclock.Duration, error) {
+	fj, err := b.fj(j)
+	if err != nil {
+		return 0, err
+	}
+	if err := b.fleet.RecoverJobOn(fj, dstHost); err != nil {
+		return 0, err
+	}
+	dur := b.model.RDMA(j.Spec.Footprint)
+	if fj.Host != dstHost {
+		dur += b.LinkCost(fj.Host, dstHost, j.Spec.Footprint)
+	}
+	return dur, nil
+}
+
+// Finish marks the fleet job done and releases its instance.
+func (b *PlatformBackend) Finish(j *Job) error {
+	fj, err := b.fj(j)
+	if err != nil {
+		return err
+	}
+	fj.Done = true
+	fj.Inst.Close()
+	return nil
+}
+
+// HostKilled propagates a host failure into the fleet and federation.
+func (b *PlatformBackend) HostKilled(name string) {
+	// The error paths (unknown host, already dead) cannot fire here: the
+	// controller only kills hosts it got from Topology, once.
+	if err := b.fleet.KillHost(name); err != nil {
+		panic(fmt.Sprintf("fleetd: killing host %s: %v", name, err)) //nolint:paniclib // invariant: topology hosts are fleet members
+	}
+}
+
+// ensure the interface stays satisfied.
+var _ Backend = (*PlatformBackend)(nil)
+var _ Backend = (*ModelBackend)(nil)

@@ -1,0 +1,265 @@
+package fleetd
+
+// Platform-backed integration tests: the controller drives real
+// simulated servers through sched.Fleet, so swap-outs run the
+// store-backed core.Swapout path, migrations ship deduped snapshot
+// directories, and recoveries restart from replicated checkpoints.
+// These validate the control plane's decisions end to end at test
+// scale; the model backend covers bench scale.
+
+import (
+	"testing"
+	"time"
+
+	"snapify/internal/obs"
+	"snapify/internal/platform/platformtest"
+	"snapify/internal/sched"
+	"snapify/internal/simclock"
+	"snapify/internal/snapstore"
+	"snapify/internal/workloads"
+)
+
+// platSpec is the standard small workload: ~512 MiB of card footprint
+// (device memory + local store).
+func platSpec(code string, calls int) workloads.Spec {
+	return workloads.Spec{
+		Code: code, Name: code,
+		HostMem:        8 * simclock.MiB,
+		DeviceMem:      256 * simclock.MiB,
+		LocalStore:     256 * simclock.MiB,
+		Calls:          calls,
+		StepsPerCall:   2,
+		ComputePerCall: time.Millisecond,
+		InPerCall:      16 * simclock.KiB,
+		OutPerCall:     16 * simclock.KiB,
+	}
+}
+
+func platFootprint(spec workloads.Spec) int64 { return spec.DeviceMem + spec.LocalStore }
+
+// newPlatformEnv builds an n-host fleet of real simulated servers (one
+// card each) with store-backed capture and k snapshot replicas, and a
+// controller managing them through a PlatformBackend.
+func newPlatformEnv(t *testing.T, hosts, replicas int, cardMem int64, opts Options) (*Controller, *PlatformBackend) {
+	t.Helper()
+	fleet := sched.NewFleet(obs.New(), snapstore.DefaultLink(), nil)
+	var names []string
+	for i := 0; i < hosts; i++ {
+		name := "h" + string(rune('a'+i))
+		plat := platformtest.Start(t, platformtest.Options{Devices: 1})
+		if err := fleet.AddHost(name, plat); err != nil {
+			t.Fatal(err)
+		}
+		names = append(names, name)
+	}
+	fleet.Capture.Streams = 2
+	fleet.Capture.ChunkBytes = 256 * 1024
+	fleet.Capture.Store.Enabled = true
+	fleet.Capture.Store.Replicas = replicas
+	fleet.Restore.Store.Enabled = true
+	be := NewPlatformBackend(fleet, names, 1, cardMem)
+	return New(opts, be, obs.New()), be
+}
+
+// platReference runs spec uninterrupted on a fresh platform and
+// returns its checksum.
+func platReference(t *testing.T, spec workloads.Spec) uint64 {
+	t.Helper()
+	plat := platformtest.Start(t, platformtest.Options{Devices: 1})
+	in, err := workloads.Launch(plat, spec, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	want, err := in.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+func platJob(t *testing.T, c *Controller, id int) *sched.FleetJob {
+	t.Helper()
+	j := c.JobByID(id)
+	if j == nil {
+		t.Fatalf("no job %d", id)
+	}
+	fj, ok := j.FJ.(*sched.FleetJob)
+	if !ok || fj == nil {
+		t.Fatalf("job %d has no fleet binding", id)
+	}
+	return fj
+}
+
+func assertStoresClean(t *testing.T, fleet *sched.Fleet) {
+	t.Helper()
+	fed := fleet.Federation()
+	for _, name := range fed.Members() {
+		if !fed.Alive(name) {
+			continue
+		}
+		st, err := fed.StoreOf(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if problems, _ := st.Verify(); len(problems) != 0 {
+			t.Errorf("store on %s inconsistent: %v", name, problems)
+		}
+	}
+}
+
+// TestFleetdPlatformOversubscription packs three 512 MiB jobs onto one
+// oversubscribed 768 MiB card: only one can be resident at a time, so
+// the controller must cycle them through real store-backed swap-outs.
+// Every job must still finish with the reference checksum.
+func TestFleetdPlatformOversubscription(t *testing.T) {
+	spec := platSpec("PO", 6)
+	want := platReference(t, spec)
+	fp := platFootprint(spec)
+
+	c, be := newPlatformEnv(t, 2, 2, fp+fp/2, Options{OversubPct: 300})
+	var specs []JobSpec
+	for id := 1; id <= 3; id++ {
+		s := spec
+		specs = append(specs, JobSpec{
+			ID: id, Tenant: "tenant-a",
+			Footprint: fp, Bursts: 3,
+			BurstLen: 20 * ms, ThinkLen: 100 * ms,
+			Workload: &s,
+		})
+	}
+	if err := c.SubmitTrace(specs); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := c.Stats()
+	if st.Completed != 3 {
+		t.Fatalf("completed %d of 3 jobs: %+v", st.Completed, st)
+	}
+	if st.SwapOuts == 0 || st.SwapIns == 0 {
+		t.Fatalf("oversubscribed card never swapped: %+v", st)
+	}
+	for id := 1; id <= 3; id++ {
+		fj := platJob(t, c, id)
+		if !fj.Done {
+			t.Errorf("fleet job %d not done", id)
+		}
+		if got := fj.Inst.Checksum(); got != want {
+			t.Errorf("job %d checksum %#x, want %#x", id, got, want)
+		}
+	}
+	assertStoresClean(t, be.Fleet())
+}
+
+// TestFleetdPlatformEvacuation drains a host under a deadline: both
+// jobs live there, and the controller must move them with real
+// checkpoint-ship-restart migrations before the deadline.
+func TestFleetdPlatformEvacuation(t *testing.T) {
+	spec := platSpec("PE", 8)
+	want := platReference(t, spec)
+	fp := platFootprint(spec)
+
+	c, be := newPlatformEnv(t, 3, 2, 2*fp, Options{EvacWave: 2})
+	var specs []JobSpec
+	for id := 1; id <= 2; id++ {
+		s := spec
+		specs = append(specs, JobSpec{
+			ID: id, Tenant: "tenant-a",
+			Footprint: fp, Bursts: 4,
+			BurstLen: 20 * ms, ThinkLen: 1500 * ms,
+			Workload: &s,
+		})
+	}
+	if err := c.SubmitTrace(specs); err != nil {
+		t.Fatal(err)
+	}
+	c.ScheduleEvacuation(10*ms, "ha", 60000*ms)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := c.Stats()
+	if st.Completed != 2 {
+		t.Fatalf("completed %d of 2 jobs: %+v", st.Completed, st)
+	}
+	if st.EvacMoves == 0 {
+		t.Fatalf("evacuation moved nothing: %+v", st)
+	}
+	reports := c.Evacuations()
+	if len(reports) != 1 || !reports[0].Done || !reports[0].DeadlineMet {
+		t.Fatalf("evacuation report %+v, want done within deadline", reports)
+	}
+	for id := 1; id <= 2; id++ {
+		fj := platJob(t, c, id)
+		if fj.Host == "ha" {
+			t.Errorf("job %d still on drained host", id)
+		}
+		if got := fj.Inst.Checksum(); got != want {
+			t.Errorf("job %d checksum %#x, want %#x", id, got, want)
+		}
+	}
+	assertStoresClean(t, be.Fleet())
+}
+
+// TestFleetdPlatformKillRecovery checkpoints a live job, kills its
+// host, and expects the controller to restart it from a surviving
+// replica on another member — finishing with the reference checksum.
+func TestFleetdPlatformKillRecovery(t *testing.T) {
+	spec := platSpec("PK", 6)
+	want := platReference(t, spec)
+	fp := platFootprint(spec)
+
+	c, be := newPlatformEnv(t, 3, 2, 2*fp, Options{})
+	s := spec
+	specs := []JobSpec{{
+		ID: 1, Tenant: "tenant-a",
+		Footprint: fp, Bursts: 3,
+		BurstLen: 10 * ms, ThinkLen: 3000 * ms,
+		Workload: &s,
+	}}
+	if err := c.SubmitTrace(specs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Run until the job reaches its first think phase, then checkpoint
+	// it and kill its host out from under it.
+	until := 100 * ms
+	for c.JobByID(1).State != StateThinking {
+		if err := c.RunUntil(until); err != nil {
+			t.Fatal(err)
+		}
+		until += 50 * ms
+		if until > 20000*ms {
+			t.Fatalf("job never reached thinking; state %v", c.JobByID(1).State)
+		}
+	}
+	if c.JobByID(1).Host != "ha" {
+		t.Fatalf("job placed on %q, want ha", c.JobByID(1).Host)
+	}
+	if err := c.CheckpointJob(1); err != nil {
+		t.Fatal(err)
+	}
+	c.KillHost("ha")
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := c.Stats()
+	if st.JobsLost != 1 || st.Recovered != 1 {
+		t.Fatalf("lost %d recovered %d, want 1/1: %+v", st.JobsLost, st.Recovered, st)
+	}
+	if st.Completed != 1 {
+		t.Fatalf("job did not complete: %+v", st)
+	}
+	fj := platJob(t, c, 1)
+	if fj.Host == "ha" {
+		t.Error("job still homed on the dead host")
+	}
+	if got := fj.Inst.Checksum(); got != want {
+		t.Errorf("checksum %#x, want %#x", got, want)
+	}
+	assertStoresClean(t, be.Fleet())
+}

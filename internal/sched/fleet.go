@@ -3,6 +3,7 @@ package sched
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"snapify/internal/core"
@@ -34,7 +35,12 @@ type Fleet struct {
 	members map[string]*Member
 	order   []string
 	jobs    []*FleetJob
-	nextID  int
+	// byID and byHost index the job list so per-job lookup and
+	// whole-host events (kill, evacuation) touch only the jobs involved
+	// instead of scanning every job ever submitted.
+	byID   map[int]*FleetJob
+	byHost map[string]map[int]*FleetJob
+	nextID int
 }
 
 // Member is one server in the fleet.
@@ -62,7 +68,15 @@ type FleetJob struct {
 	Lost bool
 	// Done marks a finished job.
 	Done bool
+	// Swaps counts store-backed swap-out events (SwapoutJob).
+	Swaps int
+
+	snapshot *core.Snapshot
 }
+
+// SwappedOut reports whether the job currently lives as a snapshot on
+// its host (SwapoutJob ran and SwapinJob has not yet revived it).
+func (j *FleetJob) SwappedOut() bool { return j.snapshot != nil }
 
 // NewFleet builds an empty fleet whose federation publishes metrics to o
 // and consults injector (may yield nil) for chaos faults on the
@@ -71,6 +85,8 @@ func NewFleet(o *obs.Obs, link snapstore.LinkModel, injector snapstore.InjectorF
 	return &Fleet{
 		fed:     snapstore.NewFederation(o, link, injector),
 		members: make(map[string]*Member),
+		byID:    make(map[int]*FleetJob),
+		byHost:  make(map[string]map[int]*FleetJob),
 		nextID:  1,
 	}
 }
@@ -111,6 +127,39 @@ func (f *Fleet) Jobs() []*FleetJob {
 	return out
 }
 
+// JobByID returns the fleet job with the given ID, or nil.
+func (f *Fleet) JobByID(id int) *FleetJob {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.byID[id]
+}
+
+// JobsOn returns the not-done jobs currently homed on host, sorted by ID.
+func (f *Fleet) JobsOn(host string) []*FleetJob {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*FleetJob, 0, len(f.byHost[host]))
+	for _, j := range f.byHost[host] {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].ID < out[b].ID })
+	return out
+}
+
+// rehomeLocked moves j's byHost index entry to host.
+func (f *Fleet) rehomeLocked(j *FleetJob, host string) {
+	if cur, ok := f.byHost[j.Host]; ok {
+		delete(cur, j.ID)
+	}
+	set := f.byHost[host]
+	if set == nil {
+		set = make(map[int]*FleetJob)
+		f.byHost[host] = set
+	}
+	set[j.ID] = j
+	j.Host = host
+}
+
 // Submit launches a job on the named host's card and registers the
 // Snapify checkpoint callback with the fleet's capture/restore options.
 func (f *Fleet) Submit(spec workloads.Spec, host string, device simnet.NodeID) (*FleetJob, error) {
@@ -142,6 +191,8 @@ func (f *Fleet) Submit(spec workloads.Spec, host string, device simnet.NodeID) (
 	}
 	f.mu.Lock()
 	f.jobs = append(f.jobs, j)
+	f.byID[id] = j
+	f.rehomeLocked(j, host)
 	f.mu.Unlock()
 	return j, nil
 }
@@ -206,8 +257,8 @@ func (f *Fleet) KillHost(name string) error {
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	for _, j := range f.jobs {
-		if j.Host == name && !j.Done {
+	for _, j := range f.byHost[name] {
+		if !j.Done {
 			j.Lost = true
 		}
 	}
@@ -218,20 +269,17 @@ func (f *Fleet) KillHost(name string) error {
 // checkpoint: the host process via BLCR, the offload process via the
 // restore callback, both reading the replicated snapshot directory on
 // the new host. Progress rolls back to the checkpoint — exactly the
-// paper's fault-tolerance contract. It returns the recovered jobs.
+// paper's fault-tolerance contract. Among the living holders it prefers
+// the one *closest* to the job's last host by link cost (holders on the
+// dead host's rack restart with the least data motion when the job's
+// working files re-ship). It returns the recovered jobs.
 func (f *Fleet) Recover() ([]*FleetJob, error) {
 	var recovered []*FleetJob
 	for _, j := range f.Jobs() {
 		if !j.Lost {
 			continue
 		}
-		holder := ""
-		for _, h := range f.fed.Holders(j.Dir) {
-			if f.fed.Alive(h) {
-				holder = h
-				break
-			}
-		}
+		holder := f.fed.ClosestHolder(j.Dir, j.Host, recoverBytes(j.Spec))
 		if holder == "" {
 			return recovered, fmt.Errorf("sched: job %d has no living replica of %s", j.ID, j.Dir)
 		}
@@ -245,6 +293,53 @@ func (f *Fleet) Recover() ([]*FleetJob, error) {
 		recovered = append(recovered, j)
 	}
 	return recovered, nil
+}
+
+// RecoverJobOn restarts one lost or swapped-out job from its replicated
+// snapshot directory onto the named host — the fleet control plane's
+// per-job recovery path, which picks the destination itself (Recover
+// picks the closest holder instead). When the destination doesn't hold
+// a replica yet, the directory ships there from the closest one first.
+func (f *Fleet) RecoverJobOn(j *FleetJob, host string) error {
+	m, err := f.Member(host)
+	if err != nil {
+		return err
+	}
+	if !f.fed.Alive(host) {
+		return fmt.Errorf("sched: recovering job %d on dead host %q: %w", j.ID, host, snapstore.ErrHostDead)
+	}
+	if j.Done {
+		return fmt.Errorf("sched: recovering finished job %d", j.ID)
+	}
+	if !j.Lost && !j.SwappedOut() {
+		return fmt.Errorf("sched: job %d is live on %q; use MigrateJob", j.ID, j.Host)
+	}
+	holder := f.fed.ClosestHolder(j.Dir, host, recoverBytes(j.Spec))
+	if holder == "" {
+		return fmt.Errorf("sched: job %d has no living replica of %s", j.ID, j.Dir)
+	}
+	if holder != host {
+		if _, _, err := f.fed.ShipDir(holder, host, j.Dir); err != nil {
+			return fmt.Errorf("sched: shipping job %d replica %s -> %s: %w", j.ID, holder, host, err)
+		}
+	}
+	if !j.Lost && j.Inst != nil {
+		// A swapped-out job leaving a draining host: its offload process
+		// is already gone, the host process dies with the move.
+		j.Inst.Close()
+		j.Inst.Host.Terminate()
+	}
+	if err := f.restartOn(j, m); err != nil {
+		return fmt.Errorf("sched: recovering job %d on %q: %w", j.ID, host, err)
+	}
+	return nil
+}
+
+// recoverBytes estimates the bytes that move when a job restarts from a
+// replica — its snapshot image, dominated by device memory and local
+// store. Only the relative order across holders matters to Recover.
+func recoverBytes(spec workloads.Spec) int64 {
+	return spec.DeviceMem + spec.LocalStore + spec.HostMem
 }
 
 // restartOn restores job j from its snapshot directory on the given
@@ -266,9 +361,51 @@ func (f *Fleet) restartOn(j *FleetJob, m *Member) error {
 		return err
 	}
 	f.mu.Lock()
-	j.Host, j.Device = m.Name, inst.CP.DeviceNode()
+	f.rehomeLocked(j, m.Name)
+	j.Device = inst.CP.DeviceNode()
 	j.Inst, j.App = inst, app
 	j.Lost = false
+	j.snapshot = nil
+	f.mu.Unlock()
+	return nil
+}
+
+// SwapoutJob captures the job into its snapshot directory through the
+// fleet's store-backed capture options and terminates the offload
+// process — the card memory is free until SwapinJob. The control plane
+// uses this as the oversubscription eviction path.
+func (f *Fleet) SwapoutJob(j *FleetJob) (*core.Snapshot, error) {
+	if j.Lost || j.Done {
+		return nil, fmt.Errorf("sched: swapping out job %d in state lost=%v done=%v", j.ID, j.Lost, j.Done)
+	}
+	if j.snapshot != nil {
+		return j.snapshot, nil
+	}
+	snap, err := core.Swapout(j.Dir, j.Inst.CP, f.Capture)
+	if err != nil {
+		return nil, fmt.Errorf("sched: swapping out fleet job %d: %w", j.ID, err)
+	}
+	f.mu.Lock()
+	j.snapshot = snap
+	j.Swaps++
+	f.mu.Unlock()
+	return snap, nil
+}
+
+// SwapinJob revives a swapped-out job on its host, on the given card.
+func (f *Fleet) SwapinJob(j *FleetJob, device simnet.NodeID) error {
+	f.mu.Lock()
+	snap := j.snapshot
+	f.mu.Unlock()
+	if snap == nil {
+		return fmt.Errorf("sched: job %d is not swapped out", j.ID)
+	}
+	if _, err := core.Swapin(snap, device, f.Restore); err != nil {
+		return fmt.Errorf("sched: swapping in fleet job %d: %w", j.ID, err)
+	}
+	f.mu.Lock()
+	j.snapshot = nil
+	j.Device = device
 	f.mu.Unlock()
 	return nil
 }

@@ -39,7 +39,7 @@ func newFleetEnv(t *testing.T, hosts int, replicas int) *fleetEnv {
 }
 
 func (fe *fleetEnv) arm(plan faultinject.Plan) { fe.inj = faultinject.New(plan, nil) }
-func (fe *fleetEnv) disarm()                  { fe.inj = nil }
+func (fe *fleetEnv) disarm()                   { fe.inj = nil }
 
 // referenceChecksum runs spec uninterrupted on a fresh platform.
 func referenceChecksum(t *testing.T, spec workloads.Spec) uint64 {
@@ -293,6 +293,59 @@ func TestChaosFleetKillDuringReplication(t *testing.T) {
 	}
 	if got := j.Inst.Progress(); got != 4 {
 		t.Errorf("recovered progress %d, want 4", got)
+	}
+	if err := fe.fleet.Run(); err != nil {
+		t.Fatal(err)
+	}
+	assertFleetFsckClean(t, fe.fleet)
+}
+
+// TestFleetRecoverPrefersClosestHolder is the regression test for the
+// link-aware recovery policy: with per-pair link overrides making the
+// first-sorted surviving holder expensive to reach from the dead host,
+// Recover must restart the job on the cheaper (later-sorted) holder —
+// the old first-in-map-order pick would land on the wrong host.
+func TestFleetRecoverPrefersClosestHolder(t *testing.T) {
+	fe := newFleetEnv(t, 4, 3)
+	spec := smallSpec("FL", 6)
+	j, err := fe.fleet.Submit(spec, "ha", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Inst.RunCalls(3); err != nil {
+		t.Fatal(err)
+	}
+	_, holders, err := fe.fleet.Checkpoint(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(holders) != 3 {
+		t.Fatalf("holders = %v, want 3", holders)
+	}
+	if err := fe.fleet.KillHost("ha"); err != nil {
+		t.Fatal(err)
+	}
+	survivors := fe.fleet.Federation().Holders(j.Dir)
+	if len(survivors) != 2 {
+		t.Fatalf("surviving holders = %v, want 2", survivors)
+	}
+	// The first-sorted survivor sits across the rack from the dead
+	// host; the second is in-rack and must win the recovery placement.
+	fe.fleet.Federation().SetLink("ha", survivors[0], snapstore.CrossRackLink())
+	want := survivors[1]
+
+	recovered, err := fe.fleet.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 1 {
+		t.Fatalf("recovered %d jobs, want 1", len(recovered))
+	}
+	if j.Host != want {
+		t.Fatalf("recovered onto %q, want closest holder %q (survivors %v)", j.Host, want, survivors)
+	}
+	if got := j.Inst.Progress(); got != 3 {
+		t.Errorf("recovered progress %d, want 3", got)
 	}
 	if err := fe.fleet.Run(); err != nil {
 		t.Fatal(err)

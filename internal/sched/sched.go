@@ -77,14 +77,26 @@ type Scheduler struct {
 	// paper's stop-the-world migration otherwise.
 	Precopy core.PrecopyOptions
 
-	mu     sync.Mutex
-	jobs   []*Job
-	nextID int
+	mu   sync.Mutex
+	jobs []*Job
+	// byID and resident are the O(1) indexes the fleet-scale control
+	// plane leans on: job lookup by ID and the per-card resident set,
+	// so victim picking scans one card's residents instead of every
+	// job ever submitted.
+	byID     map[int]*Job
+	resident map[simnet.NodeID]map[int]*Job
+	swaps    int
+	nextID   int
 }
 
 // New returns a scheduler for the platform.
 func New(plat *platform.Platform) *Scheduler {
-	return &Scheduler{plat: plat, nextID: 1}
+	return &Scheduler{
+		plat:     plat,
+		byID:     make(map[int]*Job),
+		resident: make(map[simnet.NodeID]map[int]*Job),
+		nextID:   1,
+	}
 }
 
 // Jobs returns all jobs in submission order.
@@ -94,6 +106,35 @@ func (s *Scheduler) Jobs() []*Job {
 	out := make([]*Job, len(s.jobs))
 	copy(out, s.jobs)
 	return out
+}
+
+// JobByID returns the job with the given ID, or nil.
+func (s *Scheduler) JobByID(id int) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.byID[id]
+}
+
+// setResidentLocked moves j into device's resident set.
+func (s *Scheduler) setResidentLocked(j *Job, device simnet.NodeID) {
+	if cur, ok := s.resident[j.Device]; ok {
+		delete(cur, j.ID)
+	}
+	set := s.resident[device]
+	if set == nil {
+		set = make(map[int]*Job)
+		s.resident[device] = set
+	}
+	set[j.ID] = j
+	j.Device = device
+	j.State = Resident
+}
+
+// clearResidentLocked removes j from its card's resident set.
+func (s *Scheduler) clearResidentLocked(j *Job) {
+	if set, ok := s.resident[j.Device]; ok {
+		delete(set, j.ID)
+	}
 }
 
 // footprint estimates the card memory a job needs.
@@ -119,6 +160,8 @@ func (s *Scheduler) Submit(spec workloads.Spec, device simnet.NodeID) (*Job, err
 	j := &Job{ID: id, Spec: spec, Inst: inst, State: Resident, Device: device}
 	s.mu.Lock()
 	s.jobs = append(s.jobs, j)
+	s.byID[id] = j
+	s.setResidentLocked(j, device)
 	s.mu.Unlock()
 	return j, nil
 }
@@ -138,18 +181,19 @@ func (s *Scheduler) makeRoom(device simnet.NodeID, need int64) error {
 	return nil
 }
 
-// pickVictim chooses the resident job on device with the most progress
+// pickVictim chooses the resident job on device with the least progress
 // (closest to done keeps its memory the shortest on swap-in later; the
-// policy is deliberately simple).
+// policy is deliberately simple). It scans only device's resident set,
+// breaking progress ties by lowest ID so the pick is deterministic.
 func (s *Scheduler) pickVictim(device simnet.NodeID) *Job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var victim *Job
-	for _, j := range s.jobs {
-		if j.State == Resident && j.Device == device {
-			if victim == nil || j.Inst.Progress() < victim.Inst.Progress() {
-				victim = j
-			}
+	for _, j := range s.resident[device] { //nolint:maporder // min over a strict total order (progress, then ID tie-break) — the pick is identical in any iteration order
+		if victim == nil ||
+			j.Inst.Progress() < victim.Inst.Progress() ||
+			(j.Inst.Progress() == victim.Inst.Progress() && j.ID < victim.ID) {
+			victim = j
 		}
 	}
 	return victim
@@ -164,6 +208,8 @@ func (s *Scheduler) swapOut(j *Job) error {
 	j.snapshot = snap
 	j.State = SwappedOut
 	j.Swaps++
+	s.swaps++
+	s.clearResidentLocked(j)
 	s.mu.Unlock()
 	return nil
 }
@@ -178,8 +224,7 @@ func (s *Scheduler) swapIn(j *Job, device simnet.NodeID) error {
 	}
 	s.mu.Lock()
 	j.snapshot = nil
-	j.State = Resident
-	j.Device = device
+	s.setResidentLocked(j, device)
 	s.mu.Unlock()
 	return nil
 }
@@ -223,6 +268,7 @@ func (s *Scheduler) RunRoundRobin(quantum int) (int, error) {
 			if j.Inst.Done() {
 				s.mu.Lock()
 				j.State = Done
+				s.clearResidentLocked(j)
 				s.mu.Unlock()
 				j.Inst.Close()
 			}
@@ -236,11 +282,7 @@ func (s *Scheduler) RunRoundRobin(quantum int) (int, error) {
 func (s *Scheduler) totalSwaps() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	n := 0
-	for _, j := range s.jobs {
-		n += j.Swaps
-	}
-	return n
+	return s.swaps
 }
 
 // Drop releases every snapshot artifact a finished (or abandoned) job
@@ -303,7 +345,7 @@ func (s *Scheduler) Evacuate(device, target simnet.NodeID) error {
 				return fmt.Errorf("sched: migrating job %d: %w", j.ID, err)
 			}
 			s.mu.Lock()
-			j.Device = target
+			s.setResidentLocked(j, target)
 			s.mu.Unlock()
 		case j.State == SwappedOut && j.Device == device:
 			s.mu.Lock()

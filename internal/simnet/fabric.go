@@ -136,19 +136,24 @@ func (f *Fabric) Traffic(from, to NodeID) int64 {
 
 // linkNodes returns the card nodes whose PCIe links a from->to transfer
 // crosses: none for a same-node copy, one for host<->card, both for
-// card<->card (staged through the root complex).
-func (f *Fabric) linkNodes(from, to NodeID) []NodeID {
+// card<->card (staged through the root complex). It returns a fixed
+// array plus count — RDMACost runs once per DMA transfer on the
+// fleet-scale hot path, so it must not allocate.
+func (f *Fabric) linkNodes(from, to NodeID) ([2]NodeID, int) {
+	var nodes [2]NodeID
 	if from == to {
-		return nil
+		return nodes, 0
 	}
-	nodes := make([]NodeID, 0, 2)
+	n := 0
 	if !from.IsHost() {
-		nodes = append(nodes, from)
+		nodes[n] = from
+		n++
 	}
 	if !to.IsHost() {
-		nodes = append(nodes, to)
+		nodes[n] = to
+		n++
 	}
-	return nodes
+	return nodes, n
 }
 
 // RegisterFlow declares a long-lived bulk flow between two nodes (an open
@@ -157,8 +162,8 @@ func (f *Fabric) linkNodes(from, to NodeID) []NodeID {
 // release function deregisters the flow; it is idempotent.
 func (f *Fabric) RegisterFlow(from, to NodeID) func() {
 	f.checkPair(from, to)
-	nodes := f.linkNodes(from, to)
-	for _, n := range nodes {
+	nodes, nn := f.linkNodes(from, to)
+	for _, n := range nodes[:nn] {
 		l := &f.links[n]
 		cur := l.flows.Add(1)
 		for {
@@ -173,7 +178,7 @@ func (f *Fabric) RegisterFlow(from, to NodeID) func() {
 		if !released.CompareAndSwap(false, true) {
 			return
 		}
-		for _, n := range nodes {
+		for _, n := range nodes[:nn] {
 			f.links[n].flows.Add(-1)
 		}
 	}
@@ -184,8 +189,14 @@ func (f *Fabric) RegisterFlow(from, to NodeID) func() {
 // always shares a link with itself).
 func (f *Fabric) Flows(from, to NodeID) int64 {
 	f.checkPair(from, to)
+	nodes, nn := f.linkNodes(from, to)
+	return f.shareOn(nodes, nn)
+}
+
+// shareOn returns the flow share over the given links (at least 1).
+func (f *Fabric) shareOn(nodes [2]NodeID, nn int) int64 {
 	share := int64(1)
-	for _, n := range f.linkNodes(from, to) {
+	for _, n := range nodes[:nn] {
 		if c := f.links[n].flows.Load(); c > share {
 			share = c
 		}
@@ -231,10 +242,13 @@ func (f *Fabric) RDMACost(from, to NodeID, bytes int64) simclock.Duration {
 		// Peer-to-peer: staged through the root complex.
 		hops = 2
 	}
-	share := f.Flows(from, to)
+	// One path computation serves both the share lookup and the
+	// per-link accounting below.
+	nodes, nn := f.linkNodes(from, to)
+	share := f.shareOn(nodes, nn)
 	perByte := m.RDMA(bytes) - m.RDMASetup
 	cost := hops * (m.RDMASetup + simclock.Duration(share)*perByte)
-	for _, n := range f.linkNodes(from, to) {
+	for _, n := range nodes[:nn] {
 		l := &f.links[n]
 		l.transfers.Add(1)
 		l.busy.Add(int64(cost))

@@ -190,3 +190,32 @@ func TestInvalidNodePanics(t *testing.T) {
 	}()
 	f.RDMACost(0, 5, 10)
 }
+
+// BenchmarkRDMACost pins the per-transfer cost of the fabric hot path:
+// fleet-scale runs price thousands of DMA transfers per virtual second,
+// so one RDMACost call must stay allocation-free.
+func BenchmarkRDMACost(b *testing.B) {
+	f := NewFabric(simclock.Default(), 4)
+	release := f.RegisterFlow(HostNode, 1)
+	defer release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.RDMACost(HostNode, NodeID(1+i%4), 1<<20)
+	}
+}
+
+// TestRDMACostNoAlloc is the regression gate behind BenchmarkRDMACost:
+// the path computation must not allocate per transfer.
+func TestRDMACostNoAlloc(t *testing.T) {
+	f := NewFabric(simclock.Default(), 4)
+	release := f.RegisterFlow(1, 2)
+	defer release()
+	allocs := testing.AllocsPerRun(100, func() {
+		f.RDMACost(1, 2, 1<<20)
+		f.RDMACost(HostNode, 3, 4096)
+	})
+	if allocs != 0 {
+		t.Fatalf("RDMACost allocates %.1f objects per transfer, want 0", allocs)
+	}
+}

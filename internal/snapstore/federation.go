@@ -39,10 +39,20 @@ func DefaultLink() LinkModel {
 	return LinkModel{Latency: 100 * time.Microsecond, Bandwidth: 1200 * simclock.MiB}
 }
 
+// CrossRackLink models the slower aggregation-layer path between racks:
+// higher latency and roughly a third of the in-rack bandwidth.
+func CrossRackLink() LinkModel {
+	return LinkModel{Latency: 500 * time.Microsecond, Bandwidth: 400 * simclock.MiB}
+}
+
 // cost prices moving n bytes across the link.
 func (l LinkModel) cost(n int64) simclock.Duration {
 	return l.Latency + simclock.Rate(l.Bandwidth)(n)
 }
+
+// Cost prices moving n bytes across the link (the exported form placement
+// scorers use).
+func (l LinkModel) Cost(n int64) simclock.Duration { return l.cost(n) }
 
 // InjectorFunc resolves the current fault injector at fire time (nil
 // injector, or a nil func, means no faults). The alias lets callers
@@ -74,6 +84,11 @@ type Federation struct {
 	members map[string]*Store
 	dead    map[string]bool
 	sets    map[string]*replicaSet
+	// links holds per-host-pair overrides of the uniform link model,
+	// keyed by the sorted pair (SetLink). Pairs without an entry fall
+	// back to the uniform link, so topologies are opt-in and the
+	// default federation behaves exactly as before.
+	links map[string]LinkModel
 
 	chunksShipped *obs.Counter
 	chunksDeduped *obs.Counter
@@ -93,6 +108,7 @@ func NewFederation(o *obs.Obs, link LinkModel, injector InjectorFunc) *Federatio
 		members:  make(map[string]*Store),
 		dead:     make(map[string]bool),
 		sets:     make(map[string]*replicaSet),
+		links:    make(map[string]LinkModel),
 		chunksShipped: reg.Counter("fed_chunks_shipped_total",
 			"Chunks physically shipped across hosts."),
 		chunksDeduped: reg.Counter("fed_chunks_deduped_total",
@@ -126,6 +142,65 @@ func (f *Federation) Add(name string, st *Store) error {
 	f.names = append(f.names, name)
 	sort.Strings(f.names)
 	return nil
+}
+
+// pairKey canonicalizes an unordered host pair (links are symmetric).
+func pairKey(a, b string) string {
+	if a > b {
+		a, b = b, a
+	}
+	return a + "\x00" + b
+}
+
+// SetLink overrides the link model between hosts a and b (symmetric).
+// Pairs without an override use the federation-wide uniform link, so a
+// topology — say intra-rack DefaultLink and CrossRackLink between
+// racks — is built by overriding only the slow pairs.
+func (f *Federation) SetLink(a, b string, l LinkModel) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.links[pairKey(a, b)] = l
+}
+
+// LinkBetween returns the link model priced between hosts a and b —
+// the per-pair override if one was set, the uniform default otherwise.
+func (f *Federation) LinkBetween(a, b string) LinkModel {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.linkLocked(a, b)
+}
+
+func (f *Federation) linkLocked(a, b string) LinkModel {
+	if l, ok := f.links[pairKey(a, b)]; ok {
+		return l
+	}
+	return f.link
+}
+
+// LinkCost prices moving n bytes between hosts a and b.
+func (f *Federation) LinkCost(a, b string, n int64) simclock.Duration {
+	return f.LinkBetween(a, b).cost(n)
+}
+
+// ClosestHolder returns the living holder of dir cheapest to reach from
+// host `from` when moving `bytes` bytes, breaking cost ties by name for
+// determinism. A holder equal to `from` wins outright (zero transfer).
+// Empty when dir has no living holder.
+func (f *Federation) ClosestHolder(dir, from string, bytes int64) string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	best := ""
+	var bestCost simclock.Duration
+	for _, h := range f.holdersLocked(normPath(dir)) {
+		if h == from {
+			return h
+		}
+		c := f.linkLocked(from, h).cost(bytes)
+		if best == "" || c < bestCost {
+			best, bestCost = h, c
+		}
+	}
+	return best
 }
 
 // StoreOf returns the live member's store.
@@ -246,14 +321,15 @@ func (f *Federation) shipSnapshotLocked(src, dst, path string) (ShipStats, simcl
 		f.markDeadLocked(dst, dstStore)
 		return stats, dur, fmt.Errorf("%w: %s crashed mid-negotiate shipping %s", ErrHostDead, dst, path)
 	}
+	link := f.linkLocked(src, dst)
 	// The digest list crosses the link, the need set comes back.
-	dur += f.link.cost(64 * int64(len(m.Chunks)))
+	dur += link.cost(64 * int64(len(m.Chunks)))
 	need, committed, d, err := dstStore.Negotiate(path, "", m.Size, m.ChunkBytes, m.Chunks)
 	dur += d
 	if err != nil {
 		return stats, dur, err
 	}
-	dur += f.link.cost(8 * int64(len(need)))
+	dur += link.cost(8 * int64(len(need)))
 	stats.BytesLogical = m.Size
 	stats.ChunksDeduped = int64(len(m.Chunks) - len(need))
 	f.chunksDeduped.Add(stats.ChunksDeduped)
@@ -266,7 +342,7 @@ func (f *Federation) shipSnapshotLocked(src, dst, path string) (ShipStats, simcl
 		if err != nil {
 			return stats, dur, err
 		}
-		linkCost := f.link.cost(content.Len())
+		linkCost := link.cost(content.Len())
 		if fault := f.fire("chunk"); fault != nil {
 			switch fault.Kind {
 			case faultinject.Crash:
@@ -344,6 +420,7 @@ func (f *Federation) shipFileLocked(src, dst, path string) (ShipStats, simclock.
 		return stats, dur, err
 	}
 	stats.BytesLogical = content.Len()
+	link := f.linkLocked(src, dst)
 	if fault := f.fire("chunk"); fault != nil && fault.Kind == faultinject.Crash {
 		f.markDeadLocked(dst, dstStore)
 		return stats, dur, fmt.Errorf("%w: %s crashed mid-ship of %s", ErrHostDead, dst, path)
@@ -353,13 +430,13 @@ func (f *Federation) shipFileLocked(src, dst, path string) (ShipStats, simclock.
 		dur += d
 		if err == nil && blob.Equal(have, content) {
 			// Digest exchange instead of bytes.
-			dur += f.link.cost(64)
+			dur += link.cost(64)
 			stats.ChunksDeduped = 1
 			f.chunksDeduped.Inc()
 			return stats, dur, nil
 		}
 	}
-	dur += f.link.cost(content.Len())
+	dur += link.cost(content.Len())
 	d, err := dstStore.fs.WriteFile(path, content)
 	dur += d
 	if err != nil {

@@ -357,3 +357,92 @@ func TestChaosFederationSeededDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestFederationPerPairLinks pins that SetLink overrides change only
+// the overridden pair's shipping time: the same payload shipped over a
+// slow cross-rack pair must cost more virtual time than over the
+// default pair, and LinkBetween must fall back to the uniform link for
+// pairs without an override.
+func TestFederationPerPairLinks(t *testing.T) {
+	fe := newFedEnv(t, 3)
+	slow := CrossRackLink()
+	fe.fed.SetLink("h0", "h2", slow)
+
+	if got := fe.fed.LinkBetween("h0", "h1"); got != DefaultLink() {
+		t.Fatalf("unoverridden pair: got %+v, want default", got)
+	}
+	if got := fe.fed.LinkBetween("h2", "h0"); got != slow {
+		t.Fatalf("override not symmetric: got %+v", got)
+	}
+	if a, b := fe.fed.LinkCost("h0", "h2", 1<<20), fe.fed.LinkCost("h0", "h1", 1<<20); a <= b {
+		t.Fatalf("cross-rack cost %v not above in-rack %v", a, b)
+	}
+
+	content := testContent(3, 8*1024)
+	putAll(t, fe.hosts["h0"], "/snap/fast", "", content, 1024)
+	putAll(t, fe.hosts["h0"], "/snap/slow", "", content, 1024)
+	_, fastDur, err := fe.fed.ShipSnapshot("h0", "h1", "/snap/fast")
+	if err != nil {
+		t.Fatalf("fast ship: %v", err)
+	}
+	_, slowDur, err := fe.fed.ShipSnapshot("h0", "h2", "/snap/slow")
+	if err != nil {
+		t.Fatalf("slow ship: %v", err)
+	}
+	if slowDur <= fastDur {
+		t.Fatalf("cross-rack ship %v not slower than in-rack %v", slowDur, fastDur)
+	}
+}
+
+// TestFederationClosestHolder pins replica-locality queries: the
+// cheapest living holder by per-pair link cost wins, ties break by
+// name, a local copy wins outright, and dead holders are skipped.
+func TestFederationClosestHolder(t *testing.T) {
+	fe := newFedEnv(t, 4)
+	fe.seedDir(t, "h0", "/ckpt/jobA", 5, 4*1024)
+	holders, _, err := fe.fed.ReplicateDir("h0", "/ckpt/jobA", 3)
+	if err != nil {
+		t.Fatalf("replicate: %v", err)
+	}
+	if len(holders) != 3 {
+		t.Fatalf("holders = %v, want 3", holders)
+	}
+	// From a holder itself, the local copy wins with zero transfer.
+	if got := fe.fed.ClosestHolder("/ckpt/jobA", holders[0], 1<<20); got != holders[0] {
+		t.Fatalf("local holder: got %q, want %q", got, holders[0])
+	}
+
+	// Find a non-holder vantage point (fleet of 4, 3 holders).
+	from := ""
+	for _, n := range fe.fed.Members() {
+		if !contains(holders, n) {
+			from = n
+		}
+	}
+	if from == "" {
+		t.Fatalf("no non-holder member among %v", fe.fed.Members())
+	}
+	// Uniform links: ties break by name — the first sorted holder.
+	if got := fe.fed.ClosestHolder("/ckpt/jobA", from, 1<<20); got != holders[0] {
+		t.Fatalf("uniform tie-break: got %q, want %q", got, holders[0])
+	}
+	// Make every pair from `from` slow except to the last holder: that
+	// holder becomes closest despite sorting last.
+	for _, h := range holders[:len(holders)-1] {
+		fe.fed.SetLink(from, h, CrossRackLink())
+	}
+	want := holders[len(holders)-1]
+	if got := fe.fed.ClosestHolder("/ckpt/jobA", from, 1<<20); got != want {
+		t.Fatalf("link-aware pick: got %q, want %q", got, want)
+	}
+	// Kill the closest holder: the query must skip it.
+	if err := fe.fed.KillHost(want); err != nil {
+		t.Fatalf("kill %s: %v", want, err)
+	}
+	if got := fe.fed.ClosestHolder("/ckpt/jobA", from, 1<<20); got == want || got == "" {
+		t.Fatalf("dead holder not skipped: got %q", got)
+	}
+	if got := fe.fed.ClosestHolder("/no/such/dir", from, 1); got != "" {
+		t.Fatalf("unknown dir: got %q, want empty", got)
+	}
+}

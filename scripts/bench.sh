@@ -15,6 +15,10 @@
 # cross-host migration ping-pong (warm legs must dedup >= 2x against the
 # destination store) plus k=2 replication, a host kill, repair, and a
 # byte-identical restart-from-replica — recording BENCH_federation.json.
+# Last comes the fleet control-plane benchmark — the seeded bursty job
+# trace against 120 model-backed hosts at three oversubscription ratios,
+# recording placement rate, swap-latency percentiles, and the
+# utilization-vs-oversubscription curve in BENCH_fleet.json.
 # All land at the repository root.
 #
 # Every row also records the harness's own wall-clock cost (wall_ns /
@@ -38,6 +42,7 @@ if [ "${1:-}" = "-smoke" ]; then
     go run ./cmd/snapbench -store -smoke -json baselines/BENCH_dedup.json
     go run ./cmd/snapbench -migrate -smoke -json baselines/BENCH_migrate.json
     go run ./cmd/snapbench -federation -smoke -json baselines/BENCH_federation.json
+    go run ./cmd/snapbench -fleet -smoke -json baselines/BENCH_fleet.json
     exit 0
 fi
 
@@ -52,3 +57,6 @@ go run ./cmd/snapbench -migrate -json BENCH_migrate.json
 
 echo "==> federation scenario (cross-host dedup ping-pong + host-kill recovery)"
 go run ./cmd/snapbench -federation -json BENCH_federation.json
+
+echo "==> fleet control plane (120 hosts, 2400 jobs, oversubscription sweep)"
+go run ./cmd/snapbench -fleet -json BENCH_fleet.json
