@@ -171,6 +171,135 @@ func TestChaosFleetPreemptionCrash(t *testing.T) {
 	}
 }
 
+// TestChaosFleetHostKillMidPreemptionEviction kills the victim's host
+// while its preemption-eviction swap-out is in flight. The dead host
+// must release the pending preemptor's in-flight eviction count —
+// otherwise the preemptor blocks the admission queue head-of-line
+// forever and nothing ever places again.
+func TestChaosFleetHostKillMidPreemptionEviction(t *testing.T) {
+	be := NewModelBackend(ModelOptions{Hosts: 2, CardsPerHost: 1, CardMem: 1 << 30, ReplicaK: 2})
+	c := New(Options{}, be, obs.New())
+	// Jobs 1 and 2 fill the two cards and think long; job 3 arrives
+	// mid-think at higher priority and must preempt one of them.
+	if err := c.SubmitTrace([]JobSpec{
+		{ID: 1, Tenant: "a", Priority: 0, Arrival: 0, Footprint: 1 << 30, Bursts: 3, BurstLen: 10 * ms, ThinkLen: 500 * ms},
+		{ID: 2, Tenant: "a", Priority: 0, Arrival: 0, Footprint: 1 << 30, Bursts: 3, BurstLen: 10 * ms, ThinkLen: 500 * ms},
+		{ID: 3, Tenant: "b", Priority: 2, Arrival: 250 * ms, Footprint: 1 << 30, Bursts: 2, BurstLen: 10 * ms, ThinkLen: 10 * ms},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var victim *Job
+	if !stepUntil(t, c, func() bool {
+		for _, j := range c.Jobs() {
+			if j.curOp == opSwapOut && j.opPreempt {
+				victim = j
+				return true
+			}
+		}
+		return false
+	}) {
+		t.Fatal("setup: no preemption eviction ever started")
+	}
+	preemptor := c.JobByID(victim.preemptFor)
+	if preemptor == nil || preemptor.preemptEvicts == 0 {
+		t.Fatalf("setup: victim %d has no pending preemptor", victim.ID)
+	}
+	// Kill in two phases (KillHost = markHostDead + dispatch) so the
+	// accounting is observable before dispatch starts a fresh preemption
+	// on the surviving host.
+	if err := c.markHostDead(victim.Host); err != nil {
+		t.Fatal(err)
+	}
+	if preemptor.preemptEvicts != 0 {
+		t.Fatalf("host kill left preemptor %d with %d in-flight evictions — dispatch is wedged",
+			preemptor.ID, preemptor.preemptEvicts)
+	}
+	if err := c.dispatch(); err != nil {
+		t.Fatal(err)
+	}
+	if !stepUntil(t, c, func() bool { return c.events.Len() == 0 }) {
+		t.Fatal("unreachable")
+	}
+	completedAll(t, c)
+	st := c.Stats()
+	if st.JobsLost == 0 {
+		t.Fatalf("kill lost no jobs: %+v", st)
+	}
+	if st.Preemptions == 0 {
+		t.Fatalf("the released preemptor never preempted on the surviving host: %+v", st)
+	}
+}
+
+// TestChaosFleetDestKillMidSwappedRecover evacuates a host holding a
+// swapped-out job and kills the move's destination while the recover
+// is in flight. The job was a snapshot before the move, so it must
+// come back as one — not as a thinking job bursting on residency it
+// never held (which would corrupt the card's residency accounting).
+func TestChaosFleetDestKillMidSwappedRecover(t *testing.T) {
+	be := NewModelBackend(ModelOptions{Hosts: 3, CardsPerHost: 1, CardMem: 1 << 30, ReplicaK: 2})
+	c := New(Options{OversubPct: 200}, be, obs.New())
+	// Jobs 1+2 churn through the swap path on h000, so one of them is a
+	// snapshot when the drain starts. Job 3 keeps h001 physically full
+	// with long bursts, so after the destination dies there is nowhere
+	// to re-route: the failed move must park the job on the source in
+	// its true pre-move state instead of hiding the bug behind an
+	// instant re-move.
+	sec := 1000 * ms
+	if err := c.SubmitTrace([]JobSpec{
+		{ID: 1, Tenant: "a", Arrival: 0, Footprint: 1 << 30, Bursts: 6, BurstLen: 50 * ms, ThinkLen: 3 * sec},
+		{ID: 2, Tenant: "a", Arrival: 0, Footprint: 1 << 30, Bursts: 6, BurstLen: 50 * ms, ThinkLen: 3 * sec},
+		{ID: 3, Tenant: "b", Arrival: 0, Footprint: 1 << 30, Bursts: 4, BurstLen: 3 * sec, ThinkLen: 10 * ms},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !stepUntil(t, c, func() bool {
+		for _, j := range c.Jobs() {
+			if j.Host == "h000" && j.State == StateSwappedOut && j.curOp == opNone {
+				return true
+			}
+		}
+		return false
+	}) {
+		t.Fatal("setup: no job ever sat swapped out on h000")
+	}
+	c.ScheduleEvacuation(c.now+1*ms, "h000", 600*sec)
+	// Wait for a swapped-out job's recover move to be in flight: it is
+	// migrating but holds no residency on the source card.
+	var moving *Job
+	if !stepUntil(t, c, func() bool {
+		for _, j := range c.Jobs() {
+			if j.curOp != opMigrate || j.opDstHost == "" || j.Host != "h000" {
+				continue
+			}
+			src, err := c.hostByName(j.Host)
+			if err != nil {
+				continue
+			}
+			if _, resident := src.cards[j.Card].residents[j.ID]; !resident {
+				moving = j
+				return true
+			}
+		}
+		return false
+	}) {
+		t.Fatal("setup: the drain never moved a swapped-out job")
+	}
+	if err := c.KillHost(moving.opDstHost); err != nil {
+		t.Fatal(err)
+	}
+	// stepUntil's per-step invariant check is the teeth here: the job
+	// must never show up running or thinking without residency, and no
+	// card's residency may go negative or past capacity.
+	if !stepUntil(t, c, func() bool { return c.events.Len() == 0 }) {
+		t.Fatal("unreachable")
+	}
+	completedAll(t, c)
+	st := c.Stats()
+	if st.EvacFails == 0 {
+		t.Fatalf("destination kill produced no failed evacuation move: %+v", st)
+	}
+}
+
 // TestChaosFleetPreemptionSeedReplay pins determinism of the
 // preemption chaos run.
 func TestChaosFleetPreemptionSeedReplay(t *testing.T) {

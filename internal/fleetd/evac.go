@@ -136,7 +136,9 @@ func (c *Controller) pumpDrain(h *hostState) error {
 // destination exists (fleet full, or the chosen one died mid-ship) the
 // job rotates to the back of the queue without starting.
 func (c *Controller) startEvacMove(h *hostState, j *Job) error {
-	dst := c.findCard(j)
+	// An evacuation move lands resident, so the destination needs
+	// physical room, not just commit headroom.
+	dst := c.findCard(j, true)
 	if dst == nil {
 		// Fleet full elsewhere: park the job at the back; capacity may
 		// free before the deadline.
@@ -182,10 +184,41 @@ func (c *Controller) startEvacMove(h *hostState, j *Job) error {
 }
 
 // resumeOnSource puts an evacuation-interrupted job back into its
-// normal lifecycle on its current host.
+// normal lifecycle on its current host. The move's epoch bump canceled
+// the job's scheduled future, so it is rebuilt here. The pre-move state
+// cannot be read off j.State (an in-flight move overwrote it with
+// StateMigrating): residency on the source card is the ground truth —
+// a job absent from it was swapped out before the move and still is.
 func (c *Controller) resumeOnSource(j *Job) {
-	if j.State == StateSwappedOut {
-		return // still swapped; nothing was moving on the card
+	h, err := c.hostByName(j.Host)
+	if err != nil {
+		return
+	}
+	cd := h.cards[j.Card]
+	if _, resident := cd.residents[j.ID]; !resident {
+		// Still a snapshot; nothing was moving on the card. Re-raise the
+		// burst trigger the move canceled: the waiter entry when its
+		// burst is already due, the think end otherwise.
+		j.State = StateSwappedOut
+		if j.wantsBurst {
+			queued := false
+			for _, id := range cd.waiters {
+				if id == j.ID {
+					queued = true
+					break
+				}
+			}
+			if !queued {
+				cd.waiters = append(cd.waiters, j.ID)
+			}
+		} else {
+			at := j.thinkEndAt
+			if at < c.now {
+				at = c.now
+			}
+			c.schedule(at, evThinkEnd, j)
+		}
+		return
 	}
 	j.State = StateThinking
 	// Its think clock kept running during the failed move.
@@ -338,7 +371,17 @@ func (c *Controller) markHostDead(name string) error {
 				dc.resident -= j.Spec.Footprint
 			}
 		}
+		if j.curOp == opSwapOut && j.opPreempt {
+			// The victim died mid-eviction: its swap-out completion is now
+			// stale and will never decrement the preemptor's in-flight
+			// count, so release the preemptor here or it blocks the
+			// admission queue head-of-line forever.
+			if p := c.jobs[j.preemptFor]; p != nil && p.preemptEvicts > 0 {
+				p.preemptEvicts--
+			}
+		}
 		j.curOp = opNone
+		j.opPreempt = false
 		j.opDstHost, j.opDstCard = "", 0
 		j.Host, j.Card = "", -1
 		j.wantsBurst = false
@@ -362,6 +405,7 @@ func (c *Controller) markHostDead(name string) error {
 		cd.committed, cd.resident = 0, 0
 		cd.residents = make(map[int]*Job)
 		cd.waiters = nil
+		cd.retries = 0
 		cd.busyUntil = c.now
 	}
 	// Jobs elsewhere migrating INTO the dead host fail their landing in

@@ -264,6 +264,9 @@ type card struct {
 	busyUntil simclock.Duration
 	// waiters queues job IDs wanting residency (swap-in), FIFO.
 	waiters []int
+	// retries counts consecutive failed serve attempts; it drives the
+	// card-targeted retry backoff and resets on the first success.
+	retries int
 }
 
 func (c *card) commitCap(pct int64) int64 { return c.cap * pct / 100 }
@@ -512,6 +515,8 @@ type controlPayload struct {
 	host     string
 	deadline simclock.Duration
 	kill     bool
+	// card targets an evServeCard retry at one card's waiter queue.
+	card int
 }
 
 var errUnknownHost = errors.New("fleetd: unknown host")
@@ -600,6 +605,12 @@ func (c *Controller) handle(e event) error {
 		} else if err := c.startDrain(p.host, p.deadline); err != nil {
 			return err
 		}
+	case evServeCard:
+		p := c.controls[e.seq]
+		delete(c.controls, e.seq)
+		if h, err := c.hostByName(p.host); err == nil && !h.dead {
+			c.serveWaiters(h.cards[p.card])
+		}
 	case evHeartbeat:
 		// fallthrough to dispatch below
 	}
@@ -628,8 +639,11 @@ func (c *Controller) admit(j *Job) {
 // findCard scores every placeable card for j and returns the best, or
 // nil. Score is lexicographic: replica-locality link cost first (jobs
 // with snapshots land near their replicas), then best-fit leftover
-// (bin packing), then host/card index for determinism.
-func (c *Controller) findCard(j *Job) *card {
+// (bin packing), then host/card index for determinism. With needRoom
+// the card must also have physical residency headroom — evacuation
+// moves land resident immediately, so commit headroom alone (which
+// oversubscription inflates past card memory) is not enough for them.
+func (c *Controller) findCard(j *Job, needRoom bool) *card {
 	pct := c.opts.oversubPct()
 	holders := c.liveHolders(j)
 	var best *card
@@ -655,6 +669,9 @@ func (c *Controller) findCard(j *Job) *card {
 		for _, cd := range h.cards {
 			left := cd.commitCap(pct) - cd.committed - j.Spec.Footprint
 			if left < 0 {
+				continue
+			}
+			if needRoom && cd.cap-cd.resident < j.Spec.Footprint {
 				continue
 			}
 			if best == nil || loc < bestLoc || (loc == bestLoc && left < bestLeft) {
@@ -710,7 +727,7 @@ func (c *Controller) dispatch() error {
 		if j.preemptEvicts > 0 {
 			return nil // its evictions are still in flight
 		}
-		cd := c.findCard(j)
+		cd := c.findCard(j, false)
 		if cd == nil {
 			if c.tryPreempt(j) {
 				return nil
@@ -736,6 +753,11 @@ func (c *Controller) place(j *Job, cd *card) error {
 	cd.committed += j.Spec.Footprint
 	h.assigned[j.ID] = j
 	c.stats.Placements++
+	if c.stats.Placements == 1 {
+		// The utilization window opens when work first reaches a card;
+		// idle lead time before the trace starts is not the fleet's fault.
+		c.firstTime = c.now
+	}
 	c.mPlacements.Inc()
 	wait := c.now - j.enqueuedAt
 	c.waitLats = append(c.waitLats, wait)
@@ -1065,8 +1087,10 @@ func (c *Controller) serveWaiters(cd *card) {
 				cd.resident -= j.Spec.Footprint
 				delete(cd.residents, j.ID)
 				cd.waiters = append([]int{j.ID}, cd.waiters...)
+				c.scheduleServeRetry(cd)
 				return
 			}
+			cd.retries = 0
 			continue
 		}
 		holders := c.liveHolders(j)
@@ -1082,16 +1106,43 @@ func (c *Controller) serveWaiters(cd *card) {
 		}
 		dur, err := c.be.SwapIn(j, from)
 		if err != nil {
-			// Retryable: put the job back at the head and stop; the next
-			// dispatch retries.
+			// Retryable: put the job back at the head and arrange a
+			// card-targeted retry — nothing else is guaranteed to touch
+			// this card again.
 			c.stats.SwapFails++
 			cd.resident -= j.Spec.Footprint
 			delete(cd.residents, j.ID)
 			cd.waiters = append([]int{j.ID}, cd.waiters...)
+			c.scheduleServeRetry(cd)
 			return
 		}
+		cd.retries = 0
 		c.startOp(j, opSwapIn, dur, cd)
 	}
+}
+
+// maxServeRetries bounds a card's self-scheduled retry chain: past it
+// the waiter parks until another event on the card re-serves it, so a
+// backend that fails forever cannot keep the event loop alive forever.
+const maxServeRetries = 10
+
+// serveRetryBase is the first retry's backoff; it doubles per
+// consecutive failure on the card.
+const serveRetryBase = simclock.Duration(1e6) // 1ms virtual
+
+// scheduleServeRetry arranges a card-targeted re-serve after a failed
+// swap-in or launch attempt. Without it a failure on a card that no
+// later burst end, swap-out, or completion happens to touch would
+// strand the waiter queue indefinitely.
+func (c *Controller) scheduleServeRetry(cd *card) {
+	if cd.retries >= maxServeRetries {
+		return
+	}
+	backoff := serveRetryBase << uint(cd.retries)
+	cd.retries++
+	c.seq++
+	c.controls[c.seq] = controlPayload{host: c.hosts[cd.hostIdx].name, card: cd.idx}
+	c.events.Push(event{at: c.now + backoff, seq: c.seq, kind: evServeCard})
 }
 
 // evictForResidency swaps out the thinking resident whose next burst

@@ -1,6 +1,7 @@
 package fleetd
 
 import (
+	"fmt"
 	"testing"
 
 	"snapify/internal/obs"
@@ -42,6 +43,55 @@ func completedAll(t *testing.T, c *Controller) {
 			t.Errorf("job %d stuck in state %s", j.ID, j.State)
 		}
 	}
+}
+
+// checkInvariants asserts the card-accounting invariants: residency
+// stays within [0, cap] (commitment may oversubscribe, physical memory
+// never), and every running or thinking job actually holds residency on
+// its card.
+func checkInvariants(t *testing.T, c *Controller) {
+	t.Helper()
+	for _, h := range c.hosts {
+		for _, cd := range h.cards {
+			if cd.resident < 0 || cd.resident > cd.cap {
+				t.Fatalf("at %v: card %s/%d resident %d outside [0, %d]",
+					c.now, h.name, cd.idx, cd.resident, cd.cap)
+			}
+			if cd.committed < 0 {
+				t.Fatalf("at %v: card %s/%d committed %d negative", c.now, h.name, cd.idx, cd.committed)
+			}
+		}
+	}
+	for _, j := range c.Jobs() {
+		if j.State != StateRunning && j.State != StateThinking {
+			continue
+		}
+		h, err := c.hostByName(j.Host)
+		if err != nil {
+			t.Fatalf("at %v: job %d %s on unknown host %q", c.now, j.ID, j.State, j.Host)
+		}
+		if _, ok := h.cards[j.Card].residents[j.ID]; !ok {
+			t.Fatalf("at %v: job %d is %s on %s/%d without residency",
+				c.now, j.ID, j.State, j.Host, j.Card)
+		}
+	}
+}
+
+// stepUntil advances the controller in 1ms steps, checking invariants
+// at every step, until cond holds or the event queue drains. It
+// reports whether cond was met.
+func stepUntil(t *testing.T, c *Controller, cond func() bool) bool {
+	t.Helper()
+	for !cond() {
+		if c.events.Len() == 0 {
+			return false
+		}
+		if err := c.RunUntil(c.now + 1*ms); err != nil {
+			t.Fatal(err)
+		}
+		checkInvariants(t, c)
+	}
+	return true
 }
 
 // TestEventHeapOrdering pops events in (time, seq) order regardless of
@@ -384,6 +434,120 @@ func TestTraceRunConservation(t *testing.T) {
 		// Swapped-out jobs may die with the host instead of swapping in.
 		t.Logf("note: swap outs %d, ins %d, lost %d", st.SwapOuts, st.SwapIns, st.JobsLost)
 	}
+}
+
+// TestUtilizationWindowStartsAtFirstPlacement: utilization is measured
+// from the first placement, not from t=0, so a delayed trace reports
+// the same utilization as the identical trace starting immediately.
+func TestUtilizationWindowStartsAtFirstPlacement(t *testing.T) {
+	run := func(offset simclock.Duration) int64 {
+		c, _ := newModel(t, Options{}, ModelOptions{Hosts: 1, CardsPerHost: 1, CardMem: 1 << 30})
+		if err := c.SubmitTrace([]JobSpec{
+			simpleSpec(1, "a", 0, offset, 512<<20, 3),
+			simpleSpec(2, "a", 0, offset, 256<<20, 3),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		mustRun(t, c)
+		completedAll(t, c)
+		return c.UtilizationPct()
+	}
+	immediate, delayed := run(0), run(5000*ms)
+	if immediate <= 0 {
+		t.Fatalf("utilization %d, want positive", immediate)
+	}
+	if delayed != immediate {
+		t.Fatalf("5s arrival delay changed utilization: %d vs %d — window not anchored at first placement",
+			delayed, immediate)
+	}
+}
+
+// TestEvacDestinationNeedsPhysicalRoom: with oversubscription on, a
+// card can have commit headroom while its physical memory is full.
+// Evacuation moves land resident, so such a card must not be chosen —
+// residency must never exceed card memory.
+func TestEvacDestinationNeedsPhysicalRoom(t *testing.T) {
+	c, _ := newModel(t, Options{OversubPct: 200},
+		ModelOptions{Hosts: 3, CardsPerHost: 1, CardMem: 1 << 30, ReplicaK: 2})
+	sec := 1000 * ms
+	// Jobs 1+2 oversubscribe h000 and churn through the swap path; job 3
+	// holds h001 physically full with long bursts (commit headroom
+	// remains at 200%), so h001 is the tempting-but-wrong destination —
+	// doubly so for the swapped jobs, whose snapshot replicas land there.
+	if err := c.SubmitTrace([]JobSpec{
+		{ID: 1, Tenant: "a", Arrival: 0, Footprint: 1 << 30, Bursts: 4, BurstLen: 50 * ms, ThinkLen: 3 * sec},
+		{ID: 2, Tenant: "a", Arrival: 0, Footprint: 1 << 30, Bursts: 4, BurstLen: 50 * ms, ThinkLen: 3 * sec},
+		{ID: 3, Tenant: "b", Arrival: 0, Footprint: 1 << 30, Bursts: 4, BurstLen: 3 * sec, ThinkLen: 10 * ms},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !stepUntil(t, c, func() bool {
+		for _, j := range c.Jobs() {
+			if j.Host == "h000" && j.State == StateSwappedOut && j.curOp == opNone {
+				return true
+			}
+		}
+		return false
+	}) {
+		t.Fatal("setup: no job ever sat swapped out on h000")
+	}
+	if j3 := c.JobByID(3); j3.Host != "h001" {
+		t.Fatalf("setup: job 3 on %s, want h001", j3.Host)
+	}
+	c.ScheduleEvacuation(c.now+1*ms, "h000", 600*sec)
+	if !stepUntil(t, c, func() bool { return c.events.Len() == 0 }) {
+		t.Fatal("unreachable")
+	}
+	completedAll(t, c)
+	if st := c.Stats(); st.EvacMoves == 0 {
+		t.Fatalf("evacuation moved nothing: %+v", st)
+	}
+}
+
+// failSwapInBackend fails the first `failures` swap-in attempts, then
+// behaves like the model.
+type failSwapInBackend struct {
+	*ModelBackend
+	failures int
+	calls    int
+}
+
+func (b *failSwapInBackend) SwapIn(j *Job, from string) (simclock.Duration, error) {
+	b.calls++
+	if b.calls <= b.failures {
+		return 0, fmt.Errorf("transient swap-in failure %d", b.calls)
+	}
+	return b.ModelBackend.SwapIn(j, from)
+}
+
+// TestServeRetryAfterSwapInFailure: a failed swap-in must schedule its
+// own card-targeted retry. The scenario is tuned so both transient
+// failures strike when no other event would ever touch the card again
+// — without the retry the waiter (and the run) stalls forever.
+func TestServeRetryAfterSwapInFailure(t *testing.T) {
+	be := &failSwapInBackend{
+		ModelBackend: NewModelBackend(ModelOptions{Hosts: 1, CardsPerHost: 1, CardMem: 1 << 30, ReplicaK: 1}),
+		failures:     2,
+	}
+	c := New(Options{OversubPct: 200}, be, obs.New())
+	// Job 1 runs, swaps out for job 2, and wants back in while job 2
+	// occupies the card; every later swap-in attempt for it happens with
+	// an otherwise-empty event queue.
+	if err := c.SubmitTrace([]JobSpec{
+		{ID: 1, Tenant: "a", Arrival: 0, Footprint: 1 << 30, Bursts: 2, BurstLen: 50 * ms, ThinkLen: 200 * ms},
+		{ID: 2, Tenant: "b", Arrival: 0, Footprint: 1 << 30, Bursts: 2, BurstLen: 300 * ms, ThinkLen: 10 * ms},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	mustRun(t, c)
+	st := c.Stats()
+	if st.SwapFails != 2 {
+		t.Fatalf("swap failures %d, want the 2 injected ones", st.SwapFails)
+	}
+	if st.Completed != 2 {
+		t.Fatalf("completed %d of 2 — the failed swap-in was never retried: %+v", st.Completed, st)
+	}
+	completedAll(t, c)
 }
 
 // TestRunDeterminism: two controllers over the same trace produce
